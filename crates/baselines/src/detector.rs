@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+use gridwatch_core::ModelError;
+use gridwatch_timeseries::{PairSeries, Point2};
+
+/// Errors produced while fitting a baseline detector.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The training series was too small for this detector.
+    InsufficientHistory {
+        /// Points provided.
+        points: usize,
+        /// Points required.
+        required: usize,
+    },
+    /// The training data is degenerate for this detector (e.g. zero
+    /// variance on a needed dimension).
+    DegenerateHistory {
+        /// Explanation.
+        reason: String,
+    },
+    /// The wrapped transition model failed to fit.
+    Model(ModelError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InsufficientHistory { points, required } => write!(
+                f,
+                "detector needs at least {required} history points, got {points}"
+            ),
+            BaselineError::DegenerateHistory { reason } => {
+                write!(f, "degenerate training data: {reason}")
+            }
+            BaselineError::Model(e) => write!(f, "transition model fit failed: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for BaselineError {
+    fn from(e: ModelError) -> Self {
+        BaselineError::Model(e)
+    }
+}
+
+/// A pairwise anomaly detector: trained offline on a pair's history,
+/// then fed the online stream point by point.
+///
+/// Implementations return a *normality score* in `[0, 1]` per observed
+/// point (1 = perfectly normal, 0 = maximally anomalous), directly
+/// comparable to the paper's fitness score. Detectors are free to use
+/// the observation to update internal state (sliding windows, adaptive
+/// models).
+pub trait PairDetector: fmt::Debug {
+    /// A short human-readable name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Fits the detector on history data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineError`] when the history is too small or
+    /// degenerate for this detector.
+    fn fit(&mut self, history: &PairSeries) -> Result<(), BaselineError>;
+
+    /// Consumes one online observation and returns its normality score.
+    fn observe(&mut self, p: Point2) -> f64;
+
+    /// How much of the value space this detector can meaningfully judge,
+    /// in `[0, 1]`; e.g. a linear invariant with poor fit reports a low
+    /// validity so the caller can discard it (as the invariant-mining
+    /// baseline prunes weak invariants). Defaults to 1.
+    fn validity(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = BaselineError::InsufficientHistory {
+            points: 1,
+            required: 10,
+        };
+        assert!(e.to_string().contains("at least 10"));
+        assert!(e.source().is_none());
+        let e = BaselineError::DegenerateHistory {
+            reason: "x has zero variance".into(),
+        };
+        assert!(e.to_string().contains("zero variance"));
+        let e = BaselineError::from(ModelError::InsufficientHistory { points: 1 });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<BaselineError>();
+    }
+}

@@ -1,0 +1,371 @@
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::{PairSeries, Point2};
+
+use crate::detector::{BaselineError, PairDetector};
+
+/// Configuration for the Gaussian-mixture baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmmConfig {
+    /// Number of mixture components (ellipses).
+    pub components: usize,
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// EM stops when the mean log-likelihood improves by less than this.
+    pub tolerance: f64,
+    /// The Mahalanobis distance treated as the ellipse boundary; the
+    /// normality score is `exp(−½ (d / boundary)²)` with `d` the distance
+    /// to the nearest component.
+    pub boundary: f64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            components: 3,
+            max_iterations: 100,
+            tolerance: 1e-6,
+            boundary: 3.0,
+        }
+    }
+}
+
+/// One 2-D Gaussian component with full covariance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Component {
+    weight: f64,
+    mean: [f64; 2],
+    /// Covariance entries: xx, xy, yy.
+    cov: [f64; 3],
+}
+
+impl Component {
+    /// Inverse covariance and determinant; regularized if singular.
+    fn inverse(&self) -> ([f64; 3], f64) {
+        let [xx, xy, yy] = self.cov;
+        let det = (xx * yy - xy * xy).max(1e-300);
+        ([yy / det, -xy / det, xx / det], det)
+    }
+
+    fn mahalanobis_sq(&self, p: Point2) -> f64 {
+        let dx = p.x - self.mean[0];
+        let dy = p.y - self.mean[1];
+        let ([ixx, ixy, iyy], _) = self.inverse();
+        (dx * dx * ixx + 2.0 * dx * dy * ixy + dy * dy * iyy).max(0.0)
+    }
+
+    fn log_density(&self, p: Point2) -> f64 {
+        let (_, det) = self.inverse();
+        let maha = self.mahalanobis_sq(p);
+        -0.5 * maha - 0.5 * det.ln() - std::f64::consts::LN_2 - (std::f64::consts::PI).ln()
+    }
+}
+
+/// The Gaussian-mixture "ellipse" baseline (Guo et al., DSN 2006):
+/// assume the two-dimensional points come from a Gaussian mixture, model
+/// the data clusters as ellipses, and flag points falling outside every
+/// cluster boundary.
+///
+/// The mixture is fitted with expectation–maximization (EM), initialized
+/// deterministically by spreading component means over the data's value
+/// range (quantile-based), so fitting is reproducible without an RNG.
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_baselines::{GmmDetector, PairDetector};
+/// use gridwatch_timeseries::{PairSeries, Point2};
+///
+/// // Two clusters: around (0, 0) and (10, 10).
+/// let history = PairSeries::from_samples((0..200u64).map(|k| {
+///     let c = if k % 2 == 0 { 0.0 } else { 10.0 };
+///     let jitter = (k % 7) as f64 * 0.1;
+///     (k, c + jitter, c + jitter * 0.5)
+/// }))?;
+/// let mut d = GmmDetector::default();
+/// d.fit(&history)?;
+/// assert!(d.observe(Point2::new(10.2, 10.1)) > 0.5);
+/// assert!(d.observe(Point2::new(0.0, 10.0)) < 0.1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GmmDetector {
+    config: GmmConfig,
+    components: Vec<Component>,
+}
+
+impl Default for GmmDetector {
+    fn default() -> Self {
+        GmmDetector::new(GmmConfig::default())
+    }
+}
+
+impl GmmDetector {
+    /// Creates an unfitted detector.
+    pub fn new(config: GmmConfig) -> Self {
+        GmmDetector {
+            config,
+            components: Vec::new(),
+        }
+    }
+
+    /// The fitted component count (0 before fitting).
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The squared Mahalanobis distance from `p` to the nearest fitted
+    /// component, or `None` before fitting.
+    pub fn nearest_mahalanobis_sq(&self, p: Point2) -> Option<f64> {
+        self.components
+            .iter()
+            .map(|c| c.mahalanobis_sq(p))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+    }
+
+    /// Mean log-likelihood of points under the current mixture.
+    fn mean_log_likelihood(&self, points: &[Point2]) -> f64 {
+        points
+            .iter()
+            .map(|&p| {
+                let mut best = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                let logs: Vec<f64> = self
+                    .components
+                    .iter()
+                    .map(|c| c.weight.max(1e-300).ln() + c.log_density(p))
+                    .collect();
+                for &l in &logs {
+                    best = best.max(l);
+                }
+                for &l in &logs {
+                    sum += (l - best).exp();
+                }
+                best + sum.ln()
+            })
+            .sum::<f64>()
+            / points.len() as f64
+    }
+}
+
+impl PairDetector for GmmDetector {
+    fn name(&self) -> &'static str {
+        "gaussian-mixture"
+    }
+
+    fn fit(&mut self, history: &PairSeries) -> Result<(), BaselineError> {
+        let k = self.config.components;
+        if history.len() < k.max(2) * 3 {
+            return Err(BaselineError::InsufficientHistory {
+                points: history.len(),
+                required: k.max(2) * 3,
+            });
+        }
+        let points = history.points();
+        let n = points.len();
+
+        // Deterministic initialization: means at quantile positions along
+        // the x-sorted data, covariance from the global spread.
+        let mut by_x: Vec<Point2> = points.to_vec();
+        by_x.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite points"));
+        let global = global_covariance(points);
+        if global[0] <= 0.0 && global[2] <= 0.0 {
+            return Err(BaselineError::DegenerateHistory {
+                reason: "all points identical".into(),
+            });
+        }
+        let init_cov = [
+            (global[0] / k as f64).max(1e-12),
+            0.0,
+            (global[2] / k as f64).max(1e-12),
+        ];
+        self.components = (0..k)
+            .map(|j| {
+                let idx = (2 * j + 1) * n / (2 * k);
+                Component {
+                    weight: 1.0 / k as f64,
+                    mean: [by_x[idx].x, by_x[idx].y],
+                    cov: init_cov,
+                }
+            })
+            .collect();
+
+        // EM iterations.
+        let mut responsibilities = vec![vec![0.0f64; k]; n];
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..self.config.max_iterations {
+            // E step.
+            for (i, &p) in points.iter().enumerate() {
+                let logs: Vec<f64> = self
+                    .components
+                    .iter()
+                    .map(|c| c.weight.max(1e-300).ln() + c.log_density(p))
+                    .collect();
+                let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mut z = 0.0;
+                for &l in &logs {
+                    z += (l - max).exp();
+                }
+                for (j, &l) in logs.iter().enumerate() {
+                    responsibilities[i][j] = ((l - max).exp() / z).max(0.0);
+                }
+            }
+            // M step.
+            for j in 0..k {
+                let nj: f64 = responsibilities.iter().map(|r| r[j]).sum();
+                if nj < 1e-9 {
+                    continue; // dead component; keep its parameters
+                }
+                let mut mean = [0.0, 0.0];
+                for (i, &p) in points.iter().enumerate() {
+                    mean[0] += responsibilities[i][j] * p.x;
+                    mean[1] += responsibilities[i][j] * p.y;
+                }
+                mean[0] /= nj;
+                mean[1] /= nj;
+                let mut cov = [0.0, 0.0, 0.0];
+                for (i, &p) in points.iter().enumerate() {
+                    let dx = p.x - mean[0];
+                    let dy = p.y - mean[1];
+                    let r = responsibilities[i][j];
+                    cov[0] += r * dx * dx;
+                    cov[1] += r * dx * dy;
+                    cov[2] += r * dy * dy;
+                }
+                // Regularize to keep covariances invertible.
+                let reg_x = (global[0] * 1e-6).max(1e-12);
+                let reg_y = (global[2] * 1e-6).max(1e-12);
+                cov[0] = cov[0] / nj + reg_x;
+                cov[1] /= nj;
+                cov[2] = cov[2] / nj + reg_y;
+                self.components[j] = Component {
+                    weight: nj / n as f64,
+                    mean,
+                    cov,
+                };
+            }
+            let ll = self.mean_log_likelihood(points);
+            if (ll - prev_ll).abs() < self.config.tolerance {
+                break;
+            }
+            prev_ll = ll;
+        }
+        Ok(())
+    }
+
+    fn observe(&mut self, p: Point2) -> f64 {
+        if self.components.is_empty() || !p.is_finite() {
+            return 0.0;
+        }
+        let d2 = self
+            .nearest_mahalanobis_sq(p)
+            .expect("components non-empty");
+        let z = d2.sqrt() / self.config.boundary;
+        (-0.5 * z * z).exp()
+    }
+}
+
+/// Population covariance entries `[xx, xy, yy]` of a point set.
+fn global_covariance(points: &[Point2]) -> [f64; 3] {
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.x).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.y).sum::<f64>() / n;
+    let mut cov = [0.0, 0.0, 0.0];
+    for p in points {
+        let dx = p.x - mx;
+        let dy = p.y - my;
+        cov[0] += dx * dx;
+        cov[1] += dx * dy;
+        cov[2] += dy * dy;
+    }
+    cov.map(|c| c / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight clusters at (0,0) and (100, 50).
+    fn bimodal_history() -> PairSeries {
+        PairSeries::from_samples((0..300u64).map(|k| {
+            let (cx, cy) = if k % 2 == 0 { (0.0, 0.0) } else { (100.0, 50.0) };
+            let jx = ((k * 7) % 11) as f64 * 0.2 - 1.0;
+            let jy = ((k * 13) % 7) as f64 * 0.2 - 0.6;
+            (k, cx + jx, cy + jy)
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_both_clusters() {
+        let mut d = GmmDetector::new(GmmConfig {
+            components: 2,
+            ..GmmConfig::default()
+        });
+        d.fit(&bimodal_history()).unwrap();
+        assert_eq!(d.component_count(), 2);
+        // Points inside each cluster score well; between clusters, badly.
+        assert!(d.observe(Point2::new(0.2, -0.1)) > 0.3);
+        assert!(d.observe(Point2::new(100.1, 50.2)) > 0.3);
+        assert!(d.observe(Point2::new(50.0, 25.0)) < 0.05);
+        assert_eq!(d.name(), "gaussian-mixture");
+    }
+
+    #[test]
+    fn score_decreases_with_distance() {
+        let mut d = GmmDetector::new(GmmConfig {
+            components: 1,
+            ..GmmConfig::default()
+        });
+        let tight = PairSeries::from_samples((0..100u64).map(|k| {
+            (
+                k,
+                ((k * 3) % 17) as f64 * 0.1,
+                ((k * 5) % 13) as f64 * 0.1,
+            )
+        }))
+        .unwrap();
+        d.fit(&tight).unwrap();
+        let s0 = d.observe(Point2::new(0.8, 0.6));
+        let s1 = d.observe(Point2::new(5.0, 5.0));
+        let s2 = d.observe(Point2::new(50.0, 50.0));
+        assert!(s0 > s1 && s1 > s2, "{s0} > {s1} > {s2}");
+    }
+
+    #[test]
+    fn insufficient_history_rejected() {
+        let short = PairSeries::from_samples((0..4u64).map(|k| (k, k as f64, k as f64))).unwrap();
+        let err = GmmDetector::default().fit(&short).unwrap_err();
+        assert!(matches!(err, BaselineError::InsufficientHistory { .. }));
+    }
+
+    #[test]
+    fn degenerate_history_rejected() {
+        let flat = PairSeries::from_samples((0..50u64).map(|k| (k, 2.0, 3.0))).unwrap();
+        let err = GmmDetector::default().fit(&flat).unwrap_err();
+        assert!(matches!(err, BaselineError::DegenerateHistory { .. }));
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let mut d = GmmDetector::default();
+        assert_eq!(d.observe(Point2::new(0.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let mut a = GmmDetector::default();
+        let mut b = GmmDetector::default();
+        a.fit(&bimodal_history()).unwrap();
+        b.fit(&bimodal_history()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut d = GmmDetector::default();
+        d.fit(&bimodal_history()).unwrap();
+        let total: f64 = d.components.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-6, "weights sum to {total}");
+    }
+}

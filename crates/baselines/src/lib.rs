@@ -1,0 +1,62 @@
+//! Baseline pairwise anomaly detectors the paper compares against (its
+//! Related Work, Section 2), implemented from scratch:
+//!
+//! * [`LinearInvariantDetector`] — linear-regression invariants between
+//!   measurement pairs (Jiang et al., "Discovering likely invariants of
+//!   distributed transaction systems…"): fit `y ≈ a·x + b` offline, flag
+//!   observations whose residual leaves the training residual band. Only
+//!   valid for linearly correlated pairs — the paper's criticism.
+//! * [`GmmDetector`] — Gaussian-mixture "ellipse" models (Guo et al.,
+//!   "Tracking probabilistic correlation of monitoring data for fault
+//!   detection in complex systems"): fit a 2-D mixture by EM, flag points
+//!   with a large Mahalanobis distance to every component. Captures
+//!   cluster-shaped non-linear correlations but assumes elliptic
+//!   clusters and ignores temporal order.
+//! * [`ZScoreDetector`] — the single-measurement strawman from the
+//!   paper's introduction: per-dimension sliding-window z-scores. Flags
+//!   any load surge, even correlation-preserving ones (the
+//!   false-positive failure mode the paper highlights).
+//! * [`MarkovDetector`] — the paper's own transition-probability model
+//!   behind the same [`PairDetector`] interface, so all four can be
+//!   benchmarked head-to-head.
+//!
+//! All detectors emit a *normality score* in `[0, 1]` per observation
+//! (1 = perfectly normal), comparable to the paper's fitness score.
+//!
+//! # Example
+//!
+//! ```
+//! use gridwatch_baselines::{LinearInvariantDetector, MarkovDetector, PairDetector};
+//! use gridwatch_timeseries::{PairSeries, Point2};
+//!
+//! let history = PairSeries::from_samples(
+//!     (0..300u64).map(|k| {
+//!         let x = (k % 50) as f64 + 1.0;
+//!         (k * 360, x, 3.0 * x + 2.0)
+//!     }),
+//! )?;
+//! let mut linreg = LinearInvariantDetector::default();
+//! linreg.fit(&history)?;
+//! let mut markov = MarkovDetector::default();
+//! markov.fit(&history)?;
+//!
+//! // Both catch a broken linear relation.
+//! assert!(linreg.observe(Point2::new(25.0, 0.0)) < 0.5);
+//! assert!(markov.observe(Point2::new(25.0, 0.0)) < 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod detector;
+mod gmm;
+mod linreg;
+mod markov;
+mod zscore;
+
+pub use detector::{BaselineError, PairDetector};
+pub use gmm::{GmmConfig, GmmDetector};
+pub use linreg::LinearInvariantDetector;
+pub use markov::MarkovDetector;
+pub use zscore::ZScoreDetector;

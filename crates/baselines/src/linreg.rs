@@ -1,0 +1,224 @@
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::{PairSeries, Point2};
+
+use crate::detector::{BaselineError, PairDetector};
+
+/// The linear-regression invariant baseline (Jiang et al., Cluster
+/// Computing 2006; Munawar et al., SEAMS 2008).
+///
+/// Offline, fit `y ≈ a·x + b` by ordinary least squares and record the
+/// training residual standard deviation `σ` and the coefficient of
+/// determination `R²`. Online, the normality score decays with the
+/// standardized residual: `exp(−½ (r / kσ)²)` with `k = 3`, so a point
+/// on the line scores 1 and a point `3σ` off the band scores `≈ 0.61`,
+/// dropping fast beyond.
+///
+/// `R²` is exposed as [`PairDetector::validity`]: invariant-mining
+/// systems discard regressions that do not actually fit — exactly the
+/// limitation the paper criticizes ("existing work only focuses on one
+/// type of correlations").
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_baselines::{LinearInvariantDetector, PairDetector};
+/// use gridwatch_timeseries::{PairSeries, Point2};
+///
+/// let history = PairSeries::from_samples(
+///     (0..100u64).map(|k| (k, k as f64, 2.0 * k as f64 + 1.0)),
+/// )?;
+/// let mut d = LinearInvariantDetector::default();
+/// d.fit(&history)?;
+/// assert!(d.observe(Point2::new(50.0, 101.0)) > 0.9);
+/// assert!(d.observe(Point2::new(50.0, 500.0)) < 0.01);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearInvariantDetector {
+    fitted: Option<Fit>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Fit {
+    slope: f64,
+    intercept: f64,
+    residual_sigma: f64,
+    r_squared: f64,
+}
+
+impl LinearInvariantDetector {
+    /// Creates an unfitted detector.
+    pub fn new() -> Self {
+        LinearInvariantDetector::default()
+    }
+
+    /// The fitted slope `a`, if fitted.
+    pub fn slope(&self) -> Option<f64> {
+        self.fitted.map(|f| f.slope)
+    }
+
+    /// The fitted intercept `b`, if fitted.
+    pub fn intercept(&self) -> Option<f64> {
+        self.fitted.map(|f| f.intercept)
+    }
+
+    /// The training `R²`, if fitted.
+    pub fn r_squared(&self) -> Option<f64> {
+        self.fitted.map(|f| f.r_squared)
+    }
+
+    /// The training residual standard deviation, if fitted.
+    pub fn residual_sigma(&self) -> Option<f64> {
+        self.fitted.map(|f| f.residual_sigma)
+    }
+}
+
+impl PairDetector for LinearInvariantDetector {
+    fn name(&self) -> &'static str {
+        "linear-invariant"
+    }
+
+    fn fit(&mut self, history: &PairSeries) -> Result<(), BaselineError> {
+        if history.len() < 3 {
+            return Err(BaselineError::InsufficientHistory {
+                points: history.len(),
+                required: 3,
+            });
+        }
+        let (xs, ys) = history.columns();
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(&ys) {
+            sxx += (x - mx) * (x - mx);
+            sxy += (x - mx) * (y - my);
+            syy += (y - my) * (y - my);
+        }
+        if sxx == 0.0 {
+            return Err(BaselineError::DegenerateHistory {
+                reason: "x dimension has zero variance".into(),
+            });
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_res: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| {
+                let r = y - (slope * x + intercept);
+                r * r
+            })
+            .sum();
+        let r_squared = if syy == 0.0 { 0.0 } else { 1.0 - ss_res / syy };
+        // Floor σ at a tiny fraction of the y spread so a perfect fit
+        // doesn't divide by zero.
+        let spread = syy.sqrt().max(1e-12);
+        let residual_sigma = (ss_res / n).sqrt().max(1e-9 * spread);
+        self.fitted = Some(Fit {
+            slope,
+            intercept,
+            residual_sigma,
+            r_squared,
+        });
+        Ok(())
+    }
+
+    fn observe(&mut self, p: Point2) -> f64 {
+        let Some(fit) = self.fitted else {
+            return 0.0;
+        };
+        if !p.is_finite() {
+            return 0.0;
+        }
+        let residual = p.y - (fit.slope * p.x + fit.intercept);
+        let z = residual / (3.0 * fit.residual_sigma);
+        (-0.5 * z * z).exp()
+    }
+
+    fn validity(&self) -> f64 {
+        self.fitted.map(|f| f.r_squared.clamp(0.0, 1.0)).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_history() -> PairSeries {
+        PairSeries::from_samples((0..200u64).map(|k| {
+            let x = (k % 100) as f64;
+            (k, x, 2.0 * x + 5.0)
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_slope_and_intercept() {
+        let mut d = LinearInvariantDetector::new();
+        d.fit(&linear_history()).unwrap();
+        assert!((d.slope().unwrap() - 2.0).abs() < 1e-9);
+        assert!((d.intercept().unwrap() - 5.0).abs() < 1e-9);
+        assert!(d.r_squared().unwrap() > 0.999);
+        assert_eq!(d.name(), "linear-invariant");
+    }
+
+    #[test]
+    fn on_line_scores_high_off_line_low() {
+        let mut d = LinearInvariantDetector::new();
+        d.fit(&linear_history()).unwrap();
+        assert!(d.observe(Point2::new(50.0, 105.0)) > 0.99);
+        assert!(d.observe(Point2::new(50.0, 300.0)) < 1e-6);
+    }
+
+    #[test]
+    fn validity_is_low_for_nonlinear_pairs() {
+        // A non-monotone, non-linear relation: y = sin(x).
+        let history = PairSeries::from_samples((0..400u64).map(|k| {
+            let x = k as f64 * 0.1;
+            (k, x.sin(), (x * 1.7).sin())
+        }))
+        .unwrap();
+        let mut d = LinearInvariantDetector::new();
+        d.fit(&history).unwrap();
+        assert!(
+            d.validity() < 0.3,
+            "nonlinear pair should yield a weak invariant, R² = {}",
+            d.validity()
+        );
+    }
+
+    #[test]
+    fn degenerate_x_rejected() {
+        let flat = PairSeries::from_samples((0..10u64).map(|k| (k, 1.0, k as f64))).unwrap();
+        let err = LinearInvariantDetector::new().fit(&flat).unwrap_err();
+        assert!(matches!(err, BaselineError::DegenerateHistory { .. }));
+    }
+
+    #[test]
+    fn unfitted_detector_scores_zero() {
+        let mut d = LinearInvariantDetector::new();
+        assert_eq!(d.observe(Point2::new(1.0, 1.0)), 0.0);
+        assert_eq!(d.validity(), 0.0);
+    }
+
+    #[test]
+    fn too_short_history_rejected() {
+        let short = PairSeries::from_samples([(0, 1.0, 1.0), (1, 2.0, 2.0)]).unwrap();
+        let err = LinearInvariantDetector::new().fit(&short).unwrap_err();
+        assert!(matches!(err, BaselineError::InsufficientHistory { .. }));
+    }
+
+    #[test]
+    fn perfect_fit_does_not_divide_by_zero() {
+        let exact =
+            PairSeries::from_samples((0..50u64).map(|k| (k, k as f64, 3.0 * k as f64))).unwrap();
+        let mut d = LinearInvariantDetector::new();
+        d.fit(&exact).unwrap();
+        let s = d.observe(Point2::new(10.0, 30.0));
+        assert!(s > 0.99 && s.is_finite());
+    }
+}

@@ -1,0 +1,82 @@
+use gridwatch_core::{ModelConfig, TransitionModel};
+use gridwatch_timeseries::{PairSeries, Point2};
+
+use crate::detector::{BaselineError, PairDetector};
+
+/// The paper's transition-probability model exposed through the common
+/// [`PairDetector`] interface, so it can be benchmarked head-to-head
+/// against the baselines.
+///
+/// The normality score is the model's rank-based fitness `Q^{a,b}`.
+#[derive(Debug, Clone, Default)]
+pub struct MarkovDetector {
+    config: ModelConfig,
+    model: Option<TransitionModel>,
+}
+
+impl MarkovDetector {
+    /// Creates an unfitted detector with the given model configuration.
+    pub fn new(config: ModelConfig) -> Self {
+        MarkovDetector {
+            config,
+            model: None,
+        }
+    }
+
+    /// The wrapped model, if fitted.
+    pub fn model(&self) -> Option<&TransitionModel> {
+        self.model.as_ref()
+    }
+}
+
+impl PairDetector for MarkovDetector {
+    fn name(&self) -> &'static str {
+        "grid-markov"
+    }
+
+    fn fit(&mut self, history: &PairSeries) -> Result<(), BaselineError> {
+        self.model = Some(TransitionModel::fit(history, self.config)?);
+        Ok(())
+    }
+
+    fn observe(&mut self, p: Point2) -> f64 {
+        match self.model.as_mut() {
+            Some(model) => model.observe(p).score.map(|s| s.fitness()).unwrap_or(0.0),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_scores_match_model_semantics() {
+        let history = PairSeries::from_samples((0..300u64).map(|k| {
+            let x = (k % 60) as f64;
+            (k * 360, x, 2.0 * x)
+        }))
+        .unwrap();
+        let mut d = MarkovDetector::default();
+        d.fit(&history).unwrap();
+        assert_eq!(d.name(), "grid-markov");
+        let good = d.observe(Point2::new(30.0, 60.0));
+        let bad = d.observe(Point2::new(59.0, 0.0));
+        assert!(good > bad, "good {good} vs bad {bad}");
+        assert!(d.model().is_some());
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let mut d = MarkovDetector::default();
+        assert_eq!(d.observe(Point2::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn fit_error_propagates() {
+        let single = PairSeries::from_samples([(0, 1.0, 1.0)]).unwrap();
+        let err = MarkovDetector::default().fit(&single).unwrap_err();
+        assert!(matches!(err, BaselineError::Model(_)));
+    }
+}

@@ -1,0 +1,129 @@
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::stats::Welford;
+use gridwatch_timeseries::{PairSeries, Point2};
+
+use crate::detector::{BaselineError, PairDetector};
+
+/// The single-measurement monitoring strawman from the paper's
+/// introduction: score each dimension independently by its z-score
+/// against the training distribution.
+///
+/// "A sudden increase in the values of a single measurement may not
+/// indicate a problem … it could be caused by a flood of user requests" —
+/// this detector flags exactly those events, demonstrating the
+/// false-positive failure mode correlation models avoid.
+///
+/// The normality score is `exp(−½ (z_max / 3)²)` where `z_max` is the
+/// larger of the two per-dimension |z-scores|.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ZScoreDetector {
+    x: Option<Moments>,
+    y: Option<Moments>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Moments {
+    mean: f64,
+    stddev: f64,
+}
+
+impl ZScoreDetector {
+    /// Creates an unfitted detector.
+    pub fn new() -> Self {
+        ZScoreDetector::default()
+    }
+
+    fn z(m: &Moments, v: f64) -> f64 {
+        (v - m.mean).abs() / m.stddev
+    }
+}
+
+impl PairDetector for ZScoreDetector {
+    fn name(&self) -> &'static str {
+        "z-score"
+    }
+
+    fn fit(&mut self, history: &PairSeries) -> Result<(), BaselineError> {
+        if history.len() < 2 {
+            return Err(BaselineError::InsufficientHistory {
+                points: history.len(),
+                required: 2,
+            });
+        }
+        let (xs, ys) = history.columns();
+        let moments = |vals: &[f64], dim: &str| -> Result<Moments, BaselineError> {
+            let mut w = Welford::new();
+            vals.iter().for_each(|&v| w.update(v));
+            let sd = w.population_stddev().expect("non-empty");
+            if sd == 0.0 {
+                return Err(BaselineError::DegenerateHistory {
+                    reason: format!("{dim} dimension has zero variance"),
+                });
+            }
+            Ok(Moments {
+                mean: w.mean().expect("non-empty"),
+                stddev: sd,
+            })
+        };
+        self.x = Some(moments(&xs, "x")?);
+        self.y = Some(moments(&ys, "y")?);
+        Ok(())
+    }
+
+    fn observe(&mut self, p: Point2) -> f64 {
+        let (Some(mx), Some(my)) = (self.x.as_ref(), self.y.as_ref()) else {
+            return 0.0;
+        };
+        if !p.is_finite() {
+            return 0.0;
+        }
+        let z = Self::z(mx, p.x).max(Self::z(my, p.y)) / 3.0;
+        (-0.5 * z * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> PairSeries {
+        // x around 100 ± ~10, y around 50 ± ~5.
+        PairSeries::from_samples((0..200u64).map(|k| {
+            let t = k as f64 / 10.0;
+            (k, 100.0 + 10.0 * t.sin(), 50.0 + 5.0 * t.cos())
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn typical_points_score_high() {
+        let mut d = ZScoreDetector::new();
+        d.fit(&history()).unwrap();
+        assert!(d.observe(Point2::new(100.0, 50.0)) > 0.9);
+        assert_eq!(d.name(), "z-score");
+    }
+
+    #[test]
+    fn surges_score_low_even_if_correlated() {
+        // The false-positive failure mode: a coordinated surge (both
+        // metrics triple) is "anomalous" to a per-metric detector.
+        let mut d = ZScoreDetector::new();
+        d.fit(&history()).unwrap();
+        let s = d.observe(Point2::new(300.0, 150.0));
+        assert!(s < 0.01, "per-metric detector flags the surge: {s}");
+    }
+
+    #[test]
+    fn degenerate_dimension_rejected() {
+        let flat = PairSeries::from_samples((0..10u64).map(|k| (k, 1.0, k as f64))).unwrap();
+        let err = ZScoreDetector::new().fit(&flat).unwrap_err();
+        assert!(matches!(err, BaselineError::DegenerateHistory { .. }));
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let mut d = ZScoreDetector::new();
+        assert_eq!(d.observe(Point2::new(0.0, 0.0)), 0.0);
+    }
+}

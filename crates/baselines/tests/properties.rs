@@ -1,0 +1,125 @@
+//! Property-based tests for the baseline detectors.
+
+use gridwatch_baselines::{
+    GmmDetector, LinearInvariantDetector, MarkovDetector, PairDetector, ZScoreDetector,
+};
+use gridwatch_timeseries::{PairSeries, Point2};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn linreg_recovers_arbitrary_lines(
+        slope in -50.0f64..50.0,
+        intercept in -100.0f64..100.0,
+        n in 10usize..200,
+    ) {
+        prop_assume!(slope.abs() > 1e-3);
+        let history = PairSeries::from_samples((0..n as u64).map(|k| {
+            let x = k as f64;
+            (k, x, slope * x + intercept)
+        }))
+        .unwrap();
+        let mut d = LinearInvariantDetector::default();
+        d.fit(&history).unwrap();
+        prop_assert!((d.slope().unwrap() - slope).abs() < 1e-6);
+        prop_assert!((d.intercept().unwrap() - intercept).abs() < 1e-4);
+        prop_assert!(d.validity() > 0.999);
+        // A point on the line scores ~1.
+        let x = n as f64 / 2.0;
+        prop_assert!(d.observe(Point2::new(x, slope * x + intercept)) > 0.99);
+    }
+
+    #[test]
+    fn linreg_scores_decrease_with_residual(
+        slope in 0.5f64..5.0,
+        offsets in prop::collection::vec(0.0f64..100.0, 2..10),
+    ) {
+        let history = PairSeries::from_samples((0..100u64).map(|k| {
+            let x = k as f64;
+            // Mild jitter so sigma > 0.
+            (k, x, slope * x + ((k % 7) as f64 - 3.0) * 0.1)
+        }))
+        .unwrap();
+        let mut d = LinearInvariantDetector::default();
+        d.fit(&history).unwrap();
+        let mut sorted = offsets.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::INFINITY;
+        for off in sorted {
+            let s = d.observe(Point2::new(50.0, slope * 50.0 + off));
+            prop_assert!(s <= prev + 1e-12, "score must fall as residual grows");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn zscore_scores_peak_at_training_mean(
+        mean_x in -100.0f64..100.0,
+        mean_y in -100.0f64..100.0,
+        spread in 0.5f64..20.0,
+    ) {
+        let history = PairSeriesBuilder::sin_noise(mean_x, mean_y, spread);
+        let mut d = ZScoreDetector::default();
+        d.fit(&history).unwrap();
+        let center = d.observe(Point2::new(mean_x, mean_y));
+        prop_assert!(center > 0.8, "center scores {center}");
+        let far = d.observe(Point2::new(mean_x + 20.0 * spread, mean_y));
+        prop_assert!(far < center);
+    }
+
+    #[test]
+    fn gmm_prefers_training_region(
+        cx in -50.0f64..50.0,
+        cy in -50.0f64..50.0,
+    ) {
+        let history = PairSeriesBuilder::sin_noise(cx, cy, 2.0);
+        let mut d = GmmDetector::default();
+        if d.fit(&history).is_ok() {
+            let inside = d.observe(Point2::new(cx, cy));
+            let outside = d.observe(Point2::new(cx + 100.0, cy - 100.0));
+            prop_assert!(inside > outside, "inside {inside} vs outside {outside}");
+        }
+    }
+
+    #[test]
+    fn all_detectors_return_unit_interval_scores(
+        probes in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 1..30),
+    ) {
+        let history = PairSeriesBuilder::sin_noise(10.0, 20.0, 5.0);
+        let mut detectors: Vec<Box<dyn PairDetector>> = vec![
+            Box::new(LinearInvariantDetector::default()),
+            Box::new(GmmDetector::default()),
+            Box::new(ZScoreDetector::default()),
+            Box::new(MarkovDetector::default()),
+        ];
+        for d in &mut detectors {
+            d.fit(&history).unwrap();
+            for &(x, y) in &probes {
+                let s = d.observe(Point2::new(x, y));
+                prop_assert!(
+                    (0.0..=1.0 + 1e-9).contains(&s),
+                    "{} returned {s}",
+                    d.name()
+                );
+            }
+            prop_assert!((0.0..=1.0).contains(&d.validity()));
+        }
+    }
+}
+
+/// Deterministic jittered series around a centre.
+struct PairSeriesBuilder;
+
+impl PairSeriesBuilder {
+    fn sin_noise(cx: f64, cy: f64, spread: f64) -> PairSeries {
+        PairSeries::from_samples((0..300u64).map(|k| {
+            let t = k as f64 / 11.0;
+            (
+                k,
+                cx + spread * t.sin(),
+                cy + spread * (t * 1.3).cos(),
+            )
+        }))
+        .unwrap()
+    }
+}

@@ -1,0 +1,68 @@
+//! Cost ablations over the model's design choices (DESIGN.md §6): decay
+//! kernel, decay rate, and adaptive versus uniform grid construction.
+//! (Quality ablations live in the eval crate; these measure cost.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gridwatch_bench::{pair_series, test_points, trace};
+use gridwatch_core::{DecayKernel, ModelConfig, TransitionModel};
+use gridwatch_grid::GridConfig;
+
+fn bench_kernel_ablation(c: &mut Criterion) {
+    let trace = trace(2);
+    let history = pair_series(&trace, 8);
+    let points = test_points(&trace);
+
+    let mut group = c.benchmark_group("ablation_kernel_observe");
+    group.sample_size(15);
+    for kernel in DecayKernel::ALL {
+        let config = ModelConfig::builder()
+            .kernel(kernel)
+            .build()
+            .expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kernel:?}")),
+            &config,
+            |b, &config| {
+                b.iter_batched(
+                    || TransitionModel::fit(&history, config).expect("fit succeeds"),
+                    |mut model| {
+                        for &p in &points {
+                            black_box(model.observe(p));
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_grid_style_ablation(c: &mut Criterion) {
+    let trace = trace(2);
+    let history = pair_series(&trace, 8);
+
+    let adaptive = GridConfig::default();
+    // Forcing the uniform fallback by accepting any distribution as
+    // "equal enough".
+    let uniform = GridConfig::builder()
+        .uniform_cv_threshold(f64::INFINITY)
+        .uniform_intervals(16)
+        .build()
+        .expect("valid config");
+
+    let mut group = c.benchmark_group("ablation_grid_style_fit");
+    group.sample_size(15);
+    for (name, grid) in [("adaptive", adaptive), ("uniform", uniform)] {
+        let config = ModelConfig::builder().grid(grid).build().expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, &config| {
+            b.iter(|| black_box(TransitionModel::fit(&history, config).expect("fit succeeds")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_ablation, bench_grid_style_ablation);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Head-to-head per-observation cost of the paper's model versus the
+//! baseline detectors, on the same trained pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gridwatch_baselines::{
+    GmmDetector, LinearInvariantDetector, MarkovDetector, PairDetector, ZScoreDetector,
+};
+use gridwatch_bench::{pair_series, test_points, trace};
+
+fn bench_baselines(c: &mut Criterion) {
+    let trace = trace(2);
+    let history = pair_series(&trace, 8);
+    let points = test_points(&trace);
+
+    let detectors: Vec<Box<dyn Fn() -> Box<dyn PairDetector>>> = vec![
+        Box::new(|| Box::new(LinearInvariantDetector::default())),
+        Box::new(|| Box::new(GmmDetector::default())),
+        Box::new(|| Box::new(ZScoreDetector::default())),
+        Box::new(|| Box::new(MarkovDetector::default())),
+    ];
+
+    let mut group = c.benchmark_group("detector_observe");
+    group.sample_size(20);
+    for make in &detectors {
+        let name = make().name();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &history, |b, history| {
+            b.iter_batched(
+                || {
+                    let mut d = make();
+                    d.fit(history).expect("fit succeeds");
+                    d
+                },
+                |mut d| {
+                    for &p in &points {
+                        black_box(d.observe(p));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut fit_group = c.benchmark_group("detector_fit");
+    fit_group.sample_size(10);
+    for make in &detectors {
+        let name = make().name();
+        fit_group.bench_with_input(BenchmarkId::from_parameter(name), &history, |b, history| {
+            b.iter(|| {
+                let mut d = make();
+                d.fit(history).expect("fit succeeds");
+                black_box(d)
+            });
+        });
+    }
+    fit_group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

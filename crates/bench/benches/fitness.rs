@@ -1,0 +1,39 @@
+//! Cost of one fitness evaluation: posterior row materialization plus
+//! rank computation, as the grid size `s` and the number of distinct
+//! observed destinations grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gridwatch_core::fitness::score_row;
+use gridwatch_core::{DecayKernel, TransitionMatrix};
+use gridwatch_grid::{CellId, GridStructure};
+
+fn bench_fitness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fitness_row_and_rank");
+    group.sample_size(50);
+    for side in [10usize, 20, 30] {
+        let grid = GridStructure::uniform((0.0, 1.0), (0.0, 1.0), side, side);
+        let s = grid.cell_count();
+        for destinations in [5usize, 50] {
+            let mut matrix = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+            for k in 0..500 {
+                matrix.observe(CellId(0), CellId((k * 7) % destinations.min(s)));
+            }
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("s{}_dest{}", s, destinations)),
+                &matrix,
+                |b, matrix| {
+                    b.iter(|| {
+                        let row = matrix.compute_row(&grid, CellId(0));
+                        black_box(score_row(&row, CellId(s / 2)))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fitness);
+criterion_main!(benches);

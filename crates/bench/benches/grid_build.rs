@@ -1,0 +1,45 @@
+//! Cost of the MAFIA-style adaptive grid construction (Section 4.1)
+//! versus history size, and versus the uniform-grid fallback.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gridwatch_grid::{GridBuilder, GridConfig};
+use gridwatch_timeseries::Point2;
+
+fn history(n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|k| {
+            let t = k as f64 / 57.0;
+            Point2::new(
+                50.0 + 30.0 * t.sin() + (k % 13) as f64 * 0.3,
+                100.0 + 80.0 * (t * 0.7).cos() + (k % 7) as f64 * 0.5,
+            )
+        })
+        .collect()
+}
+
+fn bench_grid_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_build");
+    group.sample_size(30);
+    for n in [1_000usize, 10_000, 50_000] {
+        let pts = history(n);
+        group.bench_with_input(BenchmarkId::new("adaptive", n), &pts, |b, pts| {
+            let builder = GridBuilder::new(GridConfig::default());
+            b.iter(|| black_box(builder.build(pts).expect("grid builds")));
+        });
+        group.bench_with_input(BenchmarkId::new("fine_units", n), &pts, |b, pts| {
+            let config = GridConfig::builder()
+                .units_per_dimension(200)
+                .max_intervals(64)
+                .build()
+                .expect("valid config");
+            let builder = GridBuilder::new(config);
+            b.iter(|| black_box(builder.build(pts).expect("grid builds")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_build);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 13(b): the per-sample online updating cost as a function of
+//! the training-set size. The paper reports < 2.5 ms/sample for 9- and
+//! 15-day training and < 23 ms/sample worst case for 1-day training
+//! (more frequent online adaptation); the shape claim is that one model
+//! update is far below the 6-minute sampling budget, with the smallest
+//! training set the slowest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gridwatch_bench::{test_points, trace, trained_model};
+
+fn bench_update_time(c: &mut Criterion) {
+    let trace = trace(2);
+    let points = test_points(&trace);
+    let mut group = c.benchmark_group("fig13b_observe_per_sample");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for train_days in [1u64, 8, 15] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{train_days}d_training")),
+            &train_days,
+            |b, &days| {
+                b.iter_batched(
+                    || trained_model(&trace, days),
+                    |mut model| {
+                        for &p in &points {
+                            black_box(model.observe(p));
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_time);
+criterion_main!(benches);

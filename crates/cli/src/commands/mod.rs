@@ -1,0 +1,49 @@
+//! The CLI subcommands.
+
+pub mod inspect;
+pub mod monitor;
+pub mod simulate;
+pub mod train;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use gridwatch_sim::Trace;
+use gridwatch_timeseries::{MeasurementId, TimeSeries, Timestamp};
+
+/// Loads a CSV trace from a file.
+pub fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Trace::read_csv(std::io::BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Writes a string to a file, creating parent directories.
+pub fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create directory for {path}: {e}"))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// A trace's series truncated to `[start, end)` per measurement.
+pub fn trace_window(
+    trace: &Trace,
+    start: Timestamp,
+    end: Timestamp,
+) -> BTreeMap<MeasurementId, TimeSeries> {
+    trace
+        .measurement_ids()
+        .map(|id| {
+            (
+                id,
+                trace
+                    .series(id)
+                    .expect("id from this trace")
+                    .slice(start, end),
+            )
+        })
+        .collect()
+}

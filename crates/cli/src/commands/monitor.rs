@@ -1,0 +1,93 @@
+//! `gridwatch monitor` — stream a time range of a trace through a
+//! persisted engine, printing alarms and incident drill-downs.
+
+use gridwatch_detect::{DetectionEngine, EngineSnapshot, IncidentReport, Snapshot};
+use gridwatch_timeseries::Timestamp;
+
+use crate::commands::{load_trace, write_file};
+use crate::flags::Flags;
+
+const HELP: &str = "\
+gridwatch monitor --trace FILE --engine FILE [flags]
+
+  --trace FILE              CSV monitoring data
+  --engine FILE             engine snapshot from `gridwatch train`
+  --from-day N              first day to stream (default 15 = June 13)
+  --days N                  days to stream      (default 1)
+  --system-threshold X      alarm when Q_t < X            (default 0.6)
+  --measurement-threshold X alarm when Q^a_t < X          (default 0.5)
+  --consecutive N           debounce: N consecutive lows  (default 2)
+  --incidents               print a full incident report per alarm
+  --save FILE               write the updated engine snapshot back";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &["incidents"])?;
+    let trace_path: String = flags.require("trace")?;
+    let engine_path: String = flags.require("engine")?;
+    let from_day: u64 = flags.get_or("from-day", 15)?;
+    let days: u64 = flags.get_or("days", 1)?;
+
+    let trace = load_trace(&trace_path)?;
+    let json = std::fs::read_to_string(&engine_path)
+        .map_err(|e| format!("cannot read {engine_path}: {e}"))?;
+    let mut snapshot: EngineSnapshot =
+        serde_json::from_str(&json).map_err(|e| format!("cannot parse {engine_path}: {e}"))?;
+    snapshot.config.alarm.system_threshold =
+        flags.get_or("system-threshold", snapshot.config.alarm.system_threshold)?;
+    snapshot.config.alarm.measurement_threshold = flags.get_or(
+        "measurement-threshold",
+        snapshot.config.alarm.measurement_threshold,
+    )?;
+    snapshot.config.alarm.min_consecutive =
+        flags.get_or("consecutive", snapshot.config.alarm.min_consecutive)?;
+    let mut engine = DetectionEngine::from_snapshot(snapshot);
+
+    let start = Timestamp::from_days(from_day);
+    let end = Timestamp::from_days(from_day + days);
+    let mut ticks = 0usize;
+    let mut alarms = 0usize;
+    let mut q_min: Option<(Timestamp, f64)> = None;
+    for t in trace.interval().ticks(start, end) {
+        let mut snap = Snapshot::new(t);
+        for id in trace.measurement_ids() {
+            if let Some(v) = trace.series(id).expect("id from trace").value_at(t) {
+                snap.insert(id, v);
+            }
+        }
+        if snap.is_empty() {
+            continue;
+        }
+        ticks += 1;
+        let report = engine.step(&snap);
+        if let Some(q) = report.scores.system_score() {
+            if q_min.is_none_or(|(_, min)| q < min) {
+                q_min = Some((t, q));
+            }
+        }
+        for alarm in &report.alarms {
+            alarms += 1;
+            println!("ALARM {alarm}");
+        }
+        if !report.alarms.is_empty() && flags.has("incidents") {
+            println!("{}", IncidentReport::compile(&engine, &report.scores, 3));
+        }
+    }
+    println!(
+        "monitored {ticks} snapshots over day {from_day}..{}; {alarms} alarms",
+        from_day + days
+    );
+    if let Some((t, q)) = q_min {
+        println!("lowest system fitness: {q:.4} at {t}");
+    }
+    if let Some(save) = flags.get::<String>("save")? {
+        let json = serde_json::to_string(&engine.snapshot())
+            .map_err(|e| format!("cannot serialize engine: {e}"))?;
+        write_file(&save, &json)?;
+        println!("updated engine snapshot written to {save}");
+    }
+    Ok(())
+}

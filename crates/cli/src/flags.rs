@@ -1,0 +1,130 @@
+//! A minimal `--key value` / `--switch` flag parser (no external
+//! dependencies, per the workspace's dependency policy).
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `args`, treating names in `switches` as boolean flags and
+    /// everything else starting with `--` as `--key value`.
+    pub fn parse(args: &[String], switches: &[&str]) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            if switches.contains(&name) {
+                flags.switches.push(name.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                flags.values.insert(name.to_string(), value.clone());
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A required flag value, parsed.
+    pub fn require<T: FromStr>(&self, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self
+            .values
+            .get(name)
+            .ok_or_else(|| format!("--{name} is required"))?;
+        raw.parse()
+            .map_err(|e| format!("bad value for --{name}: {e}"))
+    }
+
+    /// An optional flag value with a default, parsed.
+    pub fn get_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("bad value for --{name}: {e}")),
+        }
+    }
+
+    /// An optional flag value, parsed.
+    pub fn get<T: FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("bad value for --{name}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(
+            &args(&["--days", "3", "--fault", "--out", "x.csv"]),
+            &["fault"],
+        )
+        .unwrap();
+        assert_eq!(f.require::<u64>("days").unwrap(), 3);
+        assert!(f.has("fault"));
+        assert_eq!(f.require::<String>("out").unwrap(), "x.csv");
+        assert!(!f.has("verbose"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Flags::parse(&args(&["--days"]), &[]).unwrap_err();
+        assert!(err.contains("requires a value"));
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        let err = Flags::parse(&args(&["oops"]), &[]).unwrap_err();
+        assert!(err.contains("positional"));
+    }
+
+    #[test]
+    fn defaults_and_optionals() {
+        let f = Flags::parse(&args(&["--seed", "9"]), &[]).unwrap();
+        assert_eq!(f.get_or("machines", 4usize).unwrap(), 4);
+        assert_eq!(f.get::<u64>("seed").unwrap(), Some(9));
+        assert_eq!(f.get::<u64>("days").unwrap(), None);
+        assert!(f.require::<u64>("days").is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag_name() {
+        let f = Flags::parse(&args(&["--days", "three"]), &[]).unwrap();
+        let err = f.require::<u64>("days").unwrap_err();
+        assert!(err.contains("--days"));
+    }
+}

@@ -1,0 +1,61 @@
+//! `gridwatch` — the operator CLI.
+//!
+//! ```text
+//! gridwatch simulate --group A --machines 4 --days 30 --fault --out trace.csv
+//! gridwatch train    --trace trace.csv --train-days 8 --out engine.json
+//! gridwatch monitor  --trace trace.csv --engine engine.json --from-day 15 --days 1
+//! gridwatch inspect  --engine engine.json
+//! ```
+//!
+//! `simulate` generates monitoring data (or bring your own CSV in the
+//! same format); `train` learns one transition-probability model per
+//! screened measurement pair and persists the engine; `monitor` streams
+//! a time range through the engine, printing alarms and incident
+//! drill-downs; `inspect` summarizes a persisted engine.
+
+mod commands;
+mod flags;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: gridwatch <command> [flags]
+
+commands:
+  simulate   generate monitoring data as CSV
+             --out FILE [--group A|B|C] [--machines N] [--days N]
+             [--seed N] [--fault]
+  train      train a detection engine from a CSV trace
+             --trace FILE --out FILE [--train-days N] [--max-pairs N]
+             [--min-cv X] [--delta X]
+  monitor    stream a time range through a persisted engine
+             --trace FILE --engine FILE [--from-day N] [--days N]
+             [--system-threshold X] [--measurement-threshold X]
+             [--consecutive N] [--incidents] [--save FILE]
+  inspect    summarize a persisted engine
+             --engine FILE [--verbose]
+
+run `gridwatch <command> --help` for details";
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let command = args.remove(0);
+    let result = match command.as_str() {
+        "simulate" => commands::simulate::run(&args),
+        "train" => commands::train::run(&args),
+        "monitor" => commands::monitor::run(&args),
+        "inspect" => commands::inspect::run(&args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gridwatch {command}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

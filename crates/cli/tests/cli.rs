@@ -1,0 +1,116 @@
+//! End-to-end CLI tests: simulate → train → monitor → inspect through
+//! the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gridwatch"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridwatch_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn full_workflow_detects_the_injected_fault() {
+    let dir = tmp_dir("workflow");
+    let trace = dir.join("trace.csv").to_string_lossy().to_string();
+    let engine = dir.join("engine.json").to_string_lossy().to_string();
+    let updated = dir.join("engine2.json").to_string_lossy().to_string();
+
+    // Simulate 16 days with the Figure-12 fault on day 15.
+    let out = run_ok(bin().args([
+        "simulate", "--out", &trace, "--group", "A", "--machines", "3", "--days", "16",
+        "--seed", "7", "--fault",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("ground-truth fault window"), "{text}");
+
+    // Train on the first 8 days.
+    let out = run_ok(bin().args([
+        "train", "--trace", &trace, "--out", &engine, "--train-days", "8",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("trained"), "{text}");
+
+    // Monitor the fault day; the injected break must alarm.
+    let out = run_ok(bin().args([
+        "monitor", "--trace", &trace, "--engine", &engine, "--from-day", "15",
+        "--days", "1", "--system-threshold", "0.0", "--measurement-threshold", "0.55",
+        "--incidents", "--save", &updated,
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("ALARM"), "no alarm raised:\n{text}");
+    assert!(text.contains("incident report"), "{text}");
+    assert!(text.contains("updated engine snapshot"), "{text}");
+
+    // Inspect both snapshots.
+    let out = run_ok(bin().args(["inspect", "--engine", &engine]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("pair models"), "{text}");
+    let out = run_ok(bin().args(["inspect", "--engine", &updated, "--verbose"]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("grid "), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_and_errors() {
+    // Top-level help.
+    let out = run_ok(bin().arg("--help"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: gridwatch"));
+    // Per-command help.
+    let out = run_ok(bin().args(["simulate", "--help"]));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--out FILE"));
+    // Unknown command fails.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    // Missing required flag fails.
+    let out = bin().arg("train").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace is required"));
+    // Unreadable trace fails cleanly.
+    let out = bin()
+        .args(["train", "--trace", "/no/such/file.csv", "--out", "/tmp/x.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}
+
+#[test]
+fn clean_monitoring_is_quiet() {
+    let dir = tmp_dir("quiet");
+    let trace = dir.join("trace.csv").to_string_lossy().to_string();
+    let engine = dir.join("engine.json").to_string_lossy().to_string();
+    run_ok(bin().args([
+        "simulate", "--out", &trace, "--group", "B", "--machines", "2", "--days", "16",
+        "--seed", "11",
+    ]));
+    run_ok(bin().args([
+        "train", "--trace", &trace, "--out", &engine, "--train-days", "8",
+    ]));
+    let out = run_ok(bin().args([
+        "monitor", "--trace", &trace, "--engine", &engine, "--from-day", "15", "--days", "1",
+        "--system-threshold", "0.6", "--measurement-threshold", "0.3", "--consecutive", "2",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("0 alarms"), "clean day must stay quiet:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use gridwatch_grid::GridError;
+
+/// Errors produced while fitting or updating a transition model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The underlying grid could not be built.
+    Grid(GridError),
+    /// The history pair series had fewer than two points, so no transition
+    /// could be observed.
+    InsufficientHistory {
+        /// How many points were provided.
+        points: usize,
+    },
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Description of the offending parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Grid(e) => write!(f, "grid construction failed: {e}"),
+            ModelError::InsufficientHistory { points } => write!(
+                f,
+                "history must contain at least 2 points to observe a transition, got {points}"
+            ),
+            ModelError::InvalidConfig { reason } => {
+                write!(f, "invalid model configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Grid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GridError> for ModelError {
+    fn from(e: GridError) -> Self {
+        ModelError::Grid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::from(GridError::EmptyHistory);
+        assert!(e.to_string().contains("grid construction failed"));
+        assert!(e.source().is_some());
+        let e = ModelError::InsufficientHistory { points: 1 };
+        assert!(e.to_string().contains("at least 2"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<ModelError>();
+    }
+}

@@ -1,0 +1,172 @@
+//! Tests for the count-decay forgetting extension: old observations fade
+//! so the model tracks slowly drifting systems.
+
+use gridwatch_core::{DecayKernel, ModelConfig, TransitionMatrix, TransitionModel};
+use gridwatch_grid::{CellId, GridStructure};
+use gridwatch_timeseries::{PairSeries, Point2};
+
+#[test]
+fn decay_shrinks_counts_and_totals() {
+    let mut v = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+    for _ in 0..100 {
+        v.observe(CellId(0), CellId(1));
+    }
+    v.observe(CellId(0), CellId(2)); // a rare transition
+    assert_eq!(v.total_observations(), 101);
+    v.decay_counts(0.5);
+    assert_eq!(v.count(CellId(0), CellId(1)), 50);
+    // The single rare observation rounds to 1 at factor 0.5.
+    assert_eq!(v.count(CellId(0), CellId(2)), 1);
+    assert_eq!(v.total_observations(), 51);
+}
+
+#[test]
+fn decay_drops_rare_entries_entirely() {
+    let mut v = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+    v.observe(CellId(3), CellId(4));
+    v.decay_counts(0.25); // 1 * 0.25 rounds to 0
+    assert_eq!(v.count(CellId(3), CellId(4)), 0);
+    assert_eq!(v.total_observations(), 0);
+    assert_eq!(v.observed_rows(), 0);
+}
+
+#[test]
+fn factor_one_is_a_noop() {
+    let mut v = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+    v.observe(CellId(0), CellId(1));
+    let before = v.clone();
+    v.decay_counts(1.0);
+    assert_eq!(v, before);
+}
+
+#[test]
+#[should_panic(expected = "forgetting factor")]
+fn invalid_factor_panics() {
+    let mut v = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+    v.decay_counts(0.0);
+}
+
+#[test]
+fn decay_renormalizes_rows_toward_prior() {
+    let grid = GridStructure::uniform((0.0, 3.0), (0.0, 3.0), 3, 3);
+    let mut v = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+    for _ in 0..50 {
+        v.observe(CellId(4), CellId(0));
+    }
+    let peaked = v.row(&grid, CellId(4))[0];
+    v.decay_counts(0.1); // 50 -> 5
+    let softened = v.row(&grid, CellId(4))[0];
+    assert!(
+        softened < peaked,
+        "decayed evidence must soften the posterior: {softened} < {peaked}"
+    );
+    let sum: f64 = v.row(&grid, CellId(4)).iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn model_applies_forgetting_on_schedule() {
+    let history = PairSeries::from_samples((0..200u64).map(|k| {
+        let x = (k % 40) as f64;
+        (k * 360, x, 2.0 * x)
+    }))
+    .unwrap();
+    let config = ModelConfig::builder()
+        .forgetting_factor(0.5)
+        .forgetting_period(10)
+        .build()
+        .unwrap();
+    let mut model = TransitionModel::fit(&history, config).unwrap();
+    let before = model.matrix().total_observations();
+    // Nine observations: no decay yet (total grows by 9).
+    for k in 0..9u64 {
+        model.observe(Point2::new((k % 40) as f64, 2.0 * (k % 40) as f64));
+    }
+    assert_eq!(model.matrix().total_observations(), before + 9);
+    // The tenth observation triggers the decay pass.
+    model.observe(Point2::new(9.0, 18.0));
+    assert!(
+        model.matrix().total_observations() < before,
+        "decay should roughly halve {} learned transitions, got {}",
+        before,
+        model.matrix().total_observations()
+    );
+}
+
+#[test]
+fn forgetting_resolves_conflicting_evidence_in_a_row() {
+    // The situation forgetting exists for: a row holds heavy *old*
+    // evidence toward destination A; the regime changes and fresh
+    // evidence points to destination B. Without decay the stale counts
+    // keep winning; with periodic decay the fresh counts take over.
+    let grid = GridStructure::uniform((0.0, 3.0), (0.0, 3.0), 3, 3);
+    let (from, dest_a, dest_b) = (CellId(4), CellId(1), CellId(7));
+
+    let mut with_decay = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+    let mut without = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+    for _ in 0..200 {
+        with_decay.observe(from, dest_a);
+        without.observe(from, dest_a);
+    }
+    // Time passes: four daily forgetting passes at factor 0.5 shrink the
+    // stale evidence 200 -> 12 in the decaying matrix only.
+    for _ in 0..4 {
+        with_decay.decay_counts(0.5);
+    }
+    // The new regime produces fresh evidence toward B.
+    for _ in 0..50 {
+        with_decay.observe(from, dest_b);
+        without.observe(from, dest_b);
+    }
+    let decayed_row = with_decay.row(&grid, from).to_vec();
+    let stale_row = without.row(&grid, from).to_vec();
+    assert!(
+        decayed_row[dest_b.index()] > decayed_row[dest_a.index()],
+        "with forgetting, fresh evidence wins: {decayed_row:?}"
+    );
+    assert!(
+        stale_row[dest_a.index()] > stale_row[dest_b.index()],
+        "without forgetting, stale evidence still wins: {stale_row:?}"
+    );
+}
+
+#[test]
+fn forgetting_bounds_total_evidence() {
+    // With decay factor f every period P, total counts converge instead
+    // of growing without bound — the model's memory footprint is capped.
+    let history = PairSeries::from_samples((0..200u64).map(|k| {
+        let x = (k % 40) as f64;
+        (k * 360, x, 2.0 * x)
+    }))
+    .unwrap();
+    let config = ModelConfig::builder()
+        .forgetting_factor(0.5)
+        .forgetting_period(100)
+        .build()
+        .unwrap();
+    let mut model = TransitionModel::fit(&history, config).unwrap();
+    let mut peak = 0u64;
+    for k in 0..2000u64 {
+        let x = (k % 40) as f64;
+        model.observe(Point2::new(x, 2.0 * x));
+        peak = peak.max(model.matrix().total_observations());
+    }
+    // Steady state: at most initial + P/(1-f) + slack.
+    let bound = 199 + 200 + 50;
+    assert!(
+        peak < bound,
+        "evidence must stay bounded: peak {peak} vs bound {bound}"
+    );
+}
+
+#[test]
+fn config_rejects_bad_forgetting_parameters() {
+    assert!(ModelConfig::builder().forgetting_factor(0.0).build().is_err());
+    assert!(ModelConfig::builder().forgetting_factor(1.5).build().is_err());
+    assert!(ModelConfig::builder().forgetting_period(0).build().is_err());
+    assert!(ModelConfig::builder()
+        .forgetting_factor(0.9)
+        .forgetting_period(100)
+        .build()
+        .is_ok());
+}

@@ -1,0 +1,210 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::{MeasurementId, Timestamp};
+
+use crate::config::AlarmPolicy;
+use crate::scores::ScoreBoard;
+
+/// The scope an alarm refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AlarmLevel {
+    /// The system-wide score `Q_t` dropped below the threshold.
+    System,
+    /// One measurement's score `Q^a_t` dropped below the threshold.
+    Measurement(MeasurementId),
+}
+
+impl fmt::Display for AlarmLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlarmLevel::System => write!(f, "system"),
+            AlarmLevel::Measurement(id) => write!(f, "measurement {id}"),
+        }
+    }
+}
+
+/// An alarm raised by the detection engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlarmEvent {
+    /// When the alarm fired.
+    pub at: Timestamp,
+    /// What it refers to.
+    pub level: AlarmLevel,
+    /// The fitness score that triggered it.
+    pub score: f64,
+    /// The threshold it violated.
+    pub threshold: f64,
+}
+
+impl fmt::Display for AlarmEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} fitness {:.4} below threshold {:.4}",
+            self.at, self.level, self.score, self.threshold
+        )
+    }
+}
+
+/// Stateful alarm generation with debouncing: a subject must stay below
+/// its threshold for `min_consecutive` successive samples before an alarm
+/// fires, and re-arms once it recovers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlarmTracker {
+    /// Consecutive below-threshold samples per subject.
+    streaks: BTreeMap<AlarmLevel, u32>,
+}
+
+impl AlarmTracker {
+    /// Creates a tracker with no active streaks.
+    pub fn new() -> Self {
+        AlarmTracker::default()
+    }
+
+    /// Evaluates one score board against the policy and returns the
+    /// alarms that fire at this instant.
+    pub fn evaluate(&mut self, board: &ScoreBoard, policy: &AlarmPolicy) -> Vec<AlarmEvent> {
+        let mut alarms = Vec::new();
+        if let Some(q) = board.system_score() {
+            self.track(
+                AlarmLevel::System,
+                q,
+                policy.system_threshold,
+                policy.min_consecutive,
+                board.at(),
+                &mut alarms,
+            );
+        }
+        for (id, q) in board.measurement_scores() {
+            self.track(
+                AlarmLevel::Measurement(id),
+                q,
+                policy.measurement_threshold,
+                policy.min_consecutive,
+                board.at(),
+                &mut alarms,
+            );
+        }
+        alarms
+    }
+
+    fn track(
+        &mut self,
+        level: AlarmLevel,
+        score: f64,
+        threshold: f64,
+        min_consecutive: u32,
+        at: Timestamp,
+        alarms: &mut Vec<AlarmEvent>,
+    ) {
+        if score < threshold {
+            let streak = self.streaks.entry(level).or_insert(0);
+            *streak += 1;
+            // Fire exactly once when the streak reaches the debounce
+            // length; a continuing violation does not refire until
+            // recovery re-arms it.
+            if *streak == min_consecutive.max(1) {
+                alarms.push(AlarmEvent {
+                    at,
+                    level,
+                    score,
+                    threshold,
+                });
+            }
+        } else {
+            self.streaks.remove(&level);
+        }
+    }
+
+    /// Whether a subject is currently in a below-threshold streak.
+    pub fn is_active(&self, level: AlarmLevel) -> bool {
+        self.streaks.contains_key(&level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_timeseries::{MachineId, MeasurementPair, MetricKind};
+
+    fn board_with_system_score(at: u64, q: f64) -> ScoreBoard {
+        let a = MeasurementId::new(MachineId::new(0), MetricKind::Custom(0));
+        let b = MeasurementId::new(MachineId::new(1), MetricKind::Custom(0));
+        let mut board = ScoreBoard::new(Timestamp::from_secs(at));
+        board.record(MeasurementPair::new(a, b).unwrap(), q);
+        board
+    }
+
+    fn policy(threshold: f64, consecutive: u32) -> AlarmPolicy {
+        AlarmPolicy {
+            system_threshold: threshold,
+            measurement_threshold: 0.0, // disabled in these tests
+            min_consecutive: consecutive,
+        }
+    }
+
+    #[test]
+    fn fires_immediately_with_consecutive_one() {
+        let mut tracker = AlarmTracker::new();
+        let alarms = tracker.evaluate(&board_with_system_score(0, 0.3), &policy(0.5, 1));
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].level, AlarmLevel::System);
+        assert!(tracker.is_active(AlarmLevel::System));
+    }
+
+    #[test]
+    fn debounce_waits_for_streak() {
+        let mut tracker = AlarmTracker::new();
+        let p = policy(0.5, 3);
+        assert!(tracker.evaluate(&board_with_system_score(0, 0.3), &p).is_empty());
+        assert!(tracker.evaluate(&board_with_system_score(1, 0.3), &p).is_empty());
+        let alarms = tracker.evaluate(&board_with_system_score(2, 0.3), &p);
+        assert_eq!(alarms.len(), 1);
+        // Continuing violation does not refire.
+        assert!(tracker.evaluate(&board_with_system_score(3, 0.3), &p).is_empty());
+    }
+
+    #[test]
+    fn recovery_rearms() {
+        let mut tracker = AlarmTracker::new();
+        let p = policy(0.5, 1);
+        assert_eq!(tracker.evaluate(&board_with_system_score(0, 0.3), &p).len(), 1);
+        assert!(tracker.evaluate(&board_with_system_score(1, 0.9), &p).is_empty());
+        assert!(!tracker.is_active(AlarmLevel::System));
+        assert_eq!(tracker.evaluate(&board_with_system_score(2, 0.3), &p).len(), 1);
+    }
+
+    #[test]
+    fn healthy_scores_never_alarm() {
+        let mut tracker = AlarmTracker::new();
+        for k in 0..10 {
+            assert!(tracker
+                .evaluate(&board_with_system_score(k, 0.95), &policy(0.5, 1))
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn measurement_level_alarms_name_the_measurement() {
+        let a = MeasurementId::new(MachineId::new(0), MetricKind::Custom(0));
+        let b = MeasurementId::new(MachineId::new(1), MetricKind::Custom(0));
+        let mut board = ScoreBoard::new(Timestamp::EPOCH);
+        board.record(MeasurementPair::new(a, b).unwrap(), 0.1);
+        let mut tracker = AlarmTracker::new();
+        let p = AlarmPolicy {
+            system_threshold: 0.0,
+            measurement_threshold: 0.5,
+            min_consecutive: 1,
+        };
+        let alarms = tracker.evaluate(&board, &p);
+        assert_eq!(alarms.len(), 2);
+        assert!(alarms
+            .iter()
+            .all(|e| matches!(e.level, AlarmLevel::Measurement(_))));
+        let display = alarms[0].to_string();
+        assert!(display.contains("below threshold"));
+    }
+}

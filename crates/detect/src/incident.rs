@@ -1,0 +1,221 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::{MachineId, MeasurementId, Timestamp};
+
+use crate::engine::DetectionEngine;
+use crate::localize::Localizer;
+use crate::scores::ScoreBoard;
+
+/// A fully drilled-down incident report for one sampling instant — the
+/// artifact a system administrator would act on.
+///
+/// The paper's Section 5 describes the workflow this type automates:
+/// "If the average score deviates from the normal state, the
+/// administrators can drill down to `Q^a` or even `Q^{a,b}` to locate
+/// the specific components where system errors occur", and the model
+/// "can output the problematic measurement ranges, which are useful for
+/// human debugging". An [`IncidentReport`] bundles all three levels plus
+/// the offending value ranges of the worst pairs.
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_detect::{DetectionEngine, EngineConfig, IncidentReport, Snapshot};
+/// use gridwatch_timeseries::{
+///     MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+/// };
+///
+/// let a = MeasurementId::new(MachineId::new(0), MetricKind::CpuUtilization);
+/// let b = MeasurementId::new(MachineId::new(0), MetricKind::MemoryUsage);
+/// let pair = MeasurementPair::new(a, b).unwrap();
+/// let history = PairSeries::from_samples(
+///     (0..200u64).map(|k| (k * 360, (k % 40) as f64, 2.0 * (k % 40) as f64)),
+/// )?;
+/// let mut engine = DetectionEngine::train(vec![(pair, history)], EngineConfig::default())?;
+///
+/// let mut snap = Snapshot::new(Timestamp::from_secs(200 * 360));
+/// snap.insert(a, 20.0);
+/// snap.insert(b, 40.0);
+/// let report = engine.step(&snap);
+/// let incident = IncidentReport::compile(&engine, &report.scores, 3);
+/// assert_eq!(incident.at, snap.at());
+/// println!("{incident}");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentReport {
+    /// The sampling instant this report describes.
+    pub at: Timestamp,
+    /// The system-level fitness `Q_t`, if any pair scored.
+    pub system_score: Option<f64>,
+    /// The most suspect machines, worst first.
+    pub suspect_machines: Vec<(MachineId, f64)>,
+    /// The most suspect measurements, worst first (capped).
+    pub suspect_measurements: Vec<(MeasurementId, f64)>,
+    /// The lowest-scoring pairs with their current cell value ranges
+    /// (the paper's "problematic measurement ranges"), worst first
+    /// (capped).
+    pub worst_pairs: Vec<PairFinding>,
+}
+
+/// One low-scoring pair within an incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairFinding {
+    /// The two measurements, rendered as text.
+    pub pair: String,
+    /// The pair's fitness `Q^{a,b}_t`.
+    pub fitness: f64,
+    /// The cell value ranges the trajectory currently occupies, if the
+    /// pair's model has context (e.g. `[22588, 45128) & [102940, 137220)`).
+    pub ranges: Option<String>,
+}
+
+impl IncidentReport {
+    /// Compiles a report from the engine and one step's score board,
+    /// keeping at most `top` suspects per section.
+    pub fn compile(engine: &DetectionEngine, board: &ScoreBoard, top: usize) -> Self {
+        let suspect_machines = Localizer::rank_machines(board)
+            .into_iter()
+            .take(top)
+            .map(|s| (s.machine, s.score))
+            .collect();
+        let suspect_measurements = Localizer::rank_measurements(board)
+            .into_iter()
+            .take(top)
+            .map(|s| (s.id, s.score))
+            .collect();
+        let mut pair_scores: Vec<_> = board.pair_scores().collect();
+        pair_scores.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+        let worst_pairs = pair_scores
+            .into_iter()
+            .take(top)
+            .map(|(pair, fitness)| PairFinding {
+                pair: pair.to_string(),
+                fitness,
+                ranges: engine.explain(pair).map(|r| r.to_string()),
+            })
+            .collect();
+        IncidentReport {
+            at: board.at(),
+            system_score: board.system_score(),
+            suspect_machines,
+            suspect_measurements,
+            worst_pairs,
+        }
+    }
+
+    /// Per-machine scores as a map (convenience for dashboards).
+    pub fn machine_map(&self) -> BTreeMap<MachineId, f64> {
+        self.suspect_machines.iter().copied().collect()
+    }
+}
+
+impl fmt::Display for IncidentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "incident report @ {}", self.at)?;
+        match self.system_score {
+            Some(q) => writeln!(f, "  system fitness Q_t = {q:.4}")?,
+            None => writeln!(f, "  system fitness Q_t = n/a (no pairs scored)")?,
+        }
+        writeln!(f, "  suspect machines:")?;
+        for (m, q) in &self.suspect_machines {
+            writeln!(f, "    {m}: {q:.4}")?;
+        }
+        writeln!(f, "  suspect measurements:")?;
+        for (id, q) in &self.suspect_measurements {
+            writeln!(f, "    {id}: {q:.4}")?;
+        }
+        writeln!(f, "  worst pairs:")?;
+        for p in &self.worst_pairs {
+            write!(f, "    {} fitness {:.4}", p.pair, p.fitness)?;
+            if let Some(r) = &p.ranges {
+                write!(f, " in ranges {r}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, Snapshot};
+    use gridwatch_timeseries::{MeasurementPair, MetricKind, PairSeries};
+
+    fn id(machine: u32, tag: u16) -> MeasurementId {
+        MeasurementId::new(MachineId::new(machine), MetricKind::Custom(tag))
+    }
+
+    fn engine_with_context() -> (DetectionEngine, ScoreBoard) {
+        let a = id(0, 0);
+        let b = id(0, 1);
+        let c = id(1, 0);
+        let mk = |x: MeasurementId, y: MeasurementId, scale: f64| {
+            let pair = MeasurementPair::new(x, y).unwrap();
+            let history = PairSeries::from_samples((0..200u64).map(|k| {
+                let v = (k % 40) as f64 + 1.0;
+                (k * 360, v, scale * v)
+            }))
+            .unwrap();
+            (pair, history)
+        };
+        let mut engine = DetectionEngine::train(
+            vec![mk(a, b, 2.0), mk(a, c, 3.0)],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let mut snap = Snapshot::new(Timestamp::from_secs(200 * 360));
+        snap.insert(a, 20.0);
+        snap.insert(b, 40.0);
+        snap.insert(c, 0.5); // break a-c
+        let report = engine.step(&snap);
+        (engine, report.scores)
+    }
+
+    #[test]
+    fn compile_orders_worst_first_and_caps() {
+        let (engine, board) = engine_with_context();
+        let incident = IncidentReport::compile(&engine, &board, 1);
+        assert_eq!(incident.worst_pairs.len(), 1);
+        assert_eq!(incident.suspect_measurements.len(), 1);
+        // The broken measurement c is the prime suspect.
+        assert_eq!(incident.suspect_measurements[0].0, id(1, 0));
+        // The worst pair includes its current cell ranges.
+        assert!(incident.worst_pairs[0].ranges.is_some());
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let (engine, board) = engine_with_context();
+        let incident = IncidentReport::compile(&engine, &board, 3);
+        let text = incident.to_string();
+        assert!(text.contains("incident report @"));
+        assert!(text.contains("system fitness"));
+        assert!(text.contains("suspect machines"));
+        assert!(text.contains("worst pairs"));
+    }
+
+    #[test]
+    fn empty_board_compiles_to_empty_report() {
+        let (engine, _) = engine_with_context();
+        let board = ScoreBoard::new(Timestamp::EPOCH);
+        let incident = IncidentReport::compile(&engine, &board, 3);
+        assert_eq!(incident.system_score, None);
+        assert!(incident.suspect_machines.is_empty());
+        assert!(incident.worst_pairs.is_empty());
+        assert!(incident.to_string().contains("n/a"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (engine, board) = engine_with_context();
+        let incident = IncidentReport::compile(&engine, &board, 3);
+        let json = serde_json::to_string(&incident).unwrap();
+        let back: IncidentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(incident, back);
+    }
+}

@@ -1,0 +1,152 @@
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::{MachineId, MeasurementId};
+
+use crate::scores::ScoreBoard;
+
+/// A measurement ranked as a problem suspect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuspectMeasurement {
+    /// The measurement.
+    pub id: MeasurementId,
+    /// Its fitness score `Q^a_t` (lower = more suspect).
+    pub score: f64,
+}
+
+/// A machine ranked as a problem suspect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuspectMachine {
+    /// The machine.
+    pub machine: MachineId,
+    /// Its average fitness score (lower = more suspect).
+    pub score: f64,
+}
+
+/// Problem localization: the drill-down from a system alarm to the
+/// offending measurement or machine.
+///
+/// "If the average score deviates from the normal state, the
+/// administrators can drill down to `Q^a` or even `Q^{a,b}` to locate the
+/// specific components where system errors occur" (Section 5); Figure 14
+/// plots the per-machine averages with the faulty machine clearly lowest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Localizer;
+
+impl Localizer {
+    /// Measurements sorted most-suspect first (ascending score).
+    pub fn rank_measurements(board: &ScoreBoard) -> Vec<SuspectMeasurement> {
+        let mut out: Vec<SuspectMeasurement> = board
+            .measurement_scores()
+            .into_iter()
+            .map(|(id, score)| SuspectMeasurement { id, score })
+            .collect();
+        out.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+        out
+    }
+
+    /// Machines sorted most-suspect first (ascending score).
+    pub fn rank_machines(board: &ScoreBoard) -> Vec<SuspectMachine> {
+        let mut out: Vec<SuspectMachine> = board
+            .machine_scores()
+            .into_iter()
+            .map(|(machine, score)| SuspectMachine { machine, score })
+            .collect();
+        out.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+        out
+    }
+
+    /// The most suspect machine, if any scores exist.
+    pub fn prime_suspect(board: &ScoreBoard) -> Option<SuspectMachine> {
+        Self::rank_machines(board).into_iter().next()
+    }
+
+    /// Measurements ranked by their *drop* relative to a per-measurement
+    /// baseline (most negative drop first).
+    ///
+    /// Absolute scores conflate "inherently hard to predict" with
+    /// "broken": an uncorrelated measurement always scores low. Comparing
+    /// against each measurement's own normal-period baseline isolates the
+    /// change, which is what an administrator actually reacts to.
+    /// Measurements without a baseline entry are ranked by absolute score
+    /// at the end.
+    pub fn rank_measurements_relative(
+        board: &ScoreBoard,
+        baseline: &std::collections::BTreeMap<MeasurementId, f64>,
+    ) -> Vec<SuspectMeasurement> {
+        let mut out: Vec<(f64, SuspectMeasurement)> = board
+            .measurement_scores()
+            .into_iter()
+            .map(|(id, score)| {
+                let key = match baseline.get(&id) {
+                    Some(&b) => score - b,
+                    None => score,
+                };
+                (key, SuspectMeasurement { id, score })
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+        out.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_timeseries::{MeasurementPair, MetricKind, Timestamp};
+
+    fn id(machine: u32, tag: u16) -> MeasurementId {
+        MeasurementId::new(MachineId::new(machine), MetricKind::Custom(tag))
+    }
+
+    fn triangle_board() -> ScoreBoard {
+        // Machine 1's measurement drags every pair it touches down.
+        let (a, b, c) = (id(0, 0), id(0, 1), id(1, 0));
+        let mut board = ScoreBoard::new(Timestamp::EPOCH);
+        board.record(MeasurementPair::new(a, b).unwrap(), 0.95);
+        board.record(MeasurementPair::new(a, c).unwrap(), 0.20);
+        board.record(MeasurementPair::new(b, c).unwrap(), 0.25);
+        board
+    }
+
+    #[test]
+    fn most_suspect_measurement_first() {
+        let suspects = Localizer::rank_measurements(&triangle_board());
+        assert_eq!(suspects[0].id, id(1, 0));
+        assert!(suspects[0].score < suspects[1].score);
+        assert_eq!(suspects.len(), 3);
+    }
+
+    #[test]
+    fn machine_ranking_isolates_faulty_machine() {
+        let machines = Localizer::rank_machines(&triangle_board());
+        assert_eq!(machines[0].machine, MachineId::new(1));
+        assert_eq!(
+            Localizer::prime_suspect(&triangle_board()).unwrap().machine,
+            MachineId::new(1)
+        );
+    }
+
+    #[test]
+    fn relative_ranking_uses_baseline_drop() {
+        // c is always low (baseline 0.25) but stable; b dropped from a
+        // high baseline — b must outrank c as a suspect.
+        let (a, b, c) = (id(0, 0), id(0, 1), id(1, 0));
+        let mut board = ScoreBoard::new(Timestamp::EPOCH);
+        board.record(MeasurementPair::new(a, b).unwrap(), 0.55);
+        board.record(MeasurementPair::new(a, c).unwrap(), 0.60);
+        board.record(MeasurementPair::new(b, c).unwrap(), 0.25);
+        let mut baseline = std::collections::BTreeMap::new();
+        baseline.insert(a, 0.7);
+        baseline.insert(b, 0.95);
+        baseline.insert(c, 0.45);
+        let ranked = Localizer::rank_measurements_relative(&board, &baseline);
+        assert_eq!(ranked[0].id, b, "{ranked:?}");
+    }
+
+    #[test]
+    fn empty_board_yields_no_suspects() {
+        let board = ScoreBoard::new(Timestamp::EPOCH);
+        assert!(Localizer::rank_measurements(&board).is_empty());
+        assert!(Localizer::prime_suspect(&board).is_none());
+    }
+}

@@ -1,0 +1,134 @@
+use serde::{Deserialize, Serialize};
+
+use gridwatch_core::TransitionModel;
+use gridwatch_timeseries::MeasurementPair;
+
+use crate::alarm::AlarmTracker;
+use crate::config::EngineConfig;
+use crate::engine::DetectionEngine;
+
+/// A serializable snapshot of a running [`DetectionEngine`]: its
+/// configuration, every pair model's full state (grid + matrix + online
+/// counters), and the alarm debounce streaks.
+///
+/// Monitoring daemons restart; a snapshot taken before shutdown restores
+/// the engine exactly, so models keep the correlations learned since the
+/// last offline training, with no retraining pass.
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_detect::{DetectionEngine, EngineConfig, EngineSnapshot, Snapshot};
+/// use gridwatch_timeseries::{
+///     MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+/// };
+///
+/// let a = MeasurementId::new(MachineId::new(0), MetricKind::CpuUtilization);
+/// let b = MeasurementId::new(MachineId::new(0), MetricKind::MemoryUsage);
+/// let pair = MeasurementPair::new(a, b).unwrap();
+/// let history = PairSeries::from_samples(
+///     (0..100u64).map(|k| (k * 360, (k % 20) as f64, 3.0 * (k % 20) as f64)),
+/// )?;
+/// let engine = DetectionEngine::train(vec![(pair, history)], EngineConfig::default())?;
+///
+/// let json = serde_json::to_string(&engine.snapshot())?;
+/// let restored: EngineSnapshot = serde_json::from_str(&json)?;
+/// let engine2 = DetectionEngine::from_snapshot(restored);
+/// assert_eq!(engine2.model_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// The engine configuration.
+    pub config: EngineConfig,
+    /// Every pair model's full state, in canonical pair order. (A list
+    /// rather than a map: JSON map keys must be strings, and a
+    /// [`MeasurementPair`] is a structured key.)
+    pub models: Vec<(MeasurementPair, TransitionModel)>,
+    /// The alarm tracker's debounce streaks.
+    pub tracker: AlarmTracker,
+}
+
+impl DetectionEngine {
+    /// Captures the engine's full state for persistence.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            config: *self.config(),
+            models: self
+                .pairs()
+                .map(|p| (p, self.model(p).expect("pair is live").clone()))
+                .collect(),
+            tracker: self.tracker_state().clone(),
+        }
+    }
+
+    /// Restores an engine from a snapshot.
+    ///
+    /// The restored engine's [`DetectionEngine::training_outcome`]
+    /// reports all models as trained and no skips (the skip list is not
+    /// part of the persisted state).
+    pub fn from_snapshot(snapshot: EngineSnapshot) -> Self {
+        DetectionEngine::from_parts(
+            snapshot.config,
+            snapshot.models.into_iter().collect(),
+            snapshot.tracker,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Snapshot;
+    use gridwatch_timeseries::{MachineId, MeasurementId, MetricKind, PairSeries, Timestamp};
+
+    fn trained_engine() -> DetectionEngine {
+        let a = MeasurementId::new(MachineId::new(0), MetricKind::Custom(0));
+        let b = MeasurementId::new(MachineId::new(0), MetricKind::Custom(1));
+        let pair = MeasurementPair::new(a, b).unwrap();
+        let history = PairSeries::from_samples((0..150u64).map(|k| {
+            let x = (k % 30) as f64;
+            (k * 360, x, 2.0 * x + 1.0)
+        }))
+        .unwrap();
+        DetectionEngine::train([(pair, history)], EngineConfig::default()).unwrap()
+    }
+
+    fn snapshot_at(k: u64, x: f64, y: f64) -> Snapshot {
+        let a = MeasurementId::new(MachineId::new(0), MetricKind::Custom(0));
+        let b = MeasurementId::new(MachineId::new(0), MetricKind::Custom(1));
+        let mut s = Snapshot::new(Timestamp::from_secs(150 * 360 + k * 360));
+        s.insert(a, x);
+        s.insert(b, y);
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let mut original = trained_engine();
+        // Advance the original so it has online state.
+        original.step(&snapshot_at(0, 10.0, 21.0));
+
+        let json = serde_json::to_string(&original.snapshot()).unwrap();
+        let restored: EngineSnapshot = serde_json::from_str(&json).unwrap();
+        let mut twin = DetectionEngine::from_snapshot(restored);
+
+        // Both engines must score the next stream identically.
+        for k in 1..20u64 {
+            let snap = snapshot_at(k, (k % 30) as f64, 2.0 * (k % 30) as f64 + 1.0);
+            let a = original.step(&snap);
+            let b = twin.step(&snap);
+            assert_eq!(a.scores, b.scores, "step {k}");
+            assert_eq!(a.alarms, b.alarms, "step {k}");
+        }
+    }
+
+    #[test]
+    fn restored_training_outcome_counts_models() {
+        let engine = trained_engine();
+        let twin = DetectionEngine::from_snapshot(engine.snapshot());
+        assert_eq!(twin.training_outcome().trained, 1);
+        assert!(twin.training_outcome().skipped.is_empty());
+        assert_eq!(twin.model_count(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::{MeasurementId, Timestamp};
+
+/// The values of all monitored measurements at one sampling instant — the
+/// unit of online input to the [`crate::DetectionEngine`].
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_detect::Snapshot;
+/// use gridwatch_timeseries::{MachineId, MeasurementId, MetricKind, Timestamp};
+///
+/// let id = MeasurementId::new(MachineId::new(1), MetricKind::CpuUtilization);
+/// let mut snap = Snapshot::new(Timestamp::from_secs(360));
+/// snap.insert(id, 42.0);
+/// assert_eq!(snap.value(id), Some(42.0));
+/// assert_eq!(snap.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    at: Timestamp,
+    values: BTreeMap<MeasurementId, f64>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot at the given instant.
+    pub fn new(at: Timestamp) -> Self {
+        Snapshot {
+            at,
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// The snapshot's sampling instant.
+    pub fn at(&self) -> Timestamp {
+        self.at
+    }
+
+    /// Records a measurement value. Non-finite values are ignored (a
+    /// sensor glitch must not poison the step).
+    pub fn insert(&mut self, id: MeasurementId, value: f64) {
+        if value.is_finite() {
+            self.values.insert(id, value);
+        }
+    }
+
+    /// The value of a measurement, if present.
+    pub fn value(&self, id: MeasurementId) -> Option<f64> {
+        self.values.get(&id).copied()
+    }
+
+    /// Number of measurements present.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(measurement, value)` entries.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (MeasurementId, f64)> + '_ {
+        self.values.iter().map(|(&id, &v)| (id, v))
+    }
+}
+
+impl Extend<(MeasurementId, f64)> for Snapshot {
+    fn extend<T: IntoIterator<Item = (MeasurementId, f64)>>(&mut self, iter: T) {
+        for (id, v) in iter {
+            self.insert(id, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_timeseries::{MachineId, MetricKind};
+
+    fn id(k: u32) -> MeasurementId {
+        MeasurementId::new(MachineId::new(k), MetricKind::CpuUtilization)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut s = Snapshot::new(Timestamp::from_secs(0));
+        s.insert(id(0), 1.0);
+        s.insert(id(1), 2.0);
+        assert_eq!(s.value(id(0)), Some(1.0));
+        assert_eq!(s.value(id(2)), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut s = Snapshot::new(Timestamp::from_secs(0));
+        s.insert(id(0), f64::NAN);
+        s.insert(id(1), f64::INFINITY);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extend_collects_entries() {
+        let mut s = Snapshot::new(Timestamp::from_secs(0));
+        s.extend([(id(0), 1.0), (id(1), 2.0)]);
+        assert_eq!(s.iter().count(), 2);
+    }
+}

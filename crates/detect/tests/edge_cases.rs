@@ -1,0 +1,156 @@
+//! Edge-case tests for the detection engine: empty snapshots, partial
+//! coverage, alarm independence across subjects, and screen corner
+//! cases.
+
+use std::collections::BTreeMap;
+
+use gridwatch_detect::{
+    AlarmLevel, AlarmPolicy, AlarmTracker, DetectionEngine, EngineConfig, PairScreen, ScoreBoard,
+    Snapshot,
+};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, TimeSeries, Timestamp,
+};
+
+fn id(machine: u32, tag: u16) -> MeasurementId {
+    MeasurementId::new(MachineId::new(machine), MetricKind::Custom(tag))
+}
+
+fn linear_pair(a: MeasurementId, b: MeasurementId, scale: f64) -> (MeasurementPair, PairSeries) {
+    let pair = MeasurementPair::new(a, b).unwrap();
+    let history = PairSeries::from_samples((0..200u64).map(|k| {
+        let x = (k % 40) as f64 + 1.0;
+        (k * 360, x, scale * x)
+    }))
+    .unwrap();
+    (pair, history)
+}
+
+#[test]
+fn empty_snapshot_yields_empty_board_and_no_alarms() {
+    let (p, h) = linear_pair(id(0, 0), id(0, 1), 2.0);
+    let mut engine = DetectionEngine::train([(p, h)], EngineConfig::default()).unwrap();
+    let report = engine.step(&Snapshot::new(Timestamp::EPOCH));
+    assert!(report.scores.is_empty());
+    assert!(report.alarms.is_empty());
+    assert_eq!(report.scores.system_score(), None);
+}
+
+#[test]
+fn alarm_streaks_are_tracked_per_subject() {
+    let a = id(0, 0);
+    let b = id(1, 0);
+    let c = id(2, 0);
+    let policy = AlarmPolicy {
+        system_threshold: 0.0,
+        measurement_threshold: 0.5,
+        min_consecutive: 2,
+    };
+    let mut tracker = AlarmTracker::new();
+    // Tick 1: a-b low, a-c high.
+    let mut board = ScoreBoard::new(Timestamp::from_secs(0));
+    board.record(MeasurementPair::new(a, b).unwrap(), 0.1);
+    board.record(MeasurementPair::new(a, c).unwrap(), 0.9);
+    assert!(tracker.evaluate(&board, &policy).is_empty());
+    // Tick 2: same; a and b have 2-streaks (scores 0.5 avg for a ... )
+    let mut board = ScoreBoard::new(Timestamp::from_secs(360));
+    board.record(MeasurementPair::new(a, b).unwrap(), 0.1);
+    board.record(MeasurementPair::new(a, c).unwrap(), 0.9);
+    let alarms = tracker.evaluate(&board, &policy);
+    // Q^b = 0.1 (below), Q^a = 0.5 (not below), Q^c = 0.9.
+    assert_eq!(alarms.len(), 1);
+    assert_eq!(alarms[0].level, AlarmLevel::Measurement(b));
+    assert!(tracker.is_active(AlarmLevel::Measurement(b)));
+    assert!(!tracker.is_active(AlarmLevel::Measurement(c)));
+}
+
+#[test]
+fn screen_with_zero_min_samples_keeps_everything() {
+    let mut m = BTreeMap::new();
+    for k in 0..3u32 {
+        m.insert(
+            id(k, 0),
+            TimeSeries::from_samples((0..5u64).map(|i| (i, (i + u64::from(k)) as f64))).unwrap(),
+        );
+    }
+    let screen = PairScreen {
+        min_samples: 0,
+        ..PairScreen::default()
+    };
+    assert_eq!(screen.select(&m).len(), 3);
+}
+
+#[test]
+fn screen_cv_filter_drops_flat_series() {
+    let mut m = BTreeMap::new();
+    m.insert(
+        id(0, 0),
+        TimeSeries::from_samples((0..50u64).map(|i| (i, 100.0 + (i % 2) as f64 * 0.01))).unwrap(),
+    );
+    m.insert(
+        id(1, 0),
+        TimeSeries::from_samples((0..50u64).map(|i| (i, (i * i) as f64))).unwrap(),
+    );
+    m.insert(
+        id(2, 0),
+        TimeSeries::from_samples((0..50u64).map(|i| (i, (i * 3) as f64 + 1.0))).unwrap(),
+    );
+    let screen = PairScreen {
+        min_cv: 0.05,
+        ..PairScreen::default()
+    };
+    let pairs = screen.select(&m);
+    assert_eq!(pairs.len(), 1, "only the two varying series pair up");
+    assert!(!pairs[0].contains(id(0, 0)));
+}
+
+#[test]
+fn engine_exposes_models_and_pairs() {
+    let (p1, h1) = linear_pair(id(0, 0), id(0, 1), 2.0);
+    let (p2, h2) = linear_pair(id(0, 0), id(1, 0), 3.0);
+    let engine = DetectionEngine::train([(p1, h1), (p2, h2)], EngineConfig::default()).unwrap();
+    assert_eq!(engine.pairs().count(), 2);
+    assert!(engine.model(p1).is_some());
+    let ghost = MeasurementPair::new(id(8, 8), id(9, 9)).unwrap();
+    assert!(engine.model(ghost).is_none());
+    assert!(engine.explain(ghost).is_none());
+}
+
+#[test]
+fn partial_snapshots_keep_models_independent() {
+    let (p1, h1) = linear_pair(id(0, 0), id(0, 1), 2.0);
+    let (p2, h2) = linear_pair(id(2, 0), id(2, 1), 3.0);
+    let mut engine = DetectionEngine::train([(p1, h1), (p2, h2)], EngineConfig::default()).unwrap();
+    // Feed only pair 2's measurements for several steps.
+    for k in 0..5u64 {
+        let mut snap = Snapshot::new(Timestamp::from_secs(200 * 360 + k * 360));
+        let x = (k % 40) as f64 + 1.0;
+        snap.insert(id(2, 0), x);
+        snap.insert(id(2, 1), 3.0 * x);
+        let report = engine.step(&snap);
+        assert_eq!(report.scores.len(), 1);
+        assert!(report.scores.pair_score(p2).is_some());
+        assert!(report.scores.pair_score(p1).is_none());
+    }
+    // Pair 1 still works when its data returns.
+    let mut snap = Snapshot::new(Timestamp::from_secs(300 * 360));
+    snap.insert(id(0, 0), 10.0);
+    snap.insert(id(0, 1), 20.0);
+    let report = engine.step(&snap);
+    assert!(report.scores.pair_score(p1).is_some());
+}
+
+#[test]
+fn training_outcome_reports_skip_reasons() {
+    let (p1, h1) = linear_pair(id(0, 0), id(0, 1), 2.0);
+    let flat_pair = MeasurementPair::new(id(5, 0), id(5, 1)).unwrap();
+    let flat = PairSeries::from_samples((0..60u64).map(|k| (k, 1.0, 1.0))).unwrap();
+    let engine =
+        DetectionEngine::train([(p1, h1), (flat_pair, flat)], EngineConfig::default()).unwrap();
+    let outcome = engine.training_outcome();
+    assert_eq!(outcome.trained, 1);
+    assert_eq!(outcome.skipped.len(), 1);
+    let (skipped_pair, reason) = &outcome.skipped[0];
+    assert_eq!(*skipped_pair, flat_pair);
+    assert!(format!("{reason}").contains("grid"));
+}

@@ -1,0 +1,90 @@
+//! Tests for data-gap handling: the engine must not score the first
+//! sample after a monitoring outage as a transition from the stale
+//! pre-outage point.
+
+use gridwatch_detect::{DetectionEngine, EngineConfig, Snapshot};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+
+fn ids() -> (MeasurementId, MeasurementId) {
+    (
+        MeasurementId::new(MachineId::new(0), MetricKind::Custom(0)),
+        MeasurementId::new(MachineId::new(0), MetricKind::Custom(1)),
+    )
+}
+
+fn engine(max_gap_secs: Option<u64>) -> DetectionEngine {
+    let (a, b) = ids();
+    let pair = MeasurementPair::new(a, b).unwrap();
+    let history = PairSeries::from_samples((0..300u64).map(|k| {
+        let x = (k % 60) as f64;
+        (k * 360, x, 2.0 * x)
+    }))
+    .unwrap();
+    DetectionEngine::train(
+        [(pair, history)],
+        EngineConfig {
+            max_gap_secs,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn snap(secs: u64, x: f64, y: f64) -> Snapshot {
+    let (a, b) = ids();
+    let mut s = Snapshot::new(Timestamp::from_secs(secs));
+    s.insert(a, x);
+    s.insert(b, y);
+    s
+}
+
+#[test]
+fn gap_resets_trajectories_so_first_sample_after_outage_is_unscored() {
+    let mut engine = engine(Some(720)); // two sampling intervals
+    let base = 300 * 360;
+    // Normal cadence: scored.
+    let r = engine.step(&snap(base, 10.0, 20.0));
+    assert_eq!(r.scores.len(), 1);
+    // Six-hour outage, then data resumes far from the last point: with
+    // gap handling the step produces no score (no transition context).
+    let r = engine.step(&snap(base + 6 * 3600, 55.0, 110.0));
+    assert!(r.scores.is_empty(), "post-outage sample must not be scored");
+    // The next sample transitions from the post-outage point: scored.
+    let r = engine.step(&snap(base + 6 * 3600 + 360, 56.0, 112.0));
+    assert_eq!(r.scores.len(), 1);
+}
+
+#[test]
+fn without_gap_handling_the_stale_transition_is_scored() {
+    let mut engine = engine(None);
+    let base = 300 * 360;
+    engine.step(&snap(base, 10.0, 20.0));
+    let r = engine.step(&snap(base + 6 * 3600, 55.0, 110.0));
+    assert_eq!(
+        r.scores.len(),
+        1,
+        "with gap handling off, the stale transition is (mis)scored"
+    );
+}
+
+#[test]
+fn gaps_within_tolerance_do_not_reset() {
+    let mut engine = engine(Some(720));
+    let base = 300 * 360;
+    engine.step(&snap(base, 10.0, 20.0));
+    // One missed sample (720 s) is within the allowed gap.
+    let r = engine.step(&snap(base + 720, 12.0, 24.0));
+    assert_eq!(r.scores.len(), 1);
+}
+
+#[test]
+fn manual_reset_behaves_like_a_gap() {
+    let mut engine = engine(None);
+    let base = 300 * 360;
+    engine.step(&snap(base, 10.0, 20.0));
+    engine.reset_trajectories();
+    let r = engine.step(&snap(base + 360, 11.0, 22.0));
+    assert!(r.scores.is_empty());
+}

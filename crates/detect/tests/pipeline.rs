@@ -1,0 +1,179 @@
+//! End-to-end pipeline test: simulated infrastructure → training →
+//! online detection, checking the paper's two headline behaviours on a
+//! small scale — correlation breaks are caught (and localized), load
+//! spikes are not flagged.
+
+use std::collections::BTreeMap;
+
+use gridwatch_core::ModelConfig;
+use gridwatch_detect::{DetectionEngine, EngineConfig, Localizer, PairScreen, Snapshot};
+use gridwatch_sim::scenario::{figure12_fault_window, group_fault_scenario, TEST_DAY};
+use gridwatch_sim::Trace;
+use gridwatch_timeseries::{
+    AlignmentPolicy, GroupId, MeasurementId, PairSeries, SampleInterval, Timestamp,
+};
+
+/// Trains an engine on the first `train_days` of a trace, applying the
+/// paper's high-variance screen and a small update threshold `δ` so the
+/// model does not learn anomalous transitions.
+fn train_engine(trace: &Trace, train_days: u64) -> DetectionEngine {
+    let train_end = Timestamp::from_days(train_days);
+    let mut training = BTreeMap::new();
+    for id in trace.measurement_ids() {
+        training.insert(
+            id,
+            trace.series(id).unwrap().slice(Timestamp::EPOCH, train_end),
+        );
+    }
+    // Criterion 3 of the paper: high variance only. This drops the
+    // near-constant FreeDiskSpace metric, whose unpredictability would
+    // otherwise dominate absolute rankings.
+    let screen = PairScreen {
+        min_cv: 0.05,
+        ..PairScreen::default()
+    };
+    let pairs = screen.select(&training);
+    assert!(!pairs.is_empty());
+    let pair_histories: Vec<_> = pairs
+        .into_iter()
+        .filter_map(|p| {
+            PairSeries::align(
+                &training[&p.first()],
+                &training[&p.second()],
+                AlignmentPolicy::Intersect,
+            )
+            .ok()
+            .map(|h| (p, h))
+        })
+        .collect();
+    let config = EngineConfig {
+        model: ModelConfig::builder()
+            .update_threshold(0.005)
+            .build()
+            .unwrap(),
+        ..EngineConfig::default()
+    };
+    DetectionEngine::train(pair_histories, config).unwrap()
+}
+
+/// Steps the engine over `[start, end)`, returning per-tick measurement
+/// score maps.
+fn replay(
+    engine: &mut DetectionEngine,
+    trace: &Trace,
+    start: Timestamp,
+    end: Timestamp,
+) -> Vec<(Timestamp, BTreeMap<MeasurementId, f64>)> {
+    let mut out = Vec::new();
+    for t in SampleInterval::SIX_MINUTES.ticks(start, end) {
+        let mut snap = Snapshot::new(t);
+        for id in trace.measurement_ids() {
+            if let Some(v) = trace.series(id).unwrap().value_at(t) {
+                snap.insert(id, v);
+            }
+        }
+        let report = engine.step(&snap);
+        if !report.scores.is_empty() {
+            out.push((t, report.scores.measurement_scores()));
+        }
+    }
+    out
+}
+
+fn mean_of(
+    rows: &[(Timestamp, BTreeMap<MeasurementId, f64>)],
+    id: MeasurementId,
+    lo: Timestamp,
+    hi: Timestamp,
+) -> f64 {
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter(|(t, _)| *t >= lo && *t < hi)
+        .filter_map(|(_, m)| m.get(&id).copied())
+        .collect();
+    assert!(!vals.is_empty(), "no scores for {id} in [{lo}, {hi})");
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+#[test]
+fn fault_dents_target_score_while_spike_does_not() {
+    let scenario = group_fault_scenario(GroupId::A, 3, 42);
+    let (_, target) = scenario.focus_pair.unwrap();
+    let mut engine = train_engine(&scenario.trace, 8);
+
+    let start = Timestamp::from_days(TEST_DAY);
+    let end = Timestamp::from_days(TEST_DAY + 1);
+    let rows = replay(&mut engine, &scenario.trace, start, end);
+    assert!(rows.len() > 200);
+
+    let (fs, fe) = figure12_fault_window(GroupId::A);
+    let day = start.as_secs();
+    let evening_lo = Timestamp::from_secs(day + 19 * 3600);
+    let evening_hi = Timestamp::from_secs(day + 23 * 3600);
+
+    // The broken measurement's own fitness dips during the fault.
+    let q_fault = mean_of(&rows, target, fs, fe);
+    let q_normal = mean_of(&rows, target, evening_lo, evening_hi);
+    assert!(
+        q_fault < q_normal - 0.05,
+        "fault mean {q_fault} should be clearly below normal {q_normal}"
+    );
+
+    // The correlation-preserving load spike (4-5am) must not dent it
+    // comparably.
+    let spike_lo = Timestamp::from_secs(day + 4 * 3600);
+    let spike_hi = Timestamp::from_secs(day + 5 * 3600);
+    let q_spike = mean_of(&rows, target, spike_lo, spike_hi);
+    assert!(
+        (q_normal - q_spike) < (q_normal - q_fault) / 2.0,
+        "spike mean {q_spike} must stay much closer to normal {q_normal} than fault {q_fault}"
+    );
+}
+
+#[test]
+fn faulty_measurement_is_localized() {
+    let scenario = group_fault_scenario(GroupId::B, 3, 11);
+    let (_, target) = scenario.focus_pair.unwrap();
+    let mut engine = train_engine(&scenario.trace, 8);
+
+    let (fs, fe) = figure12_fault_window(GroupId::B);
+    // Warm up on the two hours before the fault to build baselines.
+    let warm_start = Timestamp::from_secs(fs.as_secs() - 2 * 3600);
+    let warm_rows = replay(&mut engine, &scenario.trace, warm_start, fs);
+    let mut baseline: BTreeMap<MeasurementId, f64> = BTreeMap::new();
+    let mut counts: BTreeMap<MeasurementId, usize> = BTreeMap::new();
+    for (_, m) in &warm_rows {
+        for (&id, &q) in m {
+            *baseline.entry(id).or_insert(0.0) += q;
+            *counts.entry(id).or_insert(0) += 1;
+        }
+    }
+    for (id, sum) in baseline.iter_mut() {
+        *sum /= counts[id] as f64;
+    }
+
+    // During the fault, vote for the measurement with the largest drop
+    // below its own baseline.
+    let mut votes: BTreeMap<MeasurementId, u32> = BTreeMap::new();
+    for t in SampleInterval::SIX_MINUTES.ticks(fs, fe) {
+        let mut snap = Snapshot::new(t);
+        for id in scenario.trace.measurement_ids() {
+            if let Some(v) = scenario.trace.series(id).unwrap().value_at(t) {
+                snap.insert(id, v);
+            }
+        }
+        let report = engine.step(&snap);
+        if report.scores.is_empty() {
+            continue;
+        }
+        let ranked = Localizer::rank_measurements_relative(&report.scores, &baseline);
+        if let Some(worst) = ranked.first() {
+            *votes.entry(worst.id).or_insert(0) += 1;
+        }
+    }
+    let (winner, _) = votes
+        .iter()
+        .max_by_key(|(_, &n)| n)
+        .expect("at least one vote");
+    assert_eq!(*winner, target, "votes: {votes:?}");
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the detection layer: the three-level
+//! aggregation is consistent, alarms respect their thresholds and
+//! debounce, and the pair screen never invents measurements.
+
+use std::collections::BTreeMap;
+
+use gridwatch_detect::{AlarmPolicy, AlarmTracker, Localizer, PairScreen, ScoreBoard};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, TimeSeries, Timestamp,
+};
+use proptest::prelude::*;
+
+fn id(machine: u32, tag: u16) -> MeasurementId {
+    MeasurementId::new(MachineId::new(machine), MetricKind::Custom(tag))
+}
+
+/// A random score board over up to 6 measurements.
+fn arb_board() -> impl Strategy<Value = ScoreBoard> {
+    prop::collection::vec(((0u32..3, 0u16..2), (0u32..3, 0u16..2), 0.0f64..=1.0), 1..20)
+        .prop_map(|entries| {
+            let mut board = ScoreBoard::new(Timestamp::EPOCH);
+            for ((m1, t1), (m2, t2), score) in entries {
+                if let Some(pair) = MeasurementPair::new(id(m1, t1), id(m2, t2)) {
+                    board.record(pair, score);
+                }
+            }
+            board
+        })
+}
+
+proptest! {
+    #[test]
+    fn system_score_is_mean_of_measurement_scores(board in arb_board()) {
+        let per_measurement = board.measurement_scores();
+        match board.system_score() {
+            Some(q) => {
+                let mean = per_measurement.values().sum::<f64>() / per_measurement.len() as f64;
+                prop_assert!((q - mean).abs() < 1e-12);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&q));
+            }
+            None => prop_assert!(per_measurement.is_empty()),
+        }
+    }
+
+    #[test]
+    fn measurement_scores_are_bounded_by_their_pairs(board in arb_board()) {
+        for (m, q) in board.measurement_scores() {
+            let pair_scores: Vec<f64> = board
+                .pair_scores()
+                .filter(|(p, _)| p.contains(m))
+                .map(|(_, s)| s)
+                .collect();
+            let lo = pair_scores.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = pair_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn machine_scores_average_their_measurements(board in arb_board()) {
+        let measurement = board.measurement_scores();
+        for (machine, q) in board.machine_scores() {
+            let members: Vec<f64> = measurement
+                .iter()
+                .filter(|(m, _)| m.machine() == machine)
+                .map(|(_, &s)| s)
+                .collect();
+            prop_assert!(!members.is_empty());
+            let mean = members.iter().sum::<f64>() / members.len() as f64;
+            prop_assert!((q - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn localizer_ranks_ascending(board in arb_board()) {
+        let ranked = Localizer::rank_measurements(&board);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].score <= w[1].score + 1e-12);
+        }
+        let machines = Localizer::rank_machines(&board);
+        for w in machines.windows(2) {
+            prop_assert!(w[0].score <= w[1].score + 1e-12);
+        }
+        if let Some(prime) = Localizer::prime_suspect(&board) {
+            prop_assert_eq!(prime.machine, machines[0].machine);
+        }
+    }
+
+    #[test]
+    fn alarms_fire_only_below_threshold_and_after_debounce(
+        scores in prop::collection::vec(0.0f64..=1.0, 1..40),
+        threshold in 0.0f64..=1.0,
+        consecutive in 1u32..4,
+    ) {
+        let policy = AlarmPolicy {
+            system_threshold: threshold,
+            measurement_threshold: 0.0,
+            min_consecutive: consecutive,
+        };
+        let mut tracker = AlarmTracker::new();
+        let mut streak = 0u32;
+        for (k, &q) in scores.iter().enumerate() {
+            let mut board = ScoreBoard::new(Timestamp::from_secs(k as u64));
+            board.record(MeasurementPair::new(id(0, 0), id(1, 0)).unwrap(), q);
+            let alarms = tracker.evaluate(&board, &policy);
+            if q < threshold {
+                streak += 1;
+            } else {
+                streak = 0;
+            }
+            let expect_alarm = streak == consecutive;
+            let got_system_alarm = alarms
+                .iter()
+                .any(|a| a.level == gridwatch_detect::AlarmLevel::System);
+            prop_assert_eq!(
+                got_system_alarm,
+                expect_alarm,
+                "step {} score {} streak {}",
+                k,
+                q,
+                streak
+            );
+        }
+    }
+
+    #[test]
+    fn screen_output_pairs_come_from_input_measurements(
+        lens in prop::collection::vec(2usize..40, 1..6),
+        min_samples in 0usize..30,
+    ) {
+        let mut series = BTreeMap::new();
+        for (k, &len) in lens.iter().enumerate() {
+            let ts = TimeSeries::from_samples(
+                (0..len as u64).map(|i| (i, (i * (k as u64 + 1)) as f64)),
+            )
+            .unwrap();
+            series.insert(id(k as u32, 0), ts);
+        }
+        let screen = PairScreen {
+            min_samples,
+            ..PairScreen::default()
+        };
+        let pairs = screen.select(&series);
+        for p in &pairs {
+            prop_assert!(series.contains_key(&p.first()));
+            prop_assert!(series.contains_key(&p.second()));
+            prop_assert!(series[&p.first()].len() >= min_samples);
+            prop_assert!(series[&p.second()].len() >= min_samples);
+        }
+        // No duplicates.
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &pairs {
+            prop_assert!(seen.insert(*p));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The `repro` CLI: regenerates the paper's figures on simulated data.
+//!
+//! ```text
+//! repro all                     # every experiment
+//! repro fig12 fig13             # selected experiments
+//! repro fig14 --machines 6      # bigger simulated group
+//! repro all --out results/      # also write CSV files
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gridwatch_eval::experiments;
+use gridwatch_eval::harness::RunOptions;
+
+struct Args {
+    names: Vec<String>,
+    options: RunOptions,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut names = Vec::new();
+    let mut options = RunOptions::default();
+    let mut out_dir = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value_for = |flag: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                options.seed = value_for("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--machines" => {
+                options.machines = value_for("--machines")?
+                    .parse()
+                    .map_err(|e| format!("bad --machines: {e}"))?;
+            }
+            "--max-pairs" => {
+                options.max_pairs = value_for("--max-pairs")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-pairs: {e}"))?;
+            }
+            "--out" => out_dir = Some(PathBuf::from(value_for("--out")?)),
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: repro <experiment…|all> [--seed N] [--machines N] \
+                     [--max-pairs N] [--out DIR]\nexperiments: {}",
+                    experiments::ALL.join(", ")
+                ));
+            }
+            name if !name.starts_with('-') => names.push(name.to_string()),
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if names.is_empty() {
+        return Err("no experiment named; try `repro all` or --help".into());
+    }
+    if names.iter().any(|n| n == "all") {
+        names = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Args {
+        names,
+        options,
+        out_dir,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut all_passed = true;
+    for name in &args.names {
+        let Some(result) = experiments::run_by_name(name, args.options) else {
+            eprintln!(
+                "unknown experiment `{name}`; known: {}",
+                experiments::ALL.join(", ")
+            );
+            all_passed = false;
+            continue;
+        };
+        println!("{}", result.to_ascii());
+        if let Some(dir) = &args.out_dir {
+            if let Err(e) = result.write_csv(dir) {
+                eprintln!("failed to write CSVs for {name}: {e}");
+                all_passed = false;
+            }
+        }
+        all_passed &= result.all_checks_passed();
+    }
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

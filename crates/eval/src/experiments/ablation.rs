@@ -1,0 +1,196 @@
+//! Quality ablations over the model's design choices (DESIGN.md §6):
+//! how much does each ingredient of the paper's design contribute to
+//! detection quality?
+//!
+//! For each variant we train on 8 days of a faulted group-A trace,
+//! replay the test day on the focus pair, and report (a) the mean
+//! fitness over normal periods (higher = fewer false alarms) and (b)
+//! the *dip depth*: the gap between the normal-period minimum fitness
+//! and the fault-window minimum (positive = the fault is separable, the
+//! statistic behind the paper's Figure 12 plots; an AUC over the whole
+//! window would be diluted by the rank-forgiving self-transitions that
+//! follow the initial anomalous jump). Variants:
+//!
+//! * decay kernel: MeanAxis (paper) / Chebyshev / Manhattan / Euclidean;
+//! * decay rate `w ∈ {1.5, 2, 4}`;
+//! * adaptive (MAFIA-merged) grid vs uniform equal-width grid;
+//! * Bayesian prior + replay vs "frozen prior" (no history replay —
+//!   what scoring from the spatial prior alone would give).
+
+use gridwatch_core::{DecayKernel, ModelConfig, TransitionModel};
+use gridwatch_grid::GridConfig;
+use gridwatch_sim::scenario::{group_fault_scenario, TEST_DAY};
+use gridwatch_timeseries::{GroupId, Point2, Timestamp};
+
+use crate::harness::RunOptions;
+use crate::metrics::{mean_score_in, min_score_in};
+use crate::report::{Check, ExperimentResult, Table};
+
+/// The quality of one variant on the faulted test day.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantQuality {
+    /// Mean fitness over the fault-free parts of the day.
+    pub normal_fitness: f64,
+    /// Normal-period minimum fitness minus fault-window minimum fitness
+    /// (positive = the fault dips below anything normal).
+    pub dip_depth: f64,
+}
+
+/// Trains a variant and evaluates it on the focus pair's test day.
+fn evaluate(config: ModelConfig, options: RunOptions, replay_history: bool) -> VariantQuality {
+    let scenario = group_fault_scenario(GroupId::A, options.machines, options.seed);
+    let (a, b) = scenario.focus_pair.expect("scenario has a focus pair");
+    let train_end = Timestamp::from_days(8);
+    let sa = scenario.trace.series(a).expect("simulated");
+    let sb = scenario.trace.series(b).expect("simulated");
+    let history = gridwatch_timeseries::PairSeries::align(
+        &sa.slice(Timestamp::EPOCH, train_end),
+        &sb.slice(Timestamp::EPOCH, train_end),
+        gridwatch_timeseries::AlignmentPolicy::Intersect,
+    )
+    .expect("same schedule");
+
+    let mut model = if replay_history {
+        TransitionModel::fit(&history, config).expect("history is modelable")
+    } else {
+        // Prior-only ablation: build the grid, skip the replay.
+        let grid = gridwatch_grid::GridBuilder::new(config.grid)
+            .build(history.points())
+            .expect("grid builds");
+        let mut m = TransitionModel::from_grid(grid, config).expect("valid config");
+        // Seed the trajectory with the last history point.
+        m.observe(*history.points().last().expect("non-empty"));
+        m
+    };
+
+    let start = Timestamp::from_days(TEST_DAY);
+    let end = Timestamp::from_days(TEST_DAY + 1);
+    let mut samples = Vec::new();
+    for t in scenario.trace.interval().ticks(start, end) {
+        let (Some(x), Some(y)) = (sa.value_at(t), sb.value_at(t)) else {
+            continue;
+        };
+        if let Some(score) = model.observe(Point2::new(x, y)).score {
+            samples.push((t, score.fitness()));
+        }
+    }
+    let day = start.as_secs();
+    let evening = (
+        Timestamp::from_secs(day + 18 * 3600),
+        Timestamp::from_secs(day + 24 * 3600),
+    );
+    let normal_fitness = mean_score_in(&samples, evening.0, evening.1).unwrap_or(f64::NAN);
+    let normal_min = min_score_in(&samples, evening.0, evening.1).unwrap_or(f64::NAN);
+    let (fs, fe) = scenario.faults.truth_windows()[0];
+    let fault_min = min_score_in(&samples, fs, fe).unwrap_or(f64::NAN);
+    VariantQuality {
+        normal_fitness,
+        dip_depth: normal_min - fault_min,
+    }
+}
+
+/// Regenerates the ablation table.
+pub fn run(options: RunOptions) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "ablation",
+        "detection quality of each design-choice variant (focus pair, test day)",
+    );
+    let mut table = Table::new(
+        "variant quality",
+        vec![
+            "variant".into(),
+            "normal-period fitness".into(),
+            "fault dip depth".into(),
+        ],
+    );
+
+    let base = ModelConfig::builder()
+        .update_threshold(0.005)
+        .build()
+        .expect("valid config");
+    let mut rows: Vec<(String, VariantQuality)> = Vec::new();
+
+    for kernel in DecayKernel::ALL {
+        let config = ModelConfig { kernel, ..base };
+        rows.push((format!("kernel={kernel:?}"), evaluate(config, options, true)));
+    }
+    for w in [1.5, 4.0] {
+        let config = ModelConfig {
+            decay_rate: w,
+            ..base
+        };
+        rows.push((format!("decay w={w}"), evaluate(config, options, true)));
+    }
+    let uniform_grid = GridConfig::builder()
+        .uniform_cv_threshold(1e9)
+        .uniform_intervals(16)
+        .build()
+        .expect("valid grid config");
+    rows.push((
+        "uniform grid".into(),
+        evaluate(
+            ModelConfig {
+                grid: uniform_grid,
+                ..base
+            },
+            options,
+            true,
+        ),
+    ));
+    rows.push(("prior only (no replay)".into(), evaluate(base, options, false)));
+
+    for (name, q) in &rows {
+        table.push_row(vec![
+            name.clone(),
+            format!("{:.4}", q.normal_fitness),
+            format!("{:.4}", q.dip_depth),
+        ]);
+    }
+    result.tables.push(table);
+
+    let paper = rows[0].1; // MeanAxis, w = 2, adaptive, replayed
+    result.checks.push(Check::new(
+        "the paper's configuration dips clearly below normal during the fault",
+        paper.dip_depth > 0.1,
+        format!("dip depth = {:.4}", paper.dip_depth),
+    ));
+    result.checks.push(Check::new(
+        "the paper's configuration keeps normal periods quiet (fitness > 0.9)",
+        paper.normal_fitness > 0.9,
+        format!("normal fitness = {:.4}", paper.normal_fitness),
+    ));
+    let prior_only = rows.last().expect("rows non-empty").1;
+    result.checks.push(Check::new(
+        "replaying history keeps normal periods at least as quiet as the prior alone",
+        paper.normal_fitness >= prior_only.normal_fitness - 0.02,
+        format!(
+            "normal fitness replayed {:.4} vs prior-only {:.4}",
+            paper.normal_fitness, prior_only.normal_fitness
+        ),
+    ));
+    let all_kernels_work = rows[..4].iter().all(|(_, q)| q.dip_depth > 0.05);
+    result.checks.push(Check::new(
+        "every decay kernel separates the fault (the design is robust to the kernel)",
+        all_kernels_work,
+        rows[..4]
+            .iter()
+            .map(|(n, q)| format!("{n}: {:.3}", q.dip_depth))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_checks_hold() {
+        let r = run(RunOptions {
+            machines: 2,
+            ..RunOptions::default()
+        });
+        assert!(r.all_checks_passed(), "{}", r.to_ascii());
+    }
+}

@@ -1,0 +1,203 @@
+//! Head-to-head detection quality of the paper's model versus the
+//! Related Work baselines (beyond the paper, which compares only
+//! qualitatively): on the faulted group-A test day, each detector is
+//! trained on the same 8-day focus-pair history and scored on
+//!
+//! * **normal-period score** — mean over the quiet evening (higher =
+//!   fewer false alarms),
+//! * **fault separation** — normal-period minimum minus fault-window
+//!   minimum (positive = the fault dips below anything normal),
+//! * **spike dip** — how far the correlation-preserving *peak-hour*
+//!   load surge drags the detector down (smaller = better; the
+//!   per-metric z-score strawman fails here).
+
+use gridwatch_baselines::{
+    GmmDetector, LinearInvariantDetector, MarkovDetector, PairDetector, ZScoreDetector,
+};
+use gridwatch_sim::scenario::TEST_DAY;
+use gridwatch_sim::{
+    FaultEvent, FaultKind, FaultSchedule, Infrastructure, TraceGenerator, WorkloadConfig,
+};
+use gridwatch_timeseries::{
+    GroupId, MachineId, MeasurementId, MetricKind, Point2, Timestamp,
+};
+
+use crate::harness::RunOptions;
+use crate::metrics::{mean_score_in, min_score_in};
+use crate::report::{Check, ExperimentResult, Table};
+
+/// One detector's measured quality.
+#[derive(Debug, Clone)]
+pub struct DetectorQuality {
+    /// Detector name.
+    pub name: &'static str,
+    /// Mean score over the quiet evening.
+    pub normal_mean: f64,
+    /// Evening minimum minus fault-window minimum.
+    pub fault_separation: f64,
+    /// Evening mean minus spike-window mean.
+    pub spike_dip: f64,
+}
+
+/// Runs all four detectors over the faulted test day.
+///
+/// The scenario injects a correlation break at 2-4pm and — unlike the
+/// Figure 12 scenario — a *peak-hour* correlated surge (load x1.25 at
+/// 11am-12pm): both metrics climb together toward the top of their
+/// trained range, which is exactly the "flood of user requests" a
+/// per-metric monitor false-alarms on while correlation models do not.
+pub fn evaluate_all(options: RunOptions) -> Vec<DetectorQuality> {
+    let infra = Infrastructure::standard_group(GroupId::A, options.machines, options.seed);
+    let machine = MachineId::new(0);
+    let a = MeasurementId::new(machine, MetricKind::PortUtilization);
+    let b = MeasurementId::new(machine, MetricKind::IfOutOctetsRate);
+    let day = Timestamp::from_days(TEST_DAY).as_secs();
+    let mut faults = FaultSchedule::new();
+    faults.push(FaultEvent::new(
+        FaultKind::CorrelationBreak { target: b, level: 0.5 },
+        Timestamp::from_secs(day + 14 * 3600),
+        Timestamp::from_secs(day + 16 * 3600),
+    ));
+    faults.push(FaultEvent::new(
+        FaultKind::LoadSpike { factor: 1.25 },
+        Timestamp::from_secs(day + 11 * 3600),
+        Timestamp::from_secs(day + 12 * 3600),
+    ));
+    let generator = TraceGenerator::new(
+        infra,
+        WorkloadConfig::default(),
+        faults.clone(),
+        options.seed,
+    );
+    let trace = generator.generate(
+        Timestamp::EPOCH,
+        Timestamp::from_days(TEST_DAY + 1),
+    );
+    let sa = trace.series(a).expect("simulated");
+    let sb = trace.series(b).expect("simulated");
+    let train_end = Timestamp::from_days(8);
+    let history = gridwatch_timeseries::PairSeries::align(
+        &sa.slice(Timestamp::EPOCH, train_end),
+        &sb.slice(Timestamp::EPOCH, train_end),
+        gridwatch_timeseries::AlignmentPolicy::Intersect,
+    )
+    .expect("same schedule");
+
+    let mut detectors: Vec<Box<dyn PairDetector>> = vec![
+        Box::new(MarkovDetector::default()),
+        Box::new(LinearInvariantDetector::default()),
+        Box::new(GmmDetector::default()),
+        Box::new(ZScoreDetector::default()),
+    ];
+    let start = Timestamp::from_days(TEST_DAY);
+    let end = Timestamp::from_days(TEST_DAY + 1);
+    let evening = (
+        Timestamp::from_secs(day + 19 * 3600),
+        Timestamp::from_secs(day + 23 * 3600),
+    );
+    let spike = (
+        Timestamp::from_secs(day + 11 * 3600),
+        Timestamp::from_secs(day + 12 * 3600),
+    );
+    let (fault_lo, fault_hi) = faults.truth_windows()[0];
+
+    detectors
+        .iter_mut()
+        .map(|d| {
+            d.fit(&history).expect("history fits every detector");
+            let mut samples = Vec::new();
+            for t in trace.interval().ticks(start, end) {
+                let (Some(x), Some(y)) = (sa.value_at(t), sb.value_at(t)) else {
+                    continue;
+                };
+                samples.push((t, d.observe(Point2::new(x, y))));
+            }
+            let normal_mean = mean_score_in(&samples, evening.0, evening.1).unwrap_or(f64::NAN);
+            let normal_min = min_score_in(&samples, evening.0, evening.1).unwrap_or(f64::NAN);
+            let fault_min = min_score_in(&samples, fault_lo, fault_hi).unwrap_or(f64::NAN);
+            let spike_mean = mean_score_in(&samples, spike.0, spike.1).unwrap_or(f64::NAN);
+            DetectorQuality {
+                name: d.name(),
+                normal_mean,
+                fault_separation: normal_min - fault_min,
+                spike_dip: normal_mean - spike_mean,
+            }
+        })
+        .collect()
+}
+
+/// Regenerates the comparison table.
+pub fn run(options: RunOptions) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "baselines_quality",
+        "detection quality: grid-Markov vs linear invariant, GMM, z-score",
+    );
+    let rows = evaluate_all(options);
+    let mut table = Table::new(
+        "per-detector quality on the faulted test day",
+        vec![
+            "detector".into(),
+            "normal mean".into(),
+            "fault separation".into(),
+            "spike dip".into(),
+        ],
+    );
+    for q in &rows {
+        table.push_row(vec![
+            q.name.to_string(),
+            format!("{:.4}", q.normal_mean),
+            format!("{:.4}", q.fault_separation),
+            format!("{:.4}", q.spike_dip),
+        ]);
+    }
+    result.tables.push(table);
+
+    let get = |name: &str| rows.iter().find(|q| q.name == name).expect("detector ran");
+    let markov = get("grid-markov");
+    let zscore = get("z-score");
+    result.checks.push(Check::new(
+        "the grid-Markov model separates the fault",
+        markov.fault_separation > 0.1,
+        format!("separation {:.4}", markov.fault_separation),
+    ));
+    result.checks.push(Check::new(
+        "the grid-Markov model stays quiet in normal periods",
+        markov.normal_mean > 0.9,
+        format!("normal mean {:.4}", markov.normal_mean),
+    ));
+    result.checks.push(Check::new(
+        "the per-metric z-score is hit harder by the correlated load spike \
+         than the grid-Markov model (the paper's false-positive argument)",
+        zscore.spike_dip > markov.spike_dip,
+        format!(
+            "spike dip: z-score {:.4} vs grid-markov {:.4}",
+            zscore.spike_dip, markov.spike_dip
+        ),
+    ));
+    let correlation_methods_detect = ["grid-markov", "linear-invariant", "gaussian-mixture"]
+        .iter()
+        .all(|n| get(n).fault_separation > 0.05);
+    result.checks.push(Check::new(
+        "every correlation-aware method separates this (correlation-breaking) fault",
+        correlation_methods_detect,
+        rows.iter()
+            .map(|q| format!("{}: {:.3}", q.name, q.fault_separation))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_comparison_holds() {
+        let r = run(RunOptions {
+            machines: 2,
+            ..RunOptions::default()
+        });
+        assert!(r.all_checks_passed(), "{}", r.to_ascii());
+    }
+}

@@ -1,0 +1,130 @@
+//! The in-text Section 4.2 evidence for the spatial-closeness prior:
+//! "in two days' measurement values … the total number of transitions is
+//! 701, among which 412 occurs inside the cells … 280 transitions
+//! between a cell and its closest neighbor. As the cell distance
+//! increases, it becomes less likely that points move among these
+//! cells."
+//!
+//! We count transitions of a simulated pair over two days by Chebyshev
+//! cell distance and verify the same monotone decay.
+
+use gridwatch_grid::{GridBuilder, GridConfig};
+use gridwatch_sim::scenario::clean_scenario;
+use gridwatch_timeseries::{
+    AlignmentPolicy, GroupId, MachineId, MeasurementId, MetricKind, PairSeries, Timestamp,
+};
+
+use crate::harness::RunOptions;
+use crate::report::{Check, ExperimentResult, Table};
+
+/// Counts two days of transitions per cell distance.
+pub fn run(options: RunOptions) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "closeness",
+        "transition counts vs cell distance over two days (spatial closeness)",
+    );
+    let scenario = clean_scenario(GroupId::A, 1, options.seed);
+    let m = MachineId::new(0);
+    let a = MeasurementId::new(m, MetricKind::IfOutOctetsRate);
+    let b = MeasurementId::new(m, MetricKind::PortUtilization);
+    let sa = scenario
+        .trace
+        .series(a)
+        .expect("simulated")
+        .slice(Timestamp::EPOCH, Timestamp::from_days(2));
+    let sb = scenario
+        .trace
+        .series(b)
+        .expect("simulated")
+        .slice(Timestamp::EPOCH, Timestamp::from_days(2));
+    let pair = PairSeries::align(&sa, &sb, AlignmentPolicy::Intersect).expect("same schedule");
+
+    // The paper's counts (412 of 701 transitions stay in-cell) imply a
+    // grid whose cells are coarse relative to one sampling step's
+    // movement; we match that resolution here and note it.
+    let grid_config = GridConfig::builder()
+        .units_per_dimension(30)
+        .max_intervals(10)
+        .uniform_intervals(8)
+        .build()
+        .expect("valid grid config");
+    let grid = GridBuilder::new(grid_config)
+        .build(pair.points())
+        .expect("two days of data build a grid");
+
+    // Histogram of Chebyshev cell distances per transition.
+    let mut by_distance: Vec<u64> = Vec::new();
+    let mut total = 0u64;
+    for (_, from, to) in pair.transitions() {
+        let (Some(ci), Some(cj)) = (grid.locate(from), grid.locate(to)) else {
+            continue;
+        };
+        let (dx, dy) = grid.offset(ci, cj);
+        let d = dx.unsigned_abs().max(dy.unsigned_abs()) as usize;
+        if by_distance.len() <= d {
+            by_distance.resize(d + 1, 0);
+        }
+        by_distance[d] += 1;
+        total += 1;
+    }
+
+    let mut table = Table::new(
+        "transitions per Chebyshev cell distance",
+        vec![
+            "distance".into(),
+            "count (ours)".into(),
+            "share (ours)".into(),
+            "paper (of 701)".into(),
+        ],
+    );
+    let paper = ["412", "280", "-", "-"];
+    for (d, &n) in by_distance.iter().enumerate() {
+        table.push_row(vec![
+            d.to_string(),
+            n.to_string(),
+            format!("{:.1}%", 100.0 * n as f64 / total as f64),
+            paper.get(d).unwrap_or(&"-").to_string(),
+        ]);
+    }
+    result.tables.push(table);
+    result
+        .notes
+        .push(format!("total transitions: {total} (paper: 701)"));
+
+    let in_cell = by_distance.first().copied().unwrap_or(0);
+    let nearest = by_distance.get(1).copied().unwrap_or(0);
+    let farther: u64 = by_distance.iter().skip(2).sum();
+    result.checks.push(Check::new(
+        "most transitions stay inside the current cell",
+        in_cell * 2 >= total,
+        format!("{in_cell}/{total} in-cell (paper: 412/701)"),
+    ));
+    result.checks.push(Check::new(
+        "nearest-neighbour transitions outnumber all farther ones",
+        nearest >= farther,
+        format!("{nearest} at distance 1 vs {farther} farther (paper: 280 vs 9)"),
+    ));
+    // The paper's version of this claim: 412 in-cell, 280 at distance 1,
+    // and only 9 transitions anywhere farther. Monotonicity deep into the
+    // sparse tail is noise; the substantive claim is that the first two
+    // steps dominate and the far tail is rare.
+    let far_rare = farther as f64 <= 0.1 * total as f64;
+    let first_steps_decay = in_cell >= nearest && nearest >= farther;
+    result.checks.push(Check::new(
+        "transition counts decay with cell distance (far tail rare)",
+        first_steps_decay && far_rare,
+        format!("counts: {by_distance:?}, far share {:.1}%", 100.0 * farther as f64 / total as f64),
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_closeness_holds_on_simulated_data() {
+        let r = run(RunOptions::default());
+        assert!(r.all_checks_passed(), "{}", r.to_ascii());
+    }
+}

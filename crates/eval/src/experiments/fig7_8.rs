@@ -1,0 +1,133 @@
+//! Figures 7–8: the density-adaptive grid built from history data
+//! (Fig 7) and the same grid after online data drift beyond the original
+//! boundary (Fig 8) — the paper's example drifts along the vertical axis
+//! and the structure gains two intervals.
+
+use gridwatch_core::{ModelConfig, TransitionModel};
+use gridwatch_timeseries::{PairSeries, Point2};
+
+use crate::harness::RunOptions;
+use crate::report::{Check, ExperimentResult, Table};
+
+/// Regenerates the offline grid and the drift-extended grid.
+pub fn run(options: RunOptions) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig7_8",
+        "adaptive grid from history data, then extended under online drift",
+    );
+    result.notes.push(format!("seed {}", options.seed));
+
+    // History similar in spirit to the paper's Figure 7 snapshot: a dense
+    // blob with a mild diagonal relation.
+    let history = PairSeries::from_samples((0..2000u64).map(|k| {
+        let t = k as f64 / 37.0;
+        let x = 0.2 + 0.08 * (t.sin() + 1.0) + 0.02 * ((k % 13) as f64 / 13.0);
+        let y = 0.01 + 0.05 * (t.cos() + 1.0) * x + 0.002 * ((k % 7) as f64 / 7.0);
+        (k * 360, x, y)
+    }))
+    .expect("generated samples are valid");
+
+    let mut model =
+        TransitionModel::fit(&history, ModelConfig::default()).expect("history is modelable");
+    let before_cols = model.grid().columns();
+    let before_rows = model.grid().rows();
+    let before_upper_y = model.grid().y_partition().upper();
+
+    let mut offline = Table::new(
+        "fig7: offline grid structure",
+        vec!["dimension".into(), "intervals".into(), "range".into()],
+    );
+    offline.push_row(vec![
+        "x".into(),
+        before_cols.to_string(),
+        format!(
+            "[{:.4}, {:.4})",
+            model.grid().x_partition().lower(),
+            model.grid().x_partition().upper()
+        ),
+    ]);
+    offline.push_row(vec![
+        "y".into(),
+        before_rows.to_string(),
+        format!(
+            "[{:.4}, {:.4})",
+            model.grid().y_partition().lower(),
+            before_upper_y
+        ),
+    ]);
+    result.tables.push(offline);
+
+    // Online drift along the vertical axis, as in the paper's Figure 8:
+    // y slowly exceeds the historical upper bound.
+    let last = *history.points().last().expect("non-empty");
+    let mut extensions = 0u64;
+    let y_step = model.grid().y_partition().average_width() * 0.2;
+    for k in 0..60 {
+        let p = Point2::new(last.x, before_upper_y + (k as f64 - 10.0) * y_step * 0.25);
+        let out = model.observe(p);
+        if out.extended {
+            extensions += 1;
+        }
+    }
+    let after_rows = model.grid().rows();
+    let after_upper_y = model.grid().y_partition().upper();
+
+    let mut updated = Table::new(
+        "fig8: grid after online drift",
+        vec!["dimension".into(), "intervals".into(), "range".into()],
+    );
+    updated.push_row(vec![
+        "x".into(),
+        model.grid().columns().to_string(),
+        format!(
+            "[{:.4}, {:.4})",
+            model.grid().x_partition().lower(),
+            model.grid().x_partition().upper()
+        ),
+    ]);
+    updated.push_row(vec![
+        "y".into(),
+        after_rows.to_string(),
+        format!(
+            "[{:.4}, {:.4})",
+            model.grid().y_partition().lower(),
+            after_upper_y
+        ),
+    ]);
+    result.tables.push(updated);
+
+    result.checks.push(Check::new(
+        "gradual drift extends the drifting dimension (y gains intervals)",
+        after_rows > before_rows && after_upper_y > before_upper_y,
+        format!(
+            "rows {before_rows} -> {after_rows}, upper y {:.4} -> {:.4}, {extensions} extension events",
+            before_upper_y, after_upper_y
+        ),
+    ));
+    result.checks.push(Check::new(
+        "the non-drifting dimension is unchanged",
+        model.grid().columns() == before_cols,
+        format!("columns stay at {before_cols}"),
+    ));
+
+    // A far outlier must NOT extend the grid.
+    let cells_before = model.grid().cell_count();
+    let out = model.observe(Point2::new(1e6, 1e6));
+    result.checks.push(Check::new(
+        "a far outlier does not extend the grid",
+        !out.extended && model.grid().cell_count() == cells_before,
+        format!("cell count stays at {cells_before}"),
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_extends_and_outliers_do_not() {
+        let r = run(RunOptions::default());
+        assert!(r.all_checks_passed(), "{}", r.to_ascii());
+    }
+}

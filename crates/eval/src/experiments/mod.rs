@@ -1,0 +1,70 @@
+//! One module per paper artifact. Each `run` function regenerates the
+//! artifact's data on simulated traces and reports shape checks against
+//! the paper's qualitative claims.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — correlated measurements as time series |
+//! | [`fig2`] | Fig. 2 — linear / non-linear / arbitrary pair scatter |
+//! | [`fig5`] | Fig. 5 — the printed 9×9 prior transition matrix |
+//! | [`fig7_8`] | Figs. 7–8 — adaptive grid, offline and after drift |
+//! | [`fig9_10`] | Figs. 9–10 — prior vs posterior transition rows |
+//! | [`fig11`] | Fig. 11 — worked fitness-score example |
+//! | [`closeness`] | §4.2 in-text — spatial-closeness transition counts |
+//! | [`fig12`] | Fig. 12 — fitness dips at ground-truth problems |
+//! | [`fig13`] | Fig. 13 — offline vs adaptive fitness and update time |
+//! | [`fig14`] | Fig. 14 — per-machine fitness localization |
+//! | [`fig15`] | Fig. 15 — nine-day periodic fitness patterns |
+//! | [`fig16`] | Fig. 16 — training-size effect over one day |
+//! | [`ablation`] | DESIGN.md §6 — design-choice quality ablations |
+//! | [`baselines_quality`] | beyond the paper — detector quality head-to-head |
+//! | [`scale`] | §6 in-text — paper-scale pair counts and update cost |
+
+pub mod ablation;
+pub mod baselines_quality;
+pub mod closeness;
+pub mod fig1;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig2;
+pub mod fig5;
+pub mod fig7_8;
+pub mod fig9_10;
+pub mod scale;
+
+use crate::harness::RunOptions;
+use crate::report::ExperimentResult;
+
+/// Every experiment's id, in paper order.
+pub const ALL: [&str; 15] = [
+    "fig1", "fig2", "fig5", "fig7_8", "fig9_10", "fig11", "closeness", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "ablation", "baselines_quality", "scale",
+];
+
+/// Runs one experiment by id.
+///
+/// Returns `None` for an unknown id.
+pub fn run_by_name(name: &str, options: RunOptions) -> Option<ExperimentResult> {
+    Some(match name {
+        "fig1" => fig1::run(options),
+        "fig2" => fig2::run(options),
+        "fig5" => fig5::run(),
+        "fig7_8" => fig7_8::run(options),
+        "fig9_10" => fig9_10::run(),
+        "fig11" => fig11::run(),
+        "closeness" => closeness::run(options),
+        "fig12" => fig12::run(options),
+        "fig13" => fig13::run(options),
+        "fig14" => fig14::run(options),
+        "fig15" => fig15::run(options),
+        "fig16" => fig16::run(options),
+        "ablation" => ablation::run(options),
+        "baselines_quality" => baselines_quality::run(options),
+        "scale" => scale::run(options),
+        _ => return None,
+    })
+}

@@ -1,0 +1,220 @@
+//! Shared experiment plumbing: pair selection, engine construction, and
+//! timed replay over a trace.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use gridwatch_core::{ModelConfig, TransitionModel};
+use gridwatch_detect::{DetectionEngine, EngineConfig, PairScreen, ScoreBoard, Snapshot};
+use gridwatch_sim::Trace;
+use gridwatch_timeseries::{
+    AlignmentPolicy, MeasurementId, MeasurementPair, PairSeries, TimeSeries, Timestamp,
+};
+
+/// Common experiment knobs, settable from the `repro` CLI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Machines per simulated group.
+    pub machines: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Cap on concurrently watched pairs.
+    pub max_pairs: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            machines: 4,
+            seed: 20080529,
+            max_pairs: 40,
+        }
+    }
+}
+
+/// Slices every measurement's series to `[EPOCH, end)` — the training
+/// view of a trace.
+pub fn training_map(trace: &Trace, end: Timestamp) -> BTreeMap<MeasurementId, TimeSeries> {
+    trace
+        .measurement_ids()
+        .map(|id| {
+            (
+                id,
+                trace
+                    .series(id)
+                    .expect("id comes from the trace")
+                    .slice(Timestamp::EPOCH, end),
+            )
+        })
+        .collect()
+}
+
+/// Selects pairs with the paper's high-variance screen, capped at
+/// `max_pairs`.
+pub fn screened_pairs(
+    trace: &Trace,
+    train_end: Timestamp,
+    max_pairs: usize,
+) -> Vec<MeasurementPair> {
+    let training = training_map(trace, train_end);
+    let screen = PairScreen {
+        min_cv: 0.05,
+        max_pairs: Some(max_pairs),
+        ..PairScreen::default()
+    };
+    screen.select(&training)
+}
+
+/// Aligns pair histories over `[start, end)` for the given pairs,
+/// dropping pairs that cannot be aligned.
+pub fn pair_histories(
+    trace: &Trace,
+    pairs: &[MeasurementPair],
+    start: Timestamp,
+    end: Timestamp,
+) -> Vec<(MeasurementPair, PairSeries)> {
+    pairs
+        .iter()
+        .filter_map(|&p| {
+            let a = trace.series(p.first())?.slice(start, end);
+            let b = trace.series(p.second())?.slice(start, end);
+            PairSeries::align(&a, &b, AlignmentPolicy::Intersect)
+                .ok()
+                .map(|h| (p, h))
+        })
+        .collect()
+}
+
+/// Fits a detection engine on `[EPOCH, train_end)` for the screened
+/// pairs.
+///
+/// # Panics
+///
+/// Panics if no pair yields a usable model (misconfigured experiment).
+pub fn build_engine(
+    trace: &Trace,
+    train_end: Timestamp,
+    max_pairs: usize,
+    config: EngineConfig,
+) -> DetectionEngine {
+    let pairs = screened_pairs(trace, train_end, max_pairs);
+    let histories = pair_histories(trace, &pairs, Timestamp::EPOCH, train_end);
+    DetectionEngine::train(histories, config).expect("experiment should yield usable pair models")
+}
+
+/// The snapshot of a trace at tick `t`.
+pub fn snapshot_at(trace: &Trace, t: Timestamp) -> Snapshot {
+    let mut snap = Snapshot::new(t);
+    for id in trace.measurement_ids() {
+        if let Some(v) = trace.series(id).expect("id from trace").value_at(t) {
+            snap.insert(id, v);
+        }
+    }
+    snap
+}
+
+/// Replays `[start, end)` through the engine, returning the per-tick
+/// score boards and the total wall time spent inside `engine.step`.
+pub fn replay_engine(
+    engine: &mut DetectionEngine,
+    trace: &Trace,
+    start: Timestamp,
+    end: Timestamp,
+) -> (Vec<(Timestamp, ScoreBoard)>, Duration) {
+    let mut rows = Vec::new();
+    let mut spent = Duration::ZERO;
+    for t in trace.interval().ticks(start, end) {
+        let snap = snapshot_at(trace, t);
+        let started = Instant::now();
+        let report = engine.step(&snap);
+        spent += started.elapsed();
+        if !report.scores.is_empty() {
+            rows.push((t, report.scores));
+        }
+    }
+    (rows, spent)
+}
+
+/// Fits a single pair model on `[EPOCH, train_end)` of a trace.
+///
+/// # Panics
+///
+/// Panics if the pair's history is degenerate (misconfigured
+/// experiment).
+pub fn fit_pair_model(
+    trace: &Trace,
+    a: MeasurementId,
+    b: MeasurementId,
+    train_end: Timestamp,
+    config: ModelConfig,
+) -> TransitionModel {
+    let sa = trace.series(a).expect("measurement in trace");
+    let sb = trace.series(b).expect("measurement in trace");
+    let history = PairSeries::align(
+        &sa.slice(Timestamp::EPOCH, train_end),
+        &sb.slice(Timestamp::EPOCH, train_end),
+        AlignmentPolicy::Intersect,
+    )
+    .expect("trace series share the sampling schedule");
+    TransitionModel::fit(&history, config).expect("pair history should be modelable")
+}
+
+/// Per-tick system scores from replayed boards.
+pub fn system_scores(rows: &[(Timestamp, ScoreBoard)]) -> Vec<(Timestamp, f64)> {
+    rows.iter()
+        .filter_map(|(t, board)| board.system_score().map(|q| (*t, q)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_sim::scenario::clean_scenario;
+    use gridwatch_timeseries::GroupId;
+
+    #[test]
+    fn engine_pipeline_runs_end_to_end() {
+        let s = clean_scenario(GroupId::A, 2, 1);
+        let mut engine = build_engine(
+            &s.trace,
+            Timestamp::from_days(2),
+            10,
+            EngineConfig::default(),
+        );
+        let (rows, spent) = replay_engine(
+            &mut engine,
+            &s.trace,
+            Timestamp::from_days(2),
+            Timestamp::from_secs(2 * 86_400 + 4 * 3600),
+        );
+        assert!(!rows.is_empty());
+        assert!(spent.as_nanos() > 0);
+        let scores = system_scores(&rows);
+        assert_eq!(scores.len(), rows.len());
+        assert!(scores.iter().all(|&(_, q)| (0.0..=1.0).contains(&q)));
+    }
+
+    #[test]
+    fn screened_pairs_respect_cap() {
+        let s = clean_scenario(GroupId::B, 3, 2);
+        let pairs = screened_pairs(&s.trace, Timestamp::from_days(1), 7);
+        assert!(pairs.len() <= 7);
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn fit_pair_model_works_on_trace_pairs() {
+        let s = clean_scenario(GroupId::A, 1, 3);
+        let mut ids = s.trace.measurement_ids();
+        let a = ids.next().unwrap();
+        let b = ids.nth(1).unwrap();
+        let model = fit_pair_model(
+            &s.trace,
+            a,
+            b,
+            Timestamp::from_days(3),
+            ModelConfig::default(),
+        );
+        assert!(model.matrix().total_observations() > 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation (Section 6) on simulated monitoring data.
+//!
+//! Each paper artifact has a module under [`experiments`] producing an
+//! [`ExperimentResult`]: one or more tables (rendered as ASCII and CSV)
+//! plus a list of *shape checks* — the qualitative claims the
+//! reproduction must uphold (who wins, where the dips are, what grows).
+//! Absolute numbers differ from the paper because the substrate is a
+//! simulator; see `EXPERIMENTS.md` at the workspace root for the
+//! paper-vs-measured record.
+//!
+//! Run everything from the CLI:
+//!
+//! ```text
+//! cargo run -p gridwatch-eval --bin repro -- all
+//! cargo run -p gridwatch-eval --bin repro -- fig12 --seed 7 --machines 4
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use gridwatch_eval::experiments::fig11;
+//!
+//! let result = fig11::run();
+//! assert!(result.checks.iter().all(|c| c.passed));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod split;
+
+pub use report::{Check, ExperimentResult, Table};

@@ -1,0 +1,228 @@
+//! Detection-quality metrics against the simulator's ground-truth fault
+//! schedule — strictly more than the paper could measure (it relied on
+//! administrator-identified events), used to quantify the shape claims.
+
+use gridwatch_sim::FaultSchedule;
+use gridwatch_timeseries::Timestamp;
+
+/// A binary-detection confusion summary at a fixed score threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Confusion {
+    /// Faulty samples flagged.
+    pub true_positives: usize,
+    /// Normal samples flagged.
+    pub false_positives: usize,
+    /// Normal samples passed.
+    pub true_negatives: usize,
+    /// Faulty samples passed.
+    pub false_negatives: usize,
+}
+
+impl Confusion {
+    /// Precision `tp / (tp + fp)`, or `None` with no positives.
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.true_positives + self.false_positives;
+        (denom > 0).then(|| self.true_positives as f64 / denom as f64)
+    }
+
+    /// Recall `tp / (tp + fn)`, or `None` with no faulty samples.
+    pub fn recall(&self) -> Option<f64> {
+        let denom = self.true_positives + self.false_negatives;
+        (denom > 0).then(|| self.true_positives as f64 / denom as f64)
+    }
+
+    /// F1 score, or `None` when precision or recall is undefined.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        ((p + r) > 0.0).then(|| 2.0 * p * r / (p + r))
+    }
+
+    /// False-positive rate `fp / (fp + tn)`, or `None` with no normal
+    /// samples.
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        let denom = self.false_positives + self.true_negatives;
+        (denom > 0).then(|| self.false_positives as f64 / denom as f64)
+    }
+}
+
+/// Labels scored samples against the fault schedule and thresholds the
+/// scores: a sample alarms when `score < threshold`.
+pub fn confusion_at(
+    samples: &[(Timestamp, f64)],
+    faults: &FaultSchedule,
+    threshold: f64,
+) -> Confusion {
+    let mut c = Confusion::default();
+    for &(t, score) in samples {
+        let truth = faults.truth_label(t);
+        let flagged = score < threshold;
+        match (truth, flagged) {
+            (true, true) => c.true_positives += 1,
+            (true, false) => c.false_negatives += 1,
+            (false, true) => c.false_positives += 1,
+            (false, false) => c.true_negatives += 1,
+        }
+    }
+    c
+}
+
+/// The area under the ROC curve, computed as the Mann–Whitney statistic:
+/// the probability that a random faulty sample scores *lower* than a
+/// random normal one (lower score = more anomalous). 0.5 = chance,
+/// 1.0 = perfect separation. Returns `None` if either class is empty.
+pub fn auc(samples: &[(Timestamp, f64)], faults: &FaultSchedule) -> Option<f64> {
+    let faulty: Vec<f64> = samples
+        .iter()
+        .filter(|(t, _)| faults.truth_label(*t))
+        .map(|&(_, s)| s)
+        .collect();
+    let normal: Vec<f64> = samples
+        .iter()
+        .filter(|(t, _)| !faults.truth_label(*t))
+        .map(|&(_, s)| s)
+        .collect();
+    if faulty.is_empty() || normal.is_empty() {
+        return None;
+    }
+    let mut wins = 0.0;
+    for &f in &faulty {
+        for &n in &normal {
+            if f < n {
+                wins += 1.0;
+            } else if f == n {
+                wins += 0.5;
+            }
+        }
+    }
+    Some(wins / (faulty.len() as f64 * normal.len() as f64))
+}
+
+/// Detection delay: the time from each truth window's start to the first
+/// sample inside it scoring below `threshold`. Returns one entry per
+/// truth window (`None` if never detected).
+pub fn detection_delays(
+    samples: &[(Timestamp, f64)],
+    faults: &FaultSchedule,
+    threshold: f64,
+) -> Vec<Option<u64>> {
+    faults
+        .truth_windows()
+        .into_iter()
+        .map(|(start, end)| {
+            samples
+                .iter()
+                .find(|&&(t, s)| t >= start && t < end && s < threshold)
+                .map(|&(t, _)| t.saturating_secs_since(start))
+        })
+        .collect()
+}
+
+/// Mean of the scores in `[lo, hi)`, or `None` if no samples fall there.
+pub fn mean_score_in(samples: &[(Timestamp, f64)], lo: Timestamp, hi: Timestamp) -> Option<f64> {
+    let vals: Vec<f64> = samples
+        .iter()
+        .filter(|(t, _)| *t >= lo && *t < hi)
+        .map(|&(_, s)| s)
+        .collect();
+    (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+/// Minimum score in `[lo, hi)`, or `None` if no samples fall there.
+pub fn min_score_in(samples: &[(Timestamp, f64)], lo: Timestamp, hi: Timestamp) -> Option<f64> {
+    samples
+        .iter()
+        .filter(|(t, _)| *t >= lo && *t < hi)
+        .map(|&(_, s)| s)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite scores"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_sim::{FaultEvent, FaultKind};
+    use gridwatch_timeseries::{MachineId, MeasurementId, MetricKind};
+
+    fn schedule() -> FaultSchedule {
+        let target = MeasurementId::new(MachineId::new(0), MetricKind::CpuUtilization);
+        let mut s = FaultSchedule::new();
+        s.push(FaultEvent::new(
+            FaultKind::CorrelationBreak { target, level: 0.5 },
+            Timestamp::from_secs(100),
+            Timestamp::from_secs(200),
+        ));
+        s
+    }
+
+    fn samples() -> Vec<(Timestamp, f64)> {
+        // Normal (high) outside [100, 200), low inside — except one
+        // missed faulty sample and one false positive.
+        vec![
+            (Timestamp::from_secs(0), 0.95),
+            (Timestamp::from_secs(50), 0.10), // false positive
+            (Timestamp::from_secs(100), 0.90), // missed (late detection)
+            (Timestamp::from_secs(150), 0.20), // detected
+            (Timestamp::from_secs(199), 0.15), // detected
+            (Timestamp::from_secs(250), 0.97),
+        ]
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let c = confusion_at(&samples(), &schedule(), 0.5);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 2);
+        assert!((c.precision().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(c.f1().unwrap() > 0.6);
+        assert!((c.false_positive_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_classes_give_none() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), None);
+        assert_eq!(c.recall(), None);
+        assert_eq!(c.f1(), None);
+    }
+
+    #[test]
+    fn auc_separates_classes() {
+        let a = auc(&samples(), &schedule()).unwrap();
+        assert!(a > 0.5, "auc {a}");
+        // Perfectly separated scores give auc 1.
+        let perfect: Vec<(Timestamp, f64)> = vec![
+            (Timestamp::from_secs(0), 0.9),
+            (Timestamp::from_secs(150), 0.1),
+        ];
+        assert_eq!(auc(&perfect, &schedule()), Some(1.0));
+        // No faulty samples -> None.
+        let clean = FaultSchedule::new();
+        assert_eq!(auc(&samples(), &clean), None);
+    }
+
+    #[test]
+    fn delay_measures_first_hit() {
+        let d = detection_delays(&samples(), &schedule(), 0.5);
+        assert_eq!(d, vec![Some(50)]); // first sub-threshold at t=150
+        let d = detection_delays(&samples(), &schedule(), 0.05);
+        assert_eq!(d, vec![None]); // threshold too strict
+    }
+
+    #[test]
+    fn window_means_and_mins() {
+        let s = samples();
+        let m = mean_score_in(&s, Timestamp::from_secs(100), Timestamp::from_secs(200)).unwrap();
+        assert!((m - (0.90 + 0.20 + 0.15) / 3.0).abs() < 1e-12);
+        assert_eq!(
+            min_score_in(&s, Timestamp::from_secs(100), Timestamp::from_secs(200)),
+            Some(0.15)
+        );
+        assert_eq!(
+            mean_score_in(&s, Timestamp::from_secs(300), Timestamp::from_secs(400)),
+            None
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Uniform experiment output: tables, shape checks, ASCII rendering, and
+//! CSV export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One table of an experiment's output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned ASCII.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for commas and
+    /// quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// A qualitative shape check: a claim from the paper and whether the
+/// reproduction upholds it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Check {
+    /// The claim being verified.
+    pub claim: String,
+    /// Whether the measured data satisfy the claim.
+    pub passed: bool,
+    /// Measured evidence (numbers from this run).
+    pub detail: String,
+}
+
+impl Check {
+    /// Creates a check.
+    pub fn new(claim: impl Into<String>, passed: bool, detail: impl Into<String>) -> Self {
+        Check {
+            claim: claim.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The full output of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `fig12`.
+    pub name: String,
+    /// What the paper's artifact shows.
+    pub description: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Shape checks against the paper's claims.
+    pub checks: Vec<Check>,
+    /// Free-form notes (parameters, seeds, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        ExperimentResult {
+            name: name.into(),
+            description: description.into(),
+            tables: Vec::new(),
+            checks: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Whether every shape check passed.
+    pub fn all_checks_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Renders the whole result as ASCII for the terminal.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} — {}", self.name, self.description);
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        for table in &self.tables {
+            let _ = writeln!(out);
+            out.push_str(&table.to_ascii());
+        }
+        if !self.checks.is_empty() {
+            let _ = writeln!(out, "\n## shape checks");
+            for c in &self.checks {
+                let _ = writeln!(
+                    out,
+                    "  [{}] {} ({})",
+                    if c.passed { "PASS" } else { "FAIL" },
+                    c.claim,
+                    c.detail
+                );
+            }
+        }
+        out
+    }
+
+    /// Writes each table as `<dir>/<name>_<index>.csv` and the checks as
+    /// `<dir>/<name>_checks.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or files.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (i, t) in self.tables.iter().enumerate() {
+            let path = dir.join(format!("{}_{}.csv", self.name, i));
+            std::fs::write(path, t.to_csv())?;
+        }
+        let mut checks = Table::new(
+            "checks",
+            vec!["claim".into(), "passed".into(), "detail".into()],
+        );
+        for c in &self.checks {
+            checks.push_row(vec![c.claim.clone(), c.passed.to_string(), c.detail.clone()]);
+        }
+        std::fs::write(dir.join(format!("{}_checks.csv", self.name)), checks.to_csv())
+    }
+}
+
+/// Renders a single numeric series as a compact ASCII line chart.
+///
+/// Useful for eyeballing fitness-score time series in the terminal
+/// (Figures 12, 15, 16).
+pub fn ascii_line_chart(values: &[f64], width: usize, height: usize) -> String {
+    if values.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    // Downsample to `width` columns by averaging.
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * values.len() / width;
+            let hi = (((c + 1) * values.len()) / width).max(lo + 1);
+            let slice = &values[lo..hi.min(values.len())];
+            slice.iter().sum::<f64>() / slice.len() as f64
+        })
+        .collect();
+    let min = cols.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = cols.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, &v) in cols.iter().enumerate() {
+        let r = ((v - min) / span * (height - 1) as f64).round() as usize;
+        grid[height - 1 - r][c] = '*';
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{max:>10.4} ┐");
+    for row in grid {
+        let _ = writeln!(out, "           │{}", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{min:>10.4} ┘");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("demo", vec!["a".into(), "b,with comma".into()]);
+        t.push_row(vec!["1".into(), "x\"quoted\"".into()]);
+        t.push_row(vec!["22".into(), "y".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_table_aligns_columns() {
+        let a = sample_table().to_ascii();
+        assert!(a.contains("## demo"));
+        assert!(a.contains("22"));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let csv = sample_table().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "a,\"b,with comma\"");
+        assert_eq!(lines.next().unwrap(), "1,\"x\"\"quoted\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn result_roundtrip_and_checks() {
+        let mut r = ExperimentResult::new("figX", "testing");
+        r.tables.push(sample_table());
+        r.checks.push(Check::new("works", true, "yes"));
+        r.checks.push(Check::new("fails", false, "no"));
+        assert!(!r.all_checks_passed());
+        let ascii = r.to_ascii();
+        assert!(ascii.contains("[PASS] works"));
+        assert!(ascii.contains("[FAIL] fails"));
+    }
+
+    #[test]
+    fn csv_files_written() {
+        let dir = std::env::temp_dir().join(format!("gridwatch_eval_test_{}", std::process::id()));
+        let mut r = ExperimentResult::new("figY", "demo");
+        r.tables.push(sample_table());
+        r.write_csv(&dir).unwrap();
+        assert!(dir.join("figY_0.csv").exists());
+        assert!(dir.join("figY_checks.csv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn line_chart_renders_extremes() {
+        let values: Vec<f64> = (0..100).map(|k| (k as f64 / 10.0).sin()).collect();
+        let chart = ascii_line_chart(&values, 40, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.lines().count() == 10);
+        assert!(ascii_line_chart(&[], 40, 8).is_empty());
+    }
+}

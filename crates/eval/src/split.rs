@@ -1,0 +1,149 @@
+//! The paper's train/test calendar (Section 6).
+//!
+//! One month of monitoring data, May 29 to June 27 2008; our epoch
+//! second 0 is May 29 00:00 (a Thursday, matching the real calendar).
+//!
+//! * Training sets all start May 29: 1 day (May 29), 8 days (May
+//!   29–June 5), 15 days (May 29–June 12).
+//! * Test sets all start June 13 (day 15): 1, 5, 9, and 13 days.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::Timestamp;
+
+/// First test day (June 13) as a day index from the May 29 epoch.
+pub const TEST_START_DAY: u64 = 15;
+
+/// The paper's three training windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrainWindow {
+    /// May 29 only ("5.29–5.29").
+    OneDay,
+    /// May 29 – June 5 ("5.29–6.5").
+    EightDays,
+    /// May 29 – June 12 ("5.29–6.12").
+    FifteenDays,
+}
+
+impl TrainWindow {
+    /// All training windows, smallest first.
+    pub const ALL: [TrainWindow; 3] = [
+        TrainWindow::OneDay,
+        TrainWindow::EightDays,
+        TrainWindow::FifteenDays,
+    ];
+
+    /// Number of days in the window.
+    pub fn days(self) -> u64 {
+        match self {
+            TrainWindow::OneDay => 1,
+            TrainWindow::EightDays => 8,
+            TrainWindow::FifteenDays => 15,
+        }
+    }
+
+    /// The half-open `[start, end)` timestamps.
+    pub fn range(self) -> (Timestamp, Timestamp) {
+        (Timestamp::EPOCH, Timestamp::from_days(self.days()))
+    }
+}
+
+impl fmt::Display for TrainWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainWindow::OneDay => write!(f, "5.29-5.29"),
+            TrainWindow::EightDays => write!(f, "5.29-6.5"),
+            TrainWindow::FifteenDays => write!(f, "5.29-6.12"),
+        }
+    }
+}
+
+/// The paper's four test windows, all starting June 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestWindow {
+    /// June 13 ("6.13–6.13").
+    OneDay,
+    /// June 13–17 ("6.13–6.17").
+    FiveDays,
+    /// June 13–21 ("6.13–6.21").
+    NineDays,
+    /// June 13–25 ("6.13–6.25").
+    ThirteenDays,
+}
+
+impl TestWindow {
+    /// All test windows, smallest first.
+    pub const ALL: [TestWindow; 4] = [
+        TestWindow::OneDay,
+        TestWindow::FiveDays,
+        TestWindow::NineDays,
+        TestWindow::ThirteenDays,
+    ];
+
+    /// Number of days in the window.
+    pub fn days(self) -> u64 {
+        match self {
+            TestWindow::OneDay => 1,
+            TestWindow::FiveDays => 5,
+            TestWindow::NineDays => 9,
+            TestWindow::ThirteenDays => 13,
+        }
+    }
+
+    /// The half-open `[start, end)` timestamps.
+    pub fn range(self) -> (Timestamp, Timestamp) {
+        (
+            Timestamp::from_days(TEST_START_DAY),
+            Timestamp::from_days(TEST_START_DAY + self.days()),
+        )
+    }
+}
+
+impl fmt::Display for TestWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestWindow::OneDay => write!(f, "6.13-6.13"),
+            TestWindow::FiveDays => write!(f, "6.13-6.17"),
+            TestWindow::NineDays => write!(f, "6.13-6.21"),
+            TestWindow::ThirteenDays => write!(f, "6.13-6.25"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_windows_start_at_epoch() {
+        for w in TrainWindow::ALL {
+            let (start, end) = w.range();
+            assert_eq!(start, Timestamp::EPOCH);
+            assert_eq!(end.day_index(), w.days());
+        }
+    }
+
+    #[test]
+    fn test_windows_start_june_13() {
+        for w in TestWindow::ALL {
+            let (start, end) = w.range();
+            assert_eq!(start.day_index(), 15);
+            assert_eq!(end.day_index() - start.day_index(), w.days());
+        }
+    }
+
+    #[test]
+    fn no_overlap_between_train_and_test() {
+        let (_, train_end) = TrainWindow::FifteenDays.range();
+        let (test_start, _) = TestWindow::OneDay.range();
+        assert!(train_end <= test_start);
+    }
+
+    #[test]
+    fn display_uses_paper_labels() {
+        assert_eq!(TrainWindow::EightDays.to_string(), "5.29-6.5");
+        assert_eq!(TestWindow::ThirteenDays.to_string(), "6.13-6.25");
+    }
+}

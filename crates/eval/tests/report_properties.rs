@@ -1,0 +1,77 @@
+//! Property-based tests for the report/table layer used by every
+//! experiment.
+
+use gridwatch_eval::report::{ascii_line_chart, Check, ExperimentResult, Table};
+use proptest::prelude::*;
+
+fn arb_cell() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ,\"]{0,12}"
+}
+
+proptest! {
+    #[test]
+    fn csv_has_one_line_per_row_plus_header(
+        headers in prop::collection::vec(arb_cell(), 1..6),
+        rows in prop::collection::vec(prop::collection::vec(arb_cell(), 1..6), 0..10),
+    ) {
+        let width = headers.len();
+        let mut table = Table::new("t", headers);
+        for row in &rows {
+            let mut padded = row.clone();
+            padded.resize(width, String::new());
+            table.push_row(padded);
+        }
+        let csv = table.to_csv();
+        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+        // Quoted cells keep commas from splitting fields: unquoted commas
+        // per line equal width - 1 after removing quoted sections.
+        for line in csv.lines() {
+            let mut in_quotes = false;
+            let mut separators = 0;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => separators += 1,
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(separators, width - 1, "line {:?}", line);
+        }
+    }
+
+    #[test]
+    fn ascii_table_contains_every_cell_trimmed(
+        cells in prop::collection::vec("[a-z0-9]{1,8}", 1..5),
+    ) {
+        let mut table = Table::new("demo", cells.clone());
+        table.push_row(cells.clone());
+        let ascii = table.to_ascii();
+        for cell in &cells {
+            prop_assert!(ascii.contains(cell.as_str()));
+        }
+    }
+
+    #[test]
+    fn chart_dimensions_are_respected(
+        values in prop::collection::vec(-1e3f64..1e3, 1..300),
+        width in 1usize..100,
+        height in 1usize..20,
+    ) {
+        let chart = ascii_line_chart(&values, width, height);
+        // height rows plus the two boundary label lines.
+        prop_assert_eq!(chart.lines().count(), height + 2);
+        for line in chart.lines().skip(1).take(height) {
+            prop_assert!(line.chars().count() <= width + 12 + 1);
+        }
+        prop_assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn all_checks_passed_reflects_every_check(flags in prop::collection::vec(any::<bool>(), 0..10)) {
+        let mut r = ExperimentResult::new("x", "y");
+        for (i, &ok) in flags.iter().enumerate() {
+            r.checks.push(Check::new(format!("c{i}"), ok, "d"));
+        }
+        prop_assert_eq!(r.all_checks_passed(), flags.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or extending a grid structure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// The history data set was empty; a grid cannot be initialized.
+    EmptyHistory,
+    /// A dimension's data had no spread (all values equal), so no
+    /// non-degenerate interval partition exists.
+    DegenerateDimension {
+        /// Which dimension (0 = x, 1 = y) collapsed.
+        dimension: usize,
+        /// The single value observed.
+        value: f64,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Description of the offending parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::EmptyHistory => write!(f, "cannot build a grid from empty history data"),
+            GridError::DegenerateDimension { dimension, value } => write!(
+                f,
+                "dimension {dimension} has no spread (all samples equal {value})"
+            ),
+            GridError::InvalidConfig { reason } => write!(f, "invalid grid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GridError::EmptyHistory.to_string().contains("empty"));
+        let e = GridError::DegenerateDimension {
+            dimension: 1,
+            value: 3.5,
+        };
+        assert!(e.to_string().contains("dimension 1"));
+        let e = GridError::InvalidConfig {
+            reason: "unit count must be positive".into(),
+        };
+        assert!(e.to_string().contains("unit count"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<GridError>();
+    }
+}

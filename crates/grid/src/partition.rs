@@ -1,0 +1,210 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Interval;
+
+/// An ordered, contiguous partition of one dimension into half-open
+/// intervals.
+///
+/// Invariants (enforced at construction and under extension):
+/// * at least one interval;
+/// * intervals are contiguous: `intervals[k].upper == intervals[k+1].lower`.
+///
+/// The partition supports the paper's online boundary extension: when data
+/// drift slightly past the bounds, new intervals of the average historical
+/// width are appended (Section 4.1, "Update").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimensionPartition {
+    intervals: Vec<Interval>,
+    /// Average interval width at initialization (`r_avg` in the paper);
+    /// newly appended intervals use this width, so one noisy online batch
+    /// cannot degrade the partition's resolution.
+    initial_avg_width: f64,
+}
+
+impl DimensionPartition {
+    /// Creates a partition from contiguous intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is empty or not contiguous in order.
+    pub fn new(intervals: Vec<Interval>) -> Self {
+        assert!(!intervals.is_empty(), "partition needs at least one interval");
+        for w in intervals.windows(2) {
+            assert!(
+                w[0].upper() == w[1].lower(),
+                "partition intervals must be contiguous: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+        let avg = (intervals.last().unwrap().upper() - intervals[0].lower())
+            / intervals.len() as f64;
+        DimensionPartition {
+            intervals,
+            initial_avg_width: avg,
+        }
+    }
+
+    /// Creates `count` equal-width intervals over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `lo >= hi`.
+    pub fn equal_width(lo: f64, hi: f64, count: usize) -> Self {
+        assert!(count > 0, "partition needs at least one interval");
+        assert!(lo < hi, "partition range must be non-empty");
+        let w = (hi - lo) / count as f64;
+        let intervals = (0..count)
+            .map(|k| {
+                let lower = lo + k as f64 * w;
+                // Use the exact upper bound for the last interval to avoid
+                // floating-point gaps.
+                let upper = if k == count - 1 { hi } else { lo + (k + 1) as f64 * w };
+                Interval::new(lower, upper)
+            })
+            .collect();
+        DimensionPartition::new(intervals)
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the partition is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The intervals, in increasing order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The partition's inclusive lower bound.
+    pub fn lower(&self) -> f64 {
+        self.intervals[0].lower()
+    }
+
+    /// The partition's exclusive upper bound.
+    pub fn upper(&self) -> f64 {
+        self.intervals.last().expect("non-empty").upper()
+    }
+
+    /// The average interval width *at initialization* (`r_avg`).
+    pub fn average_width(&self) -> f64 {
+        self.initial_avg_width
+    }
+
+    /// The index of the interval containing `value`, or `None` if out of
+    /// bounds.
+    pub fn locate(&self, value: f64) -> Option<usize> {
+        if !(value >= self.lower() && value < self.upper()) {
+            return None;
+        }
+        // Binary search over lower bounds: the containing interval is the
+        // last one whose lower bound is <= value.
+        let idx = self
+            .intervals
+            .partition_point(|iv| iv.lower() <= value)
+            .saturating_sub(1);
+        debug_assert!(self.intervals[idx].contains(value));
+        Some(idx)
+    }
+
+    /// Extends the partition so that `value` becomes contained, appending
+    /// intervals of width [`DimensionPartition::average_width`] below or
+    /// above as needed. Returns the number of intervals prepended and
+    /// appended: `(below, above)`.
+    ///
+    /// The caller decides *whether* extension is allowed (the `λ · r_avg`
+    /// proximity rule lives in [`crate::GrowthPolicy`]); this method only
+    /// performs it.
+    pub fn extend_to(&mut self, value: f64) -> (usize, usize) {
+        let w = self.initial_avg_width;
+        let mut below = 0;
+        while value < self.lower() {
+            let lo = self.lower();
+            self.intervals.insert(0, Interval::new(lo - w, lo));
+            below += 1;
+        }
+        let mut above = 0;
+        while value >= self.upper() {
+            let hi = self.upper();
+            self.intervals.push(Interval::new(hi, hi + w));
+            above += 1;
+        }
+        (below, above)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_partition() {
+        let p = DimensionPartition::equal_width(0.0, 10.0, 5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.lower(), 0.0);
+        assert_eq!(p.upper(), 10.0);
+        assert_eq!(p.average_width(), 2.0);
+        assert_eq!(p.locate(0.0), Some(0));
+        assert_eq!(p.locate(9.999), Some(4));
+        assert_eq!(p.locate(10.0), None);
+        assert_eq!(p.locate(-0.1), None);
+    }
+
+    #[test]
+    fn locate_respects_uneven_intervals() {
+        let p = DimensionPartition::new(vec![
+            Interval::new(0.0, 1.0),
+            Interval::new(1.0, 5.0),
+            Interval::new(5.0, 6.0),
+        ]);
+        assert_eq!(p.locate(0.5), Some(0));
+        assert_eq!(p.locate(1.0), Some(1));
+        assert_eq!(p.locate(4.999), Some(1));
+        assert_eq!(p.locate(5.0), Some(2));
+        assert_eq!(p.average_width(), 2.0);
+    }
+
+    #[test]
+    fn extend_above_and_below() {
+        let mut p = DimensionPartition::equal_width(0.0, 4.0, 2); // r_avg = 2
+        let (below, above) = p.extend_to(7.5);
+        assert_eq!((below, above), (0, 2)); // 4..6, 6..8
+        assert_eq!(p.upper(), 8.0);
+        assert_eq!(p.locate(7.5), Some(3));
+
+        let (below, above) = p.extend_to(-3.0);
+        assert_eq!((below, above), (2, 0)); // -2..0, -4..-2
+        assert_eq!(p.lower(), -4.0);
+        assert_eq!(p.locate(-3.0), Some(0));
+        // All intervals still contiguous.
+        for w in p.intervals().windows(2) {
+            assert_eq!(w[0].upper(), w[1].lower());
+        }
+    }
+
+    #[test]
+    fn extend_to_contained_value_is_noop() {
+        let mut p = DimensionPartition::equal_width(0.0, 4.0, 2);
+        let before = p.clone();
+        assert_eq!(p.extend_to(1.0), (0, 0));
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gaps_rejected() {
+        DimensionPartition::new(vec![Interval::new(0.0, 1.0), Interval::new(2.0, 3.0)]);
+    }
+
+    #[test]
+    fn average_width_is_fixed_at_initialization() {
+        let mut p = DimensionPartition::equal_width(0.0, 4.0, 4); // r_avg = 1
+        p.extend_to(10.0);
+        assert_eq!(p.average_width(), 1.0);
+    }
+}

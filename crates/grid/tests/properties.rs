@@ -1,0 +1,144 @@
+//! Property-based tests for grid invariants: every history point is
+//! locatable, partitions stay contiguous under extension, kernels are
+//! well-behaved, and extension remaps are consistent.
+
+use gridwatch_grid::{
+    DecayKernel, DimensionPartition, Extension, GridBuilder, GridConfig, GridStructure,
+    GrowthPolicy,
+};
+use gridwatch_timeseries::Point2;
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 2..300).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y)| Point2::new(x, y))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_history_point_is_locatable(points in arb_points()) {
+        let builder = GridBuilder::new(GridConfig::default());
+        match builder.build(&points) {
+            Ok(grid) => {
+                for p in &points {
+                    prop_assert!(grid.locate(*p).is_some(), "history point {p:?} escaped");
+                }
+            }
+            Err(_) => {
+                // Only acceptable failure: a degenerate dimension.
+                let xs_equal = points.windows(2).all(|w| w[0].x == w[1].x);
+                let ys_equal = points.windows(2).all(|w| w[0].y == w[1].y);
+                prop_assert!(xs_equal || ys_equal);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_locate_agrees_with_contains(
+        lo in -1e3f64..0.0,
+        width in 0.1f64..1e3,
+        count in 1usize..30,
+        probes in prop::collection::vec(-2e3f64..2e3, 1..50),
+    ) {
+        let p = DimensionPartition::equal_width(lo, lo + width, count);
+        for v in probes {
+            match p.locate(v) {
+                Some(i) => prop_assert!(p.intervals()[i].contains(v)),
+                None => prop_assert!(v < p.lower() || v >= p.upper()),
+            }
+        }
+    }
+
+    #[test]
+    fn extension_keeps_partition_contiguous(
+        count in 1usize..10,
+        targets in prop::collection::vec(-500f64..500.0, 1..20),
+    ) {
+        let mut p = DimensionPartition::equal_width(0.0, 10.0, count);
+        for t in targets {
+            p.extend_to(t);
+            prop_assert!(p.locate(t).is_some());
+            for w in p.intervals().windows(2) {
+                prop_assert_eq!(w[0].upper(), w[1].lower());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_extension_remap_is_consistent(
+        px in -20f64..20.0,
+        py in -20f64..20.0,
+        lambda in 0.5f64..50.0,
+    ) {
+        let mut g = GridStructure::uniform((0.0, 3.0), (0.0, 3.0), 3, 3);
+        let old_cols = g.columns();
+        let old_rows = g.rows();
+        // Track where a fixed reference point lives before extension.
+        let ref_point = Point2::new(1.5, 1.5);
+        let old_loc = g.location_of(g.locate(ref_point).unwrap());
+        match g.locate_or_extend(Point2::new(px, py), GrowthPolicy { lambda }) {
+            Extension::Contained(c) => {
+                prop_assert_eq!(g.locate(Point2::new(px, py)), Some(c));
+                prop_assert_eq!(g.columns(), old_cols);
+            }
+            Extension::Extended { cell, prepended_cols, prepended_rows, appended_cols, appended_rows } => {
+                prop_assert_eq!(g.locate(Point2::new(px, py)), Some(cell));
+                prop_assert_eq!(g.columns(), old_cols + prepended_cols + appended_cols);
+                prop_assert_eq!(g.rows(), old_rows + prepended_rows + appended_rows);
+                // Reference point shifted by exactly the prepend counts.
+                let new_loc = g.location_of(g.locate(ref_point).unwrap());
+                prop_assert_eq!(new_loc.col, old_loc.col + prepended_cols);
+                prop_assert_eq!(new_loc.row, old_loc.row + prepended_rows);
+            }
+            Extension::Outlier => {
+                prop_assert_eq!(g.columns(), old_cols);
+                prop_assert_eq!(g.rows(), old_rows);
+                // The point really is out of reach on some dimension.
+                let rx = lambda * g.x_partition().average_width();
+                let ry = lambda * g.y_partition().average_width();
+                let x_ok = px >= -rx && px < 3.0 + rx;
+                let y_ok = py >= -ry && py < 3.0 + ry;
+                prop_assert!(!(x_ok && y_ok));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_weights_positive_and_monotone_in_each_axis(
+        w in 1.01f64..8.0,
+        dx in 0i64..12,
+        dy in 0i64..12,
+    ) {
+        for k in DecayKernel::ALL {
+            let base = k.weight(w, dx, dy);
+            prop_assert!(base >= 1.0);
+            // All kernels are (at least weakly) monotone per axis;
+            // Chebyshev is flat while the other axis dominates.
+            prop_assert!(k.weight(w, dx + 1, dy) >= base);
+            prop_assert!(k.weight(w, dx, dy + 1) >= base);
+        }
+        // MeanAxis and Manhattan are strictly monotone per axis.
+        for k in [DecayKernel::MeanAxis, DecayKernel::Manhattan] {
+            let base = k.weight(w, dx, dy);
+            prop_assert!(k.weight(w, dx + 1, dy) > base);
+            prop_assert!(k.weight(w, dx, dy + 1) > base);
+        }
+    }
+
+    #[test]
+    fn flat_ids_are_a_bijection(cols in 1usize..20, rows in 1usize..20) {
+        let g = GridStructure::uniform((0.0, 1.0), (0.0, 1.0), cols, rows);
+        let mut seen = vec![false; g.cell_count()];
+        for cell in g.cells() {
+            let loc = g.location_of(cell);
+            prop_assert!(loc.col < cols && loc.row < rows);
+            prop_assert_eq!(g.cell_at(loc), cell);
+            prop_assert!(!seen[cell.index()]);
+            seen[cell.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

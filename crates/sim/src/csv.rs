@@ -1,0 +1,294 @@
+//! CSV import/export for monitoring traces.
+//!
+//! The long format mirrors what monitoring agents actually emit — one
+//! row per sample:
+//!
+//! ```text
+//! timestamp_secs,group,machine,metric,value
+//! 0,A,machine-000,CpuUtilization,14.2061
+//! ```
+//!
+//! Export lets simulated traces feed external tooling; import lets the
+//! detection pipeline run on real monitoring data with no code changes.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use gridwatch_timeseries::{
+    Catalog, GroupId, MeasurementId, SampleInterval, TimeSeries, Timestamp,
+};
+
+use crate::trace::Trace;
+
+/// The CSV header written and expected by this module.
+pub const HEADER: &str = "timestamp_secs,group,machine,metric,value";
+
+/// Errors produced while reading a trace from CSV.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line was missing or different from [`HEADER`].
+    BadHeader {
+        /// What was found instead.
+        found: String,
+    },
+    /// A data row could not be parsed.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The file contained a header but no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o failure: {e}"),
+            CsvError::BadHeader { found } => {
+                write!(f, "expected header {HEADER:?}, found {found:?}")
+            }
+            CsvError::BadRow { line, reason } => write!(f, "line {line}: {reason}"),
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl Trace {
+    /// Writes the trace as long-format CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), CsvError> {
+        writeln!(w, "{HEADER}")?;
+        for id in self.measurement_ids() {
+            let group = self
+                .catalog()
+                .group_of(id)
+                .expect("trace catalog covers its measurements");
+            let series = self.series(id).expect("id from this trace");
+            for (t, v) in series.iter() {
+                writeln!(
+                    w,
+                    "{},{},{},{},{}",
+                    t.as_secs(),
+                    group,
+                    id.machine(),
+                    id.metric(),
+                    v
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The trace as a CSV string.
+    pub fn to_csv_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_csv(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("csv output is UTF-8")
+    }
+
+    /// Reads a long-format CSV trace. Rows may arrive grouped by
+    /// measurement or fully interleaved by time; within one measurement,
+    /// timestamps must be strictly increasing.
+    ///
+    /// The sampling interval is inferred from the smallest gap between
+    /// consecutive samples of the first measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CsvError`] for I/O failures, a bad header, or a
+    /// malformed row.
+    pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, CsvError> {
+        let mut lines = reader.lines();
+        let header = lines.next().ok_or(CsvError::Empty)??;
+        if header.trim() != HEADER {
+            return Err(CsvError::BadHeader { found: header });
+        }
+        let mut catalog = Catalog::new();
+        let mut series: BTreeMap<MeasurementId, TimeSeries> = BTreeMap::new();
+        let mut rows = 0usize;
+        for (k, line) in lines.enumerate() {
+            let line = line?;
+            let line_no = k + 2;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let bad = |reason: String| CsvError::BadRow {
+                line: line_no,
+                reason,
+            };
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 5 {
+                return Err(bad(format!("expected 5 fields, found {}", fields.len())));
+            }
+            let secs: u64 = fields[0]
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("bad timestamp: {e}")))?;
+            let group: GroupId = fields[1]
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("{e}")))?;
+            let machine = fields[2]
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("{e}")))?;
+            let metric = fields[3]
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("{e}")))?;
+            let value: f64 = fields[4]
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("bad value: {e}")))?;
+            let id = MeasurementId::new(machine, metric);
+            if catalog.info(id).is_none() {
+                catalog.register(machine, metric, group);
+            }
+            series
+                .entry(id)
+                .or_default()
+                .push(Timestamp::from_secs(secs), value)
+                .map_err(|e| bad(format!("{e}")))?;
+            rows += 1;
+        }
+        if rows == 0 {
+            return Err(CsvError::Empty);
+        }
+        // Infer the sampling interval from the densest observed spacing.
+        let interval = series
+            .values()
+            .next()
+            .and_then(|s| {
+                s.timestamps()
+                    .windows(2)
+                    .map(|w| w[1].as_secs() - w[0].as_secs())
+                    .min()
+            })
+            .filter(|&gap| gap > 0)
+            .map(SampleInterval::from_secs)
+            .unwrap_or_default();
+        Ok(Trace::from_parts(catalog, series, interval))
+    }
+
+    /// Reads a CSV trace from a string.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Trace::read_csv`].
+    pub fn from_csv_str(s: &str) -> Result<Trace, CsvError> {
+        Trace::read_csv(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::clean_scenario;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = clean_scenario(GroupId::B, 2, 5).trace;
+        // Trim to a few hours to keep the CSV small.
+        let csv = {
+            let mut small = BTreeMap::new();
+            for id in trace.measurement_ids() {
+                small.insert(
+                    id,
+                    trace
+                        .series(id)
+                        .unwrap()
+                        .slice(Timestamp::EPOCH, Timestamp::from_hours(3)),
+                );
+            }
+            Trace::from_parts(trace.catalog().clone(), small, trace.interval()).to_csv_string()
+        };
+        let back = Trace::from_csv_str(&csv).unwrap();
+        assert_eq!(back.measurement_count(), trace.measurement_count());
+        assert_eq!(back.interval(), trace.interval());
+        for id in back.measurement_ids() {
+            let s = back.series(id).unwrap();
+            assert_eq!(s.len(), 30, "3 hours of 6-minute samples");
+            assert_eq!(
+                trace.catalog().group_of(id),
+                back.catalog().group_of(id),
+                "group preserved for {id}"
+            );
+        }
+        // Bit-exact values.
+        let id = back.measurement_ids().next().unwrap();
+        let original = trace
+            .series(id)
+            .unwrap()
+            .slice(Timestamp::EPOCH, Timestamp::from_hours(3));
+        assert_eq!(back.series(id).unwrap().values(), original.values());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = Trace::from_csv_str("time,value\n1,2\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader { .. }));
+        assert!(err.to_string().contains("expected header"));
+    }
+
+    #[test]
+    fn bad_rows_are_located() {
+        let csv = format!("{HEADER}\n0,A,machine-000,CpuUtilization,1.0\nnot,a,row\n");
+        let err = Trace::from_csv_str(&csv).unwrap_err();
+        match err {
+            CsvError::BadRow { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected BadRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_metric_rejected() {
+        let csv = format!("{HEADER}\n0,A,machine-000,Bogus,1.0\n");
+        let err = Trace::from_csv_str(&csv).unwrap_err();
+        assert!(err.to_string().contains("metric kind"));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(matches!(Trace::from_csv_str(""), Err(CsvError::Empty)));
+        assert!(matches!(
+            Trace::from_csv_str(&format!("{HEADER}\n")),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn interval_is_inferred() {
+        let csv = format!(
+            "{HEADER}\n0,A,0,CpuUtilization,1.0\n60,A,0,CpuUtilization,2.0\n\
+             120,A,0,CpuUtilization,3.0\n"
+        );
+        let trace = Trace::from_csv_str(&csv).unwrap();
+        assert_eq!(trace.interval(), SampleInterval::from_secs(60));
+    }
+}

@@ -1,0 +1,246 @@
+//! Fault injection with exact ground-truth windows.
+//!
+//! The paper evaluates against problems "identified by the system
+//! administrators" — ground truth it could only eyeball. The simulator
+//! injects faults at scripted times instead, which lets the evaluation
+//! measure precision/recall and detection delay exactly.
+//!
+//! The fault taxonomy follows the paper's motivating discussion:
+//!
+//! * [`FaultKind::CorrelationBreak`] — a measurement decouples from the
+//!   workload (the "real" problems the detector must flag);
+//! * [`FaultKind::LoadSpike`] — "a flood of user requests": every
+//!   measurement rises but correlations persist; the paper argues these
+//!   must **not** alarm (its false-positive-reduction claim);
+//! * [`FaultKind::MachineDegradation`] — all metrics of one machine
+//!   misbehave, the localization target of Figure 14;
+//! * [`FaultKind::SensorStuck`] — a measurement freezes at its last
+//!   value.
+
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::{MachineId, MeasurementId, Timestamp};
+
+/// The kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The target measurement decouples from the workload: its values are
+    /// replaced by `level · (1 + wander)`, independent of load.
+    CorrelationBreak {
+        /// The affected measurement.
+        target: MeasurementId,
+        /// The level (relative to the metric's normal output scale) the
+        /// measurement wanders around while broken.
+        level: f64,
+    },
+    /// A correlation-preserving global load surge (flash crowd).
+    LoadSpike {
+        /// Multiplier on the global workload during the window.
+        factor: f64,
+    },
+    /// Every metric on the machine degrades: load share collapses and
+    /// extra noise appears.
+    MachineDegradation {
+        /// The affected machine.
+        machine: MachineId,
+        /// Multiplier on the machine's load share (e.g. 0.2).
+        share_factor: f64,
+        /// Extra relative noise added to the machine's metrics.
+        extra_noise: f64,
+    },
+    /// The target measurement reports its last pre-fault value for the
+    /// whole window.
+    SensorStuck {
+        /// The affected measurement.
+        target: MeasurementId,
+    },
+}
+
+impl FaultKind {
+    /// Whether this fault should raise an alarm (breaks correlations).
+    ///
+    /// Load spikes preserve correlations and are expected to stay silent.
+    pub fn should_alarm(&self) -> bool {
+        !matches!(self, FaultKind::LoadSpike { .. })
+    }
+
+    /// The machine this fault localizes to, if any.
+    pub fn machine(&self) -> Option<MachineId> {
+        match self {
+            FaultKind::CorrelationBreak { target, .. } => Some(target.machine()),
+            FaultKind::SensorStuck { target } => Some(target.machine()),
+            FaultKind::MachineDegradation { machine, .. } => Some(*machine),
+            FaultKind::LoadSpike { .. } => None,
+        }
+    }
+}
+
+/// One injected fault: a kind plus its half-open active window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Start of the fault (inclusive).
+    pub start: Timestamp,
+    /// End of the fault (exclusive).
+    pub end: Timestamp,
+}
+
+impl FaultEvent {
+    /// Creates a fault event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(kind: FaultKind, start: Timestamp, end: Timestamp) -> Self {
+        assert!(start < end, "fault window must be non-empty");
+        FaultEvent { kind, start, end }
+    }
+
+    /// Whether the fault is active at `t`.
+    pub fn is_active_at(&self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A scripted schedule of fault events — the simulation's ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Adds an event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events active at `t`.
+    pub fn active_at(&self, t: Timestamp) -> impl Iterator<Item = &FaultEvent> + '_ {
+        self.events.iter().filter(move |e| e.is_active_at(t))
+    }
+
+    /// Whether any *alarm-worthy* fault (correlation-breaking) is active
+    /// at `t` — the ground-truth label for detection metrics.
+    pub fn truth_label(&self, t: Timestamp) -> bool {
+        self.active_at(t).any(|e| e.kind.should_alarm())
+    }
+
+    /// The alarm-worthy windows, for reporting.
+    pub fn truth_windows(&self) -> Vec<(Timestamp, Timestamp)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind.should_alarm())
+            .map(|e| (e.start, e.end))
+            .collect()
+    }
+}
+
+impl FromIterator<FaultEvent> for FaultSchedule {
+    fn from_iter<T: IntoIterator<Item = FaultEvent>>(iter: T) -> Self {
+        FaultSchedule {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_timeseries::MetricKind;
+
+    fn measurement() -> MeasurementId {
+        MeasurementId::new(MachineId::new(2), MetricKind::CpuUtilization)
+    }
+
+    #[test]
+    fn window_membership() {
+        let e = FaultEvent::new(
+            FaultKind::LoadSpike { factor: 3.0 },
+            Timestamp::from_hours(10),
+            Timestamp::from_hours(12),
+        );
+        assert!(!e.is_active_at(Timestamp::from_hours(9)));
+        assert!(e.is_active_at(Timestamp::from_hours(10)));
+        assert!(e.is_active_at(Timestamp::from_secs(11 * 3600 + 1800)));
+        assert!(!e.is_active_at(Timestamp::from_hours(12)));
+    }
+
+    #[test]
+    fn load_spikes_do_not_count_as_truth() {
+        let mut s = FaultSchedule::new();
+        s.push(FaultEvent::new(
+            FaultKind::LoadSpike { factor: 2.0 },
+            Timestamp::from_hours(0),
+            Timestamp::from_hours(1),
+        ));
+        s.push(FaultEvent::new(
+            FaultKind::CorrelationBreak {
+                target: measurement(),
+                level: 0.1,
+            },
+            Timestamp::from_hours(2),
+            Timestamp::from_hours(3),
+        ));
+        assert!(!s.truth_label(Timestamp::from_secs(1800)));
+        assert!(s.truth_label(Timestamp::from_secs(2 * 3600 + 60)));
+        assert_eq!(s.truth_windows().len(), 1);
+    }
+
+    #[test]
+    fn machine_attribution() {
+        assert_eq!(
+            FaultKind::CorrelationBreak {
+                target: measurement(),
+                level: 1.0
+            }
+            .machine(),
+            Some(MachineId::new(2))
+        );
+        assert_eq!(FaultKind::LoadSpike { factor: 2.0 }.machine(), None);
+        assert_eq!(
+            FaultKind::MachineDegradation {
+                machine: MachineId::new(7),
+                share_factor: 0.2,
+                extra_noise: 0.1
+            }
+            .machine(),
+            Some(MachineId::new(7))
+        );
+    }
+
+    #[test]
+    fn alarm_expectations() {
+        assert!(!FaultKind::LoadSpike { factor: 5.0 }.should_alarm());
+        assert!(FaultKind::SensorStuck {
+            target: measurement()
+        }
+        .should_alarm());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        FaultEvent::new(
+            FaultKind::LoadSpike { factor: 1.0 },
+            Timestamp::from_hours(1),
+            Timestamp::from_hours(1),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! A distributed-infrastructure telemetry simulator for `gridwatch`.
+//!
+//! The paper evaluates on one month of proprietary monitoring data from
+//! three companies' infrastructures — data we cannot obtain. This crate
+//! generates the closest synthetic equivalent that exercises the same
+//! code paths (see DESIGN.md §2 for the substitution argument):
+//!
+//! * a latent **workload** process with diurnal and weekly periodicity,
+//!   bursts, and AR(1) noise ([`workload`]) — the "outside factor, such as
+//!   work loads and number of user requests" that induces measurement
+//!   correlations in the paper;
+//! * an **infrastructure** of machines whose metrics respond to the
+//!   workload through linear, saturating (non-linear), and
+//!   regime-switching (arbitrary-shape) couplings ([`metrics`],
+//!   [`infra`]), mirroring the correlation types of the paper's Figure 2;
+//! * **fault injection** with exact ground-truth windows ([`fault`]):
+//!   correlation-breaking faults (must alarm), correlation-preserving
+//!   load spikes (must *not* alarm), machine-wide degradations (for
+//!   localization), and stuck sensors;
+//! * a **trace generator** producing one-month, 6-minute-sampled
+//!   monitoring data with the paper's calendar (epoch = Thursday
+//!   May 29 2008) ([`trace`]), plus canned per-experiment scenarios
+//!   ([`scenario`]).
+//!
+//! All randomness is seeded and reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use gridwatch_sim::scenario;
+//!
+//! // A small group-A style infrastructure with one injected fault.
+//! let s = scenario::group_fault_scenario(gridwatch_timeseries::GroupId::A, 4, 7);
+//! let trace = s.trace;
+//! assert!(trace.catalog().len() >= 8);
+//! assert!(!s.faults.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csv;
+pub mod fault;
+pub mod infra;
+pub mod metrics;
+mod rng;
+pub mod scenario;
+pub mod trace;
+pub mod workload;
+
+pub use csv::CsvError;
+pub use fault::{FaultEvent, FaultKind, FaultSchedule};
+pub use infra::{Infrastructure, MachineSpec};
+pub use metrics::{MetricModel, MetricSpec};
+pub use rng::NormalSampler;
+pub use trace::{Trace, TraceGenerator};
+pub use workload::{WorkloadConfig, WorkloadGenerator};

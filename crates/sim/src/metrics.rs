@@ -1,0 +1,259 @@
+//! Metric response models: how each simulated measurement reacts to the
+//! latent workload.
+//!
+//! The paper's Figure 2 identifies three correlation shapes among real
+//! measurements: linear (in/out traffic on one machine), non-linear
+//! (saturating utilization curves), and arbitrary (regime-dependent
+//! clusters). One [`MetricModel`] variant produces each shape; two metrics
+//! driven by the same load with different models exhibit exactly the
+//! corresponding pairwise correlation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::MetricKind;
+
+use crate::NormalSampler;
+
+/// The functional response of one metric to the instantaneous load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MetricModel {
+    /// `value = scale · load + offset` — linear coupling (Figure 2(b)).
+    Linear {
+        /// Multiplier on the load.
+        scale: f64,
+        /// Additive offset (resting level).
+        offset: f64,
+    },
+    /// `value = capacity · load / (load + half_load)` — a saturating
+    /// utilization curve (Figure 2(d)).
+    Saturating {
+        /// Asymptotic maximum of the metric.
+        capacity: f64,
+        /// Load at which the metric reaches half capacity.
+        half_load: f64,
+    },
+    /// Two linear regimes switched by a load threshold — the
+    /// "arbitrary shapes" of Figure 2(c).
+    RegimeSwitching {
+        /// Scale in the low-load regime.
+        low_scale: f64,
+        /// Scale in the high-load regime.
+        high_scale: f64,
+        /// Load threshold separating the regimes.
+        threshold: f64,
+        /// Offset added in the high regime (creates disjoint clusters).
+        high_offset: f64,
+    },
+    /// Load-independent noise around a mean — an uncorrelated metric.
+    Independent {
+        /// Mean level.
+        mean: f64,
+    },
+}
+
+impl MetricModel {
+    /// The noise-free response to `load`.
+    pub fn response(&self, load: f64) -> f64 {
+        match *self {
+            MetricModel::Linear { scale, offset } => scale * load + offset,
+            MetricModel::Saturating {
+                capacity,
+                half_load,
+            } => capacity * load / (load + half_load),
+            MetricModel::RegimeSwitching {
+                low_scale,
+                high_scale,
+                threshold,
+                high_offset,
+            } => {
+                if load < threshold {
+                    low_scale * load
+                } else {
+                    high_scale * load + high_offset
+                }
+            }
+            MetricModel::Independent { mean } => mean,
+        }
+    }
+
+    /// A plausible relative noise level for the model's output scale,
+    /// used to set the sensor-noise stddev.
+    pub fn output_scale(&self) -> f64 {
+        match *self {
+            MetricModel::Linear { scale, offset } => (scale + offset.abs()).max(1e-6),
+            MetricModel::Saturating { capacity, .. } => capacity.max(1e-6),
+            MetricModel::RegimeSwitching {
+                low_scale,
+                high_scale,
+                high_offset,
+                ..
+            } => (low_scale.max(high_scale) + high_offset.abs()).max(1e-6),
+            MetricModel::Independent { mean } => mean.abs().max(1e-6),
+        }
+    }
+}
+
+/// One metric attached to a machine: the metric kind, its response model,
+/// and its relative sensor noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSpec {
+    /// What the metric measures.
+    pub kind: MetricKind,
+    /// How it responds to load.
+    pub model: MetricModel,
+    /// Sensor noise stddev as a fraction of [`MetricModel::output_scale`].
+    pub relative_noise: f64,
+}
+
+impl MetricSpec {
+    /// Creates a spec with the given relative noise.
+    pub fn new(kind: MetricKind, model: MetricModel, relative_noise: f64) -> Self {
+        MetricSpec {
+            kind,
+            model,
+            relative_noise,
+        }
+    }
+
+    /// Samples the metric's value at the given effective load.
+    ///
+    /// Sensor noise scales mostly with the signal (plus a small floor),
+    /// so lightly loaded periods are quiet in absolute terms — matching
+    /// real rate counters, whose fluctuation grows with the rate.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        load: f64,
+        rng: &mut R,
+        normal: &mut NormalSampler,
+    ) -> f64 {
+        let clean = self.model.response(load);
+        let stddev = self.relative_noise * (clean.abs() + 0.05 * self.model.output_scale());
+        clean + normal.sample(rng) * stddev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_response() {
+        let m = MetricModel::Linear {
+            scale: 2.0,
+            offset: 1.0,
+        };
+        assert_eq!(m.response(0.0), 1.0);
+        assert_eq!(m.response(3.0), 7.0);
+    }
+
+    #[test]
+    fn saturating_response_bounded_by_capacity() {
+        let m = MetricModel::Saturating {
+            capacity: 100.0,
+            half_load: 0.5,
+        };
+        assert_eq!(m.response(0.5), 50.0);
+        for load in [0.1, 1.0, 10.0, 1e6] {
+            let v = m.response(load);
+            assert!((0.0..100.0).contains(&v));
+        }
+        // Monotone increasing.
+        assert!(m.response(2.0) > m.response(1.0));
+    }
+
+    #[test]
+    fn regime_switching_is_discontinuous() {
+        let m = MetricModel::RegimeSwitching {
+            low_scale: 1.0,
+            high_scale: 0.2,
+            threshold: 0.5,
+            high_offset: 10.0,
+        };
+        assert_eq!(m.response(0.4), 0.4);
+        assert_eq!(m.response(0.6), 10.12);
+    }
+
+    #[test]
+    fn independent_ignores_load() {
+        let m = MetricModel::Independent { mean: 42.0 };
+        assert_eq!(m.response(0.0), m.response(100.0));
+    }
+
+    #[test]
+    fn sampling_adds_bounded_noise() {
+        let spec = MetricSpec::new(
+            MetricKind::CpuUtilization,
+            MetricModel::Linear {
+                scale: 100.0,
+                offset: 0.0,
+            },
+            0.01,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut normal = NormalSampler::new();
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|_| spec.sample(0.5, &mut rng, &mut normal))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 50.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn two_linear_metrics_are_linearly_correlated() {
+        // The core claim behind Figure 2(b): same load, two linear models
+        // -> near-perfect Pearson correlation.
+        let a = MetricSpec::new(
+            MetricKind::IfInOctetsRate,
+            MetricModel::Linear {
+                scale: 1e5,
+                offset: 0.0,
+            },
+            0.005,
+        );
+        let b = MetricSpec::new(
+            MetricKind::IfOutOctetsRate,
+            MetricModel::Linear {
+                scale: 2e5,
+                offset: 1e4,
+            },
+            0.005,
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut normal = NormalSampler::new();
+        let loads: Vec<f64> = (0..500).map(|k| 0.2 + 0.6 * (k as f64 / 500.0)).collect();
+        let xs: Vec<f64> = loads
+            .iter()
+            .map(|&l| a.sample(l, &mut rng, &mut normal))
+            .collect();
+        let ys: Vec<f64> = loads
+            .iter()
+            .map(|&l| b.sample(l, &mut rng, &mut normal))
+            .collect();
+        let r = gridwatch_timeseries::stats::pearson(&xs, &ys).unwrap();
+        assert!(r > 0.99, "pearson {r}");
+    }
+
+    #[test]
+    fn saturating_pair_is_nonlinear_but_monotone() {
+        let lin = MetricModel::Linear {
+            scale: 1.0,
+            offset: 0.0,
+        };
+        let sat = MetricModel::Saturating {
+            capacity: 1.0,
+            half_load: 0.3,
+        };
+        let loads: Vec<f64> = (1..200).map(|k| k as f64 / 100.0).collect();
+        let xs: Vec<f64> = loads.iter().map(|&l| lin.response(l)).collect();
+        let ys: Vec<f64> = loads.iter().map(|&l| sat.response(l)).collect();
+        let rho = gridwatch_timeseries::stats::spearman(&xs, &ys).unwrap();
+        let r = gridwatch_timeseries::stats::pearson(&xs, &ys).unwrap();
+        assert!(rho > 0.999, "monotone: spearman {rho}");
+        assert!(r < 0.95, "but not linear: pearson {r}");
+    }
+}

@@ -1,0 +1,77 @@
+use rand::Rng;
+
+/// Standard-normal sampler via the Box–Muller transform.
+///
+/// The approved dependency set includes `rand` but not `rand_distr`, so
+/// Gaussian sampling is implemented here. The transform produces samples
+/// in pairs; the spare is cached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with no cached spare.
+    pub fn new() -> Self {
+        NormalSampler::default()
+    }
+
+    /// Draws one standard-normal sample using `rng` for uniforms.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box-Muller: u1 in (0, 1] to keep ln finite.
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a normal sample with the given mean and standard deviation.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, stddev: f64) -> f64 {
+        mean + stddev * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_approximately_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = NormalSampler::new();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn sample_with_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sampler = NormalSampler::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sampler.sample_with(&mut rng, 10.0, 2.0))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = (StdRng::seed_from_u64(42), NormalSampler::new());
+        let mut b = (StdRng::seed_from_u64(42), NormalSampler::new());
+        for _ in 0..100 {
+            assert_eq!(a.1.sample(&mut a.0), b.1.sample(&mut b.0));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Canned scenarios matching the paper's experiments.
+//!
+//! The paper's calendar: monitoring data from May 29 to June 27 2008
+//! (days 0–29 of our epoch, which falls on a Thursday as May 29 2008
+//! did). Training sets start May 29; test sets start June 13 (day 15).
+
+use gridwatch_timeseries::{GroupId, MachineId, MeasurementId, MetricKind, Timestamp};
+
+use crate::fault::{FaultEvent, FaultKind, FaultSchedule};
+use crate::infra::Infrastructure;
+use crate::trace::{Trace, TraceGenerator};
+use crate::workload::WorkloadConfig;
+
+/// Day index of June 13 2008 (the first test day) relative to the May 29
+/// epoch.
+pub const TEST_DAY: u64 = 15;
+
+/// Total days of monitoring data (May 29 – June 27).
+pub const MONTH_DAYS: u64 = 30;
+
+/// A generated scenario: the trace plus its ground-truth fault schedule.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The generated monitoring data.
+    pub trace: Trace,
+    /// The injected faults (ground truth).
+    pub faults: FaultSchedule,
+    /// The group simulated.
+    pub group: GroupId,
+    /// The measurement pair the experiment focuses on, when applicable.
+    pub focus_pair: Option<(MeasurementId, MeasurementId)>,
+}
+
+/// The per-group focus pair used by the paper's Figure 12: Group A
+/// watches `CurrentUtilization_PORT` vs `ifOutOctetsRate_PORT`-style
+/// metrics, B a traffic in/out pair, and C a utilization/rate pair.
+pub fn figure12_focus_pair(group: GroupId) -> (MetricKind, MetricKind) {
+    match group {
+        GroupId::A => (MetricKind::PortUtilization, MetricKind::IfOutOctetsRate),
+        GroupId::B => (MetricKind::IfOutOctetsRate, MetricKind::IfInOctetsRate),
+        GroupId::C => (MetricKind::PortUtilization, MetricKind::IfInOctetsRate),
+    }
+}
+
+/// The fault window the paper reports for each group on the test day:
+/// "the problems are found in the morning (Group A), or in the afternoon
+/// (Group B and C)".
+pub fn figure12_fault_window(group: GroupId) -> (Timestamp, Timestamp) {
+    let day = Timestamp::from_days(TEST_DAY).as_secs();
+    match group {
+        GroupId::A => (
+            Timestamp::from_secs(day + 8 * 3600),
+            Timestamp::from_secs(day + 10 * 3600),
+        ),
+        GroupId::B | GroupId::C => (
+            Timestamp::from_secs(day + 14 * 3600),
+            Timestamp::from_secs(day + 16 * 3600),
+        ),
+    }
+}
+
+/// One month of data for a group with a correlation-breaking fault on the
+/// test day (morning for A, afternoon for B/C, per Figure 12) plus a
+/// correlation-preserving load spike earlier the same day (the
+/// false-positive control).
+pub fn group_fault_scenario(group: GroupId, machines: usize, seed: u64) -> Scenario {
+    let infra = Infrastructure::standard_group(group, machines, seed);
+    let (kind_a, kind_b) = figure12_focus_pair(group);
+    let machine = MachineId::new(0);
+    let target = MeasurementId::new(machine, kind_b);
+    let partner = MeasurementId::new(machine, kind_a);
+
+    let (fault_start, fault_end) = figure12_fault_window(group);
+    let mut faults = FaultSchedule::new();
+    faults.push(FaultEvent::new(
+        FaultKind::CorrelationBreak {
+            target,
+            // The broken component flaps around mid-range, decoupled
+            // from load: individual values stay in range, but the joint
+            // trajectory makes large never-seen jumps.
+            level: 0.5,
+        },
+        fault_start,
+        fault_end,
+    ));
+    // A flash crowd in the early morning of the test day: must not
+    // alarm. It fires at 4-5am, when the baseline load is low, so the
+    // surged values stay inside the historically observed range —
+    // "many measurements values increase but their correlations remain
+    // unchanged" (the paper's false-positive scenario).
+    let day = Timestamp::from_days(TEST_DAY).as_secs();
+    let spike_start = Timestamp::from_secs(day + 4 * 3600);
+    let spike_end = Timestamp::from_secs(day + 5 * 3600);
+    faults.push(FaultEvent::new(
+        FaultKind::LoadSpike { factor: 1.8 },
+        spike_start,
+        spike_end,
+    ));
+
+    let generator = TraceGenerator::new(infra, WorkloadConfig::default(), faults.clone(), seed);
+    let trace = generator.generate(Timestamp::EPOCH, Timestamp::from_days(MONTH_DAYS));
+    Scenario {
+        trace,
+        faults,
+        group,
+        focus_pair: Some((partner, target)),
+    }
+}
+
+/// One month of data with a machine-wide degradation across the test
+/// period — the localization target of Figure 14. The degraded machine is
+/// machine 0.
+pub fn localization_scenario(group: GroupId, machines: usize, seed: u64) -> Scenario {
+    let infra = Infrastructure::standard_group(group, machines, seed);
+    let degraded = MachineId::new(0);
+    let mut faults = FaultSchedule::new();
+    faults.push(FaultEvent::new(
+        FaultKind::MachineDegradation {
+            machine: degraded,
+            share_factor: 0.25,
+            extra_noise: 0.20,
+        },
+        Timestamp::from_days(TEST_DAY),
+        Timestamp::from_days(TEST_DAY + 1),
+    ));
+    let generator = TraceGenerator::new(infra, WorkloadConfig::default(), faults.clone(), seed);
+    let trace = generator.generate(Timestamp::EPOCH, Timestamp::from_days(MONTH_DAYS));
+    Scenario {
+        trace,
+        faults,
+        group,
+        focus_pair: None,
+    }
+}
+
+/// A clean (fault-free) month for a group — used by the offline/adaptive
+/// sweep (Figure 13) and the periodic-pattern experiments (Figures 15
+/// and 16).
+pub fn clean_scenario(group: GroupId, machines: usize, seed: u64) -> Scenario {
+    let infra = Infrastructure::standard_group(group, machines, seed);
+    let generator =
+        TraceGenerator::new(infra, WorkloadConfig::default(), FaultSchedule::new(), seed);
+    let trace = generator.generate(Timestamp::EPOCH, Timestamp::from_days(MONTH_DAYS));
+    Scenario {
+        trace,
+        faults: FaultSchedule::new(),
+        group,
+        focus_pair: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_matches_paper() {
+        // May 29 2008 was a Thursday; June 13 (day 15) was a Friday.
+        assert_eq!(
+            Timestamp::from_days(0).weekday(),
+            gridwatch_timeseries::Weekday::Thursday
+        );
+        assert_eq!(
+            Timestamp::from_days(TEST_DAY).weekday(),
+            gridwatch_timeseries::Weekday::Friday
+        );
+    }
+
+    #[test]
+    fn group_a_fault_is_morning_b_c_afternoon() {
+        let (s, e) = figure12_fault_window(GroupId::A);
+        assert_eq!(s.hour().get(), 8);
+        assert_eq!(e.hour().get(), 10);
+        assert_eq!(s.day_index(), TEST_DAY);
+        for g in [GroupId::B, GroupId::C] {
+            let (s, _) = figure12_fault_window(g);
+            assert!(s.hour().get() >= 12, "afternoon fault for {g}");
+        }
+    }
+
+    #[test]
+    fn group_fault_scenario_has_truth_and_control() {
+        let s = group_fault_scenario(GroupId::B, 2, 3);
+        assert_eq!(s.faults.events().len(), 2);
+        assert_eq!(s.faults.truth_windows().len(), 1, "load spike is not truth");
+        let (a, b) = s.focus_pair.unwrap();
+        assert!(s.trace.series(a).is_some());
+        assert!(s.trace.series(b).is_some());
+        // Trace covers the whole month.
+        let series = s.trace.series(a).unwrap();
+        assert_eq!(series.len() as u64, MONTH_DAYS * 240);
+    }
+
+    #[test]
+    fn localization_scenario_targets_machine_zero() {
+        let s = localization_scenario(GroupId::A, 3, 5);
+        let machines: Vec<_> = s
+            .faults
+            .events()
+            .iter()
+            .filter_map(|e| e.kind.machine())
+            .collect();
+        assert_eq!(machines, vec![MachineId::new(0)]);
+    }
+
+    #[test]
+    fn clean_scenario_has_no_faults() {
+        let s = clean_scenario(GroupId::C, 2, 8);
+        assert!(s.faults.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! The latent workload process driving every metric in the simulated
+//! infrastructure.
+//!
+//! The paper attributes measurement correlations to shared outside
+//! factors: "some outside factors, such as work loads and number of user
+//! requests, may affect them simultaneously", and observes in Figures 15
+//! and 16 that fitness varies with peak hours and weekends. The workload
+//! model therefore combines:
+//!
+//! * a smooth **diurnal** curve peaking in the afternoon;
+//! * a **weekly** factor damping weekends;
+//! * occasional **bursts** (flash crowds) with exponential decay — the
+//!   correlation-*preserving* events that must not alarm;
+//! * **AR(1) noise** for short-term fluctuation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::Timestamp;
+
+use crate::NormalSampler;
+
+/// Parameters of the workload process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Baseline load level (night-time floor), in `[0, 1]`.
+    pub base: f64,
+    /// Amplitude of the diurnal bump added on top of `base`.
+    pub diurnal_amplitude: f64,
+    /// Hour of day (fractional) at which load peaks.
+    pub peak_hour: f64,
+    /// Multiplier applied on Saturdays and Sundays.
+    pub weekend_factor: f64,
+    /// AR(1) coefficient of the noise process, in `[0, 1)`.
+    pub noise_phi: f64,
+    /// Standard deviation of the AR(1) innovations.
+    pub noise_sigma: f64,
+    /// Expected number of bursts per day.
+    pub bursts_per_day: f64,
+    /// Peak extra load of a burst (relative units added to the load).
+    pub burst_magnitude: f64,
+    /// Burst decay time constant, in seconds.
+    pub burst_decay_secs: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            base: 0.25,
+            diurnal_amplitude: 0.65,
+            peak_hour: 14.0,
+            weekend_factor: 0.55,
+            noise_phi: 0.9,
+            noise_sigma: 0.02,
+            bursts_per_day: 2.5,
+            burst_magnitude: 0.45,
+            burst_decay_secs: 1800.0,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The deterministic (noise- and burst-free) load level at `t`: the
+    /// diurnal curve damped on weekends. Always positive.
+    ///
+    /// The weekend factor damps only the diurnal *bump*, not the idle
+    /// floor: real systems idle at similar levels every night, while the
+    /// business-hours surge shrinks on weekends.
+    pub fn seasonal_level(&self, t: Timestamp) -> f64 {
+        let hour = t.day_fraction() * 24.0;
+        // Smooth bump centred on peak_hour: raised cosine over the day.
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let bump = 0.5 * (1.0 + phase.cos());
+        // Exponent 1.5: sharp enough for a clear peak, flat enough that
+        // the system dwells at intermediate load levels (where weekend
+        // days also live) long enough for a one-day model to learn them.
+        let shaped = bump * bump.sqrt();
+        let weekday_scale = if t.is_weekend() {
+            self.weekend_factor
+        } else {
+            1.0
+        };
+        self.base + self.diurnal_amplitude * shaped * weekday_scale
+    }
+}
+
+/// Stateful, seeded generator of the workload value at successive sample
+/// times.
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_sim::{WorkloadConfig, WorkloadGenerator};
+/// use gridwatch_timeseries::{SampleInterval, Timestamp};
+///
+/// let mut gen = WorkloadGenerator::new(WorkloadConfig::default(), 42);
+/// let ticks = SampleInterval::SIX_MINUTES.ticks(Timestamp::EPOCH, Timestamp::from_days(1));
+/// let loads: Vec<f64> = ticks.map(|t| gen.next_load(t)).collect();
+/// assert_eq!(loads.len(), 240);
+/// assert!(loads.iter().all(|&l| l > 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    rng: StdRng,
+    normal: NormalSampler,
+    ar_state: f64,
+    /// Active bursts as `(start, magnitude)`.
+    bursts: Vec<(Timestamp, f64)>,
+    last_tick: Option<Timestamp>,
+    /// Extra multiplicative factor imposed externally (fault injection of
+    /// correlation-preserving load spikes).
+    external_factor: f64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        WorkloadGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            normal: NormalSampler::new(),
+            ar_state: 0.0,
+            bursts: Vec::new(),
+            last_tick: None,
+            external_factor: 1.0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Sets the external load multiplier (used by
+    /// [`crate::FaultKind::LoadSpike`] injection; 1.0 = no spike).
+    pub fn set_external_factor(&mut self, factor: f64) {
+        self.external_factor = factor.max(0.0);
+    }
+
+    /// Advances to sample time `t` and returns the load value.
+    ///
+    /// Calls must use non-decreasing timestamps; the AR(1) and burst
+    /// states evolve per call.
+    pub fn next_load(&mut self, t: Timestamp) -> f64 {
+        // Spawn bursts with per-interval probability matched to the
+        // configured daily rate.
+        let dt = match self.last_tick {
+            Some(prev) => t.saturating_secs_since(prev) as f64,
+            None => 0.0,
+        };
+        self.last_tick = Some(t);
+        if dt > 0.0 {
+            // Flash crowds cluster at busy hours: the arrival rate scales
+            // with the square of the relative seasonal level, so peak
+            // hours are genuinely harder to predict (the paper's
+            // Figures 15/16 pattern) while nights and weekends stay calm.
+            let seasonal = self.config.seasonal_level(t);
+            let busyness = (seasonal / 0.5).powi(2);
+            let p_burst = (self.config.bursts_per_day * busyness * dt / 86_400.0).min(1.0);
+            if self.rng.random::<f64>() < p_burst {
+                let magnitude = self.config.burst_magnitude * (0.5 + self.rng.random::<f64>());
+                self.bursts.push((t, magnitude));
+            }
+        }
+        // Decay and sum active bursts; retire the negligible ones.
+        let decay = self.config.burst_decay_secs;
+        let mut burst_load = 0.0;
+        self.bursts.retain(|&(start, magnitude)| {
+            let age = t.saturating_secs_since(start) as f64;
+            let contribution = magnitude * (-age / decay).exp();
+            burst_load += contribution;
+            contribution > 1e-4
+        });
+        // AR(1) noise, applied *multiplicatively*: request-driven
+        // fluctuation scales with the request rate, so peak hours are
+        // noisier in absolute terms than quiet nights — the reason the
+        // paper's fitness dips at peak hours (Figures 15 and 16).
+        let innovation = self.normal.sample(&mut self.rng) * self.config.noise_sigma;
+        self.ar_state = self.config.noise_phi * self.ar_state + innovation;
+
+        let seasonal = self.config.seasonal_level(t);
+        let level = seasonal * (1.0 + self.ar_state + burst_load);
+        (level * self.external_factor).max(0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_timeseries::SampleInterval;
+
+    fn day_loads(seed: u64, day: u64) -> Vec<f64> {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::default(), seed);
+        SampleInterval::SIX_MINUTES
+            .ticks(Timestamp::from_days(day), Timestamp::from_days(day + 1))
+            .map(|t| g.next_load(t))
+            .collect()
+    }
+
+    #[test]
+    fn load_is_always_positive() {
+        for seed in 0..5 {
+            assert!(day_loads(seed, 0).iter().all(|&l| l > 0.0));
+        }
+    }
+
+    #[test]
+    fn peak_hours_exceed_night() {
+        let cfg = WorkloadConfig::default();
+        // Deterministic seasonal comparison (no noise).
+        let night = cfg.seasonal_level(Timestamp::from_hours(3));
+        let peak = cfg.seasonal_level(Timestamp::from_hours(14));
+        assert!(peak > night * 1.5, "peak {peak} vs night {night}");
+    }
+
+    #[test]
+    fn weekends_are_lighter_at_peak_but_share_the_night_floor() {
+        let cfg = WorkloadConfig::default();
+        // Day 1 (Friday) vs day 2 (Saturday) at the same peak hour.
+        let friday = cfg.seasonal_level(Timestamp::from_secs(86_400 + 14 * 3600));
+        let saturday = cfg.seasonal_level(Timestamp::from_secs(2 * 86_400 + 14 * 3600));
+        assert!(saturday < friday);
+        // Only the bump shrinks: (sat - base) / (fri - base) = factor.
+        let ratio = (saturday - cfg.base) / (friday - cfg.base);
+        assert!((ratio - cfg.weekend_factor).abs() < 1e-9);
+        // Deep night: both days idle at the same floor.
+        let friday_night = cfg.seasonal_level(Timestamp::from_secs(86_400 + 2 * 3600));
+        let saturday_night = cfg.seasonal_level(Timestamp::from_secs(2 * 86_400 + 2 * 3600));
+        assert!((friday_night - saturday_night).abs() / friday_night < 0.05);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(day_loads(9, 0), day_loads(9, 0));
+        assert_ne!(day_loads(9, 0), day_loads(10, 0));
+    }
+
+    #[test]
+    fn external_factor_scales_load() {
+        let mut a = WorkloadGenerator::new(WorkloadConfig::default(), 3);
+        let mut b = WorkloadGenerator::new(WorkloadConfig::default(), 3);
+        b.set_external_factor(3.0);
+        let t = Timestamp::from_hours(12);
+        let la = a.next_load(t);
+        let lb = b.next_load(t);
+        assert!((lb / la - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursts_decay_away() {
+        let cfg = WorkloadConfig {
+            bursts_per_day: 0.0,
+            noise_sigma: 0.0,
+            ..WorkloadConfig::default()
+        };
+        let mut g = WorkloadGenerator::new(cfg, 0);
+        // Manually inject a burst by observing the internal behaviour:
+        // with rate 0 and no noise, the load equals the seasonal level.
+        let t = Timestamp::from_hours(10);
+        let load = g.next_load(t);
+        assert!((load - cfg.seasonal_level(t)).abs() < 1e-9);
+    }
+}

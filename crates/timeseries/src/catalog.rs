@@ -1,0 +1,206 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GroupId, MachineId, MeasurementId, MetricKind};
+
+/// Metadata about one registered measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasurementInfo {
+    /// The measurement's identity.
+    pub id: MeasurementId,
+    /// The infrastructure group the machine belongs to.
+    pub group: GroupId,
+    /// Free-form description (e.g. the exported SNMP counter name).
+    pub description: String,
+}
+
+/// A registry of the measurements under monitoring, with machine and group
+/// lookup for problem localization.
+///
+/// The paper localizes problems by averaging fitness scores over "the
+/// measurements collected from the same machine" (Figure 14); the catalog
+/// provides that machine ↔ measurement mapping.
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_timeseries::{Catalog, GroupId, MachineId, MetricKind};
+///
+/// let mut catalog = Catalog::new();
+/// let cpu = catalog.register(MachineId::new(0), MetricKind::CpuUtilization, GroupId::A);
+/// let mem = catalog.register(MachineId::new(0), MetricKind::MemoryUsage, GroupId::A);
+/// assert_eq!(catalog.measurements_on(MachineId::new(0)).count(), 2);
+/// assert_eq!(catalog.group_of(cpu), Some(GroupId::A));
+/// # let _ = mem;
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    entries: BTreeMap<MeasurementId, MeasurementInfo>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a measurement and returns its identifier.
+    ///
+    /// Registering the same `(machine, metric)` twice replaces the earlier
+    /// entry.
+    pub fn register(
+        &mut self,
+        machine: MachineId,
+        metric: MetricKind,
+        group: GroupId,
+    ) -> MeasurementId {
+        let id = MeasurementId::new(machine, metric);
+        self.entries.insert(
+            id,
+            MeasurementInfo {
+                id,
+                group,
+                description: format!("{metric} on {machine} (group {group})"),
+            },
+        );
+        id
+    }
+
+    /// Registers a measurement with an explicit description.
+    pub fn register_with_description(
+        &mut self,
+        machine: MachineId,
+        metric: MetricKind,
+        group: GroupId,
+        description: impl Into<String>,
+    ) -> MeasurementId {
+        let id = self.register(machine, metric, group);
+        self.entries
+            .get_mut(&id)
+            .expect("just inserted")
+            .description = description.into();
+        id
+    }
+
+    /// Number of registered measurements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Metadata for a measurement, if registered.
+    pub fn info(&self, id: MeasurementId) -> Option<&MeasurementInfo> {
+        self.entries.get(&id)
+    }
+
+    /// The group a measurement belongs to, if registered.
+    pub fn group_of(&self, id: MeasurementId) -> Option<GroupId> {
+        self.entries.get(&id).map(|e| e.group)
+    }
+
+    /// Iterates over all registered measurement ids, in sorted order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = MeasurementId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Iterates over measurements collected on the given machine.
+    pub fn measurements_on(
+        &self,
+        machine: MachineId,
+    ) -> impl Iterator<Item = MeasurementId> + '_ {
+        self.ids().filter(move |id| id.machine() == machine)
+    }
+
+    /// Iterates over measurements in the given group.
+    pub fn measurements_in(&self, group: GroupId) -> impl Iterator<Item = MeasurementId> + '_ {
+        self.entries
+            .values()
+            .filter(move |e| e.group == group)
+            .map(|e| e.id)
+    }
+
+    /// The distinct machines with at least one registered measurement, in
+    /// sorted order.
+    pub fn machines(&self) -> Vec<MachineId> {
+        let mut machines: Vec<MachineId> = self.ids().map(|id| id.machine()).collect();
+        machines.dedup();
+        machines
+    }
+}
+
+impl Extend<(MachineId, MetricKind, GroupId)> for Catalog {
+    fn extend<T: IntoIterator<Item = (MachineId, MetricKind, GroupId)>>(&mut self, iter: T) {
+        for (machine, metric, group) in iter {
+            self.register(machine, metric, group);
+        }
+    }
+}
+
+impl FromIterator<(MachineId, MetricKind, GroupId)> for Catalog {
+    fn from_iter<T: IntoIterator<Item = (MachineId, MetricKind, GroupId)>>(iter: T) -> Self {
+        let mut c = Catalog::new();
+        c.extend(iter);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(MachineId::new(0), MetricKind::CpuUtilization, GroupId::A);
+        c.register(MachineId::new(0), MetricKind::MemoryUsage, GroupId::A);
+        c.register(MachineId::new(1), MetricKind::CpuUtilization, GroupId::B);
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = sample_catalog();
+        assert_eq!(c.len(), 3);
+        let id = MeasurementId::new(MachineId::new(1), MetricKind::CpuUtilization);
+        assert_eq!(c.group_of(id), Some(GroupId::B));
+        assert!(c.info(id).unwrap().description.contains("machine-001"));
+    }
+
+    #[test]
+    fn per_machine_and_per_group_queries() {
+        let c = sample_catalog();
+        assert_eq!(c.measurements_on(MachineId::new(0)).count(), 2);
+        assert_eq!(c.measurements_in(GroupId::A).count(), 2);
+        assert_eq!(c.measurements_in(GroupId::C).count(), 0);
+        assert_eq!(c.machines(), vec![MachineId::new(0), MachineId::new(1)]);
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut c = sample_catalog();
+        let id = c.register_with_description(
+            MachineId::new(0),
+            MetricKind::CpuUtilization,
+            GroupId::C,
+            "relocated",
+        );
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.group_of(id), Some(GroupId::C));
+        assert_eq!(c.info(id).unwrap().description, "relocated");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: Catalog = [
+            (MachineId::new(0), MetricKind::IoThroughput, GroupId::A),
+            (MachineId::new(2), MetricKind::FreeDiskSpace, GroupId::C),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Timestamp;
+
+/// Errors produced when constructing or manipulating time series.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimeSeriesError {
+    /// A sample was pushed with a timestamp not strictly greater than the
+    /// latest existing sample.
+    NonMonotonicTimestamp {
+        /// Timestamp of the latest sample already stored.
+        latest: Timestamp,
+        /// The offending timestamp.
+        offered: Timestamp,
+    },
+    /// A sample value was NaN or infinite.
+    NonFiniteValue {
+        /// Timestamp at which the bad value was offered.
+        at: Timestamp,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two series had no overlapping timestamps to align on.
+    EmptyAlignment,
+    /// An operation required a non-empty series.
+    EmptySeries,
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::NonMonotonicTimestamp { latest, offered } => write!(
+                f,
+                "timestamp {offered} is not after the latest sample at {latest}"
+            ),
+            TimeSeriesError::NonFiniteValue { at, value } => {
+                write!(f, "non-finite sample value {value} at {at}")
+            }
+            TimeSeriesError::EmptyAlignment => {
+                write!(f, "series share no timestamps to align on")
+            }
+            TimeSeriesError::EmptySeries => write!(f, "operation requires a non-empty series"),
+        }
+    }
+}
+
+impl Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TimeSeriesError::NonMonotonicTimestamp {
+                latest: Timestamp::from_secs(10),
+                offered: Timestamp::from_secs(5),
+            },
+            TimeSeriesError::NonFiniteValue {
+                at: Timestamp::from_secs(0),
+                value: f64::NAN,
+            },
+            TimeSeriesError::EmptyAlignment,
+            TimeSeriesError::EmptySeries,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimeSeriesError>();
+    }
+}

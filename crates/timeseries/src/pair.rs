@@ -1,0 +1,315 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{TimeSeries, TimeSeriesError, Timestamp};
+
+/// A point in the two-dimensional value space of a measurement pair.
+///
+/// At time `t`, the values of measurements `m1` and `m2` form the feature
+/// vector `x_t = (m1_t, m2_t)` (paper, Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Value of the first measurement.
+    pub x: f64,
+    /// Value of the second measurement.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Whether both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+/// How two series with mismatched timestamps are merged into a
+/// [`PairSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AlignmentPolicy {
+    /// Keep only timestamps present in *both* series (inner join). This is
+    /// the default: both measurements are sampled on the same schedule in
+    /// the paper's setting.
+    #[default]
+    Intersect,
+    /// For every timestamp of the first series, pair it with the most
+    /// recent sample of the second at or before it (as-of join). Useful
+    /// when sampling schedules are offset.
+    AsOfFirst,
+}
+
+/// A time-aligned sequence of two-dimensional points from a measurement
+/// pair — the input stream for a pairwise correlation model.
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_timeseries::{AlignmentPolicy, PairSeries, TimeSeries};
+///
+/// let a = TimeSeries::from_samples([(0, 1.0), (360, 2.0), (720, 3.0)])?;
+/// let b = TimeSeries::from_samples([(0, 10.0), (720, 30.0)])?;
+/// let pair = PairSeries::align(&a, &b, AlignmentPolicy::Intersect)?;
+/// assert_eq!(pair.len(), 2);
+/// assert_eq!(pair.points()[1].y, 30.0);
+/// # Ok::<(), gridwatch_timeseries::TimeSeriesError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PairSeries {
+    timestamps: Vec<Timestamp>,
+    points: Vec<Point2>,
+}
+
+impl PairSeries {
+    /// Creates an empty pair series.
+    pub fn new() -> Self {
+        PairSeries::default()
+    }
+
+    /// Aligns two series into a pair series under the given policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::EmptyAlignment`] if the result would be
+    /// empty (no shared timestamps under [`AlignmentPolicy::Intersect`], or
+    /// an empty first series under [`AlignmentPolicy::AsOfFirst`]).
+    pub fn align(
+        a: &TimeSeries,
+        b: &TimeSeries,
+        policy: AlignmentPolicy,
+    ) -> Result<Self, TimeSeriesError> {
+        let mut out = PairSeries::new();
+        match policy {
+            AlignmentPolicy::Intersect => {
+                let (mut i, mut j) = (0usize, 0usize);
+                let (ta, tb) = (a.timestamps(), b.timestamps());
+                while i < ta.len() && j < tb.len() {
+                    match ta[i].cmp(&tb[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.timestamps.push(ta[i]);
+                            out.points.push(Point2::new(a.values()[i], b.values()[j]));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            AlignmentPolicy::AsOfFirst => {
+                for (t, x) in a.iter() {
+                    if let Some((_, y)) = b.latest_at_or_before(t) {
+                        out.timestamps.push(t);
+                        out.points.push(Point2::new(x, y));
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err(TimeSeriesError::EmptyAlignment);
+        }
+        Ok(out)
+    }
+
+    /// Builds a pair series directly from `(seconds, x, y)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-increasing timestamps or non-finite
+    /// coordinates.
+    pub fn from_samples<I>(samples: I) -> Result<Self, TimeSeriesError>
+    where
+        I: IntoIterator<Item = (u64, f64, f64)>,
+    {
+        let mut out = PairSeries::new();
+        for (secs, x, y) in samples {
+            out.push(Timestamp::from_secs(secs), Point2::new(x, y))?;
+        }
+        Ok(out)
+    }
+
+    /// Appends a point.
+    ///
+    /// # Errors
+    ///
+    /// Same invariants as [`TimeSeries::push`]: strictly increasing
+    /// timestamps, finite coordinates.
+    pub fn push(&mut self, at: Timestamp, p: Point2) -> Result<(), TimeSeriesError> {
+        if !p.is_finite() {
+            let bad = if p.x.is_finite() { p.y } else { p.x };
+            return Err(TimeSeriesError::NonFiniteValue { at, value: bad });
+        }
+        if let Some(&latest) = self.timestamps.last() {
+            if at <= latest {
+                return Err(TimeSeriesError::NonMonotonicTimestamp {
+                    latest,
+                    offered: at,
+                });
+            }
+        }
+        self.timestamps.push(at);
+        self.points.push(p);
+        Ok(())
+    }
+
+    /// Number of aligned points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the pair series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The aligned timestamps.
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.timestamps
+    }
+
+    /// The aligned points, parallel to [`PairSeries::timestamps`].
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Iterates over `(timestamp, point)` samples.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (Timestamp, Point2)> + '_ {
+        self.timestamps
+            .iter()
+            .zip(self.points.iter())
+            .map(|(&t, &p)| (t, p))
+    }
+
+    /// Iterates over consecutive transitions `(t_next, from, to)`.
+    ///
+    /// This is the stream the transition-probability model consumes: each
+    /// item is the observed move `x_t → x_{t+1}` together with the arrival
+    /// timestamp.
+    pub fn transitions(&self) -> impl Iterator<Item = (Timestamp, Point2, Point2)> + '_ {
+        self.points
+            .windows(2)
+            .zip(self.timestamps.iter().skip(1))
+            .map(|(w, &t)| (t, w[0], w[1]))
+    }
+
+    /// The sub-series with timestamps in `[start, end)`.
+    pub fn slice(&self, start: Timestamp, end: Timestamp) -> PairSeries {
+        let lo = self.timestamps.partition_point(|&t| t < start);
+        let hi = self.timestamps.partition_point(|&t| t < end);
+        PairSeries {
+            timestamps: self.timestamps[lo..hi].to_vec(),
+            points: self.points[lo..hi].to_vec(),
+        }
+    }
+
+    /// Splits into `(before, from)` at `at`: points strictly before `at`,
+    /// and points at or after it.
+    ///
+    /// Used for train/test splits ("we sample a training set to simulate
+    /// history data, and a test set … from the one month's monitoring
+    /// data").
+    pub fn split_at(&self, at: Timestamp) -> (PairSeries, PairSeries) {
+        let mid = self.timestamps.partition_point(|&t| t < at);
+        (
+            PairSeries {
+                timestamps: self.timestamps[..mid].to_vec(),
+                points: self.points[..mid].to_vec(),
+            },
+            PairSeries {
+                timestamps: self.timestamps[mid..].to_vec(),
+                points: self.points[mid..].to_vec(),
+            },
+        )
+    }
+
+    /// Per-dimension value slices `(xs, ys)` copied out of the points.
+    pub fn columns(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            self.points.iter().map(|p| p.x).collect(),
+            self.points.iter().map(|p| p.y).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_alignment_keeps_shared_timestamps() {
+        let a = TimeSeries::from_samples([(0, 1.0), (360, 2.0), (720, 3.0)]).unwrap();
+        let b = TimeSeries::from_samples([(360, 20.0), (720, 30.0), (1080, 40.0)]).unwrap();
+        let p = PairSeries::align(&a, &b, AlignmentPolicy::Intersect).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.points()[0], Point2::new(2.0, 20.0));
+        assert_eq!(p.points()[1], Point2::new(3.0, 30.0));
+    }
+
+    #[test]
+    fn intersect_alignment_errors_when_disjoint() {
+        let a = TimeSeries::from_samples([(0, 1.0)]).unwrap();
+        let b = TimeSeries::from_samples([(360, 20.0)]).unwrap();
+        let err = PairSeries::align(&a, &b, AlignmentPolicy::Intersect).unwrap_err();
+        assert_eq!(err, TimeSeriesError::EmptyAlignment);
+    }
+
+    #[test]
+    fn as_of_alignment_uses_latest_earlier_sample() {
+        let a = TimeSeries::from_samples([(100, 1.0), (500, 2.0)]).unwrap();
+        let b = TimeSeries::from_samples([(0, 10.0), (400, 40.0)]).unwrap();
+        let p = PairSeries::align(&a, &b, AlignmentPolicy::AsOfFirst).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.points()[0], Point2::new(1.0, 10.0));
+        assert_eq!(p.points()[1], Point2::new(2.0, 40.0));
+    }
+
+    #[test]
+    fn transitions_are_consecutive() {
+        let p = PairSeries::from_samples([(0, 0.0, 0.0), (1, 1.0, 1.0), (2, 2.0, 4.0)]).unwrap();
+        let ts: Vec<_> = p.transitions().collect();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].1, Point2::new(0.0, 0.0));
+        assert_eq!(ts[0].2, Point2::new(1.0, 1.0));
+        assert_eq!(ts[1].0, Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn split_at_partitions_all_points() {
+        let p = PairSeries::from_samples((0..10).map(|k| (k * 360, k as f64, k as f64))).unwrap();
+        let (train, test) = p.split_at(Timestamp::from_secs(5 * 360));
+        assert_eq!(train.len(), 5);
+        assert_eq!(test.len(), 5);
+        assert_eq!(test.timestamps()[0], Timestamp::from_secs(1800));
+    }
+
+    #[test]
+    fn push_validates_points() {
+        let mut p = PairSeries::new();
+        p.push(Timestamp::from_secs(0), Point2::new(1.0, 1.0))
+            .unwrap();
+        assert!(p
+            .push(Timestamp::from_secs(0), Point2::new(1.0, 1.0))
+            .is_err());
+        assert!(p
+            .push(Timestamp::from_secs(1), Point2::new(f64::NAN, 1.0))
+            .is_err());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn columns_extract_dimensions() {
+        let p = PairSeries::from_samples([(0, 1.0, 10.0), (1, 2.0, 20.0)]).unwrap();
+        let (xs, ys) = p.columns();
+        assert_eq!(xs, vec![1.0, 2.0]);
+        assert_eq!(ys, vec![10.0, 20.0]);
+    }
+}

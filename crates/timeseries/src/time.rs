@@ -1,0 +1,411 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one minute.
+const MINUTE: u64 = 60;
+/// Seconds in one hour.
+const HOUR: u64 = 60 * MINUTE;
+/// Seconds in one day.
+const DAY: u64 = 24 * HOUR;
+/// Seconds in one week.
+const WEEK: u64 = 7 * DAY;
+
+/// A point in time, in whole seconds since the start of the monitoring
+/// epoch.
+///
+/// The paper's traces start on May 29 2008; we treat that instant as second
+/// zero. All calendar helpers ([`Timestamp::weekday`], [`Timestamp::hour`])
+/// are relative to this epoch, with the epoch itself defined to fall on a
+/// Thursday at 00:00 (May 29 2008 was a Thursday).
+///
+/// # Example
+///
+/// ```
+/// use gridwatch_timeseries::{Timestamp, Weekday};
+///
+/// let t = Timestamp::from_days(2); // Saturday, May 31 2008
+/// assert_eq!(t.weekday(), Weekday::Saturday);
+/// assert!(t.is_weekend());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+/// Day of week for a [`Timestamp`], relative to the Thursday epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday.
+    Monday,
+    /// Tuesday.
+    Tuesday,
+    /// Wednesday.
+    Wednesday,
+    /// Thursday (the epoch day).
+    Thursday,
+    /// Friday.
+    Friday,
+    /// Saturday.
+    Saturday,
+    /// Sunday.
+    Sunday,
+}
+
+/// Hour of day in `0..24`, produced by [`Timestamp::hour`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HourOfDay(u8);
+
+impl HourOfDay {
+    /// Creates an hour of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn new(hour: u8) -> Self {
+        assert!(hour < 24, "hour of day must be in 0..24, got {hour}");
+        HourOfDay(hour)
+    }
+
+    /// The hour as an integer in `0..24`.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// The six-hour bucket index (`0..4`) the paper's Figure 12 and
+    /// Figure 16 plot against: 12am–6am, 6am–12pm, 12pm–6pm, 6pm–12am.
+    pub fn six_hour_bucket(self) -> usize {
+        usize::from(self.0) / 6
+    }
+}
+
+impl fmt::Display for HourOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:00", self.0)
+    }
+}
+
+impl Timestamp {
+    /// The epoch itself (second zero, May 29 2008 00:00).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    pub fn from_secs(secs: u64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Creates a timestamp from whole days since the epoch.
+    pub fn from_days(days: u64) -> Self {
+        Timestamp(days * DAY)
+    }
+
+    /// Creates a timestamp from whole hours since the epoch.
+    pub fn from_hours(hours: u64) -> Self {
+        Timestamp(hours * HOUR)
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since the epoch (truncating).
+    pub fn day_index(self) -> u64 {
+        self.0 / DAY
+    }
+
+    /// Seconds into the current day (`0..86400`).
+    pub fn seconds_of_day(self) -> u64 {
+        self.0 % DAY
+    }
+
+    /// Fraction of the current day elapsed, in `[0, 1)`.
+    pub fn day_fraction(self) -> f64 {
+        self.seconds_of_day() as f64 / DAY as f64
+    }
+
+    /// Fraction of the current week elapsed, in `[0, 1)`.
+    pub fn week_fraction(self) -> f64 {
+        (self.0 % WEEK) as f64 / WEEK as f64
+    }
+
+    /// Hour of day.
+    pub fn hour(self) -> HourOfDay {
+        HourOfDay((self.seconds_of_day() / HOUR) as u8)
+    }
+
+    /// Day of week (epoch day 0 is a Thursday).
+    pub fn weekday(self) -> Weekday {
+        match self.day_index() % 7 {
+            0 => Weekday::Thursday,
+            1 => Weekday::Friday,
+            2 => Weekday::Saturday,
+            3 => Weekday::Sunday,
+            4 => Weekday::Monday,
+            5 => Weekday::Tuesday,
+            _ => Weekday::Wednesday,
+        }
+    }
+
+    /// Whether this timestamp falls on a Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self.weekday(), Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// Saturating subtraction of another timestamp, as a duration in
+    /// seconds.
+    pub fn saturating_secs_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day_index(),
+            self.seconds_of_day() / HOUR,
+            (self.seconds_of_day() % HOUR) / MINUTE,
+            self.seconds_of_day() % MINUTE
+        )
+    }
+}
+
+impl Add<SampleInterval> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: SampleInterval) -> Timestamp {
+        Timestamp(self.0 + rhs.as_secs())
+    }
+}
+
+impl AddAssign<SampleInterval> for Timestamp {
+    fn add_assign(&mut self, rhs: SampleInterval) {
+        self.0 += rhs.as_secs();
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = u64;
+
+    /// Seconds between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Timestamp) -> u64 {
+        debug_assert!(rhs.0 <= self.0, "timestamp subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+/// The spacing between consecutive samples of a monitored measurement.
+///
+/// The paper's selection criterion requires a sampling rate of at least one
+/// sample per six minutes; [`SampleInterval::SIX_MINUTES`] is therefore the
+/// default throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SampleInterval(u64);
+
+impl SampleInterval {
+    /// The paper's 6-minute sampling interval.
+    pub const SIX_MINUTES: SampleInterval = SampleInterval(6 * MINUTE);
+
+    /// One minute.
+    pub const ONE_MINUTE: SampleInterval = SampleInterval(MINUTE);
+
+    /// Creates an interval from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is zero.
+    pub fn from_secs(secs: u64) -> Self {
+        assert!(secs > 0, "sample interval must be positive");
+        SampleInterval(secs)
+    }
+
+    /// The interval length in seconds.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Number of samples this interval produces per day (truncating).
+    pub fn samples_per_day(self) -> u64 {
+        DAY / self.0
+    }
+
+    /// Iterator over the sample timestamps in `[start, end)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gridwatch_timeseries::{SampleInterval, Timestamp};
+    ///
+    /// let ticks: Vec<_> = SampleInterval::SIX_MINUTES
+    ///     .ticks(Timestamp::EPOCH, Timestamp::from_hours(1))
+    ///     .collect();
+    /// assert_eq!(ticks.len(), 10);
+    /// ```
+    pub fn ticks(self, start: Timestamp, end: Timestamp) -> Ticks {
+        Ticks {
+            next: start,
+            end,
+            step: self,
+        }
+    }
+}
+
+impl Default for SampleInterval {
+    fn default() -> Self {
+        SampleInterval::SIX_MINUTES
+    }
+}
+
+impl fmt::Display for SampleInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// Iterator over sample timestamps; see [`SampleInterval::ticks`].
+#[derive(Debug, Clone)]
+pub struct Ticks {
+    next: Timestamp,
+    end: Timestamp,
+    step: SampleInterval,
+}
+
+impl Iterator for Ticks {
+    type Item = Timestamp;
+
+    fn next(&mut self) -> Option<Timestamp> {
+        if self.next >= self.end {
+            return None;
+        }
+        let out = self.next;
+        self.next += self.step;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self
+            .end
+            .as_secs()
+            .saturating_sub(self.next.as_secs())
+            .div_ceil(self.step.as_secs()) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Ticks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_thursday() {
+        assert_eq!(Timestamp::EPOCH.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn weekday_cycle() {
+        let expected = [
+            Weekday::Thursday,
+            Weekday::Friday,
+            Weekday::Saturday,
+            Weekday::Sunday,
+            Weekday::Monday,
+            Weekday::Tuesday,
+            Weekday::Wednesday,
+            Weekday::Thursday,
+        ];
+        for (d, want) in expected.iter().enumerate() {
+            assert_eq!(Timestamp::from_days(d as u64).weekday(), *want);
+        }
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(!Timestamp::from_days(0).is_weekend()); // Thu
+        assert!(!Timestamp::from_days(1).is_weekend()); // Fri
+        assert!(Timestamp::from_days(2).is_weekend()); // Sat
+        assert!(Timestamp::from_days(3).is_weekend()); // Sun
+        assert!(!Timestamp::from_days(4).is_weekend()); // Mon
+    }
+
+    #[test]
+    fn hour_and_buckets() {
+        let t = Timestamp::from_secs(13 * HOUR + 30 * MINUTE);
+        assert_eq!(t.hour().get(), 13);
+        assert_eq!(t.hour().six_hour_bucket(), 2); // 12pm-6pm
+        assert_eq!(Timestamp::from_hours(0).hour().six_hour_bucket(), 0);
+        assert_eq!(Timestamp::from_hours(6).hour().six_hour_bucket(), 1);
+        assert_eq!(Timestamp::from_hours(23).hour().six_hour_bucket(), 3);
+    }
+
+    #[test]
+    fn six_minute_interval_samples_per_day() {
+        assert_eq!(SampleInterval::SIX_MINUTES.samples_per_day(), 240);
+    }
+
+    #[test]
+    fn ticks_cover_range_exclusively() {
+        let ticks: Vec<_> = SampleInterval::from_secs(360)
+            .ticks(Timestamp::from_secs(0), Timestamp::from_secs(1080))
+            .collect();
+        assert_eq!(
+            ticks,
+            vec![
+                Timestamp::from_secs(0),
+                Timestamp::from_secs(360),
+                Timestamp::from_secs(720)
+            ]
+        );
+    }
+
+    #[test]
+    fn ticks_exact_size() {
+        let it = SampleInterval::SIX_MINUTES.ticks(Timestamp::EPOCH, Timestamp::from_days(1));
+        assert_eq!(it.len(), 240);
+        assert_eq!(it.count(), 240);
+    }
+
+    #[test]
+    fn day_fraction_in_unit_range() {
+        for s in [0, 1, 43200, 86399, 86400, 100000] {
+            let f = Timestamp::from_secs(s).day_fraction();
+            assert!((0.0..1.0).contains(&f), "fraction {f} for {s}");
+        }
+    }
+
+    #[test]
+    fn timestamp_display_roundtrip_structure() {
+        let t = Timestamp::from_secs(2 * DAY + 3 * HOUR + 4 * MINUTE + 5);
+        assert_eq!(t.to_string(), "d2+03:04:05");
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(100);
+        let u = t + SampleInterval::from_secs(260);
+        assert_eq!(u.as_secs(), 360);
+        assert_eq!(u - t, 260);
+        assert_eq!(t.saturating_secs_since(u), 0);
+        assert_eq!(u.saturating_secs_since(t), 260);
+    }
+
+    #[test]
+    #[should_panic(expected = "hour of day")]
+    fn hour_of_day_rejects_out_of_range() {
+        HourOfDay::new(24);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        SampleInterval::from_secs(0);
+    }
+}

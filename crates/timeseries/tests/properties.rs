@@ -1,0 +1,165 @@
+//! Property-based tests for the timeseries crate's core invariants.
+
+use gridwatch_timeseries::stats::{fractional_ranks, pearson, quantile, spearman, Welford};
+use gridwatch_timeseries::{
+    AlignmentPolicy, PairSeries, SampleInterval, TimeSeries, Timestamp,
+};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL | prop::num::f64::ZERO
+}
+
+fn small_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 2..max_len)
+}
+
+proptest! {
+    #[test]
+    fn series_roundtrips_through_samples(values in prop::collection::vec(finite_f64(), 0..64)) {
+        let samples: Vec<(u64, f64)> = values
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (k as u64 * 360, v))
+            .collect();
+        let ts = TimeSeries::from_samples(samples.clone()).unwrap();
+        prop_assert_eq!(ts.len(), values.len());
+        for (k, &v) in values.iter().enumerate() {
+            prop_assert_eq!(ts.value_at(Timestamp::from_secs(k as u64 * 360)), Some(v));
+        }
+    }
+
+    #[test]
+    fn slice_never_exceeds_bounds(
+        n in 1usize..100,
+        a in 0u64..50_000,
+        b in 0u64..50_000,
+    ) {
+        let ts = TimeSeries::from_samples((0..n as u64).map(|k| (k * 100, k as f64))).unwrap();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let s = ts.slice(Timestamp::from_secs(lo), Timestamp::from_secs(hi));
+        for (t, _) in s.iter() {
+            prop_assert!(t.as_secs() >= lo && t.as_secs() < hi);
+        }
+    }
+
+    #[test]
+    fn welford_matches_two_pass(values in small_values(128)) {
+        let mut w = Welford::new();
+        for &v in &values {
+            w.update(v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        let scale = 1.0 + mean.abs() + var.abs();
+        prop_assert!((w.mean().unwrap() - mean).abs() / scale < 1e-9);
+        prop_assert!((w.population_variance().unwrap() - var).abs() / scale.powi(2) < 1e-6);
+    }
+
+    #[test]
+    fn welford_merge_is_order_insensitive(
+        a in small_values(64),
+        b in small_values(64),
+    ) {
+        let feed = |vals: &[f64]| {
+            let mut w = Welford::new();
+            vals.iter().for_each(|&v| w.update(v));
+            w
+        };
+        let mut ab = feed(&a);
+        ab.merge(&feed(&b));
+        let mut ba = feed(&b);
+        ba.merge(&feed(&a));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean().unwrap() - ba.mean().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(values in small_values(64)) {
+        let ys: Vec<f64> = values.iter().rev().copied().collect();
+        if let Some(r) = pearson(&values, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&ys, &values).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pearson_invariant_under_affine_maps(values in small_values(32), scale in 0.1f64..100.0, shift in -1e3f64..1e3) {
+        let ys: Vec<f64> = values.iter().map(|v| scale * v + shift).collect();
+        if let Some(r) = pearson(&values, &ys) {
+            prop_assert!((r - 1.0).abs() < 1e-6, "affine with positive scale must give r=1, got {r}");
+        }
+    }
+
+    #[test]
+    fn spearman_equals_one_for_strictly_increasing(n in 3usize..40) {
+        let xs: Vec<f64> = (0..n).map(|k| k as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x * x + 1.0).collect();
+        prop_assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_average(values in small_values(64)) {
+        let ranks = fractional_ranks(&values);
+        let sum: f64 = ranks.iter().sum();
+        let expected = values.len() as f64 * (values.len() as f64 + 1.0) / 2.0;
+        prop_assert!((sum - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(values in small_values(64), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo).unwrap();
+        let b = quantile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn alignment_intersection_is_subset_of_both(
+        ta in prop::collection::btree_set(0u64..2000, 1..50),
+        tb in prop::collection::btree_set(0u64..2000, 1..50),
+    ) {
+        let a = TimeSeries::from_samples(ta.iter().map(|&t| (t, t as f64))).unwrap();
+        let b = TimeSeries::from_samples(tb.iter().map(|&t| (t, -(t as f64)))).unwrap();
+        match PairSeries::align(&a, &b, AlignmentPolicy::Intersect) {
+            Ok(p) => {
+                for (t, pt) in p.iter() {
+                    prop_assert!(ta.contains(&t.as_secs()));
+                    prop_assert!(tb.contains(&t.as_secs()));
+                    prop_assert_eq!(pt.x, t.as_secs() as f64);
+                    prop_assert_eq!(pt.y, -(t.as_secs() as f64));
+                }
+            }
+            Err(_) => {
+                prop_assert!(ta.intersection(&tb).next().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn transitions_count_is_len_minus_one(n in 2usize..100) {
+        let p = PairSeries::from_samples((0..n as u64).map(|k| (k, k as f64, k as f64))).unwrap();
+        prop_assert_eq!(p.transitions().count(), n - 1);
+    }
+
+    #[test]
+    fn ticks_are_strictly_increasing_and_in_range(
+        start in 0u64..100_000,
+        len in 1u64..100_000,
+        step in 1u64..5_000,
+    ) {
+        let end = start + len;
+        let ticks: Vec<_> = SampleInterval::from_secs(step)
+            .ticks(Timestamp::from_secs(start), Timestamp::from_secs(end))
+            .collect();
+        for w in ticks.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for t in &ticks {
+            prop_assert!(t.as_secs() >= start && t.as_secs() < end);
+        }
+        let expected = len.div_ceil(step);
+        prop_assert_eq!(ticks.len() as u64, expected);
+    }
+}

@@ -1,0 +1,73 @@
+//! Compare the paper's grid-Markov model against the baseline detectors
+//! on the same simulated pair, across three regimes: normal operation, a
+//! correlation-preserving load surge (should stay quiet), and a
+//! correlation break (should alarm).
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use gridwatch::baselines::{
+    GmmDetector, LinearInvariantDetector, MarkovDetector, PairDetector, ZScoreDetector,
+};
+use gridwatch::timeseries::{PairSeries, Point2};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Training: a noisy linear pair at a steady load with occasional
+    // flash crowds (so the correlation models have seen high values, but
+    // they remain rare enough to be >3 sigma for a per-metric monitor).
+    let history = PairSeries::from_samples((0..2000u64).map(|k| {
+        let burst = if k % 20 < 3 { 0.35 } else { 0.0 };
+        let load = 0.5 + 0.05 * (k as f64 * std::f64::consts::TAU / 240.0).sin() + burst;
+        let jitter = 1.0 + 0.01 * (((k * 2654435761) % 97) as f64 / 97.0 - 0.5);
+        (k * 360, 100.0 * load * jitter, 220.0 * load * jitter + 8.0)
+    }))?;
+
+    let mut detectors: Vec<Box<dyn PairDetector>> = vec![
+        Box::new(MarkovDetector::default()),
+        Box::new(LinearInvariantDetector::default()),
+        Box::new(GmmDetector::default()),
+        Box::new(ZScoreDetector::default()),
+    ];
+    for d in &mut detectors {
+        d.fit(&history)?;
+    }
+
+    // Three probes: in-pattern, correlated surge at the top of the
+    // trained range, and a broken relationship.
+    let normal = Point2::new(50.0, 118.0);
+    let surge = Point2::new(85.0, 195.0);
+    let broken = Point2::new(50.0, 10.0);
+
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>9}",
+        "detector", "normal", "surge", "broken", "validity"
+    );
+    for d in &mut detectors {
+        // Give trajectory-aware detectors context before each probe.
+        d.observe(Point2::new(48.0, 113.0));
+        let s_normal = d.observe(normal);
+        // Two steps into the surge, then probe: the flash crowd has been
+        // underway for a couple of samples, as in the paper's Figure 1.
+        d.observe(Point2::new(83.0, 190.0));
+        d.observe(Point2::new(84.0, 192.0));
+        let s_surge = d.observe(surge);
+        d.observe(Point2::new(48.0, 113.0));
+        let s_broken = d.observe(broken);
+        println!(
+            "{:<18} {:>10.3} {:>10.3} {:>10.3} {:>9.3}",
+            d.name(),
+            s_normal,
+            s_surge,
+            s_broken,
+            d.validity()
+        );
+    }
+    println!(
+        "\nreading: the correlation-aware detectors keep the correlated surge \
+         normal, while the\nper-metric z-score is the most alarmed by it — the \
+         false-positive failure mode the\npaper's introduction describes. All \
+         correlation methods drive the broken\nrelationship to ~0."
+    );
+    Ok(())
+}

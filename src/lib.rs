@@ -1,0 +1,56 @@
+//! # gridwatch
+//!
+//! A reproduction of *"Modeling Probabilistic Measurement Correlations for
+//! Problem Determination in Large-Scale Distributed Systems"* (Gao, Jiang,
+//! Chen, Han — ICDCS 2009): grid-based transition-probability models of
+//! pairwise measurement correlations, with system-level problem
+//! determination and localization on top.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`timeseries`] — measurement identities, series, alignment, stats.
+//! * [`grid`] — adaptive two-dimensional grid discretization.
+//! * [`model`] — the transition probability model `M = (G, V)` and fitness
+//!   scores (the paper's core contribution).
+//! * [`detect`] — pair sets, three-level fitness aggregation, alarms and
+//!   localization.
+//! * [`sim`] — a distributed-infrastructure telemetry simulator with fault
+//!   injection (substitute for the paper's proprietary traces).
+//! * [`baselines`] — linear-invariant, Gaussian-mixture and z-score
+//!   baseline detectors.
+//! * [`eval`] — the experiment harness that regenerates every figure of
+//!   the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gridwatch::model::{ModelConfig, TransitionModel};
+//! use gridwatch::timeseries::PairSeries;
+//!
+//! // Two correlated measurements sampled every 6 minutes.
+//! let history = PairSeries::from_samples(
+//!     (0..200u64).map(|k| {
+//!         let x = (k as f64 / 20.0).sin() * 10.0 + 50.0;
+//!         (k * 360, x, 2.0 * x)
+//!     }),
+//! )?;
+//!
+//! // Learn the normal profile from history…
+//! let mut model = TransitionModel::fit(&history, ModelConfig::default())?;
+//!
+//! // …then score new observations online.
+//! let normal = model.score_point(gridwatch::timeseries::Point2::new(50.0, 100.0));
+//! let broken = model.score_point(gridwatch::timeseries::Point2::new(50.0, 0.0));
+//! assert!(normal.fitness() > broken.fitness());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use gridwatch_baselines as baselines;
+pub use gridwatch_core as model;
+pub use gridwatch_detect as detect;
+pub use gridwatch_eval as eval;
+pub use gridwatch_grid as grid;
+pub use gridwatch_sim as sim;
+pub use gridwatch_timeseries as timeseries;

