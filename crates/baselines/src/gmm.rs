@@ -288,7 +288,11 @@ mod tests {
     /// Two tight clusters at (0,0) and (100, 50).
     fn bimodal_history() -> PairSeries {
         PairSeries::from_samples((0..300u64).map(|k| {
-            let (cx, cy) = if k % 2 == 0 { (0.0, 0.0) } else { (100.0, 50.0) };
+            let (cx, cy) = if k % 2 == 0 {
+                (0.0, 0.0)
+            } else {
+                (100.0, 50.0)
+            };
             let jx = ((k * 7) % 11) as f64 * 0.2 - 1.0;
             let jy = ((k * 13) % 7) as f64 * 0.2 - 0.6;
             (k, cx + jx, cy + jy)
@@ -317,13 +321,9 @@ mod tests {
             components: 1,
             ..GmmConfig::default()
         });
-        let tight = PairSeries::from_samples((0..100u64).map(|k| {
-            (
-                k,
-                ((k * 3) % 17) as f64 * 0.1,
-                ((k * 5) % 13) as f64 * 0.1,
-            )
-        }))
+        let tight = PairSeries::from_samples(
+            (0..100u64).map(|k| (k, ((k * 3) % 17) as f64 * 0.1, ((k * 5) % 13) as f64 * 0.1)),
+        )
         .unwrap();
         d.fit(&tight).unwrap();
         let s0 = d.observe(Point2::new(0.8, 0.6));

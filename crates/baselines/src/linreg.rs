@@ -140,7 +140,9 @@ impl PairDetector for LinearInvariantDetector {
     }
 
     fn validity(&self) -> f64 {
-        self.fitted.map(|f| f.r_squared.clamp(0.0, 1.0)).unwrap_or(0.0)
+        self.fitted
+            .map(|f| f.r_squared.clamp(0.0, 1.0))
+            .unwrap_or(0.0)
     }
 }
 

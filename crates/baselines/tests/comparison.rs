@@ -6,9 +6,7 @@ use gridwatch_baselines::{
     GmmDetector, LinearInvariantDetector, MarkovDetector, PairDetector, ZScoreDetector,
 };
 use gridwatch_sim::{FaultSchedule, Infrastructure, TraceGenerator, WorkloadConfig};
-use gridwatch_timeseries::{
-    GroupId, MachineId, MeasurementId, MetricKind, PairSeries, Timestamp,
-};
+use gridwatch_timeseries::{GroupId, MachineId, MeasurementId, MetricKind, PairSeries, Timestamp};
 
 /// Simulated pairs on one machine: the linear in/out traffic pair and
 /// the nonlinear traffic-vs-saturating-utilization pair.

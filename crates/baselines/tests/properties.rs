@@ -114,11 +114,7 @@ impl PairSeriesBuilder {
     fn sin_noise(cx: f64, cy: f64, spread: f64) -> PairSeries {
         PairSeries::from_samples((0..300u64).map(|k| {
             let t = k as f64 / 11.0;
-            (
-                k,
-                cx + spread * t.sin(),
-                cy + spread * (t * 1.3).cos(),
-            )
+            (k, cx + spread * t.sin(), cy + spread * (t * 1.3).cos())
         }))
         .unwrap()
     }

@@ -23,7 +23,10 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.sample_size(20);
     for pairs in [10usize, 45, 120] {
         for parallel in [false, true] {
-            let label = format!("{pairs}pairs_{}", if parallel { "parallel" } else { "serial" });
+            let label = format!(
+                "{pairs}pairs_{}",
+                if parallel { "parallel" } else { "serial" }
+            );
             group.bench_with_input(
                 BenchmarkId::from_parameter(label),
                 &(pairs, parallel),

@@ -2,6 +2,7 @@
 
 pub mod inspect;
 pub mod monitor;
+pub mod serve;
 pub mod simulate;
 pub mod train;
 

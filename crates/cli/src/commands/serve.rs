@@ -1,0 +1,188 @@
+//! `gridwatch serve` — replay a trace through the sharded concurrent
+//! detection engine, with backpressure, checkpointing, and stats.
+
+use std::time::{Duration, Instant};
+
+use gridwatch_detect::{EngineSnapshot, Snapshot};
+use gridwatch_serve::{BackpressurePolicy, Checkpointer, ServeConfig, ShardedEngine};
+use gridwatch_timeseries::Timestamp;
+
+use crate::commands::{load_trace, write_file};
+use crate::flags::Flags;
+
+const HELP: &str = "\
+gridwatch serve --trace FILE --engine FILE [flags]
+
+  --trace FILE              CSV monitoring data
+  --engine FILE             engine snapshot from `gridwatch train`
+  --from-day N              first day to stream (default 15 = June 13)
+  --days N                  days to stream      (default 1)
+  --shards N                shard worker threads          (default 4)
+  --queue-capacity N        per-shard queue capacity      (default 64)
+  --backpressure P          block | drop-oldest | reject  (default block)
+  --rate X                  replay rate in snapshots/sec  (default: unthrottled)
+  --system-threshold X      alarm when Q_t < X            (engine default)
+  --measurement-threshold X alarm when Q^a_t < X          (engine default)
+  --consecutive N           debounce: N consecutive lows  (engine default)
+  --checkpoint DIR          checkpoint into DIR (at the end, and every
+                            --checkpoint-every snapshots when given)
+  --checkpoint-every N      checkpoint period in snapshots (default: end only)
+  --resume                  recover engine state from --checkpoint DIR
+                            instead of --engine
+  --stats FILE              write final serving stats as JSON";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &["resume"])?;
+    let trace_path: String = flags.require("trace")?;
+    let from_day: u64 = flags.get_or("from-day", 15)?;
+    let days: u64 = flags.get_or("days", 1)?;
+    let rate: f64 = flags.get_or("rate", 0.0)?;
+    let checkpoint_dir: Option<String> = flags.get("checkpoint")?;
+    let checkpoint_every: u64 = flags.get_or("checkpoint-every", 0)?;
+
+    let serve_config = ServeConfig {
+        shards: flags.get_or("shards", 4)?,
+        queue_capacity: flags.get_or("queue-capacity", 64)?,
+        backpressure: flags.get_or("backpressure", BackpressurePolicy::Block)?,
+    };
+    if serve_config.shards == 0 {
+        return Err("--shards must be positive".to_string());
+    }
+    if serve_config.queue_capacity == 0 {
+        return Err("--queue-capacity must be positive".to_string());
+    }
+    if flags.has("resume") && checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint DIR".to_string());
+    }
+
+    let trace = load_trace(&trace_path)?;
+    let mut snapshot: EngineSnapshot = if flags.has("resume") {
+        let dir = checkpoint_dir.as_deref().expect("checked above");
+        let (snapshot, manifest) = Checkpointer::new(dir)
+            .recover()
+            .map_err(|e| format!("cannot resume from {dir}: {e}"))?;
+        println!(
+            "resumed from checkpoint at {dir} (cut seq {}, {} shard files)",
+            manifest.cut_seq, manifest.shards
+        );
+        snapshot
+    } else {
+        let engine_path: String = flags.require("engine")?;
+        let json = std::fs::read_to_string(&engine_path)
+            .map_err(|e| format!("cannot read {engine_path}: {e}"))?;
+        serde_json::from_str(&json).map_err(|e| format!("cannot parse {engine_path}: {e}"))?
+    };
+    snapshot.config.alarm.system_threshold =
+        flags.get_or("system-threshold", snapshot.config.alarm.system_threshold)?;
+    snapshot.config.alarm.measurement_threshold = flags.get_or(
+        "measurement-threshold",
+        snapshot.config.alarm.measurement_threshold,
+    )?;
+    snapshot.config.alarm.min_consecutive =
+        flags.get_or("consecutive", snapshot.config.alarm.min_consecutive)?;
+
+    let mut engine = ShardedEngine::start(snapshot, serve_config);
+    let start = Timestamp::from_days(from_day);
+    let end = Timestamp::from_days(from_day + days);
+    let tick_budget = if rate > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / rate))
+    } else {
+        None
+    };
+
+    let began = Instant::now();
+    let mut ticks = 0u64;
+    let mut alarms = 0usize;
+    let mut q_min: Option<(Timestamp, f64)> = None;
+    let note_report = |report: &gridwatch_detect::StepReport,
+                       alarms: &mut usize,
+                       q_min: &mut Option<(Timestamp, f64)>| {
+        if let Some(q) = report.scores.system_score() {
+            if q_min.is_none_or(|(_, min)| q < min) {
+                *q_min = Some((report.scores.at(), q));
+            }
+        }
+        for alarm in &report.alarms {
+            *alarms += 1;
+            println!("ALARM {alarm}");
+        }
+    };
+
+    for t in trace.interval().ticks(start, end) {
+        let deadline = tick_budget.map(|budget| Instant::now() + budget);
+        let mut snap = Snapshot::new(t);
+        for id in trace.measurement_ids() {
+            if let Some(v) = trace.series(id).expect("id from trace").value_at(t) {
+                snap.insert(id, v);
+            }
+        }
+        if snap.is_empty() {
+            continue;
+        }
+        engine.submit(snap);
+        ticks += 1;
+        if let (Some(dir), true) = (
+            checkpoint_dir.as_deref(),
+            checkpoint_every > 0 && ticks.is_multiple_of(checkpoint_every),
+        ) {
+            let manifest = engine
+                .checkpoint(dir)
+                .map_err(|e| format!("checkpoint failed: {e}"))?;
+            println!("checkpoint written to {dir} (cut seq {})", manifest.cut_seq);
+        }
+        while let Some(report) = engine.try_recv_report() {
+            note_report(&report, &mut alarms, &mut q_min);
+        }
+        if let Some(deadline) = deadline {
+            let now = Instant::now();
+            if now < deadline {
+                std::thread::sleep(deadline - now);
+            }
+        }
+    }
+
+    if let Some(dir) = checkpoint_dir.as_deref() {
+        let manifest = engine
+            .checkpoint(dir)
+            .map_err(|e| format!("checkpoint failed: {e}"))?;
+        println!(
+            "final checkpoint written to {dir} (cut seq {})",
+            manifest.cut_seq
+        );
+    }
+    let (rest, stats) = engine.shutdown();
+    for report in &rest {
+        note_report(report, &mut alarms, &mut q_min);
+    }
+    let elapsed = began.elapsed();
+
+    println!(
+        "served {ticks} snapshots over day {from_day}..{} across {} shards ({}): \
+         {} reports, {alarms} alarms, {} evicted, {} rejected",
+        from_day + days,
+        stats.shards.len(),
+        serve_config.backpressure,
+        stats.reports,
+        stats.total_evicted(),
+        stats.rejected,
+    );
+    if elapsed.as_secs_f64() > 0.0 {
+        println!(
+            "throughput: {:.1} snapshots/sec (wall {:.2}s)",
+            ticks as f64 / elapsed.as_secs_f64(),
+            elapsed.as_secs_f64()
+        );
+    }
+    if let Some((t, q)) = q_min {
+        println!("lowest system fitness: {q:.4} at {t}");
+    }
+    if let Some(path) = flags.get::<String>("stats")? {
+        write_file(&path, &stats.to_json())?;
+        println!("serving stats written to {path}");
+    }
+    Ok(())
+}

@@ -4,6 +4,7 @@
 //! gridwatch simulate --group A --machines 4 --days 30 --fault --out trace.csv
 //! gridwatch train    --trace trace.csv --train-days 8 --out engine.json
 //! gridwatch monitor  --trace trace.csv --engine engine.json --from-day 15 --days 1
+//! gridwatch serve    --trace trace.csv --engine engine.json --shards 4
 //! gridwatch inspect  --engine engine.json
 //! ```
 //!
@@ -32,6 +33,10 @@ commands:
              --trace FILE --engine FILE [--from-day N] [--days N]
              [--system-threshold X] [--measurement-threshold X]
              [--consecutive N] [--incidents] [--save FILE]
+  serve      replay a trace through the sharded concurrent engine
+             --trace FILE --engine FILE [--shards N] [--backpressure P]
+             [--queue-capacity N] [--rate X] [--checkpoint DIR]
+             [--checkpoint-every N] [--resume] [--stats FILE]
   inspect    summarize a persisted engine
              --engine FILE [--verbose]
 
@@ -48,6 +53,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate::run(&args),
         "train" => commands::train::run(&args),
         "monitor" => commands::monitor::run(&args),
+        "serve" => commands::serve::run(&args),
         "inspect" => commands::inspect::run(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };

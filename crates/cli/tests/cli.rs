@@ -34,24 +34,53 @@ fn full_workflow_detects_the_injected_fault() {
 
     // Simulate 16 days with the Figure-12 fault on day 15.
     let out = run_ok(bin().args([
-        "simulate", "--out", &trace, "--group", "A", "--machines", "3", "--days", "16",
-        "--seed", "7", "--fault",
+        "simulate",
+        "--out",
+        &trace,
+        "--group",
+        "A",
+        "--machines",
+        "3",
+        "--days",
+        "16",
+        "--seed",
+        "7",
+        "--fault",
     ]));
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("ground-truth fault window"), "{text}");
 
     // Train on the first 8 days.
     let out = run_ok(bin().args([
-        "train", "--trace", &trace, "--out", &engine, "--train-days", "8",
+        "train",
+        "--trace",
+        &trace,
+        "--out",
+        &engine,
+        "--train-days",
+        "8",
     ]));
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("trained"), "{text}");
 
     // Monitor the fault day; the injected break must alarm.
     let out = run_ok(bin().args([
-        "monitor", "--trace", &trace, "--engine", &engine, "--from-day", "15",
-        "--days", "1", "--system-threshold", "0.0", "--measurement-threshold", "0.55",
-        "--incidents", "--save", &updated,
+        "monitor",
+        "--trace",
+        &trace,
+        "--engine",
+        &engine,
+        "--from-day",
+        "15",
+        "--days",
+        "1",
+        "--system-threshold",
+        "0.0",
+        "--measurement-threshold",
+        "0.55",
+        "--incidents",
+        "--save",
+        &updated,
     ]));
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("ALARM"), "no alarm raised:\n{text}");
@@ -87,7 +116,13 @@ fn help_and_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--trace is required"));
     // Unreadable trace fails cleanly.
     let out = bin()
-        .args(["train", "--trace", "/no/such/file.csv", "--out", "/tmp/x.json"])
+        .args([
+            "train",
+            "--trace",
+            "/no/such/file.csv",
+            "--out",
+            "/tmp/x.json",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -100,17 +135,183 @@ fn clean_monitoring_is_quiet() {
     let trace = dir.join("trace.csv").to_string_lossy().to_string();
     let engine = dir.join("engine.json").to_string_lossy().to_string();
     run_ok(bin().args([
-        "simulate", "--out", &trace, "--group", "B", "--machines", "2", "--days", "16",
-        "--seed", "11",
+        "simulate",
+        "--out",
+        &trace,
+        "--group",
+        "B",
+        "--machines",
+        "2",
+        "--days",
+        "16",
+        "--seed",
+        "11",
     ]));
     run_ok(bin().args([
-        "train", "--trace", &trace, "--out", &engine, "--train-days", "8",
+        "train",
+        "--trace",
+        &trace,
+        "--out",
+        &engine,
+        "--train-days",
+        "8",
     ]));
     let out = run_ok(bin().args([
-        "monitor", "--trace", &trace, "--engine", &engine, "--from-day", "15", "--days", "1",
-        "--system-threshold", "0.6", "--measurement-threshold", "0.3", "--consecutive", "2",
+        "monitor",
+        "--trace",
+        &trace,
+        "--engine",
+        &engine,
+        "--from-day",
+        "15",
+        "--days",
+        "1",
+        "--system-threshold",
+        "0.6",
+        "--measurement-threshold",
+        "0.3",
+        "--consecutive",
+        "2",
     ]));
     let text = String::from_utf8_lossy(&out.stdout).to_string();
-    assert!(text.contains("0 alarms"), "clean day must stay quiet:\n{text}");
+    assert!(
+        text.contains("0 alarms"),
+        "clean day must stay quiet:\n{text}"
+    );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_replays_the_fault_day_through_shards() {
+    let dir = tmp_dir("serve");
+    let trace = dir.join("trace.csv").to_string_lossy().to_string();
+    let engine = dir.join("engine.json").to_string_lossy().to_string();
+    let stats = dir.join("stats.json").to_string_lossy().to_string();
+    let ckpt = dir.join("ckpt").to_string_lossy().to_string();
+
+    run_ok(bin().args([
+        "simulate",
+        "--out",
+        &trace,
+        "--group",
+        "A",
+        "--machines",
+        "3",
+        "--days",
+        "16",
+        "--seed",
+        "7",
+        "--fault",
+    ]));
+    run_ok(bin().args([
+        "train",
+        "--trace",
+        &trace,
+        "--out",
+        &engine,
+        "--train-days",
+        "8",
+    ]));
+
+    // Serve the fault day on 4 shards; the injected break must alarm
+    // exactly as under `monitor`.
+    let out = run_ok(bin().args([
+        "serve",
+        "--trace",
+        &trace,
+        "--engine",
+        &engine,
+        "--from-day",
+        "15",
+        "--days",
+        "1",
+        "--shards",
+        "4",
+        "--backpressure",
+        "block",
+        "--system-threshold",
+        "0.0",
+        "--measurement-threshold",
+        "0.55",
+        "--stats",
+        &stats,
+        "--checkpoint",
+        &ckpt,
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("ALARM"), "no alarm raised:\n{text}");
+    assert!(text.contains("across 4 shards (block)"), "{text}");
+    assert!(text.contains("final checkpoint written"), "{text}");
+    assert!(text.contains("serving stats written"), "{text}");
+
+    // The stats dump is valid JSON with one entry per shard.
+    let json = std::fs::read_to_string(&stats).unwrap();
+    let parsed: gridwatch_serve::ServeStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed.shards.len(), 4);
+    assert!(parsed.submitted > 0);
+    assert_eq!(parsed.checkpoints, 1);
+
+    // Resume from the checkpoint (no --engine needed) and serve the
+    // next day on a different shard count.
+    let out = run_ok(bin().args([
+        "serve",
+        "--trace",
+        &trace,
+        "--from-day",
+        "15",
+        "--days",
+        "1",
+        "--shards",
+        "2",
+        "--checkpoint",
+        &ckpt,
+        "--resume",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("resumed from checkpoint"), "{text}");
+    assert!(text.contains("across 2 shards"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_flag_validation() {
+    let out = run_ok(bin().args(["serve", "--help"]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("--backpressure"), "{text}");
+    assert!(text.contains("--shards"), "{text}");
+
+    // Bad backpressure policy names the offender.
+    let out = bin()
+        .args([
+            "serve",
+            "--trace",
+            "x.csv",
+            "--engine",
+            "x.json",
+            "--backpressure",
+            "flood",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("flood"));
+
+    // Zero shards rejected before any work happens.
+    let out = bin()
+        .args([
+            "serve", "--trace", "x.csv", "--engine", "x.json", "--shards", "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shards must be positive"));
+
+    // --resume without --checkpoint is an error.
+    let out = bin()
+        .args(["serve", "--trace", "x.csv", "--resume"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume requires --checkpoint"));
 }

@@ -101,7 +101,10 @@ impl ModelConfig {
         }
         if self.growth.lambda < 0.0 {
             return Err(ModelError::InvalidConfig {
-                reason: format!("growth lambda must be non-negative, got {}", self.growth.lambda),
+                reason: format!(
+                    "growth lambda must be non-negative, got {}",
+                    self.growth.lambda
+                ),
             });
         }
         if !(self.forgetting_factor > 0.0 && self.forgetting_factor <= 1.0) {
@@ -213,7 +216,10 @@ mod tests {
     #[test]
     fn invalid_parameters_rejected() {
         assert!(ModelConfig::builder().decay_rate(1.0).build().is_err());
-        assert!(ModelConfig::builder().update_threshold(2.0).build().is_err());
+        assert!(ModelConfig::builder()
+            .update_threshold(2.0)
+            .build()
+            .is_err());
         assert!(ModelConfig::builder()
             .growth(GrowthPolicy { lambda: -1.0 })
             .build()

@@ -174,7 +174,9 @@ impl TransitionMatrix {
     /// Exports the full dense matrix (row-major); intended for small
     /// grids, reporting, and tests.
     pub fn to_dense(&self, grid: &GridStructure) -> Vec<Vec<f64>> {
-        grid.cells().map(|from| self.compute_row(grid, from)).collect()
+        grid.cells()
+            .map(|from| self.compute_row(grid, from))
+            .collect()
     }
 
     /// Remaps all stored cell indices after the grid grew.

@@ -454,7 +454,10 @@ mod tests {
     #[test]
     fn update_threshold_skips_anomalous_transitions() {
         let history = linear_history(500);
-        let config = ModelConfig::builder().update_threshold(0.05).build().unwrap();
+        let config = ModelConfig::builder()
+            .update_threshold(0.05)
+            .build()
+            .unwrap();
         let mut model = TransitionModel::fit(&history, config).unwrap();
         let before = model.matrix().total_observations();
         // A wildly improbable (but in-grid) jump.
@@ -478,7 +481,10 @@ mod tests {
         model.reset_trajectory();
         assert_eq!(model.last_cell(), None);
         let out = model.observe(Point2::new(10.0, 20.0));
-        assert!(out.score.is_none(), "first point after reset has no transition");
+        assert!(
+            out.score.is_none(),
+            "first point after reset has no transition"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ fn single_cell_grid_always_scores_one() {
 
 #[test]
 fn update_threshold_one_never_learns() {
-    let config = ModelConfig::builder().update_threshold(1.0).build().unwrap();
+    let config = ModelConfig::builder()
+        .update_threshold(1.0)
+        .build()
+        .unwrap();
     let mut model = TransitionModel::fit(&linear_history(200), config).unwrap();
     let before = model.matrix().total_observations();
     for k in 0..20 {

@@ -161,8 +161,14 @@ fn forgetting_bounds_total_evidence() {
 
 #[test]
 fn config_rejects_bad_forgetting_parameters() {
-    assert!(ModelConfig::builder().forgetting_factor(0.0).build().is_err());
-    assert!(ModelConfig::builder().forgetting_factor(1.5).build().is_err());
+    assert!(ModelConfig::builder()
+        .forgetting_factor(0.0)
+        .build()
+        .is_err());
+    assert!(ModelConfig::builder()
+        .forgetting_factor(1.5)
+        .build()
+        .is_err());
     assert!(ModelConfig::builder().forgetting_period(0).build().is_err());
     assert!(ModelConfig::builder()
         .forgetting_factor(0.9)

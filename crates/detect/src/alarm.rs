@@ -159,22 +159,36 @@ mod tests {
     fn debounce_waits_for_streak() {
         let mut tracker = AlarmTracker::new();
         let p = policy(0.5, 3);
-        assert!(tracker.evaluate(&board_with_system_score(0, 0.3), &p).is_empty());
-        assert!(tracker.evaluate(&board_with_system_score(1, 0.3), &p).is_empty());
+        assert!(tracker
+            .evaluate(&board_with_system_score(0, 0.3), &p)
+            .is_empty());
+        assert!(tracker
+            .evaluate(&board_with_system_score(1, 0.3), &p)
+            .is_empty());
         let alarms = tracker.evaluate(&board_with_system_score(2, 0.3), &p);
         assert_eq!(alarms.len(), 1);
         // Continuing violation does not refire.
-        assert!(tracker.evaluate(&board_with_system_score(3, 0.3), &p).is_empty());
+        assert!(tracker
+            .evaluate(&board_with_system_score(3, 0.3), &p)
+            .is_empty());
     }
 
     #[test]
     fn recovery_rearms() {
         let mut tracker = AlarmTracker::new();
         let p = policy(0.5, 1);
-        assert_eq!(tracker.evaluate(&board_with_system_score(0, 0.3), &p).len(), 1);
-        assert!(tracker.evaluate(&board_with_system_score(1, 0.9), &p).is_empty());
+        assert_eq!(
+            tracker.evaluate(&board_with_system_score(0, 0.3), &p).len(),
+            1
+        );
+        assert!(tracker
+            .evaluate(&board_with_system_score(1, 0.9), &p)
+            .is_empty());
         assert!(!tracker.is_active(AlarmLevel::System));
-        assert_eq!(tracker.evaluate(&board_with_system_score(2, 0.3), &p).len(), 1);
+        assert_eq!(
+            tracker.evaluate(&board_with_system_score(2, 0.3), &p).len(),
+            1
+        );
     }
 
     #[test]

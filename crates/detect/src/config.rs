@@ -167,7 +167,11 @@ mod tests {
         for k in 0..4u32 {
             m.insert(
                 id(k),
-                series_from(&(0..20).map(|i| (i + i64::from(k)) as f64).collect::<Vec<_>>()),
+                series_from(
+                    &(0..20)
+                        .map(|i| (i + i64::from(k)) as f64)
+                        .collect::<Vec<_>>(),
+                ),
             );
         }
         let pairs = PairScreen::default().select(&m);
@@ -178,8 +182,14 @@ mod tests {
     fn min_samples_filters_short_series() {
         let mut m = BTreeMap::new();
         m.insert(id(0), series_from(&[1.0, 2.0]));
-        m.insert(id(1), series_from(&(0..20).map(|i| i as f64).collect::<Vec<_>>()));
-        m.insert(id(2), series_from(&(0..20).map(|i| (i * i) as f64).collect::<Vec<_>>()));
+        m.insert(
+            id(1),
+            series_from(&(0..20).map(|i| i as f64).collect::<Vec<_>>()),
+        );
+        m.insert(
+            id(2),
+            series_from(&(0..20).map(|i| (i * i) as f64).collect::<Vec<_>>()),
+        );
         let pairs = PairScreen::default().select(&m);
         assert_eq!(pairs.len(), 1);
         assert!(!pairs[0].contains(id(0)));
@@ -197,7 +207,12 @@ mod tests {
         // A non-linear, high-variance partner.
         m.insert(
             id(2),
-            series_from(&base.iter().map(|v| (v * 0.5).sin() * 100.0 + 200.0).collect::<Vec<_>>()),
+            series_from(
+                &base
+                    .iter()
+                    .map(|v| (v * 0.5).sin() * 100.0 + 200.0)
+                    .collect::<Vec<_>>(),
+            ),
         );
         let screen = PairScreen {
             exclude_linear_above: Some(0.95),

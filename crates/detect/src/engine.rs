@@ -138,6 +138,24 @@ impl DetectionEngine {
     /// [`gridwatch_core::ModelConfig::adaptive`] flag, exactly as in the
     /// paper's offline/adaptive comparison (Figure 13a).
     pub fn step(&mut self, snapshot: &Snapshot) -> StepReport {
+        let board = self.step_scores(snapshot);
+        let alarms = self.tracker.evaluate(&board, &self.config.alarm);
+        StepReport {
+            scores: board,
+            alarms,
+        }
+    }
+
+    /// The scoring half of [`DetectionEngine::step`]: updates every pair
+    /// model against the snapshot and returns the score board *without*
+    /// evaluating alarms or touching the alarm tracker.
+    ///
+    /// This is the building block for pair-sharded serving
+    /// (`gridwatch-serve`): each shard calls `step_scores` on its slice
+    /// of the pairs, the partial boards are merged with
+    /// [`ScoreBoard::merge`], and a single tracker evaluates alarms on
+    /// the merged board — bit-identical to an unsharded `step`.
+    pub fn step_scores(&mut self, snapshot: &Snapshot) -> ScoreBoard {
         // Across a monitoring outage, the "previous point" is stale:
         // reset trajectories instead of scoring a bogus transition.
         if let (Some(max_gap), Some(last)) = (self.config.max_gap_secs, self.last_snapshot_at) {
@@ -160,11 +178,7 @@ impl DetectionEngine {
                 board.record(pair, f);
             }
         }
-        let alarms = self.tracker.evaluate(&board, &self.config.alarm);
-        StepReport {
-            scores: board,
-            alarms,
-        }
+        board
     }
 
     /// Parallel variant of the per-pair update using crossbeam scoped
@@ -311,8 +325,7 @@ mod tests {
         let mut pairs = training_pairs();
         // A constant pair: degenerate grid.
         let ghost = MeasurementPair::new(id(5, 0), id(5, 1)).unwrap();
-        let flat =
-            PairSeries::from_samples((0..50u64).map(|k| (k * 360, 1.0, 1.0))).unwrap();
+        let flat = PairSeries::from_samples((0..50u64).map(|k| (k * 360, 1.0, 1.0))).unwrap();
         pairs.push((ghost, flat));
         let engine = DetectionEngine::train(pairs, EngineConfig::default()).unwrap();
         assert_eq!(engine.model_count(), 3);
@@ -323,8 +336,7 @@ mod tests {
     #[test]
     fn all_degenerate_training_fails() {
         let ghost = MeasurementPair::new(id(5, 0), id(5, 1)).unwrap();
-        let flat =
-            PairSeries::from_samples((0..50u64).map(|k| (k * 360, 1.0, 1.0))).unwrap();
+        let flat = PairSeries::from_samples((0..50u64).map(|k| (k * 360, 1.0, 1.0))).unwrap();
         let err = DetectionEngine::train([(ghost, flat)], EngineConfig::default()).unwrap_err();
         assert_eq!(err.offered, 1);
         assert!(err.to_string().contains("none of the 1"));
@@ -332,8 +344,7 @@ mod tests {
 
     #[test]
     fn normal_snapshot_scores_high_broken_scores_lower() {
-        let mut engine =
-            DetectionEngine::train(training_pairs(), EngineConfig::default()).unwrap();
+        let mut engine = DetectionEngine::train(training_pairs(), EngineConfig::default()).unwrap();
         // Consistent with training: load 30 -> values (40, 70, 100).
         let good = engine.step(&snapshot_at(0, [40.0, 70.0, 100.0]));
         let q_good = good.scores.system_score().unwrap();
@@ -348,8 +359,7 @@ mod tests {
 
     #[test]
     fn missing_measurements_are_tolerated() {
-        let mut engine =
-            DetectionEngine::train(training_pairs(), EngineConfig::default()).unwrap();
+        let mut engine = DetectionEngine::train(training_pairs(), EngineConfig::default()).unwrap();
         let ids = [id(0, 0), id(0, 1)];
         let mut snap = Snapshot::new(Timestamp::from_secs(400 * 360));
         snap.insert(ids[0], 40.0);
@@ -378,6 +388,29 @@ mod tests {
     }
 
     #[test]
+    fn step_decomposes_into_scores_plus_tracker() {
+        let config = EngineConfig {
+            alarm: crate::AlarmPolicy {
+                system_threshold: 0.7,
+                measurement_threshold: 0.4,
+                min_consecutive: 2,
+            },
+            ..EngineConfig::default()
+        };
+        let mut whole = DetectionEngine::train(training_pairs(), config).unwrap();
+        let mut split = DetectionEngine::train(training_pairs(), config).unwrap();
+        let mut tracker = crate::AlarmTracker::new();
+        for k in 0..12 {
+            let snap = snapshot_at(k, [40.0, 70.0, if k < 3 { 100.0 } else { -35.0 }]);
+            let report = whole.step(&snap);
+            let board = split.step_scores(&snap);
+            let alarms = tracker.evaluate(&board, &split.config().alarm);
+            assert_eq!(report.scores, board, "step {k}");
+            assert_eq!(report.alarms, alarms, "step {k}");
+        }
+    }
+
+    #[test]
     fn alarms_fire_on_sustained_breakage() {
         let config = EngineConfig {
             alarm: crate::AlarmPolicy {
@@ -391,7 +424,10 @@ mod tests {
         let mut fired = Vec::new();
         for k in 0..12 {
             // Persistent break on measurement 2: wild values.
-            let report = engine.step(&snapshot_at(k, [40.0, 70.0, if k < 2 { 100.0 } else { -35.0 }]));
+            let report = engine.step(&snapshot_at(
+                k,
+                [40.0, 70.0, if k < 2 { 100.0 } else { -35.0 }],
+            ));
             fired.extend(report.alarms);
         }
         assert!(
@@ -402,8 +438,7 @@ mod tests {
 
     #[test]
     fn explain_reports_cell_ranges() {
-        let mut engine =
-            DetectionEngine::train(training_pairs(), EngineConfig::default()).unwrap();
+        let mut engine = DetectionEngine::train(training_pairs(), EngineConfig::default()).unwrap();
         engine.step(&snapshot_at(0, [40.0, 70.0, 100.0]));
         let pair = engine.pairs().next().unwrap();
         let ranges = engine.explain(pair).unwrap();

@@ -163,11 +163,9 @@ mod tests {
             .unwrap();
             (pair, history)
         };
-        let mut engine = DetectionEngine::train(
-            vec![mk(a, b, 2.0), mk(a, c, 3.0)],
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut engine =
+            DetectionEngine::train(vec![mk(a, b, 2.0), mk(a, c, 3.0)], EngineConfig::default())
+                .unwrap();
         let mut snap = Snapshot::new(Timestamp::from_secs(200 * 360));
         snap.insert(a, 20.0);
         snap.insert(b, 40.0);

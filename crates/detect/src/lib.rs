@@ -68,7 +68,7 @@ pub use alarm::{AlarmEvent, AlarmLevel, AlarmTracker};
 pub use config::{AlarmPolicy, EngineConfig, PairScreen};
 pub use engine::{DetectionEngine, NoModelsTrained, StepReport, TrainingOutcome};
 pub use incident::{IncidentReport, PairFinding};
-pub use persist::EngineSnapshot;
 pub use localize::{Localizer, SuspectMachine, SuspectMeasurement};
+pub use persist::EngineSnapshot;
 pub use scores::ScoreBoard;
 pub use snapshot::Snapshot;

@@ -156,6 +156,30 @@ impl ScoreBoard {
     pub fn machine_score(&self, machine: MachineId) -> Option<f64> {
         self.machine_scores().get(&machine).copied()
     }
+
+    /// Absorbs another board's pair scores. Because the three-level
+    /// aggregation is a pure function of the pair-score map, merging
+    /// partial boards built from disjoint pair subsets reproduces the
+    /// board a single engine would have produced — this is what makes
+    /// pair-sharded scoring exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the boards are for different instants or share a pair
+    /// (shards must partition the pair set).
+    pub fn merge(&mut self, other: ScoreBoard) {
+        assert_eq!(
+            self.at, other.at,
+            "cannot merge score boards from different instants"
+        );
+        for (pair, score) in other.pair_scores {
+            let prev = self.pair_scores.insert(pair, score);
+            assert!(
+                prev.is_none(),
+                "pair {pair:?} scored by two shards; shards must be disjoint"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +251,10 @@ mod tests {
         let mut weights = BTreeMap::new();
         weights.insert(c, 0.1);
         let weighted = board.weighted_system_score(&weights).unwrap();
-        assert!(weighted > uniform, "weighted {weighted} vs uniform {uniform}");
+        assert!(
+            weighted > uniform,
+            "weighted {weighted} vs uniform {uniform}"
+        );
         // Zero weight everywhere -> no score.
         let mut zeroes = BTreeMap::new();
         for m in [a, b, c] {
@@ -244,6 +271,41 @@ mod tests {
         let mut weights = BTreeMap::new();
         weights.insert(id(0, 0), -1.0);
         board.weighted_system_score(&weights);
+    }
+
+    #[test]
+    fn merge_of_disjoint_partials_matches_single_board() {
+        let (a, b, c) = (id(0, 0), id(0, 1), id(1, 0));
+        let mut whole = ScoreBoard::new(Timestamp::EPOCH);
+        whole.record(pair(a, b), 0.9);
+        whole.record(pair(a, c), 0.6);
+        whole.record(pair(b, c), 0.3);
+
+        let mut left = ScoreBoard::new(Timestamp::EPOCH);
+        left.record(pair(a, b), 0.9);
+        let mut right = ScoreBoard::new(Timestamp::EPOCH);
+        right.record(pair(a, c), 0.6);
+        right.record(pair(b, c), 0.3);
+        left.merge(right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different instants")]
+    fn merge_rejects_mismatched_instants() {
+        let mut left = ScoreBoard::new(Timestamp::EPOCH);
+        left.merge(ScoreBoard::new(Timestamp::from_secs(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn merge_rejects_overlapping_pairs() {
+        let p = pair(id(0, 0), id(0, 1));
+        let mut left = ScoreBoard::new(Timestamp::EPOCH);
+        left.record(p, 0.5);
+        let mut right = ScoreBoard::new(Timestamp::EPOCH);
+        right.record(p, 0.7);
+        left.merge(right);
     }
 
     #[test]

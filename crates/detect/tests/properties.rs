@@ -16,16 +16,19 @@ fn id(machine: u32, tag: u16) -> MeasurementId {
 
 /// A random score board over up to 6 measurements.
 fn arb_board() -> impl Strategy<Value = ScoreBoard> {
-    prop::collection::vec(((0u32..3, 0u16..2), (0u32..3, 0u16..2), 0.0f64..=1.0), 1..20)
-        .prop_map(|entries| {
-            let mut board = ScoreBoard::new(Timestamp::EPOCH);
-            for ((m1, t1), (m2, t2), score) in entries {
-                if let Some(pair) = MeasurementPair::new(id(m1, t1), id(m2, t2)) {
-                    board.record(pair, score);
-                }
+    prop::collection::vec(
+        ((0u32..3, 0u16..2), (0u32..3, 0u16..2), 0.0f64..=1.0),
+        1..20,
+    )
+    .prop_map(|entries| {
+        let mut board = ScoreBoard::new(Timestamp::EPOCH);
+        for ((m1, t1), (m2, t2), score) in entries {
+            if let Some(pair) = MeasurementPair::new(id(m1, t1), id(m2, t2)) {
+                board.record(pair, score);
             }
-            board
-        })
+        }
+        board
+    })
 }
 
 proptest! {

@@ -112,7 +112,10 @@ pub fn run(options: RunOptions) -> ExperimentResult {
 
     for kernel in DecayKernel::ALL {
         let config = ModelConfig { kernel, ..base };
-        rows.push((format!("kernel={kernel:?}"), evaluate(config, options, true)));
+        rows.push((
+            format!("kernel={kernel:?}"),
+            evaluate(config, options, true),
+        ));
     }
     for w in [1.5, 4.0] {
         let config = ModelConfig {
@@ -137,7 +140,10 @@ pub fn run(options: RunOptions) -> ExperimentResult {
             true,
         ),
     ));
-    rows.push(("prior only (no replay)".into(), evaluate(base, options, false)));
+    rows.push((
+        "prior only (no replay)".into(),
+        evaluate(base, options, false),
+    ));
 
     for (name, q) in &rows {
         table.push_row(vec![

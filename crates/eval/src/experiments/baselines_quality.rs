@@ -18,9 +18,7 @@ use gridwatch_sim::scenario::TEST_DAY;
 use gridwatch_sim::{
     FaultEvent, FaultKind, FaultSchedule, Infrastructure, TraceGenerator, WorkloadConfig,
 };
-use gridwatch_timeseries::{
-    GroupId, MachineId, MeasurementId, MetricKind, Point2, Timestamp,
-};
+use gridwatch_timeseries::{GroupId, MachineId, MeasurementId, MetricKind, Point2, Timestamp};
 
 use crate::harness::RunOptions;
 use crate::metrics::{mean_score_in, min_score_in};
@@ -54,7 +52,10 @@ pub fn evaluate_all(options: RunOptions) -> Vec<DetectorQuality> {
     let day = Timestamp::from_days(TEST_DAY).as_secs();
     let mut faults = FaultSchedule::new();
     faults.push(FaultEvent::new(
-        FaultKind::CorrelationBreak { target: b, level: 0.5 },
+        FaultKind::CorrelationBreak {
+            target: b,
+            level: 0.5,
+        },
         Timestamp::from_secs(day + 14 * 3600),
         Timestamp::from_secs(day + 16 * 3600),
     ));
@@ -69,10 +70,7 @@ pub fn evaluate_all(options: RunOptions) -> Vec<DetectorQuality> {
         faults.clone(),
         options.seed,
     );
-    let trace = generator.generate(
-        Timestamp::EPOCH,
-        Timestamp::from_days(TEST_DAY + 1),
-    );
+    let trace = generator.generate(Timestamp::EPOCH, Timestamp::from_days(TEST_DAY + 1));
     let sa = trace.series(a).expect("simulated");
     let sb = trace.series(b).expect("simulated");
     let train_end = Timestamp::from_days(8);

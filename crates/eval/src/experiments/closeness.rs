@@ -113,7 +113,10 @@ pub fn run(options: RunOptions) -> ExperimentResult {
     result.checks.push(Check::new(
         "transition counts decay with cell distance (far tail rare)",
         first_steps_decay && far_rare,
-        format!("counts: {by_distance:?}, far share {:.1}%", 100.0 * farther as f64 / total as f64),
+        format!(
+            "counts: {by_distance:?}, far share {:.1}%",
+            100.0 * farther as f64 / total as f64
+        ),
     ));
     result
 }

@@ -13,20 +13,27 @@ use crate::report::{ascii_line_chart, Check, ExperimentResult, Table};
 
 /// Regenerates the one-day time-series view of a correlated pair.
 pub fn run(options: RunOptions) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
-        "fig1",
-        "two correlated measurements as one-day time series",
-    );
-    result
-        .notes
-        .push(format!("seed {}, 6-minute sampling, simulated group A", options.seed));
+    let mut result =
+        ExperimentResult::new("fig1", "two correlated measurements as one-day time series");
+    result.notes.push(format!(
+        "seed {}, 6-minute sampling, simulated group A",
+        options.seed
+    ));
     let scenario = clean_scenario(GroupId::A, 1, options.seed);
     let m = MachineId::new(0);
     let out_id = MeasurementId::new(m, MetricKind::IfOutOctetsRate);
     let in_id = MeasurementId::new(m, MetricKind::IfInOctetsRate);
     let day = (Timestamp::EPOCH, Timestamp::from_days(1));
-    let out_series = scenario.trace.series(out_id).expect("simulated").slice(day.0, day.1);
-    let in_series = scenario.trace.series(in_id).expect("simulated").slice(day.0, day.1);
+    let out_series = scenario
+        .trace
+        .series(out_id)
+        .expect("simulated")
+        .slice(day.0, day.1);
+    let in_series = scenario
+        .trace
+        .series(in_id)
+        .expect("simulated")
+        .slice(day.0, day.1);
 
     let mut table = Table::new(
         "measurement values (x 6 minutes)",

@@ -19,7 +19,9 @@ pub fn pair_fitness_series(
     options: RunOptions,
 ) -> (Vec<(Timestamp, f64)>, ModelConfig) {
     let scenario = group_fault_scenario(group, options.machines, options.seed);
-    let (a, b) = scenario.focus_pair.expect("fault scenario has a focus pair");
+    let (a, b) = scenario
+        .focus_pair
+        .expect("fault scenario has a focus pair");
     let config = ModelConfig::builder()
         .update_threshold(0.005)
         .build()

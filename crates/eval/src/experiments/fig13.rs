@@ -30,9 +30,7 @@ pub struct SweepCell {
 }
 
 /// Runs the full offline/adaptive sweep for one group.
-pub fn sweep(
-    options: RunOptions,
-) -> Vec<(TrainWindow, TestWindow, bool, SweepCell)> {
+pub fn sweep(options: RunOptions) -> Vec<(TrainWindow, TestWindow, bool, SweepCell)> {
     let scenario = clean_scenario(GroupId::A, options.machines, options.seed);
     let mut out = Vec::new();
     for train in TrainWindow::ALL {
@@ -130,7 +128,10 @@ pub fn run(options: RunOptions) -> ExperimentResult {
         let mut row = vec![train.to_string()];
         for test in TestWindow::ALL {
             let c = lookup(train, test, true);
-            row.push(format!("{:.2}s / {:.2}ms", c.step_seconds, c.ms_per_snapshot));
+            row.push(format!(
+                "{:.2}s / {:.2}ms",
+                c.step_seconds, c.ms_per_snapshot
+            ));
         }
         time_table.push_row(row);
     }
@@ -159,9 +160,7 @@ pub fn run(options: RunOptions) -> ExperimentResult {
     let gap = |train: TrainWindow| -> f64 {
         TestWindow::ALL
             .iter()
-            .map(|&te| {
-                lookup(train, te, true).mean_fitness - lookup(train, te, false).mean_fitness
-            })
+            .map(|&te| lookup(train, te, true).mean_fitness - lookup(train, te, false).mean_fitness)
             .sum::<f64>()
             / TestWindow::ALL.len() as f64
     };

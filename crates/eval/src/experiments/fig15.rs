@@ -37,9 +37,9 @@ pub fn run(options: RunOptions) -> ExperimentResult {
         "fig15",
         "Q_t over nine days: weekday peak dips, weekend highs",
     );
-    result.notes.push(
-        "model initialized from one day (May 29), updated and evaluated June 13-21".into(),
-    );
+    result
+        .notes
+        .push("model initialized from one day (May 29), updated and evaluated June 13-21".into());
     let mut daily_table = Table::new(
         "daily mean Q_t per group",
         vec![
@@ -59,10 +59,7 @@ pub fn run(options: RunOptions) -> ExperimentResult {
         let day_idx = start.day_index() + d;
         let lo = Timestamp::from_days(day_idx);
         let hi = Timestamp::from_days(day_idx + 1);
-        let mut row = vec![
-            format!("6.{}", 13 + d),
-            format!("{:?}", lo.weekday()),
-        ];
+        let mut row = vec![format!("6.{}", 13 + d), format!("{:?}", lo.weekday())];
         for (_, scores) in &all_scores {
             let mean = crate::metrics::mean_score_in(scores, lo, hi).unwrap_or(f64::NAN);
             row.push(format!("{mean:.4}"));

@@ -25,8 +25,14 @@ pub fn run(options: RunOptions) -> ExperimentResult {
     let window = (Timestamp::EPOCH, Timestamp::from_days(3));
 
     let pair_of = |a: MeasurementId, b: MeasurementId| -> PairSeries {
-        let sa = trace.series(a).expect("simulated").slice(window.0, window.1);
-        let sb = trace.series(b).expect("simulated").slice(window.0, window.1);
+        let sa = trace
+            .series(a)
+            .expect("simulated")
+            .slice(window.0, window.1);
+        let sb = trace
+            .series(b)
+            .expect("simulated")
+            .slice(window.0, window.1);
         PairSeries::align(&sa, &sb, AlignmentPolicy::Intersect).expect("same schedule")
     };
 
@@ -78,10 +84,7 @@ pub fn run(options: RunOptions) -> ExperimentResult {
             xs.len().to_string(),
         ]);
 
-        let mut scatter = Table::new(
-            format!("scatter {name}"),
-            vec!["x".into(), "y".into()],
-        );
+        let mut scatter = Table::new(format!("scatter {name}"), vec!["x".into(), "y".into()]);
         for p in pair.points() {
             scatter.push_row(vec![format!("{:.2}", p.x), format!("{:.2}", p.y)]);
         }

@@ -41,8 +41,21 @@ use crate::report::ExperimentResult;
 
 /// Every experiment's id, in paper order.
 pub const ALL: [&str; 15] = [
-    "fig1", "fig2", "fig5", "fig7_8", "fig9_10", "fig11", "closeness", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "ablation", "baselines_quality", "scale",
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig7_8",
+    "fig9_10",
+    "fig11",
+    "closeness",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablation",
+    "baselines_quality",
+    "scale",
 ];
 
 /// Runs one experiment by id.

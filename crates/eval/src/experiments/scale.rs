@@ -133,10 +133,7 @@ pub fn run(options: RunOptions) -> ExperimentResult {
         dense_cells += s * s;
     }
 
-    let mut table = Table::new(
-        "scale metrics",
-        vec!["metric".into(), "value".into()],
-    );
+    let mut table = Table::new("scale metrics", vec!["metric".into(), "value".into()]);
     table.push_row(vec!["pair models".into(), engine.model_count().to_string()]);
     table.push_row(vec!["training time".into(), format!("{train_secs:.2} s")]);
     table.push_row(vec![
@@ -151,10 +148,7 @@ pub fn run(options: RunOptions) -> ExperimentResult {
         "per-model update (serial)".into(),
         format!("{:.1} us", serial_ms * 1e3 / engine.model_count() as f64),
     ]);
-    table.push_row(vec![
-        "distinct sparse entries".into(),
-        stored.to_string(),
-    ]);
+    table.push_row(vec!["distinct sparse entries".into(), stored.to_string()]);
     table.push_row(vec![
         "dense-matrix cells avoided".into(),
         dense_cells.to_string(),

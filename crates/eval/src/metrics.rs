@@ -159,7 +159,7 @@ mod tests {
         // missed faulty sample and one false positive.
         vec![
             (Timestamp::from_secs(0), 0.95),
-            (Timestamp::from_secs(50), 0.10), // false positive
+            (Timestamp::from_secs(50), 0.10),  // false positive
             (Timestamp::from_secs(100), 0.90), // missed (late detection)
             (Timestamp::from_secs(150), 0.20), // detected
             (Timestamp::from_secs(199), 0.15), // detected

@@ -82,7 +82,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -193,9 +197,16 @@ impl ExperimentResult {
             vec!["claim".into(), "passed".into(), "detail".into()],
         );
         for c in &self.checks {
-            checks.push_row(vec![c.claim.clone(), c.passed.to_string(), c.detail.clone()]);
+            checks.push_row(vec![
+                c.claim.clone(),
+                c.passed.to_string(),
+                c.detail.clone(),
+            ]);
         }
-        std::fs::write(dir.join(format!("{}_checks.csv", self.name)), checks.to_csv())
+        std::fs::write(
+            dir.join(format!("{}_checks.csv", self.name)),
+            checks.to_csv(),
+        )
     }
 }
 

@@ -262,7 +262,11 @@ impl GridBuilder {
         if unit_count_cv(hist.counts()) < cfg.uniform_cv_threshold {
             // Equal-distributed data: "we ignore the above procedure and
             // simply divide the dimension into equal-sized intervals".
-            return Ok(DimensionPartition::equal_width(lo, hi, cfg.uniform_intervals));
+            return Ok(DimensionPartition::equal_width(
+                lo,
+                hi,
+                cfg.uniform_intervals,
+            ));
         }
 
         let groups = merge_units(
@@ -373,7 +377,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_parameters() {
-        assert!(GridConfig::builder().units_per_dimension(1).build().is_err());
+        assert!(GridConfig::builder()
+            .units_per_dimension(1)
+            .build()
+            .is_err());
         assert!(GridConfig::builder().merge_similarity(1.5).build().is_err());
         assert!(GridConfig::builder().min_intervals(0).build().is_err());
         assert!(GridConfig::builder()
@@ -385,14 +392,18 @@ mod tests {
 
     #[test]
     fn empty_history_rejected() {
-        let err = GridBuilder::new(GridConfig::default()).build(&[]).unwrap_err();
+        let err = GridBuilder::new(GridConfig::default())
+            .build(&[])
+            .unwrap_err();
         assert_eq!(err, GridError::EmptyHistory);
     }
 
     #[test]
     fn degenerate_dimension_rejected() {
         let pts: Vec<Point2> = (0..10).map(|k| Point2::new(5.0, k as f64)).collect();
-        let err = GridBuilder::new(GridConfig::default()).build(&pts).unwrap_err();
+        let err = GridBuilder::new(GridConfig::default())
+            .build(&pts)
+            .unwrap_err();
         assert!(matches!(
             err,
             GridError::DegenerateDimension { dimension: 0, .. }

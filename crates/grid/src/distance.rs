@@ -89,15 +89,15 @@ mod tests {
         // ratios P(c1→c1)/P(c1→cj) are exactly these weights with w = 2.
         let k = DecayKernel::MeanAxis;
         let cases = [
-            ((0, 0), 1.0),  // c1 itself
-            ((0, 1), 1.5),  // c2
-            ((0, 2), 2.5),  // c3
-            ((1, 0), 1.5),  // c4
-            ((1, 1), 2.0),  // c5
-            ((1, 2), 3.0),  // c6
-            ((2, 0), 2.5),  // c7
-            ((2, 1), 3.0),  // c8
-            ((2, 2), 4.0),  // c9
+            ((0, 0), 1.0), // c1 itself
+            ((0, 1), 1.5), // c2
+            ((0, 2), 2.5), // c3
+            ((1, 0), 1.5), // c4
+            ((1, 1), 2.0), // c5
+            ((1, 2), 3.0), // c6
+            ((2, 0), 2.5), // c7
+            ((2, 1), 3.0), // c8
+            ((2, 2), 4.0), // c9
         ];
         for ((dx, dy), want) in cases {
             assert_eq!(k.weight(2.0, dx, dy), want, "offset ({dx},{dy})");

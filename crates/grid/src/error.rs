@@ -30,7 +30,9 @@ impl fmt::Display for GridError {
                 f,
                 "dimension {dimension} has no spread (all samples equal {value})"
             ),
-            GridError::InvalidConfig { reason } => write!(f, "invalid grid configuration: {reason}"),
+            GridError::InvalidConfig { reason } => {
+                write!(f, "invalid grid configuration: {reason}")
+            }
         }
     }
 }

@@ -36,7 +36,10 @@ impl Interval {
             lower.is_finite() && upper.is_finite(),
             "interval bounds must be finite"
         );
-        assert!(lower < upper, "interval must be non-empty: [{lower}, {upper})");
+        assert!(
+            lower < upper,
+            "interval must be non-empty: [{lower}, {upper})"
+        );
         Interval { lower, upper }
     }
 

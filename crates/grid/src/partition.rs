@@ -28,7 +28,10 @@ impl DimensionPartition {
     ///
     /// Panics if `intervals` is empty or not contiguous in order.
     pub fn new(intervals: Vec<Interval>) -> Self {
-        assert!(!intervals.is_empty(), "partition needs at least one interval");
+        assert!(
+            !intervals.is_empty(),
+            "partition needs at least one interval"
+        );
         for w in intervals.windows(2) {
             assert!(
                 w[0].upper() == w[1].lower(),
@@ -37,8 +40,8 @@ impl DimensionPartition {
                 w[1]
             );
         }
-        let avg = (intervals.last().unwrap().upper() - intervals[0].lower())
-            / intervals.len() as f64;
+        let avg =
+            (intervals.last().unwrap().upper() - intervals[0].lower()) / intervals.len() as f64;
         DimensionPartition {
             intervals,
             initial_avg_width: avg,
@@ -59,7 +62,11 @@ impl DimensionPartition {
                 let lower = lo + k as f64 * w;
                 // Use the exact upper bound for the last interval to avoid
                 // floating-point gaps.
-                let upper = if k == count - 1 { hi } else { lo + (k + 1) as f64 * w };
+                let upper = if k == count - 1 {
+                    hi
+                } else {
+                    lo + (k + 1) as f64 * w
+                };
                 Interval::new(lower, upper)
             })
             .collect();

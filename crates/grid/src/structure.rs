@@ -203,10 +203,7 @@ impl GridStructure {
     pub fn offset(&self, a: CellId, b: CellId) -> (i64, i64) {
         let la = self.location_of(a);
         let lb = self.location_of(b);
-        (
-            lb.col as i64 - la.col as i64,
-            lb.row as i64 - la.row as i64,
-        )
+        (lb.col as i64 - la.col as i64, lb.row as i64 - la.row as i64)
     }
 
     /// Locates `p`, extending the grid if `p` lies within the growth
@@ -234,9 +231,7 @@ impl GridStructure {
         }
         let (pre_c, app_c) = self.x.extend_to(p.x);
         let (pre_r, app_r) = self.y.extend_to(p.y);
-        let cell = self
-            .locate(p)
-            .expect("point is contained after extension");
+        let cell = self.locate(p).expect("point is contained after extension");
         Extension::Extended {
             cell,
             prepended_cols: pre_c,

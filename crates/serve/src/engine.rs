@@ -1,0 +1,995 @@
+//! The sharded concurrent detection engine.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit(&mut)        bounded queues          merged, in seq order
+//!  ───────────►  ┌──► [shard worker 0] ──┐
+//!   Snapshot     ├──► [shard worker 1] ──┼──► [aggregator] ──► reports
+//!  (broadcast)   └──► [shard worker k] ──┘     │
+//!                                              └─► alarms, stats, manifest
+//! ```
+//!
+//! Pair models are partitioned once at startup ([`ShardRouter`]); every
+//! snapshot is broadcast to every shard because each shard must see every
+//! instant to keep its pair trajectories (and gap-reset behaviour)
+//! identical to an unsharded [`DetectionEngine`]. Each worker scores its
+//! slice with [`DetectionEngine::step_scores`]; the aggregator merges the
+//! disjoint partial [`ScoreBoard`]s ([`ScoreBoard::merge`] is exact — the
+//! three-level aggregation is a pure function of the pair-score map) and
+//! runs the single [`AlarmTracker`] over the merged board, so under the
+//! lossless [`BackpressurePolicy::Block`] policy the stream of
+//! [`StepReport`]s is bit-identical to `DetectionEngine::step`.
+//!
+//! # Ordering and correctness notes
+//!
+//! * `submit(&mut self)` makes the ingestion front single-producer, so
+//!   sequence numbers are assigned in submission order and queue lengths
+//!   can only shrink underneath it.
+//! * Every accepted sequence number receives exactly one reply per shard
+//!   (a scored board, or a `Dropped` tombstone when the ingestion front
+//!   evicts it under [`BackpressurePolicy::DropOldest`]). The aggregator
+//!   finalizes sequence numbers strictly in order, releasing a report as
+//!   soon as the lowest outstanding one is fully replied.
+//! * A checkpoint is a barrier: the caller announces the cut to the
+//!   aggregator, pushes a marker through every shard queue, and blocks
+//!   until the aggregator has merged every pre-cut step and written the
+//!   manifest. Channel FIFO order guarantees every pre-cut reply is
+//!   consumed before the last marker reply, so the manifest's tracker
+//!   state is exactly the post-cut state.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+
+use gridwatch_detect::{
+    AlarmTracker, DetectionEngine, EngineConfig, EngineSnapshot, ScoreBoard, Snapshot, StepReport,
+};
+
+use crate::checkpoint::{CheckpointError, CheckpointManifest, Checkpointer};
+use crate::ingest::{BackpressurePolicy, IngestReport};
+use crate::router::ShardRouter;
+use crate::stats::{ServeStats, StatsAccumulator};
+
+/// Configuration of the serving layer (the detection semantics live in
+/// the wrapped engine's [`EngineConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of shard worker threads the pair models are split across.
+    pub shards: usize,
+    /// Bounded capacity of each shard's snapshot queue.
+    pub queue_capacity: usize,
+    /// What the ingestion front does when a queue is full.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            queue_capacity: 64,
+            backpressure: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// Work sent to a shard worker.
+enum ShardMsg {
+    /// Score this snapshot against the shard's pair models.
+    Snapshot { seq: u64, snap: Arc<Snapshot> },
+    /// Checkpoint barrier marker: persist the shard's state now.
+    Checkpoint { id: u64, dir: PathBuf },
+}
+
+/// Everything the aggregator consumes (worker replies and ingestion-side
+/// control messages share one channel so their relative order is the
+/// order they were pushed).
+enum ShardReply {
+    /// One shard's partial board for one sequence number.
+    Scores {
+        shard: usize,
+        seq: u64,
+        board: ScoreBoard,
+        elapsed_ns: u64,
+    },
+    /// The ingestion front evicted this sequence number from this
+    /// shard's queue; the shard will never score it.
+    Dropped { shard: usize, seq: u64 },
+    /// A checkpoint was requested, cutting at `cut_seq`.
+    CheckpointBegin {
+        id: u64,
+        cut_seq: u64,
+        dir: PathBuf,
+        ack: Sender<Result<CheckpointManifest, CheckpointError>>,
+    },
+    /// One shard finished writing its checkpoint file.
+    CheckpointFile {
+        shard: usize,
+        id: u64,
+        result: Result<String, CheckpointError>,
+    },
+}
+
+/// Aggregator bookkeeping for one in-flight sequence number.
+#[derive(Default)]
+struct PendingStep {
+    board: Option<ScoreBoard>,
+    replies: usize,
+}
+
+/// Aggregator bookkeeping for one in-flight checkpoint.
+struct CheckpointOp {
+    id: u64,
+    cut_seq: u64,
+    dir: PathBuf,
+    ack: Sender<Result<CheckpointManifest, CheckpointError>>,
+    files: Vec<Option<String>>,
+    received: usize,
+    error: Option<CheckpointError>,
+}
+
+/// A running sharded detection engine. Built with
+/// [`ShardedEngine::start`], fed with [`ShardedEngine::submit`], torn
+/// down with [`ShardedEngine::shutdown`] (which drains and returns every
+/// remaining report).
+///
+/// Dropping the engine without calling `shutdown` is safe — the worker
+/// and aggregator threads notice their channels disconnecting and exit —
+/// but any unread reports are lost.
+pub struct ShardedEngine {
+    config: ServeConfig,
+    shard_senders: Vec<Sender<ShardMsg>>,
+    /// Receiver clones of the shard queues, used only by `DropOldest`
+    /// to steal the oldest queued snapshot.
+    shard_stealers: Vec<Receiver<ShardMsg>>,
+    reply_sender: Sender<ShardReply>,
+    reports_rx: Receiver<StepReport>,
+    stats: Arc<Mutex<StatsAccumulator>>,
+    next_seq: u64,
+    next_ckpt_id: u64,
+    workers: Vec<JoinHandle<()>>,
+    aggregator: JoinHandle<()>,
+}
+
+impl std::fmt::Debug for ShardMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardMsg::Snapshot { seq, .. } => write!(f, "Snapshot(seq {seq})"),
+            ShardMsg::Checkpoint { id, .. } => write!(f, "Checkpoint(id {id})"),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardReply::Scores { shard, seq, .. } => {
+                write!(f, "Scores(shard {shard}, seq {seq})")
+            }
+            ShardReply::Dropped { shard, seq } => write!(f, "Dropped(shard {shard}, seq {seq})"),
+            ShardReply::CheckpointBegin { id, cut_seq, .. } => {
+                write!(f, "CheckpointBegin(id {id}, cut {cut_seq})")
+            }
+            ShardReply::CheckpointFile { shard, id, .. } => {
+                write!(f, "CheckpointFile(shard {shard}, id {id})")
+            }
+        }
+    }
+}
+
+impl ShardedEngine {
+    /// Starts workers and aggregator from a trained engine's persisted
+    /// state (see [`DetectionEngine::snapshot`]): pair models are
+    /// partitioned across `config.shards` shards by [`ShardRouter`], and
+    /// the snapshot's alarm tracker seeds the aggregator so alarm
+    /// debouncing continues where the source engine left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards` or `config.queue_capacity` is zero,
+    /// or when a thread cannot be spawned.
+    pub fn start(snapshot: EngineSnapshot, config: ServeConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let engine_config = snapshot.config;
+        let router = ShardRouter::new(config.shards);
+        let partitions = router.partition(snapshot.models);
+
+        let stats = Arc::new(Mutex::new(StatsAccumulator::new(config.shards)));
+        {
+            let mut acc = stats.lock().expect("stats lock");
+            for (k, part) in partitions.iter().enumerate() {
+                acc.per_shard[k].pairs = part.len();
+            }
+        }
+
+        let (reply_tx, reply_rx) = channel::unbounded::<ShardReply>();
+        let (reports_tx, reports_rx) = channel::unbounded::<StepReport>();
+
+        // Shards are the parallelism; each sub-engine scores serially.
+        let shard_config = EngineConfig {
+            parallel: false,
+            ..engine_config
+        };
+        let mut shard_senders = Vec::with_capacity(config.shards);
+        let mut shard_stealers = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for (k, part) in partitions.into_iter().enumerate() {
+            let (tx, rx) = channel::bounded::<ShardMsg>(config.queue_capacity);
+            shard_stealers.push(rx.clone());
+            shard_senders.push(tx);
+            let reply = reply_tx.clone();
+            let engine = DetectionEngine::from_snapshot(EngineSnapshot {
+                config: shard_config,
+                models: part,
+                tracker: AlarmTracker::new(),
+            });
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gw-shard-{k}"))
+                    .spawn(move || worker_loop(k, engine, rx, reply))
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        let agg_stats = Arc::clone(&stats);
+        let tracker = snapshot.tracker;
+        let shards = config.shards;
+        let aggregator = std::thread::Builder::new()
+            .name("gw-aggregate".to_string())
+            .spawn(move || {
+                aggregator_loop(
+                    shards,
+                    engine_config,
+                    tracker,
+                    reply_rx,
+                    reports_tx,
+                    agg_stats,
+                )
+            })
+            .expect("spawn aggregator");
+
+        ShardedEngine {
+            config,
+            shard_senders,
+            shard_stealers,
+            reply_sender: reply_tx,
+            reports_rx,
+            stats,
+            next_seq: 0,
+            next_ckpt_id: 0,
+            workers,
+            aggregator,
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// The number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// Submits one snapshot to every shard, applying the configured
+    /// backpressure policy, and reports what happened to it.
+    ///
+    /// Takes `&mut self` deliberately: a single-producer ingestion front
+    /// is what makes sequence numbering, the `Reject` pre-check, and the
+    /// `DropOldest` steal loop race-free.
+    pub fn submit(&mut self, snapshot: Snapshot) -> IngestReport {
+        match self.config.backpressure {
+            BackpressurePolicy::Block => {
+                let seq = self.broadcast_blocking(snapshot);
+                IngestReport {
+                    seq: Some(seq),
+                    evicted: 0,
+                }
+            }
+            BackpressurePolicy::Reject => {
+                // Single producer: if every queue has room now, the
+                // blocking sends below cannot actually block.
+                let cap = self.config.queue_capacity;
+                if self.shard_senders.iter().any(|tx| tx.len() >= cap) {
+                    self.stats.lock().expect("stats lock").rejected += 1;
+                    return IngestReport {
+                        seq: None,
+                        evicted: 0,
+                    };
+                }
+                let seq = self.broadcast_blocking(snapshot);
+                IngestReport {
+                    seq: Some(seq),
+                    evicted: 0,
+                }
+            }
+            BackpressurePolicy::DropOldest => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let snap = Arc::new(snapshot);
+                let mut evicted_total = 0u64;
+                for (k, tx) in self.shard_senders.iter().enumerate() {
+                    let evicted = push_evicting(
+                        tx,
+                        &self.shard_stealers[k],
+                        ShardMsg::Snapshot {
+                            seq,
+                            snap: Arc::clone(&snap),
+                        },
+                    );
+                    if !evicted.is_empty() {
+                        let mut acc = self.stats.lock().expect("stats lock");
+                        acc.per_shard[k].evicted += evicted.len() as u64;
+                        drop(acc);
+                        evicted_total += evicted.len() as u64;
+                        for old_seq in evicted {
+                            self.reply_sender
+                                .send(ShardReply::Dropped {
+                                    shard: k,
+                                    seq: old_seq,
+                                })
+                                .expect("aggregator disconnected");
+                        }
+                    }
+                }
+                self.stats.lock().expect("stats lock").submitted += 1;
+                IngestReport {
+                    seq: Some(seq),
+                    evicted: evicted_total,
+                }
+            }
+        }
+    }
+
+    /// Assigns a sequence number and broadcasts with blocking sends.
+    fn broadcast_blocking(&mut self, snapshot: Snapshot) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let snap = Arc::new(snapshot);
+        for tx in &self.shard_senders {
+            tx.send(ShardMsg::Snapshot {
+                seq,
+                snap: Arc::clone(&snap),
+            })
+            .expect("shard worker disconnected");
+        }
+        self.stats.lock().expect("stats lock").submitted += 1;
+        seq
+    }
+
+    /// Takes a consistent checkpoint of the whole engine into `dir`,
+    /// blocking until every shard has persisted its state and the
+    /// aggregator has written the manifest. Everything submitted before
+    /// this call is reflected; nothing after.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created or any shard file or
+    /// the manifest cannot be written; a failed checkpoint never writes
+    /// a manifest, so the previous complete checkpoint (if any) stays
+    /// recoverable.
+    pub fn checkpoint(
+        &mut self,
+        dir: impl AsRef<Path>,
+    ) -> Result<CheckpointManifest, CheckpointError> {
+        let dir = dir.as_ref().to_path_buf();
+        Checkpointer::new(&dir).prepare()?;
+        let id = self.next_ckpt_id;
+        self.next_ckpt_id += 1;
+        let (ack_tx, ack_rx) = channel::bounded(1);
+        // Announce the cut to the aggregator first, then push a marker
+        // through every shard queue. FIFO order per channel guarantees
+        // the aggregator sees all pre-cut replies before the last
+        // marker's reply.
+        self.reply_sender
+            .send(ShardReply::CheckpointBegin {
+                id,
+                cut_seq: self.next_seq,
+                dir: dir.clone(),
+                ack: ack_tx,
+            })
+            .expect("aggregator disconnected");
+        for tx in &self.shard_senders {
+            tx.send(ShardMsg::Checkpoint {
+                id,
+                dir: dir.clone(),
+            })
+            .expect("shard worker disconnected");
+        }
+        ack_rx.recv().expect("aggregator dropped checkpoint ack")
+    }
+
+    /// A merged report, if one is ready.
+    pub fn try_recv_report(&self) -> Option<StepReport> {
+        self.reports_rx.try_recv().ok()
+    }
+
+    /// Waits up to `timeout` for the next merged report.
+    pub fn recv_report_timeout(&self, timeout: Duration) -> Option<StepReport> {
+        self.reports_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Current serving statistics (counters plus live queue depths).
+    pub fn stats(&self) -> ServeStats {
+        let depths: Vec<usize> = self.shard_senders.iter().map(|tx| tx.len()).collect();
+        self.stats.lock().expect("stats lock").snapshot(&depths)
+    }
+
+    /// Stops the engine: lets every shard drain its queue, joins all
+    /// threads, and returns the remaining unread reports plus final
+    /// statistics.
+    pub fn shutdown(self) -> (Vec<StepReport>, ServeStats) {
+        let ShardedEngine {
+            shard_senders,
+            shard_stealers,
+            reply_sender,
+            reports_rx,
+            stats,
+            workers,
+            aggregator,
+            config,
+            ..
+        } = self;
+        // Disconnect the shard queues; workers drain what is left and
+        // exit, dropping their reply senders.
+        drop(shard_stealers);
+        drop(shard_senders);
+        for worker in workers {
+            worker.join().expect("shard worker panicked");
+        }
+        // Now ours is the last reply sender: dropping it stops the
+        // aggregator once it has merged everything.
+        drop(reply_sender);
+        aggregator.join().expect("aggregator panicked");
+        let mut reports = Vec::new();
+        while let Ok(report) = reports_rx.try_recv() {
+            reports.push(report);
+        }
+        let stats = stats
+            .lock()
+            .expect("stats lock")
+            .snapshot(&vec![0; config.shards]);
+        (reports, stats)
+    }
+}
+
+/// Pushes `msg` into a full-or-not shard queue, evicting the oldest
+/// queued snapshots until it fits; returns the evicted sequence numbers.
+///
+/// Only called from the single-producer ingestion front, so the loop
+/// terminates: nobody else refills the queue between a steal and the
+/// retry. A steal can lose the race against the worker draining the same
+/// message — that is fine, the retry just finds room.
+fn push_evicting(
+    tx: &Sender<ShardMsg>,
+    stealer: &Receiver<ShardMsg>,
+    mut msg: ShardMsg,
+) -> Vec<u64> {
+    let mut evicted = Vec::new();
+    loop {
+        match tx.try_send(msg) {
+            Ok(()) => return evicted,
+            Err(TrySendError::Full(back)) => {
+                msg = back;
+                match stealer.try_recv() {
+                    Ok(ShardMsg::Snapshot { seq, .. }) => evicted.push(seq),
+                    // Checkpoint markers are fully consumed before
+                    // `checkpoint` returns and submits resume, so the
+                    // steal can never see one.
+                    Ok(ShardMsg::Checkpoint { .. }) => {
+                        unreachable!("checkpoint marker in queue during submit")
+                    }
+                    // The worker drained the queue first; retry.
+                    Err(_) => {}
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("shard worker disconnected"),
+        }
+    }
+}
+
+/// One shard worker: scores snapshots against its slice of the pair
+/// models, persists its state on checkpoint markers.
+fn worker_loop(
+    shard: usize,
+    mut engine: DetectionEngine,
+    rx: Receiver<ShardMsg>,
+    reply: Sender<ShardReply>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Snapshot { seq, snap } => {
+                let start = Instant::now();
+                let board = engine.step_scores(&snap);
+                let elapsed_ns = start.elapsed().as_nanos() as u64;
+                if reply
+                    .send(ShardReply::Scores {
+                        shard,
+                        seq,
+                        board,
+                        elapsed_ns,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            ShardMsg::Checkpoint { id, dir } => {
+                let result = Checkpointer::new(dir).write_shard(shard, &engine.snapshot());
+                if reply
+                    .send(ShardReply::CheckpointFile { shard, id, result })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The aggregator: merges partial boards in sequence order, runs the
+/// single alarm tracker over each merged board, emits reports, and
+/// completes checkpoints by writing the manifest.
+fn aggregator_loop(
+    shards: usize,
+    engine_config: EngineConfig,
+    mut tracker: AlarmTracker,
+    reply_rx: Receiver<ShardReply>,
+    reports_tx: Sender<StepReport>,
+    stats: Arc<Mutex<StatsAccumulator>>,
+) {
+    let mut pending: BTreeMap<u64, PendingStep> = BTreeMap::new();
+    let mut checkpoint: Option<CheckpointOp> = None;
+    while let Ok(msg) = reply_rx.recv() {
+        match msg {
+            ShardReply::Scores {
+                shard,
+                seq,
+                board,
+                elapsed_ns,
+            } => {
+                stats.lock().expect("stats lock").per_shard[shard].observe_latency(elapsed_ns);
+                let entry = pending.entry(seq).or_default();
+                entry.replies += 1;
+                match &mut entry.board {
+                    Some(merged) => merged.merge(board),
+                    slot @ None => *slot = Some(board),
+                }
+            }
+            ShardReply::Dropped { seq, .. } => {
+                pending.entry(seq).or_default().replies += 1;
+            }
+            ShardReply::CheckpointBegin {
+                id,
+                cut_seq,
+                dir,
+                ack,
+            } => {
+                checkpoint = Some(CheckpointOp {
+                    id,
+                    cut_seq,
+                    dir,
+                    ack,
+                    files: vec![None; shards],
+                    received: 0,
+                    error: None,
+                });
+            }
+            ShardReply::CheckpointFile { shard, id, result } => {
+                let op = checkpoint.as_mut().expect("checkpoint file without begin");
+                debug_assert_eq!(op.id, id, "interleaved checkpoints are impossible");
+                op.received += 1;
+                match result {
+                    Ok(name) => op.files[shard] = Some(name),
+                    Err(e) => {
+                        if op.error.is_none() {
+                            op.error = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Finalize fully-replied sequence numbers strictly in order.
+        while pending
+            .first_key_value()
+            .is_some_and(|(_, entry)| entry.replies >= shards)
+        {
+            let (_, entry) = pending.pop_first().expect("checked non-empty");
+            let mut acc = stats.lock().expect("stats lock");
+            match entry.board {
+                Some(board) => {
+                    let alarms = tracker.evaluate(&board, &engine_config.alarm);
+                    acc.reports += 1;
+                    acc.alarms += alarms.len() as u64;
+                    drop(acc);
+                    let _ = reports_tx.send(StepReport {
+                        scores: board,
+                        alarms,
+                    });
+                }
+                // Every shard evicted this instant: nothing to report.
+                None => acc.empty_steps += 1,
+            }
+        }
+
+        // Complete the checkpoint once every shard has written its file.
+        if checkpoint.as_ref().is_some_and(|op| op.received == shards) {
+            let op = checkpoint.take().expect("checked some");
+            debug_assert!(
+                pending.range(..op.cut_seq).next().is_none(),
+                "all pre-cut steps finalize before the last marker reply"
+            );
+            let outcome = match op.error {
+                Some(e) => Err(e),
+                None => {
+                    let manifest = CheckpointManifest {
+                        version: 1,
+                        shards,
+                        cut_seq: op.cut_seq,
+                        config: engine_config,
+                        tracker: tracker.clone(),
+                        shard_files: op
+                            .files
+                            .into_iter()
+                            .map(|f| f.expect("no error recorded, so every file landed"))
+                            .collect(),
+                    };
+                    Checkpointer::new(&op.dir)
+                        .write_manifest(&manifest)
+                        .map(|()| manifest)
+                }
+            };
+            if outcome.is_ok() {
+                stats.lock().expect("stats lock").checkpoints += 1;
+            }
+            let _ = op.ack.send(outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_detect::AlarmPolicy;
+    use gridwatch_timeseries::{
+        MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+    };
+
+    fn id(machine: u32, tag: u16) -> MeasurementId {
+        MeasurementId::new(MachineId::new(machine), MetricKind::Custom(tag))
+    }
+
+    const MEASUREMENTS: usize = 6;
+
+    fn ids() -> Vec<MeasurementId> {
+        (0..MEASUREMENTS as u32)
+            .map(|m| id(m / 2, (m % 2) as u16))
+            .collect()
+    }
+
+    fn value(m: usize, k: u64) -> f64 {
+        let load = (k % 48) as f64;
+        (m as f64 + 1.0) * load + 5.0 * m as f64
+    }
+
+    /// Trains all 15 pairs over 6 linearly-coupled measurements.
+    fn trained() -> EngineSnapshot {
+        let ids = ids();
+        let config = EngineConfig {
+            alarm: AlarmPolicy {
+                system_threshold: 0.7,
+                measurement_threshold: 0.4,
+                min_consecutive: 2,
+            },
+            ..EngineConfig::default()
+        };
+        let mut pairs = Vec::new();
+        for i in 0..MEASUREMENTS {
+            for j in (i + 1)..MEASUREMENTS {
+                let pair = MeasurementPair::new(ids[i], ids[j]).unwrap();
+                let history = PairSeries::from_samples(
+                    (0..400u64).map(|k| (k * 360, value(i, k), value(j, k))),
+                )
+                .unwrap();
+                pairs.push((pair, history));
+            }
+        }
+        DetectionEngine::train(pairs, config).unwrap().snapshot()
+    }
+
+    /// A trace that runs healthy, then breaks measurement 5 for a
+    /// stretch (long enough to trip the 2-consecutive alarm debounce),
+    /// then recovers.
+    fn trace(steps: u64) -> Vec<Snapshot> {
+        let ids = ids();
+        (0..steps)
+            .map(|k| {
+                let mut snap = Snapshot::new(Timestamp::from_secs((400 + k) * 360));
+                for (m, &mid) in ids.iter().enumerate() {
+                    let v = if m == MEASUREMENTS - 1 && (8..16).contains(&k) {
+                        -200.0
+                    } else {
+                        value(m, k)
+                    };
+                    snap.insert(mid, v);
+                }
+                snap
+            })
+            .collect()
+    }
+
+    fn reference_reports(snapshot: EngineSnapshot, trace: &[Snapshot]) -> Vec<StepReport> {
+        let mut engine = DetectionEngine::from_snapshot(snapshot);
+        trace.iter().map(|s| engine.step(s)).collect()
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gridwatch-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn block_policy_is_bitwise_identical_to_unsharded() {
+        let snapshot = trained();
+        let trace = trace(24);
+        let want = reference_reports(snapshot.clone(), &trace);
+        assert!(
+            want.iter().any(|r| !r.alarms.is_empty()),
+            "trace must exercise alarms for the comparison to mean anything"
+        );
+        for shards in [1, 2, 4] {
+            let mut engine = ShardedEngine::start(
+                snapshot.clone(),
+                ServeConfig {
+                    shards,
+                    queue_capacity: 4,
+                    backpressure: BackpressurePolicy::Block,
+                },
+            );
+            for snap in &trace {
+                let report = engine.submit(snap.clone());
+                assert!(report.accepted());
+                assert_eq!(report.evicted, 0);
+            }
+            let (reports, stats) = engine.shutdown();
+            assert_eq!(reports, want, "{shards} shards");
+            assert_eq!(stats.submitted, trace.len() as u64);
+            assert_eq!(stats.reports, trace.len() as u64);
+            assert_eq!(stats.rejected, 0);
+            assert_eq!(stats.total_evicted(), 0);
+        }
+    }
+
+    #[test]
+    fn reports_can_be_consumed_while_streaming() {
+        let snapshot = trained();
+        let trace = trace(12);
+        let want = reference_reports(snapshot.clone(), &trace);
+        let mut engine = ShardedEngine::start(
+            snapshot,
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 4,
+                backpressure: BackpressurePolicy::Block,
+            },
+        );
+        let mut streamed = Vec::new();
+        for snap in &trace {
+            engine.submit(snap.clone());
+            while let Some(report) = engine.try_recv_report() {
+                streamed.push(report);
+            }
+        }
+        while streamed.len() < trace.len() {
+            streamed.push(
+                engine
+                    .recv_report_timeout(Duration::from_secs(5))
+                    .expect("report within timeout"),
+            );
+        }
+        let (rest, _) = engine.shutdown();
+        assert!(rest.is_empty());
+        assert_eq!(streamed, want);
+    }
+
+    #[test]
+    fn checkpoint_matches_unsharded_engine_state() {
+        let snapshot = trained();
+        let trace = trace(20);
+        let mut reference = DetectionEngine::from_snapshot(snapshot.clone());
+        let mut engine = ShardedEngine::start(
+            snapshot,
+            ServeConfig {
+                shards: 3,
+                queue_capacity: 8,
+                backpressure: BackpressurePolicy::Block,
+            },
+        );
+        for snap in &trace {
+            reference.step(snap);
+            engine.submit(snap.clone());
+        }
+        let dir = scratch_dir("ckpt-exact");
+        let manifest = engine.checkpoint(&dir).unwrap();
+        assert_eq!(manifest.cut_seq, trace.len() as u64);
+        assert_eq!(manifest.shards, 3);
+
+        let (recovered, _) = Checkpointer::new(&dir).recover().unwrap();
+        assert_eq!(recovered, reference.snapshot());
+
+        let (_, stats) = engine.shutdown();
+        assert_eq!(stats.checkpoints, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serving_continues_after_checkpoint() {
+        let snapshot = trained();
+        let trace = trace(24);
+        let want = reference_reports(snapshot.clone(), &trace);
+        let mut engine = ShardedEngine::start(
+            snapshot,
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 4,
+                backpressure: BackpressurePolicy::Block,
+            },
+        );
+        let dir = scratch_dir("ckpt-continue");
+        for (k, snap) in trace.iter().enumerate() {
+            if k == 10 {
+                engine.checkpoint(&dir).unwrap();
+            }
+            engine.submit(snap.clone());
+        }
+        let (reports, _) = engine.shutdown();
+        assert_eq!(reports, want, "a checkpoint must not perturb the stream");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_oldest_accounts_for_every_snapshot() {
+        let snapshot = trained();
+        let trace = trace(60);
+        let mut engine = ShardedEngine::start(
+            snapshot,
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::DropOldest,
+            },
+        );
+        let mut evicted = 0;
+        for snap in &trace {
+            let report = engine.submit(snap.clone());
+            assert!(report.accepted(), "drop-oldest never refuses new data");
+            evicted += report.evicted;
+        }
+        let (reports, stats) = engine.shutdown();
+        assert_eq!(stats.submitted, trace.len() as u64);
+        assert_eq!(stats.total_evicted(), evicted);
+        // Every accepted seq is finalized exactly once: as a report or
+        // as an all-shards-dropped empty step.
+        assert_eq!(
+            stats.reports + stats.empty_steps,
+            trace.len() as u64,
+            "stats: {}",
+            stats.to_json()
+        );
+        assert_eq!(reports.len() as u64, stats.reports);
+        // The final snapshot has nothing submitted after it, so it can
+        // never be evicted: the last report is always its full board.
+        let last = reports.last().expect("at least the final report");
+        assert_eq!(last.scores.at(), trace.last().unwrap().at());
+    }
+
+    #[test]
+    fn reject_keeps_accepted_stream_consistent() {
+        let snapshot = trained();
+        let trace = trace(60);
+        let mut engine = ShardedEngine::start(
+            snapshot.clone(),
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::Reject,
+            },
+        );
+        let pair_count = snapshot.models.len();
+        let mut accepted = 0u64;
+        for snap in &trace {
+            if engine.submit(snap.clone()).accepted() {
+                accepted += 1;
+            }
+        }
+        let (reports, stats) = engine.shutdown();
+        assert_eq!(stats.submitted, accepted);
+        assert_eq!(stats.submitted + stats.rejected, trace.len() as u64);
+        // A rejected snapshot reaches no shard, so every report is a
+        // complete board over all pairs.
+        assert_eq!(reports.len() as u64, accepted);
+        assert_eq!(stats.empty_steps, 0);
+        for report in &reports {
+            assert_eq!(report.scores.len(), pair_count);
+        }
+    }
+
+    #[test]
+    fn stats_expose_shard_work() {
+        let snapshot = trained();
+        let trace = trace(10);
+        let mut engine = ShardedEngine::start(
+            snapshot,
+            ServeConfig {
+                shards: 4,
+                queue_capacity: 8,
+                backpressure: BackpressurePolicy::Block,
+            },
+        );
+        for snap in &trace {
+            engine.submit(snap.clone());
+        }
+        let (_, stats) = engine.shutdown();
+        assert_eq!(stats.shards.len(), 4);
+        assert_eq!(stats.shards.iter().map(|s| s.pairs).sum::<usize>(), 15);
+        for shard in &stats.shards {
+            assert_eq!(shard.processed, trace.len() as u64);
+            assert!(shard.latency.min_ns <= shard.latency.mean_ns);
+            assert!(shard.latency.mean_ns <= shard.latency.max_ns);
+        }
+        let json = stats.to_json();
+        assert!(json.contains("\"processed\""), "{json}");
+    }
+
+    #[test]
+    fn recovered_checkpoint_can_be_resharded() {
+        let snapshot = trained();
+        let trace = trace(24);
+        let (head, tail) = trace.split_at(12);
+
+        // Stream the head on 4 shards, checkpoint, tear down.
+        let mut first = ShardedEngine::start(
+            snapshot.clone(),
+            ServeConfig {
+                shards: 4,
+                queue_capacity: 8,
+                backpressure: BackpressurePolicy::Block,
+            },
+        );
+        for snap in head {
+            first.submit(snap.clone());
+        }
+        let dir = scratch_dir("reshard");
+        first.checkpoint(&dir).unwrap();
+        first.shutdown();
+
+        // Recover onto 2 shards and stream the tail.
+        let (recovered, manifest) = Checkpointer::new(&dir).recover().unwrap();
+        assert_eq!(manifest.cut_seq, head.len() as u64);
+        let mut second = ShardedEngine::start(
+            recovered,
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 8,
+                backpressure: BackpressurePolicy::Block,
+            },
+        );
+        for snap in tail {
+            second.submit(snap.clone());
+        }
+        let (got, _) = second.shutdown();
+
+        // Must match an uninterrupted unsharded run over the whole trace.
+        let want = reference_reports(snapshot, &trace);
+        assert_eq!(got, want[head.len()..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,19 @@
+//! gridwatch-serve: sharded concurrent online detection service.
+//!
+//! Partitions the measurement pairs of a trained
+//! [`gridwatch_detect::DetectionEngine`] across worker shards, fans
+//! snapshots out over bounded channels with configurable backpressure,
+//! merges per-shard partial scores into exact three-level aggregates, and
+//! checkpoints per-shard engine state atomically for crash recovery.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod ingest;
+pub mod router;
+pub mod stats;
+
+pub use checkpoint::{CheckpointError, CheckpointManifest, Checkpointer};
+pub use engine::{ServeConfig, ShardedEngine};
+pub use ingest::{BackpressurePolicy, IngestReport};
+pub use router::ShardRouter;
+pub use stats::{ServeStats, ShardStats};

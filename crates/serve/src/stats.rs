@@ -1,0 +1,176 @@
+//! Serving observability: per-shard and engine-wide counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Step-latency summary for one shard, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Fastest observed `step_scores` call.
+    pub min_ns: u64,
+    /// Mean over all observed calls.
+    pub mean_ns: u64,
+    /// Slowest observed call.
+    pub max_ns: u64,
+}
+
+/// Counters for one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Pair models owned by this shard.
+    pub pairs: usize,
+    /// Snapshots scored by this shard.
+    pub processed: u64,
+    /// Snapshots evicted from this shard's queue under `DropOldest`.
+    pub evicted: u64,
+    /// Messages currently waiting in this shard's queue.
+    pub queue_depth: usize,
+    /// Step-latency summary (zeroes until the first snapshot).
+    pub latency: LatencySummary,
+}
+
+/// Engine-wide serving statistics, dumpable as JSON.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Snapshots accepted at the ingestion front.
+    pub submitted: u64,
+    /// Snapshots refused under `Reject`.
+    pub rejected: u64,
+    /// Merged step reports emitted.
+    pub reports: u64,
+    /// Instants skipped because every shard evicted them.
+    pub empty_steps: u64,
+    /// Alarm events fired by the merged-board tracker.
+    pub alarms: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+}
+
+impl ServeStats {
+    /// The stats as a JSON document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (plain-old-data; it cannot).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stats serialize")
+    }
+
+    /// Total snapshots evicted across all shards.
+    pub fn total_evicted(&self) -> u64 {
+        self.shards.iter().map(|s| s.evicted).sum()
+    }
+}
+
+/// Mutable accumulator shared between the ingestion front and the
+/// aggregator thread.
+#[derive(Debug, Default)]
+pub(crate) struct StatsAccumulator {
+    pub(crate) per_shard: Vec<ShardAccumulator>,
+    pub(crate) submitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) reports: u64,
+    pub(crate) empty_steps: u64,
+    pub(crate) alarms: u64,
+    pub(crate) checkpoints: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ShardAccumulator {
+    pub(crate) pairs: usize,
+    pub(crate) processed: u64,
+    pub(crate) evicted: u64,
+    pub(crate) lat_min_ns: u64,
+    pub(crate) lat_sum_ns: u64,
+    pub(crate) lat_max_ns: u64,
+}
+
+impl ShardAccumulator {
+    pub(crate) fn observe_latency(&mut self, elapsed_ns: u64) {
+        self.processed += 1;
+        self.lat_sum_ns += elapsed_ns;
+        self.lat_max_ns = self.lat_max_ns.max(elapsed_ns);
+        self.lat_min_ns = if self.processed == 1 {
+            elapsed_ns
+        } else {
+            self.lat_min_ns.min(elapsed_ns)
+        };
+    }
+}
+
+impl StatsAccumulator {
+    pub(crate) fn new(shards: usize) -> Self {
+        StatsAccumulator {
+            per_shard: vec![ShardAccumulator::default(); shards],
+            ..StatsAccumulator::default()
+        }
+    }
+
+    /// Snapshots the counters; `queue_depths` supplies the live per-shard
+    /// queue lengths.
+    pub(crate) fn snapshot(&self, queue_depths: &[usize]) -> ServeStats {
+        ServeStats {
+            shards: self
+                .per_shard
+                .iter()
+                .enumerate()
+                .map(|(k, acc)| ShardStats {
+                    shard: k,
+                    pairs: acc.pairs,
+                    processed: acc.processed,
+                    evicted: acc.evicted,
+                    queue_depth: queue_depths.get(k).copied().unwrap_or(0),
+                    latency: LatencySummary {
+                        min_ns: acc.lat_min_ns,
+                        mean_ns: acc.lat_sum_ns.checked_div(acc.processed).unwrap_or(0),
+                        max_ns: acc.lat_max_ns,
+                    },
+                })
+                .collect(),
+            submitted: self.submitted,
+            rejected: self.rejected,
+            reports: self.reports,
+            empty_steps: self.empty_steps,
+            alarms: self.alarms,
+            checkpoints: self.checkpoints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_tracks_min_mean_max() {
+        let mut acc = ShardAccumulator::default();
+        for ns in [300, 100, 200] {
+            acc.observe_latency(ns);
+        }
+        let stats = StatsAccumulator {
+            per_shard: vec![acc],
+            ..StatsAccumulator::default()
+        }
+        .snapshot(&[5]);
+        let lat = stats.shards[0].latency;
+        assert_eq!(lat.min_ns, 100);
+        assert_eq!(lat.mean_ns, 200);
+        assert_eq!(lat.max_ns, 300);
+        assert_eq!(stats.shards[0].queue_depth, 5);
+    }
+
+    #[test]
+    fn stats_json_roundtrips() {
+        let mut acc = StatsAccumulator::new(2);
+        acc.submitted = 10;
+        acc.per_shard[1].evicted = 3;
+        let stats = acc.snapshot(&[0, 1]);
+        let json = stats.to_json();
+        let back: ServeStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.total_evicted(), 3);
+    }
+}

@@ -150,18 +150,9 @@ impl Trace {
                 .trim()
                 .parse()
                 .map_err(|e| bad(format!("bad timestamp: {e}")))?;
-            let group: GroupId = fields[1]
-                .trim()
-                .parse()
-                .map_err(|e| bad(format!("{e}")))?;
-            let machine = fields[2]
-                .trim()
-                .parse()
-                .map_err(|e| bad(format!("{e}")))?;
-            let metric = fields[3]
-                .trim()
-                .parse()
-                .map_err(|e| bad(format!("{e}")))?;
+            let group: GroupId = fields[1].trim().parse().map_err(|e| bad(format!("{e}")))?;
+            let machine = fields[2].trim().parse().map_err(|e| bad(format!("{e}")))?;
+            let metric = fields[3].trim().parse().map_err(|e| bad(format!("{e}")))?;
             let value: f64 = fields[4]
                 .trim()
                 .parse()

@@ -73,11 +73,7 @@ impl Trace {
     ///
     /// Returns [`TimeSeriesError::EmptySeries`] if either id is unknown,
     /// or an alignment error from [`PairSeries::align`].
-    pub fn pair(
-        &self,
-        a: MeasurementId,
-        b: MeasurementId,
-    ) -> Result<PairSeries, TimeSeriesError> {
+    pub fn pair(&self, a: MeasurementId, b: MeasurementId) -> Result<PairSeries, TimeSeriesError> {
         let sa = self.series(a).ok_or(TimeSeriesError::EmptySeries)?;
         let sb = self.series(b).ok_or(TimeSeriesError::EmptySeries)?;
         PairSeries::align(sa, sb, AlignmentPolicy::Intersect)
@@ -179,8 +175,7 @@ impl TraceGenerator {
             for machine in self.infra.machines() {
                 // Machine-local AR(1) jitter.
                 let state = jitter.entry(machine.id.index()).or_insert(0.0);
-                *state = machine.local_phi * *state
-                    + normal.sample(&mut rng) * machine.local_sigma;
+                *state = machine.local_phi * *state + normal.sample(&mut rng) * machine.local_sigma;
                 let mut share = machine.load_share;
                 let mut extra_noise = 0.0;
                 for e in self.faults.active_at(t) {
@@ -202,9 +197,8 @@ impl TraceGenerator {
                     let id = MeasurementId::new(machine.id, metric.kind);
                     let mut value = metric.sample(effective_load, &mut rng, &mut normal);
                     if extra_noise > 0.0 {
-                        value += normal.sample(&mut rng)
-                            * extra_noise
-                            * metric.model.output_scale();
+                        value +=
+                            normal.sample(&mut rng) * extra_noise * metric.model.output_scale();
                     }
                     // Measurement-targeted faults override the value.
                     for e in self.faults.active_at(t) {
@@ -216,8 +210,7 @@ impl TraceGenerator {
                                 // jumps, like the paper's Group B anomaly.
                                 let w = wander.entry(id).or_insert(0.0);
                                 *w = 0.3 * *w + 0.6 * normal.sample(&mut rng);
-                                value =
-                                    (level * metric.model.output_scale() * (1.0 + *w)).abs();
+                                value = (level * metric.model.output_scale() * (1.0 + *w)).abs();
                             }
                             FaultKind::SensorStuck { target } if target == id => {
                                 value = last_value.get(&id).copied().unwrap_or(value);
@@ -295,7 +288,10 @@ mod tests {
         let target = MeasurementId::new(m, MetricKind::IfOutOctetsRate);
         let mut faults = FaultSchedule::new();
         faults.push(FaultEvent::new(
-            FaultKind::CorrelationBreak { target, level: 0.05 },
+            FaultKind::CorrelationBreak {
+                target,
+                level: 0.05,
+            },
             Timestamp::from_hours(6),
             Timestamp::from_hours(18),
         ));

@@ -109,10 +109,7 @@ impl Catalog {
     }
 
     /// Iterates over measurements collected on the given machine.
-    pub fn measurements_on(
-        &self,
-        machine: MachineId,
-    ) -> impl Iterator<Item = MeasurementId> + '_ {
+    pub fn measurements_on(&self, machine: MachineId) -> impl Iterator<Item = MeasurementId> + '_ {
         self.ids().filter(move |id| id.machine() == machine)
     }
 

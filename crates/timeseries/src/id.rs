@@ -376,7 +376,10 @@ mod tests {
         assert_eq!("A".parse::<GroupId>().unwrap(), GroupId::A);
         assert_eq!("b".parse::<GroupId>().unwrap(), GroupId::B);
         assert!("Z".parse::<GroupId>().is_err());
-        assert_eq!("machine-007".parse::<MachineId>().unwrap(), MachineId::new(7));
+        assert_eq!(
+            "machine-007".parse::<MachineId>().unwrap(),
+            MachineId::new(7)
+        );
         assert_eq!("12".parse::<MachineId>().unwrap(), MachineId::new(12));
         assert!("machine-x".parse::<MachineId>().is_err());
         let err = "Z".parse::<GroupId>().unwrap_err();

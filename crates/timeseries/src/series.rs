@@ -289,7 +289,10 @@ mod tests {
             ts.latest_at_or_before(Timestamp::from_secs(720)),
             Some((Timestamp::from_secs(720), 4.0))
         );
-        assert_eq!(ts.latest_at_or_before(Timestamp::EPOCH), Some((Timestamp::EPOCH, 1.0)));
+        assert_eq!(
+            ts.latest_at_or_before(Timestamp::EPOCH),
+            Some((Timestamp::EPOCH, 1.0))
+        );
         let empty = TimeSeries::new();
         assert_eq!(empty.latest_at_or_before(Timestamp::from_secs(5)), None);
     }

@@ -81,8 +81,8 @@ impl Welford {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
     }
@@ -156,7 +156,10 @@ pub fn fractional_ranks(values: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `q` is outside `[0, 1]` or any value is NaN.
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction must be in [0,1]"
+    );
     if values.is_empty() {
         return None;
     }
@@ -197,7 +200,10 @@ impl Histogram {
     /// Panics if `bins == 0`, `lo >= hi`, or the bounds are non-finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
         assert!(lo < hi, "histogram lower bound must be below upper bound");
         Histogram {
             lo,

@@ -1,9 +1,7 @@
 //! Property-based tests for the timeseries crate's core invariants.
 
 use gridwatch_timeseries::stats::{fractional_ranks, pearson, quantile, spearman, Welford};
-use gridwatch_timeseries::{
-    AlignmentPolicy, PairSeries, SampleInterval, TimeSeries, Timestamp,
-};
+use gridwatch_timeseries::{AlignmentPolicy, PairSeries, SampleInterval, TimeSeries, Timestamp};
 use proptest::prelude::*;
 
 fn finite_f64() -> impl Strategy<Value = f64> {

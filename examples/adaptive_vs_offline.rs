@@ -62,6 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         offline.extensions(),
         adaptive.extensions()
     );
-    assert!(adaptive_avg > offline_avg, "adaptation must help under drift");
+    assert!(
+        adaptive_avg > offline_avg,
+        "adaptation must help under drift"
+    );
     Ok(())
 }

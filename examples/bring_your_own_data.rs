@@ -22,14 +22,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t = k * 360;
         let load = 0.5 + 0.3 * (k as f64 * std::f64::consts::TAU / 240.0).sin();
         let jitter = 1.0 + 0.01 * (((k * 69069) % 101) as f64 / 101.0 - 0.5);
-        let broken = t >= 3 * 86_400 + 14 * 3600 && t < 3 * 86_400 + 16 * 3600;
+        let broken = (3 * 86_400 + 14 * 3600..3 * 86_400 + 16 * 3600).contains(&t);
         let cpu1 = if broken {
             12.0 + ((k * 31) % 17) as f64 // stuck low, decoupled
         } else {
             70.0 * load * jitter
         };
-        csv.push_str(&format!("{t},A,machine-000,CpuUtilization,{:.3}\n", 65.0 * load * jitter));
-        csv.push_str(&format!("{t},A,machine-000,MemoryUsage,{:.3}\n", 30.0 + 40.0 * load * jitter));
+        csv.push_str(&format!(
+            "{t},A,machine-000,CpuUtilization,{:.3}\n",
+            65.0 * load * jitter
+        ));
+        csv.push_str(&format!(
+            "{t},A,machine-000,MemoryUsage,{:.3}\n",
+            30.0 + 40.0 * load * jitter
+        ));
         csv.push_str(&format!("{t},A,machine-001,CpuUtilization,{cpu1:.3}\n"));
     }
 
@@ -44,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train_end = Timestamp::from_days(3);
     let mut training = std::collections::BTreeMap::new();
     for id in trace.measurement_ids() {
-        training.insert(id, trace.series(id).unwrap().slice(Timestamp::EPOCH, train_end));
+        training.insert(
+            id,
+            trace.series(id).unwrap().slice(Timestamp::EPOCH, train_end),
+        );
     }
     let histories: Vec<_> = PairScreen::default()
         .select(&training)

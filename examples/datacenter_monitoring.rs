@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train_end = Timestamp::from_days(8);
     let mut training = std::collections::BTreeMap::new();
     for id in trace.measurement_ids() {
-        training.insert(id, trace.series(id).unwrap().slice(Timestamp::EPOCH, train_end));
+        training.insert(
+            id,
+            trace.series(id).unwrap().slice(Timestamp::EPOCH, train_end),
+        );
     }
     let screen = PairScreen {
         min_cv: 0.05,
@@ -79,7 +82,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("alarms raised ({}):", alarms.len());
     for alarm in &alarms {
         let in_window = alarm.at >= fs && alarm.at < fe;
-        println!("  {alarm}  {}", if in_window { "<-- inside fault window" } else { "" });
+        println!(
+            "  {alarm}  {}",
+            if in_window {
+                "<-- inside fault window"
+            } else {
+                ""
+            }
+        );
     }
     Ok(())
 }

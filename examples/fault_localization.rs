@@ -8,9 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use gridwatch::detect::{
-    DetectionEngine, EngineConfig, Localizer, PairScreen, Snapshot,
-};
+use gridwatch::detect::{DetectionEngine, EngineConfig, Localizer, PairScreen, Snapshot};
 use gridwatch::model::ModelConfig;
 use gridwatch::sim::scenario::{localization_scenario, TEST_DAY};
 use gridwatch::timeseries::{AlignmentPolicy, GroupId, MachineId, PairSeries, Timestamp};
@@ -24,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train_end = Timestamp::from_days(15);
     let mut training = BTreeMap::new();
     for id in trace.measurement_ids() {
-        training.insert(id, trace.series(id).unwrap().slice(Timestamp::EPOCH, train_end));
+        training.insert(
+            id,
+            trace.series(id).unwrap().slice(Timestamp::EPOCH, train_end),
+        );
     }
     let screen = PairScreen {
         min_cv: 0.05,
@@ -92,6 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {}: {:.4}", s.id, s.score);
         }
     }
-    assert_eq!(ranked[0].0, MachineId::new(0), "degraded machine ranks worst");
+    assert_eq!(
+        ranked[0].0,
+        MachineId::new(0),
+        "degraded machine ranks worst"
+    );
     Ok(())
 }

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's human-debugging output: the offending value ranges.
     if let Some(cell) = broken_score.destination() {
-        println!("anomalous values fell into cell ranges {}", model.cell_ranges(cell));
+        println!(
+            "anomalous values fell into cell ranges {}",
+            model.cell_ranges(cell)
+        );
     }
     assert!(normal_score.fitness() >= broken_score.fitness());
     Ok(())

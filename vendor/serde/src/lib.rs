@@ -1,0 +1,587 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment cannot fetch crates, so this crate provides the
+//! subset of serde's API this workspace uses, built around a simplified
+//! self-describing data model ([`Content`]) instead of real serde's
+//! visitor-based `Serializer`/`Deserializer` traits:
+//!
+//! - [`Serialize`] converts a value into a [`Content`] tree;
+//! - [`Deserialize`] reconstructs a value from a [`Content`] tree;
+//! - the `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//!   vendored `serde_derive`) generate those conversions for structs and
+//!   enums, honouring `#[serde(default)]` and `#[serde(skip)]`.
+//!
+//! The vendored `serde_json` crate renders [`Content`] trees to JSON text
+//! and parses them back. Formats match real serde's externally-tagged
+//! defaults closely enough that persisted files look conventional, but the
+//! two implementations are **not** wire-compatible in general — this
+//! workspace only ever reads JSON it wrote itself.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Errors produced while converting to or from [`Content`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error::custom(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// The content tree had the wrong shape.
+    pub fn invalid_type(expected: &str, found: &Content) -> Self {
+        Error::custom(format!(
+            "invalid type: expected {expected}, found {}",
+            found.kind()
+        ))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A self-describing value tree — the vendored serde data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (JSON array).
+    Seq(Vec<Content>),
+    /// String-keyed fields (JSON object); produced by struct serialization.
+    Struct(Vec<(String, Content)>),
+    /// A map with arbitrary keys (rendered as an object when keys are
+    /// string-like, as an array of `[key, value]` pairs otherwise).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Builds an externally-tagged enum variant payload.
+    pub fn variant(name: &str, payload: Content) -> Content {
+        Content::Struct(vec![(name.to_string(), payload)])
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Struct(_) => "object",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// Looks up a named field on an object-like content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `self` is not object-like.
+    pub fn get_field(&self, ty: &str, name: &str) -> Result<Option<&Content>, Error> {
+        match self {
+            Content::Struct(fields) => Ok(fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)),
+            Content::Map(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+                .map(|(_, v)| v)),
+            other => Err(Error::custom(format!(
+                "expected an object for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets the content as a sequence of exactly `n` items.
+    pub fn seq_items(&self, ty: &str, n: usize) -> Result<&[Content], Error> {
+        match self {
+            Content::Seq(items) if items.len() == n => Ok(items),
+            Content::Seq(items) => Err(Error::custom(format!(
+                "expected {n} elements for {ty}, found {}",
+                items.len()
+            ))),
+            other => Err(Error::invalid_type("sequence", other)),
+        }
+    }
+
+    /// Splits an externally-tagged enum content into `(tag, payload)`.
+    pub fn variant_parts(&self, ty: &str) -> Result<(&str, Option<&Content>), Error> {
+        match self {
+            Content::Str(s) => Ok((s, None)),
+            Content::Struct(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), Some(&fields[0].1)))
+            }
+            Content::Map(entries) if entries.len() == 1 => match &entries[0].0 {
+                Content::Str(s) => Ok((s, Some(&entries[0].1))),
+                other => Err(Error::custom(format!(
+                    "expected a string variant tag for {ty}, found {}",
+                    other.kind()
+                ))),
+            },
+            other => Err(Error::custom(format!(
+                "expected an enum variant for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Unwraps an enum variant's payload, erroring when absent.
+    pub fn payload<'a>(payload: Option<&'a Content>, ty: &str) -> Result<&'a Content, Error> {
+        payload.ok_or_else(|| Error::custom(format!("variant {ty} requires a payload")))
+    }
+}
+
+/// Types convertible into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value cannot be represented.
+    fn to_content(&self) -> Result<Content, Error>;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree has the wrong shape.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Result<Content, Error> {
+                Ok(Content::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    // Map keys arrive as strings (JSON object keys).
+                    Content::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|e| Error::custom(format!("bad integer key {s:?}: {e}")))?,
+                    other => return Err(Error::invalid_type("unsigned integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Result<Content, Error> {
+                Ok(Content::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::custom(format!("integer {v} out of range")))?,
+                    Content::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|e| Error::custom(format!("bad integer key {s:?}: {e}")))?,
+                    other => return Err(Error::invalid_type("integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            // Non-finite floats serialize as null (as in real serde_json);
+            // restoring them as NaN keeps roundtrips total.
+            Content::Null => Ok(f64::NAN),
+            other => Err(Error::invalid_type("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::Bool(*self))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::invalid_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::Str(self.to_string()))
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::invalid_type("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::Str(self.clone()))
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Result<Content, Error> {
+        (**self).to_content()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Result<Content, Error> {
+        match self {
+            None => Ok(Content::Null),
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::Seq(
+            self.iter()
+                .map(Serialize::to_content)
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::invalid_type("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::Seq(
+            self.iter()
+                .map(Serialize::to_content)
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Vec::<T>::from_content(c).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::Seq(
+            self.iter()
+                .map(Serialize::to_content)
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Result<Content, Error> {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let items = Vec::<T>::from_content(c)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected {N} elements, found {n}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(Content::Seq(
+            self.iter()
+                .map(Serialize::to_content)
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::invalid_type("sequence", other)),
+        }
+    }
+}
+
+fn map_to_content<'a, K, V, I>(entries: I) -> Result<Content, Error>
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let pairs: Vec<(Content, Content)> = entries
+        .map(|(k, v)| Ok((k.to_content()?, v.to_content()?)))
+        .collect::<Result<_, Error>>()?;
+    Ok(Content::Map(pairs))
+}
+
+fn map_from_content<K: Deserialize, V: Deserialize>(c: &Content) -> Result<Vec<(K, V)>, Error> {
+    match c {
+        Content::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect(),
+        Content::Struct(fields) => fields
+            .iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::from_content(&Content::Str(k.clone()))?,
+                    V::from_content(v)?,
+                ))
+            })
+            .collect(),
+        // Maps with structured keys are written as arrays of [key, value].
+        Content::Seq(items) => items
+            .iter()
+            .map(|entry| {
+                let pair = entry.seq_items("map entry", 2)?;
+                Ok((K::from_content(&pair[0])?, V::from_content(&pair[1])?))
+            })
+            .collect(),
+        other => Err(Error::invalid_type("map", other)),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Result<Content, Error> {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(map_from_content::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Result<Content, Error> {
+        // Deterministic output: sort entries by their serialized key.
+        let mut pairs: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| Ok((k.to_content()?, v.to_content()?)))
+            .collect::<Result<_, Error>>()?;
+        pairs.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        Ok(Content::Map(pairs))
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(map_from_content::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Result<Content, Error> {
+                Ok(Content::Seq(vec![$(self.$n.to_content()?),+]))
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                const LEN: usize = [$(stringify!($n)),+].len();
+                let items = c.seq_items("tuple", LEN)?;
+                Ok(($($t::from_content(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Result<Content, Error> {
+        Ok(self.clone())
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content().unwrap()).unwrap(), 42);
+        assert_eq!(
+            i64::from_content(&(-7i64).to_content().unwrap()).unwrap(),
+            -7
+        );
+        assert_eq!(
+            f64::from_content(&1.5f64.to_content().unwrap()).unwrap(),
+            1.5
+        );
+        assert!(bool::from_content(&true.to_content().unwrap()).unwrap());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u64, 2.5f64), (3, 4.5)];
+        let c = v.to_content().unwrap();
+        assert_eq!(Vec::<(u64, f64)>::from_content(&c).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert(5usize, "five".to_string());
+        let c = m.to_content().unwrap();
+        assert_eq!(BTreeMap::<usize, String>::from_content(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let c = Option::<u64>::None.to_content().unwrap();
+        assert_eq!(c, Content::Null);
+        assert_eq!(Option::<u64>::from_content(&c).unwrap(), None);
+        let c = Some(9u64).to_content().unwrap();
+        assert_eq!(Option::<u64>::from_content(&c).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let a = [1.0f64, 2.0];
+        let c = a.to_content().unwrap();
+        assert_eq!(<[f64; 2]>::from_content(&c).unwrap(), a);
+        assert!(<[f64; 3]>::from_content(&c).is_err());
+    }
+}

@@ -1,0 +1,507 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) cannot be fetched. This crate
+//! re-implements the `#[derive(Serialize, Deserialize)]` macros for the
+//! subset of Rust shapes this workspace actually uses:
+//!
+//! - structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip)]`),
+//! - tuple structs (newtype structs serialize transparently),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generic types and the rest of serde's attribute language are not
+//! supported and fail with a compile error. The generated code targets the
+//! simplified data model of the vendored `serde` crate (`serde::Content`),
+//! not real serde's `Serializer`/`Deserializer` traits.
+//!
+//! The macro is implemented without `syn`/`quote`: the input item is parsed
+//! directly from the `proc_macro::TokenStream`, and the generated impl is
+//! assembled as a string and re-parsed, which keeps this crate entirely
+//! dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Serde-relevant flags found in one attribute list.
+#[derive(Default)]
+struct SerdeFlags {
+    default: bool,
+    skip: bool,
+}
+
+/// Consumes leading attributes at `i`, returning any serde flags seen.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> SerdeFlags {
+    let mut flags = SerdeFlags::default();
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(flag) = t {
+                            match flag.to_string().as_str() {
+                                "default" => flags.default = true,
+                                "skip" => flags.skip = true,
+                                other => panic!(
+                                    "vendored serde_derive does not support #[serde({other})]"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    flags
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility at `i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        }),
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Skips one type expression, stopping after the top-level `,` (or at the
+/// end of the stream). Tracks `<`/`>` nesting so commas inside generic
+/// arguments are not treated as field separators; `->` is ignored.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_dash => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        *i += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let flags = skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            default: flags.default,
+            skip: flags.skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let flags = skip_attributes(&tokens, &mut i);
+        if flags.default || flags.skip {
+            panic!("vendored serde_derive does not support serde attributes on tuple fields");
+        }
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("vendored serde_derive does not support explicit discriminants")
+            }
+            None => {}
+            other => panic!("expected `,` after variant `{name}`, found {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __f: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__f.push((\"{n}\".to_string(), \
+                     ::serde::Serialize::to_content(&self.{n})?));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::std::result::Result::Ok(::serde::Content::Struct(__f))");
+            s
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(&self.{k})?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok(::serde::Content::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            "::std::result::Result::Ok(::serde::Content::Null)".to_string()
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::std::result::Result::Ok(::serde::Content::Str(\"{vn}\".to_string())),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__a0) => ::std::result::Result::Ok(\
+                         ::serde::Content::variant(\"{vn}\", \
+                         ::serde::Serialize::to_content(__a0)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__a{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::std::result::Result::Ok(\
+                             ::serde::Content::variant(\"{vn}\", \
+                             ::serde::Content::Seq(vec![{}]))),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__f.push((\"{n}\".to_string(), \
+                                 ::serde::Serialize::to_content({n})?));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __f: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::std::result::Result::Ok(::serde::Content::variant(\"{vn}\", \
+                             ::serde::Content::Struct(__f)))\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::std::result::Result<::serde::Content, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+/// One named field's initializer inside a braced constructor.
+fn named_field_init(ty: &str, accessor: &str, f: &Field) -> String {
+    if f.skip {
+        return format!("{n}: ::std::default::Default::default(),\n", n = f.name);
+    }
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field(\"{ty}\", \"{n}\"))",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match {accessor}.get_field(\"{ty}\", \"{n}\")? {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }},\n",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| named_field_init(name, "__c", f))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                .collect();
+            format!(
+                "let __s = __c.seq_items(\"{name}\", {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let __p = ::serde::Content::payload(__p, \"{name}::{vn}\")?;\n\
+                         ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_content(__p)?))\n\
+                         }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __p = ::serde::Content::payload(__p, \"{name}::{vn}\")?;\n\
+                             let __s = __p.seq_items(\"{name}::{vn}\", {n})?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let ty = format!("{name}::{vn}");
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| named_field_init(&ty, "__p", f))
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __p = ::serde::Content::payload(__p, \"{ty}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (__v, __p) = __c.variant_parts(\"{name}\")?;\n\
+                 match __v {{\n\
+                 {arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,589 @@
+//! Vendored offline stand-in for `serde_json`.
+//!
+//! Renders the vendored serde [`Content`] data model to JSON text and
+//! parses it back. Floats are written with Rust's `{}` formatting, which
+//! produces the shortest decimal string that round-trips to the same bits
+//! (the guarantee the real crate's `float_roundtrip` feature provides), and
+//! parsed with `f64::from_str`, which is correctly rounded — so
+//! serialize→deserialize restores models bit-identically.
+//!
+//! Conventions (self-consistent; files written here are read back here):
+//! - maps with string or numeric keys become JSON objects (numeric keys are
+//!   stringified, as in real serde_json);
+//! - maps with structured keys become arrays of `[key, value]` pairs (real
+//!   serde_json errors on those — this crate chooses to support them);
+//! - non-finite floats serialize as `null` and deserialize as NaN.
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Error raised by serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// A `Result` alias matching the real crate's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Returns an error when the value cannot be represented.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = value.to_content()?;
+    let mut out = String::new();
+    write_content(&mut out, &content);
+    Ok(out)
+}
+
+/// Serializes a value to indented JSON.
+///
+/// # Errors
+///
+/// Returns an error when the value cannot be represented.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = value.to_content()?;
+    let mut out = String::new();
+    write_content_pretty(&mut out, &content, 0);
+    Ok(out)
+}
+
+/// Serializes a value to a JSON byte vector.
+///
+/// # Errors
+///
+/// Returns an error when the value cannot be represented.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let content = parse(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Parses a value from JSON bytes.
+///
+/// # Errors
+///
+/// Returns an error on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `1.0f64` formats as "1"; keep it a float token so integers and
+        // floats stay distinguishable when reparsed.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a map key: string-like keys become JSON object keys.
+fn key_string(key: &Content) -> Option<String> {
+    match key {
+        Content::Str(s) => Some(s.clone()),
+        Content::U64(v) => Some(v.to_string()),
+        Content::I64(v) => Some(v.to_string()),
+        Content::Bool(b) => Some(b.to_string()),
+        _ => None,
+    }
+}
+
+fn write_content(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(out, item);
+            }
+            out.push(']');
+        }
+        Content::Struct(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_content(out, v);
+            }
+            out.push('}');
+        }
+        Content::Map(entries) => {
+            let keys: Option<Vec<String>> = entries.iter().map(|(k, _)| key_string(k)).collect();
+            match keys {
+                Some(keys) => {
+                    out.push('{');
+                    for (i, ((_, v), k)) in entries.iter().zip(&keys).enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write_escaped(out, k);
+                        out.push(':');
+                        write_content(out, v);
+                    }
+                    out.push('}');
+                }
+                None => {
+                    // Structured keys: array of [key, value] pairs.
+                    out.push('[');
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('[');
+                        write_content(out, k);
+                        out.push(',');
+                        write_content(out, v);
+                        out.push(']');
+                    }
+                    out.push(']');
+                }
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_content_pretty(out: &mut String, c: &Content, depth: usize) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, depth + 1);
+                write_content_pretty(out, item, depth + 1);
+            }
+            push_indent(out, depth);
+            out.push(']');
+        }
+        Content::Struct(fields) if !fields.is_empty() => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, depth + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_content_pretty(out, v, depth + 1);
+            }
+            push_indent(out, depth);
+            out.push('}');
+        }
+        other => write_content(out, other),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Content> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content> {
+        match self.peek()? {
+            b'n' => {
+                if self.eat_keyword("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(Error::new(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            b't' => {
+                if self.eat_keyword("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(Error::new(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            b'f' => {
+                if self.eat_keyword("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(Error::new(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            b'"' => self.string().map(Content::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Content::Struct(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Content::Struct(fields));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated unicode escape"))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(chunk).map_err(|_| Error::new("invalid unicode escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid unicode escape"))
+    }
+
+    fn number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|e| Error::new(format!("bad number {text:?}: {e}")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|v| Content::I64(-(v as i64)))
+                .map_err(|e| Error::new(format!("bad number {text:?}: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|e| Error::new(format!("bad number {text:?}: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&1u64).unwrap(), "1");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(from_str::<f64>("1.0").unwrap(), 1.0);
+        assert_eq!(from_str::<u64>("17").unwrap(), 17);
+    }
+
+    #[test]
+    fn float_bits_roundtrip_exactly() {
+        for &v in &[
+            0.1f64,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+        ] {
+            let json = to_string(&v).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {json} -> {back}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "line\nquote\"back\\slash\tunicode\u{1F600}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(
+            from_str::<String>("\"\\u0041\\ud83d\\ude00\"").unwrap(),
+            "A\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<Option<f64>> = vec![Some(0.1), None, Some(-2.75)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Option<f64>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn structured_map_keys_use_pair_arrays() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        m.insert((1, 2), 3);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "[[[1,2],3]]");
+        assert_eq!(from_str::<BTreeMap<(u32, u32), u64>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn numeric_map_keys_become_object_keys() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<usize, u64> = BTreeMap::new();
+        m.insert(7, 8);
+        assert_eq!(to_string(&m).unwrap(), "{\"7\":8}");
+        assert_eq!(from_str::<BTreeMap<usize, u64>>("{\"7\":8}").unwrap(), m);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(
+            from_str::<Vec<u64>>(" [ 1 , 2 ,\n 3 ] ").unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+}
