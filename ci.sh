@@ -13,4 +13,9 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> network fault injection (single-threaded, deterministic)"
+cargo test -q -p gridwatch-serve --test net_faults -- --test-threads=1
+cargo test -q -p gridwatch-serve --test wire_roundtrip -- --test-threads=1
+cargo test -q -p gridwatch-cli --test listen -- --test-threads=1
+
 echo "CI OK"

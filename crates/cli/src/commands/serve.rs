@@ -1,26 +1,35 @@
-//! `gridwatch serve` — replay a trace through the sharded concurrent
-//! detection engine, with backpressure, checkpointing, and stats.
+//! `gridwatch serve` — feed the sharded concurrent detection engine,
+//! either by replaying a trace file or by listening on a TCP socket for
+//! live snapshot frames, with backpressure, checkpointing, and stats.
 
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use gridwatch_detect::{EngineSnapshot, Snapshot};
-use gridwatch_serve::{BackpressurePolicy, Checkpointer, ServeConfig, ShardedEngine};
+use gridwatch_detect::{EngineSnapshot, Snapshot, StepReport};
+use gridwatch_serve::{
+    BackpressurePolicy, Checkpointer, NetConfig, NetServer, ServeConfig, ShardedEngine,
+    WireProtocol,
+};
 use gridwatch_timeseries::Timestamp;
 
 use crate::commands::{load_trace, write_file};
 use crate::flags::Flags;
 
 const HELP: &str = "\
-gridwatch serve --trace FILE --engine FILE [flags]
+gridwatch serve (--trace FILE | --listen ADDR) --engine FILE [flags]
 
-  --trace FILE              CSV monitoring data
+input (exactly one):
+  --trace FILE              CSV monitoring data to replay
+  --listen ADDR             accept snapshot frames over TCP (e.g.
+                            127.0.0.1:7700; port 0 picks a free port)
+
+engine:
   --engine FILE             engine snapshot from `gridwatch train`
-  --from-day N              first day to stream (default 15 = June 13)
-  --days N                  days to stream      (default 1)
   --shards N                shard worker threads          (default 4)
   --queue-capacity N        per-shard queue capacity      (default 64)
   --backpressure P          block | drop-oldest | reject  (default block)
-  --rate X                  replay rate in snapshots/sec  (default: unthrottled)
   --system-threshold X      alarm when Q_t < X            (engine default)
   --measurement-threshold X alarm when Q^a_t < X          (engine default)
   --consecutive N           debounce: N consecutive lows  (engine default)
@@ -29,7 +38,23 @@ gridwatch serve --trace FILE --engine FILE [flags]
   --checkpoint-every N      checkpoint period in snapshots (default: end only)
   --resume                  recover engine state from --checkpoint DIR
                             instead of --engine
-  --stats FILE              write final serving stats as JSON";
+  --stats FILE              write serving stats as JSON (flushed at every
+                            checkpoint, and again at exit)
+
+replay mode:
+  --from-day N              first day to stream (default 15 = June 13)
+  --days N                  days to stream      (default 1)
+  --rate X                  replay rate in snapshots/sec  (default: unthrottled)
+
+listen mode:
+  --protocol P              auto | json | csv             (default auto)
+  --read-timeout SECS       close silent connections after SECS; 0 disables
+                            (default 30)
+  --max-frame-bytes N       largest accepted frame        (default 1048576)
+  --ingest-capacity N       socket-boundary frame queue   (default 256)
+  --reorder-capacity N      per-source reorder window     (default 64)
+  --max-snapshots N         stop after N applied snapshots; 0 runs until
+                            killed (default 0)";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -37,31 +62,74 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let flags = Flags::parse(args, &["resume"])?;
-    let trace_path: String = flags.require("trace")?;
-    let from_day: u64 = flags.get_or("from-day", 15)?;
-    let days: u64 = flags.get_or("days", 1)?;
-    let rate: f64 = flags.get_or("rate", 0.0)?;
-    let checkpoint_dir: Option<String> = flags.get("checkpoint")?;
-    let checkpoint_every: u64 = flags.get_or("checkpoint-every", 0)?;
+    if flags.has("resume") && flags.get::<String>("checkpoint")?.is_none() {
+        return Err("--resume requires --checkpoint DIR".to_string());
+    }
+    let listen: Option<String> = flags.get("listen")?;
+    match listen {
+        Some(addr) => {
+            if flags.get::<String>("trace")?.is_some() {
+                return Err("--listen and --trace are mutually exclusive".to_string());
+            }
+            run_listen(&flags, &addr)
+        }
+        None => run_replay(&flags),
+    }
+}
 
-    let serve_config = ServeConfig {
+/// Tracks alarms and the lowest system fitness across a report stream.
+#[derive(Default)]
+struct ReportTally {
+    alarms: usize,
+    q_min: Option<(Timestamp, f64)>,
+}
+
+impl ReportTally {
+    fn note(&mut self, report: &StepReport) {
+        if let Some(q) = report.scores.system_score() {
+            if self.q_min.is_none_or(|(_, min)| q < min) {
+                self.q_min = Some((report.scores.at(), q));
+            }
+        }
+        for alarm in &report.alarms {
+            self.alarms += 1;
+            println!("ALARM {alarm}");
+        }
+    }
+
+    fn print_floor(&self) {
+        if let Some((t, q)) = self.q_min {
+            println!("lowest system fitness: {q:.4} at {t}");
+        }
+    }
+}
+
+/// Engine tuning shared by both modes.
+fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
+    let config = ServeConfig {
         shards: flags.get_or("shards", 4)?,
         queue_capacity: flags.get_or("queue-capacity", 64)?,
         backpressure: flags.get_or("backpressure", BackpressurePolicy::Block)?,
     };
-    if serve_config.shards == 0 {
+    if config.shards == 0 {
         return Err("--shards must be positive".to_string());
     }
-    if serve_config.queue_capacity == 0 {
+    if config.queue_capacity == 0 {
         return Err("--queue-capacity must be positive".to_string());
     }
-    if flags.has("resume") && checkpoint_dir.is_none() {
-        return Err("--resume requires --checkpoint DIR".to_string());
-    }
+    Ok(config)
+}
 
-    let trace = load_trace(&trace_path)?;
+/// Loads the starting engine state: a fresh `--engine` snapshot, or a
+/// recovered checkpoint under `--resume` (with the per-source frame
+/// progress the manifest recorded at the cut).
+fn load_snapshot(
+    flags: &Flags,
+    checkpoint_dir: Option<&str>,
+) -> Result<(EngineSnapshot, BTreeMap<String, u64>), String> {
+    let mut sources = BTreeMap::new();
     let mut snapshot: EngineSnapshot = if flags.has("resume") {
-        let dir = checkpoint_dir.as_deref().expect("checked above");
+        let dir = checkpoint_dir.ok_or_else(|| "--resume requires --checkpoint DIR".to_string())?;
         let (snapshot, manifest) = Checkpointer::new(dir)
             .recover()
             .map_err(|e| format!("cannot resume from {dir}: {e}"))?;
@@ -69,6 +137,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "resumed from checkpoint at {dir} (cut seq {}, {} shard files)",
             manifest.cut_seq, manifest.shards
         );
+        sources = manifest.sources;
         snapshot
     } else {
         let engine_path: String = flags.require("engine")?;
@@ -84,6 +153,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
     )?;
     snapshot.config.alarm.min_consecutive =
         flags.get_or("consecutive", snapshot.config.alarm.min_consecutive)?;
+    Ok((snapshot, sources))
+}
+
+/// Replays a trace file through the engine.
+fn run_replay(flags: &Flags) -> Result<(), String> {
+    let trace_path: String = flags.require("trace")?;
+    let from_day: u64 = flags.get_or("from-day", 15)?;
+    let days: u64 = flags.get_or("days", 1)?;
+    let rate: f64 = flags.get_or("rate", 0.0)?;
+    let checkpoint_dir: Option<String> = flags.get("checkpoint")?;
+    let checkpoint_every: u64 = flags.get_or("checkpoint-every", 0)?;
+    let stats_path: Option<String> = flags.get("stats")?;
+    let serve_config = serve_config(flags)?;
+
+    let trace = load_trace(&trace_path)?;
+    let (snapshot, _) = load_snapshot(flags, checkpoint_dir.as_deref())?;
 
     let mut engine = ShardedEngine::start(snapshot, serve_config);
     let start = Timestamp::from_days(from_day);
@@ -96,21 +181,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let began = Instant::now();
     let mut ticks = 0u64;
-    let mut alarms = 0usize;
-    let mut q_min: Option<(Timestamp, f64)> = None;
-    let note_report = |report: &gridwatch_detect::StepReport,
-                       alarms: &mut usize,
-                       q_min: &mut Option<(Timestamp, f64)>| {
-        if let Some(q) = report.scores.system_score() {
-            if q_min.is_none_or(|(_, min)| q < min) {
-                *q_min = Some((report.scores.at(), q));
-            }
-        }
-        for alarm in &report.alarms {
-            *alarms += 1;
-            println!("ALARM {alarm}");
-        }
-    };
+    let mut tally = ReportTally::default();
 
     for t in trace.interval().ticks(start, end) {
         let deadline = tick_budget.map(|budget| Instant::now() + budget);
@@ -133,9 +204,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 .checkpoint(dir)
                 .map_err(|e| format!("checkpoint failed: {e}"))?;
             println!("checkpoint written to {dir} (cut seq {})", manifest.cut_seq);
+            // Flush stats alongside every checkpoint, not only at exit,
+            // so an operator watching a long replay (or recovering from
+            // a crash) sees eviction counts from the same cut.
+            if let Some(path) = stats_path.as_deref() {
+                write_file(path, &engine.stats().to_json())?;
+            }
         }
         while let Some(report) = engine.try_recv_report() {
-            note_report(&report, &mut alarms, &mut q_min);
+            tally.note(&report);
         }
         if let Some(deadline) = deadline {
             let now = Instant::now();
@@ -156,17 +233,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     let (rest, stats) = engine.shutdown();
     for report in &rest {
-        note_report(report, &mut alarms, &mut q_min);
+        tally.note(report);
     }
     let elapsed = began.elapsed();
 
     println!(
         "served {ticks} snapshots over day {from_day}..{} across {} shards ({}): \
-         {} reports, {alarms} alarms, {} evicted, {} rejected",
+         {} reports, {} alarms, {} evicted, {} rejected",
         from_day + days,
         stats.shards.len(),
         serve_config.backpressure,
         stats.reports,
+        tally.alarms,
         stats.total_evicted(),
         stats.rejected,
     );
@@ -177,11 +255,95 @@ pub fn run(args: &[String]) -> Result<(), String> {
             elapsed.as_secs_f64()
         );
     }
-    if let Some((t, q)) = q_min {
-        println!("lowest system fitness: {q:.4} at {t}");
+    tally.print_floor();
+    if let Some(path) = stats_path.as_deref() {
+        write_file(path, &stats.to_json())?;
+        println!("serving stats written to {path}");
     }
-    if let Some(path) = flags.get::<String>("stats")? {
-        write_file(&path, &stats.to_json())?;
+    Ok(())
+}
+
+/// Listens on a TCP socket and feeds live frames to the engine.
+fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
+    let checkpoint_dir: Option<String> = flags.get("checkpoint")?;
+    let stats_path: Option<String> = flags.get("stats")?;
+    let max_snapshots: u64 = flags.get_or("max-snapshots", 0)?;
+    let serve_config = serve_config(flags)?;
+    let net_config = NetConfig {
+        protocol: flags.get_or("protocol", WireProtocol::Auto)?,
+        read_timeout: Duration::from_secs(flags.get_or("read-timeout", 30)?),
+        max_frame_bytes: flags.get_or("max-frame-bytes", 1 << 20)?,
+        ingest_capacity: flags.get_or("ingest-capacity", 256)?,
+        reorder_capacity: flags.get_or("reorder-capacity", 64)?,
+        checkpoint_dir: checkpoint_dir.as_deref().map(PathBuf::from),
+        checkpoint_every: flags.get_or("checkpoint-every", 0)?,
+        stats_path: stats_path.as_deref().map(PathBuf::from),
+    };
+    if net_config.max_frame_bytes == 0 {
+        return Err("--max-frame-bytes must be positive".to_string());
+    }
+    if net_config.ingest_capacity == 0 {
+        return Err("--ingest-capacity must be positive".to_string());
+    }
+    if net_config.reorder_capacity == 0 {
+        return Err("--reorder-capacity must be positive".to_string());
+    }
+
+    let (snapshot, sources) = load_snapshot(flags, checkpoint_dir.as_deref())?;
+    let server = NetServer::bind(addr, snapshot, serve_config, net_config, sources)
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    // Tooling (and the integration tests) parse the bound port from this
+    // line, so it must hit the pipe before the first client connects.
+    println!(
+        "listening on {} ({})",
+        server.local_addr(),
+        serve_config.backpressure
+    );
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+
+    let began = Instant::now();
+    let mut tally = ReportTally::default();
+    let mut seen = 0u64;
+    while max_snapshots == 0 || seen < max_snapshots {
+        if let Some(report) = server.recv_report_timeout(Duration::from_millis(500)) {
+            seen += 1;
+            tally.note(&report);
+        }
+    }
+    let (rest, stats) = server.shutdown();
+    for report in &rest {
+        tally.note(report);
+    }
+    let elapsed = began.elapsed();
+
+    println!(
+        "ingested {} frames over {} connections ({} decode errors, {} timeouts, \
+         {} duplicates, {} out-of-order, {} gap skips)",
+        stats.net.frames,
+        stats.net.accepted,
+        stats.net.decode_errors,
+        stats.net.timeouts,
+        stats.net.duplicates,
+        stats.net.out_of_order,
+        stats.net.gap_skips,
+    );
+    println!(
+        "served {} snapshots across {} shards ({}): {} reports, {} alarms, \
+         {} evicted, {} rejected (wall {:.2}s)",
+        stats.submitted,
+        stats.shards.len(),
+        serve_config.backpressure,
+        stats.reports,
+        tally.alarms,
+        stats.total_evicted(),
+        stats.rejected,
+        elapsed.as_secs_f64(),
+    );
+    tally.print_floor();
+    if let Some(path) = stats_path.as_deref() {
+        write_file(path, &stats.to_json())?;
         println!("serving stats written to {path}");
     }
     Ok(())

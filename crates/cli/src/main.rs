@@ -5,6 +5,7 @@
 //! gridwatch train    --trace trace.csv --train-days 8 --out engine.json
 //! gridwatch monitor  --trace trace.csv --engine engine.json --from-day 15 --days 1
 //! gridwatch serve    --trace trace.csv --engine engine.json --shards 4
+//! gridwatch serve    --listen 127.0.0.1:7700 --engine engine.json
 //! gridwatch inspect  --engine engine.json
 //! ```
 //!
@@ -33,9 +34,12 @@ commands:
              --trace FILE --engine FILE [--from-day N] [--days N]
              [--system-threshold X] [--measurement-threshold X]
              [--consecutive N] [--incidents] [--save FILE]
-  serve      replay a trace through the sharded concurrent engine
-             --trace FILE --engine FILE [--shards N] [--backpressure P]
-             [--queue-capacity N] [--rate X] [--checkpoint DIR]
+  serve      feed the sharded concurrent engine: replay a trace, or
+             ingest live snapshot frames over TCP
+             (--trace FILE | --listen ADDR) --engine FILE [--shards N]
+             [--backpressure P] [--queue-capacity N] [--rate X]
+             [--protocol auto|json|csv] [--read-timeout SECS]
+             [--max-frame-bytes N] [--max-snapshots N] [--checkpoint DIR]
              [--checkpoint-every N] [--resume] [--stats FILE]
   inspect    summarize a persisted engine
              --engine FILE [--verbose]

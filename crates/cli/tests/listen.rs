@@ -1,0 +1,386 @@
+//! End-to-end tests of `gridwatch serve --listen`: flag validation,
+//! both wire protocols, the read deadline and frame limit, and
+//! crash-recovery through a checkpointed kill + `--resume`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gridwatch_detect::{AlarmPolicy, DetectionEngine, EngineConfig, Snapshot};
+use gridwatch_serve::{encode_csv, encode_json, ServeStats, WireFrame};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+
+const STEP_SECS: u64 = 360;
+const MEASUREMENTS: usize = 4;
+const SOURCE: &str = "agent-1";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gridwatch"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridwatch_listen_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ids() -> Vec<MeasurementId> {
+    (0..MEASUREMENTS as u32)
+        .map(|m| MeasurementId::new(MachineId::new(m / 2), MetricKind::Custom((m % 2) as u16)))
+        .collect()
+}
+
+fn value(m: usize, k: u64) -> f64 {
+    let load = (k % 48) as f64;
+    (m as f64 + 1.0) * load + 5.0 * m as f64
+}
+
+/// Writes a small trained engine to `dir/engine.json` and returns the
+/// path, so the tests do not shell out to `simulate` + `train`.
+fn engine_file(dir: &std::path::Path) -> String {
+    let ids = ids();
+    let config = EngineConfig {
+        alarm: AlarmPolicy {
+            system_threshold: 0.7,
+            measurement_threshold: 0.4,
+            min_consecutive: 2,
+        },
+        ..EngineConfig::default()
+    };
+    let mut pairs = Vec::new();
+    for i in 0..MEASUREMENTS {
+        for j in (i + 1)..MEASUREMENTS {
+            let pair = MeasurementPair::new(ids[i], ids[j]).unwrap();
+            let history = PairSeries::from_samples(
+                (0..200u64).map(|k| (k * STEP_SECS, value(i, k), value(j, k))),
+            )
+            .unwrap();
+            pairs.push((pair, history));
+        }
+    }
+    let snapshot = DetectionEngine::train(pairs, config).unwrap().snapshot();
+    let path = dir.join("engine.json");
+    std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+    path.to_string_lossy().to_string()
+}
+
+/// Healthy wire frames for steps `offset..offset + steps`.
+fn frames(offset: u64, steps: u64) -> Vec<WireFrame> {
+    let ids = ids();
+    (offset..offset + steps)
+        .map(|k| {
+            let mut snap = Snapshot::new(Timestamp::from_secs((200 + k) * STEP_SECS));
+            for (m, &mid) in ids.iter().enumerate() {
+                snap.insert(mid, value(m, k));
+            }
+            WireFrame {
+                source: SOURCE.to_string(),
+                seq: k,
+                snapshot: snap,
+            }
+        })
+        .collect()
+}
+
+/// A `serve --listen` child whose stdout is read line by line.
+struct Server {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Spawns the binary with `--listen 127.0.0.1:0` plus `extra` flags
+    /// and parses the OS-assigned port from the `listening on` line.
+    fn spawn(engine: &str, extra: &[&str]) -> Server {
+        let mut child = bin()
+            .args(["serve", "--listen", "127.0.0.1:0", "--engine", engine])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).expect("read child stdout");
+            assert!(n > 0, "child exited before announcing its address");
+            if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                let addr = rest.split_whitespace().next().expect("address token");
+                break addr.parse().expect("parsable listen address");
+            }
+        };
+        Server {
+            child,
+            stdout,
+            addr,
+        }
+    }
+
+    /// Waits for exit and returns the remaining stdout.
+    fn wait(mut self) -> String {
+        let mut rest = String::new();
+        self.stdout
+            .read_to_string(&mut rest)
+            .expect("drain child stdout");
+        let status = self.child.wait().expect("child waits");
+        assert!(status.success(), "server failed; stdout:\n{rest}");
+        rest
+    }
+}
+
+/// A minimal raw client: write bytes, optionally wait for the server to
+/// close this connection (the deterministic sync point).
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to listener");
+        stream.set_nodelay(true).expect("nodelay");
+        Client { stream }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write to listener");
+        self.stream.flush().expect("flush");
+    }
+
+    fn send_json(&mut self, frame: &WireFrame) {
+        self.send(&encode_json(frame).expect("encodable frame"));
+    }
+
+    fn send_csv(&mut self, frame: &WireFrame) {
+        self.send(encode_csv(frame).expect("encodable frame").as_bytes());
+    }
+
+    /// Blocks until the server closes this connection.
+    fn wait_closed(mut self) {
+        self.stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let mut sink = [0u8; 256];
+        loop {
+            match self.stream.read(&mut sink) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => continue,
+            }
+        }
+    }
+}
+
+fn run_failing(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(!out.status.success(), "expected failure for {args:?}");
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+#[test]
+fn listen_and_trace_are_mutually_exclusive() {
+    let err = run_failing(&[
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--trace",
+        "whatever.csv",
+        "--engine",
+        "whatever.json",
+    ]);
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+#[test]
+fn invalid_listen_address_is_rejected() {
+    let dir = tmp_dir("badaddr");
+    let engine = engine_file(&dir);
+    let err = run_failing(&["serve", "--listen", "not-an-address", "--engine", &engine]);
+    assert!(err.contains("cannot listen on not-an-address"), "{err}");
+}
+
+#[test]
+fn busy_port_is_reported() {
+    let dir = tmp_dir("busy");
+    let engine = engine_file(&dir);
+    let holder = TcpListener::bind("127.0.0.1:0").expect("bind a port to occupy");
+    let addr = holder.local_addr().unwrap().to_string();
+    let err = run_failing(&["serve", "--listen", &addr, "--engine", &engine]);
+    assert!(err.contains(&format!("cannot listen on {addr}")), "{err}");
+}
+
+#[test]
+fn bad_protocol_value_is_rejected() {
+    let dir = tmp_dir("badproto");
+    let engine = engine_file(&dir);
+    let err = run_failing(&[
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--engine",
+        &engine,
+        "--protocol",
+        "yaml",
+    ]);
+    assert!(err.contains("--protocol"), "{err}");
+}
+
+#[test]
+fn json_stream_is_served_to_completion() {
+    let dir = tmp_dir("json");
+    let engine = engine_file(&dir);
+    let stats_path = dir.join("stats.json");
+    let server = Server::spawn(
+        &engine,
+        &[
+            "--protocol",
+            "json",
+            "--max-snapshots",
+            "6",
+            "--stats",
+            stats_path.to_str().unwrap(),
+        ],
+    );
+    let mut client = Client::connect(server.addr);
+    for frame in &frames(0, 6) {
+        client.send_json(frame);
+    }
+    let out = server.wait();
+    assert!(
+        out.contains("ingested 6 frames over 1 connections"),
+        "{out}"
+    );
+    assert!(out.contains("served 6 snapshots"), "{out}");
+    let stats: ServeStats =
+        serde_json::from_str(&std::fs::read_to_string(&stats_path).unwrap()).unwrap();
+    assert_eq!(stats.submitted, 6);
+    assert_eq!(stats.net.frames, 6);
+}
+
+#[test]
+fn csv_stream_is_served_to_completion() {
+    let dir = tmp_dir("csv");
+    let engine = engine_file(&dir);
+    let server = Server::spawn(&engine, &["--protocol", "csv", "--max-snapshots", "5"]);
+    let mut client = Client::connect(server.addr);
+    for frame in &frames(0, 5) {
+        client.send_csv(frame);
+    }
+    let out = server.wait();
+    assert!(
+        out.contains("ingested 5 frames over 1 connections"),
+        "{out}"
+    );
+    assert!(out.contains("served 5 snapshots"), "{out}");
+}
+
+#[test]
+fn read_deadline_and_frame_limit_are_enforced() {
+    let dir = tmp_dir("limits");
+    let engine = engine_file(&dir);
+    let server = Server::spawn(
+        &engine,
+        &[
+            "--read-timeout",
+            "1",
+            "--max-frame-bytes",
+            "128",
+            "--max-snapshots",
+            "1",
+        ],
+    );
+
+    // An oversized length claim is refused and the connection closed.
+    let mut oversized = Client::connect(server.addr);
+    oversized.send(&(1u32 << 20).to_be_bytes());
+    oversized.wait_closed();
+
+    // A silent client trips the one-second read deadline.
+    let idle = Client::connect(server.addr);
+    idle.wait_closed();
+
+    // A well-behaved client still gets through; its frame ends the run.
+    let mut good = Client::connect(server.addr);
+    good.send_csv(&frames(0, 1)[0]);
+    let out = server.wait();
+    assert!(
+        out.contains("ingested 1 frames over 3 connections (1 decode errors, 1 timeouts"),
+        "{out}"
+    );
+}
+
+/// Kill the listener mid-stream after a checkpoint, resume with
+/// `--resume`, and replay everything: nothing is applied twice, and the
+/// stats file exists from the checkpoint-time flush (not process exit).
+#[test]
+fn kill_and_resume_absorbs_the_replay() {
+    let dir = tmp_dir("resume");
+    let engine = engine_file(&dir);
+    let ckpt = dir.join("ckpt");
+    let stats_path = dir.join("stats.json");
+    let head = 20u64;
+    let tail = 8u64;
+
+    // No --max-snapshots: this server runs until killed.
+    let mut server = Server::spawn(
+        &engine,
+        &[
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "5",
+            "--stats",
+            stats_path.to_str().unwrap(),
+        ],
+    );
+    let mut client = Client::connect(server.addr);
+    for frame in &frames(0, head) {
+        client.send_json(frame);
+    }
+
+    // The stats file is flushed at every checkpoint; once it reports all
+    // twenty snapshots, the manifest next to it carries the same cut.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let caught_up = std::fs::read_to_string(&stats_path)
+            .ok()
+            .and_then(|json| serde_json::from_str::<ServeStats>(&json).ok())
+            .is_some_and(|stats| stats.submitted >= head);
+        if caught_up {
+            break;
+        }
+        assert!(Instant::now() < deadline, "checkpoint never caught up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.child.kill().expect("kill the listener");
+    server.child.wait().expect("reap the listener");
+
+    // Resume and replay the whole stream plus a fresh tail. Only the
+    // tail may apply; the head must be absorbed as duplicates.
+    let resumed = Server::spawn(
+        &engine,
+        &[
+            "--resume",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--max-snapshots",
+            &tail.to_string(),
+        ],
+    );
+    let mut replayer = Client::connect(resumed.addr);
+    for frame in &frames(0, head + tail) {
+        replayer.send_json(frame);
+    }
+    let out = resumed.wait();
+    assert!(
+        out.contains(&format!("ingested {} frames", head + tail)),
+        "{out}"
+    );
+    assert!(out.contains(&format!("{head} duplicates")), "{out}");
+    assert!(out.contains(&format!("served {tail} snapshots")), "{out}");
+}

@@ -43,6 +43,12 @@ pub struct CheckpointManifest {
     pub tracker: AlarmTracker,
     /// Shard file names, in shard order.
     pub shard_files: Vec<String>,
+    /// Per-source next-expected frame sequence numbers at the cut
+    /// (empty for local replays; absent in pre-network manifests).
+    /// Living inside the manifest makes resume atomic: a crash can
+    /// never persist source progress without the matching model state.
+    #[serde(default)]
+    pub sources: BTreeMap<String, u64>,
 }
 
 /// Why a checkpoint or recovery failed.
@@ -87,7 +93,7 @@ fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
 }
 
 /// Writes `content` to `path` via a temp-file + atomic rename.
-fn write_atomic(path: &Path, content: &str) -> Result<(), CheckpointError> {
+pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<(), CheckpointError> {
     let tmp = path.with_extension("json.tmp");
     {
         let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
@@ -258,6 +264,7 @@ mod tests {
             config: full.config,
             tracker: full.tracker.clone(),
             shard_files: files,
+            sources: BTreeMap::from([("agent-1".to_string(), 7)]),
         })
         .unwrap();
 
@@ -287,6 +294,7 @@ mod tests {
             config: full.config,
             tracker: AlarmTracker::new(),
             shard_files: vec!["shard-0.json".into()],
+            sources: BTreeMap::new(),
         })
         .unwrap();
         // Manifest names a shard file that was never written.
@@ -317,6 +325,7 @@ mod tests {
             config: full.config,
             tracker: AlarmTracker::new(),
             shard_files: files,
+            sources: BTreeMap::new(),
         })
         .unwrap();
         let err = ckpt.recover().unwrap_err();

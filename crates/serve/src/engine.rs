@@ -104,6 +104,7 @@ enum ShardReply {
         id: u64,
         cut_seq: u64,
         dir: PathBuf,
+        sources: BTreeMap<String, u64>,
         ack: Sender<Result<CheckpointManifest, CheckpointError>>,
     },
     /// One shard finished writing its checkpoint file.
@@ -126,6 +127,7 @@ struct CheckpointOp {
     id: u64,
     cut_seq: u64,
     dir: PathBuf,
+    sources: BTreeMap<String, u64>,
     ack: Sender<Result<CheckpointManifest, CheckpointError>>,
     files: Vec<Option<String>>,
     received: usize,
@@ -377,6 +379,22 @@ impl ShardedEngine {
         &mut self,
         dir: impl AsRef<Path>,
     ) -> Result<CheckpointManifest, CheckpointError> {
+        self.checkpoint_with_sources(dir, BTreeMap::new())
+    }
+
+    /// [`ShardedEngine::checkpoint`], additionally recording per-source
+    /// frame-sequencing progress in the manifest so a network listener's
+    /// resume is atomic with the model state (see
+    /// [`CheckpointManifest::sources`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedEngine::checkpoint`].
+    pub fn checkpoint_with_sources(
+        &mut self,
+        dir: impl AsRef<Path>,
+        sources: BTreeMap<String, u64>,
+    ) -> Result<CheckpointManifest, CheckpointError> {
         let dir = dir.as_ref().to_path_buf();
         Checkpointer::new(&dir).prepare()?;
         let id = self.next_ckpt_id;
@@ -391,6 +409,7 @@ impl ShardedEngine {
                 id,
                 cut_seq: self.next_seq,
                 dir: dir.clone(),
+                sources,
                 ack: ack_tx,
             })
             .expect("aggregator disconnected");
@@ -414,10 +433,31 @@ impl ShardedEngine {
         self.reports_rx.recv_timeout(timeout).ok()
     }
 
+    /// A receiver clone of the merged-report channel, so the network
+    /// listener can hand out reports while its ingest thread owns the
+    /// engine. Each report is delivered to exactly one receiver.
+    pub(crate) fn reports_receiver(&self) -> Receiver<StepReport> {
+        self.reports_rx.clone()
+    }
+
     /// Current serving statistics (counters plus live queue depths).
     pub fn stats(&self) -> ServeStats {
         let depths: Vec<usize> = self.shard_senders.iter().map(|tx| tx.len()).collect();
         self.stats.lock().expect("stats lock").snapshot(&depths)
+    }
+
+    /// A shareable handle that reads [`ServeStats`] while another thread
+    /// owns the engine (the network listener's ingest thread holds the
+    /// `&mut` ingestion front; stats requests come from elsewhere).
+    ///
+    /// The probe holds receiver clones of the shard queues for live
+    /// depths — receivers do not keep workers alive, so an outstanding
+    /// probe never blocks [`ShardedEngine::shutdown`].
+    pub fn stats_probe(&self) -> StatsProbe {
+        StatsProbe {
+            stats: Arc::clone(&self.stats),
+            queues: self.shard_stealers.clone(),
+        }
     }
 
     /// Stops the engine: lets every shard drain its queue, joins all
@@ -455,6 +495,28 @@ impl ShardedEngine {
             .expect("stats lock")
             .snapshot(&vec![0; config.shards]);
         (reports, stats)
+    }
+}
+
+/// A read-only view of a running engine's statistics, detachable from
+/// the engine's owner thread (see [`ShardedEngine::stats_probe`]).
+#[derive(Clone)]
+pub struct StatsProbe {
+    stats: Arc<Mutex<StatsAccumulator>>,
+    queues: Vec<Receiver<ShardMsg>>,
+}
+
+impl StatsProbe {
+    /// Current serving statistics (counters plus live queue depths).
+    pub fn stats(&self) -> ServeStats {
+        let depths: Vec<usize> = self.queues.iter().map(|rx| rx.len()).collect();
+        self.stats.lock().expect("stats lock").snapshot(&depths)
+    }
+}
+
+impl std::fmt::Debug for StatsProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StatsProbe({} shards)", self.queues.len())
     }
 }
 
@@ -568,12 +630,14 @@ fn aggregator_loop(
                 id,
                 cut_seq,
                 dir,
+                sources,
                 ack,
             } => {
                 checkpoint = Some(CheckpointOp {
                     id,
                     cut_seq,
                     dir,
+                    sources,
                     ack,
                     files: vec![None; shards],
                     received: 0,
@@ -639,6 +703,7 @@ fn aggregator_loop(
                             .into_iter()
                             .map(|f| f.expect("no error recorded, so every file landed"))
                             .collect(),
+                        sources: op.sources,
                     };
                     Checkpointer::new(&op.dir)
                         .write_manifest(&manifest)

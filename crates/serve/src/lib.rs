@@ -5,15 +5,28 @@
 //! snapshots out over bounded channels with configurable backpressure,
 //! merges per-shard partial scores into exact three-level aggregates, and
 //! checkpoints per-shard engine state atomically for crash recovery.
+//!
+//! The [`net`] module puts a TCP ingestion tier in front of the engine:
+//! framed snapshot decoding ([`wire`]), per-source sequencing
+//! ([`sequence`]), and a listener with backpressure at the socket
+//! boundary ([`NetServer`]).
 
 pub mod checkpoint;
 pub mod engine;
 pub mod ingest;
+pub mod net;
 pub mod router;
+pub mod sequence;
 pub mod stats;
+pub mod wire;
 
 pub use checkpoint::{CheckpointError, CheckpointManifest, Checkpointer};
-pub use engine::{ServeConfig, ShardedEngine};
+pub use engine::{ServeConfig, ShardedEngine, StatsProbe};
 pub use ingest::{BackpressurePolicy, IngestReport};
+pub use net::{NetConfig, NetServer};
 pub use router::ShardRouter;
-pub use stats::{ServeStats, ShardStats};
+pub use sequence::{Admission, SourceTable};
+pub use stats::{ConnStats, NetStats, ServeStats, ShardStats};
+pub use wire::{
+    encode_csv, encode_json, DecodeError, EncodeError, FrameDecoder, WireFrame, WireProtocol,
+};

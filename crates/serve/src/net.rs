@@ -1,0 +1,658 @@
+//! TCP snapshot ingestion in front of the sharded engine.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──► [accept thread] ─spawns─► [conn thread]*    (one per socket)
+//!                                            │ WireFrame
+//!                                            ▼
+//!                              bounded frame channel (BackpressurePolicy)
+//!                                            │
+//!                                            ▼
+//!                                      [ingest thread]
+//!                                  SourceTable ➜ ShardedEngine
+//!                                  periodic checkpoints + stats flush
+//! ```
+//!
+//! Each connection runs its own [`FrameDecoder`] state machine, so
+//! truncated frames, interleaved partial writes, garbage bytes, and
+//! oversized claims are contained to that connection: the decoder turns
+//! them into typed [`DecodeError`]s, the connection is closed and
+//! counted, and every other client keeps streaming. Decoded frames cross
+//! one bounded channel where the configured [`BackpressurePolicy`]
+//! applies at the socket boundary — `block` never loses a frame (the
+//! client's TCP window absorbs the stall), `reject` refuses frames while
+//! the channel is full, `drop-oldest` evicts the oldest queued frame.
+//!
+//! The ingest thread owns the engine. It runs admitted frames through a
+//! [`SourceTable`] — duplicates from reconnect-with-replay are absorbed,
+//! out-of-order frames are re-ordered within a bounded window, and a
+//! window overflow abandons the gap rather than wedging the stream — so
+//! under the lossless policy the engine sees exactly the sequence the
+//! sources sent, and the merged [`StepReport`] stream is bit-identical
+//! to an offline replay of the same snapshots.
+//!
+//! Shutdown is graceful by construction: the accept loop is woken and
+//! stopped first, every open socket is shut down (unblocking reads),
+//! connection threads drain what they already buffered, and only when
+//! every frame sender is gone does the ingest thread take its final
+//! checkpoint (with per-source progress inside the manifest) and stop
+//! the engine.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+
+use gridwatch_detect::{EngineSnapshot, StepReport};
+
+use crate::checkpoint::write_atomic;
+use crate::engine::{ServeConfig, ShardedEngine, StatsProbe};
+use crate::ingest::BackpressurePolicy;
+use crate::sequence::{Admission, SourceTable};
+use crate::stats::{ConnStats, NetStats, ServeStats};
+use crate::wire::{FrameDecoder, WireFrame, WireProtocol};
+
+/// Configuration of the TCP ingestion tier (the engine's own knobs live
+/// in [`ServeConfig`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Accepted encoding; [`WireProtocol::Auto`] detects per connection.
+    pub protocol: WireProtocol,
+    /// Read deadline per `read` call; a connection that stays silent (or
+    /// dribbles nothing) past it is closed and counted as a timeout.
+    /// `Duration::ZERO` disables the deadline.
+    pub read_timeout: Duration,
+    /// Largest accepted frame (JSON payload or CSV line) in bytes.
+    pub max_frame_bytes: usize,
+    /// Bounded capacity of the socket-boundary frame channel.
+    pub ingest_capacity: usize,
+    /// Early frames buffered per source before a sequence gap is
+    /// abandoned.
+    pub reorder_capacity: usize,
+    /// Where to checkpoint; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Applied snapshots between periodic checkpoints; `0` checkpoints
+    /// only at shutdown.
+    pub checkpoint_every: u64,
+    /// Where to flush a [`ServeStats`] JSON dump at every checkpoint and
+    /// at shutdown; `None` disables the dump.
+    pub stats_path: Option<PathBuf>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            protocol: WireProtocol::Auto,
+            read_timeout: Duration::from_secs(30),
+            max_frame_bytes: 1 << 20,
+            ingest_capacity: 256,
+            reorder_capacity: 64,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            stats_path: None,
+        }
+    }
+}
+
+/// What happened to one frame at the socket boundary.
+#[derive(Debug, PartialEq, Eq)]
+enum Delivery {
+    /// The frame entered the channel without losses.
+    Delivered,
+    /// The channel was full under [`BackpressurePolicy::Reject`]; the
+    /// frame was discarded.
+    Rejected,
+    /// The frame entered after evicting this many older queued frames
+    /// under [`BackpressurePolicy::DropOldest`].
+    DeliveredEvicting(u64),
+}
+
+/// Applies the backpressure policy to one frame at the channel mouth.
+///
+/// `stealer` is a receiver clone of the same channel, used only by
+/// `DropOldest` to evict the head. A steal can lose the race against the
+/// ingest thread draining the same frame — the retry just finds room.
+fn deliver(
+    policy: BackpressurePolicy,
+    tx: &Sender<WireFrame>,
+    stealer: &Receiver<WireFrame>,
+    frame: WireFrame,
+) -> Delivery {
+    match policy {
+        BackpressurePolicy::Block => {
+            tx.send(frame).expect("ingest thread disconnected");
+            Delivery::Delivered
+        }
+        BackpressurePolicy::Reject => match tx.try_send(frame) {
+            Ok(()) => Delivery::Delivered,
+            Err(TrySendError::Full(_)) => Delivery::Rejected,
+            Err(TrySendError::Disconnected(_)) => panic!("ingest thread disconnected"),
+        },
+        BackpressurePolicy::DropOldest => {
+            let mut evicted = 0;
+            let mut frame = frame;
+            loop {
+                match tx.try_send(frame) {
+                    Ok(()) => return Delivery::DeliveredEvicting(evicted),
+                    Err(TrySendError::Full(back)) => {
+                        frame = back;
+                        if stealer.try_recv().is_ok() {
+                            evicted += 1;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => panic!("ingest thread disconnected"),
+                }
+            }
+        }
+    }
+}
+
+/// Listener-wide wire counters plus the per-connection table, shared
+/// between the accept, connection, and ingest threads.
+#[derive(Debug, Default)]
+struct NetAccumulator {
+    accepted: u64,
+    closed: u64,
+    frames: u64,
+    decode_errors: u64,
+    timeouts: u64,
+    rejected: u64,
+    dropped: u64,
+    duplicates: u64,
+    out_of_order: u64,
+    gap_skips: u64,
+    checkpoint_failures: u64,
+    connections: Vec<ConnStats>,
+}
+
+impl NetAccumulator {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted,
+            closed: self.closed,
+            frames: self.frames,
+            decode_errors: self.decode_errors,
+            timeouts: self.timeouts,
+            rejected: self.rejected,
+            dropped: self.dropped,
+            duplicates: self.duplicates,
+            out_of_order: self.out_of_order,
+            gap_skips: self.gap_skips,
+            checkpoint_failures: self.checkpoint_failures,
+            connections: self.connections.clone(),
+        }
+    }
+}
+
+type Shared<T> = Arc<Mutex<T>>;
+
+/// Socket clones + join handles of live connection threads, kept so
+/// shutdown can unblock and join every one of them.
+#[derive(Default)]
+struct ConnRegistry {
+    entries: Vec<(TcpStream, JoinHandle<()>)>,
+}
+
+/// A TCP listener feeding a [`ShardedEngine`].
+///
+/// Built with [`NetServer::bind`]; reports stream out through
+/// [`NetServer::try_recv_report`] / [`NetServer::recv_report_timeout`];
+/// torn down with [`NetServer::shutdown`], which drains in-flight frames
+/// and takes a final checkpoint before stopping the engine.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    ingest: Option<JoinHandle<(Vec<StepReport>, ServeStats)>>,
+    conns: Shared<ConnRegistry>,
+    frame_tx: Option<Sender<WireFrame>>,
+    reports_rx: Receiver<StepReport>,
+    probe: StatsProbe,
+    net: Shared<NetAccumulator>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetServer({})", self.local_addr)
+    }
+}
+
+impl NetServer {
+    /// Binds `addr`, starts the engine from a trained snapshot, and
+    /// begins accepting connections. `sources` seeds the per-source
+    /// sequencing table — pass a recovered manifest's
+    /// [`crate::CheckpointManifest::sources`] so a resumed listener
+    /// absorbs replayed frames as duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be parsed or bound (busy port,
+    /// missing interface).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `net.ingest_capacity`, `net.reorder_capacity`, or
+    /// `net.max_frame_bytes` is zero, or when a thread cannot spawn.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        snapshot: EngineSnapshot,
+        serve: ServeConfig,
+        net: NetConfig,
+        sources: BTreeMap<String, u64>,
+    ) -> io::Result<NetServer> {
+        assert!(net.ingest_capacity > 0, "ingest capacity must be positive");
+        assert!(net.max_frame_bytes > 0, "frame limit must be positive");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let engine = ShardedEngine::start(snapshot, serve);
+        let probe = engine.stats_probe();
+        let reports_rx = engine.reports_receiver();
+        let table = SourceTable::resume(net.reorder_capacity, sources);
+
+        let (frame_tx, frame_rx) = channel::bounded::<WireFrame>(net.ingest_capacity);
+        // Receiver clone for the `DropOldest` steal path; receivers do
+        // not keep the channel alive, so this never blocks shutdown.
+        let frame_stealer = frame_rx.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Shared<ConnRegistry> = Arc::default();
+        let net_acc: Shared<NetAccumulator> = Arc::default();
+
+        let ingest = {
+            let net_acc = Arc::clone(&net_acc);
+            let cfg = net.clone();
+            std::thread::Builder::new()
+                .name("gw-net-ingest".to_string())
+                .spawn(move || ingest_loop(engine, table, frame_rx, net_acc, cfg))
+                .expect("spawn ingest thread")
+        };
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let net_acc = Arc::clone(&net_acc);
+            let tx = frame_tx.clone();
+            let policy = serve.backpressure;
+            let cfg = net.clone();
+            std::thread::Builder::new()
+                .name("gw-net-accept".to_string())
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        stop,
+                        conns,
+                        net_acc,
+                        tx,
+                        frame_stealer,
+                        policy,
+                        cfg,
+                    )
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(NetServer {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            ingest: Some(ingest),
+            conns,
+            frame_tx: Some(frame_tx),
+            reports_rx,
+            probe,
+            net: net_acc,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A merged report, if one is ready.
+    pub fn try_recv_report(&self) -> Option<StepReport> {
+        self.reports_rx.try_recv().ok()
+    }
+
+    /// Waits up to `timeout` for the next merged report.
+    pub fn recv_report_timeout(&self, timeout: Duration) -> Option<StepReport> {
+        self.reports_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Current serving statistics, wire-path counters included.
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = self.probe.stats();
+        stats.net = self.net.lock().expect("net stats lock").snapshot();
+        stats
+    }
+
+    /// Stops the listener gracefully: stops accepting, unblocks and
+    /// joins every connection (frames already buffered are decoded and
+    /// delivered), lets the ingest thread drain the channel, take its
+    /// final checkpoint, and stop the engine. Returns the reports not
+    /// yet consumed plus final statistics.
+    pub fn shutdown(mut self) -> (Vec<StepReport>, ServeStats) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop sits in a blocking accept; a throwaway
+        // connection to ourselves wakes it so it can observe the flag.
+        drop(TcpStream::connect(self.local_addr));
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        // Unblock every connection read, then join the handlers; each
+        // drains its decoder before exiting, so buffered frames are not
+        // lost.
+        let entries =
+            std::mem::take(&mut self.conns.lock().expect("connection registry lock").entries);
+        for (stream, _) in &entries {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for (_, handle) in entries {
+            handle.join().expect("connection thread panicked");
+        }
+        // Ours is the last frame sender: dropping it lets the ingest
+        // thread finish draining, checkpoint, and stop the engine.
+        drop(self.frame_tx.take());
+        let (mut reports, mut stats) = self
+            .ingest
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("ingest thread panicked");
+        // Anything the engine left on the report channel that the
+        // caller did not consume yet.
+        while let Ok(report) = self.reports_rx.try_recv() {
+            reports.push(report);
+        }
+        stats.net = self.net.lock().expect("net stats lock").snapshot();
+        (reports, stats)
+    }
+}
+
+/// Accepts connections until the stop flag is raised, spawning one
+/// handler thread per socket.
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    conns: Shared<ConnRegistry>,
+    net_acc: Shared<NetAccumulator>,
+    tx: Sender<WireFrame>,
+    stealer: Receiver<WireFrame>,
+    policy: BackpressurePolicy,
+    cfg: NetConfig,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) if stop.load(Ordering::SeqCst) => break,
+            // Transient accept failure (e.g. the peer reset before we
+            // got to it); keep listening.
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
+        let conn_id = {
+            let mut acc = net_acc.lock().expect("net stats lock");
+            acc.accepted += 1;
+            let conn_id = acc.connections.len();
+            acc.connections.push(ConnStats {
+                conn: conn_id as u64,
+                peer,
+                protocol: "unknown".to_string(),
+                open: true,
+                ..ConnStats::default()
+            });
+            conn_id
+        };
+        let reader = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => {
+                let mut acc = net_acc.lock().expect("net stats lock");
+                acc.closed += 1;
+                acc.connections[conn_id].open = false;
+                continue;
+            }
+        };
+        let handle = {
+            let net_acc = Arc::clone(&net_acc);
+            let tx = tx.clone();
+            let stealer = stealer.clone();
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name(format!("gw-net-conn-{conn_id}"))
+                .spawn(move || conn_loop(conn_id, reader, net_acc, tx, stealer, policy, cfg))
+                .expect("spawn connection thread")
+        };
+        conns
+            .lock()
+            .expect("connection registry lock")
+            .entries
+            .push((stream, handle));
+    }
+}
+
+/// One connection: read bytes, decode frames, deliver with backpressure,
+/// account every outcome.
+fn conn_loop(
+    conn: usize,
+    mut stream: TcpStream,
+    net_acc: Shared<NetAccumulator>,
+    tx: Sender<WireFrame>,
+    stealer: Receiver<WireFrame>,
+    policy: BackpressurePolicy,
+    cfg: NetConfig,
+) {
+    if cfg.read_timeout > Duration::ZERO {
+        let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    }
+    let mut decoder = FrameDecoder::new(cfg.protocol, cfg.max_frame_bytes);
+    let mut buf = [0u8; 8 * 1024];
+    let mut named_protocol = false;
+    'read: loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // Clean EOF — unless it truncated a frame mid-flight.
+                if decoder.eof_error().is_some() {
+                    let mut acc = net_acc.lock().expect("net stats lock");
+                    acc.decode_errors += 1;
+                    acc.connections[conn].decode_errors += 1;
+                }
+                break 'read;
+            }
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            if !named_protocol {
+                                if let Some(name) = decoder.protocol_name() {
+                                    net_acc.lock().expect("net stats lock").connections[conn]
+                                        .protocol = name.to_string();
+                                    named_protocol = true;
+                                }
+                            }
+                            let outcome = deliver(policy, &tx, &stealer, frame);
+                            let mut acc = net_acc.lock().expect("net stats lock");
+                            match outcome {
+                                Delivery::Delivered => {
+                                    acc.frames += 1;
+                                    acc.connections[conn].frames += 1;
+                                }
+                                Delivery::Rejected => {
+                                    acc.rejected += 1;
+                                    acc.connections[conn].rejected += 1;
+                                }
+                                Delivery::DeliveredEvicting(evicted) => {
+                                    acc.frames += 1;
+                                    acc.connections[conn].frames += 1;
+                                    acc.dropped += evicted;
+                                    acc.connections[conn].dropped += evicted;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // The stream is unsynchronized; close it.
+                            let mut acc = net_acc.lock().expect("net stats lock");
+                            acc.decode_errors += 1;
+                            acc.connections[conn].decode_errors += 1;
+                            break 'read;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Slow-loris or idle client: past the read deadline.
+                let mut acc = net_acc.lock().expect("net stats lock");
+                acc.timeouts += 1;
+                acc.connections[conn].timeouts += 1;
+                break 'read;
+            }
+            Err(_) => break 'read,
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let mut acc = net_acc.lock().expect("net stats lock");
+    acc.closed += 1;
+    acc.connections[conn].open = false;
+}
+
+/// The ingest thread: sequences frames per source, feeds the engine,
+/// checkpoints periodically and at shutdown, and flushes stats dumps.
+fn ingest_loop(
+    mut engine: ShardedEngine,
+    mut table: SourceTable,
+    frame_rx: Receiver<WireFrame>,
+    net_acc: Shared<NetAccumulator>,
+    cfg: NetConfig,
+) -> (Vec<StepReport>, ServeStats) {
+    let mut since_checkpoint = 0u64;
+    while let Ok(frame) = frame_rx.recv() {
+        let ready = match table.admit(&frame.source, frame.seq, frame.snapshot) {
+            Admission::Ready(snaps) => snaps,
+            Admission::Buffered => {
+                net_acc.lock().expect("net stats lock").out_of_order += 1;
+                continue;
+            }
+            Admission::Duplicate => {
+                net_acc.lock().expect("net stats lock").duplicates += 1;
+                continue;
+            }
+            Admission::GapAbandoned { skipped, released } => {
+                net_acc.lock().expect("net stats lock").gap_skips += skipped;
+                released
+            }
+        };
+        for snap in ready {
+            engine.submit(snap);
+            since_checkpoint += 1;
+        }
+        if cfg.checkpoint_every > 0 && since_checkpoint >= cfg.checkpoint_every {
+            since_checkpoint = 0;
+            run_checkpoint(&mut engine, &table, &net_acc, &cfg);
+        }
+    }
+    // Every sender is gone: the stream is drained. Take the final cut.
+    run_checkpoint(&mut engine, &table, &net_acc, &cfg);
+    engine.shutdown()
+}
+
+/// One periodic (or final) checkpoint plus the stats-file flush. Both
+/// are best-effort: a failure is counted, and the stream keeps flowing.
+fn run_checkpoint(
+    engine: &mut ShardedEngine,
+    table: &SourceTable,
+    net_acc: &Shared<NetAccumulator>,
+    cfg: &NetConfig,
+) {
+    if let Some(dir) = &cfg.checkpoint_dir {
+        if engine
+            .checkpoint_with_sources(dir, table.progress())
+            .is_err()
+        {
+            net_acc.lock().expect("net stats lock").checkpoint_failures += 1;
+        }
+    }
+    if let Some(path) = &cfg.stats_path {
+        let mut stats = engine.stats();
+        stats.net = net_acc.lock().expect("net stats lock").snapshot();
+        let _ = write_atomic(path, &stats.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use gridwatch_detect::Snapshot;
+    use gridwatch_timeseries::Timestamp;
+
+    fn frame(seq: u64) -> WireFrame {
+        WireFrame {
+            source: "t".to_string(),
+            seq,
+            snapshot: Snapshot::new(Timestamp::from_secs(seq * 360)),
+        }
+    }
+
+    #[test]
+    fn block_policy_delivers_everything() {
+        let (tx, rx) = channel::bounded(4);
+        for k in 0..4 {
+            assert_eq!(
+                deliver(BackpressurePolicy::Block, &tx, &rx, frame(k)),
+                Delivery::Delivered
+            );
+        }
+        assert_eq!(rx.len(), 4);
+    }
+
+    #[test]
+    fn reject_policy_refuses_when_full() {
+        let (tx, rx) = channel::bounded(2);
+        assert_eq!(
+            deliver(BackpressurePolicy::Reject, &tx, &rx, frame(0)),
+            Delivery::Delivered
+        );
+        assert_eq!(
+            deliver(BackpressurePolicy::Reject, &tx, &rx, frame(1)),
+            Delivery::Delivered
+        );
+        assert_eq!(
+            deliver(BackpressurePolicy::Reject, &tx, &rx, frame(2)),
+            Delivery::Rejected
+        );
+        // The queued frames are untouched.
+        assert_eq!(rx.recv().unwrap().seq, 0);
+        assert_eq!(rx.recv().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn drop_oldest_policy_evicts_the_head() {
+        let (tx, rx) = channel::bounded(2);
+        deliver(BackpressurePolicy::Block, &tx, &rx, frame(0));
+        deliver(BackpressurePolicy::Block, &tx, &rx, frame(1));
+        assert_eq!(
+            deliver(BackpressurePolicy::DropOldest, &tx, &rx, frame(2)),
+            Delivery::DeliveredEvicting(1)
+        );
+        assert_eq!(rx.recv().unwrap().seq, 1);
+        assert_eq!(rx.recv().unwrap().seq, 2);
+    }
+}

@@ -30,6 +30,63 @@ pub struct ShardStats {
     pub latency: LatencySummary,
 }
 
+/// Wire-path counters for one network connection.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnStats {
+    /// Connection id, assigned in accept order.
+    pub conn: u64,
+    /// The peer's socket address.
+    pub peer: String,
+    /// The detected encoding (`json`, `csv`, or `unknown` before the
+    /// first byte arrives).
+    pub protocol: String,
+    /// Frames decoded from this connection.
+    pub frames: u64,
+    /// Frames lost to framing/parse failures (each also closes the
+    /// connection).
+    pub decode_errors: u64,
+    /// Reads that hit the idle/slow-client deadline (closes the
+    /// connection).
+    pub timeouts: u64,
+    /// Frames refused at the socket boundary under `Reject`.
+    pub rejected: u64,
+    /// Older frames evicted at the socket boundary under `DropOldest`
+    /// to admit this connection's frames.
+    pub dropped: u64,
+    /// Whether the connection is still open.
+    pub open: bool,
+}
+
+/// Wire-path counters for the whole listener.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections fully closed.
+    pub closed: u64,
+    /// Frames decoded across all connections.
+    pub frames: u64,
+    /// Decode failures across all connections.
+    pub decode_errors: u64,
+    /// Read-deadline kills across all connections.
+    pub timeouts: u64,
+    /// Frames refused at the socket boundary under `Reject`.
+    pub rejected: u64,
+    /// Frames evicted at the socket boundary under `DropOldest`.
+    pub dropped: u64,
+    /// Frames absorbed as duplicates (reconnect replay, resumed
+    /// checkpoints).
+    pub duplicates: u64,
+    /// Frames that arrived ahead of a sequence gap and were buffered.
+    pub out_of_order: u64,
+    /// Sequence numbers abandoned when a reorder window overflowed.
+    pub gap_skips: u64,
+    /// Periodic checkpoints that failed (the stream keeps flowing).
+    pub checkpoint_failures: u64,
+    /// Per-connection counters, in accept order.
+    pub connections: Vec<ConnStats>,
+}
+
 /// Engine-wide serving statistics, dumpable as JSON.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
@@ -47,6 +104,9 @@ pub struct ServeStats {
     pub alarms: u64,
     /// Checkpoints completed.
     pub checkpoints: u64,
+    /// Wire-path counters (all zero when serving a local replay).
+    #[serde(default)]
+    pub net: NetStats,
 }
 
 impl ServeStats {
@@ -136,6 +196,7 @@ impl StatsAccumulator {
             empty_steps: self.empty_steps,
             alarms: self.alarms,
             checkpoints: self.checkpoints,
+            net: NetStats::default(),
         }
     }
 }
@@ -167,10 +228,53 @@ mod tests {
         let mut acc = StatsAccumulator::new(2);
         acc.submitted = 10;
         acc.per_shard[1].evicted = 3;
-        let stats = acc.snapshot(&[0, 1]);
+        let mut stats = acc.snapshot(&[0, 1]);
+        stats.net.frames = 7;
+        stats.net.connections.push(ConnStats {
+            conn: 0,
+            peer: "127.0.0.1:9".to_string(),
+            protocol: "json".to_string(),
+            frames: 7,
+            ..ConnStats::default()
+        });
         let json = stats.to_json();
         let back: ServeStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
         assert_eq!(back.total_evicted(), 3);
+    }
+
+    #[test]
+    fn dumps_without_a_net_section_still_parse() {
+        // Stats files written before the network ingestion layer landed
+        // have no "net" key; they must keep deserializing.
+        let old = concat!(
+            "{\"shards\":[],\"submitted\":4,\"rejected\":0,\"reports\":0,",
+            "\"empty_steps\":0,\"alarms\":0,\"checkpoints\":0}"
+        );
+        let back: ServeStats = serde_json::from_str(old).unwrap();
+        assert_eq!(back.submitted, 4);
+        assert_eq!(back.net, NetStats::default());
+    }
+
+    /// Pins the JSON schema of the stats dump: adding, renaming,
+    /// reordering, or dropping a key is a deliberate act that must
+    /// update this golden string (and any dashboards scraping the dump).
+    #[test]
+    fn stats_dump_schema_is_pinned() {
+        let mut stats = StatsAccumulator::new(1).snapshot(&[0]);
+        stats.net.connections.push(ConnStats::default());
+        let json = serde_json::to_string(&stats).unwrap();
+        let golden = concat!(
+            "{\"shards\":[{\"shard\":0,\"pairs\":0,\"processed\":0,\"evicted\":0,",
+            "\"queue_depth\":0,\"latency\":{\"min_ns\":0,\"mean_ns\":0,\"max_ns\":0}}],",
+            "\"submitted\":0,\"rejected\":0,\"reports\":0,\"empty_steps\":0,",
+            "\"alarms\":0,\"checkpoints\":0,\"net\":{\"accepted\":0,\"closed\":0,",
+            "\"frames\":0,\"decode_errors\":0,\"timeouts\":0,\"rejected\":0,",
+            "\"dropped\":0,\"duplicates\":0,\"out_of_order\":0,\"gap_skips\":0,",
+            "\"checkpoint_failures\":0,\"connections\":[{\"conn\":0,\"peer\":\"\",",
+            "\"protocol\":\"\",\"frames\":0,\"decode_errors\":0,\"timeouts\":0,",
+            "\"rejected\":0,\"dropped\":0,\"open\":false}]}}"
+        );
+        assert_eq!(json, golden);
     }
 }

@@ -1,0 +1,177 @@
+//! Shared fixtures for the network integration suites: a trained
+//! engine, a deterministic trace, and [`ChaosClient`] — a raw-TCP test
+//! client that can misbehave on demand (partial writes, mid-frame
+//! disconnects, stalls, garbage).
+
+#![allow(dead_code)] // each test binary uses its own slice of this module
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gridwatch_detect::{
+    AlarmPolicy, DetectionEngine, EngineConfig, EngineSnapshot, Snapshot, StepReport,
+};
+use gridwatch_serve::{encode_csv, encode_json, WireFrame};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+
+pub const STEP_SECS: u64 = 360;
+pub const MEASUREMENTS: usize = 6;
+
+pub fn ids() -> Vec<MeasurementId> {
+    (0..MEASUREMENTS as u32)
+        .map(|m| MeasurementId::new(MachineId::new(m / 2), MetricKind::Custom((m % 2) as u16)))
+        .collect()
+}
+
+pub fn value(m: usize, k: u64) -> f64 {
+    let load = (k % 48) as f64;
+    (m as f64 + 1.0) * load + 5.0 * m as f64
+}
+
+/// Trains all 15 pairs over 6 linearly-coupled measurements.
+pub fn trained() -> EngineSnapshot {
+    let ids = ids();
+    let config = EngineConfig {
+        alarm: AlarmPolicy {
+            system_threshold: 0.7,
+            measurement_threshold: 0.4,
+            min_consecutive: 2,
+        },
+        ..EngineConfig::default()
+    };
+    let mut pairs = Vec::new();
+    for i in 0..MEASUREMENTS {
+        for j in (i + 1)..MEASUREMENTS {
+            let pair = MeasurementPair::new(ids[i], ids[j]).unwrap();
+            let history = PairSeries::from_samples(
+                (0..400u64).map(|k| (k * STEP_SECS, value(i, k), value(j, k))),
+            )
+            .unwrap();
+            pairs.push((pair, history));
+        }
+    }
+    DetectionEngine::train(pairs, config).unwrap().snapshot()
+}
+
+/// A trace that runs healthy, then breaks the last measurement for a
+/// stretch (long enough to trip the alarm debounce), then recovers.
+pub fn trace(steps: u64) -> Vec<Snapshot> {
+    trace_from(0, steps)
+}
+
+/// The same trace, starting `offset` steps in (for post-recovery tails).
+pub fn trace_from(offset: u64, steps: u64) -> Vec<Snapshot> {
+    let ids = ids();
+    (offset..offset + steps)
+        .map(|k| {
+            let mut snap = Snapshot::new(Timestamp::from_secs((400 + k) * STEP_SECS));
+            for (m, &mid) in ids.iter().enumerate() {
+                let v = if m == MEASUREMENTS - 1 && (8..16).contains(&k) {
+                    -200.0
+                } else {
+                    value(m, k)
+                };
+                snap.insert(mid, v);
+            }
+            snap
+        })
+        .collect()
+}
+
+/// The ground truth: a single-threaded engine replaying the same trace.
+pub fn reference_reports(snapshot: EngineSnapshot, trace: &[Snapshot]) -> Vec<StepReport> {
+    let mut engine = DetectionEngine::from_snapshot(snapshot);
+    trace.iter().map(|s| engine.step(s)).collect()
+}
+
+/// Wire frames for a trace, sequence-stamped from `first_seq`.
+pub fn frames(source: &str, first_seq: u64, trace: &[Snapshot]) -> Vec<WireFrame> {
+    trace
+        .iter()
+        .enumerate()
+        .map(|(k, snap)| WireFrame {
+            source: source.to_string(),
+            seq: first_seq + k as u64,
+            snapshot: snap.clone(),
+        })
+        .collect()
+}
+
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridwatch-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A raw-TCP client with precise control over how bytes hit the wire, so
+/// tests can inject every network fault class deterministically.
+pub struct ChaosClient {
+    stream: TcpStream,
+}
+
+impl ChaosClient {
+    pub fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to listener");
+        stream.set_nodelay(true).expect("nodelay");
+        ChaosClient { stream }
+    }
+
+    /// Writes raw bytes (whatever they are) and flushes.
+    pub fn send(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write to listener");
+        self.stream.flush().expect("flush");
+    }
+
+    /// Writes bytes in fixed-size chunks, flushing between chunks, so
+    /// the server sees interleaved partial writes.
+    pub fn send_chunked(&mut self, bytes: &[u8], chunk: usize) {
+        for piece in bytes.chunks(chunk.max(1)) {
+            self.send(piece);
+        }
+    }
+
+    /// Sends one frame in the length-prefixed JSON encoding.
+    pub fn send_json(&mut self, frame: &WireFrame) {
+        let bytes = encode_json(frame).expect("encodable frame");
+        self.send(&bytes);
+    }
+
+    /// Sends one frame as a CSV line.
+    pub fn send_csv(&mut self, frame: &WireFrame) {
+        let line = encode_csv(frame).expect("encodable frame");
+        self.send(line.as_bytes());
+    }
+
+    /// Half-closes the write side so the server observes EOF while this
+    /// client can still read.
+    pub fn finish_writing(&self) {
+        self.stream
+            .shutdown(Shutdown::Write)
+            .expect("half-close write side");
+    }
+
+    /// Blocks until the server closes this connection (EOF or reset).
+    /// This is the event a test waits on instead of sleeping: once it
+    /// returns, the server has fully processed this connection's fate.
+    pub fn wait_closed(mut self) {
+        self.stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let mut sink = [0u8; 256];
+        loop {
+            match self.stream.read(&mut sink) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => continue,
+            }
+        }
+    }
+
+    /// Drops the socket abruptly (mid-frame disconnects).
+    pub fn disconnect(self) {
+        drop(self);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the wire codec.
+//!
+//! Two properties, per the issue: (1) any snapshot round-trips exactly
+//! through both encodings, in any chunking; (2) arbitrary byte noise
+//! never panics the decoder — every failure is a typed [`DecodeError`].
+
+mod common;
+
+use gridwatch_detect::Snapshot;
+use gridwatch_serve::{encode_csv, encode_json, FrameDecoder, WireFrame, WireProtocol};
+use gridwatch_timeseries::{MachineId, MeasurementId, MetricKind, Timestamp};
+use proptest::prelude::*;
+
+/// Decodes a whole byte stream fed in `chunk`-sized pieces.
+fn decode_all(bytes: &[u8], protocol: WireProtocol, chunk: usize) -> Vec<WireFrame> {
+    let mut dec = FrameDecoder::new(protocol, 1 << 20);
+    let mut frames = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        dec.push(piece);
+        while let Some(frame) = dec.next_frame().expect("valid stream") {
+            frames.push(frame);
+        }
+    }
+    assert!(!dec.has_partial(), "valid stream leaves no partial frame");
+    frames
+}
+
+fn build_frame(source_tag: u32, seq: u64, at_secs: u64, values: &[(u32, u16, f64)]) -> WireFrame {
+    let mut snapshot = Snapshot::new(Timestamp::from_secs(at_secs));
+    for &(machine, tag, v) in values {
+        // `Snapshot::insert` ignores non-finite values by design; skip
+        // them here so the encoded frame equals the decoded one.
+        if v.is_finite() {
+            snapshot.insert(
+                MeasurementId::new(MachineId::new(machine % 100), MetricKind::Custom(tag % 50)),
+                v,
+            );
+        }
+    }
+    WireFrame {
+        source: format!("agent-{source_tag}"),
+        seq,
+        snapshot,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary snapshot → JSON frame → decode is the identity, for
+    /// every byte chunking — including values at the nasty edges of
+    /// f64 (subnormals, zeros, full-precision normals).
+    #[test]
+    fn json_roundtrips_exactly(
+        source_tag in 0u32..1000,
+        seq in 0u64..u64::MAX / 2,
+        at_secs in 0u64..4_000_000_000,
+        values in proptest::strategy::collection::vec(
+            (0u32..100, 0u16..50, proptest::strategy::num::f64::NORMAL
+                | proptest::strategy::num::f64::ZERO
+                | proptest::strategy::num::f64::SUBNORMAL),
+            0..12,
+        ),
+        chunk in 1usize..64,
+    ) {
+        let frame = build_frame(source_tag, seq, at_secs, &values);
+        let bytes = encode_json(&frame).unwrap();
+        let got = decode_all(&bytes, WireProtocol::Auto, chunk);
+        prop_assert_eq!(got, vec![frame]);
+    }
+
+    /// The same property over the CSV encoding.
+    #[test]
+    fn csv_roundtrips_exactly(
+        source_tag in 0u32..1000,
+        seq in 0u64..u64::MAX / 2,
+        at_secs in 0u64..4_000_000_000,
+        values in proptest::strategy::collection::vec(
+            (0u32..100, 0u16..50, proptest::strategy::num::f64::NORMAL
+                | proptest::strategy::num::f64::ZERO
+                | proptest::strategy::num::f64::SUBNORMAL),
+            0..12,
+        ),
+        chunk in 1usize..64,
+    ) {
+        let frame = build_frame(source_tag, seq, at_secs, &values);
+        let line = encode_csv(&frame).unwrap();
+        let got = decode_all(line.as_bytes(), WireProtocol::Auto, chunk);
+        prop_assert_eq!(got, vec![frame]);
+    }
+
+    /// A multi-frame stream decodes to the same frames regardless of how
+    /// the bytes are chunked.
+    #[test]
+    fn chunking_never_changes_what_decodes(
+        seqs in proptest::strategy::collection::vec(0u64..1000, 1..6),
+        chunk_a in 1usize..48,
+        chunk_b in 1usize..48,
+    ) {
+        let mut bytes = Vec::new();
+        for (k, &seq) in seqs.iter().enumerate() {
+            let frame = build_frame(7, seq, (k as u64) * 360, &[(1, 2, 3.5)]);
+            bytes.extend_from_slice(&encode_json(&frame).unwrap());
+        }
+        let a = decode_all(&bytes, WireProtocol::Json, chunk_a);
+        let b = decode_all(&bytes, WireProtocol::Json, chunk_b);
+        prop_assert_eq!(a.len(), seqs.len());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Arbitrary byte noise never panics the decoder: every push/pop
+    /// cycle ends in frames, a patient wait, or a typed error.
+    #[test]
+    fn arbitrary_noise_never_panics(
+        noise in proptest::strategy::collection::vec(proptest::arbitrary::any::<u8>(), 0..512),
+        chunk in 1usize..32,
+        protocol in 0u8..3,
+    ) {
+        let protocol = match protocol {
+            0 => WireProtocol::Auto,
+            1 => WireProtocol::Json,
+            _ => WireProtocol::Csv,
+        };
+        let mut dec = FrameDecoder::new(protocol, 256);
+        'outer: for piece in noise.chunks(chunk) {
+            dec.push(piece);
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    // A typed error is the contract; the stream is dead.
+                    Err(_) => break 'outer,
+                }
+            }
+        }
+        // EOF on whatever state noise left behind is also panic-free.
+        let _ = dec.eof_error();
+    }
+
+    /// Noise *prefixed by a valid frame* still yields that frame before
+    /// any error — the decoder never corrupts already-sound input.
+    #[test]
+    fn valid_prefix_survives_trailing_noise(
+        noise in proptest::strategy::collection::vec(proptest::arbitrary::any::<u8>(), 1..128),
+        chunk in 1usize..32,
+    ) {
+        let frame = build_frame(3, 9, 720, &[(4, 5, -1.25)]);
+        let mut bytes = encode_json(&frame).unwrap();
+        bytes.extend_from_slice(&noise);
+        let mut dec = FrameDecoder::new(WireProtocol::Json, 1 << 20);
+        let mut got = Vec::new();
+        'outer: for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(f)) => got.push(f),
+                    Ok(None) => break,
+                    Err(_) => break 'outer,
+                }
+            }
+        }
+        prop_assert!(!got.is_empty());
+        prop_assert_eq!(&got[0], &frame);
+    }
+}

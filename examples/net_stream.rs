@@ -1,0 +1,47 @@
+//! Stream live snapshots into a running `gridwatch serve --listen`
+//! session over TCP, using the length-prefixed JSON wire encoding.
+//!
+//! ```text
+//! gridwatch serve --listen 127.0.0.1:7700 --engine engine.json &
+//! cargo run --example net_stream -- 127.0.0.1:7700
+//! ```
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use gridwatch::detect::Snapshot;
+use gridwatch::serve::{encode_json, WireFrame};
+use gridwatch::timeseries::{MachineId, MeasurementId, MetricKind, Timestamp};
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let mut conn = match TcpStream::connect(&addr) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("no listener at {addr} ({e}); start `gridwatch serve --listen {addr}`");
+            return Ok(());
+        }
+    };
+
+    let cpu = MeasurementId::new(MachineId::new(3), MetricKind::CpuUtilization);
+    let io = MeasurementId::new(MachineId::new(3), MetricKind::IoThroughput);
+    for seq in 0..20u64 {
+        // One frame per 6-minute step: every frame carries a monotonic
+        // per-source sequence number, so the server can re-order and
+        // de-duplicate across reconnects.
+        let load = 40.0 + 10.0 * (seq as f64 / 3.0).sin();
+        let mut snap = Snapshot::new(Timestamp::from_secs(seq * 360));
+        snap.insert(cpu, load);
+        snap.insert(io, 2.5 * load + 12.0);
+        let frame = WireFrame {
+            source: "example-sender".to_string(),
+            seq,
+            snapshot: snap,
+        };
+        conn.write_all(&encode_json(&frame).expect("encodable frame"))?;
+    }
+    println!("streamed 20 frames to {addr}");
+    Ok(())
+}

@@ -20,6 +20,8 @@
 //!   baseline detectors.
 //! * [`eval`] — the experiment harness that regenerates every figure of
 //!   the paper's evaluation.
+//! * [`serve`] — the sharded concurrent serving tier: backpressure,
+//!   checkpointing, and TCP snapshot ingestion.
 //!
 //! # Quickstart
 //!
@@ -52,5 +54,6 @@ pub use gridwatch_core as model;
 pub use gridwatch_detect as detect;
 pub use gridwatch_eval as eval;
 pub use gridwatch_grid as grid;
+pub use gridwatch_serve as serve;
 pub use gridwatch_sim as sim;
 pub use gridwatch_timeseries as timeseries;
