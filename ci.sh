@@ -9,6 +9,25 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> strict clippy on library crates (float-cmp, unwrap-used)"
+cargo clippy -q -p gridwatch-timeseries -p gridwatch-grid -p gridwatch-core \
+    -p gridwatch-detect -p gridwatch-serve --lib -- \
+    -D warnings -D clippy::float_cmp -D clippy::unwrap_used
+
+echo "==> gridwatch-audit: project lint pass + allowlist reconciliation"
+# Prints the burn-down trend line; fails on any new violation or stale
+# allowlist entry.
+cargo run -q -p gridwatch-audit --bin gridwatch-audit -- lint --root .
+
+echo "==> gridwatch-audit: fixture self-check"
+# The bad corpus must FAIL (proves the rules fire) and the good corpus
+# must pass (proves they don't over-fire).
+if cargo run -q -p gridwatch-audit --bin gridwatch-audit -- --paths crates/audit/tests/fixtures/bad > /dev/null; then
+    echo "audit self-check FAILED: bad fixture corpus passed the lints" >&2
+    exit 1
+fi
+cargo run -q -p gridwatch-audit --bin gridwatch-audit -- --paths crates/audit/tests/fixtures/good > /dev/null
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

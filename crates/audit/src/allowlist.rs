@@ -1,0 +1,262 @@
+//! The violation allowlist: a burn-down ledger, not an escape hatch.
+//!
+//! Format (tab-separated, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! rule<TAB>file<TAB>count<TAB>fingerprint
+//! ```
+//!
+//! `fingerprint` is the trimmed source line of the violation, so
+//! entries survive edits elsewhere in the file but go stale the moment
+//! the offending line itself changes — forcing whoever touches it to
+//! either fix the site or consciously re-justify it. Reconciliation
+//! fails on **both** directions: new violations (not covered) and stale
+//! entries (covered sites that no longer exist), so the ledger can only
+//! shrink through deliberate edits.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::lints::{Rule, Violation};
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The rule this entry silences.
+    pub rule: Rule,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// How many sites in `file` share this fingerprint.
+    pub count: usize,
+    /// Trimmed source line of the allowlisted site(s).
+    pub fingerprint: String,
+    /// 1-based line in the allowlist file (for error messages).
+    pub source_line: u32,
+}
+
+/// A parse problem in the allowlist file itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line in the allowlist file.
+    pub line: u32,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parses allowlist text. Malformed lines are hard errors — a silently
+/// skipped entry would un-allowlist a site and fail CI confusingly.
+pub fn parse(text: &str) -> Result<Vec<Entry>, ParseError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim_end();
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, '\t');
+        let (Some(rule), Some(file), Some(count), Some(fingerprint)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!(
+                    "expected 4 tab-separated fields `rule\\tfile\\tcount\\tfingerprint`, got: {line:?}"
+                ),
+            });
+        };
+        let Some(rule) = Rule::from_name(rule) else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("unknown rule name {rule:?}"),
+            });
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("count field is not a number: {count:?}"),
+            });
+        };
+        if count == 0 {
+            return Err(ParseError {
+                line: line_no,
+                message: "count must be >= 1; delete the entry instead".to_string(),
+            });
+        }
+        entries.push(Entry {
+            rule,
+            file: file.to_string(),
+            count,
+            fingerprint: fingerprint.to_string(),
+            source_line: line_no,
+        });
+    }
+    Ok(entries)
+}
+
+/// The outcome of reconciling live violations against the allowlist.
+#[derive(Debug, Default)]
+pub struct Reconciliation {
+    /// Violations not covered by any entry — fail the run.
+    pub new_violations: Vec<Violation>,
+    /// Entries whose sites no longer exist (or exist fewer times than
+    /// `count` claims) — also fail the run, with the surplus noted.
+    pub stale_entries: Vec<(Entry, usize)>,
+    /// How many live violations were absorbed by the allowlist.
+    pub allowlisted: usize,
+}
+
+impl Reconciliation {
+    /// Whether the audit passes.
+    pub fn is_clean(&self) -> bool {
+        self.new_violations.is_empty() && self.stale_entries.is_empty()
+    }
+}
+
+/// Matches live violations against allowlist entries by
+/// `(rule, file, fingerprint)`, consuming up to `count` matches per
+/// entry.
+pub fn reconcile(violations: &[Violation], entries: &[Entry]) -> Reconciliation {
+    let mut budget: HashMap<(Rule, &str, &str), usize> = HashMap::new();
+    for e in entries {
+        *budget
+            .entry((e.rule, e.file.as_str(), e.fingerprint.as_str()))
+            .or_insert(0) += e.count;
+    }
+    let mut rec = Reconciliation::default();
+    for v in violations {
+        let key = (v.rule, v.file.as_str(), v.excerpt.as_str());
+        match budget.get_mut(&key) {
+            Some(remaining) if *remaining > 0 => {
+                *remaining -= 1;
+                rec.allowlisted += 1;
+            }
+            _ => rec.new_violations.push(v.clone()),
+        }
+    }
+    for e in entries {
+        let key = (e.rule, e.file.as_str(), e.fingerprint.as_str());
+        if let Some(remaining) = budget.remove(&key) {
+            if remaining > 0 {
+                rec.stale_entries.push((e.clone(), remaining));
+            }
+        }
+        // Duplicate keys: first entry reports the surplus, later
+        // duplicates see the key already removed and stay silent.
+    }
+    rec
+}
+
+/// Renders violations in allowlist format, for bootstrapping the ledger.
+pub fn render(violations: &[Violation]) -> String {
+    let mut counts: HashMap<(Rule, &str, &str), usize> = HashMap::new();
+    let mut order: Vec<(Rule, &str, &str)> = Vec::new();
+    for v in violations {
+        let key = (v.rule, v.file.as_str(), v.excerpt.as_str());
+        let slot = counts.entry(key).or_insert(0);
+        if *slot == 0 {
+            order.push(key);
+        }
+        *slot += 1;
+    }
+    let mut out = String::new();
+    for key in order {
+        let (rule, file, fingerprint) = key;
+        let count = counts[&key];
+        out.push_str(&format!(
+            "{}\t{file}\t{count}\t{fingerprint}\n",
+            rule.name()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viol(rule: Rule, file: &str, line: u32, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            excerpt: excerpt.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment\n\nno-panic\tcrates/a/src/x.rs\t2\tfoo.unwrap()\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, Rule::NoPanic);
+        assert_eq!(entries[0].count, 2);
+        assert_eq!(entries[0].fingerprint, "foo.unwrap()");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse("no-panic\tonly-two-fields\t1\n").is_err());
+        assert!(parse("bogus-rule\tf.rs\t1\tx\n").is_err());
+        assert!(parse("no-panic\tf.rs\tzero\tx\n").is_err());
+        assert!(parse("no-panic\tf.rs\t0\tx\n").is_err());
+    }
+
+    #[test]
+    fn reconcile_consumes_budget() {
+        let violations = vec![
+            viol(Rule::NoPanic, "f.rs", 10, "a.unwrap()"),
+            viol(Rule::NoPanic, "f.rs", 20, "a.unwrap()"),
+            viol(Rule::NoPanic, "f.rs", 30, "b.unwrap()"),
+        ];
+        let entries = parse("no-panic\tf.rs\t2\ta.unwrap()\n").unwrap();
+        let rec = reconcile(&violations, &entries);
+        assert_eq!(rec.allowlisted, 2);
+        assert_eq!(rec.new_violations.len(), 1);
+        assert_eq!(rec.new_violations[0].line, 30);
+        assert!(rec.stale_entries.is_empty());
+        assert!(!rec.is_clean());
+    }
+
+    #[test]
+    fn reconcile_reports_stale_entries() {
+        let entries = parse("float-cmp\tgone.rs\t1\tscore == 1.0\n").unwrap();
+        let rec = reconcile(&[], &entries);
+        assert!(rec.new_violations.is_empty());
+        assert_eq!(rec.stale_entries.len(), 1);
+        assert_eq!(rec.stale_entries[0].1, 1);
+        assert!(!rec.is_clean());
+    }
+
+    #[test]
+    fn reconcile_clean_when_exact() {
+        let violations = vec![viol(Rule::UnboundedChannel, "f.rs", 5, "mpsc::channel()")];
+        let entries = parse("unbounded-channel\tf.rs\t1\tmpsc::channel()\n").unwrap();
+        let rec = reconcile(&violations, &entries);
+        assert!(rec.is_clean());
+        assert_eq!(rec.allowlisted, 1);
+    }
+
+    #[test]
+    fn render_groups_by_fingerprint() {
+        let violations = vec![
+            viol(Rule::NoPanic, "f.rs", 1, "x.unwrap()"),
+            viol(Rule::NoPanic, "f.rs", 9, "x.unwrap()"),
+            viol(Rule::FloatCmp, "g.rs", 2, "score == 1.0"),
+        ];
+        let rendered = render(&violations);
+        assert_eq!(
+            rendered,
+            "no-panic\tf.rs\t2\tx.unwrap()\nfloat-cmp\tg.rs\t1\tscore == 1.0\n"
+        );
+        // And the rendered form reconciles cleanly against its input.
+        let rec = reconcile(&violations, &parse(&rendered).unwrap());
+        assert!(rec.is_clean());
+    }
+}

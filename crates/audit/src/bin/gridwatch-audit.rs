@@ -1,0 +1,168 @@
+//! The `gridwatch-audit` binary.
+//!
+//! ```text
+//! gridwatch-audit [lint] [--root DIR] [--allowlist FILE]
+//!     Lint the workspace, reconcile against the allowlist.
+//!     Exit 0 when clean, 1 on new violations or stale entries.
+//!
+//! gridwatch-audit --paths DIR
+//!     Lint a directory with every rule, no allowlist (fixture mode).
+//!     Exit 0 when no violations, 1 otherwise.
+//!
+//! gridwatch-audit checkpoint DIR   (or: --checkpoint DIR)
+//!     Validate a checkpoint directory offline.
+//!     Exit 0 when valid, 1 when problems are found.
+//!
+//! Exit code 2 on usage or I/O errors.
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gridwatch_audit::{
+    allowlist, checkpoint, find_workspace_root, render_trend, render_violation, scan_paths,
+    scan_workspace,
+};
+
+const USAGE: &str = "usage: gridwatch-audit [lint] [--root DIR] [--allowlist FILE]
+       gridwatch-audit --paths DIR
+       gridwatch-audit checkpoint DIR";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("gridwatch-audit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_file: Option<PathBuf> = None;
+    let mut paths: Option<PathBuf> = None;
+    let mut ckpt: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "lint" => {}
+            "checkpoint" | "--checkpoint" => {
+                let dir = it
+                    .next()
+                    .ok_or(format!("{arg} requires a directory\n{USAGE}"))?;
+                ckpt = Some(PathBuf::from(dir));
+            }
+            "--root" => {
+                let dir = it
+                    .next()
+                    .ok_or(format!("--root requires a directory\n{USAGE}"))?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--allowlist" => {
+                let file = it
+                    .next()
+                    .ok_or(format!("--allowlist requires a file\n{USAGE}"))?;
+                allowlist_file = Some(PathBuf::from(file));
+            }
+            "--paths" => {
+                let dir = it
+                    .next()
+                    .ok_or(format!("--paths requires a directory\n{USAGE}"))?;
+                paths = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+
+    if let Some(dir) = ckpt {
+        return Ok(run_checkpoint(&dir));
+    }
+    if let Some(dir) = paths {
+        return run_paths(&dir);
+    }
+    run_lint(root, allowlist_file)
+}
+
+fn run_checkpoint(dir: &Path) -> bool {
+    let report = checkpoint::validate_checkpoint(dir);
+    for problem in &report.problems {
+        println!("checkpoint: {problem}");
+    }
+    println!(
+        "checkpoint {}: {} shard files, {} models checked, {} problems",
+        dir.display(),
+        report.shards_checked,
+        report.models_checked,
+        report.problems.len()
+    );
+    report.is_valid()
+}
+
+fn run_paths(dir: &Path) -> Result<bool, String> {
+    let violations = scan_paths(dir).map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+    for v in &violations {
+        println!("{}", render_violation(v));
+    }
+    println!("{} violation(s) in {}", violations.len(), dir.display());
+    Ok(violations.is_empty())
+}
+
+fn run_lint(root: Option<PathBuf>, allowlist_file: Option<PathBuf>) -> Result<bool, String> {
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace Cargo.toml above the current directory; pass --root")?
+        }
+    };
+    let allowlist_path = allowlist_file.unwrap_or_else(|| root.join("audit/allowlist.txt"));
+
+    let violations =
+        scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    let entries = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => allowlist::parse(&text).map_err(|e| e.to_string())?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("reading {}: {e}", allowlist_path.display())),
+    };
+
+    let rec = allowlist::reconcile(&violations, &entries);
+    for v in &rec.new_violations {
+        println!("{}", render_violation(v));
+    }
+    for (entry, surplus) in &rec.stale_entries {
+        println!(
+            "stale allowlist entry (line {}): [{}] {} x{} {:?} — {} site(s) no longer \
+             found; fix the ledger",
+            entry.source_line,
+            entry.rule.name(),
+            entry.file,
+            entry.count,
+            entry.fingerprint,
+            surplus
+        );
+    }
+    println!("{}", render_trend(&entries));
+    if !rec.is_clean() {
+        println!(
+            "audit FAILED: {} new violation(s), {} stale allowlist entr(ies)",
+            rec.new_violations.len(),
+            rec.stale_entries.len()
+        );
+    }
+    Ok(rec.is_clean())
+}

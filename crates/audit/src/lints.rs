@@ -1,0 +1,553 @@
+//! The project lint rules, applied to lexed token streams.
+//!
+//! Four rules, each tied to a failure mode this codebase has actually
+//! hit or must never hit:
+//!
+//! * [`Rule::NoPanic`] — `unwrap()`, `expect()`, and `panic!` in
+//!   non-test library code can crash a listener thread and drop every
+//!   client's stream; recoveries must be typed errors or logged skips.
+//! * [`Rule::FloatCmp`] — naked `==`/`!=` against float literals or
+//!   score/fitness/probability values; tolerance must go through
+//!   `gridwatch_grid::float`.
+//! * [`Rule::UnboundedChannel`] — unbounded channel constructors defeat
+//!   the serving tier's backpressure design; every queue must be
+//!   bounded.
+//! * [`Rule::SerdeDefault`] — fields of checkpointed structs must carry
+//!   `#[serde(default)]` (or `#[serde(skip)]`), so yesterday's
+//!   checkpoint still deserializes after a field is added.
+
+use crate::lexer::{lex, strip_test_code, Tok, TokKind};
+
+/// Structs persisted inside checkpoints (manifest + shard snapshots).
+/// A new field on any of these without `#[serde(default)]` breaks
+/// `--resume` from every checkpoint taken before the field existed.
+pub const CHECKPOINTED_STRUCTS: &[&str] = &[
+    "CheckpointManifest",
+    "EngineSnapshot",
+    "AlarmTracker",
+    "EngineConfig",
+    "AlarmPolicy",
+    "ModelConfig",
+    "TransitionModel",
+    "TransitionMatrix",
+    "GridStructure",
+    "DimensionPartition",
+    "Interval",
+    "GrowthPolicy",
+];
+
+/// Identifier fragments that mark a value as a score or probability for
+/// [`Rule::FloatCmp`]. Deliberately narrow: interval-bound comparisons
+/// (`upper() == lower()`) encode exact tiling invariants and stay legal.
+const FLOATY_NAME_FRAGMENTS: &[&str] = &["score", "fitness", "prob"];
+
+/// One project lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `unwrap()`/`expect()`/`panic!` in non-test library code.
+    NoPanic,
+    /// Naked `==`/`!=` on scores, fitness values, or float literals.
+    FloatCmp,
+    /// Unbounded channel constructor.
+    UnboundedChannel,
+    /// Checkpointed-struct field without `#[serde(default)]`.
+    SerdeDefault,
+}
+
+impl Rule {
+    /// The rule's stable name, used in reports and the allowlist file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::FloatCmp => "float-cmp",
+            Rule::UnboundedChannel => "unbounded-channel",
+            Rule::SerdeDefault => "serde-default",
+        }
+    }
+
+    /// Parses a rule from its stable name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-panic" => Some(Rule::NoPanic),
+            "float-cmp" => Some(Rule::FloatCmp),
+            "unbounded-channel" => Some(Rule::UnboundedChannel),
+            "serde-default" => Some(Rule::SerdeDefault),
+            _ => None,
+        }
+    }
+
+    /// Every rule.
+    pub const ALL: &'static [Rule] = &[
+        Rule::NoPanic,
+        Rule::FloatCmp,
+        Rule::UnboundedChannel,
+        Rule::SerdeDefault,
+    ];
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Repo-relative path (forward slashes) of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// The trimmed source line — doubles as the allowlist fingerprint,
+    /// so allowlist entries survive unrelated edits above them.
+    pub excerpt: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Lints one file's source text under the given rules, excluding
+/// `#[cfg(test)]` / `#[test]` code.
+pub fn lint_source(file: &str, source: &str, rules: &[Rule]) -> Vec<Violation> {
+    let toks = strip_test_code(&lex(source));
+    let lines: Vec<&str> = source.lines().collect();
+    let excerpt_at = |line: u32| -> String {
+        lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut out = Vec::new();
+    for &rule in rules {
+        let hits: Vec<(u32, String)> = match rule {
+            Rule::NoPanic => no_panic(&toks),
+            Rule::FloatCmp => float_cmp(&toks),
+            Rule::UnboundedChannel => unbounded_channel(&toks),
+            Rule::SerdeDefault => serde_default(&toks),
+        };
+        for (line, message) in hits {
+            out.push(Violation {
+                rule,
+                file: file.to_string(),
+                line,
+                excerpt: excerpt_at(line),
+                message,
+            });
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// `.unwrap(` / `.expect(` method calls and `panic!` invocations.
+fn no_panic(toks: &[Tok]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for (k, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_is_dot = k > 0 && toks[k - 1].is_punct(".");
+        let next_is_call = toks.get(k + 1).is_some_and(|t| t.is_punct("("));
+        match tok.text.as_str() {
+            "unwrap" | "expect" if prev_is_dot && next_is_call => {
+                hits.push((
+                    tok.line,
+                    format!(
+                        "`.{}()` in non-test library code can take down a \
+                         serving thread; return a typed error or log and recover",
+                        tok.text
+                    ),
+                ));
+            }
+            "panic" if toks.get(k + 1).is_some_and(|t| t.is_punct("!")) => {
+                hits.push((
+                    tok.line,
+                    "`panic!` in non-test library code can take down a serving \
+                     thread; return a typed error or log and recover"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+/// Whether a token looks like a float-typed score in a comparison.
+fn is_floaty(tok: &Tok) -> bool {
+    match tok.kind {
+        TokKind::Float => true,
+        TokKind::Ident => {
+            let lower = tok.text.to_lowercase();
+            FLOATY_NAME_FRAGMENTS.iter().any(|f| lower.contains(f))
+        }
+        _ => false,
+    }
+}
+
+/// `==`/`!=` with a float literal or score-named operand on either side.
+fn float_cmp(toks: &[Tok]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for (k, tok) in toks.iter().enumerate() {
+        if !(tok.is_punct("==") || tok.is_punct("!=")) {
+            continue;
+        }
+        let prev = k.checked_sub(1).and_then(|p| toks.get(p));
+        let next = toks.get(k + 1);
+        if prev.is_some_and(is_floaty) || next.is_some_and(is_floaty) {
+            hits.push((
+                tok.line,
+                format!(
+                    "naked `{}` on a float score or probability; use the \
+                     epsilon helpers in `gridwatch_grid::float`",
+                    tok.text
+                ),
+            ));
+        }
+    }
+    hits
+}
+
+/// Whether the identifier at `k` is invoked: followed by `(` directly
+/// or through a turbofish `::<…>(`.
+fn is_called(toks: &[Tok], k: usize) -> bool {
+    if toks.get(k + 1).is_some_and(|t| t.is_punct("(")) {
+        return true;
+    }
+    if toks.get(k + 1).is_some_and(|t| t.is_punct("::"))
+        && toks.get(k + 2).is_some_and(|t| t.is_punct("<"))
+    {
+        let mut depth = 0i64;
+        for (i, t) in toks.iter().enumerate().skip(k + 2) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" | "<<" => depth += if t.text.len() == 2 { 2 } else { 1 },
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+            }
+            if depth <= 0 {
+                return toks.get(i + 1).is_some_and(|t| t.is_punct("("));
+            }
+        }
+    }
+    false
+}
+
+/// `unbounded(…)`, `unbounded_channel(…)`, and `mpsc::channel(…)`.
+fn unbounded_channel(toks: &[Tok]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for (k, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is_call = is_called(toks, k);
+        let flagged = match tok.text.as_str() {
+            "unbounded" | "unbounded_channel" => next_is_call,
+            // `std::sync::mpsc::channel()` is unbounded, unlike
+            // crossbeam's `channel::bounded`.
+            "channel" => {
+                next_is_call && k >= 2 && toks[k - 1].is_punct("::") && toks[k - 2].is_ident("mpsc")
+            }
+            _ => false,
+        };
+        if flagged {
+            hits.push((
+                tok.line,
+                "unbounded channel defeats the backpressure design; use a \
+                 bounded constructor and pick a policy for the full case"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+/// Fields of [`CHECKPOINTED_STRUCTS`] lacking `#[serde(default)]` (or
+/// `#[serde(skip)]`, which implies a default on deserialize).
+fn serde_default(toks: &[Tok]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if !CHECKPOINTED_STRUCTS.contains(&name_tok.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        let struct_name = name_tok.text.clone();
+        // Find the opening brace (or bail on tuple/unit structs — serde
+        // field attributes are not the convention there).
+        let mut k = i + 2;
+        while k < toks.len()
+            && !toks[k].is_punct("{")
+            && !toks[k].is_punct("(")
+            && !toks[k].is_punct(";")
+        {
+            k += 1;
+        }
+        if k >= toks.len() || !toks[k].is_punct("{") {
+            i = k + 1;
+            continue;
+        }
+        // Walk the fields at depth 1.
+        k += 1;
+        let mut field_attrs_satisfied = false;
+        let mut depth = 1usize;
+        while k < toks.len() && depth > 0 {
+            let tok = &toks[k];
+            if tok.is_punct("{") {
+                depth += 1;
+                k += 1;
+                continue;
+            }
+            if tok.is_punct("}") {
+                depth -= 1;
+                k += 1;
+                continue;
+            }
+            if depth != 1 {
+                k += 1;
+                continue;
+            }
+            // Attribute on the upcoming field?
+            if tok.is_punct("#") && toks.get(k + 1).is_some_and(|t| t.is_punct("[")) {
+                let mut a = k + 2;
+                let mut adepth = 1usize;
+                let mut attr_toks: Vec<&Tok> = Vec::new();
+                while a < toks.len() && adepth > 0 {
+                    if toks[a].is_punct("[") {
+                        adepth += 1;
+                    } else if toks[a].is_punct("]") {
+                        adepth -= 1;
+                    }
+                    if adepth > 0 {
+                        attr_toks.push(&toks[a]);
+                    }
+                    a += 1;
+                }
+                let is_serde = attr_toks.iter().any(|t| t.is_ident("serde"));
+                let has_default = attr_toks
+                    .iter()
+                    .any(|t| t.is_ident("default") || t.is_ident("skip"));
+                if is_serde && has_default {
+                    field_attrs_satisfied = true;
+                }
+                k = a;
+                continue;
+            }
+            // A field: [pub [(…)]] name ':' type … ','
+            if tok.kind == TokKind::Ident && toks.get(k + 1).is_some_and(|t| t.is_punct(":")) {
+                if !field_attrs_satisfied {
+                    hits.push((
+                        tok.line,
+                        format!(
+                            "field `{}` of checkpointed struct `{struct_name}` \
+                             lacks `#[serde(default)]`; old checkpoints will \
+                             fail to deserialize once this field ships",
+                            tok.text
+                        ),
+                    ));
+                }
+                field_attrs_satisfied = false;
+                // Consume the type up to the field-separating comma,
+                // tracking nesting so `Vec<(A, B)>` commas don't end the
+                // field early.
+                k += 2;
+                let mut angle = 0i64;
+                let mut paren = 0i64;
+                let mut bracket = 0i64;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            ">>" => angle -= 2,
+                            "(" => paren += 1,
+                            ")" => paren -= 1,
+                            "[" => bracket += 1,
+                            "]" => bracket -= 1,
+                            "," if angle <= 0 && paren == 0 && bracket == 0 => {
+                                k += 1;
+                                break;
+                            }
+                            "}" if paren == 0 && bracket == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(source: &str, rule: Rule) -> Vec<Violation> {
+        lint_source("test.rs", source, &[rule])
+    }
+
+    #[test]
+    fn no_panic_flags_all_three_forms() {
+        let v = lint(
+            r#"
+            fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("present");
+                if a + b == 0 { panic!("zero"); }
+                a
+            }
+            "#,
+            Rule::NoPanic,
+        );
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn no_panic_ignores_tests_comments_and_similar_names() {
+        let v = lint(
+            r#"
+            // a comment may say unwrap() freely
+            fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+            fn g(x: Option<u32>) -> u32 { x.unwrap_or_default() }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!("fine"); }
+            }
+            "#,
+            Rule::NoPanic,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_cmp_flags_literals_and_scores() {
+        let v = lint(
+            r#"
+            fn f(q: f64, score: f64, other_score: f64) -> bool {
+                let a = q == 1.0;
+                let b = score != other_score;
+                a && b
+            }
+            "#,
+            Rule::FloatCmp,
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn float_cmp_permits_integer_and_bound_comparisons() {
+        let v = lint(
+            r#"
+            fn f(n: usize, a: &Interval, b: &Interval) -> bool {
+                n == 3 && a.upper() == b.lower()
+            }
+            "#,
+            Rule::FloatCmp,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unbounded_channel_flags_constructors() {
+        let v = lint(
+            r#"
+            fn f() {
+                let (a, _) = channel::unbounded::<u32>();
+                let (b, _) = tokio::sync::mpsc::unbounded_channel::<u32>();
+                let (c, _) = std::sync::mpsc::channel::<u32>();
+            }
+            "#,
+            Rule::UnboundedChannel,
+        );
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn bounded_channels_pass() {
+        let v = lint(
+            r#"
+            fn f() {
+                let (a, _) = channel::bounded::<u32>(64);
+                let (b, _) = std::sync::mpsc::sync_channel::<u32>(64);
+            }
+            "#,
+            Rule::UnboundedChannel,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn serde_default_flags_missing_attribute() {
+        let v = lint(
+            r#"
+            #[derive(Serialize, Deserialize)]
+            pub struct CheckpointManifest {
+                pub version: u32,
+                #[serde(default)]
+                pub sources: BTreeMap<String, u64>,
+            }
+            "#,
+            Rule::SerdeDefault,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("version"));
+    }
+
+    #[test]
+    fn serde_default_accepts_skip_and_ignores_other_structs() {
+        let v = lint(
+            r#"
+            #[derive(Serialize, Deserialize)]
+            pub struct TransitionMatrix {
+                #[serde(default)]
+                counts: BTreeMap<usize, u64>,
+                #[serde(skip)]
+                row_cache: HashMap<usize, Vec<f64>>,
+            }
+            pub struct Unrelated {
+                pub anything: u32,
+            }
+            "#,
+            Rule::SerdeDefault,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn serde_default_handles_nested_generic_types() {
+        let v = lint(
+            r#"
+            pub struct EngineSnapshot {
+                pub models: Vec<(MeasurementPair, TransitionModel)>,
+                #[serde(default)]
+                pub tracker: AlarmTracker,
+            }
+            "#,
+            Rule::SerdeDefault,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("models"));
+    }
+
+    #[test]
+    fn excerpt_is_the_trimmed_offending_line() {
+        let v = lint(
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+            Rule::NoPanic,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].excerpt, "x.unwrap()");
+        assert_eq!(v[0].line, 2);
+    }
+}

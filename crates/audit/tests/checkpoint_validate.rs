@@ -1,0 +1,274 @@
+//! The checkpoint validator against real and corrupted checkpoints.
+//!
+//! Deterministic cases cover corruptions that `Checkpointer::recover`
+//! (and therefore `gridwatch serve --resume`) would happily accept —
+//! the validator's whole reason to exist — and property tests assert
+//! the two safety guarantees: truncated manifests are always rejected,
+//! and no input whatsoever makes the validator panic.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use gridwatch_audit::checkpoint::validate_checkpoint;
+use gridwatch_detect::{AlarmTracker, DetectionEngine, EngineConfig, EngineSnapshot};
+use gridwatch_serve::{CheckpointManifest, Checkpointer};
+use gridwatch_timeseries::{MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries};
+
+/// A pristine two-shard checkpoint, generated once and kept in memory:
+/// `(manifest_json, [(shard_file_name, shard_json)])`.
+fn pristine() -> &'static (String, Vec<(String, String)>) {
+    static PRISTINE: OnceLock<(String, Vec<(String, String)>)> = OnceLock::new();
+    PRISTINE.get_or_init(|| {
+        let mk = |m: u32, t: u16| MeasurementId::new(MachineId::new(m), MetricKind::Custom(t));
+        let ids = [mk(0, 0), mk(0, 1), mk(1, 0)];
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let pair = MeasurementPair::new(ids[i], ids[j]).unwrap();
+                let history = PairSeries::from_samples((0..300u64).map(|k| {
+                    let x = (k % 40) as f64;
+                    (k * 360, (i as f64 + 1.0) * x, (j as f64 + 2.0) * x)
+                }))
+                .unwrap();
+                pairs.push((pair, history));
+            }
+        }
+        let full = DetectionEngine::train(pairs, EngineConfig::default())
+            .unwrap()
+            .snapshot();
+        let left = EngineSnapshot {
+            config: full.config,
+            models: full.models[..2].to_vec(),
+            tracker: AlarmTracker::new(),
+        };
+        let right = EngineSnapshot {
+            config: full.config,
+            models: full.models[2..].to_vec(),
+            tracker: AlarmTracker::new(),
+        };
+        let manifest = CheckpointManifest {
+            version: 1,
+            shards: 2,
+            cut_seq: 7,
+            config: full.config,
+            tracker: full.tracker.clone(),
+            shard_files: vec!["shard-0.json".into(), "shard-1.json".into()],
+            sources: std::collections::BTreeMap::from([("agent-1".to_string(), 9)]),
+        };
+        (
+            serde_json::to_string_pretty(&manifest).unwrap(),
+            vec![
+                ("shard-0.json".into(), serde_json::to_string(&left).unwrap()),
+                (
+                    "shard-1.json".into(),
+                    serde_json::to_string(&right).unwrap(),
+                ),
+            ],
+        )
+    })
+}
+
+/// Materializes a checkpoint directory with the given manifest text and
+/// the pristine shard files.
+fn materialize(tag: &str, manifest_text: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gridwatch-audit-ckpt-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let (_, shards) = pristine();
+    for (name, json) in shards {
+        fs::write(dir.join(name), json).unwrap();
+    }
+    fs::write(dir.join("manifest.json"), manifest_text).unwrap();
+    dir
+}
+
+fn cleanup(dir: &PathBuf) {
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn pristine_checkpoint_validates() {
+    let (manifest, _) = pristine();
+    let dir = materialize("ok", manifest);
+    let report = validate_checkpoint(&dir);
+    assert!(report.is_valid(), "{:#?}", report.problems);
+    assert_eq!(report.shards_checked, 2);
+    assert_eq!(report.models_checked, 3);
+    // And --resume agrees it is fine.
+    assert!(Checkpointer::new(&dir).recover().is_ok());
+    cleanup(&dir);
+}
+
+/// The acceptance criterion: corruptions that `recover()` ACCEPTS but
+/// the validator rejects.
+#[test]
+fn rejects_corruptions_that_resume_would_accept() {
+    let (manifest, _) = pristine();
+
+    // recover() ignores the version field entirely.
+    let bumped = manifest.replace("\"version\": 1", "\"version\": 2");
+    assert_ne!(&bumped, manifest);
+    let dir = materialize("version", &bumped);
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report.problems.iter().any(|p| p.contains("version")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+
+    // recover() never looks at alarm thresholds.
+    let hot = manifest.replace("\"system_threshold\": 0.6", "\"system_threshold\": 60.0");
+    assert_ne!(&hot, manifest);
+    let dir = materialize("threshold", &hot);
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report
+            .problems
+            .iter()
+            .any(|p| p.contains("system_threshold")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+
+    // recover() never cross-checks cut_seq against source watermarks.
+    let ahead = manifest.replace("\"cut_seq\": 7", "\"cut_seq\": 700");
+    assert_ne!(&ahead, manifest);
+    let dir = materialize("cutseq", &ahead);
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report.problems.iter().any(|p| p.contains("cut_seq")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+
+    // serde silently drops unknown keys, so a typo'd field deserializes
+    // to the default and resume proceeds on the wrong state.
+    let typo = manifest.replacen("\"cut_seq\"", "\"cut_sq\": 7,\n  \"cut_seq\"", 1);
+    assert_ne!(&typo, manifest);
+    let dir = materialize("typo", &typo);
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report.problems.iter().any(|p| p.contains("cut_sq")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn rejects_tampered_shard_models() {
+    // A decay rate w <= 1 breaks the paper's spatial-closeness prior
+    // (Section 4.2); recover() parses it happily.
+    let (manifest, shards) = pristine();
+    let dir = materialize("decay", manifest);
+    let tampered = shards[0]
+        .1
+        .replace("\"decay_rate\":2.0", "\"decay_rate\":0.5");
+    assert_ne!(tampered, shards[0].1, "fixture must actually change");
+    fs::write(dir.join(&shards[0].0), tampered).unwrap();
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report.problems.iter().any(|p| p.contains("decay rate")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn rejects_structural_damage() {
+    let (manifest, _) = pristine();
+
+    // Missing shard file.
+    let dir = materialize("missing-shard", manifest);
+    fs::remove_file(dir.join("shard-1.json")).unwrap();
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    cleanup(&dir);
+
+    // Duplicate pair: both shard entries point at the same file.
+    let dup = manifest.replace("shard-1.json", "shard-0.json");
+    let dir = materialize("dup-pair", &dup);
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report
+            .problems
+            .iter()
+            .any(|p| p.contains("more than one shard") || p.contains("listed more than once")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+
+    // Path traversal in a shard name.
+    let traversal = manifest.replace("shard-1.json", "../shard-1.json");
+    let dir = materialize("traversal", &traversal);
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report.problems.iter().any(|p| p.contains("path separator")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict truncation of the manifest is rejected, and never
+    /// panics: a torn write must not resume.
+    #[test]
+    fn truncated_manifests_always_rejected(frac in 0.0f64..1.0) {
+        let (manifest, _) = pristine();
+        let cut = ((manifest.len() as f64) * frac) as usize;
+        let cut = cut.min(manifest.len().saturating_sub(1));
+        let truncated = String::from_utf8_lossy(&manifest.as_bytes()[..cut]).into_owned();
+        let dir = materialize("trunc", &truncated);
+        let report = validate_checkpoint(&dir);
+        cleanup(&dir);
+        prop_assert!(!report.is_valid(), "truncation at {cut} accepted");
+    }
+
+    /// Arbitrary byte splices never panic the validator. (A splice can
+    /// land in whitespace and leave the manifest semantically intact,
+    /// so rejection is only asserted when the JSON actually changed.)
+    #[test]
+    fn spliced_manifests_never_panic(
+        offset in 0usize..4096,
+        garbage in prop::collection::vec(any::<u8>(), 1usize..16),
+    ) {
+        let (manifest, _) = pristine();
+        let bytes = manifest.as_bytes();
+        let at = offset % bytes.len();
+        let mut corrupted = Vec::with_capacity(bytes.len() + garbage.len());
+        corrupted.extend_from_slice(&bytes[..at]);
+        corrupted.extend_from_slice(&garbage);
+        corrupted.extend_from_slice(&bytes[at..]);
+        let text = String::from_utf8_lossy(&corrupted).into_owned();
+        let dir = materialize("splice", &text);
+        let report = validate_checkpoint(&dir);
+        cleanup(&dir);
+        // Must complete without panicking; the report itself must stay
+        // internally consistent.
+        prop_assert!(report.problems.len() < 10_000);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: naked equality on scores, probabilities, and float literals.
+
+pub fn perfect(score: f64) -> bool {
+    score == 1.0
+}
+
+pub fn same_fitness(fitness_a: f64, fitness_b: f64) -> bool {
+    fitness_a == fitness_b
+}
+
+pub fn never_happened(prob: f64) -> bool {
+    prob != 0.0
+}

@@ -1,0 +1,16 @@
+// Fixture: every no-panic form in non-test code must be flagged.
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn take_with_message(x: Option<u32>) -> u32 {
+    x.expect("value must be present")
+}
+
+pub fn bail(n: u32) -> u32 {
+    if n == 0 {
+        panic!("n must be positive");
+    }
+    n
+}

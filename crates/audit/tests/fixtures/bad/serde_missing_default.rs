@@ -1,0 +1,11 @@
+// Fixture: a checkpointed struct grows a field without #[serde(default)]
+// — old checkpoints would fail to deserialize.
+
+#[derive(Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    #[serde(default)]
+    pub version: u32,
+    #[serde(default)]
+    pub shards: usize,
+    pub added_without_default: Vec<String>,
+}

@@ -1,0 +1,13 @@
+// Fixture: unbounded channel constructors defeat backpressure.
+
+pub fn crossbeam_style() {
+    let (_tx, _rx) = channel::unbounded::<u64>();
+}
+
+pub fn tokio_style() {
+    let (_tx, _rx) = tokio::sync::mpsc::unbounded_channel::<u64>();
+}
+
+pub fn std_style() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u64>();
+}

@@ -1,0 +1,50 @@
+// Fixture: code the lints must NOT flag.
+//
+// The string below spells out x.unwrap() and panic!("...") inside a
+// literal, and this comment mentions score == 1.0 — neither is code.
+
+pub const DOC: &str = "call x.unwrap() or panic!(\"boom\") at your peril; score == 1.0";
+
+pub fn recovered(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn close_enough(score: f64) -> bool {
+    (score - 1.0).abs() <= 1e-9
+}
+
+pub fn integer_compare(n: usize) -> bool {
+    n == 3
+}
+
+pub fn bounded_queues() {
+    let (_tx, _rx) = channel::bounded::<u64>(64);
+    let (_tx2, _rx2) = std::sync::mpsc::sync_channel::<u64>(64);
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    #[serde(default)]
+    pub version: u32,
+    #[serde(default)]
+    pub shards: usize,
+    #[serde(skip)]
+    pub scratch: Vec<u8>,
+}
+
+// A non-checkpointed struct needs no serde attributes at all.
+pub struct ScratchState {
+    pub anything: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        if false {
+            panic!("unreachable");
+        }
+    }
+}

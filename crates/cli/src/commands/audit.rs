@@ -1,0 +1,99 @@
+//! `gridwatch audit` — static analysis and checkpoint validation.
+//!
+//! Thin front-end over the `gridwatch-audit` crate: the same lint pass
+//! CI runs, plus the offline checkpoint validator for use before
+//! `gridwatch serve --resume`.
+
+use std::path::PathBuf;
+
+use gridwatch_audit::{
+    allowlist, checkpoint, find_workspace_root, render_trend, render_violation, scan_workspace,
+};
+
+use crate::flags::Flags;
+
+const HELP: &str = "\
+gridwatch audit [--root DIR] [--allowlist FILE]
+gridwatch audit --checkpoint DIR
+
+  --root DIR        workspace root (default: walk up from the cwd)
+  --allowlist FILE  allowlist ledger (default: <root>/audit/allowlist.txt)
+  --checkpoint DIR  validate a checkpoint directory instead of linting;
+                    run this before `gridwatch serve --resume` on a
+                    directory you do not trust";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+
+    if let Some(dir) = flags.get::<String>("checkpoint")? {
+        let report = checkpoint::validate_checkpoint(std::path::Path::new(&dir));
+        for problem in &report.problems {
+            println!("checkpoint: {problem}");
+        }
+        println!(
+            "checkpoint {dir}: {} shard files, {} models checked, {} problems",
+            report.shards_checked,
+            report.models_checked,
+            report.problems.len()
+        );
+        return if report.is_valid() {
+            Ok(())
+        } else {
+            Err(format!(
+                "checkpoint {dir} failed validation with {} problem(s)",
+                report.problems.len()
+            ))
+        };
+    }
+
+    let root = match flags.get::<String>("root")? {
+        Some(r) => PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace Cargo.toml above the current directory; pass --root")?
+        }
+    };
+    let allowlist_path = match flags.get::<String>("allowlist")? {
+        Some(f) => PathBuf::from(f),
+        None => root.join("audit/allowlist.txt"),
+    };
+
+    let violations =
+        scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let entries = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => allowlist::parse(&text).map_err(|e| e.to_string())?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("reading {}: {e}", allowlist_path.display())),
+    };
+
+    let rec = allowlist::reconcile(&violations, &entries);
+    for v in &rec.new_violations {
+        println!("{}", render_violation(v));
+    }
+    for (entry, surplus) in &rec.stale_entries {
+        println!(
+            "stale allowlist entry (line {}): [{}] {} x{} {:?} — {} site(s) no longer found",
+            entry.source_line,
+            entry.rule.name(),
+            entry.file,
+            entry.count,
+            entry.fingerprint,
+            surplus
+        );
+    }
+    println!("{}", render_trend(&entries));
+    if rec.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "audit failed: {} new violation(s), {} stale allowlist entr(ies)",
+            rec.new_violations.len(),
+            rec.stale_entries.len()
+        ))
+    }
+}

@@ -1,5 +1,6 @@
 //! The CLI subcommands.
 
+pub mod audit;
 pub mod inspect;
 pub mod monitor;
 pub mod serve;

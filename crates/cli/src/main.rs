@@ -43,6 +43,9 @@ commands:
              [--checkpoint-every N] [--resume] [--stats FILE]
   inspect    summarize a persisted engine
              --engine FILE [--verbose]
+  audit      lint the workspace sources, or validate a checkpoint
+             directory offline before `serve --resume`
+             [--root DIR] [--allowlist FILE] | --checkpoint DIR
 
 run `gridwatch <command> --help` for details";
 
@@ -59,6 +62,7 @@ fn main() -> ExitCode {
         "monitor" => commands::monitor::run(&args),
         "serve" => commands::serve::run(&args),
         "inspect" => commands::inspect::run(&args),
+        "audit" => commands::audit::run(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {

@@ -105,6 +105,24 @@ impl TransitionMatrix {
         self.counts.values().map(|row| row.len()).sum()
     }
 
+    /// The source cells with at least one observed transition, in
+    /// increasing order. Used by the invariant checkers to sample real
+    /// (non-prior) rows for the row-stochastic property.
+    pub fn observed_sources(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.counts.keys().copied().map(CellId)
+    }
+
+    /// The maximum cell index referenced by any stored transition count
+    /// (source or destination), or `None` if no transitions were observed.
+    /// A value `>= grid.cell_count()` means the matrix references cells
+    /// outside its grid — a corrupted or mismatched checkpoint.
+    pub fn max_referenced_cell(&self) -> Option<usize> {
+        self.counts
+            .iter()
+            .flat_map(|(&from, row)| row.keys().copied().chain(std::iter::once(from)))
+            .max()
+    }
+
     /// Records an observed transition `from → to` (the Bayesian update of
     /// Eq. 2, deferred until the row is materialized).
     pub fn observe(&mut self, from: CellId, to: CellId) {
@@ -238,7 +256,7 @@ impl TransitionMatrix {
             factor > 0.0 && factor <= 1.0,
             "forgetting factor must be in (0, 1], got {factor}"
         );
-        if factor == 1.0 {
+        if gridwatch_grid::float::approx_one(factor) {
             return;
         }
         let mut removed = 0u64;
@@ -263,8 +281,11 @@ impl TransitionMatrix {
 
 impl PartialEq for TransitionMatrix {
     fn eq(&self, other: &Self) -> bool {
+        // Bitwise comparison: equality here means "same persisted model",
+        // so two NaN decay rates (never valid, but conceivable after a
+        // corrupted checkpoint) must still compare equal to themselves.
         self.kernel == other.kernel
-            && self.decay_rate == other.decay_rate
+            && self.decay_rate.to_bits() == other.decay_rate.to_bits()
             && self.counts == other.counts
             && self.total_observations == other.total_observations
     }

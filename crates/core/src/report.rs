@@ -58,6 +58,9 @@ impl CellRanges {
 /// Formats a bound compactly (integers without decimals, otherwise up to
 /// four significant decimals).
 fn fmt_bound(v: f64) -> String {
+    // Comparing v to its own truncation is the standard exact test for
+    // "is an integer"; a tolerance would misprint near-integers.
+    #[allow(clippy::float_cmp)]
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {

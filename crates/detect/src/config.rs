@@ -106,7 +106,7 @@ impl PairScreen {
             .iter()
             .filter(|(_, s)| s.len() >= self.min_samples)
             .filter(|(_, s)| {
-                self.min_cv == 0.0
+                gridwatch_grid::float::approx_zero(self.min_cv)
                     || s.coefficient_of_variation()
                         .is_some_and(|cv| cv >= self.min_cv)
             })

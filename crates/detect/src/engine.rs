@@ -93,6 +93,7 @@ impl DetectionEngine {
         if models.is_empty() {
             return Err(NoModelsTrained { offered });
         }
+        crate::invariants::check_models(models.iter());
         Ok(DetectionEngine {
             config,
             models,
@@ -245,6 +246,7 @@ impl DetectionEngine {
         models: BTreeMap<MeasurementPair, TransitionModel>,
         tracker: AlarmTracker,
     ) -> Self {
+        crate::invariants::check_models(models.iter());
         let trained = models.len();
         DetectionEngine {
             config,
@@ -270,7 +272,11 @@ fn observe_pair(
     let x = snapshot.value(pair.first())?;
     let y = snapshot.value(pair.second())?;
     let outcome = model.observe(Point2::new(x, y));
-    outcome.score.map(|s| s.fitness())
+    let fitness = outcome.score.map(|s| s.fitness());
+    if let Some(q) = fitness {
+        crate::invariants::check_fitness(q);
+    }
+    fitness
 }
 
 #[cfg(test)]

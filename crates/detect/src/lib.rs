@@ -59,6 +59,7 @@ mod alarm;
 mod config;
 mod engine;
 mod incident;
+pub mod invariants;
 mod localize;
 mod persist;
 mod scores;

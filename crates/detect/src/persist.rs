@@ -56,7 +56,7 @@ impl DetectionEngine {
             config: *self.config(),
             models: self
                 .pairs()
-                .map(|p| (p, self.model(p).expect("pair is live").clone()))
+                .filter_map(|p| self.model(p).map(|m| (p, m.clone())))
                 .collect(),
             tracker: self.tracker_state().clone(),
         }

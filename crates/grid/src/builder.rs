@@ -243,6 +243,9 @@ impl GridBuilder {
         let cfg = &self.config;
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Exact equality of the fold min and max means every sample is
+        // the very same value — the one case a grid cannot be built for.
+        #[allow(clippy::float_cmp)]
         if lo == hi {
             return Err(GridError::DegenerateDimension {
                 dimension,
@@ -305,7 +308,7 @@ impl GridBuilder {
 fn unit_count_cv(counts: &[u64]) -> f64 {
     let n = counts.len() as f64;
     let mean = counts.iter().sum::<u64>() as f64 / n;
-    if mean == 0.0 {
+    if crate::float::approx_zero(mean) {
         return 0.0;
     }
     let var = counts

@@ -70,6 +70,12 @@ impl Interval {
 
     /// Whether this interval shares a boundary point with `other`
     /// (`self.upper == other.lower` or vice versa).
+    ///
+    /// Adjacency is bit-exact by construction: partitions tile the value
+    /// space by reusing the same `f64` as one interval's upper bound and
+    /// the next one's lower bound, so a tolerance would declare merely
+    /// nearby intervals adjacent.
+    #[allow(clippy::float_cmp)]
     pub fn is_adjacent_to(self, other: Interval) -> bool {
         self.upper == other.lower || other.upper == self.lower
     }

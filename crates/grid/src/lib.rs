@@ -45,7 +45,9 @@
 mod builder;
 mod distance;
 mod error;
+pub mod float;
 mod interval;
+pub mod invariants;
 mod partition;
 mod structure;
 

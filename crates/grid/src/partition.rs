@@ -27,6 +27,10 @@ impl DimensionPartition {
     /// # Panics
     ///
     /// Panics if `intervals` is empty or not contiguous in order.
+    // Exact equality is the contiguity invariant: adjacent intervals must
+    // share their boundary bit-for-bit, or `locate` could miss or
+    // double-count a point.
+    #[allow(clippy::float_cmp)]
     pub fn new(intervals: Vec<Interval>) -> Self {
         assert!(
             !intervals.is_empty(),
@@ -40,8 +44,8 @@ impl DimensionPartition {
                 w[1]
             );
         }
-        let avg =
-            (intervals.last().unwrap().upper() - intervals[0].lower()) / intervals.len() as f64;
+        let avg = (intervals[intervals.len() - 1].upper() - intervals[0].lower())
+            / intervals.len() as f64;
         DimensionPartition {
             intervals,
             initial_avg_width: avg,
@@ -95,7 +99,8 @@ impl DimensionPartition {
 
     /// The partition's exclusive upper bound.
     pub fn upper(&self) -> f64 {
-        self.intervals.last().expect("non-empty").upper()
+        // Non-empty by construction, so direct indexing cannot fail.
+        self.intervals[self.intervals.len() - 1].upper()
     }
 
     /// The average interval width *at initialization* (`r_avg`).
@@ -141,6 +146,7 @@ impl DimensionPartition {
             self.intervals.push(Interval::new(hi, hi + w));
             above += 1;
         }
+        crate::invariants::check_partition(self);
         (below, above)
     }
 }

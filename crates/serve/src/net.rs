@@ -44,11 +44,15 @@ use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+// `parking_lot::Mutex` does not poison: a panicking stats writer cannot
+// force every other thread to unwrap a poisoned lock, which keeps the
+// accept/ingest paths free of `unwrap()/expect()`.
+use parking_lot::Mutex;
 
 use gridwatch_detect::{EngineSnapshot, StepReport};
 
@@ -112,6 +116,9 @@ enum Delivery {
     /// The frame entered after evicting this many older queued frames
     /// under [`BackpressurePolicy::DropOldest`].
     DeliveredEvicting(u64),
+    /// The ingest side of the channel is gone (shutdown already
+    /// stopped it, or it died); the connection should stop reading.
+    IngestGone,
 }
 
 /// Applies the backpressure policy to one frame at the channel mouth.
@@ -119,6 +126,10 @@ enum Delivery {
 /// `stealer` is a receiver clone of the same channel, used only by
 /// `DropOldest` to evict the head. A steal can lose the race against the
 /// ingest thread draining the same frame — the retry just finds room.
+///
+/// A disconnected channel is reported as [`Delivery::IngestGone`], never
+/// a panic: a connection thread racing shutdown must wind down quietly
+/// instead of taking the listener's stats with it.
 fn deliver(
     policy: BackpressurePolicy,
     tx: &Sender<WireFrame>,
@@ -126,14 +137,14 @@ fn deliver(
     frame: WireFrame,
 ) -> Delivery {
     match policy {
-        BackpressurePolicy::Block => {
-            tx.send(frame).expect("ingest thread disconnected");
-            Delivery::Delivered
-        }
+        BackpressurePolicy::Block => match tx.send(frame) {
+            Ok(()) => Delivery::Delivered,
+            Err(_) => Delivery::IngestGone,
+        },
         BackpressurePolicy::Reject => match tx.try_send(frame) {
             Ok(()) => Delivery::Delivered,
             Err(TrySendError::Full(_)) => Delivery::Rejected,
-            Err(TrySendError::Disconnected(_)) => panic!("ingest thread disconnected"),
+            Err(TrySendError::Disconnected(_)) => Delivery::IngestGone,
         },
         BackpressurePolicy::DropOldest => {
             let mut evicted = 0;
@@ -147,7 +158,7 @@ fn deliver(
                             evicted += 1;
                         }
                     }
-                    Err(TrySendError::Disconnected(_)) => panic!("ingest thread disconnected"),
+                    Err(TrySendError::Disconnected(_)) => return Delivery::IngestGone,
                 }
             }
         }
@@ -234,12 +245,12 @@ impl NetServer {
     /// # Errors
     ///
     /// Fails when the address cannot be parsed or bound (busy port,
-    /// missing interface).
+    /// missing interface), or when a worker thread cannot spawn.
     ///
     /// # Panics
     ///
     /// Panics when `net.ingest_capacity`, `net.reorder_capacity`, or
-    /// `net.max_frame_bytes` is zero, or when a thread cannot spawn.
+    /// `net.max_frame_bytes` is zero.
     pub fn bind(
         addr: impl ToSocketAddrs,
         snapshot: EngineSnapshot,
@@ -270,8 +281,7 @@ impl NetServer {
             let cfg = net.clone();
             std::thread::Builder::new()
                 .name("gw-net-ingest".to_string())
-                .spawn(move || ingest_loop(engine, table, frame_rx, net_acc, cfg))
-                .expect("spawn ingest thread")
+                .spawn(move || ingest_loop(engine, table, frame_rx, net_acc, cfg))?
         };
 
         let accept = {
@@ -281,7 +291,7 @@ impl NetServer {
             let tx = frame_tx.clone();
             let policy = serve.backpressure;
             let cfg = net.clone();
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("gw-net-accept".to_string())
                 .spawn(move || {
                     accept_loop(
@@ -294,8 +304,18 @@ impl NetServer {
                         policy,
                         cfg,
                     )
-                })
-                .expect("spawn accept thread")
+                });
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    // The ingest thread already owns the engine; drop the
+                    // last sender so it drains, checkpoints, and stops the
+                    // engine before we report the spawn failure.
+                    drop(frame_tx);
+                    let _ = ingest.join();
+                    return Err(e);
+                }
+            }
         };
 
         Ok(NetServer {
@@ -329,7 +349,7 @@ impl NetServer {
     /// Current serving statistics, wire-path counters included.
     pub fn stats(&self) -> ServeStats {
         let mut stats = self.probe.stats();
-        stats.net = self.net.lock().expect("net stats lock").snapshot();
+        stats.net = self.net.lock().snapshot();
         stats
     }
 
@@ -344,34 +364,41 @@ impl NetServer {
         // connection to ourselves wakes it so it can observe the flag.
         drop(TcpStream::connect(self.local_addr));
         if let Some(accept) = self.accept.take() {
-            accept.join().expect("accept thread panicked");
+            if accept.join().is_err() {
+                eprintln!("gridwatch-serve: accept thread panicked; continuing shutdown");
+            }
         }
         // Unblock every connection read, then join the handlers; each
         // drains its decoder before exiting, so buffered frames are not
         // lost.
-        let entries =
-            std::mem::take(&mut self.conns.lock().expect("connection registry lock").entries);
+        let entries = std::mem::take(&mut self.conns.lock().entries);
         for (stream, _) in &entries {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         for (_, handle) in entries {
-            handle.join().expect("connection thread panicked");
+            if handle.join().is_err() {
+                eprintln!("gridwatch-serve: connection thread panicked; continuing shutdown");
+            }
         }
         // Ours is the last frame sender: dropping it lets the ingest
         // thread finish draining, checkpoint, and stop the engine.
         drop(self.frame_tx.take());
-        let (mut reports, mut stats) = self
-            .ingest
-            .take()
-            .expect("shutdown runs once")
-            .join()
-            .expect("ingest thread panicked");
+        let (mut reports, mut stats) = match self.ingest.take().map(JoinHandle::join) {
+            Some(Ok(drained)) => drained,
+            // A dead ingest thread (or a double shutdown, which the
+            // consuming receiver makes impossible) still yields the
+            // engine-side stats the probe has been accumulating.
+            Some(Err(_)) | None => {
+                eprintln!("gridwatch-serve: ingest thread panicked; reporting partial stats");
+                (Vec::new(), self.probe.stats())
+            }
+        };
         // Anything the engine left on the report channel that the
         // caller did not consume yet.
         while let Ok(report) = self.reports_rx.try_recv() {
             reports.push(report);
         }
-        stats.net = self.net.lock().expect("net stats lock").snapshot();
+        stats.net = self.net.lock().snapshot();
         (reports, stats)
     }
 }
@@ -405,7 +432,7 @@ fn accept_loop(
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "unknown".to_string());
         let conn_id = {
-            let mut acc = net_acc.lock().expect("net stats lock");
+            let mut acc = net_acc.lock();
             acc.accepted += 1;
             let conn_id = acc.connections.len();
             acc.connections.push(ConnStats {
@@ -420,13 +447,13 @@ fn accept_loop(
         let reader = match stream.try_clone() {
             Ok(clone) => clone,
             Err(_) => {
-                let mut acc = net_acc.lock().expect("net stats lock");
+                let mut acc = net_acc.lock();
                 acc.closed += 1;
                 acc.connections[conn_id].open = false;
                 continue;
             }
         };
-        let handle = {
+        let spawned = {
             let net_acc = Arc::clone(&net_acc);
             let tx = tx.clone();
             let stealer = stealer.clone();
@@ -434,13 +461,21 @@ fn accept_loop(
             std::thread::Builder::new()
                 .name(format!("gw-net-conn-{conn_id}"))
                 .spawn(move || conn_loop(conn_id, reader, net_acc, tx, stealer, policy, cfg))
-                .expect("spawn connection thread")
         };
-        conns
-            .lock()
-            .expect("connection registry lock")
-            .entries
-            .push((stream, handle));
+        let handle = match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Out of threads is a load condition, not a listener
+                // defect: refuse this connection and keep accepting.
+                eprintln!("gridwatch-serve: cannot spawn connection thread: {e}");
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                let mut acc = net_acc.lock();
+                acc.closed += 1;
+                acc.connections[conn_id].open = false;
+                continue;
+            }
+        };
+        conns.lock().entries.push((stream, handle));
     }
 }
 
@@ -466,7 +501,7 @@ fn conn_loop(
             Ok(0) => {
                 // Clean EOF — unless it truncated a frame mid-flight.
                 if decoder.eof_error().is_some() {
-                    let mut acc = net_acc.lock().expect("net stats lock");
+                    let mut acc = net_acc.lock();
                     acc.decode_errors += 1;
                     acc.connections[conn].decode_errors += 1;
                 }
@@ -479,13 +514,12 @@ fn conn_loop(
                         Ok(Some(frame)) => {
                             if !named_protocol {
                                 if let Some(name) = decoder.protocol_name() {
-                                    net_acc.lock().expect("net stats lock").connections[conn]
-                                        .protocol = name.to_string();
+                                    net_acc.lock().connections[conn].protocol = name.to_string();
                                     named_protocol = true;
                                 }
                             }
                             let outcome = deliver(policy, &tx, &stealer, frame);
-                            let mut acc = net_acc.lock().expect("net stats lock");
+                            let mut acc = net_acc.lock();
                             match outcome {
                                 Delivery::Delivered => {
                                     acc.frames += 1;
@@ -501,12 +535,18 @@ fn conn_loop(
                                     acc.dropped += evicted;
                                     acc.connections[conn].dropped += evicted;
                                 }
+                                Delivery::IngestGone => {
+                                    // Shutdown race: the ingest thread is
+                                    // gone, so stop reading this socket.
+                                    drop(acc);
+                                    break 'read;
+                                }
                             }
                         }
                         Ok(None) => break,
                         Err(_) => {
                             // The stream is unsynchronized; close it.
-                            let mut acc = net_acc.lock().expect("net stats lock");
+                            let mut acc = net_acc.lock();
                             acc.decode_errors += 1;
                             acc.connections[conn].decode_errors += 1;
                             break 'read;
@@ -519,7 +559,7 @@ fn conn_loop(
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 // Slow-loris or idle client: past the read deadline.
-                let mut acc = net_acc.lock().expect("net stats lock");
+                let mut acc = net_acc.lock();
                 acc.timeouts += 1;
                 acc.connections[conn].timeouts += 1;
                 break 'read;
@@ -528,7 +568,7 @@ fn conn_loop(
         }
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
-    let mut acc = net_acc.lock().expect("net stats lock");
+    let mut acc = net_acc.lock();
     acc.closed += 1;
     acc.connections[conn].open = false;
 }
@@ -547,18 +587,19 @@ fn ingest_loop(
         let ready = match table.admit(&frame.source, frame.seq, frame.snapshot) {
             Admission::Ready(snaps) => snaps,
             Admission::Buffered => {
-                net_acc.lock().expect("net stats lock").out_of_order += 1;
+                net_acc.lock().out_of_order += 1;
                 continue;
             }
             Admission::Duplicate => {
-                net_acc.lock().expect("net stats lock").duplicates += 1;
+                net_acc.lock().duplicates += 1;
                 continue;
             }
             Admission::GapAbandoned { skipped, released } => {
-                net_acc.lock().expect("net stats lock").gap_skips += skipped;
+                net_acc.lock().gap_skips += skipped;
                 released
             }
         };
+        table.check_window_bound();
         for snap in ready {
             engine.submit(snap);
             since_checkpoint += 1;
@@ -586,12 +627,12 @@ fn run_checkpoint(
             .checkpoint_with_sources(dir, table.progress())
             .is_err()
         {
-            net_acc.lock().expect("net stats lock").checkpoint_failures += 1;
+            net_acc.lock().checkpoint_failures += 1;
         }
     }
     if let Some(path) = &cfg.stats_path {
         let mut stats = engine.stats();
-        stats.net = net_acc.lock().expect("net stats lock").snapshot();
+        stats.net = net_acc.lock().snapshot();
         let _ = write_atomic(path, &stats.to_json());
     }
 }

@@ -119,12 +119,33 @@ impl SourceTable {
         // frames are lost (evicted at a lossy boundary, or a client
         // skipped numbers). Jump to the oldest buffered frame so the
         // source can never wedge the stream.
-        let oldest = *state.pending.keys().next().expect("pending is non-empty");
+        let Some(&oldest) = state.pending.keys().next() else {
+            // Unreachable — the frame was just inserted above — but a
+            // sequencing hiccup must never take down a listener thread.
+            return Admission::Buffered;
+        };
         let skipped = oldest - state.next;
         state.next = oldest;
         let mut released = Vec::new();
         state.drain_ready(&mut released);
+        debug_assert!(state.pending.len() <= self.reorder_capacity);
         Admission::GapAbandoned { skipped, released }
+    }
+
+    /// Invariant check: no source's reorder buffer exceeds the
+    /// configured window. Active under `debug_assertions` or the crate's
+    /// `validate` feature; a no-op otherwise.
+    pub fn check_window_bound(&self) {
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        for (source, state) in &self.sources {
+            assert!(
+                state.pending.len() <= self.reorder_capacity,
+                "sequencing invariant violated: source {source} buffers {} frames \
+                 but the reorder window holds {}",
+                state.pending.len(),
+                self.reorder_capacity
+            );
+        }
     }
 
     /// Per-source progress: the next expected sequence number of every

@@ -110,13 +110,11 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// The stats as a JSON document.
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialization fails (plain-old-data; it cannot).
+    /// The stats as a JSON document. Plain-old-data cannot fail to
+    /// serialize, but a stats report is never worth a panic either way.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("stats serialize")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"error\":\"stats serialize: {e}\"}}"))
     }
 
     /// Total snapshots evicted across all shards.

@@ -111,6 +111,17 @@ pub struct WireFrame {
 pub enum EncodeError {
     /// The source name is empty or contains a delimiter/control byte.
     BadSource(String),
+    /// The snapshot could not be serialized. Frames hold plain data, so
+    /// this indicates a serializer defect rather than bad input — but a
+    /// listener must report it, not panic on it.
+    Payload(String),
+    /// The encoded payload exceeds the wire format's frame limit.
+    Oversized {
+        /// Encoded payload size in bytes.
+        len: usize,
+        /// The wire format's limit in bytes.
+        max: usize,
+    },
 }
 
 impl fmt::Display for EncodeError {
@@ -120,6 +131,13 @@ impl fmt::Display for EncodeError {
                 f,
                 "source {s:?} must be non-empty printable text without commas"
             ),
+            EncodeError::Payload(why) => write!(f, "frame payload failed to serialize: {why}"),
+            EncodeError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
         }
     }
 }
@@ -198,12 +216,9 @@ fn check_source(source: &str) -> Result<(), EncodeError> {
 ///
 /// # Errors
 ///
-/// Fails when the source name is invalid (see [`EncodeError`]).
-///
-/// # Panics
-///
-/// Panics if the payload exceeds [`AUTO_DETECT_FRAME_LIMIT`]; real
-/// snapshots are orders of magnitude smaller.
+/// Fails when the source name is invalid, the payload cannot be
+/// serialized, or the payload exceeds [`AUTO_DETECT_FRAME_LIMIT`] (real
+/// snapshots are orders of magnitude smaller); see [`EncodeError`].
 pub fn encode_json(frame: &WireFrame) -> Result<Vec<u8>, EncodeError> {
     check_source(&frame.source)?;
     let payload = serde_json::to_vec(&JsonFrame {
@@ -216,11 +231,13 @@ pub fn encode_json(frame: &WireFrame) -> Result<Vec<u8>, EncodeError> {
             .map(|(id, v)| (id.machine().to_string(), id.metric().to_string(), v))
             .collect(),
     })
-    .expect("frame payload is plain data");
-    assert!(
-        payload.len() < AUTO_DETECT_FRAME_LIMIT,
-        "frame payload too large for the wire format"
-    );
+    .map_err(|e| EncodeError::Payload(e.to_string()))?;
+    if payload.len() >= AUTO_DETECT_FRAME_LIMIT {
+        return Err(EncodeError::Oversized {
+            len: payload.len(),
+            max: AUTO_DETECT_FRAME_LIMIT,
+        });
+    }
     let mut out = Vec::with_capacity(4 + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     out.extend_from_slice(&payload);
@@ -245,7 +262,8 @@ pub fn encode_csv(frame: &WireFrame) -> Result<String, EncodeError> {
     );
     for (id, v) in frame.snapshot.iter() {
         use std::fmt::Write;
-        write!(line, ",{},{},{v}", id.machine(), id.metric()).expect("write to String");
+        // `fmt::Write` to a String is infallible.
+        let _ = write!(line, ",{},{},{v}", id.machine(), id.metric());
     }
     line.push('\n');
     Ok(line)

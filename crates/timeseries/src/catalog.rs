@@ -76,10 +76,9 @@ impl Catalog {
         description: impl Into<String>,
     ) -> MeasurementId {
         let id = self.register(machine, metric, group);
-        self.entries
-            .get_mut(&id)
-            .expect("just inserted")
-            .description = description.into();
+        if let Some(entry) = self.entries.get_mut(&id) {
+            entry.description = description.into();
+        }
         id
     }
 

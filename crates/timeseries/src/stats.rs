@@ -136,6 +136,9 @@ pub fn fractional_ranks(values: &[f64]) -> Vec<f64> {
     let mut i = 0;
     while i < order.len() {
         let mut j = i;
+        // A tie is bit-exact equality by definition: two samples rank
+        // equally only when they carry the very same value.
+        #[allow(clippy::float_cmp)]
         while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
             j += 1;
         }
