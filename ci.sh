@@ -37,4 +37,9 @@ cargo test -q -p gridwatch-serve --test net_faults -- --test-threads=1
 cargo test -q -p gridwatch-serve --test wire_roundtrip -- --test-threads=1
 cargo test -q -p gridwatch-cli --test listen -- --test-threads=1
 
+echo "==> multi-process shard fabric (single-threaded, real processes)"
+cargo test -q -p gridwatch-serve --test fabric_equivalence -- --test-threads=1
+cargo test -q -p gridwatch-serve --test fabric_faults -- --test-threads=1
+cargo test -q -p gridwatch-cli --test fabric -- --test-threads=1
+
 echo "CI OK"

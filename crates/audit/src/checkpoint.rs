@@ -20,7 +20,12 @@
 //! * no pair owned by two shards;
 //! * sequencing coherence: when per-source watermarks are recorded,
 //!   their sum must cover `cut_seq` (the cut cannot have accepted more
-//!   frames than its sources delivered).
+//!   frames than its sources delivered);
+//! * remote ownership coherence: when a fabric coordinator recorded a
+//!   remote table, every shard has exactly one owner, no owner points
+//!   at a shard outside the manifest, and every admission epoch is in
+//!   `1..=fabric_epoch` (stale epochs would defeat board fencing on
+//!   resume).
 //!
 //! The validator never panics on any input — corrupt bytes, truncated
 //! files, and hostile manifests all come back as problems in the report
@@ -47,6 +52,8 @@ const MANIFEST_KEYS: &[&str] = &[
     "tracker",
     "shard_files",
     "sources",
+    "fabric_epoch",
+    "remote",
 ];
 
 /// The outcome of validating one checkpoint directory.
@@ -238,6 +245,7 @@ fn validate_manifest_semantics(manifest: &CheckpointManifest, report: &mut Check
     }
 
     validate_alarm_policy(&manifest.config.alarm, report);
+    validate_remote_ownership(manifest, report);
 
     // A checkpoint cut at `cut_seq` reflects that many accepted frames;
     // the recorded source watermarks must account for at least as many
@@ -251,6 +259,68 @@ fn validate_manifest_semantics(manifest: &CheckpointManifest, report: &mut Check
             report.problem(format!(
                 "cut_seq {} exceeds the {} frames accounted for by source watermarks",
                 manifest.cut_seq, delivered
+            ));
+        }
+    }
+}
+
+/// Checks the remote shard ownership table written by a fabric
+/// coordinator. Empty tables (single-process checkpoints) are always
+/// fine; a non-empty table must name every shard exactly once, under a
+/// coherent epoch, so `coordinator --resume` can fence every pre-crash
+/// assignment and re-dial the recorded workers.
+fn validate_remote_ownership(manifest: &CheckpointManifest, report: &mut CheckpointReport) {
+    if manifest.remote.is_empty() {
+        return;
+    }
+    if manifest.remote.len() != manifest.shards {
+        report.problem(format!(
+            "remote table records {} shard owners but the manifest claims {} shards",
+            manifest.remote.len(),
+            manifest.shards
+        ));
+    }
+    let mut owned = BTreeSet::new();
+    for entry in &manifest.remote {
+        if entry.shard >= manifest.shards {
+            report.problem(format!(
+                "remote table assigns worker {:?} to shard {} but the manifest \
+                 has only {} shards (orphaned worker)",
+                entry.source, entry.shard, manifest.shards
+            ));
+        } else if !owned.insert(entry.shard) {
+            report.problem(format!(
+                "shard {} has more than one remote owner (duplicate ownership \
+                 would double-score every snapshot on resume)",
+                entry.shard
+            ));
+        }
+        if entry.epoch == 0 {
+            report.problem(format!(
+                "remote shard {} records epoch 0, which is reserved for \
+                 \"never owned remotely\" — the table is incoherent",
+                entry.shard
+            ));
+        } else if entry.epoch > manifest.fabric_epoch {
+            report.problem(format!(
+                "remote shard {} was admitted under epoch {} but the manifest's \
+                 fabric epoch is only {} (stale or tampered epoch: resume would \
+                 fail to fence this worker's pre-crash boards)",
+                entry.shard, entry.epoch, manifest.fabric_epoch
+            ));
+        }
+        if entry.source.is_empty() {
+            report.problem(format!(
+                "remote shard {} records an empty worker address",
+                entry.shard
+            ));
+        }
+    }
+    for shard in 0..manifest.shards {
+        if !owned.contains(&shard) {
+            report.problem(format!(
+                "shard {shard} has no remote owner in a non-empty remote table \
+                 (resume could not place it)"
             ));
         }
     }

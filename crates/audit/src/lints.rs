@@ -23,6 +23,7 @@ use crate::lexer::{lex, strip_test_code, Tok, TokKind};
 /// `--resume` from every checkpoint taken before the field existed.
 pub const CHECKPOINTED_STRUCTS: &[&str] = &[
     "CheckpointManifest",
+    "RemoteShard",
     "EngineSnapshot",
     "AlarmTracker",
     "EngineConfig",

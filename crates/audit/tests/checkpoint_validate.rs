@@ -57,6 +57,8 @@ fn pristine() -> &'static (String, Vec<(String, String)>) {
             tracker: full.tracker.clone(),
             shard_files: vec!["shard-0.json".into(), "shard-1.json".into()],
             sources: std::collections::BTreeMap::from([("agent-1".to_string(), 9)]),
+            fabric_epoch: 0,
+            remote: Vec::new(),
         };
         (
             serde_json::to_string_pretty(&manifest).unwrap(),
@@ -164,6 +166,122 @@ fn rejects_corruptions_that_resume_would_accept() {
     assert!(!report.is_valid());
     assert!(
         report.problems.iter().any(|p| p.contains("cut_sq")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+}
+
+/// Remote-table corruptions a fabric coordinator's `--resume` would
+/// accept: `recover()` only reassembles models and never reads the
+/// ownership table, so fencing-critical damage sails through it.
+#[test]
+fn remote_ownership_table_is_validated() {
+    let (manifest, _) = pristine();
+    let promote = |remote: &str| {
+        manifest
+            .replace("\"fabric_epoch\": 0", "\"fabric_epoch\": 5")
+            .replace("\"remote\": []", &format!("\"remote\": {remote}"))
+    };
+    let entry = |shard: usize, epoch: u64, source: &str| {
+        format!("{{\"shard\": {shard}, \"epoch\": {epoch}, \"source\": \"{source}\"}}")
+    };
+
+    // A coherent table passes both the validator and recover().
+    let good = promote(&format!(
+        "[{}, {}]",
+        entry(0, 3, "127.0.0.1:7801"),
+        entry(1, 5, "127.0.0.1:7802")
+    ));
+    assert_ne!(&good, manifest, "fixture must actually change");
+    let dir = materialize("remote-ok", &good);
+    assert!(Checkpointer::new(&dir).recover().is_ok());
+    let report = validate_checkpoint(&dir);
+    assert!(report.is_valid(), "{:#?}", report.problems);
+    cleanup(&dir);
+
+    // Stale/incoherent epoch: a worker admitted above the manifest's
+    // own fabric epoch could never be fenced on resume.
+    let stale = promote(&format!(
+        "[{}, {}]",
+        entry(0, 9, "127.0.0.1:7801"),
+        entry(1, 5, "127.0.0.1:7802")
+    ));
+    let dir = materialize("remote-stale", &stale);
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report
+            .problems
+            .iter()
+            .any(|p| p.contains("fabric epoch is only")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+
+    // Epoch 0 is reserved for "never owned remotely".
+    let zero = promote(&format!(
+        "[{}, {}]",
+        entry(0, 0, "127.0.0.1:7801"),
+        entry(1, 5, "127.0.0.1:7802")
+    ));
+    let dir = materialize("remote-zero", &zero);
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report.problems.iter().any(|p| p.contains("epoch 0")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+
+    // Orphaned worker: assigned to a shard the manifest doesn't have
+    // (which also leaves shard 1 with no owner).
+    let orphan = promote(&format!(
+        "[{}, {}]",
+        entry(0, 3, "127.0.0.1:7801"),
+        entry(7, 5, "127.0.0.1:7802")
+    ));
+    let dir = materialize("remote-orphan", &orphan);
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report
+            .problems
+            .iter()
+            .any(|p| p.contains("orphaned worker")),
+        "{:#?}",
+        report.problems
+    );
+    assert!(
+        report
+            .problems
+            .iter()
+            .any(|p| p.contains("no remote owner")),
+        "{:#?}",
+        report.problems
+    );
+    cleanup(&dir);
+
+    // Duplicate ownership: two workers both claim shard 0.
+    let dup = promote(&format!(
+        "[{}, {}]",
+        entry(0, 3, "127.0.0.1:7801"),
+        entry(0, 5, "127.0.0.1:7802")
+    ));
+    let dir = materialize("remote-dup", &dup);
+    assert!(Checkpointer::new(&dir).recover().is_ok(), "resume accepts");
+    let report = validate_checkpoint(&dir);
+    assert!(!report.is_valid());
+    assert!(
+        report
+            .problems
+            .iter()
+            .any(|p| p.contains("more than one remote owner")),
         "{:#?}",
         report.problems
     );

@@ -1,0 +1,279 @@
+//! `gridwatch coordinator` — drive a multi-node shard fabric: replay a
+//! trace through remote `shard-worker` processes, merge their partial
+//! boards into the same in-order report stream `gridwatch serve`
+//! produces, checkpoint the fabric, and migrate shards when a worker
+//! dies.
+
+use std::time::{Duration, Instant};
+
+use gridwatch_detect::{EngineSnapshot, Snapshot};
+use gridwatch_serve::{Checkpointer, Coordinator, FabricConfig, FabricError};
+use gridwatch_timeseries::Timestamp;
+
+use crate::commands::serve::ReportTally;
+use crate::commands::{load_trace, write_file};
+use crate::flags::Flags;
+
+const HELP: &str = "\
+gridwatch coordinator --trace FILE --engine FILE --workers ADDR[,ADDR...] [flags]
+
+input:
+  --trace FILE              CSV monitoring data to replay
+  --workers A[,B,...]       shard-worker addresses, one shard per worker
+                            (resume default: the checkpoint's recorded
+                            workers)
+
+engine:
+  --engine FILE             engine snapshot from `gridwatch train`
+  --system-threshold X      alarm when Q_t < X            (engine default)
+  --measurement-threshold X alarm when Q^a_t < X          (engine default)
+  --consecutive N           debounce: N consecutive lows  (engine default)
+
+replay:
+  --from-day N              first day to stream (default 15 = June 13)
+  --days N                  days to stream      (default 1)
+  --rate X                  replay rate in snapshots/sec  (default: unthrottled)
+
+durability:
+  --checkpoint DIR          checkpoint into DIR (at the end, and every
+                            --checkpoint-every snapshots when given)
+  --checkpoint-every N      checkpoint period in snapshots (default: end only)
+  --resume                  recover fabric state from --checkpoint DIR
+                            instead of --engine; skips the already-served
+                            prefix and fences all pre-crash assignments
+  --reattach-secs N         when a worker dies, retry its address for up
+                            to N seconds before giving up (default 0:
+                            fail fast)
+  --halt-workers            send workers a shutdown control at exit
+                            (default: leave them listening)
+  --stats FILE              write fabric stats as JSON at exit";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &["resume", "halt-workers"])?;
+    let trace_path: String = flags.require("trace")?;
+    let from_day: u64 = flags.get_or("from-day", 15)?;
+    let days: u64 = flags.get_or("days", 1)?;
+    let rate: f64 = flags.get_or("rate", 0.0)?;
+    let checkpoint_dir: Option<String> = flags.get("checkpoint")?;
+    let checkpoint_every: u64 = flags.get_or("checkpoint-every", 0)?;
+    let stats_path: Option<String> = flags.get("stats")?;
+    let reattach_secs: u64 = flags.get_or("reattach-secs", 0)?;
+    if flags.has("resume") && checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint DIR".to_string());
+    }
+
+    let mut addrs: Vec<String> = flags
+        .get::<String>("workers")?
+        .map(|list| {
+            list.split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // Starting state: a fresh engine snapshot, or a recovered fabric
+    // checkpoint (which also pins the resume cut and the epoch base).
+    let (mut snapshot, fabric, skip): (EngineSnapshot, FabricConfig, u64) = if flags.has("resume") {
+        let dir = checkpoint_dir.as_deref().expect("checked above");
+        let (snapshot, manifest) = Checkpointer::new(dir)
+            .recover()
+            .map_err(|e| format!("cannot resume from {dir}: {e}"))?;
+        if addrs.is_empty() {
+            addrs = manifest.remote.iter().map(|r| r.source.clone()).collect();
+        }
+        println!(
+            "resumed from checkpoint at {dir} (cut seq {}, fabric epoch {}, {} remote shards)",
+            manifest.cut_seq,
+            manifest.fabric_epoch,
+            manifest.remote.len()
+        );
+        let fabric = FabricConfig {
+            start_seq: manifest.cut_seq,
+            epoch_base: manifest.fabric_epoch,
+            ..FabricConfig::default()
+        };
+        (snapshot, fabric, manifest.cut_seq)
+    } else {
+        let engine_path: String = flags.require("engine")?;
+        let json = std::fs::read_to_string(&engine_path)
+            .map_err(|e| format!("cannot read {engine_path}: {e}"))?;
+        let snapshot =
+            serde_json::from_str(&json).map_err(|e| format!("cannot parse {engine_path}: {e}"))?;
+        (snapshot, FabricConfig::default(), 0)
+    };
+    if addrs.is_empty() {
+        return Err(
+            "--workers is required (or resume a checkpoint that recorded them)".to_string(),
+        );
+    }
+    snapshot.config.alarm.system_threshold =
+        flags.get_or("system-threshold", snapshot.config.alarm.system_threshold)?;
+    snapshot.config.alarm.measurement_threshold = flags.get_or(
+        "measurement-threshold",
+        snapshot.config.alarm.measurement_threshold,
+    )?;
+    snapshot.config.alarm.min_consecutive =
+        flags.get_or("consecutive", snapshot.config.alarm.min_consecutive)?;
+
+    let trace = load_trace(&trace_path)?;
+    let pairs = snapshot.models.len();
+    let mut coordinator = Coordinator::connect(snapshot, &addrs, fabric)
+        .map_err(|e| format!("cannot connect the fabric: {e}"))?;
+    println!(
+        "coordinating {} remote shards ({} pairs) over {:?}",
+        addrs.len(),
+        pairs,
+        addrs
+    );
+
+    let start = Timestamp::from_days(from_day);
+    let end = Timestamp::from_days(from_day + days);
+    let tick_budget = if rate > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / rate))
+    } else {
+        None
+    };
+
+    let began = Instant::now();
+    let mut ticks = 0u64;
+    let mut tally = ReportTally::default();
+
+    for t in trace.interval().ticks(start, end) {
+        let deadline = tick_budget.map(|budget| Instant::now() + budget);
+        let mut snap = Snapshot::new(t);
+        for id in trace.measurement_ids() {
+            if let Some(v) = trace.series(id).expect("id from trace").value_at(t) {
+                snap.insert(id, v);
+            }
+        }
+        if snap.is_empty() {
+            continue;
+        }
+        ticks += 1;
+        // A resumed coordinator has already served (and checkpointed)
+        // the first `skip` snapshots of the window.
+        if ticks <= skip {
+            continue;
+        }
+        coordinator
+            .submit(snap)
+            .map_err(|e| format!("submit failed: {e}"))?;
+        if !coordinator.dead_shards().is_empty() {
+            reattach(&mut coordinator, &addrs, reattach_secs)?;
+        }
+        if let (Some(dir), true) = (
+            checkpoint_dir.as_deref(),
+            checkpoint_every > 0 && (ticks - skip).is_multiple_of(checkpoint_every),
+        ) {
+            checkpoint(&mut coordinator, &addrs, reattach_secs, dir)?;
+        }
+        while let Some(report) = coordinator.try_recv_report() {
+            tally.note(&report);
+        }
+        if let Some(deadline) = deadline {
+            let now = Instant::now();
+            if now < deadline {
+                std::thread::sleep(deadline - now);
+            }
+        }
+    }
+
+    if let Some(dir) = checkpoint_dir.as_deref() {
+        if !coordinator.dead_shards().is_empty() {
+            reattach(&mut coordinator, &addrs, reattach_secs)?;
+        }
+        checkpoint(&mut coordinator, &addrs, reattach_secs, dir)?;
+    }
+    let (rest, stats) = coordinator.shutdown(flags.has("halt-workers"));
+    for report in &rest {
+        tally.note(report);
+    }
+    let elapsed = began.elapsed();
+
+    println!(
+        "served {} snapshots over day {from_day}..{} across {} remote shards: \
+         {} reports, {} alarms, {} disconnects, {} migrations, {} boards fenced",
+        ticks.saturating_sub(skip),
+        from_day + days,
+        stats.shards,
+        stats.reports,
+        tally.alarms,
+        stats.disconnects,
+        stats.migrations,
+        stats.stale_boards + stats.duplicate_boards + stats.replayed_boards + stats.bad_boards,
+    );
+    if elapsed.as_secs_f64() > 0.0 {
+        println!(
+            "throughput: {:.1} snapshots/sec (wall {:.2}s)",
+            ticks.saturating_sub(skip) as f64 / elapsed.as_secs_f64(),
+            elapsed.as_secs_f64()
+        );
+    }
+    tally.print_floor();
+    if let Some(path) = stats_path.as_deref() {
+        let json = serde_json::to_string_pretty(&stats)
+            .map_err(|e| format!("cannot serialize stats: {e}"))?;
+        write_file(path, &json)?;
+        println!("fabric stats written to {path}");
+    }
+    Ok(())
+}
+
+/// Re-dials dead shards at their original addresses until every shard
+/// is live again or the budget runs out.
+fn reattach(
+    coordinator: &mut Coordinator,
+    addrs: &[String],
+    reattach_secs: u64,
+) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(reattach_secs);
+    loop {
+        for shard in coordinator.dead_shards() {
+            match coordinator.attach_worker(shard, &addrs[shard]) {
+                Ok(()) => println!("reattached shard {shard} to {}", addrs[shard]),
+                Err(_) if reattach_secs > 0 => {}
+                Err(e) => return Err(format!("shard {shard} is dead: {e}")),
+            }
+        }
+        if coordinator.dead_shards().is_empty() {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "shards {:?} still dead after {reattach_secs}s of reattach attempts",
+                coordinator.dead_shards()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// Checkpoints the fabric, reattaching first if a worker died between
+/// the dead-shard check and the cut.
+fn checkpoint(
+    coordinator: &mut Coordinator,
+    addrs: &[String],
+    reattach_secs: u64,
+    dir: &str,
+) -> Result<(), String> {
+    match coordinator.checkpoint(dir) {
+        Ok(id) => {
+            println!("checkpoint {id} written to {dir}");
+            Ok(())
+        }
+        Err(FabricError::Degraded { .. }) if reattach_secs > 0 => {
+            reattach(coordinator, addrs, reattach_secs)?;
+            let id = coordinator
+                .checkpoint(dir)
+                .map_err(|e| format!("checkpoint failed after reattach: {e}"))?;
+            println!("checkpoint {id} written to {dir}");
+            Ok(())
+        }
+        Err(e) => Err(format!("checkpoint failed: {e}")),
+    }
+}

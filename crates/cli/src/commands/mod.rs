@@ -1,9 +1,11 @@
 //! The CLI subcommands.
 
 pub mod audit;
+pub mod coordinator;
 pub mod inspect;
 pub mod monitor;
 pub mod serve;
+pub mod shard_worker;
 pub mod simulate;
 pub mod train;
 

@@ -4,7 +4,7 @@
 use gridwatch_detect::{DetectionEngine, EngineSnapshot, IncidentReport, Snapshot};
 use gridwatch_timeseries::Timestamp;
 
-use crate::commands::{load_trace, write_file};
+use crate::commands::load_trace;
 use crate::flags::Flags;
 
 const HELP: &str = "\
@@ -84,9 +84,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("lowest system fitness: {q:.4} at {t}");
     }
     if let Some(save) = flags.get::<String>("save")? {
-        let json = serde_json::to_string(&engine.snapshot())
-            .map_err(|e| format!("cannot serialize engine: {e}"))?;
-        write_file(&save, &json)?;
+        engine
+            .snapshot()
+            .save(std::path::Path::new(&save))
+            .map_err(|e| format!("cannot write {save}: {e}"))?;
         println!("updated engine snapshot written to {save}");
     }
     Ok(())

@@ -79,13 +79,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
 /// Tracks alarms and the lowest system fitness across a report stream.
 #[derive(Default)]
-struct ReportTally {
-    alarms: usize,
+pub(crate) struct ReportTally {
+    pub(crate) alarms: usize,
     q_min: Option<(Timestamp, f64)>,
 }
 
 impl ReportTally {
-    fn note(&mut self, report: &StepReport) {
+    pub(crate) fn note(&mut self, report: &StepReport) {
         if let Some(q) = report.scores.system_score() {
             if self.q_min.is_none_or(|(_, min)| q < min) {
                 self.q_min = Some((report.scores.at(), q));
@@ -97,7 +97,7 @@ impl ReportTally {
         }
     }
 
-    fn print_floor(&self) {
+    pub(crate) fn print_floor(&self) {
         if let Some((t, q)) = self.q_min {
             println!("lowest system fitness: {q:.4} at {t}");
         }

@@ -5,7 +5,7 @@ use gridwatch_core::ModelConfig;
 use gridwatch_detect::{DetectionEngine, EngineConfig, PairScreen};
 use gridwatch_timeseries::{AlignmentPolicy, PairSeries, Timestamp};
 
-use crate::commands::{load_trace, trace_window, write_file};
+use crate::commands::{load_trace, trace_window};
 use crate::flags::Flags;
 
 const HELP: &str = "\
@@ -79,9 +79,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     for (pair, reason) in &outcome.skipped {
         println!("  skipped {pair}: {reason}");
     }
-    let json = serde_json::to_string(&engine.snapshot())
-        .map_err(|e| format!("cannot serialize engine: {e}"))?;
-    write_file(&out, &json)?;
+    engine
+        .snapshot()
+        .save(std::path::Path::new(&out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("engine snapshot written to {out}");
     Ok(())
 }

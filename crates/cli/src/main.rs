@@ -41,6 +41,16 @@ commands:
              [--protocol auto|json|csv] [--read-timeout SECS]
              [--max-frame-bytes N] [--max-snapshots N] [--checkpoint DIR]
              [--checkpoint-every N] [--resume] [--stats FILE]
+  shard-worker
+             serve one shard of a multi-node fabric over TCP
+             --listen ADDR
+  coordinator
+             replay a trace through remote shard workers and merge
+             their boards into one report stream
+             --trace FILE --engine FILE --workers ADDR[,ADDR...]
+             [--from-day N] [--days N] [--rate X] [--checkpoint DIR]
+             [--checkpoint-every N] [--resume] [--reattach-secs N]
+             [--halt-workers] [--stats FILE]
   inspect    summarize a persisted engine
              --engine FILE [--verbose]
   audit      lint the workspace sources, or validate a checkpoint
@@ -61,6 +71,8 @@ fn main() -> ExitCode {
         "train" => commands::train::run(&args),
         "monitor" => commands::monitor::run(&args),
         "serve" => commands::serve::run(&args),
+        "shard-worker" => commands::shard_worker::run(&args),
+        "coordinator" => commands::coordinator::run(&args),
         "inspect" => commands::inspect::run(&args),
         "audit" => commands::audit::run(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),

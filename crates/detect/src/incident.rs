@@ -88,7 +88,7 @@ impl IncidentReport {
             .map(|s| (s.id, s.score))
             .collect();
         let mut pair_scores: Vec<_> = board.pair_scores().collect();
-        pair_scores.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+        pair_scores.sort_by(|a, b| a.1.total_cmp(&b.1));
         let worst_pairs = pair_scores
             .into_iter()
             .take(top)
@@ -206,6 +206,38 @@ mod tests {
         assert!(incident.suspect_machines.is_empty());
         assert!(incident.worst_pairs.is_empty());
         assert!(incident.to_string().contains("n/a"));
+    }
+
+    #[test]
+    fn nan_fitness_compiles_without_panicking() {
+        // End-to-end regression: a NaN pair fitness flows through every
+        // ranking path (machines, measurements, worst pairs) and the
+        // report still compiles, with the NaN sorted last, not first.
+        let (engine, real_board) = engine_with_context();
+        let mut board = ScoreBoard::new(real_board.at());
+        let mut pairs: Vec<_> = real_board.pair_scores().collect();
+        pairs.sort_by_key(|a| a.0.to_string());
+        let (poisoned, _) = pairs[0];
+        for (pair, fitness) in &pairs {
+            let q = if *pair == poisoned {
+                f64::NAN
+            } else {
+                *fitness
+            };
+            board.record(*pair, q);
+        }
+        let incident = IncidentReport::compile(&engine, &board, 10);
+        assert_eq!(incident.worst_pairs.len(), pairs.len());
+        // total_cmp sorts positive NaN after every finite fitness.
+        let last = incident.worst_pairs.last().unwrap();
+        assert_eq!(last.pair, poisoned.to_string());
+        assert!(last.fitness.is_nan());
+        assert!(incident
+            .worst_pairs
+            .iter()
+            .take(pairs.len() - 1)
+            .all(|p| p.fitness.is_finite()));
+        assert!(!incident.suspect_machines.is_empty());
     }
 
     #[test]

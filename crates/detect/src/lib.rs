@@ -71,5 +71,5 @@ pub use engine::{DetectionEngine, NoModelsTrained, StepReport, TrainingOutcome};
 pub use incident::{IncidentReport, PairFinding};
 pub use localize::{Localizer, SuspectMachine, SuspectMeasurement};
 pub use persist::EngineSnapshot;
-pub use scores::ScoreBoard;
+pub use scores::{MergeError, ScoreBoard};
 pub use snapshot::Snapshot;

@@ -40,7 +40,7 @@ impl Localizer {
             .into_iter()
             .map(|(id, score)| SuspectMeasurement { id, score })
             .collect();
-        out.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+        out.sort_by(|a, b| a.score.total_cmp(&b.score));
         out
     }
 
@@ -51,7 +51,7 @@ impl Localizer {
             .into_iter()
             .map(|(machine, score)| SuspectMachine { machine, score })
             .collect();
-        out.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+        out.sort_by(|a, b| a.score.total_cmp(&b.score));
         out
     }
 
@@ -84,7 +84,7 @@ impl Localizer {
                 (key, SuspectMeasurement { id, score })
             })
             .collect();
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out.into_iter().map(|(_, s)| s).collect()
     }
 }
@@ -141,6 +141,41 @@ mod tests {
         baseline.insert(c, 0.45);
         let ranked = Localizer::rank_measurements_relative(&board, &baseline);
         assert_eq!(ranked[0].id, b, "{ranked:?}");
+    }
+
+    #[test]
+    fn nan_scores_rank_last_without_panicking() {
+        // A pair model can emit NaN fitness (e.g. a 0/0 degenerate
+        // visit count upstream); ranking must stay total, not panic.
+        let (a, b, c) = (id(0, 0), id(0, 1), id(1, 0));
+        let mut board = ScoreBoard::new(Timestamp::EPOCH);
+        board.record(MeasurementPair::new(a, b).unwrap(), f64::NAN);
+        board.record(MeasurementPair::new(a, c).unwrap(), 0.20);
+        board.record(MeasurementPair::new(b, c).unwrap(), 0.25);
+
+        let suspects = Localizer::rank_measurements(&board);
+        assert_eq!(suspects.len(), 3);
+        // c's average stays finite; a and b are poisoned by the NaN
+        // pair and must sort AFTER every finite score (total_cmp puts
+        // positive NaN last), never first.
+        assert_eq!(suspects[0].id, c);
+        assert!(suspects[0].score.is_finite());
+        assert!(suspects[1].score.is_nan() && suspects[2].score.is_nan());
+
+        let machines = Localizer::rank_machines(&board);
+        assert_eq!(machines[0].machine, MachineId::new(1));
+        assert!(machines[1].score.is_nan());
+        assert_eq!(
+            Localizer::prime_suspect(&board).map(|s| s.machine),
+            Some(MachineId::new(1))
+        );
+
+        // The relative ranking sorts on score-minus-baseline deltas,
+        // which are NaN for the poisoned measurements; same contract.
+        let baseline = std::collections::BTreeMap::from([(a, 0.9), (b, 0.9), (c, 0.9)]);
+        let relative = Localizer::rank_measurements_relative(&board, &baseline);
+        assert_eq!(relative.len(), 3);
+        assert_eq!(relative[0].id, c);
     }
 
     #[test]

@@ -180,7 +180,62 @@ impl ScoreBoard {
             );
         }
     }
+
+    /// Fallible [`ScoreBoard::merge`] for boards of untrusted origin
+    /// (e.g. received over the network from a remote shard worker): a
+    /// mismatched instant or overlapping pair is a protocol violation
+    /// to report, not a programming bug to panic on. On error, `self`
+    /// is left unchanged.
+    pub fn try_merge(&mut self, other: ScoreBoard) -> Result<(), MergeError> {
+        if self.at != other.at {
+            return Err(MergeError::InstantMismatch {
+                ours: self.at,
+                theirs: other.at,
+            });
+        }
+        if let Some(pair) = other
+            .pair_scores
+            .keys()
+            .find(|p| self.pair_scores.contains_key(*p))
+        {
+            return Err(MergeError::OverlappingPair(*pair));
+        }
+        self.pair_scores.extend(other.pair_scores);
+        Ok(())
+    }
 }
+
+/// Why [`ScoreBoard::try_merge`] refused a partial board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// The boards describe different sampling instants.
+    InstantMismatch {
+        /// The receiving board's instant.
+        ours: Timestamp,
+        /// The refused board's instant.
+        theirs: Timestamp,
+    },
+    /// Both boards score the same pair; shards must be disjoint.
+    OverlappingPair(MeasurementPair),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::InstantMismatch { ours, theirs } => {
+                write!(f, "cannot merge board for {theirs} into board for {ours}")
+            }
+            MergeError::OverlappingPair(pair) => {
+                write!(
+                    f,
+                    "pair {pair} scored by two shards; shards must be disjoint"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 #[cfg(test)]
 mod tests {
@@ -219,6 +274,38 @@ mod tests {
         // Machine 0 holds a and b; machine 1 holds c.
         close(board.machine_score(MachineId::new(0)), 0.675);
         close(board.machine_score(MachineId::new(1)), 0.45);
+    }
+
+    #[test]
+    fn try_merge_reports_protocol_violations_without_mutating() {
+        let (a, b, c) = (id(0, 0), id(0, 1), id(1, 0));
+        let mut left = ScoreBoard::new(Timestamp::EPOCH);
+        left.record(pair(a, b), 0.9);
+
+        // Disjoint merge succeeds and matches the panicking merge.
+        let mut right = ScoreBoard::new(Timestamp::EPOCH);
+        right.record(pair(a, c), 0.6);
+        left.try_merge(right).unwrap();
+        assert_eq!(left.pair_score(pair(a, c)), Some(0.6));
+
+        // Instant mismatch is refused, board unchanged.
+        let other_instant = ScoreBoard::new(Timestamp::from_secs(360));
+        let before = left.clone();
+        assert!(matches!(
+            left.try_merge(other_instant),
+            Err(MergeError::InstantMismatch { .. })
+        ));
+        assert_eq!(left, before);
+
+        // Overlapping pair is refused, board unchanged.
+        let mut overlap = ScoreBoard::new(Timestamp::EPOCH);
+        overlap.record(pair(a, b), 0.1);
+        overlap.record(pair(b, c), 0.2);
+        assert_eq!(
+            left.try_merge(overlap),
+            Err(MergeError::OverlappingPair(pair(a, b)))
+        );
+        assert_eq!(left, before);
     }
 
     #[test]

@@ -49,6 +49,31 @@ pub struct CheckpointManifest {
     /// never persist source progress without the matching model state.
     #[serde(default)]
     pub sources: BTreeMap<String, u64>,
+    /// The fabric epoch the coordinator was on when it cut this
+    /// checkpoint (0 for single-process checkpoints). A resumed
+    /// coordinator restarts above this, so boards from workers of any
+    /// pre-crash epoch are fenced off.
+    #[serde(default)]
+    pub fabric_epoch: u64,
+    /// Remote shard ownership at the cut: which worker owned each shard
+    /// and under which epoch (empty for single-process checkpoints).
+    #[serde(default)]
+    pub remote: Vec<RemoteShard>,
+}
+
+/// One remote shard's ownership record inside a coordinator manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemoteShard {
+    /// The shard index this record assigns.
+    #[serde(default)]
+    pub shard: usize,
+    /// The fabric epoch the owning worker was admitted under (>= 1;
+    /// epoch 0 is reserved for "never owned remotely").
+    #[serde(default)]
+    pub epoch: u64,
+    /// The worker's address, as the coordinator dialed it.
+    #[serde(default)]
+    pub source: String,
 }
 
 /// Why a checkpoint or recovery failed.
@@ -92,7 +117,31 @@ fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
     }
 }
 
-/// Writes `content` to `path` via a temp-file + atomic rename.
+/// Counts completed directory syncs, so tests can assert the durability
+/// path actually ran (a silently skipped fsync looks identical to a
+/// successful one from the filesystem's point of view).
+#[cfg(test)]
+pub(crate) static DIR_SYNCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Fsyncs a directory so a rename into it survives power loss. On
+/// Linux, `rename` only becomes durable once the directory's own inode
+/// hits disk; syncing just the data file leaves the new directory entry
+/// in the page cache.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), CheckpointError> {
+    let dir = if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    };
+    let handle = fs::File::open(dir).map_err(|e| io_err(dir, e))?;
+    handle.sync_all().map_err(|e| io_err(dir, e))?;
+    #[cfg(test)]
+    DIR_SYNCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    Ok(())
+}
+
+/// Writes `content` to `path` via a temp-file + atomic rename, then
+/// syncs the parent directory so the rename itself is durable.
 pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<(), CheckpointError> {
     let tmp = path.with_extension("json.tmp");
     {
@@ -101,7 +150,8 @@ pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<(), CheckpointE
             .map_err(|e| io_err(&tmp, e))?;
         file.sync_all().map_err(|e| io_err(&tmp, e))?;
     }
-    fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    sync_dir(path.parent().unwrap_or(Path::new(".")))
 }
 
 /// Reads and writes checkpoint directories.
@@ -265,6 +315,8 @@ mod tests {
             tracker: full.tracker.clone(),
             shard_files: files,
             sources: BTreeMap::from([("agent-1".to_string(), 7)]),
+            fabric_epoch: 0,
+            remote: Vec::new(),
         })
         .unwrap();
 
@@ -272,6 +324,77 @@ mod tests {
         assert_eq!(manifest.cut_seq, 42);
         assert_eq!(recovered, full);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_syncs_the_parent_directory() {
+        use std::sync::atomic::Ordering;
+        let dir = scratch_dir("dirsync");
+        fs::create_dir_all(&dir).unwrap();
+        let before = DIR_SYNCS.load(Ordering::Relaxed);
+        write_atomic(&dir.join("file.json"), "{}").unwrap();
+        let after = DIR_SYNCS.load(Ordering::Relaxed);
+        assert!(
+            after > before,
+            "write_atomic must fsync the parent directory after the rename"
+        );
+        assert_eq!(fs::read_to_string(dir.join("file.json")).unwrap(), "{}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn relative_paths_fall_back_to_the_current_directory_for_sync() {
+        // A bare file name has an empty parent; the sync must target
+        // `.` instead of failing to open "".
+        use std::sync::atomic::Ordering;
+        let before = DIR_SYNCS.load(Ordering::Relaxed);
+        sync_dir(Path::new("")).unwrap();
+        assert!(DIR_SYNCS.load(Ordering::Relaxed) > before);
+    }
+
+    #[test]
+    fn remote_manifest_fields_roundtrip_and_default() {
+        let full = trained_snapshot();
+        let manifest = CheckpointManifest {
+            version: 1,
+            shards: 2,
+            cut_seq: 5,
+            config: full.config,
+            tracker: AlarmTracker::new(),
+            shard_files: vec!["shard-0.json".into(), "shard-1.json".into()],
+            sources: BTreeMap::new(),
+            fabric_epoch: 3,
+            remote: vec![
+                RemoteShard {
+                    shard: 0,
+                    epoch: 1,
+                    source: "127.0.0.1:7001".into(),
+                },
+                RemoteShard {
+                    shard: 1,
+                    epoch: 3,
+                    source: "127.0.0.1:7002".into(),
+                },
+            ],
+        };
+        let json = serde_json::to_string(&manifest).unwrap();
+        let back: CheckpointManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, manifest);
+
+        // Pre-fabric manifests (no such keys) still parse, defaulted.
+        let stripped = serde_json::to_string(&CheckpointManifest {
+            fabric_epoch: 0,
+            remote: Vec::new(),
+            ..manifest.clone()
+        })
+        .unwrap();
+        let legacy = stripped
+            .replace(",\"fabric_epoch\":0", "")
+            .replace(",\"remote\":[]", "");
+        assert_ne!(legacy, stripped);
+        let back: CheckpointManifest = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.fabric_epoch, 0);
+        assert!(back.remote.is_empty());
     }
 
     #[test]
@@ -295,6 +418,8 @@ mod tests {
             tracker: AlarmTracker::new(),
             shard_files: vec!["shard-0.json".into()],
             sources: BTreeMap::new(),
+            fabric_epoch: 0,
+            remote: Vec::new(),
         })
         .unwrap();
         // Manifest names a shard file that was never written.
@@ -326,6 +451,8 @@ mod tests {
             tracker: AlarmTracker::new(),
             shard_files: files,
             sources: BTreeMap::new(),
+            fabric_epoch: 0,
+            remote: Vec::new(),
         })
         .unwrap();
         let err = ckpt.recover().unwrap_err();

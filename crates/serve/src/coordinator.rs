@@ -1,0 +1,923 @@
+//! The coordinator half of the multi-node shard fabric.
+//!
+//! A [`Coordinator`] owns the full trained model set, partitions it
+//! across remote [`ShardWorker`](crate::remote::ShardWorker) processes
+//! with the same [`ShardRouter`] placement the in-process
+//! `ShardedEngine` uses, fans every submitted snapshot out to all live
+//! workers, and merges the partial [`BoardFrame`]s that stream back
+//! into in-order [`StepReport`]s — **bit-identical** to what a
+//! single-process `ShardedEngine` (or an unsharded engine) would emit,
+//! because each worker scores with the same deterministic
+//! `step_scores` over the same model slice and alarms are evaluated on
+//! the merged board by one tracker, exactly as the in-process
+//! aggregator does.
+//!
+//! # Epoch fencing
+//!
+//! Every worker attachment gets a fresh *fabric epoch* from one
+//! monotonic counter, so an (shard, epoch) pair is globally unique
+//! across the fabric's lifetime. Workers stamp every board with their
+//! assigned epoch; the merge thread drops any board whose epoch is not
+//! the shard's current one (or whose shard is not live). After a
+//! migration, a partitioned-but-alive predecessor can keep sending
+//! boards forever — they are all fenced, never merged, so a stale
+//! worker cannot corrupt the report stream.
+//!
+//! # Migration
+//!
+//! The coordinator keeps a journal of submitted snapshots since the
+//! last checkpoint cut, and a per-shard state cache (the shard's
+//! `EngineSnapshot` as of that cut, refreshed on every checkpoint).
+//! When a worker dies, [`Coordinator::attach_worker`] hands a
+//! successor the cached state plus a journal replay; determinism of
+//! `step_scores` means the successor regenerates byte-identical boards
+//! for any steps the predecessor had already answered, and the merge
+//! thread's per-(seq, shard) dedup absorbs the overlap.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use gridwatch_detect::{
+    AlarmTracker, EngineConfig, EngineSnapshot, ScoreBoard, Snapshot, StepReport,
+};
+
+use crate::checkpoint::{CheckpointManifest, Checkpointer, RemoteShard};
+use crate::remote::{
+    decode_response, encode_control, io_ctx, read_frame, write_frame, BoardFrame, FabricControl,
+    FabricError, FabricResponse,
+};
+use crate::router::ShardRouter;
+use crate::wire::{encode_json, WireFrame};
+
+/// The `source` name stamped on snapshot frames the coordinator sends
+/// to its workers.
+pub const COORDINATOR_SOURCE: &str = "coordinator";
+
+/// Tuning knobs for a [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Capacity of the internal merge and report channels.
+    pub channel_capacity: usize,
+    /// The first snapshot sequence number (a resumed coordinator
+    /// starts at the recovered manifest's `cut_seq`).
+    pub start_seq: u64,
+    /// Fabric epochs are allocated strictly above this base (a resumed
+    /// coordinator passes the manifest's `fabric_epoch` so stale
+    /// pre-crash assignments can never collide with new ones).
+    pub epoch_base: u64,
+    /// How long [`Coordinator::checkpoint`] waits for worker states.
+    pub checkpoint_timeout: Duration,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            channel_capacity: 1024,
+            start_seq: 0,
+            epoch_base: 0,
+            checkpoint_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Lifetime counters of one coordinator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// Shards in the fabric.
+    pub shards: usize,
+    /// Snapshots submitted for scoring.
+    pub submitted: u64,
+    /// Step reports emitted.
+    pub reports: u64,
+    /// Alarm events raised across all reports.
+    pub alarms: u64,
+    /// Boards fenced off for carrying a superseded epoch or arriving
+    /// from a shard declared dead.
+    pub stale_boards: u64,
+    /// Boards dropped because the (seq, shard) slot was already filled.
+    pub duplicate_boards: u64,
+    /// Boards dropped for scoring a step already emitted (migration
+    /// replay overlap).
+    pub replayed_boards: u64,
+    /// Boards dropped as malformed (bad shard index, mismatched
+    /// instant, overlapping pairs).
+    pub bad_boards: u64,
+    /// Worker connections lost (write failure, EOF, or declared dead).
+    pub disconnects: u64,
+    /// Successful worker re-attachments.
+    pub migrations: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+}
+
+/// Per-shard assignment published to the merge thread: which epoch is
+/// current and whether the shard has a live worker.
+#[derive(Debug)]
+struct ShardSlot {
+    epoch: u64,
+    live: bool,
+    addr: String,
+}
+
+type Slots = Arc<Vec<Mutex<ShardSlot>>>;
+
+/// One entry of the per-shard state cache: the shard's engine state as
+/// of snapshot sequence `cut` (exclusive).
+#[derive(Debug, Clone)]
+struct StateEntry {
+    cut: u64,
+    state: EngineSnapshot,
+}
+
+/// Messages from reader threads (and the front, for checkpoints) into
+/// the merge thread.
+enum CoordMsg {
+    Board(BoardFrame),
+    State {
+        shard: usize,
+        epoch: u64,
+        id: u64,
+        state: EngineSnapshot,
+    },
+    Disconnected {
+        shard: usize,
+        epoch: u64,
+    },
+    CheckpointBegin {
+        id: u64,
+        cut_seq: u64,
+        dir: PathBuf,
+        fabric_epoch: u64,
+        remote: Vec<RemoteShard>,
+        ack: Sender<Result<(), FabricError>>,
+    },
+}
+
+/// One step awaiting boards from every shard.
+struct PendingStep {
+    board: Option<ScoreBoard>,
+    replied: Vec<bool>,
+}
+
+/// An in-flight checkpoint inside the merge thread.
+struct CheckpointOp {
+    id: u64,
+    cut_seq: u64,
+    checkpointer: Checkpointer,
+    fabric_epoch: u64,
+    remote: Vec<RemoteShard>,
+    ack: Sender<Result<(), FabricError>>,
+    files: Vec<Option<String>>,
+    received: usize,
+    error: Option<FabricError>,
+}
+
+/// The coordinator of a multi-node shard fabric. Single-threaded front
+/// API: `submit` snapshots, `recv` reports, `checkpoint`, and migrate
+/// dead shards with `attach_worker`; readers and the merge run on
+/// internal threads.
+#[derive(Debug)]
+pub struct Coordinator {
+    shards: usize,
+    fabric: FabricConfig,
+    slots: Slots,
+    /// Write halves of the current worker connections (front-owned).
+    streams: Vec<Option<TcpStream>>,
+    /// Write halves of superseded connections, kept open so a
+    /// partitioned predecessor's reader keeps draining (and fencing)
+    /// its boards; severed at shutdown to unblock those readers.
+    zombies: Vec<TcpStream>,
+    readers: Vec<JoinHandle<()>>,
+    merge: Option<JoinHandle<()>>,
+    merge_tx: Option<Sender<CoordMsg>>,
+    reports_rx: Receiver<StepReport>,
+    report_buffer: VecDeque<StepReport>,
+    state_cache: Arc<Mutex<Vec<StateEntry>>>,
+    stats: Arc<Mutex<FabricStats>>,
+    closing: Arc<std::sync::atomic::AtomicBool>,
+    journal: VecDeque<(u64, Snapshot)>,
+    next_seq: u64,
+    epoch_counter: u64,
+    checkpoint_counter: u64,
+}
+
+impl Coordinator {
+    /// Partitions `snapshot`'s models across `workers` (one shard per
+    /// address, placed by [`ShardRouter`]), performs the Hello
+    /// handshake with each, and starts the merge pipeline.
+    pub fn connect(
+        snapshot: EngineSnapshot,
+        workers: &[String],
+        fabric: FabricConfig,
+    ) -> Result<Coordinator, FabricError> {
+        let shards = workers.len();
+        if shards == 0 {
+            return Err(FabricError::Protocol(
+                "a fabric needs at least one worker address".to_string(),
+            ));
+        }
+        let router = ShardRouter::new(shards);
+        let config = snapshot.config;
+        let tracker = snapshot.tracker.clone();
+        let partitions = router.partition(snapshot.models);
+
+        let slots: Slots = Arc::new(
+            (0..shards)
+                .map(|_| {
+                    Mutex::new(ShardSlot {
+                        epoch: 0,
+                        live: false,
+                        addr: String::new(),
+                    })
+                })
+                .collect(),
+        );
+        let state_cache = Arc::new(Mutex::new(
+            partitions
+                .into_iter()
+                .map(|part| StateEntry {
+                    cut: fabric.start_seq,
+                    state: EngineSnapshot {
+                        config,
+                        models: part,
+                        tracker: AlarmTracker::new(),
+                    },
+                })
+                .collect::<Vec<_>>(),
+        ));
+        let stats = Arc::new(Mutex::new(FabricStats {
+            shards,
+            ..FabricStats::default()
+        }));
+
+        let closing = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (merge_tx, merge_rx) = channel::bounded(fabric.channel_capacity);
+        let (reports_tx, reports_rx) = channel::bounded(fabric.channel_capacity);
+        let merge = {
+            let slots = Arc::clone(&slots);
+            let state_cache = Arc::clone(&state_cache);
+            let stats = Arc::clone(&stats);
+            let closing = Arc::clone(&closing);
+            let start_seq = fabric.start_seq;
+            thread::Builder::new()
+                .name("fabric-merge".to_string())
+                .spawn(move || {
+                    merge_loop(
+                        shards,
+                        config,
+                        tracker,
+                        start_seq,
+                        merge_rx,
+                        reports_tx,
+                        slots,
+                        state_cache,
+                        stats,
+                        closing,
+                    )
+                })
+                .map_err(|e| FabricError::Io {
+                    context: "spawn merge thread".to_string(),
+                    source: e,
+                })?
+        };
+
+        let mut coordinator = Coordinator {
+            shards,
+            epoch_counter: fabric.epoch_base,
+            next_seq: fabric.start_seq,
+            fabric,
+            slots,
+            streams: (0..shards).map(|_| None).collect(),
+            zombies: Vec::new(),
+            readers: Vec::new(),
+            merge: Some(merge),
+            merge_tx: Some(merge_tx),
+            reports_rx,
+            report_buffer: VecDeque::new(),
+            state_cache,
+            stats: Arc::clone(&stats),
+            closing,
+            journal: VecDeque::new(),
+            checkpoint_counter: 0,
+        };
+        for (shard, addr) in workers.iter().enumerate() {
+            coordinator.attach(shard, addr.clone())?;
+        }
+        Ok(coordinator)
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The highest fabric epoch allocated so far.
+    pub fn fabric_epoch(&self) -> u64 {
+        self.epoch_counter
+    }
+
+    /// A copy of the lifetime counters.
+    pub fn stats(&self) -> FabricStats {
+        *self.stats.lock()
+    }
+
+    /// Shards currently without a live worker.
+    pub fn dead_shards(&self) -> Vec<usize> {
+        (0..self.shards)
+            .filter(|&k| !self.slots[k].lock().live)
+            .collect()
+    }
+
+    /// Declares a shard's worker dead without touching its socket —
+    /// the coordinator-side view of a network partition. Boards still
+    /// arriving from the worker are fenced, and the shard becomes
+    /// eligible for [`Coordinator::attach_worker`].
+    pub fn declare_dead(&mut self, shard: usize) {
+        if shard < self.shards {
+            self.mark_dead(shard);
+        }
+    }
+
+    fn mark_dead(&self, shard: usize) {
+        let mut slot = self.slots[shard].lock();
+        if slot.live {
+            slot.live = false;
+            self.stats.lock().disconnects += 1;
+        }
+    }
+
+    /// Fans one snapshot out to every live worker and journals it for
+    /// migration replay. A worker whose socket rejects the write is
+    /// marked dead (its boards for this and later steps will come from
+    /// a successor after [`Coordinator::attach_worker`]).
+    pub fn submit(&mut self, snapshot: Snapshot) -> Result<u64, FabricError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let framed = encode_json(&WireFrame {
+            source: COORDINATOR_SOURCE.to_string(),
+            seq,
+            snapshot: snapshot.clone(),
+        })
+        .map_err(|e| FabricError::Protocol(format!("encode snapshot frame: {e}")))?;
+        self.journal.push_back((seq, snapshot));
+        self.stats.lock().submitted += 1;
+        for shard in 0..self.shards {
+            if !self.slots[shard].lock().live {
+                continue;
+            }
+            let Some(stream) = self.streams[shard].as_mut() else {
+                continue;
+            };
+            // encode_json output already carries the length prefix.
+            if std::io::Write::write_all(stream, &framed).is_err() {
+                self.mark_dead(shard);
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Attaches a successor worker to a dead shard: allocates a fresh
+    /// epoch (fencing the predecessor), ships the cached shard state,
+    /// and replays the journal since that state's cut. Fails if the
+    /// shard still has a live worker.
+    pub fn attach_worker(&mut self, shard: usize, addr: &str) -> Result<(), FabricError> {
+        if shard >= self.shards {
+            return Err(FabricError::Protocol(format!(
+                "shard {shard} out of range for {} shards",
+                self.shards
+            )));
+        }
+        if self.slots[shard].lock().live {
+            return Err(FabricError::Protocol(format!(
+                "shard {shard} already has a live worker; declare it dead first"
+            )));
+        }
+        if let Some(old) = self.streams[shard].take() {
+            self.zombies.push(old);
+        }
+        self.attach(shard, addr.to_string())?;
+        self.stats.lock().migrations += 1;
+        Ok(())
+    }
+
+    /// Dials `addr`, performs the Hello handshake with the cached
+    /// state, publishes the new (epoch, live) assignment, spawns the
+    /// reader, and replays the journal suffix the state has not seen.
+    fn attach(&mut self, shard: usize, addr: String) -> Result<(), FabricError> {
+        self.epoch_counter += 1;
+        let epoch = self.epoch_counter;
+        let entry = self.state_cache.lock()[shard].clone();
+
+        let mut stream =
+            TcpStream::connect(&addr).map_err(io_ctx(&format!("connect worker {addr}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(io_ctx(&format!("nodelay on {addr}")))?;
+        let hello = encode_control(&FabricControl::Hello {
+            shard,
+            shards: self.shards,
+            epoch,
+            state: entry.state,
+        })?;
+        write_frame(&mut stream, &hello).map_err(io_ctx(&format!("hello to {addr}")))?;
+        let Some(payload) =
+            read_frame(&mut stream).map_err(io_ctx(&format!("hello ack from {addr}")))?
+        else {
+            return Err(FabricError::Protocol(format!(
+                "worker {addr} closed the connection during the handshake"
+            )));
+        };
+        match decode_response(&payload)? {
+            FabricResponse::HelloAck {
+                shard: acked_shard,
+                epoch: acked_epoch,
+                pairs: _,
+            } if acked_shard == shard && acked_epoch == epoch => {}
+            other => {
+                return Err(FabricError::Protocol(format!(
+                    "worker {addr} answered the shard {shard} Hello with {other:?}"
+                )))
+            }
+        }
+
+        // Publish the assignment before the reader can push frames, so
+        // nothing from this worker is ever fenced as stale.
+        {
+            let mut slot = self.slots[shard].lock();
+            slot.epoch = epoch;
+            slot.live = true;
+            slot.addr = addr.clone();
+        }
+
+        let reader_stream = stream
+            .try_clone()
+            .map_err(io_ctx(&format!("clone socket for {addr}")))?;
+        let Some(merge_tx) = self.merge_tx.as_ref() else {
+            return Err(FabricError::Protocol(
+                "coordinator is already shut down".to_string(),
+            ));
+        };
+        let tx = merge_tx.clone();
+        let reader = thread::Builder::new()
+            .name(format!("fabric-reader-{shard}-e{epoch}"))
+            .spawn(move || reader_loop(shard, epoch, reader_stream, tx))
+            .map_err(|e| FabricError::Io {
+                context: format!("spawn reader for shard {shard}"),
+                source: e,
+            })?;
+        self.readers.push(reader);
+
+        // Journal replay: every snapshot the shipped state has not
+        // folded in yet.
+        for (seq, snapshot) in self.journal.iter().filter(|(seq, _)| *seq >= entry.cut) {
+            let framed = encode_json(&WireFrame {
+                source: COORDINATOR_SOURCE.to_string(),
+                seq: *seq,
+                snapshot: snapshot.clone(),
+            })
+            .map_err(|e| FabricError::Protocol(format!("encode replay frame: {e}")))?;
+            std::io::Write::write_all(&mut stream, &framed)
+                .map_err(io_ctx(&format!("replay to {addr}")))?;
+        }
+        self.streams[shard] = Some(stream);
+        Ok(())
+    }
+
+    /// Checkpoints the fabric into `dir`: sends every worker a
+    /// checkpoint marker, persists the returned shard states plus a
+    /// manifest recording the cut, the fabric epoch, and the remote
+    /// ownership table, refreshes the migration state cache, and trims
+    /// the journal below the cut. Refuses while any shard is dead —
+    /// a checkpoint must capture every shard at the same cut.
+    pub fn checkpoint(&mut self, dir: impl Into<PathBuf>) -> Result<u64, FabricError> {
+        let dead = self.dead_shards();
+        if !dead.is_empty() {
+            return Err(FabricError::Degraded { dead });
+        }
+        let dir = dir.into();
+        Checkpointer::new(&dir)
+            .prepare()
+            .map_err(FabricError::Checkpoint)?;
+        self.checkpoint_counter += 1;
+        let id = self.checkpoint_counter;
+        let cut_seq = self.next_seq;
+        let remote: Vec<RemoteShard> = (0..self.shards)
+            .map(|shard| {
+                let slot = self.slots[shard].lock();
+                RemoteShard {
+                    shard,
+                    epoch: slot.epoch,
+                    source: slot.addr.clone(),
+                }
+            })
+            .collect();
+        let (ack_tx, ack_rx) = channel::bounded(1);
+        let Some(merge_tx) = self.merge_tx.as_ref() else {
+            return Err(FabricError::Protocol(
+                "coordinator is already shut down".to_string(),
+            ));
+        };
+        // The begin message rides the same FIFO channel as the boards,
+        // and the markers are written after every already-submitted
+        // snapshot frame, so by the time the merge thread has seen all
+        // worker states it has also merged every pre-cut board: the
+        // manifest's tracker is exactly the tracker at the cut.
+        merge_tx
+            .send(CoordMsg::CheckpointBegin {
+                id,
+                cut_seq,
+                dir,
+                fabric_epoch: self.epoch_counter,
+                remote,
+                ack: ack_tx,
+            })
+            .map_err(|_| FabricError::Protocol("merge thread is gone".to_string()))?;
+        let marker = encode_control(&FabricControl::Checkpoint { id })?;
+        for shard in 0..self.shards {
+            let Some(stream) = self.streams[shard].as_mut() else {
+                continue;
+            };
+            if write_frame(stream, &marker).is_err() {
+                // The merge thread fails the checkpoint when the
+                // reader reports this worker's disconnect.
+                self.mark_dead(shard);
+            }
+        }
+        // Pump reports while waiting so a full report channel cannot
+        // wedge the merge thread (and with it, the checkpoint).
+        let deadline = Instant::now() + self.fabric.checkpoint_timeout;
+        loop {
+            match ack_rx.try_recv() {
+                Ok(Ok(())) => {
+                    while self.journal.front().is_some_and(|(seq, _)| *seq < cut_seq) {
+                        self.journal.pop_front();
+                    }
+                    return Ok(id);
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(channel::TryRecvError::Empty) => {}
+                Err(channel::TryRecvError::Disconnected) => {
+                    return Err(FabricError::Protocol(
+                        "merge thread dropped the checkpoint".to_string(),
+                    ))
+                }
+            }
+            while let Ok(report) = self.reports_rx.try_recv() {
+                self.report_buffer.push_back(report);
+            }
+            if Instant::now() >= deadline {
+                return Err(FabricError::Protocol(format!(
+                    "checkpoint {id} timed out waiting for worker states"
+                )));
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Returns the next finalized report, if one is ready.
+    pub fn try_recv_report(&mut self) -> Option<StepReport> {
+        if let Some(report) = self.report_buffer.pop_front() {
+            return Some(report);
+        }
+        self.reports_rx.try_recv().ok()
+    }
+
+    /// Waits up to `timeout` for the next finalized report.
+    pub fn recv_report_timeout(&mut self, timeout: Duration) -> Option<StepReport> {
+        if let Some(report) = self.report_buffer.pop_front() {
+            return Some(report);
+        }
+        self.reports_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Stops the fabric: optionally sends every live worker a
+    /// `Shutdown` (halting the worker processes), drains all
+    /// outstanding reports, and joins the pipeline threads. Returns
+    /// the drained reports and the final stats.
+    pub fn shutdown(mut self, halt_workers: bool) -> (Vec<StepReport>, FabricStats) {
+        // Flag the teardown so the EOFs we are about to cause do not
+        // read as abnormal disconnects. Slots stay live: boards still
+        // in flight must merge, not be fenced.
+        self.closing
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        if halt_workers {
+            if let Ok(halt) = encode_control(&FabricControl::Shutdown) {
+                for stream in self.streams.iter_mut().flatten() {
+                    let _ = write_frame(stream, &halt);
+                }
+            }
+        }
+        for stream in self.streams.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        for zombie in &self.zombies {
+            let _ = zombie.shutdown(Shutdown::Both);
+        }
+        // Readers exit once the workers close their ends; pump reports
+        // the whole time so neither the merge thread nor a reader can
+        // deadlock on a full channel while we wait.
+        let mut reports: Vec<StepReport> = std::mem::take(&mut self.report_buffer).into();
+        loop {
+            while let Ok(report) = self.reports_rx.try_recv() {
+                reports.push(report);
+            }
+            if self.readers.iter().all(|reader| reader.is_finished()) {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        for reader in self.readers.drain(..) {
+            let _ = reader.join();
+        }
+        // Closing the channel lets the merge thread finish; it drops
+        // the report sender on exit, ending the drain below.
+        self.merge_tx = None;
+        while let Ok(report) = self.reports_rx.recv() {
+            reports.push(report);
+        }
+        if let Some(merge) = self.merge.take() {
+            let _ = merge.join();
+        }
+        let stats = *self.stats.lock();
+        (reports, stats)
+    }
+}
+
+/// Reads one worker connection, forwarding everything into the merge
+/// channel; reports a disconnect (with this reader's epoch, so the
+/// merge thread can tell current from superseded connections) on EOF,
+/// error, or garbage.
+fn reader_loop(shard: usize, epoch: u64, mut stream: TcpStream, tx: Sender<CoordMsg>) {
+    loop {
+        let msg = match read_frame(&mut stream) {
+            Ok(Some(payload)) => match decode_response(&payload) {
+                Ok(FabricResponse::Board(frame)) => CoordMsg::Board(frame),
+                Ok(FabricResponse::State {
+                    shard: s,
+                    epoch: e,
+                    id,
+                    state,
+                }) => CoordMsg::State {
+                    shard: s,
+                    epoch: e,
+                    id,
+                    state,
+                },
+                // A duplicate ack is harmless protocol sloppiness.
+                Ok(FabricResponse::HelloAck { .. }) => continue,
+                Err(_) => CoordMsg::Disconnected { shard, epoch },
+            },
+            Ok(None) | Err(_) => CoordMsg::Disconnected { shard, epoch },
+        };
+        let last = matches!(msg, CoordMsg::Disconnected { .. });
+        if tx.send(msg).is_err() || last {
+            return;
+        }
+    }
+}
+
+/// The merge thread: fences stale boards, dedups replay overlap,
+/// merges partial boards, finalizes steps in sequence order, evaluates
+/// alarms on the merged board, and executes checkpoints.
+#[allow(clippy::too_many_arguments)]
+fn merge_loop(
+    shards: usize,
+    config: EngineConfig,
+    mut tracker: AlarmTracker,
+    start_seq: u64,
+    rx: Receiver<CoordMsg>,
+    reports_tx: Sender<StepReport>,
+    slots: Slots,
+    state_cache: Arc<Mutex<Vec<StateEntry>>>,
+    stats: Arc<Mutex<FabricStats>>,
+    closing: Arc<std::sync::atomic::AtomicBool>,
+) {
+    let mut pending: BTreeMap<u64, PendingStep> = BTreeMap::new();
+    let mut next_emit = start_seq;
+    let mut checkpoint: Option<CheckpointOp> = None;
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CoordMsg::Board(frame) => {
+                if frame.shard >= shards {
+                    stats.lock().bad_boards += 1;
+                } else {
+                    let (slot_epoch, slot_live) = {
+                        let slot = slots[frame.shard].lock();
+                        (slot.epoch, slot.live)
+                    };
+                    if !slot_live || frame.epoch != slot_epoch {
+                        stats.lock().stale_boards += 1;
+                    } else if frame.seq < next_emit {
+                        stats.lock().replayed_boards += 1;
+                    } else {
+                        let entry = pending.entry(frame.seq).or_insert_with(|| PendingStep {
+                            board: None,
+                            replied: vec![false; shards],
+                        });
+                        if entry.replied[frame.shard] {
+                            stats.lock().duplicate_boards += 1;
+                        } else {
+                            match entry.board.as_mut() {
+                                None => {
+                                    entry.board = Some(frame.board);
+                                    entry.replied[frame.shard] = true;
+                                }
+                                Some(merged) => {
+                                    if merged.try_merge(frame.board).is_ok() {
+                                        entry.replied[frame.shard] = true;
+                                    } else {
+                                        stats.lock().bad_boards += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            CoordMsg::State {
+                shard,
+                epoch,
+                id,
+                state,
+            } => {
+                if let Some(op) = checkpoint.as_mut() {
+                    // Epoch 0 is never allocated, so a bad shard index
+                    // can never match a live assignment.
+                    let current_epoch = slots.get(shard).map(|slot| slot.lock().epoch).unwrap_or(0);
+                    if shard < shards
+                        && op.id == id
+                        && epoch == current_epoch
+                        && op.files[shard].is_none()
+                    {
+                        match op.checkpointer.write_shard(shard, &state) {
+                            Ok(name) => {
+                                op.files[shard] = Some(name);
+                                op.received += 1;
+                                state_cache.lock()[shard] = StateEntry {
+                                    cut: op.cut_seq,
+                                    state,
+                                };
+                            }
+                            Err(e) => {
+                                if op.error.is_none() {
+                                    op.error = Some(FabricError::Checkpoint(e));
+                                }
+                                op.received += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            CoordMsg::Disconnected { shard, epoch } => {
+                let mut current = false;
+                if let Some(slot) = slots.get(shard) {
+                    let mut slot = slot.lock();
+                    if slot.live && slot.epoch == epoch {
+                        slot.live = false;
+                        current = true;
+                    }
+                }
+                if current {
+                    if !closing.load(std::sync::atomic::Ordering::SeqCst) {
+                        stats.lock().disconnects += 1;
+                    }
+                    // A checkpoint still waiting on this worker's state
+                    // can never complete.
+                    if let Some(op) = checkpoint.take() {
+                        if op.files.get(shard).is_some_and(|f| f.is_none()) {
+                            let _ = op
+                                .ack
+                                .send(Err(FabricError::Degraded { dead: vec![shard] }));
+                        } else {
+                            checkpoint = Some(op);
+                        }
+                    }
+                }
+            }
+            CoordMsg::CheckpointBegin {
+                id,
+                cut_seq,
+                dir,
+                fabric_epoch,
+                remote,
+                ack,
+            } => {
+                if let Some(stale) = checkpoint.take() {
+                    let _ = stale.ack.send(Err(FabricError::Protocol(
+                        "superseded by a newer checkpoint".to_string(),
+                    )));
+                }
+                checkpoint = Some(CheckpointOp {
+                    id,
+                    cut_seq,
+                    checkpointer: Checkpointer::new(dir),
+                    fabric_epoch,
+                    remote,
+                    ack,
+                    files: (0..shards).map(|_| None).collect(),
+                    received: 0,
+                    error: None,
+                });
+            }
+        }
+
+        // Finalize every fully-replied step at the head of the queue.
+        loop {
+            let complete = pending
+                .first_key_value()
+                .is_some_and(|(_, entry)| entry.replied.iter().all(|&replied| replied));
+            if !complete {
+                break;
+            }
+            if let Some((seq, entry)) = pending.pop_first() {
+                next_emit = seq + 1;
+                if let Some(board) = entry.board {
+                    let alarms = tracker.evaluate(&board, &config.alarm);
+                    {
+                        let mut stats = stats.lock();
+                        stats.reports += 1;
+                        stats.alarms += alarms.len() as u64;
+                    }
+                    let report = StepReport {
+                        scores: board,
+                        alarms,
+                    };
+                    if reports_tx.send(report).is_err() {
+                        // Receiver gone (shutdown under way); keep
+                        // merging so checkpoints still complete.
+                    }
+                }
+            }
+        }
+
+        // Complete an in-flight checkpoint once every shard reported.
+        let done = checkpoint.as_ref().is_some_and(|op| op.received == shards);
+        if done {
+            if let Some(op) = checkpoint.take() {
+                debug_assert!(
+                    pending.is_empty() || next_emit >= op.cut_seq,
+                    "states arrived before all pre-cut boards"
+                );
+                if finish_checkpoint(op, shards, &config, &tracker).is_ok() {
+                    stats.lock().checkpoints += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Writes the manifest for a checkpoint whose shard states are all on
+/// disk, and acks the front.
+fn finish_checkpoint(
+    op: CheckpointOp,
+    shards: usize,
+    config: &EngineConfig,
+    tracker: &AlarmTracker,
+) -> Result<(), ()> {
+    if let Some(error) = op.error {
+        let _ = op.ack.send(Err(error));
+        return Err(());
+    }
+    let mut shard_files = Vec::with_capacity(shards);
+    for file in op.files {
+        match file {
+            Some(name) => shard_files.push(name),
+            None => {
+                let _ = op.ack.send(Err(FabricError::Protocol(
+                    "checkpoint completed with a missing shard file".to_string(),
+                )));
+                return Err(());
+            }
+        }
+    }
+    let manifest = CheckpointManifest {
+        version: 1,
+        shards,
+        cut_seq: op.cut_seq,
+        config: *config,
+        tracker: tracker.clone(),
+        shard_files,
+        sources: BTreeMap::new(),
+        fabric_epoch: op.fabric_epoch,
+        remote: op.remote,
+    };
+    match op.checkpointer.write_manifest(&manifest) {
+        Ok(()) => {
+            let _ = op.ack.send(Ok(()));
+            Ok(())
+        }
+        Err(e) => {
+            let _ = op.ack.send(Err(FabricError::Checkpoint(e)));
+            Err(())
+        }
+    }
+}

@@ -704,6 +704,8 @@ fn aggregator_loop(
                             .map(|f| f.expect("no error recorded, so every file landed"))
                             .collect(),
                         sources: op.sources,
+                        fabric_epoch: 0,
+                        remote: Vec::new(),
                     };
                     Checkpointer::new(&op.dir)
                         .write_manifest(&manifest)

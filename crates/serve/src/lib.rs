@@ -10,20 +10,35 @@
 //! framed snapshot decoding ([`wire`]), per-source sequencing
 //! ([`sequence`]), and a listener with backpressure at the socket
 //! boundary ([`NetServer`]).
+//!
+//! The [`remote`] and [`coordinator`] modules extend the sharding
+//! across processes: `gridwatch shard-worker` serves one shard's
+//! models over TCP, and a [`Coordinator`] fans snapshots out and
+//! merges the returned partial boards into the same in-order report
+//! stream, with epoch fencing and checkpoint-transfer migration when a
+//! worker dies.
 
 pub mod checkpoint;
+pub mod coordinator;
 pub mod engine;
 pub mod ingest;
 pub mod net;
+pub mod remote;
 pub mod router;
 pub mod sequence;
 pub mod stats;
 pub mod wire;
 
-pub use checkpoint::{CheckpointError, CheckpointManifest, Checkpointer};
+pub use checkpoint::{CheckpointError, CheckpointManifest, Checkpointer, RemoteShard};
+pub use coordinator::{Coordinator, FabricConfig, FabricStats, COORDINATOR_SOURCE};
 pub use engine::{ServeConfig, ShardedEngine, StatsProbe};
 pub use ingest::{BackpressurePolicy, IngestReport};
 pub use net::{NetConfig, NetServer};
+pub use remote::{
+    decode_downstream, decode_response, encode_control, encode_response, read_frame, write_frame,
+    BoardFrame, Downstream, FabricControl, FabricError, FabricResponse, ShardWorker,
+    WorkerController, WorkerSummary, FABRIC_FRAME_LIMIT,
+};
 pub use router::ShardRouter;
 pub use sequence::{Admission, SourceTable};
 pub use stats::{ConnStats, NetStats, ServeStats, ShardStats};

@@ -174,6 +174,7 @@ struct NetAccumulator {
     frames: u64,
     decode_errors: u64,
     timeouts: u64,
+    deadline_failures: u64,
     rejected: u64,
     dropped: u64,
     duplicates: u64,
@@ -191,6 +192,7 @@ impl NetAccumulator {
             frames: self.frames,
             decode_errors: self.decode_errors,
             timeouts: self.timeouts,
+            deadline_failures: self.deadline_failures,
             rejected: self.rejected,
             dropped: self.dropped,
             duplicates: self.duplicates,
@@ -491,7 +493,18 @@ fn conn_loop(
     cfg: NetConfig,
 ) {
     if cfg.read_timeout > Duration::ZERO {
-        let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+        if let Err(e) = stream.set_read_timeout(Some(cfg.read_timeout)) {
+            // A connection without a read deadline can hold its slot
+            // forever (slow-loris with no timeout to trip); refuse to
+            // serve it unprotected rather than ignoring the failure.
+            eprintln!("gridwatch-serve: cannot arm read deadline on conn {conn}: {e}");
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let mut acc = net_acc.lock();
+            acc.deadline_failures += 1;
+            acc.closed += 1;
+            acc.connections[conn].open = false;
+            return;
+        }
     }
     let mut decoder = FrameDecoder::new(cfg.protocol, cfg.max_frame_bytes);
     let mut buf = [0u8; 8 * 1024];

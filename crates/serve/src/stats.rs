@@ -70,6 +70,11 @@ pub struct NetStats {
     pub decode_errors: u64,
     /// Read-deadline kills across all connections.
     pub timeouts: u64,
+    /// Connections closed because the read deadline could not be armed
+    /// (`set_read_timeout` failed — the socket would otherwise run
+    /// without slow-client protection). Absent in pre-fix dumps.
+    #[serde(default)]
+    pub deadline_failures: u64,
     /// Frames refused at the socket boundary under `Reject`.
     pub rejected: u64,
     /// Frames evicted at the socket boundary under `DropOldest`.
@@ -267,7 +272,8 @@ mod tests {
             "\"queue_depth\":0,\"latency\":{\"min_ns\":0,\"mean_ns\":0,\"max_ns\":0}}],",
             "\"submitted\":0,\"rejected\":0,\"reports\":0,\"empty_steps\":0,",
             "\"alarms\":0,\"checkpoints\":0,\"net\":{\"accepted\":0,\"closed\":0,",
-            "\"frames\":0,\"decode_errors\":0,\"timeouts\":0,\"rejected\":0,",
+            "\"frames\":0,\"decode_errors\":0,\"timeouts\":0,\"deadline_failures\":0,",
+            "\"rejected\":0,",
             "\"dropped\":0,\"duplicates\":0,\"out_of_order\":0,\"gap_skips\":0,",
             "\"checkpoint_failures\":0,\"connections\":[{\"conn\":0,\"peer\":\"\",",
             "\"protocol\":\"\",\"frames\":0,\"decode_errors\":0,\"timeouts\":0,",

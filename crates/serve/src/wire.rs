@@ -275,7 +275,7 @@ fn parse_measurement(machine: &str, metric: &str) -> Result<MeasurementId, Strin
     Ok(MeasurementId::new(machine, metric))
 }
 
-fn decode_json_payload(payload: &[u8]) -> Result<WireFrame, DecodeError> {
+pub(crate) fn decode_json_payload(payload: &[u8]) -> Result<WireFrame, DecodeError> {
     let parsed: JsonFrame =
         serde_json::from_slice(payload).map_err(|e| DecodeError::BadJson(e.to_string()))?;
     if !source_is_valid(&parsed.source) {

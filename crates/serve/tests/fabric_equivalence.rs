@@ -1,0 +1,298 @@
+//! The multi-node fabric equivalence property: a [`Coordinator`]
+//! fanning snapshots out to N remote [`ShardWorker`] processes (here:
+//! threads with real TCP sockets — `{N workers × 1 shard each}`)
+//! produces the exact same `StepReport` stream — boards and alarms,
+//! bit for bit — as a single unsharded `DetectionEngine`, which the
+//! sibling `equivalence` suite proves equals `{1 process × N shards}`.
+//! Holds for shard counts 1/2/4/8, and across a worker kill with
+//! checkpoint-transfer migration mid-stream.
+
+use std::thread::JoinHandle;
+
+use gridwatch_detect::{
+    AlarmPolicy, DetectionEngine, EngineConfig, EngineSnapshot, Snapshot, StepReport,
+};
+use gridwatch_serve::{
+    Coordinator, FabricConfig, FabricError, ShardWorker, WorkerController, WorkerSummary,
+};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STEP_SECS: u64 = 360;
+
+fn ids(measurements: usize) -> Vec<MeasurementId> {
+    (0..measurements as u32)
+        .map(|m| MeasurementId::new(MachineId::new(m / 2), MetricKind::Custom((m % 2) as u16)))
+        .collect()
+}
+
+fn value(m: usize, load: f64, noise: f64) -> f64 {
+    (m as f64 + 1.0) * load + 7.0 * m as f64 + noise
+}
+
+struct Case {
+    engine: EngineSnapshot,
+    trace: Vec<Snapshot>,
+}
+
+/// Same randomized-system builder as the in-process equivalence suite:
+/// coupled training histories plus a test trace that breaks one
+/// measurement over a window.
+fn build_case(
+    seed: u64,
+    measurements: usize,
+    steps: u64,
+    break_measurement: usize,
+    break_from: u64,
+    break_len: u64,
+) -> Case {
+    let ids = ids(measurements);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut noise = |scale: f64| (rng.random::<f64>() - 0.5) * scale;
+
+    let config = EngineConfig {
+        alarm: AlarmPolicy {
+            system_threshold: 0.7,
+            measurement_threshold: 0.4,
+            min_consecutive: 2,
+        },
+        ..EngineConfig::default()
+    };
+    let mut pairs = Vec::new();
+    for i in 0..measurements {
+        for j in (i + 1)..measurements {
+            let pair = MeasurementPair::new(ids[i], ids[j]).unwrap();
+            let history = PairSeries::from_samples((0..400u64).map(|k| {
+                let load = (k % 48) as f64;
+                (
+                    k * STEP_SECS,
+                    value(i, load, noise(0.4)),
+                    value(j, load, noise(0.4)),
+                )
+            }))
+            .unwrap();
+            pairs.push((pair, history));
+        }
+    }
+    let engine = DetectionEngine::train(pairs, config)
+        .expect("coupled histories always train")
+        .snapshot();
+
+    let break_measurement = break_measurement % measurements;
+    let trace = (0..steps)
+        .map(|k| {
+            let mut snap = Snapshot::new(Timestamp::from_secs((400 + k) * STEP_SECS));
+            let load = (k % 48) as f64;
+            for (m, &mid) in ids.iter().enumerate() {
+                let broken =
+                    m == break_measurement && (break_from..break_from + break_len).contains(&k);
+                let v = if broken {
+                    -150.0 - noise(10.0).abs()
+                } else {
+                    value(m, load, noise(0.4))
+                };
+                snap.insert(mid, v);
+            }
+            snap
+        })
+        .collect();
+    Case { engine, trace }
+}
+
+fn unsharded_reports(case: &Case) -> Vec<StepReport> {
+    let mut engine = DetectionEngine::from_snapshot(case.engine.clone());
+    case.trace.iter().map(|s| engine.step(s)).collect()
+}
+
+/// One in-process "remote" worker: a real TCP listener served on its
+/// own thread, killable mid-stream through its controller.
+struct Worker {
+    addr: String,
+    controller: WorkerController,
+    handle: JoinHandle<Result<WorkerSummary, FabricError>>,
+}
+
+fn spawn_worker() -> Worker {
+    let worker = ShardWorker::bind("127.0.0.1:0").expect("bind worker");
+    let addr = worker.local_addr().to_string();
+    let controller = worker.controller();
+    let handle = std::thread::spawn(move || worker.run());
+    Worker {
+        addr,
+        controller,
+        handle,
+    }
+}
+
+fn spawn_workers(n: usize) -> Vec<Worker> {
+    (0..n).map(|_| spawn_worker()).collect()
+}
+
+fn join_workers(workers: Vec<Worker>) {
+    for worker in workers {
+        // A killed worker returns Ok too; only a real server error
+        // should fail the test.
+        worker
+            .handle
+            .join()
+            .expect("worker thread")
+            .expect("worker run");
+    }
+}
+
+/// Streams the whole trace through a fabric of `shards` workers.
+fn fabric_reports(case: &Case, shards: usize) -> Vec<StepReport> {
+    let workers = spawn_workers(shards);
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+    let mut coordinator =
+        Coordinator::connect(case.engine.clone(), &addrs, FabricConfig::default())
+            .expect("connect fabric");
+    for snap in &case.trace {
+        coordinator.submit(snap.clone()).expect("submit");
+    }
+    let (reports, stats) = coordinator.shutdown(true);
+    assert_eq!(stats.reports, case.trace.len() as u64);
+    assert_eq!(stats.stale_boards, 0);
+    assert_eq!(stats.disconnects, 0);
+    join_workers(workers);
+    reports
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gridwatch-fabric-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Streams the trace through a fabric, but checkpoints a third of the
+/// way in, kills one worker two thirds of the way in, and migrates its
+/// shard to a fresh successor via checkpoint state + journal replay.
+fn fabric_reports_with_migration(
+    case: &Case,
+    shards: usize,
+    victim: usize,
+    tag: &str,
+) -> Vec<StepReport> {
+    let dir = scratch_dir(tag);
+    let mut workers = spawn_workers(shards);
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+    let mut coordinator =
+        Coordinator::connect(case.engine.clone(), &addrs, FabricConfig::default())
+            .expect("connect fabric");
+
+    let n = case.trace.len();
+    let cut = n / 3;
+    let kill_at = (2 * n) / 3;
+    for snap in &case.trace[..cut] {
+        coordinator.submit(snap.clone()).expect("submit");
+    }
+    coordinator.checkpoint(&dir).expect("checkpoint");
+    for snap in &case.trace[cut..kill_at] {
+        coordinator.submit(snap.clone()).expect("submit");
+    }
+
+    // Kill the victim mid-epoch and migrate its shard to a successor.
+    workers[victim].controller.kill();
+    coordinator.declare_dead(victim);
+    let successor = spawn_worker();
+    coordinator
+        .attach_worker(victim, &successor.addr)
+        .expect("attach successor");
+    let old = std::mem::replace(&mut workers[victim], successor);
+    old.handle
+        .join()
+        .expect("victim thread")
+        .expect("victim run");
+
+    for snap in &case.trace[kill_at..] {
+        coordinator.submit(snap.clone()).expect("submit");
+    }
+    let (reports, stats) = coordinator.shutdown(true);
+    assert_eq!(stats.reports, n as u64, "every step must still report");
+    assert_eq!(stats.migrations, 1);
+    assert_eq!(stats.checkpoints, 1);
+    join_workers(workers);
+    let _ = std::fs::remove_dir_all(&dir);
+    reports
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `{N processes × 1 shard}` over TCP equals the unsharded engine
+    /// (and, transitively, `{1 process × N shards}`) bit for bit.
+    #[test]
+    fn remote_fabric_matches_unsharded_bit_for_bit(
+        seed in 0u64..1_000_000,
+        measurements in 4usize..=6,
+        steps in 8u64..=18,
+        break_measurement in 0usize..6,
+        break_from in 0u64..10,
+        break_len in 0u64..8,
+    ) {
+        let case = build_case(seed, measurements, steps, break_measurement, break_from, break_len);
+        let want = unsharded_reports(&case);
+        for shards in [1usize, 2, 4, 8] {
+            let got = fabric_reports(&case, shards);
+            prop_assert_eq!(
+                &got,
+                &want,
+                "{} remote shards diverged from the unsharded engine",
+                shards
+            );
+        }
+    }
+
+    /// The stream stays bit-identical across a worker kill mid-epoch
+    /// with checkpoint-transfer migration to a successor.
+    #[test]
+    fn migration_preserves_the_report_stream(
+        seed in 0u64..1_000_000,
+        measurements in 4usize..=6,
+        steps in 9u64..=18,
+        break_measurement in 0usize..6,
+        break_from in 0u64..10,
+        break_len in 0u64..8,
+        victim_pick in 0usize..8,
+    ) {
+        let case = build_case(seed, measurements, steps, break_measurement, break_from, break_len);
+        let want = unsharded_reports(&case);
+        for shards in [1usize, 2, 4, 8] {
+            let victim = victim_pick % shards;
+            let got = fabric_reports_with_migration(
+                &case,
+                shards,
+                victim,
+                &format!("{seed}-{shards}"),
+            );
+            prop_assert_eq!(
+                &got,
+                &want,
+                "{} shards with shard {} migrated diverged from the unsharded engine",
+                shards,
+                victim
+            );
+        }
+    }
+}
+
+/// Non-random pin: the migration path must preserve an alarm-firing
+/// trace exactly — kills land mid-alarm-window so debounce state is
+/// exercised across the merge.
+#[test]
+fn alarms_survive_migration_bit_for_bit() {
+    let case = build_case(20080529, 6, 24, 5, 8, 9);
+    let want = unsharded_reports(&case);
+    let fired: usize = want.iter().map(|r| r.alarms.len()).sum();
+    assert!(fired > 0, "pin trace must raise alarms");
+    for shards in [2usize, 4] {
+        let got =
+            fabric_reports_with_migration(&case, shards, shards - 1, &format!("pin-{shards}"));
+        assert_eq!(got, want, "{shards} shards");
+    }
+}
