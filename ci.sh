@@ -11,7 +11,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> strict clippy on library crates (float-cmp, unwrap-used)"
 cargo clippy -q -p gridwatch-timeseries -p gridwatch-grid -p gridwatch-core \
-    -p gridwatch-detect -p gridwatch-serve --lib -- \
+    -p gridwatch-detect -p gridwatch-serve -p gridwatch-obs --lib -- \
     -D warnings -D clippy::float_cmp -D clippy::unwrap_used
 
 echo "==> gridwatch-audit: project lint pass + allowlist reconciliation"
@@ -31,6 +31,13 @@ cargo run -q -p gridwatch-audit --bin gridwatch-audit -- --paths crates/audit/te
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> observability goldens (exposition format + stats schema)"
+cargo test -q -p gridwatch-serve --lib -- \
+    prometheus_exposition_is_pinned stats_dump_schema_is_pinned
+
+echo "==> observability overhead gate (disabled tracing must be free)"
+cargo bench -q -p gridwatch-bench --bench obs_overhead
 
 echo "==> network fault injection (single-threaded, deterministic)"
 cargo test -q -p gridwatch-serve --test net_faults -- --test-threads=1

@@ -35,6 +35,15 @@ pub const CHECKPOINTED_STRUCTS: &[&str] = &[
     "DimensionPartition",
     "Interval",
     "GrowthPolicy",
+    // Serving stats land in `--stats` files and checkpoint directories;
+    // the flight-recorder events land in dumped `flight.jsonl` rings
+    // and persisted incident reports. Same compatibility contract.
+    "ServeStats",
+    "ShardStats",
+    "NetStats",
+    "ConnStats",
+    "LogHistogram",
+    "FlightEvent",
 ];
 
 /// Identifier fragments that mark a value as a score or probability for

@@ -1,0 +1,70 @@
+//! Observability overhead: the disabled tracing path must be free.
+//!
+//! The pipeline takes a span around every stage of every snapshot, so
+//! the disabled path (one relaxed atomic load, no clock read, no
+//! allocation) is on the hottest loop in the system. Besides the usual
+//! Criterion numbers this bench opens with a hard gate: a disabled span
+//! costing more than `DISABLED_SPAN_CEILING_NS` per call fails the run
+//! outright, so a regression cannot hide in a report nobody reads.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridwatch_obs::{FlightRecorder, Stage, Tracer};
+
+/// Generous ceiling for one disabled span (load + branch, no clock
+/// read). An order of magnitude above the expected cost so slow or
+/// heavily shared CI hosts do not flake, while an accidental clock read
+/// (~20-60ns) or allocation still trips it.
+const DISABLED_SPAN_CEILING_NS: f64 = 15.0;
+
+/// Hard-asserts the disabled-span cost before any benchmarks run.
+fn assert_disabled_path_is_free() {
+    let tracer = Tracer::disabled();
+    // Warm up, then time a tight loop long enough to drown out timer
+    // granularity (~10ms at the ceiling).
+    for _ in 0..100_000 {
+        black_box(tracer.span(black_box(Stage::Score)));
+    }
+    let iters = 1_000_000u32;
+    let started = Instant::now();
+    for _ in 0..iters {
+        black_box(tracer.span(black_box(Stage::Score)));
+    }
+    let per_iter_ns = started.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
+    assert!(
+        per_iter_ns <= DISABLED_SPAN_CEILING_NS,
+        "disabled span costs {per_iter_ns:.1}ns/call (ceiling {DISABLED_SPAN_CEILING_NS}ns): \
+         the disabled tracing path is no longer free"
+    );
+    println!("disabled span: {per_iter_ns:.2}ns/call (ceiling {DISABLED_SPAN_CEILING_NS}ns)");
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    assert_disabled_path_is_free();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+
+    group.bench_function("disabled_span", |b| {
+        let tracer = Tracer::disabled();
+        b.iter(|| black_box(tracer.span(black_box(Stage::Score))));
+    });
+    group.bench_function("enabled_span", |b| {
+        let tracer = Tracer::enabled();
+        b.iter(|| black_box(tracer.span(black_box(Stage::Score))));
+    });
+    group.bench_function("record_ns_enabled", |b| {
+        let tracer = Tracer::enabled();
+        b.iter(|| tracer.record_ns(black_box(Stage::Score), black_box(1_250)));
+    });
+    group.bench_function("flight_recorder_event", |b| {
+        let recorder = FlightRecorder::default();
+        b.iter(|| recorder.record("bench", format_args!("event {}", black_box(7u64))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -7,11 +7,14 @@
 use std::time::{Duration, Instant};
 
 use gridwatch_detect::{EngineSnapshot, Snapshot};
+use gridwatch_obs::PipelineObs;
 use gridwatch_serve::{Checkpointer, Coordinator, FabricConfig, FabricError};
 use gridwatch_timeseries::Timestamp;
 
 use crate::commands::serve::ReportTally;
-use crate::commands::{load_trace, write_file};
+use crate::commands::{
+    dump_flight, install_flight_panic_hook, load_trace, start_metrics, write_stats_atomic,
+};
 use crate::flags::Flags;
 
 const HELP: &str = "\
@@ -46,7 +49,14 @@ durability:
                             fail fast)
   --halt-workers            send workers a shutdown control at exit
                             (default: leave them listening)
-  --stats FILE              write fabric stats as JSON at exit";
+  --stats FILE              write fabric stats as JSON at exit
+
+observability:
+  --metrics ADDR            serve Prometheus metrics over HTTP on ADDR
+                            (e.g. 127.0.0.1:0; port 0 picks a free port)
+                            and enable span tracing across the fabric
+                            (workers are told to trace in the handshake);
+                            flight recorder dumps land in --checkpoint DIR";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -122,7 +132,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let trace = load_trace(&trace_path)?;
     let pairs = snapshot.models.len();
-    let mut coordinator = Coordinator::connect(snapshot, &addrs, fabric)
+    let metrics_addr: Option<String> = flags.get("metrics")?;
+    let obs = PipelineObs::default();
+    if metrics_addr.is_some() {
+        // The Hello handshake propagates the enabled tracer to every
+        // worker, so one flag lights up the whole fabric.
+        obs.tracer.enable();
+    }
+    if let Some(dir) = checkpoint_dir.clone() {
+        install_flight_panic_hook(obs.recorder.clone(), dir);
+    }
+    let mut coordinator = Coordinator::connect_with_obs(snapshot, &addrs, fabric, obs.clone())
         .map_err(|e| format!("cannot connect the fabric: {e}"))?;
     println!(
         "coordinating {} remote shards ({} pairs) over {:?}",
@@ -130,6 +150,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         pairs,
         addrs
     );
+    let probe = coordinator.metrics_probe();
+    let _metrics = start_metrics(metrics_addr.as_deref(), move || probe.to_prometheus())?;
 
     let start = Timestamp::from_days(from_day);
     let end = Timestamp::from_days(from_day + days);
@@ -173,6 +195,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
             checkpoint(&mut coordinator, &addrs, reattach_secs, dir)?;
         }
         while let Some(report) = coordinator.try_recv_report() {
+            if !report.alarms.is_empty() {
+                if let Some(dir) = checkpoint_dir.as_deref() {
+                    dump_flight(&obs.recorder, dir, "alarm");
+                }
+            }
             tally.note(&report);
         }
         if let Some(deadline) = deadline {
@@ -192,6 +219,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let (rest, stats) = coordinator.shutdown(flags.has("halt-workers"));
     for report in &rest {
         tally.note(report);
+    }
+    if let Some(dir) = checkpoint_dir.as_deref() {
+        dump_flight(&obs.recorder, dir, "shutdown");
     }
     let elapsed = began.elapsed();
 
@@ -218,7 +248,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let Some(path) = stats_path.as_deref() {
         let json = serde_json::to_string_pretty(&stats)
             .map_err(|e| format!("cannot serialize stats: {e}"))?;
-        write_file(path, &json)?;
+        write_stats_atomic(path, &json)?;
         println!("fabric stats written to {path}");
     }
     Ok(())

@@ -32,6 +32,76 @@ pub fn write_file(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
+/// Writes stats JSON through the checkpoint layer's torn-write-proof
+/// path (temp file, fsync, rename), creating parent directories. A
+/// reader polling the file mid-write sees either the old stats or the
+/// new stats, never a prefix.
+pub fn write_stats_atomic(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create directory for {path}: {e}"))?;
+        }
+    }
+    gridwatch_serve::write_atomic(Path::new(path), contents)
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Starts the Prometheus endpoint when `--metrics ADDR` was given,
+/// printing the bound address (port 0 picks a free port; tests parse
+/// this line to find it). The returned guard keeps the endpoint alive;
+/// dropping it stops serving.
+pub fn start_metrics<F>(
+    addr: Option<&str>,
+    render: F,
+) -> Result<Option<gridwatch_obs::MetricsServer>, String>
+where
+    F: Fn() -> String + Send + Sync + 'static,
+{
+    let Some(addr) = addr else {
+        return Ok(None);
+    };
+    let server = gridwatch_obs::MetricsServer::bind(addr, render)
+        .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+    println!("metrics on http://{}/metrics", server.local_addr());
+    std::io::Write::flush(&mut std::io::stdout()).map_err(|e| format!("stdout: {e}"))?;
+    Ok(Some(server))
+}
+
+/// Dumps the flight recorder into the checkpoint directory,
+/// best-effort: a failed dump must never take down the serving path it
+/// documents.
+pub fn dump_flight(recorder: &gridwatch_obs::FlightRecorder, dir: &str, why: &str) {
+    let path = Path::new(dir).join("flight.jsonl");
+    match recorder.dump(&path) {
+        Ok(()) => {
+            gridwatch_obs::info!(
+                "obs",
+                "flight recorder dumped to {} ({why})",
+                path.display()
+            );
+        }
+        Err(e) => {
+            gridwatch_obs::warn!(
+                "obs",
+                "cannot dump flight recorder to {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Installs a panic hook that dumps the flight recorder before the
+/// default hook prints the backtrace, so a crash leaves the pipeline's
+/// run-up behind in the checkpoint directory.
+pub fn install_flight_panic_hook(recorder: gridwatch_obs::FlightRecorder, dir: String) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let _ = recorder.dump(&Path::new(&dir).join("flight.jsonl"));
+        prev(info);
+    }));
+}
+
 /// A trace's series truncated to `[start, end)` per measurement.
 pub fn trace_window(
     trace: &Trace,

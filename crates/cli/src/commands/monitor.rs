@@ -45,6 +45,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     snapshot.config.alarm.min_consecutive =
         flags.get_or("consecutive", snapshot.config.alarm.min_consecutive)?;
     let mut engine = DetectionEngine::from_snapshot(snapshot);
+    // The flight recorder gives `--incidents` reports their run-up: the
+    // engine logs alarm events into the shared ring as it steps.
+    let recorder = gridwatch_obs::FlightRecorder::default();
+    engine.attach_recorder(recorder.clone());
 
     let start = Timestamp::from_days(from_day);
     let end = Timestamp::from_days(from_day + days);
@@ -73,7 +77,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
             println!("ALARM {alarm}");
         }
         if !report.alarms.is_empty() && flags.has("incidents") {
-            println!("{}", IncidentReport::compile(&engine, &report.scores, 3));
+            let incident = IncidentReport::compile(&engine, &report.scores, 3)
+                .with_events(recorder.snapshot());
+            println!("{incident}");
         }
     }
     println!(

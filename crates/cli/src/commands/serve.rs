@@ -14,7 +14,11 @@ use gridwatch_serve::{
 };
 use gridwatch_timeseries::Timestamp;
 
-use crate::commands::{load_trace, write_file};
+use gridwatch_obs::PipelineObs;
+
+use crate::commands::{
+    dump_flight, install_flight_panic_hook, load_trace, start_metrics, write_stats_atomic,
+};
 use crate::flags::Flags;
 
 const HELP: &str = "\
@@ -40,6 +44,12 @@ engine:
                             instead of --engine
   --stats FILE              write serving stats as JSON (flushed at every
                             checkpoint, and again at exit)
+
+observability:
+  --metrics ADDR            serve Prometheus metrics over HTTP on ADDR
+                            (e.g. 127.0.0.1:0; port 0 picks a free port)
+                            and enable pipeline span tracing; flight
+                            recorder dumps land in --checkpoint DIR
 
 replay mode:
   --from-day N              first day to stream (default 15 = June 13)
@@ -170,7 +180,19 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
     let trace = load_trace(&trace_path)?;
     let (snapshot, _) = load_snapshot(flags, checkpoint_dir.as_deref())?;
 
-    let mut engine = ShardedEngine::start(snapshot, serve_config);
+    let metrics_addr: Option<String> = flags.get("metrics")?;
+    let obs = PipelineObs::default();
+    if metrics_addr.is_some() {
+        // Tracing costs nothing while disabled; the metrics endpoint
+        // is its only consumer, so the flag doubles as the switch.
+        obs.tracer.enable();
+    }
+    if let Some(dir) = checkpoint_dir.clone() {
+        install_flight_panic_hook(obs.recorder.clone(), dir);
+    }
+    let mut engine = ShardedEngine::start_with_obs(snapshot, serve_config, obs.clone());
+    let probe = engine.stats_probe();
+    let _metrics = start_metrics(metrics_addr.as_deref(), move || probe.to_prometheus())?;
     let start = Timestamp::from_days(from_day);
     let end = Timestamp::from_days(from_day + days);
     let tick_budget = if rate > 0.0 {
@@ -208,10 +230,15 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
             // so an operator watching a long replay (or recovering from
             // a crash) sees eviction counts from the same cut.
             if let Some(path) = stats_path.as_deref() {
-                write_file(path, &engine.stats().to_json())?;
+                write_stats_atomic(path, &engine.stats().to_json())?;
             }
         }
         while let Some(report) = engine.try_recv_report() {
+            if !report.alarms.is_empty() {
+                if let Some(dir) = checkpoint_dir.as_deref() {
+                    dump_flight(&obs.recorder, dir, "alarm");
+                }
+            }
             tally.note(&report);
         }
         if let Some(deadline) = deadline {
@@ -235,6 +262,9 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
     for report in &rest {
         tally.note(report);
     }
+    if let Some(dir) = checkpoint_dir.as_deref() {
+        dump_flight(&obs.recorder, dir, "shutdown");
+    }
     let elapsed = began.elapsed();
 
     println!(
@@ -257,7 +287,7 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
     }
     tally.print_floor();
     if let Some(path) = stats_path.as_deref() {
-        write_file(path, &stats.to_json())?;
+        write_stats_atomic(path, &stats.to_json())?;
         println!("serving stats written to {path}");
     }
     Ok(())
@@ -290,8 +320,23 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     }
 
     let (snapshot, sources) = load_snapshot(flags, checkpoint_dir.as_deref())?;
-    let server = NetServer::bind(addr, snapshot, serve_config, net_config, sources)
-        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let metrics_addr: Option<String> = flags.get("metrics")?;
+    let obs = PipelineObs::default();
+    if metrics_addr.is_some() {
+        obs.tracer.enable();
+    }
+    if let Some(dir) = checkpoint_dir.clone() {
+        install_flight_panic_hook(obs.recorder.clone(), dir);
+    }
+    let server = NetServer::bind_with_obs(
+        addr,
+        snapshot,
+        serve_config,
+        net_config,
+        sources,
+        obs.clone(),
+    )
+    .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
     // Tooling (and the integration tests) parse the bound port from this
     // line, so it must hit the pipe before the first client connects.
     println!(
@@ -302,6 +347,8 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     std::io::stdout()
         .flush()
         .map_err(|e| format!("stdout: {e}"))?;
+    let probe = server.metrics_probe();
+    let _metrics = start_metrics(metrics_addr.as_deref(), move || probe.to_prometheus())?;
 
     let began = Instant::now();
     let mut tally = ReportTally::default();
@@ -309,12 +356,20 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     while max_snapshots == 0 || seen < max_snapshots {
         if let Some(report) = server.recv_report_timeout(Duration::from_millis(500)) {
             seen += 1;
+            if !report.alarms.is_empty() {
+                if let Some(dir) = checkpoint_dir.as_deref() {
+                    dump_flight(&obs.recorder, dir, "alarm");
+                }
+            }
             tally.note(&report);
         }
     }
     let (rest, stats) = server.shutdown();
     for report in &rest {
         tally.note(report);
+    }
+    if let Some(dir) = checkpoint_dir.as_deref() {
+        dump_flight(&obs.recorder, dir, "shutdown");
     }
     let elapsed = began.elapsed();
 
@@ -343,7 +398,7 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     );
     tally.print_floor();
     if let Some(path) = stats_path.as_deref() {
-        write_file(path, &stats.to_json())?;
+        write_stats_atomic(path, &stats.to_json())?;
         println!("serving stats written to {path}");
     }
     Ok(())

@@ -5,15 +5,21 @@
 
 use std::io::Write;
 
+use gridwatch_obs::PipelineObs;
 use gridwatch_serve::ShardWorker;
 
+use crate::commands::start_metrics;
 use crate::flags::Flags;
 
 const HELP: &str = "\
-gridwatch shard-worker --listen ADDR
+gridwatch shard-worker --listen ADDR [flags]
 
   --listen ADDR             accept coordinator sessions on ADDR (e.g.
                             127.0.0.1:7801; port 0 picks a free port)
+  --metrics ADDR            serve Prometheus metrics over HTTP on ADDR
+                            (port 0 picks a free port) and enable span
+                            tracing locally; a coordinator's handshake
+                            can also enable tracing remotely
 
 The worker is placement-agnostic: its shard index, fabric epoch, and
 pair models all arrive in the coordinator's handshake, so the same
@@ -29,13 +35,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     let flags = Flags::parse(args, &[])?;
     let addr: String = flags.require("listen")?;
-    let worker = ShardWorker::bind(&addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let metrics_addr: Option<String> = flags.get("metrics")?;
+    let obs = PipelineObs::default();
+    if metrics_addr.is_some() {
+        obs.tracer.enable();
+    }
+    let worker = ShardWorker::bind_with_obs(&addr, obs)
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
     // Tooling (and the integration tests) parse the bound port from
     // this line, so it must hit the pipe before the coordinator dials.
     println!("worker listening on {}", worker.local_addr());
     std::io::stdout()
         .flush()
         .map_err(|e| format!("stdout: {e}"))?;
+    let probe = worker.metrics_probe();
+    let _metrics = start_metrics(metrics_addr.as_deref(), move || probe.to_prometheus())?;
     let summary = worker.run().map_err(|e| format!("worker failed: {e}"))?;
     println!(
         "worker served {} sessions: {} snapshots scored, {} boards sent, \

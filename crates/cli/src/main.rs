@@ -41,16 +41,17 @@ commands:
              [--protocol auto|json|csv] [--read-timeout SECS]
              [--max-frame-bytes N] [--max-snapshots N] [--checkpoint DIR]
              [--checkpoint-every N] [--resume] [--stats FILE]
+             [--metrics ADDR]
   shard-worker
              serve one shard of a multi-node fabric over TCP
-             --listen ADDR
+             --listen ADDR [--metrics ADDR]
   coordinator
              replay a trace through remote shard workers and merge
              their boards into one report stream
              --trace FILE --engine FILE --workers ADDR[,ADDR...]
              [--from-day N] [--days N] [--rate X] [--checkpoint DIR]
              [--checkpoint-every N] [--resume] [--reattach-secs N]
-             [--halt-workers] [--stats FILE]
+             [--halt-workers] [--stats FILE] [--metrics ADDR]
   inspect    summarize a persisted engine
              --engine FILE [--verbose]
   audit      lint the workspace sources, or validate a checkpoint

@@ -274,6 +274,256 @@ fn serve_replays_the_fault_day_through_shards() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Prepares a simulated trace plus a trained engine and returns their
+/// paths. `fault` injects the Figure-12 break on day 15.
+fn sim_and_train(dir: &std::path::Path, seed: &str, fault: bool) -> (String, String) {
+    let trace = dir.join("trace.csv").to_string_lossy().to_string();
+    let engine = dir.join("engine.json").to_string_lossy().to_string();
+    let mut args = vec![
+        "simulate",
+        "--out",
+        &trace,
+        "--group",
+        "A",
+        "--machines",
+        "3",
+        "--days",
+        "16",
+        "--seed",
+        seed,
+    ];
+    if fault {
+        args.push("--fault");
+    }
+    run_ok(bin().args(&args));
+    run_ok(bin().args([
+        "train",
+        "--trace",
+        &trace,
+        "--out",
+        &engine,
+        "--train-days",
+        "8",
+    ]));
+    (trace, engine)
+}
+
+#[test]
+fn monitor_output_is_pinned_and_incidents_carry_flight_events() {
+    let dir = tmp_dir("monitor_golden");
+    let (trace, engine) = sim_and_train(&dir, "7", true);
+
+    let out = run_ok(bin().args([
+        "monitor",
+        "--trace",
+        &trace,
+        "--engine",
+        &engine,
+        "--from-day",
+        "15",
+        "--days",
+        "1",
+        "--system-threshold",
+        "0.0",
+        "--measurement-threshold",
+        "0.55",
+        "--incidents",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    // The summary lines tooling parses.
+    assert!(
+        text.contains("monitored 240 snapshots over day 15..16;"),
+        "{text}"
+    );
+    assert!(text.contains("lowest system fitness: "), "{text}");
+    // The incident drill-down carries the engine's flight-recorder
+    // ring: the alarm that triggered it is already in the run-up.
+    assert!(text.contains("incident report @"), "{text}");
+    assert!(text.contains("recent pipeline events:"), "{text}");
+    assert!(text.contains("alarm event(s) at t="), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn monitor_flag_validation() {
+    let out = run_ok(bin().args(["monitor", "--help"]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("--incidents"), "{text}");
+
+    // Missing required flags, named in order of declaration.
+    let out = bin().arg("monitor").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace is required"));
+    let out = bin()
+        .args(["monitor", "--trace", "x.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--engine is required"));
+
+    // A malformed numeric flag names the offending flag.
+    let out = bin()
+        .args([
+            "monitor", "--trace", "x.csv", "--engine", "x.json", "--days", "banana",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad value for --days"));
+
+    // Positional arguments are rejected, not silently ignored.
+    let out = bin()
+        .args(["monitor", "trace.csv", "--engine", "x.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected positional argument"));
+}
+
+#[test]
+fn inspect_output_is_pinned() {
+    let dir = tmp_dir("inspect_golden");
+    let (_, engine) = sim_and_train(&dir, "11", false);
+
+    let out = run_ok(bin().args(["inspect", "--engine", &engine]));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains(&format!("engine snapshot: {engine}")),
+        "{text}"
+    );
+    assert!(text.contains("  pair models: "), "{text}");
+    assert!(text.contains("  model config: kernel "), "{text}");
+    assert!(text.contains("  alarm policy: system < "), "{text}");
+    assert!(text.contains("  total cells: "), "{text}");
+    assert!(
+        !text.contains("grid "),
+        "terse mode must skip per-pair lines"
+    );
+
+    // Verbose adds one grid line per pair model.
+    let out = run_ok(bin().args(["inspect", "--engine", &engine, "--verbose"]));
+    let verbose = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(verbose.contains("grid "), "{verbose}");
+    assert!(verbose.contains(" transitions, "), "{verbose}");
+    assert!(
+        verbose.lines().count() > text.lines().count(),
+        "--verbose must add lines"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_flag_validation() {
+    let out = run_ok(bin().args(["inspect", "--help"]));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--verbose"));
+
+    let out = bin().arg("inspect").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--engine is required"));
+
+    // A missing snapshot file fails cleanly.
+    let out = bin()
+        .args(["inspect", "--engine", "/no/such/engine.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // A file that is not an engine snapshot names the parse failure.
+    let dir = tmp_dir("inspect_bad");
+    let bogus = dir.join("bogus.json");
+    std::fs::write(&bogus, "{\"not\": \"an engine\"}").unwrap();
+    let out = bin()
+        .args(["inspect", "--engine", &bogus.to_string_lossy()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_dumps_are_atomic_and_observed_replay_matches() {
+    let dir = tmp_dir("stats_atomic");
+    let (trace, engine) = sim_and_train(&dir, "7", true);
+    let stats = dir.join("out").join("stats.json");
+    let stats_arg = stats.to_string_lossy().to_string();
+
+    let serve = |extra: &[&str]| {
+        let mut args = vec![
+            "serve",
+            "--trace",
+            &trace,
+            "--engine",
+            &engine,
+            "--from-day",
+            "15",
+            "--days",
+            "1",
+            "--shards",
+            "2",
+            "--system-threshold",
+            "0.0",
+            "--measurement-threshold",
+            "0.55",
+        ];
+        args.extend_from_slice(extra);
+        let out = run_ok(bin().args(&args));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    let ckpt = dir.join("ckpt").to_string_lossy().to_string();
+    let ckpt2 = dir.join("ckpt2").to_string_lossy().to_string();
+    let plain = serve(&[
+        "--stats",
+        &stats_arg,
+        "--checkpoint",
+        &ckpt,
+        "--checkpoint-every",
+        "50",
+    ]);
+    assert!(plain.contains("serving stats written"), "{plain}");
+
+    // The periodic flushes and the final write all went through the
+    // atomic temp-file path: the dump parses and no temp file remains.
+    let parsed: gridwatch_serve::ServeStats =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    assert!(parsed.submitted > 0);
+    let leftovers: Vec<_> = std::fs::read_dir(stats.parent().unwrap())
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().to_string())
+        .filter(|name| name.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "torn temp files left: {leftovers:?}");
+
+    // The alarm stream with the metrics endpoint live is identical to
+    // the unobserved run, and the flight recorder dumped on alarm.
+    let observed = serve(&["--metrics", "127.0.0.1:0", "--checkpoint", &ckpt2]);
+    assert!(observed.contains("metrics on http://"), "{observed}");
+    let alarms = |text: &str| {
+        text.lines()
+            .filter(|l| l.starts_with("ALARM "))
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        alarms(&plain),
+        alarms(&observed),
+        "observability changed the alarm stream"
+    );
+    let flight = dir.join("ckpt2").join("flight.jsonl");
+    let ring = std::fs::read_to_string(&flight).unwrap();
+    assert!(
+        ring.lines()
+            .any(|l| l.contains("\"kind\":\"alarm\"") || l.contains("alarm")),
+        "flight dump missing alarm events: {ring}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn serve_flag_validation() {
     let out = run_ok(bin().args(["serve", "--help"]));

@@ -106,6 +106,20 @@ impl Proc {
         }
     }
 
+    /// Blocks until the next stdout line starting with `announce`,
+    /// returning the rest of that line.
+    fn next_announce(&mut self, announce: &str) -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.stdout.read_line(&mut line).expect("read child stdout");
+            assert!(n > 0, "child exited before announcing {announce:?}");
+            if let Some(rest) = line.trim().strip_prefix(announce) {
+                return rest.to_string();
+            }
+        }
+    }
+
     /// Waits for a clean exit and returns the remaining stdout.
     fn wait(mut self) -> String {
         let mut rest = String::new();
@@ -339,4 +353,96 @@ fn killed_coordinator_resumes_from_an_audited_checkpoint() {
         assert!(summary.contains("worker served 2 sessions"), "{summary}");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Parses the `SocketAddr` out of a `metrics on http://HOST:PORT/metrics`
+/// announcement tail.
+fn metrics_addr(announce: &str) -> std::net::SocketAddr {
+    announce
+        .trim_start_matches("http://")
+        .trim_end_matches("/metrics")
+        .parse()
+        .unwrap_or_else(|e| panic!("bad metrics address {announce:?}: {e}"))
+}
+
+#[test]
+fn observed_fabric_matches_reference_and_serves_live_metrics() {
+    let dir = tmp_dir("metrics");
+    let (trace, engine) = fixture(&dir);
+    let reference = serve_reference(&trace, &engine);
+
+    // Workers expose their own endpoints; the coordinator's handshake
+    // (sent because it runs with --metrics) lights their tracers up.
+    let (mut w0, a0) = spawn_worker_with_metrics("127.0.0.1:0");
+    let (mut w1, a1) = spawn_worker_with_metrics("127.0.0.1:0");
+    let m0 = metrics_addr(&w0.next_announce("metrics on "));
+    let m1 = metrics_addr(&w1.next_announce("metrics on "));
+    let workers = format!("{a0},{a1}");
+    let out = run_ok(&[
+        "coordinator",
+        "--trace",
+        &trace,
+        "--engine",
+        &engine,
+        "--workers",
+        &workers,
+        "--metrics",
+        "127.0.0.1:0",
+    ]);
+    assert!(out.contains("metrics on http://"), "{out}");
+    assert_eq!(essence(&out), essence(&reference), "{out}");
+    let served: u64 = out
+        .lines()
+        .find_map(|l| l.strip_prefix("served ")?.split(' ').next()?.parse().ok())
+        .expect("served summary line");
+    assert!(served > 0, "{out}");
+
+    // The workers outlive the run (no --halt-workers), so their
+    // endpoints are scrapable with the final counts: every snapshot
+    // fanned out to both shards, and the handshake-propagated tracer
+    // recorded spans on each.
+    for addr in [m0, m1] {
+        let (status, body) = gridwatch_obs::scrape(addr, "/metrics").expect("scrape worker");
+        assert!(status.contains("200"), "bad status {status}");
+        let samples = gridwatch_obs::parse_exposition(&body).expect("parseable exposition");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name}:\n{body}"))
+                .value
+        };
+        assert_eq!(get("gridwatch_worker_snapshots_total"), served as f64);
+        assert_eq!(get("gridwatch_worker_boards_total"), served as f64);
+        assert_eq!(get("gridwatch_worker_sessions_total"), 1.0);
+        assert_eq!(get("gridwatch_worker_protocol_errors_total"), 0.0);
+        let score_count = samples
+            .iter()
+            .find(|s| {
+                s.name == "gridwatch_stage_ns_count"
+                    && s.labels.iter().any(|(k, v)| k == "stage" && v == "score")
+            })
+            .unwrap_or_else(|| panic!("no score spans:\n{body}"));
+        assert_eq!(score_count.value, served as f64);
+    }
+
+    w0.kill();
+    w1.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns a `shard-worker` with a metrics endpoint and parses its bound
+/// listen address (the metrics address is announced on the next line).
+fn spawn_worker_with_metrics(listen: &str) -> (Proc, String) {
+    Proc::spawn(
+        &[
+            "shard-worker",
+            "--listen",
+            listen,
+            "--metrics",
+            "127.0.0.1:0",
+        ],
+        "worker listening on ",
+    )
+    .expect("worker spawns")
 }

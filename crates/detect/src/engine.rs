@@ -61,6 +61,7 @@ pub struct DetectionEngine {
     tracker: AlarmTracker,
     training: TrainingOutcome,
     last_snapshot_at: Option<gridwatch_timeseries::Timestamp>,
+    recorder: Option<gridwatch_obs::FlightRecorder>,
 }
 
 impl DetectionEngine {
@@ -103,6 +104,7 @@ impl DetectionEngine {
                 skipped,
             },
             last_snapshot_at: None,
+            recorder: None,
         })
     }
 
@@ -141,10 +143,31 @@ impl DetectionEngine {
     pub fn step(&mut self, snapshot: &Snapshot) -> StepReport {
         let board = self.step_scores(snapshot);
         let alarms = self.tracker.evaluate(&board, &self.config.alarm);
+        if !alarms.is_empty() {
+            if let Some(recorder) = &self.recorder {
+                recorder.record(
+                    "alarm",
+                    format_args!("{} alarm event(s) at t={}", alarms.len(), board.at()),
+                );
+            }
+        }
         StepReport {
             scores: board,
             alarms,
         }
+    }
+
+    /// Attaches a flight recorder: every alarming [`DetectionEngine::step`]
+    /// records an `alarm` event, so an [`crate::IncidentReport`] compiled
+    /// later can carry the run-up via
+    /// [`crate::IncidentReport::with_events`].
+    pub fn attach_recorder(&mut self, recorder: gridwatch_obs::FlightRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&gridwatch_obs::FlightRecorder> {
+        self.recorder.as_ref()
     }
 
     /// The scoring half of [`DetectionEngine::step`]: updates every pair
@@ -257,6 +280,7 @@ impl DetectionEngine {
                 skipped: Vec::new(),
             },
             last_snapshot_at: None,
+            recorder: None,
         }
     }
 }

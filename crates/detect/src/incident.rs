@@ -3,6 +3,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use gridwatch_obs::FlightEvent;
 use gridwatch_timeseries::{MachineId, MeasurementId, Timestamp};
 
 use crate::engine::DetectionEngine;
@@ -59,6 +60,11 @@ pub struct IncidentReport {
     /// (the paper's "problematic measurement ranges"), worst first
     /// (capped).
     pub worst_pairs: Vec<PairFinding>,
+    /// Recent pipeline events from the flight recorder, oldest first —
+    /// what the pipeline did in the run-up to this incident. Defaulted
+    /// so reports persisted before this field existed still parse.
+    #[serde(default)]
+    pub recent_events: Vec<FlightEvent>,
 }
 
 /// One low-scoring pair within an incident.
@@ -104,7 +110,16 @@ impl IncidentReport {
             suspect_machines,
             suspect_measurements,
             worst_pairs,
+            recent_events: Vec::new(),
         }
+    }
+
+    /// Attaches a flight-recorder snapshot (oldest first) so the report
+    /// carries the pipeline's recent history alongside the scores.
+    #[must_use]
+    pub fn with_events(mut self, events: Vec<FlightEvent>) -> Self {
+        self.recent_events = events;
+        self
     }
 
     /// Per-machine scores as a map (convenience for dashboards).
@@ -135,6 +150,18 @@ impl fmt::Display for IncidentReport {
                 write!(f, " in ranges {r}")?;
             }
             writeln!(f)?;
+        }
+        if !self.recent_events.is_empty() {
+            writeln!(f, "  recent pipeline events:")?;
+            for e in &self.recent_events {
+                writeln!(
+                    f,
+                    "    +{:.3}ms {}: {}",
+                    e.at_ns as f64 / 1e6,
+                    e.kind,
+                    e.detail
+                )?;
+            }
         }
         Ok(())
     }
@@ -243,9 +270,38 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let (engine, board) = engine_with_context();
-        let incident = IncidentReport::compile(&engine, &board, 3);
+        let incident = IncidentReport::compile(&engine, &board, 3).with_events(vec![FlightEvent {
+            at_ns: 1_500_000,
+            kind: "alarm".to_string(),
+            detail: "system alarm".to_string(),
+        }]);
         let json = serde_json::to_string(&incident).unwrap();
         let back: IncidentReport = serde_json::from_str(&json).unwrap();
         assert_eq!(incident, back);
+    }
+
+    #[test]
+    fn attached_events_render_and_old_reports_still_parse() {
+        let (engine, board) = engine_with_context();
+        let incident = IncidentReport::compile(&engine, &board, 3);
+        assert!(!incident.to_string().contains("recent pipeline events"));
+
+        let with_events = incident.clone().with_events(vec![FlightEvent {
+            at_ns: 2_000_000,
+            kind: "decode-error".to_string(),
+            detail: "conn 3: bad frame".to_string(),
+        }]);
+        let text = with_events.to_string();
+        assert!(text.contains("recent pipeline events:"));
+        assert!(text.contains("+2.000ms decode-error: conn 3: bad frame"));
+
+        // A report persisted before `recent_events` existed parses to
+        // an empty event list.
+        let json = serde_json::to_string(&incident).unwrap();
+        let stripped = json.replace(",\"recent_events\":[]", "");
+        assert!(stripped.len() < json.len(), "field was present to strip");
+        let back: IncidentReport = serde_json::from_str(&stripped).unwrap();
+        assert!(back.recent_events.is_empty());
+        assert_eq!(back.at, incident.at);
     }
 }

@@ -1,0 +1,265 @@
+//! Log-bucketed histograms for latency and depth distributions.
+//!
+//! Values land in power-of-two buckets (`bucket k` holds
+//! `2^(k-1) ..= 2^k - 1`, with bucket 0 reserved for zero), so a
+//! histogram covering the full `u64` range needs at most
+//! [`MAX_BUCKETS`] counters and recording is a shift plus an
+//! increment. Histograms merge exactly across shards and processes —
+//! bucket counts, totals, and extrema are all sums or min/max — which
+//! is what lets per-shard and per-worker distributions roll up into
+//! one fabric-wide view.
+//!
+//! Quantiles are read off the cumulative bucket walk and clamped to
+//! the observed `[min, max]`, so they are upper bounds with at most a
+//! 2x relative error — the usual trade of log-bucketed histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// One more than the highest bucket index: bucket 0 for zero plus one
+/// bucket per bit position of a `u64`.
+pub const MAX_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for zero, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `index` can hold.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+///
+/// Every field carries `#[serde(default)]`: the struct appears inside
+/// persisted stats dumps, and older dumps (which carried a
+/// `{min_ns, mean_ns, max_ns}` summary object under the same key) must
+/// keep deserializing — unknown keys are ignored and missing ones
+/// default, so an old dump parses as an empty histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Samples recorded.
+    #[serde(default)]
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    #[serde(default)]
+    pub sum: u64,
+    /// Smallest sample (0 until the first record).
+    #[serde(default)]
+    pub min: u64,
+    /// Largest sample.
+    #[serde(default)]
+    pub max: u64,
+    /// Per-bucket counts; trailing empty buckets are not stored.
+    #[serde(default)]
+    pub buckets: Vec<u64>,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if self.count == 1 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        let idx = bucket_index(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Folds another histogram into this one. Merging is exact: the
+    /// result is identical to having recorded both sample streams into
+    /// a single histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (slot, n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += n;
+        }
+    }
+
+    /// The mean sample, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// An upper bound on the `q`-quantile (`q` in `[0, 1]`), clamped
+    /// to the observed range. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_upper_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_the_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert!(bucket_index(u64::MAX) < MAX_BUCKETS);
+        // Each bucket's upper bound lands back in that bucket.
+        for idx in 0..MAX_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(idx)), idx, "bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn records_track_count_sum_extrema() {
+        let mut h = LogHistogram::new();
+        for v in [300u64, 100, 200, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 600);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 300);
+        assert_eq!(h.mean(), 150);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_values() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Log buckets give at most 2x overshoot, clamped to max.
+        let p50 = h.p50();
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert!(h.p90() >= 900);
+        assert!(h.p99() >= 990);
+        assert!(h.p999() <= h.max);
+        assert_eq!(h.quantile(0.0), 1, "p0 is the min's bucket bound");
+        assert_eq!(h.quantile(1.0), 1000, "p100 clamps to the observed max");
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        let mut other = LogHistogram::new();
+        other.record(7);
+        let mut merged = h.clone();
+        merged.merge(&other);
+        assert_eq!(merged, other);
+        let mut back = other.clone();
+        back.merge(&h);
+        assert_eq!(back, other);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 0..200u64 {
+            let sample = v * v % 4099;
+            if v % 2 == 0 {
+                a.record(sample);
+            } else {
+                b.record(sample);
+            }
+            whole.record(sample);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn json_roundtrips_and_old_summary_objects_parse_empty() {
+        let mut h = LogHistogram::new();
+        h.record(12);
+        h.record(99999);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+
+        // A pre-histogram LatencySummary object under the same key:
+        // unknown fields ignored, everything defaults.
+        let old: LogHistogram =
+            serde_json::from_str("{\"min_ns\":5,\"mean_ns\":6,\"max_ns\":7}").unwrap();
+        assert_eq!(old, LogHistogram::new());
+    }
+
+    #[test]
+    fn saturating_sum_never_wraps() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! A minimal self-contained HTTP/1.1 responder for `GET /metrics`.
+//!
+//! This is deliberately not a web server: one accept loop on its own
+//! thread, connections handled serially, request bodies ignored, every
+//! response `Connection: close`. That is all a Prometheus scraper (or
+//! `curl`) needs, and it keeps the dependency count at zero — the
+//! container is offline. The render closure is called once per scrape,
+//! so the endpoint always serves live state.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on request head size; anything longer is answered 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long a scraper may dawdle sending its request.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A live metrics endpoint. Shuts down on [`MetricsServer::shutdown`]
+/// or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsServer({})", self.addr)
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `GET /metrics`
+    /// with whatever `render` returns, until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind<F>(addr: &str, render: F) -> std::io::Result<MetricsServer>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gw-metrics".to_string())
+            .spawn(move || accept_loop(listener, loop_stop, render))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the endpoint and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop<F: Fn() -> String>(listener: TcpListener, stop: Arc<AtomicBool>, render: F) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Serial handling: a scrape is one small read and one write;
+        // a misbehaving scraper only stalls the metrics port, never
+        // the pipeline.
+        let _ = handle_connection(stream, &render);
+    }
+}
+
+/// Reads the request head and answers it. Errors are per-connection
+/// and simply close the socket.
+fn handle_connection<F: Fn() -> String>(mut stream: TcpStream, render: &F) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() >= MAX_REQUEST_BYTES {
+            return respond(&mut stream, "400 Bad Request", "request too large\n");
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    match (method, path) {
+        ("GET", "/metrics") => {
+            let body = render();
+            let header = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            stream.write_all(header.as_bytes())?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()
+        }
+        ("GET", _) => respond(&mut stream, "404 Not Found", "try /metrics\n"),
+        _ => respond(&mut stream, "405 Method Not Allowed", "GET only\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Fetches `path` from a [`MetricsServer`] and returns `(status_line,
+/// body)`. A plain blocking client, exported for tests and the scrape
+/// acceptance suite so they need no external HTTP tooling.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed responses as
+/// `io::Error`.
+pub fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: gridwatch\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+    })?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn serves_live_metrics_and_shuts_down() {
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let counted = Arc::clone(&scrapes);
+        let server = MetricsServer::bind("127.0.0.1:0", move || {
+            let n = counted.fetch_add(1, Ordering::SeqCst) + 1;
+            format!("gw_scrapes_total {n}\n")
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = scrape(addr, "/metrics").unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "gw_scrapes_total 1\n");
+        // Live state: a second scrape sees the updated value.
+        let (_, body) = scrape(addr, "/metrics").unwrap();
+        assert_eq!(body, "gw_scrapes_total 2\n");
+
+        server.shutdown();
+        // The port is released: a fresh bind on the same address works.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn wrong_paths_and_methods_are_refused() {
+        let server = MetricsServer::bind("127.0.0.1:0", || "x 1\n".to_string()).unwrap();
+        let addr = server.local_addr();
+        let (status, _) = scrape(addr, "/").unwrap();
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn garbage_request_does_not_kill_the_server() {
+        let server = MetricsServer::bind("127.0.0.1:0", || "ok 1\n".to_string()).unwrap();
+        let addr = server.local_addr();
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"\x00\x01\x02 garbage\r\n\r\n").unwrap();
+        }
+        // Still serving afterwards.
+        let (status, body) = scrape(addr, "/metrics").unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok 1\n");
+    }
+}

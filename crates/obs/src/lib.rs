@@ -1,0 +1,84 @@
+//! gridwatch-obs: self-contained observability for the serving
+//! pipeline.
+//!
+//! The paper's thesis is that operators diagnose distributed systems
+//! by watching measurement streams; this crate gives gridwatch's own
+//! pipeline the same treatment, with zero external dependencies:
+//!
+//! * [`trace`] — span tracing over the snapshot lifecycle
+//!   (`ingest → decode → sequence → route → score → merge → report`)
+//!   with a branch-only disabled path;
+//! * [`hist`] — log-bucketed, exactly-mergeable latency histograms
+//!   (p50/p90/p99/p99.9) for per-shard and cross-process roll-ups;
+//! * [`expo`] + [`http`] — Prometheus text exposition served live
+//!   over a minimal `GET /metrics` responder;
+//! * [`recorder`] — a flight recorder ring of recent pipeline events,
+//!   dumped on alarm, panic, or shutdown;
+//! * [`log`] — the leveled, rate-limited structured logger behind the
+//!   [`error!`], [`warn!`], [`info!`], and [`debug!`] macros
+//!   (filtered by `GRIDWATCH_LOG`).
+
+pub mod expo;
+pub mod hist;
+pub mod http;
+pub mod log;
+pub mod recorder;
+pub mod trace;
+
+pub use expo::{parse as parse_exposition, Exposition, ParsedSample};
+pub use hist::{bucket_index, bucket_upper_bound, LogHistogram, MAX_BUCKETS};
+pub use http::{scrape, MetricsServer};
+pub use log::Level;
+pub use recorder::{FlightEvent, FlightRecorder};
+pub use trace::{Span, Stage, Tracer};
+
+/// The observability handles one pipeline component carries: a tracer
+/// (disabled by default) and a flight recorder (always on — events
+/// are rare and the ring is bounded). Cloning shares both.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineObs {
+    /// Span tracing over the pipeline stages.
+    pub tracer: Tracer,
+    /// The recent-event ring.
+    pub recorder: FlightRecorder,
+}
+
+impl PipelineObs {
+    /// Tracing disabled, recorder on. Identical to `default()`.
+    pub fn disabled() -> PipelineObs {
+        PipelineObs::default()
+    }
+
+    /// Tracing enabled from the start.
+    pub fn enabled() -> PipelineObs {
+        PipelineObs {
+            tracer: Tracer::enabled(),
+            recorder: FlightRecorder::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_obs_traces_nothing_but_records_events() {
+        let obs = PipelineObs::default();
+        assert!(!obs.tracer.is_enabled());
+        drop(obs.tracer.span(Stage::Score));
+        assert_eq!(obs.tracer.stage(Stage::Score).count, 0);
+        obs.recorder.record("checkpoint", "id 0");
+        assert_eq!(obs.recorder.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn enabled_obs_shares_state_across_clones() {
+        let obs = PipelineObs::enabled();
+        let clone = obs.clone();
+        drop(clone.tracer.span(Stage::Merge));
+        assert_eq!(obs.tracer.stage(Stage::Merge).count, 1);
+        clone.recorder.record("conn-open", "peer x");
+        assert_eq!(obs.recorder.snapshot().len(), 1);
+    }
+}

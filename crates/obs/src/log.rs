@@ -1,0 +1,219 @@
+//! A leveled, rate-limited stderr logger.
+//!
+//! The serving tier used to report faults through bare `eprintln!`,
+//! which has two operational problems: nothing can silence it, and a
+//! flood of identical faults (a client stuck in a reconnect loop, a
+//! partitioned worker) turns stderr into the bottleneck. This module
+//! replaces those sites with leveled macros
+//! ([`error!`](crate::error), [`warn!`](crate::warn),
+//! [`info!`](crate::info), [`debug!`](crate::debug)) that:
+//!
+//! * filter by the `GRIDWATCH_LOG` environment variable
+//!   (`off`/`error`/`warn`/`info`/`debug`, default `info`), read once;
+//! * rate-limit **per call site**: each site emits at most one line
+//!   per 100ms window, counts what it swallowed, and reports the
+//!   suppressed total on its next emitted line.
+//!
+//! Lines look like `[warn net] message (12 similar suppressed)` —
+//! message content is unchanged from the `eprintln!` era, so tests
+//! asserting on stderr content keep working.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A fault that degrades service (a dead worker, a failed write).
+    Error,
+    /// A fault the server absorbed (a bad frame, a slow client).
+    Warn,
+    /// Lifecycle events (connections, checkpoints, migrations).
+    Info,
+    /// Per-frame chatter, off by default.
+    Debug,
+}
+
+impl Level {
+    /// The level's lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses a `GRIDWATCH_LOG` value: the maximum level to emit, or
+/// `None` for `off`. Unrecognized values keep the default (`Info`) so
+/// a typo never silences fault reporting.
+pub fn parse_filter(raw: &str) -> Option<Level> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" => None,
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "debug" | "trace" => Some(Level::Debug),
+        _ => Some(Level::Info),
+    }
+}
+
+fn max_level() -> Option<Level> {
+    static FILTER: OnceLock<Option<Level>> = OnceLock::new();
+    *FILTER.get_or_init(|| match std::env::var("GRIDWATCH_LOG") {
+        Ok(raw) => parse_filter(&raw),
+        Err(_) => Some(Level::Info),
+    })
+}
+
+/// Whether a record at `level` would be emitted (rate limits aside).
+pub fn enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Monotonic nanoseconds since the first call (never returns 0, which
+/// [`Site`] uses as its "never emitted" sentinel).
+fn now_ns() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64 + 1
+}
+
+/// Minimum spacing between emitted lines from one call site.
+const MIN_INTERVAL_NS: u64 = 100_000_000;
+
+/// Per-call-site rate-limiter state; the macros embed one `static`
+/// `Site` per expansion.
+pub struct Site {
+    last_emit_ns: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+impl Site {
+    /// A fresh site that has never emitted.
+    pub const fn new() -> Site {
+        Site {
+            last_emit_ns: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for Site {
+    fn default() -> Site {
+        Site::new()
+    }
+}
+
+/// Emits one record, honouring the level filter and the site's rate
+/// limit. Called through the macros, not directly.
+pub fn log(site: &Site, level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let now = now_ns();
+    let last = site.last_emit_ns.load(Ordering::Relaxed);
+    if last != 0 && now.saturating_sub(last) < MIN_INTERVAL_NS {
+        site.suppressed.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    site.last_emit_ns.store(now, Ordering::Relaxed);
+    let suppressed = site.suppressed.swap(0, Ordering::Relaxed);
+    if suppressed > 0 {
+        eprintln!(
+            "[{} {target}] {args} ({suppressed} similar suppressed)",
+            level.name()
+        );
+    } else {
+        eprintln!("[{} {target}] {args}", level.name());
+    }
+}
+
+/// Logs a service-degrading fault.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)+) => {{
+        static SITE: $crate::log::Site = $crate::log::Site::new();
+        $crate::log::log(&SITE, $crate::log::Level::Error, $target, format_args!($($arg)+));
+    }};
+}
+
+/// Logs an absorbed fault.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)+) => {{
+        static SITE: $crate::log::Site = $crate::log::Site::new();
+        $crate::log::log(&SITE, $crate::log::Level::Warn, $target, format_args!($($arg)+));
+    }};
+}
+
+/// Logs a lifecycle event.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)+) => {{
+        static SITE: $crate::log::Site = $crate::log::Site::new();
+        $crate::log::log(&SITE, $crate::log::Level::Info, $target, format_args!($($arg)+));
+    }};
+}
+
+/// Logs per-frame chatter (hidden unless `GRIDWATCH_LOG=debug`).
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)+) => {{
+        static SITE: $crate::log::Site = $crate::log::Site::new();
+        $crate::log::log(&SITE, $crate::log::Level::Debug, $target, format_args!($($arg)+));
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parsing_is_forgiving() {
+        assert_eq!(parse_filter("off"), None);
+        assert_eq!(parse_filter("ERROR"), Some(Level::Error));
+        assert_eq!(parse_filter(" warn "), Some(Level::Warn));
+        assert_eq!(parse_filter("info"), Some(Level::Info));
+        assert_eq!(parse_filter("debug"), Some(Level::Debug));
+        assert_eq!(
+            parse_filter("typo"),
+            Some(Level::Info),
+            "typos keep the default"
+        );
+    }
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn site_rate_limit_counts_suppressions() {
+        let site = Site::new();
+        // First emit goes through (stderr side effect; content is
+        // asserted by the CLI fault tests, here we check the counters).
+        log(&site, Level::Error, "test", format_args!("one"));
+        let first = site.last_emit_ns.load(Ordering::Relaxed);
+        assert_ne!(first, 0, "first record emits");
+        log(&site, Level::Error, "test", format_args!("two"));
+        assert_eq!(
+            site.suppressed.load(Ordering::Relaxed),
+            1,
+            "burst suppressed"
+        );
+        assert_eq!(site.last_emit_ns.load(Ordering::Relaxed), first);
+    }
+
+    #[test]
+    fn filtered_levels_touch_nothing() {
+        // Default filter is info (tests do not set GRIDWATCH_LOG).
+        let site = Site::new();
+        log(&site, Level::Debug, "test", format_args!("hidden"));
+        assert_eq!(site.last_emit_ns.load(Ordering::Relaxed), 0);
+        assert_eq!(site.suppressed.load(Ordering::Relaxed), 0);
+    }
+}

@@ -142,7 +142,10 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), CheckpointError> {
 
 /// Writes `content` to `path` via a temp-file + atomic rename, then
 /// syncs the parent directory so the rename itself is durable.
-pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<(), CheckpointError> {
+///
+/// Public so the CLI commands route their periodic stats dumps through
+/// the same torn-write-proof path as checkpoint files.
+pub fn write_atomic(path: &Path, content: &str) -> Result<(), CheckpointError> {
     let tmp = path.with_extension("json.tmp");
     {
         let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;

@@ -48,6 +48,7 @@ use serde::{Deserialize, Serialize};
 use gridwatch_detect::{
     AlarmTracker, EngineConfig, EngineSnapshot, ScoreBoard, Snapshot, StepReport,
 };
+use gridwatch_obs::{Exposition, PipelineObs, Stage};
 
 use crate::checkpoint::{CheckpointManifest, Checkpointer, RemoteShard};
 use crate::remote::{
@@ -207,6 +208,89 @@ pub struct Coordinator {
     next_seq: u64,
     epoch_counter: u64,
     checkpoint_counter: u64,
+    obs: PipelineObs,
+}
+
+/// A detachable handle rendering a live coordinator's counters and
+/// stage distributions as Prometheus text exposition, for `--metrics`
+/// scrapes while the front thread drives the fabric.
+#[derive(Debug, Clone)]
+pub struct CoordinatorMetricsProbe {
+    stats: Arc<Mutex<FabricStats>>,
+    obs: PipelineObs,
+}
+
+impl CoordinatorMetricsProbe {
+    /// A copy of the fabric's lifetime counters.
+    pub fn stats(&self) -> FabricStats {
+        *self.stats.lock()
+    }
+
+    /// Renders the fabric counters and any recorded stage timings.
+    pub fn to_prometheus(&self) -> String {
+        let s = self.stats();
+        let mut expo = Exposition::new();
+        expo.header("gridwatch_fabric_shards", "gauge", "Shards in the fabric");
+        expo.sample("gridwatch_fabric_shards", &[], s.shards as u64);
+        let counters: [(&str, &str, u64); 10] = [
+            (
+                "gridwatch_fabric_submitted_total",
+                "Snapshots submitted for scoring",
+                s.submitted,
+            ),
+            (
+                "gridwatch_fabric_reports_total",
+                "Step reports emitted",
+                s.reports,
+            ),
+            (
+                "gridwatch_fabric_alarms_total",
+                "Alarm events raised",
+                s.alarms,
+            ),
+            (
+                "gridwatch_fabric_stale_boards_total",
+                "Boards fenced for a superseded epoch or dead shard",
+                s.stale_boards,
+            ),
+            (
+                "gridwatch_fabric_duplicate_boards_total",
+                "Boards dropped as duplicates",
+                s.duplicate_boards,
+            ),
+            (
+                "gridwatch_fabric_replayed_boards_total",
+                "Boards dropped as migration replay overlap",
+                s.replayed_boards,
+            ),
+            (
+                "gridwatch_fabric_bad_boards_total",
+                "Boards dropped as malformed",
+                s.bad_boards,
+            ),
+            (
+                "gridwatch_fabric_disconnects_total",
+                "Worker connections lost",
+                s.disconnects,
+            ),
+            (
+                "gridwatch_fabric_migrations_total",
+                "Successful worker re-attachments",
+                s.migrations,
+            ),
+            (
+                "gridwatch_fabric_checkpoints_total",
+                "Checkpoints completed",
+                s.checkpoints,
+            ),
+        ];
+        for (name, help, value) in counters {
+            expo.header(name, "counter", help);
+            expo.sample(name, &[], value);
+        }
+        crate::stats::render_stage_spans(&mut expo, &self.obs.tracer);
+        expo.finish()
+    }
 }
 
 impl Coordinator {
@@ -217,6 +301,18 @@ impl Coordinator {
         snapshot: EngineSnapshot,
         workers: &[String],
         fabric: FabricConfig,
+    ) -> Result<Coordinator, FabricError> {
+        Coordinator::connect_with_obs(snapshot, workers, fabric, PipelineObs::default())
+    }
+
+    /// [`Coordinator::connect`] with an explicit observability context.
+    /// When the tracer is enabled, every worker Hello carries
+    /// `trace: true` so the workers' tracers light up too.
+    pub fn connect_with_obs(
+        snapshot: EngineSnapshot,
+        workers: &[String],
+        fabric: FabricConfig,
+        obs: PipelineObs,
     ) -> Result<Coordinator, FabricError> {
         let shards = workers.len();
         if shards == 0 {
@@ -267,6 +363,7 @@ impl Coordinator {
             let stats = Arc::clone(&stats);
             let closing = Arc::clone(&closing);
             let start_seq = fabric.start_seq;
+            let merge_obs = obs.clone();
             thread::Builder::new()
                 .name("fabric-merge".to_string())
                 .spawn(move || {
@@ -281,6 +378,7 @@ impl Coordinator {
                         state_cache,
                         stats,
                         closing,
+                        merge_obs,
                     )
                 })
                 .map_err(|e| FabricError::Io {
@@ -307,6 +405,7 @@ impl Coordinator {
             closing,
             journal: VecDeque::new(),
             checkpoint_counter: 0,
+            obs,
         };
         for (shard, addr) in workers.iter().enumerate() {
             coordinator.attach(shard, addr.clone())?;
@@ -327,6 +426,20 @@ impl Coordinator {
     /// A copy of the lifetime counters.
     pub fn stats(&self) -> FabricStats {
         *self.stats.lock()
+    }
+
+    /// This coordinator's observability context.
+    pub fn obs(&self) -> &PipelineObs {
+        &self.obs
+    }
+
+    /// A handle that renders live metrics while the front thread
+    /// drives the fabric.
+    pub fn metrics_probe(&self) -> CoordinatorMetricsProbe {
+        CoordinatorMetricsProbe {
+            stats: Arc::clone(&self.stats),
+            obs: self.obs.clone(),
+        }
     }
 
     /// Shards currently without a live worker.
@@ -351,6 +464,15 @@ impl Coordinator {
         if slot.live {
             slot.live = false;
             self.stats.lock().disconnects += 1;
+            self.obs.recorder.record(
+                "disconnect",
+                format_args!("shard {shard} (epoch {}) marked dead", slot.epoch),
+            );
+            gridwatch_obs::warn!(
+                "fabric",
+                "gridwatch coordinator: shard {shard} worker lost (epoch {})",
+                slot.epoch
+            );
         }
     }
 
@@ -359,6 +481,9 @@ impl Coordinator {
     /// marked dead (its boards for this and later steps will come from
     /// a successor after [`Coordinator::attach_worker`]).
     pub fn submit(&mut self, snapshot: Snapshot) -> Result<u64, FabricError> {
+        // Clone the handle so the span's borrow does not pin `self`.
+        let tracer = self.obs.tracer.clone();
+        let _route = tracer.span(Stage::Route);
         let seq = self.next_seq;
         self.next_seq += 1;
         let framed = encode_json(&WireFrame {
@@ -405,6 +530,17 @@ impl Coordinator {
         }
         self.attach(shard, addr.to_string())?;
         self.stats.lock().migrations += 1;
+        self.obs.recorder.record(
+            "migration",
+            format_args!(
+                "shard {shard} migrated to {addr} (epoch {})",
+                self.epoch_counter
+            ),
+        );
+        gridwatch_obs::info!(
+            "fabric",
+            "gridwatch coordinator: shard {shard} migrated to {addr}"
+        );
         Ok(())
     }
 
@@ -425,6 +561,7 @@ impl Coordinator {
             shard,
             shards: self.shards,
             epoch,
+            trace: self.obs.tracer.is_enabled(),
             state: entry.state,
         })?;
         write_frame(&mut stream, &hello).map_err(io_ctx(&format!("hello to {addr}")))?;
@@ -456,6 +593,10 @@ impl Coordinator {
             slot.live = true;
             slot.addr = addr.clone();
         }
+        self.obs.recorder.record(
+            "attach",
+            format_args!("shard {shard} attached to {addr} (epoch {epoch})"),
+        );
 
         let reader_stream = stream
             .try_clone()
@@ -699,6 +840,7 @@ fn merge_loop(
     state_cache: Arc<Mutex<Vec<StateEntry>>>,
     stats: Arc<Mutex<FabricStats>>,
     closing: Arc<std::sync::atomic::AtomicBool>,
+    obs: PipelineObs,
 ) {
     let mut pending: BTreeMap<u64, PendingStep> = BTreeMap::new();
     let mut next_emit = start_seq;
@@ -716,9 +858,17 @@ fn merge_loop(
                     };
                     if !slot_live || frame.epoch != slot_epoch {
                         stats.lock().stale_boards += 1;
+                        obs.recorder.record(
+                            "fenced-board",
+                            format_args!(
+                                "board for seq {} from shard {} epoch {} fenced (current {})",
+                                frame.seq, frame.shard, frame.epoch, slot_epoch
+                            ),
+                        );
                     } else if frame.seq < next_emit {
                         stats.lock().replayed_boards += 1;
                     } else {
+                        let _merge = obs.tracer.span(Stage::Merge);
                         let entry = pending.entry(frame.seq).or_insert_with(|| PendingStep {
                             board: None,
                             replied: vec![false; shards],
@@ -726,6 +876,12 @@ fn merge_loop(
                         if entry.replied[frame.shard] {
                             stats.lock().duplicate_boards += 1;
                         } else {
+                            // The worker's scoring time rides the frame,
+                            // so remote Score work lands in the
+                            // coordinator's distribution. Only accepted
+                            // boards count — fenced and duplicate boards
+                            // scored nothing new.
+                            obs.tracer.record_ns(Stage::Score, frame.score_ns);
                             match entry.board.as_mut() {
                                 None => {
                                     entry.board = Some(frame.board);
@@ -789,6 +945,14 @@ fn merge_loop(
                 if current {
                     if !closing.load(std::sync::atomic::Ordering::SeqCst) {
                         stats.lock().disconnects += 1;
+                        obs.recorder.record(
+                            "disconnect",
+                            format_args!("shard {shard} reader lost (epoch {epoch})"),
+                        );
+                        gridwatch_obs::warn!(
+                            "fabric",
+                            "gridwatch coordinator: shard {shard} worker disconnected (epoch {epoch})"
+                        );
                     }
                     // A checkpoint still waiting on this worker's state
                     // can never complete.
@@ -841,11 +1005,22 @@ fn merge_loop(
             if let Some((seq, entry)) = pending.pop_first() {
                 next_emit = seq + 1;
                 if let Some(board) = entry.board {
+                    let _report_span = obs.tracer.span(Stage::Report);
                     let alarms = tracker.evaluate(&board, &config.alarm);
                     {
                         let mut stats = stats.lock();
                         stats.reports += 1;
                         stats.alarms += alarms.len() as u64;
+                    }
+                    if !alarms.is_empty() {
+                        obs.recorder.record(
+                            "alarm",
+                            format_args!(
+                                "{} alarm event(s) at t={} (seq {seq})",
+                                alarms.len(),
+                                board.at()
+                            ),
+                        );
                     }
                     let report = StepReport {
                         scores: board,
@@ -867,8 +1042,18 @@ fn merge_loop(
                     pending.is_empty() || next_emit >= op.cut_seq,
                     "states arrived before all pre-cut boards"
                 );
+                let (id, cut_seq) = (op.id, op.cut_seq);
                 if finish_checkpoint(op, shards, &config, &tracker).is_ok() {
                     stats.lock().checkpoints += 1;
+                    obs.recorder.record(
+                        "checkpoint",
+                        format_args!("fabric checkpoint {id} completed at cut {cut_seq}"),
+                    );
+                } else {
+                    obs.recorder.record(
+                        "checkpoint-error",
+                        format_args!("fabric checkpoint {id} failed at cut {cut_seq}"),
+                    );
                 }
             }
         }

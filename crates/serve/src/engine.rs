@@ -49,6 +49,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use gridwatch_detect::{
     AlarmTracker, DetectionEngine, EngineConfig, EngineSnapshot, ScoreBoard, Snapshot, StepReport,
 };
+use gridwatch_obs::{PipelineObs, Stage};
 
 use crate::checkpoint::{CheckpointError, CheckpointManifest, Checkpointer};
 use crate::ingest::{BackpressurePolicy, IngestReport};
@@ -151,6 +152,7 @@ pub struct ShardedEngine {
     reply_sender: Sender<ShardReply>,
     reports_rx: Receiver<StepReport>,
     stats: Arc<Mutex<StatsAccumulator>>,
+    obs: PipelineObs,
     next_seq: u64,
     next_ckpt_id: u64,
     workers: Vec<JoinHandle<()>>,
@@ -195,6 +197,18 @@ impl ShardedEngine {
     /// Panics when `config.shards` or `config.queue_capacity` is zero,
     /// or when a thread cannot be spawned.
     pub fn start(snapshot: EngineSnapshot, config: ServeConfig) -> Self {
+        ShardedEngine::start_with_obs(snapshot, config, PipelineObs::disabled())
+    }
+
+    /// [`ShardedEngine::start`] with explicit observability handles:
+    /// the tracer times the `route → score → merge → report` stages
+    /// (when enabled) and the flight recorder captures checkpoint and
+    /// alarm events regardless.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`ShardedEngine::start`].
+    pub fn start_with_obs(snapshot: EngineSnapshot, config: ServeConfig, obs: PipelineObs) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let engine_config = snapshot.config;
         let router = ShardRouter::new(config.shards);
@@ -238,6 +252,7 @@ impl ShardedEngine {
         }
 
         let agg_stats = Arc::clone(&stats);
+        let agg_obs = obs.clone();
         let tracker = snapshot.tracker;
         let shards = config.shards;
         let aggregator = std::thread::Builder::new()
@@ -250,6 +265,7 @@ impl ShardedEngine {
                     reply_rx,
                     reports_tx,
                     agg_stats,
+                    agg_obs,
                 )
             })
             .expect("spawn aggregator");
@@ -261,6 +277,7 @@ impl ShardedEngine {
             reply_sender: reply_tx,
             reports_rx,
             stats,
+            obs,
             next_seq: 0,
             next_ckpt_id: 0,
             workers,
@@ -285,9 +302,16 @@ impl ShardedEngine {
     /// is what makes sequence numbering, the `Reject` pre-check, and the
     /// `DropOldest` steal loop race-free.
     pub fn submit(&mut self, snapshot: Snapshot) -> IngestReport {
+        // Clone the handle so the span's borrow does not pin `self`.
+        let tracer = self.obs.tracer.clone();
+        let _route = tracer.span(Stage::Route);
+        // Sample every queue's depth up front: the distribution feeds
+        // capacity planning, and `Reject` reuses the same reading for
+        // its admission check.
+        let depths: Vec<usize> = self.shard_senders.iter().map(|tx| tx.len()).collect();
         match self.config.backpressure {
             BackpressurePolicy::Block => {
-                let seq = self.broadcast_blocking(snapshot);
+                let seq = self.broadcast_blocking(snapshot, &depths);
                 IngestReport {
                     seq: Some(seq),
                     evicted: 0,
@@ -297,14 +321,18 @@ impl ShardedEngine {
                 // Single producer: if every queue has room now, the
                 // blocking sends below cannot actually block.
                 let cap = self.config.queue_capacity;
-                if self.shard_senders.iter().any(|tx| tx.len() >= cap) {
-                    self.stats.lock().expect("stats lock").rejected += 1;
+                if depths.iter().any(|&depth| depth >= cap) {
+                    let mut acc = self.stats.lock().expect("stats lock");
+                    for (k, &depth) in depths.iter().enumerate() {
+                        acc.per_shard[k].observe_queue_depth(depth);
+                    }
+                    acc.rejected += 1;
                     return IngestReport {
                         seq: None,
                         evicted: 0,
                     };
                 }
-                let seq = self.broadcast_blocking(snapshot);
+                let seq = self.broadcast_blocking(snapshot, &depths);
                 IngestReport {
                     seq: Some(seq),
                     evicted: 0,
@@ -339,7 +367,11 @@ impl ShardedEngine {
                         }
                     }
                 }
-                self.stats.lock().expect("stats lock").submitted += 1;
+                let mut acc = self.stats.lock().expect("stats lock");
+                for (k, &depth) in depths.iter().enumerate() {
+                    acc.per_shard[k].observe_queue_depth(depth);
+                }
+                acc.submitted += 1;
                 IngestReport {
                     seq: Some(seq),
                     evicted: evicted_total,
@@ -348,19 +380,38 @@ impl ShardedEngine {
         }
     }
 
-    /// Assigns a sequence number and broadcasts with blocking sends.
-    fn broadcast_blocking(&mut self, snapshot: Snapshot) -> u64 {
+    /// Assigns a sequence number and broadcasts to every shard,
+    /// blocking on full queues. Each send tries the non-blocking path
+    /// first so the (rare) blocked case can be timed: the wait is what
+    /// the backpressure-wait distribution measures.
+    fn broadcast_blocking(&mut self, snapshot: Snapshot, depths: &[usize]) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         let snap = Arc::new(snapshot);
-        for tx in &self.shard_senders {
-            tx.send(ShardMsg::Snapshot {
+        let mut waits: Vec<(usize, u64)> = Vec::new();
+        for (k, tx) in self.shard_senders.iter().enumerate() {
+            let msg = ShardMsg::Snapshot {
                 seq,
                 snap: Arc::clone(&snap),
-            })
-            .expect("shard worker disconnected");
+            };
+            match tx.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(back)) => {
+                    let blocked = Instant::now();
+                    tx.send(back).expect("shard worker disconnected");
+                    waits.push((k, blocked.elapsed().as_nanos() as u64));
+                }
+                Err(TrySendError::Disconnected(_)) => panic!("shard worker disconnected"),
+            }
         }
-        self.stats.lock().expect("stats lock").submitted += 1;
+        let mut acc = self.stats.lock().expect("stats lock");
+        for (k, &depth) in depths.iter().enumerate() {
+            acc.per_shard[k].observe_queue_depth(depth);
+        }
+        for (k, wait_ns) in waits {
+            acc.per_shard[k].observe_backpressure_wait(wait_ns);
+        }
+        acc.submitted += 1;
         seq
     }
 
@@ -457,7 +508,13 @@ impl ShardedEngine {
         StatsProbe {
             stats: Arc::clone(&self.stats),
             queues: self.shard_stealers.clone(),
+            obs: self.obs.clone(),
         }
+    }
+
+    /// The engine's observability handles (shared with its threads).
+    pub fn obs(&self) -> &PipelineObs {
+        &self.obs
     }
 
     /// Stops the engine: lets every shard drain its queue, joins all
@@ -504,6 +561,7 @@ impl ShardedEngine {
 pub struct StatsProbe {
     stats: Arc<Mutex<StatsAccumulator>>,
     queues: Vec<Receiver<ShardMsg>>,
+    obs: PipelineObs,
 }
 
 impl StatsProbe {
@@ -511,6 +569,17 @@ impl StatsProbe {
     pub fn stats(&self) -> ServeStats {
         let depths: Vec<usize> = self.queues.iter().map(|rx| rx.len()).collect();
         self.stats.lock().expect("stats lock").snapshot(&depths)
+    }
+
+    /// The engine's observability handles (shared, not a copy).
+    pub fn obs(&self) -> &PipelineObs {
+        &self.obs
+    }
+
+    /// The current stats plus stage spans as Prometheus exposition
+    /// text — what a `GET /metrics` scrape of this engine returns.
+    pub fn to_prometheus(&self) -> String {
+        self.stats().to_prometheus(&self.obs.tracer)
     }
 }
 
@@ -604,6 +673,7 @@ fn aggregator_loop(
     reply_rx: Receiver<ShardReply>,
     reports_tx: Sender<StepReport>,
     stats: Arc<Mutex<StatsAccumulator>>,
+    obs: PipelineObs,
 ) {
     let mut pending: BTreeMap<u64, PendingStep> = BTreeMap::new();
     let mut checkpoint: Option<CheckpointOp> = None;
@@ -615,13 +685,19 @@ fn aggregator_loop(
                 board,
                 elapsed_ns,
             } => {
+                // The worker measured its `step_scores` wall time; the
+                // aggregator owns the roll-ups, so both the per-shard
+                // histogram and the Score stage are fed here.
+                obs.tracer.record_ns(Stage::Score, elapsed_ns);
                 stats.lock().expect("stats lock").per_shard[shard].observe_latency(elapsed_ns);
+                let merge = obs.tracer.span(Stage::Merge);
                 let entry = pending.entry(seq).or_default();
                 entry.replies += 1;
                 match &mut entry.board {
                     Some(merged) => merged.merge(board),
                     slot @ None => *slot = Some(board),
                 }
+                drop(merge);
             }
             ShardReply::Dropped { seq, .. } => {
                 pending.entry(seq).or_default().replies += 1;
@@ -664,7 +740,8 @@ fn aggregator_loop(
             .first_key_value()
             .is_some_and(|(_, entry)| entry.replies >= shards)
         {
-            let (_, entry) = pending.pop_first().expect("checked non-empty");
+            let (seq, entry) = pending.pop_first().expect("checked non-empty");
+            let report = obs.tracer.span(Stage::Report);
             let mut acc = stats.lock().expect("stats lock");
             match entry.board {
                 Some(board) => {
@@ -672,14 +749,30 @@ fn aggregator_loop(
                     acc.reports += 1;
                     acc.alarms += alarms.len() as u64;
                     drop(acc);
+                    if !alarms.is_empty() {
+                        obs.recorder.record(
+                            "alarm",
+                            format_args!(
+                                "{} alarm event(s) at t={} (seq {seq})",
+                                alarms.len(),
+                                board.at()
+                            ),
+                        );
+                    }
                     let _ = reports_tx.send(StepReport {
                         scores: board,
                         alarms,
                     });
                 }
                 // Every shard evicted this instant: nothing to report.
-                None => acc.empty_steps += 1,
+                None => {
+                    acc.empty_steps += 1;
+                    drop(acc);
+                    obs.recorder
+                        .record("empty-step", format_args!("seq {seq} fully evicted"));
+                }
             }
+            drop(report);
         }
 
         // Complete the checkpoint once every shard has written its file.
@@ -712,8 +805,17 @@ fn aggregator_loop(
                         .map(|()| manifest)
                 }
             };
-            if outcome.is_ok() {
-                stats.lock().expect("stats lock").checkpoints += 1;
+            match &outcome {
+                Ok(manifest) => {
+                    stats.lock().expect("stats lock").checkpoints += 1;
+                    obs.recorder.record(
+                        "checkpoint",
+                        format_args!("id {} cut_seq {}", op.id, manifest.cut_seq),
+                    );
+                }
+                Err(e) => obs
+                    .recorder
+                    .record("checkpoint-error", format_args!("id {}: {e}", op.id)),
             }
             let _ = op.ack.send(outcome);
         }
@@ -1009,11 +1111,80 @@ mod tests {
         assert_eq!(stats.shards.iter().map(|s| s.pairs).sum::<usize>(), 15);
         for shard in &stats.shards {
             assert_eq!(shard.processed, trace.len() as u64);
-            assert!(shard.latency.min_ns <= shard.latency.mean_ns);
-            assert!(shard.latency.mean_ns <= shard.latency.max_ns);
+            assert_eq!(shard.latency.count, shard.processed);
+            assert!(shard.latency.min <= shard.latency.mean());
+            assert!(shard.latency.mean() <= shard.latency.max);
+            assert!(shard.latency.p50() <= shard.latency.p999());
+            // Queue depth is sampled once per submit, per shard.
+            assert_eq!(shard.queue_depths.count, stats.submitted);
         }
         let json = stats.to_json();
         assert!(json.contains("\"processed\""), "{json}");
+    }
+
+    #[test]
+    fn enabled_tracer_times_every_stage_it_owns() {
+        let snapshot = trained();
+        let trace = trace(10);
+        let obs = gridwatch_obs::PipelineObs::enabled();
+        let mut engine = ShardedEngine::start_with_obs(
+            snapshot,
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 4,
+                backpressure: BackpressurePolicy::Block,
+            },
+            obs.clone(),
+        );
+        for snap in &trace {
+            engine.submit(snap.clone());
+        }
+        let probe = engine.stats_probe();
+        let (_, stats) = engine.shutdown();
+        let n = trace.len() as u64;
+        assert_eq!(obs.tracer.stage(Stage::Route).count, n);
+        // One Score sample per (shard, snapshot) reply.
+        assert_eq!(obs.tracer.stage(Stage::Score).count, 2 * n);
+        assert_eq!(obs.tracer.stage(Stage::Merge).count, 2 * n);
+        assert_eq!(obs.tracer.stage(Stage::Report).count, n);
+        // Alarms landed in the flight recorder (the trace trips them).
+        assert!(stats.alarms > 0);
+        assert!(
+            obs.recorder.snapshot().iter().any(|e| e.kind == "alarm"),
+            "{:?}",
+            obs.recorder.snapshot()
+        );
+        // The probe renders a parseable scrape including stage spans.
+        let text = probe.to_prometheus();
+        assert!(
+            text.contains("gridwatch_stage_ns_count{stage=\"route\"}"),
+            "{text}"
+        );
+        assert!(gridwatch_obs::parse_exposition(&text).is_some());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_but_counters_still_flow() {
+        let snapshot = trained();
+        let trace = trace(6);
+        let mut engine = ShardedEngine::start(
+            snapshot,
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 4,
+                backpressure: BackpressurePolicy::Block,
+            },
+        );
+        for snap in &trace {
+            engine.submit(snap.clone());
+        }
+        let obs = engine.obs().clone();
+        let (_, stats) = engine.shutdown();
+        for (_, hist) in obs.tracer.snapshot() {
+            assert_eq!(hist.count, 0);
+        }
+        // Per-shard latency histograms fill regardless of tracing.
+        assert_eq!(stats.shards[0].latency.count, trace.len() as u64);
     }
 
     #[test]

@@ -29,15 +29,19 @@ pub mod sequence;
 pub mod stats;
 pub mod wire;
 
-pub use checkpoint::{CheckpointError, CheckpointManifest, Checkpointer, RemoteShard};
-pub use coordinator::{Coordinator, FabricConfig, FabricStats, COORDINATOR_SOURCE};
+pub use checkpoint::{
+    write_atomic, CheckpointError, CheckpointManifest, Checkpointer, RemoteShard,
+};
+pub use coordinator::{
+    Coordinator, CoordinatorMetricsProbe, FabricConfig, FabricStats, COORDINATOR_SOURCE,
+};
 pub use engine::{ServeConfig, ShardedEngine, StatsProbe};
 pub use ingest::{BackpressurePolicy, IngestReport};
-pub use net::{NetConfig, NetServer};
+pub use net::{NetConfig, NetMetricsProbe, NetServer};
 pub use remote::{
     decode_downstream, decode_response, encode_control, encode_response, read_frame, write_frame,
     BoardFrame, Downstream, FabricControl, FabricError, FabricResponse, ShardWorker,
-    WorkerController, WorkerSummary, FABRIC_FRAME_LIMIT,
+    WorkerController, WorkerMetricsProbe, WorkerSummary, FABRIC_FRAME_LIMIT,
 };
 pub use router::ShardRouter;
 pub use sequence::{Admission, SourceTable};

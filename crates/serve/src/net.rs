@@ -55,6 +55,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 
 use gridwatch_detect::{EngineSnapshot, StepReport};
+use gridwatch_obs::{PipelineObs, Stage};
 
 use crate::checkpoint::write_atomic;
 use crate::engine::{ServeConfig, ShardedEngine, StatsProbe};
@@ -260,12 +261,35 @@ impl NetServer {
         net: NetConfig,
         sources: BTreeMap<String, u64>,
     ) -> io::Result<NetServer> {
+        NetServer::bind_with_obs(addr, snapshot, serve, net, sources, PipelineObs::disabled())
+    }
+
+    /// [`NetServer::bind`] with explicit observability handles: the
+    /// tracer additionally times the `ingest → decode → sequence`
+    /// wire-side stages, and the flight recorder captures connection
+    /// lifecycle and fault events.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetServer::bind`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`NetServer::bind`].
+    pub fn bind_with_obs(
+        addr: impl ToSocketAddrs,
+        snapshot: EngineSnapshot,
+        serve: ServeConfig,
+        net: NetConfig,
+        sources: BTreeMap<String, u64>,
+        obs: PipelineObs,
+    ) -> io::Result<NetServer> {
         assert!(net.ingest_capacity > 0, "ingest capacity must be positive");
         assert!(net.max_frame_bytes > 0, "frame limit must be positive");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
 
-        let engine = ShardedEngine::start(snapshot, serve);
+        let engine = ShardedEngine::start_with_obs(snapshot, serve, obs.clone());
         let probe = engine.stats_probe();
         let reports_rx = engine.reports_receiver();
         let table = SourceTable::resume(net.reorder_capacity, sources);
@@ -281,9 +305,10 @@ impl NetServer {
         let ingest = {
             let net_acc = Arc::clone(&net_acc);
             let cfg = net.clone();
+            let obs = obs.clone();
             std::thread::Builder::new()
                 .name("gw-net-ingest".to_string())
-                .spawn(move || ingest_loop(engine, table, frame_rx, net_acc, cfg))?
+                .spawn(move || ingest_loop(engine, table, frame_rx, net_acc, cfg, obs))?
         };
 
         let accept = {
@@ -293,6 +318,7 @@ impl NetServer {
             let tx = frame_tx.clone();
             let policy = serve.backpressure;
             let cfg = net.clone();
+            let obs = obs.clone();
             let spawned = std::thread::Builder::new()
                 .name("gw-net-accept".to_string())
                 .spawn(move || {
@@ -305,6 +331,7 @@ impl NetServer {
                         frame_stealer,
                         policy,
                         cfg,
+                        obs,
                     )
                 });
             match spawned {
@@ -355,6 +382,21 @@ impl NetServer {
         stats
     }
 
+    /// The listener's observability handles (shared with its threads).
+    pub fn obs(&self) -> &PipelineObs {
+        self.probe.obs()
+    }
+
+    /// A detachable handle serving live scrapes of this listener:
+    /// engine counters, wire counters, and stage spans as Prometheus
+    /// exposition text.
+    pub fn metrics_probe(&self) -> NetMetricsProbe {
+        NetMetricsProbe {
+            probe: self.probe.clone(),
+            net: Arc::clone(&self.net),
+        }
+    }
+
     /// Stops the listener gracefully: stops accepting, unblocks and
     /// joins every connection (frames already buffered are decoded and
     /// delivered), lets the ingest thread drain the channel, take its
@@ -367,7 +409,10 @@ impl NetServer {
         drop(TcpStream::connect(self.local_addr));
         if let Some(accept) = self.accept.take() {
             if accept.join().is_err() {
-                eprintln!("gridwatch-serve: accept thread panicked; continuing shutdown");
+                gridwatch_obs::error!(
+                    "net",
+                    "gridwatch-serve: accept thread panicked; continuing shutdown"
+                );
             }
         }
         // Unblock every connection read, then join the handlers; each
@@ -379,7 +424,10 @@ impl NetServer {
         }
         for (_, handle) in entries {
             if handle.join().is_err() {
-                eprintln!("gridwatch-serve: connection thread panicked; continuing shutdown");
+                gridwatch_obs::error!(
+                    "net",
+                    "gridwatch-serve: connection thread panicked; continuing shutdown"
+                );
             }
         }
         // Ours is the last frame sender: dropping it lets the ingest
@@ -391,7 +439,10 @@ impl NetServer {
             // consuming receiver makes impossible) still yields the
             // engine-side stats the probe has been accumulating.
             Some(Err(_)) | None => {
-                eprintln!("gridwatch-serve: ingest thread panicked; reporting partial stats");
+                gridwatch_obs::error!(
+                    "net",
+                    "gridwatch-serve: ingest thread panicked; reporting partial stats"
+                );
                 (Vec::new(), self.probe.stats())
             }
         };
@@ -402,6 +453,36 @@ impl NetServer {
         }
         stats.net = self.net.lock().snapshot();
         (reports, stats)
+    }
+}
+
+/// A read-only scrape handle over a running [`NetServer`]: live engine
+/// counters plus wire counters, renderable as Prometheus exposition
+/// text. Detachable — holding one never blocks shutdown.
+#[derive(Clone)]
+pub struct NetMetricsProbe {
+    probe: StatsProbe,
+    net: Shared<NetAccumulator>,
+}
+
+impl std::fmt::Debug for NetMetricsProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetMetricsProbe")
+    }
+}
+
+impl NetMetricsProbe {
+    /// Current serving statistics, wire-path counters included.
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = self.probe.stats();
+        stats.net = self.net.lock().snapshot();
+        stats
+    }
+
+    /// The current stats plus stage spans as Prometheus exposition
+    /// text — what a `GET /metrics` scrape of this listener returns.
+    pub fn to_prometheus(&self) -> String {
+        self.stats().to_prometheus(&self.probe.obs().tracer)
     }
 }
 
@@ -417,6 +498,7 @@ fn accept_loop(
     stealer: Receiver<WireFrame>,
     policy: BackpressurePolicy,
     cfg: NetConfig,
+    obs: PipelineObs,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -439,13 +521,15 @@ fn accept_loop(
             let conn_id = acc.connections.len();
             acc.connections.push(ConnStats {
                 conn: conn_id as u64,
-                peer,
+                peer: peer.clone(),
                 protocol: "unknown".to_string(),
                 open: true,
                 ..ConnStats::default()
             });
             conn_id
         };
+        obs.recorder
+            .record("conn-open", format_args!("conn {conn_id} peer {peer}"));
         let reader = match stream.try_clone() {
             Ok(clone) => clone,
             Err(_) => {
@@ -460,16 +544,20 @@ fn accept_loop(
             let tx = tx.clone();
             let stealer = stealer.clone();
             let cfg = cfg.clone();
+            let obs = obs.clone();
             std::thread::Builder::new()
                 .name(format!("gw-net-conn-{conn_id}"))
-                .spawn(move || conn_loop(conn_id, reader, net_acc, tx, stealer, policy, cfg))
+                .spawn(move || conn_loop(conn_id, reader, net_acc, tx, stealer, policy, cfg, obs))
         };
         let handle = match spawned {
             Ok(handle) => handle,
             Err(e) => {
                 // Out of threads is a load condition, not a listener
                 // defect: refuse this connection and keep accepting.
-                eprintln!("gridwatch-serve: cannot spawn connection thread: {e}");
+                gridwatch_obs::error!(
+                    "net",
+                    "gridwatch-serve: cannot spawn connection thread: {e}"
+                );
                 let _ = stream.shutdown(std::net::Shutdown::Both);
                 let mut acc = net_acc.lock();
                 acc.closed += 1;
@@ -483,6 +571,7 @@ fn accept_loop(
 
 /// One connection: read bytes, decode frames, deliver with backpressure,
 /// account every outcome.
+#[allow(clippy::too_many_arguments)]
 fn conn_loop(
     conn: usize,
     mut stream: TcpStream,
@@ -491,13 +580,19 @@ fn conn_loop(
     stealer: Receiver<WireFrame>,
     policy: BackpressurePolicy,
     cfg: NetConfig,
+    obs: PipelineObs,
 ) {
     if cfg.read_timeout > Duration::ZERO {
         if let Err(e) = stream.set_read_timeout(Some(cfg.read_timeout)) {
             // A connection without a read deadline can hold its slot
             // forever (slow-loris with no timeout to trip); refuse to
             // serve it unprotected rather than ignoring the failure.
-            eprintln!("gridwatch-serve: cannot arm read deadline on conn {conn}: {e}");
+            gridwatch_obs::error!(
+                "net",
+                "gridwatch-serve: cannot arm read deadline on conn {conn}: {e}"
+            );
+            obs.recorder
+                .record("deadline-failure", format_args!("conn {conn}: {e}"));
             let _ = stream.shutdown(std::net::Shutdown::Both);
             let mut acc = net_acc.lock();
             acc.deadline_failures += 1;
@@ -510,10 +605,19 @@ fn conn_loop(
     let mut buf = [0u8; 8 * 1024];
     let mut named_protocol = false;
     'read: loop {
-        match stream.read(&mut buf) {
+        // The Ingest span covers the blocking read: time-to-bytes as
+        // seen from the server, socket wait included.
+        let ingest = obs.tracer.span(Stage::Ingest);
+        let read = stream.read(&mut buf);
+        drop(ingest);
+        match read {
             Ok(0) => {
                 // Clean EOF — unless it truncated a frame mid-flight.
                 if decoder.eof_error().is_some() {
+                    obs.recorder.record(
+                        "decode-error",
+                        format_args!("conn {conn}: truncated at EOF"),
+                    );
                     let mut acc = net_acc.lock();
                     acc.decode_errors += 1;
                     acc.connections[conn].decode_errors += 1;
@@ -523,7 +627,13 @@ fn conn_loop(
             Ok(n) => {
                 decoder.push(&buf[..n]);
                 loop {
-                    match decoder.next_frame() {
+                    // Span each `next_frame` slice separately so the
+                    // Decode distribution never absorbs the blocking
+                    // `deliver` below.
+                    let decode = obs.tracer.span(Stage::Decode);
+                    let next = decoder.next_frame();
+                    drop(decode);
+                    match next {
                         Ok(Some(frame)) => {
                             if !named_protocol {
                                 if let Some(name) = decoder.protocol_name() {
@@ -557,8 +667,14 @@ fn conn_loop(
                             }
                         }
                         Ok(None) => break,
-                        Err(_) => {
+                        Err(e) => {
                             // The stream is unsynchronized; close it.
+                            gridwatch_obs::warn!(
+                                "net",
+                                "gridwatch-serve: decode error on conn {conn}: {e}"
+                            );
+                            obs.recorder
+                                .record("decode-error", format_args!("conn {conn}: {e}"));
                             let mut acc = net_acc.lock();
                             acc.decode_errors += 1;
                             acc.connections[conn].decode_errors += 1;
@@ -572,6 +688,8 @@ fn conn_loop(
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 // Slow-loris or idle client: past the read deadline.
+                obs.recorder
+                    .record("timeout", format_args!("conn {conn} hit the read deadline"));
                 let mut acc = net_acc.lock();
                 acc.timeouts += 1;
                 acc.connections[conn].timeouts += 1;
@@ -581,6 +699,8 @@ fn conn_loop(
         }
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    obs.recorder
+        .record("conn-close", format_args!("conn {conn}"));
     let mut acc = net_acc.lock();
     acc.closed += 1;
     acc.connections[conn].open = false;
@@ -594,10 +714,15 @@ fn ingest_loop(
     frame_rx: Receiver<WireFrame>,
     net_acc: Shared<NetAccumulator>,
     cfg: NetConfig,
+    obs: PipelineObs,
 ) -> (Vec<StepReport>, ServeStats) {
     let mut since_checkpoint = 0u64;
     while let Ok(frame) = frame_rx.recv() {
-        let ready = match table.admit(&frame.source, frame.seq, frame.snapshot) {
+        let source = frame.source.clone();
+        let sequence = obs.tracer.span(Stage::Sequence);
+        let admission = table.admit(&frame.source, frame.seq, frame.snapshot);
+        drop(sequence);
+        let ready = match admission {
             Admission::Ready(snaps) => snaps,
             Admission::Buffered => {
                 net_acc.lock().out_of_order += 1;
@@ -608,6 +733,14 @@ fn ingest_loop(
                 continue;
             }
             Admission::GapAbandoned { skipped, released } => {
+                gridwatch_obs::warn!(
+                    "net",
+                    "gridwatch-serve: abandoned {skipped} frame(s) from source {source}"
+                );
+                obs.recorder.record(
+                    "gap-skip",
+                    format_args!("source {source}: {skipped} seq(s) abandoned"),
+                );
                 net_acc.lock().gap_skips += skipped;
                 released
             }
@@ -619,11 +752,11 @@ fn ingest_loop(
         }
         if cfg.checkpoint_every > 0 && since_checkpoint >= cfg.checkpoint_every {
             since_checkpoint = 0;
-            run_checkpoint(&mut engine, &table, &net_acc, &cfg);
+            run_checkpoint(&mut engine, &table, &net_acc, &cfg, &obs);
         }
     }
     // Every sender is gone: the stream is drained. Take the final cut.
-    run_checkpoint(&mut engine, &table, &net_acc, &cfg);
+    run_checkpoint(&mut engine, &table, &net_acc, &cfg, &obs);
     engine.shutdown()
 }
 
@@ -634,12 +767,13 @@ fn run_checkpoint(
     table: &SourceTable,
     net_acc: &Shared<NetAccumulator>,
     cfg: &NetConfig,
+    obs: &PipelineObs,
 ) {
     if let Some(dir) = &cfg.checkpoint_dir {
-        if engine
-            .checkpoint_with_sources(dir, table.progress())
-            .is_err()
-        {
+        if let Err(e) = engine.checkpoint_with_sources(dir, table.progress()) {
+            gridwatch_obs::error!("net", "gridwatch-serve: checkpoint failed: {e}");
+            obs.recorder
+                .record("checkpoint-failure", format_args!("{e}"));
             net_acc.lock().checkpoint_failures += 1;
         }
     }

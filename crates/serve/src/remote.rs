@@ -35,11 +35,13 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use gridwatch_detect::{AlarmTracker, DetectionEngine, EngineConfig, EngineSnapshot, ScoreBoard};
+use gridwatch_obs::{Exposition, PipelineObs, Stage};
 
 use crate::checkpoint::CheckpointError;
 use crate::wire::{self, WireFrame};
@@ -71,6 +73,12 @@ pub enum FabricControl {
         /// sends back is stamped with it, so boards from a superseded
         /// assignment can be fenced off.
         epoch: u64,
+        /// Span-trace propagation: when true the worker enables its
+        /// pipeline tracer for the session, so coordinator-side tracing
+        /// extends across the wire. Defaulted so a Hello from an older
+        /// coordinator (no such field) still parses.
+        #[serde(default)]
+        trace: bool,
         /// The shard's engine state to resume from.
         state: EngineSnapshot,
     },
@@ -102,6 +110,11 @@ pub struct BoardFrame {
     pub epoch: u64,
     /// The snapshot sequence number the board scores.
     pub seq: u64,
+    /// Wall-clock nanoseconds the worker spent scoring this snapshot;
+    /// the coordinator folds it into its Score stage distribution.
+    /// Defaulted so boards from older workers (no such field) parse.
+    #[serde(default)]
+    pub score_ns: u64,
     /// The partial board (one score per pair owned by the shard).
     pub board: ScoreBoard,
 }
@@ -310,6 +323,66 @@ pub struct ShardWorker {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     session: Arc<Mutex<Option<TcpStream>>>,
+    summary: Arc<Mutex<WorkerSummary>>,
+    obs: PipelineObs,
+}
+
+/// A detachable handle rendering a live worker's counters and stage
+/// distributions as Prometheus text exposition, for `--metrics` scrapes
+/// while [`ShardWorker::run`] owns the thread.
+#[derive(Debug, Clone)]
+pub struct WorkerMetricsProbe {
+    summary: Arc<Mutex<WorkerSummary>>,
+    obs: PipelineObs,
+}
+
+impl WorkerMetricsProbe {
+    /// The worker's lifetime counters so far.
+    pub fn summary(&self) -> WorkerSummary {
+        *self.summary.lock()
+    }
+
+    /// Renders the worker's counters and any recorded stage timings.
+    pub fn to_prometheus(&self) -> String {
+        let s = self.summary();
+        let mut expo = Exposition::new();
+        expo.header(
+            "gridwatch_worker_sessions_total",
+            "counter",
+            "Coordinator sessions served",
+        );
+        expo.sample("gridwatch_worker_sessions_total", &[], s.sessions);
+        expo.header(
+            "gridwatch_worker_snapshots_total",
+            "counter",
+            "Snapshot frames scored",
+        );
+        expo.sample("gridwatch_worker_snapshots_total", &[], s.snapshots);
+        expo.header(
+            "gridwatch_worker_boards_total",
+            "counter",
+            "Board frames sent upstream",
+        );
+        expo.sample("gridwatch_worker_boards_total", &[], s.boards);
+        expo.header(
+            "gridwatch_worker_checkpoints_total",
+            "counter",
+            "Checkpoint markers answered",
+        );
+        expo.sample("gridwatch_worker_checkpoints_total", &[], s.checkpoints);
+        expo.header(
+            "gridwatch_worker_protocol_errors_total",
+            "counter",
+            "Sessions dropped for protocol violations",
+        );
+        expo.sample(
+            "gridwatch_worker_protocol_errors_total",
+            &[],
+            s.protocol_errors,
+        );
+        crate::stats::render_stage_spans(&mut expo, &self.obs.tracer);
+        expo.finish()
+    }
 }
 
 /// A test/ops handle that can hard-kill a running [`ShardWorker`] from
@@ -338,6 +411,13 @@ impl WorkerController {
 impl ShardWorker {
     /// Binds the worker's listening socket (port 0 picks a free port).
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<ShardWorker> {
+        ShardWorker::bind_with_obs(addr, PipelineObs::default())
+    }
+
+    /// [`ShardWorker::bind`] with an explicit observability context.
+    /// The tracer also late-enables when a session's `Hello` carries
+    /// `trace: true`.
+    pub fn bind_with_obs(addr: impl ToSocketAddrs, obs: PipelineObs) -> io::Result<ShardWorker> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         Ok(ShardWorker {
@@ -345,12 +425,27 @@ impl ShardWorker {
             local_addr,
             stop: Arc::new(AtomicBool::new(false)),
             session: Arc::new(Mutex::new(None)),
+            summary: Arc::new(Mutex::new(WorkerSummary::default())),
+            obs,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// This worker's observability context.
+    pub fn obs(&self) -> &PipelineObs {
+        &self.obs
+    }
+
+    /// A handle that renders live metrics while `run` owns the thread.
+    pub fn metrics_probe(&self) -> WorkerMetricsProbe {
+        WorkerMetricsProbe {
+            summary: Arc::clone(&self.summary),
+            obs: self.obs.clone(),
+        }
     }
 
     /// A kill handle for tests and supervisors.
@@ -367,17 +462,16 @@ impl ShardWorker {
     /// protocol error does not stop the worker — the coordinator may
     /// reconnect (crash-resume, shard migration).
     pub fn run(&self) -> Result<WorkerSummary, FabricError> {
-        let mut summary = WorkerSummary::default();
         loop {
             if self.stop.load(Ordering::SeqCst) {
-                return Ok(summary);
+                return Ok(*self.summary.lock());
             }
             let stream = match self.listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => {
                     if self.stop.load(Ordering::SeqCst) {
-                        return Ok(summary);
+                        return Ok(*self.summary.lock());
                     }
                     return Err(FabricError::Io {
                         context: "accept".to_string(),
@@ -386,21 +480,50 @@ impl ShardWorker {
                 }
             };
             if self.stop.load(Ordering::SeqCst) {
-                return Ok(summary);
+                return Ok(*self.summary.lock());
             }
-            summary.sessions += 1;
+            let session_id = {
+                let mut summary = self.summary.lock();
+                summary.sessions += 1;
+                summary.sessions
+            };
+            self.obs.recorder.record(
+                "session-open",
+                format_args!("coordinator session {session_id} accepted"),
+            );
             *self.session.lock() = stream.try_clone().ok();
-            let end = session_loop(stream, &mut summary);
+            let end = session_loop(stream, &self.summary, &self.obs);
             *self.session.lock() = None;
             match end {
-                Ok(SessionEnd::Shutdown) => return Ok(summary),
-                Ok(SessionEnd::Eof) => {}
-                Err(_) if self.stop.load(Ordering::SeqCst) => return Ok(summary),
-                Err(FabricError::Protocol(why)) => {
-                    summary.protocol_errors += 1;
-                    eprintln!("gridwatch shard-worker: dropping session: {why}");
+                Ok(SessionEnd::Shutdown) => {
+                    self.obs
+                        .recorder
+                        .record("shutdown", format_args!("coordinator sent Shutdown"));
+                    return Ok(*self.summary.lock());
                 }
-                Err(e) => eprintln!("gridwatch shard-worker: session ended: {e}"),
+                Ok(SessionEnd::Eof) => {
+                    self.obs.recorder.record(
+                        "session-end",
+                        format_args!("session {session_id} closed at EOF"),
+                    );
+                }
+                Err(_) if self.stop.load(Ordering::SeqCst) => return Ok(*self.summary.lock()),
+                Err(FabricError::Protocol(why)) => {
+                    self.summary.lock().protocol_errors += 1;
+                    self.obs
+                        .recorder
+                        .record("protocol-error", format_args!("{why}"));
+                    gridwatch_obs::error!(
+                        "fabric",
+                        "gridwatch shard-worker: dropping session: {why}"
+                    );
+                }
+                Err(e) => {
+                    self.obs
+                        .recorder
+                        .record("session-error", format_args!("{e}"));
+                    gridwatch_obs::error!("fabric", "gridwatch shard-worker: session ended: {e}");
+                }
             }
         }
     }
@@ -410,8 +533,10 @@ impl ShardWorker {
 /// checkpoint markers until EOF or `Shutdown`.
 fn session_loop(
     mut stream: TcpStream,
-    summary: &mut WorkerSummary,
+    summary: &Mutex<WorkerSummary>,
+    obs: &PipelineObs,
 ) -> Result<SessionEnd, FabricError> {
+    let tracer = obs.tracer.clone();
     // Handshake: the first frame must be a Hello (or a Shutdown aimed
     // at an idle worker).
     let Some(payload) = read_frame(&mut stream).map_err(io_ctx("handshake read"))? else {
@@ -422,8 +547,15 @@ fn session_loop(
             shard,
             shards: _,
             epoch,
+            trace,
             state,
         }) => {
+            // Span context propagates across the wire as a Hello
+            // extension: a tracing coordinator turns on the worker's
+            // tracer for the whole process (enable is sticky).
+            if trace {
+                tracer.enable();
+            }
             // The shard scores serially; the fabric's parallelism is
             // the worker processes themselves (mirrors ShardedEngine).
             let engine = DetectionEngine::from_snapshot(EngineSnapshot {
@@ -456,24 +588,44 @@ fn session_loop(
     };
 
     loop {
-        let Some(payload) = read_frame(&mut stream).map_err(io_ctx("session read"))? else {
+        let read = {
+            let _ingest = tracer.span(Stage::Ingest);
+            read_frame(&mut stream).map_err(io_ctx("session read"))?
+        };
+        let Some(payload) = read else {
             return Ok(SessionEnd::Eof);
         };
-        match decode_downstream(&payload)? {
+        let decoded = {
+            let _decode = tracer.span(Stage::Decode);
+            decode_downstream(&payload)?
+        };
+        match decoded {
             Downstream::Snapshot(frame) => {
-                summary.snapshots += 1;
+                summary.lock().snapshots += 1;
+                // Timed unconditionally: score_ns rides the board frame
+                // upstream so the coordinator's Score distribution
+                // reflects remote work even when this worker's own
+                // tracer is off.
+                let scored = Instant::now();
                 let board = engine.step_scores(&frame.snapshot);
+                let score_ns = scored.elapsed().as_nanos() as u64;
+                tracer.record_ns(Stage::Score, score_ns);
                 let response = encode_response(&FabricResponse::Board(BoardFrame {
                     shard,
                     epoch,
                     seq: frame.seq,
+                    score_ns,
                     board,
                 }))?;
                 write_frame(&mut stream, &response).map_err(io_ctx("board write"))?;
-                summary.boards += 1;
+                summary.lock().boards += 1;
             }
             Downstream::Control(FabricControl::Checkpoint { id }) => {
-                summary.checkpoints += 1;
+                summary.lock().checkpoints += 1;
+                obs.recorder.record(
+                    "checkpoint",
+                    format_args!("state reply for checkpoint {id} (shard {shard} epoch {epoch})"),
+                );
                 let response = encode_response(&FabricResponse::State {
                     shard,
                     epoch,
@@ -585,6 +737,7 @@ mod tests {
             shard: 2,
             epoch: 7,
             seq: 41,
+            score_ns: 1_250,
             board: ScoreBoard::new(Timestamp::from_secs(360)),
         };
         for response in [
@@ -599,5 +752,54 @@ mod tests {
             assert_eq!(decode_response(&bytes).unwrap(), response);
         }
         assert!(decode_response(b"{}").is_err());
+    }
+
+    #[test]
+    fn pre_obs_wire_frames_still_parse() {
+        // A Board from a worker predating `score_ns` defaults to 0.
+        let old_board = format!(
+            "{{\"Board\":{{\"shard\":2,\"epoch\":7,\"seq\":41,\"board\":{}}}}}",
+            serde_json::to_string(&ScoreBoard::new(Timestamp::from_secs(360))).unwrap()
+        );
+        match decode_response(old_board.as_bytes()).unwrap() {
+            FabricResponse::Board(frame) => {
+                assert_eq!(frame.seq, 41);
+                assert_eq!(frame.score_ns, 0);
+            }
+            other => panic!("expected Board, got {other:?}"),
+        }
+
+        // A Hello from a coordinator predating `trace` defaults to off.
+        let state = EngineSnapshot {
+            config: EngineConfig::default(),
+            models: Vec::new(),
+            tracker: AlarmTracker::new(),
+        };
+        let old_hello = format!(
+            "{{\"control\":{{\"Hello\":{{\"shard\":1,\"shards\":2,\"epoch\":3,\"state\":{}}}}}}}",
+            serde_json::to_string(&state).unwrap()
+        );
+        match decode_downstream(old_hello.as_bytes()).unwrap() {
+            Downstream::Control(FabricControl::Hello { shard, trace, .. }) => {
+                assert_eq!(shard, 1);
+                assert!(!trace, "missing trace field must default to false");
+            }
+            other => panic!("expected Hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_metrics_probe_renders_parseable_exposition() {
+        let worker = ShardWorker::bind("127.0.0.1:0").unwrap();
+        let probe = worker.metrics_probe();
+        let text = probe.to_prometheus();
+        let metrics = gridwatch_obs::parse_exposition(&text).unwrap();
+        let sessions = metrics
+            .iter()
+            .find(|m| m.name == "gridwatch_worker_sessions_total")
+            .expect("sessions counter rendered");
+        assert_eq!(sessions.value, 0.0);
+        // The disabled tracer contributes no stage series.
+        assert!(!text.contains("gridwatch_stage_ns"));
     }
 }

@@ -1,59 +1,83 @@
-//! Serving observability: per-shard and engine-wide counters.
+//! Serving observability: per-shard and engine-wide counters, with
+//! log-bucketed latency/queue distributions and Prometheus rendering.
+//!
+//! Every field of every struct here carries `#[serde(default)]`: stats
+//! dumps are persisted next to checkpoints and re-read on `--resume`
+//! tooling paths, so yesterday's dump — including pre-histogram dumps
+//! whose `latency` key held a `{min_ns, mean_ns, max_ns}` summary —
+//! must keep parsing after a field is added. The audit serde-default
+//! lint (`CHECKPOINTED_STRUCTS`) enforces this for new fields.
 
+use gridwatch_obs::{Exposition, LogHistogram, Tracer};
 use serde::{Deserialize, Serialize};
 
-/// Step-latency summary for one shard, in nanoseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct LatencySummary {
-    /// Fastest observed `step_scores` call.
-    pub min_ns: u64,
-    /// Mean over all observed calls.
-    pub mean_ns: u64,
-    /// Slowest observed call.
-    pub max_ns: u64,
-}
-
-/// Counters for one shard.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+/// Counters and distributions for one shard.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ShardStats {
     /// Shard index.
+    #[serde(default)]
     pub shard: usize,
     /// Pair models owned by this shard.
+    #[serde(default)]
     pub pairs: usize,
     /// Snapshots scored by this shard.
+    #[serde(default)]
     pub processed: u64,
     /// Snapshots evicted from this shard's queue under `DropOldest`.
+    #[serde(default)]
     pub evicted: u64,
     /// Messages currently waiting in this shard's queue.
+    #[serde(default)]
     pub queue_depth: usize,
-    /// Step-latency summary (zeroes until the first snapshot).
-    pub latency: LatencySummary,
+    /// Step-latency distribution in nanoseconds (empty until the first
+    /// snapshot). Replaces the old min/mean/max summary; old dumps
+    /// parse to an empty histogram.
+    #[serde(default)]
+    pub latency: LogHistogram,
+    /// Queue-depth distribution, sampled at every submit.
+    #[serde(default)]
+    pub queue_depths: LogHistogram,
+    /// Nanoseconds the ingestion front spent blocked on this shard's
+    /// full queue (one sample per blocking submit; instant sends are
+    /// not sampled, so `count` is the number of times backpressure
+    /// actually engaged).
+    #[serde(default)]
+    pub backpressure_wait_ns: LogHistogram,
 }
 
 /// Wire-path counters for one network connection.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConnStats {
     /// Connection id, assigned in accept order.
+    #[serde(default)]
     pub conn: u64,
     /// The peer's socket address.
+    #[serde(default)]
     pub peer: String,
     /// The detected encoding (`json`, `csv`, or `unknown` before the
     /// first byte arrives).
+    #[serde(default)]
     pub protocol: String,
     /// Frames decoded from this connection.
+    #[serde(default)]
     pub frames: u64,
     /// Frames lost to framing/parse failures (each also closes the
     /// connection).
+    #[serde(default)]
     pub decode_errors: u64,
     /// Reads that hit the idle/slow-client deadline (closes the
     /// connection).
+    #[serde(default)]
     pub timeouts: u64,
     /// Frames refused at the socket boundary under `Reject`.
+    #[serde(default)]
     pub rejected: u64,
     /// Older frames evicted at the socket boundary under `DropOldest`
     /// to admit this connection's frames.
+    #[serde(default)]
     pub dropped: u64,
     /// Whether the connection is still open.
+    #[serde(default)]
     pub open: bool,
 }
 
@@ -61,14 +85,19 @@ pub struct ConnStats {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetStats {
     /// Connections accepted.
+    #[serde(default)]
     pub accepted: u64,
     /// Connections fully closed.
+    #[serde(default)]
     pub closed: u64,
     /// Frames decoded across all connections.
+    #[serde(default)]
     pub frames: u64,
     /// Decode failures across all connections.
+    #[serde(default)]
     pub decode_errors: u64,
     /// Read-deadline kills across all connections.
+    #[serde(default)]
     pub timeouts: u64,
     /// Connections closed because the read deadline could not be armed
     /// (`set_read_timeout` failed — the socket would otherwise run
@@ -76,19 +105,26 @@ pub struct NetStats {
     #[serde(default)]
     pub deadline_failures: u64,
     /// Frames refused at the socket boundary under `Reject`.
+    #[serde(default)]
     pub rejected: u64,
     /// Frames evicted at the socket boundary under `DropOldest`.
+    #[serde(default)]
     pub dropped: u64,
     /// Frames absorbed as duplicates (reconnect replay, resumed
     /// checkpoints).
+    #[serde(default)]
     pub duplicates: u64,
     /// Frames that arrived ahead of a sequence gap and were buffered.
+    #[serde(default)]
     pub out_of_order: u64,
     /// Sequence numbers abandoned when a reorder window overflowed.
+    #[serde(default)]
     pub gap_skips: u64,
     /// Periodic checkpoints that failed (the stream keeps flowing).
+    #[serde(default)]
     pub checkpoint_failures: u64,
     /// Per-connection counters, in accept order.
+    #[serde(default)]
     pub connections: Vec<ConnStats>,
 }
 
@@ -96,18 +132,25 @@ pub struct NetStats {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Per-shard counters, in shard order.
+    #[serde(default)]
     pub shards: Vec<ShardStats>,
     /// Snapshots accepted at the ingestion front.
+    #[serde(default)]
     pub submitted: u64,
     /// Snapshots refused under `Reject`.
+    #[serde(default)]
     pub rejected: u64,
     /// Merged step reports emitted.
+    #[serde(default)]
     pub reports: u64,
     /// Instants skipped because every shard evicted them.
+    #[serde(default)]
     pub empty_steps: u64,
     /// Alarm events fired by the merged-board tracker.
+    #[serde(default)]
     pub alarms: u64,
     /// Checkpoints completed.
+    #[serde(default)]
     pub checkpoints: u64,
     /// Wire-path counters (all zero when serving a local replay).
     #[serde(default)]
@@ -126,6 +169,222 @@ impl ServeStats {
     pub fn total_evicted(&self) -> u64 {
         self.shards.iter().map(|s| s.evicted).sum()
     }
+
+    /// Renders the stats — plus the tracer's per-stage span
+    /// histograms, when it has recorded anything — as Prometheus text
+    /// exposition v0. The format is pinned by a golden test; renaming
+    /// a metric is a deliberate act that must update it (and any
+    /// dashboards scraping the endpoint).
+    pub fn to_prometheus(&self, tracer: &Tracer) -> String {
+        let mut expo = Exposition::new();
+        expo.header(
+            "gridwatch_submitted_total",
+            "counter",
+            "Snapshots accepted at the ingestion front.",
+        );
+        expo.sample("gridwatch_submitted_total", &[], self.submitted);
+        expo.header(
+            "gridwatch_rejected_total",
+            "counter",
+            "Snapshots refused under the Reject backpressure policy.",
+        );
+        expo.sample("gridwatch_rejected_total", &[], self.rejected);
+        expo.header(
+            "gridwatch_reports_total",
+            "counter",
+            "Merged step reports emitted.",
+        );
+        expo.sample("gridwatch_reports_total", &[], self.reports);
+        expo.header(
+            "gridwatch_empty_steps_total",
+            "counter",
+            "Instants skipped because every shard evicted them.",
+        );
+        expo.sample("gridwatch_empty_steps_total", &[], self.empty_steps);
+        expo.header(
+            "gridwatch_alarms_total",
+            "counter",
+            "Alarm events fired by the merged-board tracker.",
+        );
+        expo.sample("gridwatch_alarms_total", &[], self.alarms);
+        expo.header(
+            "gridwatch_checkpoints_total",
+            "counter",
+            "Checkpoints completed.",
+        );
+        expo.sample("gridwatch_checkpoints_total", &[], self.checkpoints);
+
+        expo.header(
+            "gridwatch_shard_pairs",
+            "gauge",
+            "Pair models owned by each shard.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.sample(
+                "gridwatch_shard_pairs",
+                &[("shard", &label)],
+                shard.pairs as u64,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_processed_total",
+            "counter",
+            "Snapshots scored by each shard.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.sample(
+                "gridwatch_shard_processed_total",
+                &[("shard", &label)],
+                shard.processed,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_evicted_total",
+            "counter",
+            "Snapshots evicted from each shard's queue under DropOldest.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.sample(
+                "gridwatch_shard_evicted_total",
+                &[("shard", &label)],
+                shard.evicted,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_queue_depth",
+            "gauge",
+            "Messages currently waiting in each shard's queue.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.sample(
+                "gridwatch_shard_queue_depth",
+                &[("shard", &label)],
+                shard.queue_depth as u64,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_step_latency_ns",
+            "histogram",
+            "Per-shard step_scores latency in nanoseconds.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.histogram(
+                "gridwatch_shard_step_latency_ns",
+                &[("shard", &label)],
+                &shard.latency,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_queue_depth_samples",
+            "histogram",
+            "Queue depth observed at each submit, per shard.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.histogram(
+                "gridwatch_shard_queue_depth_samples",
+                &[("shard", &label)],
+                &shard.queue_depths,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_backpressure_wait_ns",
+            "histogram",
+            "Nanoseconds the ingestion front blocked on each shard's full queue.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.histogram(
+                "gridwatch_shard_backpressure_wait_ns",
+                &[("shard", &label)],
+                &shard.backpressure_wait_ns,
+            );
+        }
+
+        expo.header(
+            "gridwatch_net_frames_total",
+            "counter",
+            "Frames decoded across all connections.",
+        );
+        expo.sample("gridwatch_net_frames_total", &[], self.net.frames);
+        expo.header(
+            "gridwatch_net_decode_errors_total",
+            "counter",
+            "Decode failures across all connections.",
+        );
+        expo.sample(
+            "gridwatch_net_decode_errors_total",
+            &[],
+            self.net.decode_errors,
+        );
+        expo.header(
+            "gridwatch_net_timeouts_total",
+            "counter",
+            "Read-deadline kills across all connections.",
+        );
+        expo.sample("gridwatch_net_timeouts_total", &[], self.net.timeouts);
+        expo.header(
+            "gridwatch_net_connections_accepted_total",
+            "counter",
+            "Connections accepted.",
+        );
+        expo.sample(
+            "gridwatch_net_connections_accepted_total",
+            &[],
+            self.net.accepted,
+        );
+        expo.header(
+            "gridwatch_net_connections_open",
+            "gauge",
+            "Connections currently open.",
+        );
+        expo.sample(
+            "gridwatch_net_connections_open",
+            &[],
+            self.net.accepted.saturating_sub(self.net.closed),
+        );
+        expo.header(
+            "gridwatch_net_duplicates_total",
+            "counter",
+            "Frames absorbed as duplicates.",
+        );
+        expo.sample("gridwatch_net_duplicates_total", &[], self.net.duplicates);
+        expo.header(
+            "gridwatch_net_gap_skips_total",
+            "counter",
+            "Sequence numbers abandoned to reorder-window overflow.",
+        );
+        expo.sample("gridwatch_net_gap_skips_total", &[], self.net.gap_skips);
+
+        render_stage_spans(&mut expo, tracer);
+        expo.finish()
+    }
+}
+
+/// Appends the tracer's per-stage span histograms (skipped entirely
+/// when no stage has recorded — a disabled tracer adds nothing to the
+/// exposition).
+pub(crate) fn render_stage_spans(expo: &mut Exposition, tracer: &Tracer) {
+    let stages = tracer.snapshot();
+    if stages.iter().all(|(_, hist)| hist.count == 0) {
+        return;
+    }
+    expo.header(
+        "gridwatch_stage_ns",
+        "histogram",
+        "Span timing of each pipeline stage in nanoseconds.",
+    );
+    for (stage, hist) in &stages {
+        if hist.count == 0 {
+            continue;
+        }
+        expo.histogram("gridwatch_stage_ns", &[("stage", stage.name())], hist);
+    }
 }
 
 /// Mutable accumulator shared between the ingestion front and the
@@ -141,26 +400,28 @@ pub(crate) struct StatsAccumulator {
     pub(crate) checkpoints: u64,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct ShardAccumulator {
     pub(crate) pairs: usize,
     pub(crate) processed: u64,
     pub(crate) evicted: u64,
-    pub(crate) lat_min_ns: u64,
-    pub(crate) lat_sum_ns: u64,
-    pub(crate) lat_max_ns: u64,
+    pub(crate) latency: LogHistogram,
+    pub(crate) queue_depths: LogHistogram,
+    pub(crate) backpressure_wait_ns: LogHistogram,
 }
 
 impl ShardAccumulator {
     pub(crate) fn observe_latency(&mut self, elapsed_ns: u64) {
         self.processed += 1;
-        self.lat_sum_ns += elapsed_ns;
-        self.lat_max_ns = self.lat_max_ns.max(elapsed_ns);
-        self.lat_min_ns = if self.processed == 1 {
-            elapsed_ns
-        } else {
-            self.lat_min_ns.min(elapsed_ns)
-        };
+        self.latency.record(elapsed_ns);
+    }
+
+    pub(crate) fn observe_queue_depth(&mut self, depth: usize) {
+        self.queue_depths.record(depth as u64);
+    }
+
+    pub(crate) fn observe_backpressure_wait(&mut self, wait_ns: u64) {
+        self.backpressure_wait_ns.record(wait_ns);
     }
 }
 
@@ -186,11 +447,9 @@ impl StatsAccumulator {
                     processed: acc.processed,
                     evicted: acc.evicted,
                     queue_depth: queue_depths.get(k).copied().unwrap_or(0),
-                    latency: LatencySummary {
-                        min_ns: acc.lat_min_ns,
-                        mean_ns: acc.lat_sum_ns.checked_div(acc.processed).unwrap_or(0),
-                        max_ns: acc.lat_max_ns,
-                    },
+                    latency: acc.latency.clone(),
+                    queue_depths: acc.queue_depths.clone(),
+                    backpressure_wait_ns: acc.backpressure_wait_ns.clone(),
                 })
                 .collect(),
             submitted: self.submitted,
@@ -207,9 +466,10 @@ impl StatsAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gridwatch_obs::Stage;
 
     #[test]
-    fn latency_summary_tracks_min_mean_max() {
+    fn latency_histogram_tracks_distribution() {
         let mut acc = ShardAccumulator::default();
         for ns in [300, 100, 200] {
             acc.observe_latency(ns);
@@ -219,11 +479,30 @@ mod tests {
             ..StatsAccumulator::default()
         }
         .snapshot(&[5]);
-        let lat = stats.shards[0].latency;
-        assert_eq!(lat.min_ns, 100);
-        assert_eq!(lat.mean_ns, 200);
-        assert_eq!(lat.max_ns, 300);
+        let lat = &stats.shards[0].latency;
+        assert_eq!(lat.min, 100);
+        assert_eq!(lat.mean(), 200);
+        assert_eq!(lat.max, 300);
+        assert_eq!(lat.count, stats.shards[0].processed);
+        assert!(lat.p50() >= 100 && lat.p50() <= 300);
         assert_eq!(stats.shards[0].queue_depth, 5);
+    }
+
+    #[test]
+    fn queue_and_backpressure_distributions_accumulate() {
+        let mut acc = ShardAccumulator::default();
+        acc.observe_queue_depth(0);
+        acc.observe_queue_depth(7);
+        acc.observe_backpressure_wait(1500);
+        let stats = StatsAccumulator {
+            per_shard: vec![acc],
+            ..StatsAccumulator::default()
+        }
+        .snapshot(&[0]);
+        assert_eq!(stats.shards[0].queue_depths.count, 2);
+        assert_eq!(stats.shards[0].queue_depths.max, 7);
+        assert_eq!(stats.shards[0].backpressure_wait_ns.count, 1);
+        assert_eq!(stats.shards[0].backpressure_wait_ns.sum, 1500);
     }
 
     #[test]
@@ -231,6 +510,7 @@ mod tests {
         let mut acc = StatsAccumulator::new(2);
         acc.submitted = 10;
         acc.per_shard[1].evicted = 3;
+        acc.per_shard[0].observe_latency(420);
         let mut stats = acc.snapshot(&[0, 1]);
         stats.net.frames = 7;
         stats.net.connections.push(ConnStats {
@@ -244,6 +524,7 @@ mod tests {
         let back: ServeStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
         assert_eq!(back.total_evicted(), 3);
+        assert_eq!(back.shards[0].latency.count, 1);
     }
 
     #[test]
@@ -259,6 +540,26 @@ mod tests {
         assert_eq!(back.net, NetStats::default());
     }
 
+    #[test]
+    fn pre_histogram_dumps_still_parse() {
+        // Before the histogram rework, "latency" held a min/mean/max
+        // summary and the distribution fields did not exist. Such dumps
+        // must parse: unknown keys are ignored and every new field
+        // defaults, so the old latency summary reads as an empty
+        // histogram.
+        let old = concat!(
+            "{\"shards\":[{\"shard\":0,\"pairs\":3,\"processed\":9,\"evicted\":0,",
+            "\"queue_depth\":2,\"latency\":{\"min_ns\":10,\"mean_ns\":20,\"max_ns\":30}}],",
+            "\"submitted\":9,\"rejected\":0,\"reports\":9,\"empty_steps\":0,",
+            "\"alarms\":1,\"checkpoints\":1}"
+        );
+        let back: ServeStats = serde_json::from_str(old).unwrap();
+        assert_eq!(back.shards[0].processed, 9);
+        assert_eq!(back.shards[0].latency, LogHistogram::default());
+        assert_eq!(back.shards[0].queue_depths, LogHistogram::default());
+        assert_eq!(back.shards[0].backpressure_wait_ns, LogHistogram::default());
+    }
+
     /// Pins the JSON schema of the stats dump: adding, renaming,
     /// reordering, or dropping a key is a deliberate act that must
     /// update this golden string (and any dashboards scraping the dump).
@@ -269,7 +570,10 @@ mod tests {
         let json = serde_json::to_string(&stats).unwrap();
         let golden = concat!(
             "{\"shards\":[{\"shard\":0,\"pairs\":0,\"processed\":0,\"evicted\":0,",
-            "\"queue_depth\":0,\"latency\":{\"min_ns\":0,\"mean_ns\":0,\"max_ns\":0}}],",
+            "\"queue_depth\":0,",
+            "\"latency\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},",
+            "\"queue_depths\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},",
+            "\"backpressure_wait_ns\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]}}],",
             "\"submitted\":0,\"rejected\":0,\"reports\":0,\"empty_steps\":0,",
             "\"alarms\":0,\"checkpoints\":0,\"net\":{\"accepted\":0,\"closed\":0,",
             "\"frames\":0,\"decode_errors\":0,\"timeouts\":0,\"deadline_failures\":0,",
@@ -280,5 +584,133 @@ mod tests {
             "\"rejected\":0,\"dropped\":0,\"open\":false}]}}"
         );
         assert_eq!(json, golden);
+    }
+
+    /// Pins the Prometheus exposition format. The full document for a
+    /// one-shard engine with a deterministic little workload: every
+    /// metric name, label, bucket bound, and help string is part of
+    /// the scrape contract.
+    #[test]
+    fn prometheus_exposition_is_pinned() {
+        let mut acc = StatsAccumulator::new(1);
+        acc.submitted = 3;
+        acc.reports = 3;
+        acc.alarms = 1;
+        acc.per_shard[0].pairs = 2;
+        for ns in [3, 900, 1000] {
+            acc.per_shard[0].observe_latency(ns);
+        }
+        acc.per_shard[0].observe_queue_depth(1);
+        let stats = acc.snapshot(&[1]);
+        let text = stats.to_prometheus(&Tracer::disabled());
+        let golden = "\
+# HELP gridwatch_submitted_total Snapshots accepted at the ingestion front.
+# TYPE gridwatch_submitted_total counter
+gridwatch_submitted_total 3
+# HELP gridwatch_rejected_total Snapshots refused under the Reject backpressure policy.
+# TYPE gridwatch_rejected_total counter
+gridwatch_rejected_total 0
+# HELP gridwatch_reports_total Merged step reports emitted.
+# TYPE gridwatch_reports_total counter
+gridwatch_reports_total 3
+# HELP gridwatch_empty_steps_total Instants skipped because every shard evicted them.
+# TYPE gridwatch_empty_steps_total counter
+gridwatch_empty_steps_total 0
+# HELP gridwatch_alarms_total Alarm events fired by the merged-board tracker.
+# TYPE gridwatch_alarms_total counter
+gridwatch_alarms_total 1
+# HELP gridwatch_checkpoints_total Checkpoints completed.
+# TYPE gridwatch_checkpoints_total counter
+gridwatch_checkpoints_total 0
+# HELP gridwatch_shard_pairs Pair models owned by each shard.
+# TYPE gridwatch_shard_pairs gauge
+gridwatch_shard_pairs{shard=\"0\"} 2
+# HELP gridwatch_shard_processed_total Snapshots scored by each shard.
+# TYPE gridwatch_shard_processed_total counter
+gridwatch_shard_processed_total{shard=\"0\"} 3
+# HELP gridwatch_shard_evicted_total Snapshots evicted from each shard's queue under DropOldest.
+# TYPE gridwatch_shard_evicted_total counter
+gridwatch_shard_evicted_total{shard=\"0\"} 0
+# HELP gridwatch_shard_queue_depth Messages currently waiting in each shard's queue.
+# TYPE gridwatch_shard_queue_depth gauge
+gridwatch_shard_queue_depth{shard=\"0\"} 1
+# HELP gridwatch_shard_step_latency_ns Per-shard step_scores latency in nanoseconds.
+# TYPE gridwatch_shard_step_latency_ns histogram
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"0\"} 0
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"1\"} 0
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"3\"} 1
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"7\"} 1
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"15\"} 1
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"31\"} 1
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"63\"} 1
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"127\"} 1
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"255\"} 1
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"511\"} 1
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"1023\"} 3
+gridwatch_shard_step_latency_ns_bucket{shard=\"0\",le=\"+Inf\"} 3
+gridwatch_shard_step_latency_ns_sum{shard=\"0\"} 1903
+gridwatch_shard_step_latency_ns_count{shard=\"0\"} 3
+# HELP gridwatch_shard_queue_depth_samples Queue depth observed at each submit, per shard.
+# TYPE gridwatch_shard_queue_depth_samples histogram
+gridwatch_shard_queue_depth_samples_bucket{shard=\"0\",le=\"0\"} 0
+gridwatch_shard_queue_depth_samples_bucket{shard=\"0\",le=\"1\"} 1
+gridwatch_shard_queue_depth_samples_bucket{shard=\"0\",le=\"+Inf\"} 1
+gridwatch_shard_queue_depth_samples_sum{shard=\"0\"} 1
+gridwatch_shard_queue_depth_samples_count{shard=\"0\"} 1
+# HELP gridwatch_shard_backpressure_wait_ns Nanoseconds the ingestion front blocked on each shard's full queue.
+# TYPE gridwatch_shard_backpressure_wait_ns histogram
+gridwatch_shard_backpressure_wait_ns_bucket{shard=\"0\",le=\"+Inf\"} 0
+gridwatch_shard_backpressure_wait_ns_sum{shard=\"0\"} 0
+gridwatch_shard_backpressure_wait_ns_count{shard=\"0\"} 0
+# HELP gridwatch_net_frames_total Frames decoded across all connections.
+# TYPE gridwatch_net_frames_total counter
+gridwatch_net_frames_total 0
+# HELP gridwatch_net_decode_errors_total Decode failures across all connections.
+# TYPE gridwatch_net_decode_errors_total counter
+gridwatch_net_decode_errors_total 0
+# HELP gridwatch_net_timeouts_total Read-deadline kills across all connections.
+# TYPE gridwatch_net_timeouts_total counter
+gridwatch_net_timeouts_total 0
+# HELP gridwatch_net_connections_accepted_total Connections accepted.
+# TYPE gridwatch_net_connections_accepted_total counter
+gridwatch_net_connections_accepted_total 0
+# HELP gridwatch_net_connections_open Connections currently open.
+# TYPE gridwatch_net_connections_open gauge
+gridwatch_net_connections_open 0
+# HELP gridwatch_net_duplicates_total Frames absorbed as duplicates.
+# TYPE gridwatch_net_duplicates_total counter
+gridwatch_net_duplicates_total 0
+# HELP gridwatch_net_gap_skips_total Sequence numbers abandoned to reorder-window overflow.
+# TYPE gridwatch_net_gap_skips_total counter
+gridwatch_net_gap_skips_total 0
+";
+        assert_eq!(text, golden);
+    }
+
+    #[test]
+    fn enabled_tracer_adds_stage_histograms() {
+        let stats = StatsAccumulator::new(1).snapshot(&[0]);
+        let tracer = Tracer::enabled();
+        tracer.record_ns(Stage::Score, 100);
+        tracer.record_ns(Stage::Merge, 50);
+        let text = stats.to_prometheus(&tracer);
+        assert!(
+            text.contains("# TYPE gridwatch_stage_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gridwatch_stage_ns_count{stage=\"score\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gridwatch_stage_ns_count{stage=\"merge\"} 1"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("stage=\"ingest\""),
+            "empty stages are skipped: {text}"
+        );
+        // The scrape parses.
+        assert!(gridwatch_obs::parse_exposition(&text).is_some());
     }
 }

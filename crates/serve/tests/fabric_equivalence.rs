@@ -12,6 +12,7 @@ use std::thread::JoinHandle;
 use gridwatch_detect::{
     AlarmPolicy, DetectionEngine, EngineConfig, EngineSnapshot, Snapshot, StepReport,
 };
+use gridwatch_obs::{parse_exposition, PipelineObs, Stage};
 use gridwatch_serve::{
     Coordinator, FabricConfig, FabricError, ShardWorker, WorkerController, WorkerSummary,
 };
@@ -279,6 +280,60 @@ proptest! {
             );
         }
     }
+}
+
+/// Turning the observability layer on — span tracing across the wire,
+/// score timing on the workers, the metrics probe rendering live — must
+/// not perturb the stream: the reports stay bit-identical to the
+/// unsharded engine, while the tracer genuinely collects spans.
+#[test]
+fn observed_fabric_stays_bit_identical() {
+    let case = build_case(19731102, 5, 16, 2, 4, 6);
+    let want = unsharded_reports(&case);
+
+    let workers = spawn_workers(3);
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+    let obs = PipelineObs::default();
+    obs.tracer.enable();
+    let mut coordinator = Coordinator::connect_with_obs(
+        case.engine.clone(),
+        &addrs,
+        FabricConfig::default(),
+        obs.clone(),
+    )
+    .expect("connect fabric");
+    let probe = coordinator.metrics_probe();
+    for snap in &case.trace {
+        coordinator.submit(snap.clone()).expect("submit");
+    }
+    let (got, stats) = coordinator.shutdown(true);
+    join_workers(workers);
+    assert_eq!(got, want, "observability must not change the stream");
+    assert_eq!(stats.reports, case.trace.len() as u64);
+
+    // Every submit took a Route span, and every accepted board carried
+    // its worker-side score timing upstream (3 shards × every step).
+    let steps = case.trace.len() as u64;
+    assert_eq!(obs.tracer.stage(Stage::Route).count, steps);
+    assert_eq!(obs.tracer.stage(Stage::Score).count, 3 * steps);
+    assert_eq!(obs.tracer.stage(Stage::Report).count, steps);
+
+    // The probe renders a parseable exposition carrying the same counts.
+    let text = probe.to_prometheus();
+    let samples = parse_exposition(&text).expect("parseable exposition");
+    let submitted = samples
+        .iter()
+        .find(|s| s.name == "gridwatch_fabric_submitted_total")
+        .expect("submitted counter");
+    assert_eq!(submitted.value, steps as f64);
+    let route_count = samples
+        .iter()
+        .find(|s| {
+            s.name == "gridwatch_stage_ns_count"
+                && s.labels.iter().any(|(k, v)| k == "stage" && v == "route")
+        })
+        .expect("route span histogram");
+    assert_eq!(route_count.value, steps as f64);
 }
 
 /// Non-random pin: the migration path must preserve an alarm-firing

@@ -115,6 +115,7 @@ fn chaos_worker(listener: TcpListener, chaos: Chaos) -> JoinHandle<()> {
             shards: _,
             epoch,
             state,
+            trace: _,
         }) = decode_downstream(&payload).expect("chaos handshake decode")
         else {
             panic!("chaos worker expected Hello first");
@@ -174,6 +175,7 @@ fn chaos_worker(listener: TcpListener, chaos: Chaos) -> JoinHandle<()> {
                         epoch,
                         seq: frame.seq,
                         board,
+                        score_ns: 0,
                     };
                     match &chaos {
                         Chaos::Quadruplicate => {

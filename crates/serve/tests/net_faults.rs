@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use common::ChaosClient;
 use gridwatch_detect::StepReport;
+use gridwatch_obs::{parse_exposition, MetricsServer, PipelineObs};
 use gridwatch_serve::{
     encode_json, BackpressurePolicy, Checkpointer, NetConfig, NetServer, ServeConfig,
 };
@@ -374,6 +375,76 @@ fn checkpoint_resume_absorbs_full_replay() {
     let got: Vec<_> = first_reports.into_iter().chain(second_reports).collect();
     assert_eq!(got, want, "crash + resume must not perturb the stream");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn live_metrics_scrape_accounts_for_every_processed_snapshot() {
+    let trace = common::trace(30);
+    let want = common::reference_reports(common::trained(), &trace);
+
+    let obs = PipelineObs::default();
+    obs.tracer.enable();
+    let server = NetServer::bind_with_obs(
+        "127.0.0.1:0",
+        common::trained(),
+        serve_config(),
+        NetConfig::default(),
+        BTreeMap::new(),
+        obs,
+    )
+    .expect("bind an OS-assigned port");
+    let probe = server.metrics_probe();
+    let metrics =
+        MetricsServer::bind("127.0.0.1:0", move || probe.to_prometheus()).expect("bind metrics");
+
+    let mut client = ChaosClient::connect(server.local_addr());
+    for frame in common::frames(SOURCE, 0, &trace) {
+        client.send_json(&frame);
+    }
+    let got = collect_reports(&server, trace.len());
+
+    // Scrape over real HTTP while the listener is still live, after the
+    // last report: every applied snapshot must already be on the books.
+    let (status, body) =
+        gridwatch_obs::scrape(metrics.local_addr(), "/metrics").expect("scrape the endpoint");
+    assert!(status.contains("200"), "bad scrape status: {status}");
+    let samples = parse_exposition(&body).expect("parseable exposition");
+
+    let shard_processed: f64 = samples
+        .iter()
+        .filter(|s| s.name == "gridwatch_shard_processed_total")
+        .map(|s| s.value)
+        .sum();
+    let latency_counts: f64 = samples
+        .iter()
+        .filter(|s| s.name == "gridwatch_shard_step_latency_ns_count")
+        .map(|s| s.value)
+        .sum();
+    // Each snapshot fans out to every shard, and each shard observes one
+    // step latency per processed snapshot.
+    let shards = serve_config().shards as f64;
+    let steps = trace.len() as f64;
+    assert_eq!(shard_processed, shards * steps);
+    assert_eq!(latency_counts, shards * steps);
+    let submitted = samples
+        .iter()
+        .find(|s| s.name == "gridwatch_submitted_total")
+        .expect("submitted counter");
+    assert_eq!(submitted.value, steps);
+    // The enabled tracer's stage spans rode along.
+    assert!(
+        samples.iter().any(|s| s.name == "gridwatch_stage_ns_count"),
+        "stage spans missing from a traced scrape"
+    );
+
+    client.disconnect();
+    metrics.shutdown();
+    let (_, stats) = server.shutdown();
+    assert_eq!(
+        got, want,
+        "an observed listener must not perturb the stream"
+    );
+    assert_eq!(stats.submitted, trace.len() as u64);
 }
 
 #[test]
