@@ -11,7 +11,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> strict clippy on library crates (float-cmp, unwrap-used)"
 cargo clippy -q -p gridwatch-timeseries -p gridwatch-grid -p gridwatch-core \
-    -p gridwatch-detect -p gridwatch-serve -p gridwatch-obs --lib -- \
+    -p gridwatch-detect -p gridwatch-serve -p gridwatch-obs -p gridwatch-store --lib -- \
     -D warnings -D clippy::float_cmp -D clippy::unwrap_used
 
 echo "==> gridwatch-audit: project lint pass + allowlist reconciliation"
@@ -48,5 +48,16 @@ echo "==> multi-process shard fabric (single-threaded, real processes)"
 cargo test -q -p gridwatch-serve --test fabric_equivalence -- --test-threads=1
 cargo test -q -p gridwatch-serve --test fabric_faults -- --test-threads=1
 cargo test -q -p gridwatch-cli --test fabric -- --test-threads=1
+
+echo "==> history store: format goldens, corruption corpus, proptests"
+cargo test -q -p gridwatch-store --test golden
+cargo test -q -p gridwatch-store --test corruption
+cargo test -q -p gridwatch-store --test proptests
+
+echo "==> history store: crash consistency (SIGKILL mid-append, real processes)"
+cargo test -q -p gridwatch-store --test crash_kill -- --test-threads=1
+
+echo "==> history sink: retention bound + bit-identical score replay"
+cargo test -q -p gridwatch-serve --test history_store
 
 echo "CI OK"

@@ -30,11 +30,19 @@ use lints::{Rule, Violation};
 /// Crates whose library sources are linted for panics, float
 /// comparisons, and unbounded channels: the serving path, where a panic
 /// kills client streams and an unbounded queue defeats backpressure.
-pub const RUNTIME_LINT_CRATES: &[&str] = &["serve", "grid", "detect", "timeseries", "obs"];
+pub const RUNTIME_LINT_CRATES: &[&str] = &["serve", "grid", "detect", "timeseries", "obs", "store"];
 
 /// Crates additionally scanned for the `serde-default` rule — anywhere
 /// a checkpointed struct is defined.
-pub const SERDE_LINT_CRATES: &[&str] = &["serve", "grid", "detect", "timeseries", "core", "obs"];
+pub const SERDE_LINT_CRATES: &[&str] = &[
+    "serve",
+    "grid",
+    "detect",
+    "timeseries",
+    "core",
+    "obs",
+    "store",
+];
 
 /// Finds the workspace root by walking up from `start` looking for a
 /// `Cargo.toml` containing `[workspace]`.

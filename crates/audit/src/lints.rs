@@ -44,6 +44,9 @@ pub const CHECKPOINTED_STRUCTS: &[&str] = &[
     "ConnStats",
     "LogHistogram",
     "FlightEvent",
+    // The history store's manifest is its only serde-persisted file
+    // (everything else is hand-framed binary with its own versioning).
+    "StoreManifest",
 ];
 
 /// Identifier fragments that mark a value as a score or probability for

@@ -1,0 +1,124 @@
+//! History store throughput: WAL append (buffered and per-batch
+//! fsynced), sealing into columnar blocks, and time-range scans over
+//! sealed history. These are the costs `serve --store` adds to the hot
+//! loop and the costs `gridwatch history` pays per query.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gridwatch_store::{HistoryStore, Record, RecordKind, ScoreRow, StoreConfig};
+
+/// One serving step's worth of rows at `--store-depth measurements`
+/// for a 24-measurement system: the system score plus one row per
+/// measurement.
+const ROWS_PER_STEP: u64 = 25;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gw-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn row(step: u64, slot: u64) -> Record {
+    let key = if slot == 0 {
+        "system".to_string()
+    } else {
+        format!("m:machine-{:03}/CpuUtilization", slot - 1)
+    };
+    Record::Score(ScoreRow {
+        at: step * 360,
+        key,
+        score: (step as f64 * 0.01 + slot as f64).sin(),
+    })
+}
+
+/// A store with `steps` steps of sealed score history.
+fn sealed_store(tag: &str, steps: u64) -> HistoryStore {
+    let dir = scratch(tag);
+    let (mut store, _) = HistoryStore::open(&dir, StoreConfig::default()).unwrap();
+    for step in 0..steps {
+        for slot in 0..ROWS_PER_STEP {
+            store.append(row(step, slot)).unwrap();
+        }
+    }
+    store.seal().unwrap();
+    store
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(20);
+
+    // Buffered appends: the per-row cost the serving loop pays inline.
+    group.bench_function("store_append/buffered_step", |b| {
+        let dir = scratch("append");
+        let (mut store, _) = HistoryStore::open(&dir, StoreConfig::default()).unwrap();
+        let mut step = 0u64;
+        b.iter(|| {
+            for slot in 0..ROWS_PER_STEP {
+                store.append(black_box(row(step, slot))).unwrap();
+            }
+            step += 1;
+        });
+    });
+
+    // Appends plus a batch fsync: the durability cadence.
+    group.bench_function("store_append/synced_step", |b| {
+        let dir = scratch("synced");
+        let (mut store, _) = HistoryStore::open(&dir, StoreConfig::default()).unwrap();
+        let mut step = 0u64;
+        b.iter(|| {
+            for slot in 0..ROWS_PER_STEP {
+                store.append(black_box(row(step, slot))).unwrap();
+            }
+            store.sync().unwrap();
+            step += 1;
+        });
+    });
+
+    // One day of steps sealed into columnar blocks.
+    const SEAL_STEPS: u64 = 240;
+    group.bench_function("store_seal/one_day", |b| {
+        b.iter_batched(
+            || {
+                let dir = scratch("seal");
+                let (mut store, _) = HistoryStore::open(&dir, StoreConfig::default()).unwrap();
+                for step in 0..SEAL_STEPS {
+                    for slot in 0..ROWS_PER_STEP {
+                        store.append(row(step, slot)).unwrap();
+                    }
+                }
+                store
+            },
+            |mut store| {
+                store.seal().unwrap();
+                black_box(store);
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    // Scans over a week of sealed history: full range and a narrow day.
+    const WEEK_STEPS: u64 = 240 * 7;
+    let store = sealed_store("scan", WEEK_STEPS);
+    group.bench_function("store_scan/full_week", |b| {
+        b.iter(|| {
+            let rows = store.scan(RecordKind::Score, 0, u64::MAX).unwrap();
+            black_box(rows.len())
+        });
+    });
+    group.bench_function("store_scan/one_day_of_seven", |b| {
+        b.iter(|| {
+            let rows = store
+                .scan(RecordKind::Score, 3 * 86_400, 4 * 86_400 - 1)
+                .unwrap();
+            black_box(rows.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -15,12 +15,17 @@ use crate::flags::Flags;
 const HELP: &str = "\
 gridwatch audit [--root DIR] [--allowlist FILE]
 gridwatch audit --checkpoint DIR
+gridwatch audit --store DIR
 
   --root DIR        workspace root (default: walk up from the cwd)
   --allowlist FILE  allowlist ledger (default: <root>/audit/allowlist.txt)
   --checkpoint DIR  validate a checkpoint directory instead of linting;
                     run this before `gridwatch serve --resume` on a
-                    directory you do not trust";
+                    directory you do not trust
+  --store DIR       validate a history store offline (read-only): torn
+                    or truncated WAL tails, frame and block checksum
+                    mismatches, overlapping or misaligned partitions,
+                    unknown block versions";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -28,6 +33,35 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let flags = Flags::parse(args, &[])?;
+
+    if let Some(dir) = flags.get::<String>("store")? {
+        let report = gridwatch_store::validate_store(std::path::Path::new(&dir))
+            .map_err(|e| format!("cannot validate store {dir}: {e}"))?;
+        for problem in &report.problems {
+            println!("store problem: {problem}");
+        }
+        for note in &report.notes {
+            println!("store note: {note}");
+        }
+        println!(
+            "store {dir}: {} partition(s), {} block(s), {} sealed row(s), \
+             {} WAL record(s), {} problem(s), {} note(s)",
+            report.partitions,
+            report.blocks,
+            report.sealed_rows,
+            report.wal_records,
+            report.problems.len(),
+            report.notes.len()
+        );
+        return if report.is_healthy() {
+            Ok(())
+        } else {
+            Err(format!(
+                "store {dir} failed validation with {} problem(s)",
+                report.problems.len()
+            ))
+        };
+    }
 
     if let Some(dir) = flags.get::<String>("checkpoint")? {
         let report = checkpoint::validate_checkpoint(std::path::Path::new(&dir));

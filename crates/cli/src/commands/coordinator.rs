@@ -13,7 +13,8 @@ use gridwatch_timeseries::Timestamp;
 
 use crate::commands::serve::ReportTally;
 use crate::commands::{
-    dump_flight, install_flight_panic_hook, load_trace, start_metrics, write_stats_atomic,
+    dump_flight, install_flight_panic_hook, load_trace, open_history_sink, start_metrics,
+    store_checkpoint, write_stats_atomic,
 };
 use crate::flags::Flags;
 
@@ -50,6 +51,16 @@ durability:
   --halt-workers            send workers a shutdown control at exit
                             (default: leave them listening)
   --stats FILE              write fabric stats as JSON at exit
+
+history store:
+  --store DIR               append score history, stats samples, and
+                            events to the embedded store at DIR (sealed
+                            and retention-pruned at checkpoint cadence;
+                            query with `gridwatch history`)
+  --store-depth D           system | measurements | full  (default measurements)
+  --store-partition-secs N  time-partition width          (default 86400)
+  --store-retention-secs N  drop partitions older than N trace seconds
+  --store-max-partitions N  keep at most N partitions
 
 observability:
   --metrics ADDR            serve Prometheus metrics over HTTP on ADDR
@@ -131,6 +142,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         flags.get_or("consecutive", snapshot.config.alarm.min_consecutive)?;
 
     let trace = load_trace(&trace_path)?;
+    let mut sink = open_history_sink(&flags)?;
     let pairs = snapshot.models.len();
     let metrics_addr: Option<String> = flags.get("metrics")?;
     let obs = PipelineObs::default();
@@ -163,6 +175,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let began = Instant::now();
     let mut ticks = 0u64;
+    let mut last_at = start.as_secs();
     let mut tally = ReportTally::default();
 
     for t in trace.interval().ticks(start, end) {
@@ -182,23 +195,35 @@ pub fn run(args: &[String]) -> Result<(), String> {
         if ticks <= skip {
             continue;
         }
+        last_at = t.as_secs();
         coordinator
             .submit(snap)
             .map_err(|e| format!("submit failed: {e}"))?;
         if !coordinator.dead_shards().is_empty() {
             reattach(&mut coordinator, &addrs, reattach_secs)?;
         }
-        if let (Some(dir), true) = (
-            checkpoint_dir.as_deref(),
-            checkpoint_every > 0 && (ticks - skip).is_multiple_of(checkpoint_every),
-        ) {
-            checkpoint(&mut coordinator, &addrs, reattach_secs, dir)?;
+        if checkpoint_every > 0 && (ticks - skip).is_multiple_of(checkpoint_every) {
+            if let Some(dir) = checkpoint_dir.as_deref() {
+                checkpoint(&mut coordinator, &addrs, reattach_secs, dir)?;
+            }
+            let probe = coordinator.metrics_probe();
+            store_checkpoint(&mut sink, &obs.recorder, last_at, || {
+                serde_json::to_string_pretty(&probe.stats()).unwrap_or_default()
+            })?;
         }
         while let Some(report) = coordinator.try_recv_report() {
             if !report.alarms.is_empty() {
-                if let Some(dir) = checkpoint_dir.as_deref() {
-                    dump_flight(&obs.recorder, dir, "alarm");
-                }
+                dump_flight(
+                    &obs.recorder,
+                    &mut sink,
+                    checkpoint_dir.as_deref(),
+                    report.scores.at().as_secs(),
+                    "alarm",
+                );
+            }
+            if let Some(sink) = sink.as_mut() {
+                sink.append_report(&report)
+                    .map_err(|e| format!("history store append failed: {e}"))?;
             }
             tally.note(&report);
         }
@@ -218,11 +243,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     let (rest, stats) = coordinator.shutdown(flags.has("halt-workers"));
     for report in &rest {
+        if let Some(sink) = sink.as_mut() {
+            sink.append_report(report)
+                .map_err(|e| format!("history store append failed: {e}"))?;
+        }
         tally.note(report);
     }
-    if let Some(dir) = checkpoint_dir.as_deref() {
-        dump_flight(&obs.recorder, dir, "shutdown");
-    }
+    dump_flight(
+        &obs.recorder,
+        &mut sink,
+        checkpoint_dir.as_deref(),
+        last_at,
+        "shutdown",
+    );
+    store_checkpoint(&mut sink, &obs.recorder, last_at, || {
+        serde_json::to_string_pretty(&stats).unwrap_or_default()
+    })?;
     let elapsed = began.elapsed();
 
     println!(

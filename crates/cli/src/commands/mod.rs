@@ -2,6 +2,7 @@
 
 pub mod audit;
 pub mod coordinator;
+pub mod history;
 pub mod inspect;
 pub mod monitor;
 pub mod serve;
@@ -12,8 +13,57 @@ pub mod train;
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use gridwatch_serve::{HistoryDepth, HistorySink};
 use gridwatch_sim::Trace;
+use gridwatch_store::StoreConfig;
 use gridwatch_timeseries::{MeasurementId, TimeSeries, Timestamp};
+
+use crate::flags::Flags;
+
+/// The store flag block shared by `serve`, `coordinator`, and
+/// `monitor` help texts.
+pub const STORE_HELP: &str = "\
+history store:
+  --store DIR               append scores, stats samples, and events to
+                            the embedded history store at DIR (query it
+                            with `gridwatch history`); flight-recorder
+                            dumps go here instead of flight.jsonl
+  --store-depth D           system | measurements | full   (default
+                            measurements; full adds per-pair scores)
+  --store-partition-secs N  time-partition width           (default 86400)
+  --store-retention-secs N  drop partitions older than N seconds of
+                            trace time                     (default: keep all)
+  --store-max-partitions N  keep at most N partitions      (default: keep all)";
+
+/// Opens the history sink when `--store DIR` was given, printing what
+/// recovery found if it found anything.
+pub fn open_history_sink(flags: &Flags) -> Result<Option<HistorySink>, String> {
+    let Some(dir) = flags.get::<String>("store")? else {
+        return Ok(None);
+    };
+    let config = StoreConfig {
+        partition_secs: flags.get_or(
+            "store-partition-secs",
+            gridwatch_store::DEFAULT_PARTITION_SECS,
+        )?,
+        retention_secs: flags.get::<u64>("store-retention-secs")?,
+        max_partitions: flags.get::<u64>("store-max-partitions")?,
+    };
+    let depth: HistoryDepth = flags.get_or("store-depth", HistoryDepth::default())?;
+    let (sink, report) = HistorySink::open(Path::new(&dir), config, depth)
+        .map_err(|e| format!("cannot open history store {dir}: {e}"))?;
+    if report.replayed_records > 0
+        || report.already_sealed_records > 0
+        || report.truncated_bytes > 0
+    {
+        println!(
+            "history store {dir}: recovered {} unsealed records ({} already sealed, \
+             {} torn bytes truncated)",
+            report.replayed_records, report.already_sealed_records, report.truncated_bytes
+        );
+    }
+    Ok(Some(sink))
+}
 
 /// Loads a CSV trace from a file.
 pub fn load_trace(path: &str) -> Result<Trace, String> {
@@ -68,10 +118,67 @@ where
     Ok(Some(server))
 }
 
-/// Dumps the flight recorder into the checkpoint directory,
-/// best-effort: a failed dump must never take down the serving path it
-/// documents.
-pub fn dump_flight(recorder: &gridwatch_obs::FlightRecorder, dir: &str, why: &str) {
+/// Checkpoint-cadence store maintenance: drain the flight recorder,
+/// sample the stats document, then seal and apply retention. A no-op
+/// without `--store`.
+pub fn store_checkpoint<F: FnOnce() -> String>(
+    sink: &mut Option<HistorySink>,
+    recorder: &gridwatch_obs::FlightRecorder,
+    at: u64,
+    stats_json: F,
+) -> Result<(), String> {
+    let Some(sink) = sink.as_mut() else {
+        return Ok(());
+    };
+    sink.drain_recorder(recorder, at)
+        .map_err(|e| format!("history store event drain failed: {e}"))?;
+    sink.append_stats(at, stats_json())
+        .map_err(|e| format!("history store stats sample failed: {e}"))?;
+    let dropped = sink
+        .checkpoint()
+        .map_err(|e| format!("history store checkpoint failed: {e}"))?;
+    if !dropped.is_empty() {
+        println!(
+            "history store: retention dropped {} expired partition(s)",
+            dropped.len()
+        );
+    }
+    Ok(())
+}
+
+/// Dumps the flight recorder, best-effort: a failed dump must never
+/// take down the serving path it documents.
+///
+/// With a history sink, new events drain into the store (incremental
+/// by global index, then fsynced) and the store's retention bounds
+/// them — the unbounded `flight.jsonl` rewrite is the fallback for
+/// runs without `--store`.
+pub fn dump_flight(
+    recorder: &gridwatch_obs::FlightRecorder,
+    sink: &mut Option<HistorySink>,
+    dir: Option<&str>,
+    at: u64,
+    why: &str,
+) {
+    if let Some(sink) = sink.as_mut() {
+        let drained = sink
+            .drain_recorder(recorder, at)
+            .and_then(|n| sink.sync().map(|()| n));
+        match drained {
+            Ok(n) => {
+                gridwatch_obs::info!(
+                    "obs",
+                    "flight recorder drained into {} ({n} new events, {why})",
+                    sink.store().dir().display()
+                );
+            }
+            Err(e) => {
+                gridwatch_obs::warn!("obs", "cannot drain flight recorder into the store: {e}");
+            }
+        }
+        return;
+    }
+    let Some(dir) = dir else { return };
     let path = Path::new(dir).join("flight.jsonl");
     match recorder.dump(&path) {
         Ok(()) => {

@@ -2,9 +2,11 @@
 //! persisted engine, printing alarms and incident drill-downs.
 
 use gridwatch_detect::{DetectionEngine, EngineSnapshot, IncidentReport, Snapshot};
+use gridwatch_obs::FlightEvent;
+use gridwatch_store::{Record, RecordKind};
 use gridwatch_timeseries::Timestamp;
 
-use crate::commands::load_trace;
+use crate::commands::{load_trace, open_history_sink, store_checkpoint, STORE_HELP};
 use crate::flags::Flags;
 
 const HELP: &str = "\
@@ -17,12 +19,17 @@ gridwatch monitor --trace FILE --engine FILE [flags]
   --system-threshold X      alarm when Q_t < X            (default 0.6)
   --measurement-threshold X alarm when Q^a_t < X          (default 0.5)
   --consecutive N           debounce: N consecutive lows  (default 2)
-  --incidents               print a full incident report per alarm
+  --incidents               print a full incident report per alarm; with
+                            --store, the report's recent-events section
+                            is read back from the store (so it also
+                            covers events persisted by earlier runs)
   --save FILE               write the updated engine snapshot back";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{HELP}");
+        println!();
+        println!("{STORE_HELP}");
         return Ok(());
     }
     let flags = Flags::parse(args, &["incidents"])?;
@@ -49,11 +56,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
     // engine logs alarm events into the shared ring as it steps.
     let recorder = gridwatch_obs::FlightRecorder::default();
     engine.attach_recorder(recorder.clone());
+    let mut sink = open_history_sink(&flags)?;
 
     let start = Timestamp::from_days(from_day);
     let end = Timestamp::from_days(from_day + days);
     let mut ticks = 0usize;
     let mut alarms = 0usize;
+    let mut last_at = start.as_secs();
     let mut q_min: Option<(Timestamp, f64)> = None;
     for t in trace.interval().ticks(start, end) {
         let mut snap = Snapshot::new(t);
@@ -66,28 +75,54 @@ pub fn run(args: &[String]) -> Result<(), String> {
             continue;
         }
         ticks += 1;
+        last_at = t.as_secs();
         let report = engine.step(&snap);
         if let Some(q) = report.scores.system_score() {
             if q_min.is_none_or(|(_, min)| q < min) {
                 q_min = Some((t, q));
             }
         }
+        if let Some(sink) = sink.as_mut() {
+            sink.append_report(&report)
+                .map_err(|e| format!("history store append failed: {e}"))?;
+        }
         for alarm in &report.alarms {
             alarms += 1;
             println!("ALARM {alarm}");
         }
         if !report.alarms.is_empty() && flags.has("incidents") {
-            let incident = IncidentReport::compile(&engine, &report.scores, 3)
-                .with_events(recorder.snapshot());
+            let events = match sink.as_mut() {
+                // With a store, read the run-up back from it: the ring's
+                // new events first land there (deduplicated by global
+                // index), then the scan also surfaces events persisted
+                // by earlier runs against the same store.
+                Some(sink) => {
+                    sink.drain_recorder(&recorder, last_at)
+                        .map_err(|e| format!("history store event drain failed: {e}"))?;
+                    stored_events(sink.store(), last_at)?
+                }
+                None => recorder.snapshot(),
+            };
+            let incident = IncidentReport::compile(&engine, &report.scores, 3).with_events(events);
             println!("{incident}");
         }
     }
+    store_checkpoint(&mut sink, &recorder, last_at, || {
+        format!("{{\"monitored\":{ticks},\"alarms\":{alarms}}}")
+    })?;
     println!(
         "monitored {ticks} snapshots over day {from_day}..{}; {alarms} alarms",
         from_day + days
     );
     if let Some((t, q)) = q_min {
         println!("lowest system fitness: {q:.4} at {t}");
+    }
+    if let Some(sink) = sink.as_ref() {
+        println!(
+            "history store {}: sealed through seq {}",
+            sink.store().dir().display(),
+            sink.store().next_seq()
+        );
     }
     if let Some(save) = flags.get::<String>("save")? {
         engine
@@ -97,4 +132,32 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("updated engine snapshot written to {save}");
     }
     Ok(())
+}
+
+/// The most recent stored events up to `at`, oldest first, converted
+/// back into flight events for the incident report (capped to the same
+/// order of magnitude as the recorder ring).
+fn stored_events(
+    store: &gridwatch_store::HistoryStore,
+    at: u64,
+) -> Result<Vec<FlightEvent>, String> {
+    const MAX_EVENTS: usize = 256;
+    let records = store
+        .scan(RecordKind::Event, 0, at)
+        .map_err(|e| format!("history store event scan failed: {e}"))?;
+    let mut events: Vec<FlightEvent> = records
+        .into_iter()
+        .filter_map(|(_, record)| match record {
+            Record::Event(e) => Some(FlightEvent {
+                at_ns: e.at_ns,
+                kind: e.kind,
+                detail: e.detail,
+            }),
+            _ => None,
+        })
+        .collect();
+    if events.len() > MAX_EVENTS {
+        events.drain(..events.len() - MAX_EVENTS);
+    }
+    Ok(events)
 }

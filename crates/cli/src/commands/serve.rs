@@ -17,7 +17,8 @@ use gridwatch_timeseries::Timestamp;
 use gridwatch_obs::PipelineObs;
 
 use crate::commands::{
-    dump_flight, install_flight_panic_hook, load_trace, start_metrics, write_stats_atomic,
+    dump_flight, install_flight_panic_hook, load_trace, open_history_sink, start_metrics,
+    store_checkpoint, write_stats_atomic,
 };
 use crate::flags::Flags;
 
@@ -44,6 +45,16 @@ engine:
                             instead of --engine
   --stats FILE              write serving stats as JSON (flushed at every
                             checkpoint, and again at exit)
+
+history store:
+  --store DIR               append score history, stats samples, and
+                            events to the embedded store at DIR (sealed
+                            and retention-pruned at checkpoint cadence;
+                            query with `gridwatch history`)
+  --store-depth D           system | measurements | full  (default measurements)
+  --store-partition-secs N  time-partition width          (default 86400)
+  --store-retention-secs N  drop partitions older than N trace seconds
+  --store-max-partitions N  keep at most N partitions
 
 observability:
   --metrics ADDR            serve Prometheus metrics over HTTP on ADDR
@@ -179,6 +190,7 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
 
     let trace = load_trace(&trace_path)?;
     let (snapshot, _) = load_snapshot(flags, checkpoint_dir.as_deref())?;
+    let mut sink = open_history_sink(flags)?;
 
     let metrics_addr: Option<String> = flags.get("metrics")?;
     let obs = PipelineObs::default();
@@ -203,6 +215,7 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
 
     let began = Instant::now();
     let mut ticks = 0u64;
+    let mut last_at = start.as_secs();
     let mut tally = ReportTally::default();
 
     for t in trace.interval().ticks(start, end) {
@@ -218,26 +231,37 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
         }
         engine.submit(snap);
         ticks += 1;
-        if let (Some(dir), true) = (
-            checkpoint_dir.as_deref(),
-            checkpoint_every > 0 && ticks.is_multiple_of(checkpoint_every),
-        ) {
-            let manifest = engine
-                .checkpoint(dir)
-                .map_err(|e| format!("checkpoint failed: {e}"))?;
-            println!("checkpoint written to {dir} (cut seq {})", manifest.cut_seq);
-            // Flush stats alongside every checkpoint, not only at exit,
-            // so an operator watching a long replay (or recovering from
-            // a crash) sees eviction counts from the same cut.
-            if let Some(path) = stats_path.as_deref() {
-                write_stats_atomic(path, &engine.stats().to_json())?;
+        last_at = t.as_secs();
+        if checkpoint_every > 0 && ticks.is_multiple_of(checkpoint_every) {
+            if let Some(dir) = checkpoint_dir.as_deref() {
+                let manifest = engine
+                    .checkpoint(dir)
+                    .map_err(|e| format!("checkpoint failed: {e}"))?;
+                println!("checkpoint written to {dir} (cut seq {})", manifest.cut_seq);
+                // Flush stats alongside every checkpoint, not only at exit,
+                // so an operator watching a long replay (or recovering from
+                // a crash) sees eviction counts from the same cut.
+                if let Some(path) = stats_path.as_deref() {
+                    write_stats_atomic(path, &engine.stats().to_json())?;
+                }
             }
+            store_checkpoint(&mut sink, &obs.recorder, last_at, || {
+                engine.stats().to_json()
+            })?;
         }
         while let Some(report) = engine.try_recv_report() {
             if !report.alarms.is_empty() {
-                if let Some(dir) = checkpoint_dir.as_deref() {
-                    dump_flight(&obs.recorder, dir, "alarm");
-                }
+                dump_flight(
+                    &obs.recorder,
+                    &mut sink,
+                    checkpoint_dir.as_deref(),
+                    report.scores.at().as_secs(),
+                    "alarm",
+                );
+            }
+            if let Some(sink) = sink.as_mut() {
+                sink.append_report(&report)
+                    .map_err(|e| format!("history store append failed: {e}"))?;
             }
             tally.note(&report);
         }
@@ -260,10 +284,26 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
     }
     let (rest, stats) = engine.shutdown();
     for report in &rest {
+        if let Some(sink) = sink.as_mut() {
+            sink.append_report(report)
+                .map_err(|e| format!("history store append failed: {e}"))?;
+        }
         tally.note(report);
     }
-    if let Some(dir) = checkpoint_dir.as_deref() {
-        dump_flight(&obs.recorder, dir, "shutdown");
+    dump_flight(
+        &obs.recorder,
+        &mut sink,
+        checkpoint_dir.as_deref(),
+        last_at,
+        "shutdown",
+    );
+    store_checkpoint(&mut sink, &obs.recorder, last_at, || stats.to_json())?;
+    if let Some(sink) = sink.as_ref() {
+        println!(
+            "history store {}: sealed through seq {}",
+            sink.store().dir().display(),
+            sink.store().next_seq()
+        );
     }
     let elapsed = began.elapsed();
 
@@ -320,6 +360,8 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     }
 
     let (snapshot, sources) = load_snapshot(flags, checkpoint_dir.as_deref())?;
+    let mut sink = open_history_sink(flags)?;
+    let checkpoint_every: u64 = flags.get_or("checkpoint-every", 0)?;
     let metrics_addr: Option<String> = flags.get("metrics")?;
     let obs = PipelineObs::default();
     if metrics_addr.is_some() {
@@ -353,24 +395,48 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     let began = Instant::now();
     let mut tally = ReportTally::default();
     let mut seen = 0u64;
+    let mut last_at = 0u64;
     while max_snapshots == 0 || seen < max_snapshots {
         if let Some(report) = server.recv_report_timeout(Duration::from_millis(500)) {
             seen += 1;
+            last_at = report.scores.at().as_secs();
             if !report.alarms.is_empty() {
-                if let Some(dir) = checkpoint_dir.as_deref() {
-                    dump_flight(&obs.recorder, dir, "alarm");
-                }
+                dump_flight(
+                    &obs.recorder,
+                    &mut sink,
+                    checkpoint_dir.as_deref(),
+                    last_at,
+                    "alarm",
+                );
+            }
+            if let Some(sink) = sink.as_mut() {
+                sink.append_report(&report)
+                    .map_err(|e| format!("history store append failed: {e}"))?;
+            }
+            if checkpoint_every > 0 && seen.is_multiple_of(checkpoint_every) {
+                store_checkpoint(&mut sink, &obs.recorder, last_at, || {
+                    server.metrics_probe().stats().to_json()
+                })?;
             }
             tally.note(&report);
         }
     }
     let (rest, stats) = server.shutdown();
     for report in &rest {
+        if let Some(sink) = sink.as_mut() {
+            sink.append_report(report)
+                .map_err(|e| format!("history store append failed: {e}"))?;
+        }
         tally.note(report);
     }
-    if let Some(dir) = checkpoint_dir.as_deref() {
-        dump_flight(&obs.recorder, dir, "shutdown");
-    }
+    dump_flight(
+        &obs.recorder,
+        &mut sink,
+        checkpoint_dir.as_deref(),
+        last_at,
+        "shutdown",
+    );
+    store_checkpoint(&mut sink, &obs.recorder, last_at, || stats.to_json())?;
     let elapsed = began.elapsed();
 
     println!(

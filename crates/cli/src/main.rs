@@ -34,6 +34,7 @@ commands:
              --trace FILE --engine FILE [--from-day N] [--days N]
              [--system-threshold X] [--measurement-threshold X]
              [--consecutive N] [--incidents] [--save FILE]
+             [--store DIR [--store-depth D] [--store-retention-secs N]]
   serve      feed the sharded concurrent engine: replay a trace, or
              ingest live snapshot frames over TCP
              (--trace FILE | --listen ADDR) --engine FILE [--shards N]
@@ -41,7 +42,7 @@ commands:
              [--protocol auto|json|csv] [--read-timeout SECS]
              [--max-frame-bytes N] [--max-snapshots N] [--checkpoint DIR]
              [--checkpoint-every N] [--resume] [--stats FILE]
-             [--metrics ADDR]
+             [--metrics ADDR] [--store DIR [--store-depth D]]
   shard-worker
              serve one shard of a multi-node fabric over TCP
              --listen ADDR [--metrics ADDR]
@@ -52,11 +53,19 @@ commands:
              [--from-day N] [--days N] [--rate X] [--checkpoint DIR]
              [--checkpoint-every N] [--resume] [--reattach-secs N]
              [--halt-workers] [--stats FILE] [--metrics ADDR]
+             [--store DIR [--store-depth D]]
+  history    query the history store written by --store: time-range
+             scans, per-key filters, top-k lowest-fitness ranking
+             --store DIR [--kind scores|stats|events] [--from-day N]
+             [--days N] [--system | --measurement M | --pair A~B]
+             [--top-k N] [--format json|csv] [--limit N]
   inspect    summarize a persisted engine
              --engine FILE [--verbose]
-  audit      lint the workspace sources, or validate a checkpoint
-             directory offline before `serve --resume`
+  audit      lint the workspace sources, validate a checkpoint
+             directory offline before `serve --resume`, or validate a
+             history store
              [--root DIR] [--allowlist FILE] | --checkpoint DIR
+             | --store DIR
 
 run `gridwatch <command> --help` for details";
 
@@ -74,6 +83,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve::run(&args),
         "shard-worker" => commands::shard_worker::run(&args),
         "coordinator" => commands::coordinator::run(&args),
+        "history" => commands::history::run(&args),
         "inspect" => commands::inspect::run(&args),
         "audit" => commands::audit::run(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),

@@ -101,6 +101,15 @@ impl FlightRecorder {
         self.ring.lock().events.iter().cloned().collect()
     }
 
+    /// The recorded events plus the global index of the first one,
+    /// read under one lock. Every event ever recorded has a stable
+    /// global index (evictions advance the base); incremental sinks use
+    /// it to ship each event exactly once across repeated snapshots.
+    pub fn snapshot_indexed(&self) -> (u64, Vec<FlightEvent>) {
+        let ring = self.ring.lock();
+        (ring.dropped, ring.events.iter().cloned().collect())
+    }
+
     /// Events evicted from the ring so far.
     pub fn dropped(&self) -> u64 {
         self.ring.lock().dropped

@@ -1,0 +1,255 @@
+//! History persistence: routes the serving stack's three output
+//! streams — score boards, stats samples, and flight/alarm events —
+//! into an embedded [`gridwatch_store::HistoryStore`].
+//!
+//! The [`HistorySink`] is the one integration point the CLI commands
+//! share: per-step it appends the configured depth of the score board
+//! plus any alarms; at checkpoint cadence it samples the stats
+//! document, syncs, seals, and applies retention. Flight-recorder
+//! events drain incrementally by global index, so repeated drains
+//! (every alarm, every checkpoint, shutdown) ship each event exactly
+//! once — the store's retention then bounds what `flight.jsonl` never
+//! could.
+
+use std::path::Path;
+
+use gridwatch_detect::{AlarmEvent, ScoreBoard, StepReport};
+use gridwatch_obs::FlightRecorder;
+use gridwatch_store::{
+    measurement_key, pair_key, EventRecord, HistoryStore, OpenReport, Record, ScoreRow,
+    StatsSample, StoreConfig, StoreError, SYSTEM_KEY,
+};
+
+/// How much of each score board to persist per step. Pair scores grow
+/// quadratically with the watched set, so depth is a knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistoryDepth {
+    /// Only the system score `Q_t`.
+    System,
+    /// System plus per-measurement scores `Q^a_t` (the default).
+    #[default]
+    Measurements,
+    /// Everything, including per-pair scores `Q^{a,b}_t`.
+    Full,
+}
+
+impl std::str::FromStr for HistoryDepth {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "system" => Ok(HistoryDepth::System),
+            "measurements" => Ok(HistoryDepth::Measurements),
+            "full" | "pairs" => Ok(HistoryDepth::Full),
+            other => Err(format!(
+                "unknown history depth {other:?} (expected system, measurements, or full)"
+            )),
+        }
+    }
+}
+
+/// Flattens a score board into store rows at the configured depth.
+/// Row order is deterministic: system, then measurements, then pairs,
+/// each in the board's own sorted order.
+pub fn score_rows(board: &ScoreBoard, depth: HistoryDepth) -> Vec<ScoreRow> {
+    let at = board.at().as_secs();
+    let mut rows = Vec::new();
+    if let Some(score) = board.system_score() {
+        rows.push(ScoreRow {
+            at,
+            key: SYSTEM_KEY.to_string(),
+            score,
+        });
+    }
+    if depth == HistoryDepth::System {
+        return rows;
+    }
+    for (id, score) in board.measurement_scores() {
+        rows.push(ScoreRow {
+            at,
+            key: measurement_key(&id.to_string()),
+            score,
+        });
+    }
+    if depth == HistoryDepth::Full {
+        for (pair, score) in board.pair_scores() {
+            rows.push(ScoreRow {
+                at,
+                key: pair_key(&pair.first().to_string(), &pair.second().to_string()),
+                score,
+            });
+        }
+    }
+    rows
+}
+
+/// Converts an alarm into a store event (kind `alarm`).
+pub fn alarm_event(alarm: &AlarmEvent) -> EventRecord {
+    EventRecord {
+        at: alarm.at.as_secs(),
+        at_ns: 0,
+        kind: "alarm".to_string(),
+        detail: alarm.to_string(),
+    }
+}
+
+/// The serving stack's writer onto a history store.
+#[derive(Debug)]
+pub struct HistorySink {
+    store: HistoryStore,
+    depth: HistoryDepth,
+    /// Global index (see `FlightRecorder::snapshot_indexed`) of the
+    /// next recorder event not yet appended.
+    shipped_events: u64,
+}
+
+impl HistorySink {
+    /// Opens (creating if needed) the store at `dir`.
+    pub fn open(
+        dir: &Path,
+        config: StoreConfig,
+        depth: HistoryDepth,
+    ) -> Result<(HistorySink, OpenReport), StoreError> {
+        let (store, report) = HistoryStore::open(dir, config)?;
+        Ok((
+            HistorySink {
+                store,
+                depth,
+                shipped_events: 0,
+            },
+            report,
+        ))
+    }
+
+    /// The underlying store (for scans and stats).
+    pub fn store(&self) -> &HistoryStore {
+        &self.store
+    }
+
+    /// Appends one step's scores (at the configured depth) and alarms.
+    /// Buffered, not yet durable — durability comes at
+    /// [`HistorySink::checkpoint`].
+    pub fn append_report(&mut self, report: &StepReport) -> Result<(), StoreError> {
+        for row in score_rows(&report.scores, self.depth) {
+            self.store.append(Record::Score(row))?;
+        }
+        for alarm in &report.alarms {
+            self.store.append(Record::Event(alarm_event(alarm)))?;
+        }
+        Ok(())
+    }
+
+    /// Appends one stats document (verbatim JSON) filed at `at`.
+    pub fn append_stats(&mut self, at: u64, payload: String) -> Result<(), StoreError> {
+        self.store
+            .append(Record::Stats(StatsSample { at, payload }))?;
+        Ok(())
+    }
+
+    /// Appends every recorder event not shipped by an earlier drain,
+    /// filed at trace instant `at`. Returns how many were appended.
+    /// Events evicted from the ring between drains are lost to the
+    /// store too (the ring is the bound); the count skipped is visible
+    /// as a jump in the watermark.
+    pub fn drain_recorder(
+        &mut self,
+        recorder: &FlightRecorder,
+        at: u64,
+    ) -> Result<u64, StoreError> {
+        let (base, events) = recorder.snapshot_indexed();
+        let mut appended = 0u64;
+        for (offset, event) in events.iter().enumerate() {
+            let index = base + offset as u64;
+            if index < self.shipped_events {
+                continue;
+            }
+            self.store.append(Record::Event(EventRecord {
+                at,
+                at_ns: event.at_ns,
+                kind: event.kind.clone(),
+                detail: event.detail.clone(),
+            }))?;
+            appended += 1;
+        }
+        self.shipped_events = self.shipped_events.max(base + events.len() as u64);
+        Ok(appended)
+    }
+
+    /// Makes every append so far durable (WAL fsync) without sealing.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.store.sync()
+    }
+
+    /// Checkpoint-cadence maintenance: sync, seal the WAL into
+    /// columnar blocks, and apply retention. Returns the partition
+    /// window starts retention dropped.
+    pub fn checkpoint(&mut self) -> Result<Vec<u64>, StoreError> {
+        self.store.seal()?;
+        self.store.apply_retention()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_store::RecordKind;
+    use gridwatch_timeseries::{MachineId, MeasurementId, MeasurementPair, MetricKind, Timestamp};
+
+    fn board() -> ScoreBoard {
+        let mut board = ScoreBoard::new(Timestamp::from_secs(360));
+        let a = MeasurementId::new(MachineId::new(0), MetricKind::CpuUtilization);
+        let b = MeasurementId::new(MachineId::new(1), MetricKind::CpuUtilization);
+        let c = MeasurementId::new(MachineId::new(2), MetricKind::MemoryUsage);
+        board.record(MeasurementPair::new(a, b).unwrap(), 0.75);
+        board.record(MeasurementPair::new(a, c).unwrap(), 0.5);
+        board.record(MeasurementPair::new(b, c).unwrap(), 0.25);
+        board
+    }
+
+    #[test]
+    fn depth_controls_row_families() {
+        let board = board();
+        let system = score_rows(&board, HistoryDepth::System);
+        assert_eq!(system.len(), 1);
+        assert_eq!(system[0].key, SYSTEM_KEY);
+        assert_eq!(system[0].at, 360);
+
+        let measurements = score_rows(&board, HistoryDepth::Measurements);
+        assert_eq!(measurements.len(), 1 + 3);
+        assert!(measurements[1].key.starts_with("m:machine-000/"));
+
+        let full = score_rows(&board, HistoryDepth::Full);
+        assert_eq!(full.len(), 1 + 3 + 3);
+        assert!(full.last().unwrap().key.starts_with("p:"));
+    }
+
+    #[test]
+    fn sink_persists_reports_stats_and_recorder_events_once() {
+        let dir = std::env::temp_dir().join(format!("gw-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut sink, _) =
+            HistorySink::open(&dir, StoreConfig::default(), HistoryDepth::Measurements).unwrap();
+        let report = StepReport {
+            scores: board(),
+            alarms: Vec::new(),
+        };
+        sink.append_report(&report).unwrap();
+        sink.append_stats(360, "{\"submitted\":1}".to_string())
+            .unwrap();
+
+        let recorder = FlightRecorder::new(8);
+        recorder.record("checkpoint", "cut 1");
+        recorder.record("alarm", "system low");
+        assert_eq!(sink.drain_recorder(&recorder, 360).unwrap(), 2);
+        // A second drain with one new event ships only the new one.
+        recorder.record("conn-open", "peer");
+        assert_eq!(sink.drain_recorder(&recorder, 720).unwrap(), 1);
+        sink.checkpoint().unwrap();
+
+        let store = sink.store();
+        assert_eq!(store.scan(RecordKind::Score, 0, u64::MAX).unwrap().len(), 4);
+        assert_eq!(store.scan(RecordKind::Stats, 0, u64::MAX).unwrap().len(), 1);
+        let events = store.scan(RecordKind::Event, 0, u64::MAX).unwrap();
+        assert_eq!(events.len(), 3);
+    }
+}

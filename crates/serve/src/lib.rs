@@ -21,6 +21,7 @@
 pub mod checkpoint;
 pub mod coordinator;
 pub mod engine;
+pub mod history;
 pub mod ingest;
 pub mod net;
 pub mod remote;
@@ -36,6 +37,7 @@ pub use coordinator::{
     Coordinator, CoordinatorMetricsProbe, FabricConfig, FabricStats, COORDINATOR_SOURCE,
 };
 pub use engine::{ServeConfig, ShardedEngine, StatsProbe};
+pub use history::{score_rows, HistoryDepth, HistorySink};
 pub use ingest::{BackpressurePolicy, IngestReport};
 pub use net::{NetConfig, NetMetricsProbe, NetServer};
 pub use remote::{

@@ -1,0 +1,212 @@
+//! Integration tests for the serving stack's history sink:
+//!
+//! * Regression for the unbounded `flight.jsonl` problem — repeated
+//!   alarm/flight dumps through the store stay bounded under retention
+//!   instead of growing a loose JSONL file forever.
+//! * The acceptance criterion that stored scores are bit-identical to
+//!   the live `StepReport` stream they were written from.
+
+use std::path::Path;
+
+use gridwatch_detect::{AlarmPolicy, DetectionEngine, EngineConfig, Snapshot, StepReport};
+use gridwatch_obs::FlightRecorder;
+use gridwatch_serve::history::{score_rows, HistoryDepth, HistorySink};
+use gridwatch_store::{RecordKind, StoreConfig};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+
+/// Total bytes under a directory, recursively.
+fn dir_bytes(dir: &Path) -> u64 {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += dir_bytes(&path);
+        } else if let Ok(meta) = entry.metadata() {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+fn partition_count(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| {
+            e.path().is_dir() && e.file_name().to_str().is_some_and(|n| n.starts_with("p-"))
+        })
+        .count()
+}
+
+/// The regression the store exists to fix: before it, every alarm
+/// appended the whole flight-recorder ring to `flight.jsonl`, which
+/// grew without bound. Through the sink, drains are incremental and
+/// retention caps the partitions, so sustained alarm dumping reaches a
+/// steady state instead of growing forever.
+#[test]
+fn repeated_alarm_dumps_stay_bounded_under_retention() {
+    let dir = std::env::temp_dir().join(format!("gw-flight-bound-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = StoreConfig {
+        partition_secs: 600,
+        retention_secs: None,
+        max_partitions: Some(3),
+    };
+    let (mut sink, _) = HistorySink::open(&dir, config, HistoryDepth::System).unwrap();
+    let recorder = FlightRecorder::new(64);
+
+    let mut sizes = Vec::new();
+    for round in 0..40u64 {
+        let at = round * 600;
+        // One "alarm dump" per round: a burst of recorder traffic, an
+        // incremental drain, and checkpoint-cadence maintenance.
+        for k in 0..20 {
+            recorder.record("alarm", format!("round {round} event {k}"));
+        }
+        sink.drain_recorder(&recorder, at).unwrap();
+        sink.checkpoint().unwrap();
+
+        assert!(
+            partition_count(&dir) <= 3,
+            "round {round}: retention did not cap partitions"
+        );
+        sizes.push(dir_bytes(&dir));
+    }
+
+    // No loose flight.jsonl appears anywhere near the store.
+    assert!(!dir.join("flight.jsonl").exists());
+
+    // Past warmup (cap reached by round 3) the footprint plateaus: the
+    // last round is no bigger than twice the warmed-up size, where the
+    // old behaviour grew linearly (40 rounds ≈ 10× round 4).
+    let warmed = sizes[5];
+    let last = *sizes.last().unwrap();
+    assert!(
+        last <= warmed * 2,
+        "store grew without bound: {warmed} bytes after warmup, {last} at the end"
+    );
+
+    // Events older than the retained window are gone; recent survive.
+    let events = sink.store().scan(RecordKind::Event, 0, u64::MAX).unwrap();
+    assert!(!events.is_empty());
+    let oldest = events.iter().map(|(_, r)| r.at()).min().unwrap();
+    assert!(oldest >= 36 * 600, "expired partitions were not dropped");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A small trained system: two coupled measurements plus a third, with
+/// a mid-trace break so scores actually move and alarms can fire.
+fn reports() -> Vec<StepReport> {
+    const STEP: u64 = 360;
+    let ids = [
+        MeasurementId::new(MachineId::new(0), MetricKind::CpuUtilization),
+        MeasurementId::new(MachineId::new(0), MetricKind::MemoryUsage),
+        MeasurementId::new(MachineId::new(1), MetricKind::CpuUtilization),
+    ];
+    let mut pairs = Vec::new();
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            let pair = MeasurementPair::new(ids[i], ids[j]).unwrap();
+            let history = PairSeries::from_samples((0..300u64).map(|k| {
+                let load = (k % 24) as f64;
+                (
+                    k * STEP,
+                    (i as f64 + 1.0) * load + 0.1 * (k as f64).sin(),
+                    (j as f64 + 1.0) * load + 0.1 * (k as f64 * 0.7).cos(),
+                )
+            }))
+            .unwrap();
+            pairs.push((pair, history));
+        }
+    }
+    let config = EngineConfig {
+        alarm: AlarmPolicy {
+            system_threshold: 0.7,
+            measurement_threshold: 0.4,
+            min_consecutive: 2,
+        },
+        ..EngineConfig::default()
+    };
+    let mut engine = DetectionEngine::train(pairs, config).unwrap();
+    (0..30u64)
+        .map(|k| {
+            let mut snap = Snapshot::new(Timestamp::from_secs((300 + k) * STEP));
+            let load = (k % 24) as f64;
+            for (m, &mid) in ids.iter().enumerate() {
+                let v = if m == 1 && (10..20).contains(&k) {
+                    -200.0
+                } else {
+                    (m as f64 + 1.0) * load
+                };
+                snap.insert(mid, v);
+            }
+            engine.step(&snap)
+        })
+        .collect()
+}
+
+/// Acceptance: a time-range scan over the store returns score rows
+/// bit-identical to the live report stream — same keys, same order,
+/// same `f64` bits — so `gridwatch history` answers match what a JSON
+/// blob of the reports would have said.
+#[test]
+fn stored_scores_are_bit_identical_to_the_live_report_stream() {
+    let dir = std::env::temp_dir().join(format!("gw-bitident-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let reports = reports();
+
+    let (mut sink, _) =
+        HistorySink::open(&dir, StoreConfig::default(), HistoryDepth::Full).unwrap();
+    for report in &reports {
+        sink.append_report(report).unwrap();
+    }
+    sink.checkpoint().unwrap();
+
+    // The reference stream, straight from the in-memory boards.
+    let expected: Vec<_> = reports
+        .iter()
+        .flat_map(|r| score_rows(&r.scores, HistoryDepth::Full))
+        .collect();
+
+    let scanned = sink.store().scan(RecordKind::Score, 0, u64::MAX).unwrap();
+    assert_eq!(scanned.len(), expected.len());
+    for ((_, got), want) in scanned.iter().zip(expected.iter()) {
+        let gridwatch_store::Record::Score(got) = got else {
+            panic!("non-score record in a score scan");
+        };
+        assert_eq!(got.at, want.at);
+        assert_eq!(got.key, want.key);
+        assert_eq!(
+            got.score.to_bits(),
+            want.score.to_bits(),
+            "score for {} at {} drifted through the store",
+            want.key,
+            want.at
+        );
+    }
+
+    // And a narrowed time-range scan is the matching contiguous slice.
+    let from = reports[10].scores.at().as_secs();
+    let to = reports[19].scores.at().as_secs();
+    let window = sink.store().scan(RecordKind::Score, from, to).unwrap();
+    let want_window: Vec<_> = expected
+        .iter()
+        .filter(|r| (from..=to).contains(&r.at))
+        .collect();
+    assert_eq!(window.len(), want_window.len());
+
+    // Alarms made it in as events (the break guarantees at least one).
+    let alarms: usize = reports.iter().map(|r| r.alarms.len()).sum();
+    assert!(alarms > 0, "the broken window should alarm");
+    let events = sink.store().scan(RecordKind::Event, 0, u64::MAX).unwrap();
+    assert_eq!(events.len(), alarms);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

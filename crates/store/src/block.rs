@@ -1,0 +1,507 @@
+//! Sealed columnar blocks: the immutable, compressed at-rest format a
+//! partition's records live in once the WAL is sealed.
+//!
+//! ```text
+//! offset 0   b"GWBLKv1\n"     8-byte magic + version
+//! offset 8   kind u8          record family tag (1/2/3)
+//! offset 9   first_seq u64 LE
+//! offset 17  last_seq  u64 LE
+//! offset 25  varint rows, varint min_at, varint max_at
+//!            columns (family-specific, see below)
+//! footer     crc32 u32 LE     over bytes [0, body_len)
+//!            body_len u32 LE
+//!            b"GWE1"          4-byte end magic
+//! ```
+//!
+//! Column layouts (all integer columns are delta+RLE, score bits are
+//! XOR+RLE — see [`crate::codec`]):
+//!
+//! * **scores**: key dictionary (varint count + strings, first-seen
+//!   order), seq column, at column, key-index column, score-bits column.
+//! * **stats**: seq column, at column, payload strings.
+//! * **events**: kind dictionary, seq column, at column, at_ns column,
+//!   kind-index column, detail strings.
+//!
+//! The footer makes truncation self-evident (length mismatch) and the
+//! CRC catches bit rot anywhere in the body; both are checked before a
+//! single column byte is parsed.
+
+use crate::codec::{
+    crc32, get_delta_rle, get_xor_rle, put_delta_rle, put_string, put_varint, put_xor_rle,
+    CodecError, Reader,
+};
+use crate::record::{EventRecord, Record, RecordKind, ScoreRow, StatsSample};
+use crate::StoreError;
+
+/// The block file's magic + version prefix (pinned as part of the v1
+/// format).
+pub const BLOCK_MAGIC: &[u8; 8] = b"GWBLKv1\n";
+
+/// The block file's trailing magic.
+pub const BLOCK_END_MAGIC: &[u8; 4] = b"GWE1";
+
+/// Byte length of the fixed footer (crc + body length + end magic).
+pub const BLOCK_FOOTER_LEN: usize = 12;
+
+/// A decoded block: the records it holds plus their sequence numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockContents {
+    /// The family every record belongs to.
+    pub kind: RecordKind,
+    /// `(sequence number, record)` pairs, in sequence order.
+    pub rows: Vec<(u64, Record)>,
+}
+
+/// Header fields cheap enough to read without decoding the columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// The record family.
+    pub kind: RecordKind,
+    /// Lowest sequence number in the block.
+    pub first_seq: u64,
+    /// Highest sequence number in the block.
+    pub last_seq: u64,
+    /// Row count.
+    pub rows: u64,
+    /// Earliest record instant.
+    pub min_at: u64,
+    /// Latest record instant.
+    pub max_at: u64,
+}
+
+/// Encodes `rows` (same-family records with their sequence numbers, in
+/// sequence order) into a self-checking block file image.
+///
+/// # Errors
+///
+/// Fails if `rows` is empty or mixes families.
+pub fn encode_block(kind: RecordKind, rows: &[(u64, Record)]) -> Result<Vec<u8>, StoreError> {
+    if rows.is_empty() {
+        return Err(StoreError::Corrupt(
+            "refusing to encode an empty block".to_string(),
+        ));
+    }
+    if let Some((_, stray)) = rows.iter().find(|(_, r)| r.kind() != kind) {
+        return Err(StoreError::Corrupt(format!(
+            "a {} record slipped into a {} block",
+            stray.kind().name(),
+            kind.name()
+        )));
+    }
+    let seqs: Vec<u64> = rows.iter().map(|(seq, _)| *seq).collect();
+    let ats: Vec<u64> = rows.iter().map(|(_, r)| r.at()).collect();
+    let min_at = ats.iter().copied().min().unwrap_or(0);
+    let max_at = ats.iter().copied().max().unwrap_or(0);
+
+    let mut out = Vec::with_capacity(64 + rows.len() * 8);
+    out.extend_from_slice(BLOCK_MAGIC);
+    out.push(kind.tag());
+    out.extend_from_slice(&seqs.first().copied().unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&seqs.last().copied().unwrap_or(0).to_le_bytes());
+    put_varint(&mut out, rows.len() as u64);
+    put_varint(&mut out, min_at);
+    put_varint(&mut out, max_at);
+
+    match kind {
+        RecordKind::Score => {
+            let mut dict: Vec<&str> = Vec::new();
+            let mut key_idx = Vec::with_capacity(rows.len());
+            let mut bits = Vec::with_capacity(rows.len());
+            for (_, record) in rows {
+                if let Record::Score(row) = record {
+                    let idx = match dict.iter().position(|k| *k == row.key) {
+                        Some(i) => i,
+                        None => {
+                            dict.push(&row.key);
+                            dict.len() - 1
+                        }
+                    };
+                    key_idx.push(idx as u64);
+                    bits.push(row.score.to_bits());
+                }
+            }
+            put_varint(&mut out, dict.len() as u64);
+            for key in &dict {
+                put_string(&mut out, key);
+            }
+            put_delta_rle(&mut out, &seqs);
+            put_delta_rle(&mut out, &ats);
+            put_delta_rle(&mut out, &key_idx);
+            put_xor_rle(&mut out, &bits);
+        }
+        RecordKind::Stats => {
+            put_delta_rle(&mut out, &seqs);
+            put_delta_rle(&mut out, &ats);
+            for (_, record) in rows {
+                if let Record::Stats(sample) = record {
+                    put_string(&mut out, &sample.payload);
+                }
+            }
+        }
+        RecordKind::Event => {
+            let mut dict: Vec<&str> = Vec::new();
+            let mut kind_idx = Vec::with_capacity(rows.len());
+            let mut at_ns = Vec::with_capacity(rows.len());
+            for (_, record) in rows {
+                if let Record::Event(event) = record {
+                    let idx = match dict.iter().position(|k| *k == event.kind) {
+                        Some(i) => i,
+                        None => {
+                            dict.push(&event.kind);
+                            dict.len() - 1
+                        }
+                    };
+                    kind_idx.push(idx as u64);
+                    at_ns.push(event.at_ns);
+                }
+            }
+            put_varint(&mut out, dict.len() as u64);
+            for key in &dict {
+                put_string(&mut out, key);
+            }
+            put_delta_rle(&mut out, &seqs);
+            put_delta_rle(&mut out, &ats);
+            put_delta_rle(&mut out, &at_ns);
+            put_delta_rle(&mut out, &kind_idx);
+            for (_, record) in rows {
+                if let Record::Event(event) = record {
+                    put_string(&mut out, &event.detail);
+                }
+            }
+        }
+    }
+
+    let body_len = out.len() as u32;
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&body_len.to_le_bytes());
+    out.extend_from_slice(BLOCK_END_MAGIC);
+    Ok(out)
+}
+
+/// Verifies the framing (magic, footer length, CRC) and returns the
+/// body slice — shared by the meta reader, the full decoder, and the
+/// offline validator.
+fn checked_body(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    if bytes.len() < BLOCK_MAGIC.len() + BLOCK_FOOTER_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "block is {} bytes, too short for header + footer",
+            bytes.len()
+        )));
+    }
+    if &bytes[..BLOCK_MAGIC.len()] != BLOCK_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "block magic {:?} is not {BLOCK_MAGIC:?} (unknown format version?)",
+            &bytes[..BLOCK_MAGIC.len()]
+        )));
+    }
+    let footer = &bytes[bytes.len() - BLOCK_FOOTER_LEN..];
+    if &footer[8..] != BLOCK_END_MAGIC {
+        return Err(StoreError::Corrupt(
+            "block end magic missing (truncated file?)".to_string(),
+        ));
+    }
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&footer[..4]);
+    let stored_crc = u32::from_le_bytes(word);
+    word.copy_from_slice(&footer[4..8]);
+    let body_len = u32::from_le_bytes(word) as usize;
+    if body_len != bytes.len() - BLOCK_FOOTER_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "block footer claims a {body_len}-byte body, file holds {}",
+            bytes.len() - BLOCK_FOOTER_LEN
+        )));
+    }
+    let body = &bytes[..body_len];
+    let actual = crc32(body);
+    if actual != stored_crc {
+        return Err(StoreError::Corrupt(format!(
+            "block checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(body)
+}
+
+fn corrupt(e: CodecError) -> StoreError {
+    StoreError::Corrupt(format!("block column decode: {e}"))
+}
+
+fn read_meta(body: &[u8]) -> Result<(BlockMeta, Reader<'_>), StoreError> {
+    let mut r = Reader::new(&body[BLOCK_MAGIC.len()..]);
+    let tag = *r
+        .take(1)
+        .map_err(corrupt)?
+        .first()
+        .ok_or_else(|| StoreError::Corrupt("block kind byte missing".to_string()))?;
+    let kind = RecordKind::from_tag(tag)
+        .ok_or_else(|| StoreError::Corrupt(format!("unknown block kind tag {tag}")))?;
+    let mut word = [0u8; 8];
+    word.copy_from_slice(r.take(8).map_err(corrupt)?);
+    let first_seq = u64::from_le_bytes(word);
+    word.copy_from_slice(r.take(8).map_err(corrupt)?);
+    let last_seq = u64::from_le_bytes(word);
+    let rows = r.varint().map_err(corrupt)?;
+    let min_at = r.varint().map_err(corrupt)?;
+    let max_at = r.varint().map_err(corrupt)?;
+    if rows == 0 {
+        return Err(StoreError::Corrupt("block claims zero rows".to_string()));
+    }
+    if last_seq < first_seq || last_seq - first_seq + 1 < rows {
+        return Err(StoreError::Corrupt(format!(
+            "block header is inconsistent: {rows} rows in seq range {first_seq}..={last_seq}"
+        )));
+    }
+    if min_at > max_at {
+        return Err(StoreError::Corrupt(format!(
+            "block header is inconsistent: min_at {min_at} > max_at {max_at}"
+        )));
+    }
+    Ok((
+        BlockMeta {
+            kind,
+            first_seq,
+            last_seq,
+            rows,
+            min_at,
+            max_at,
+        },
+        r,
+    ))
+}
+
+/// Reads just the header (after verifying the framing).
+pub fn decode_meta(bytes: &[u8]) -> Result<BlockMeta, StoreError> {
+    let body = checked_body(bytes)?;
+    Ok(read_meta(body)?.0)
+}
+
+fn read_dict(r: &mut Reader<'_>) -> Result<Vec<String>, StoreError> {
+    let n = r.varint().map_err(corrupt)?;
+    if n > 1 << 20 {
+        return Err(StoreError::Corrupt(format!(
+            "block dictionary claims {n} entries"
+        )));
+    }
+    let mut dict = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        dict.push(r.string().map_err(corrupt)?);
+    }
+    Ok(dict)
+}
+
+fn dict_lookup(dict: &[String], idx: u64) -> Result<String, StoreError> {
+    dict.get(idx as usize).cloned().ok_or_else(|| {
+        StoreError::Corrupt(format!(
+            "dictionary index {idx} out of range ({} entries)",
+            dict.len()
+        ))
+    })
+}
+
+/// Fully decodes a block file image.
+pub fn decode_block(bytes: &[u8]) -> Result<BlockContents, StoreError> {
+    let body = checked_body(bytes)?;
+    let (meta, mut r) = read_meta(body)?;
+    let rows = meta.rows as usize;
+    let records = match meta.kind {
+        RecordKind::Score => {
+            let dict = read_dict(&mut r)?;
+            let seqs = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let ats = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let key_idx = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let bits = get_xor_rle(&mut r, rows).map_err(corrupt)?;
+            let mut out = Vec::with_capacity(rows);
+            for i in 0..rows {
+                out.push((
+                    seqs[i],
+                    Record::Score(ScoreRow {
+                        at: ats[i],
+                        key: dict_lookup(&dict, key_idx[i])?,
+                        score: f64::from_bits(bits[i]),
+                    }),
+                ));
+            }
+            out
+        }
+        RecordKind::Stats => {
+            let seqs = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let ats = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let mut out = Vec::with_capacity(rows);
+            for i in 0..rows {
+                out.push((
+                    seqs[i],
+                    Record::Stats(StatsSample {
+                        at: ats[i],
+                        payload: r.string().map_err(corrupt)?,
+                    }),
+                ));
+            }
+            out
+        }
+        RecordKind::Event => {
+            let dict = read_dict(&mut r)?;
+            let seqs = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let ats = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let at_ns = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let kind_idx = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let mut out = Vec::with_capacity(rows);
+            for i in 0..rows {
+                out.push((
+                    seqs[i],
+                    Record::Event(EventRecord {
+                        at: ats[i],
+                        at_ns: at_ns[i],
+                        kind: dict_lookup(&dict, kind_idx[i])?,
+                        detail: r.string().map_err(corrupt)?,
+                    }),
+                ));
+            }
+            out
+        }
+    };
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "{} undecoded bytes after the last column",
+            r.remaining()
+        )));
+    }
+    Ok(BlockContents {
+        kind: meta.kind,
+        rows: records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score_rows() -> Vec<(u64, Record)> {
+        (0..50u64)
+            .map(|k| {
+                (
+                    100 + k,
+                    Record::Score(ScoreRow {
+                        at: 5_184_000 + 360 * (k / 5),
+                        key: format!("m:machine-{:03}/CpuUtilization", k % 5),
+                        score: 0.5 + (k as f64) / 1000.0,
+                    }),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn score_blocks_roundtrip() {
+        let rows = score_rows();
+        let bytes = encode_block(RecordKind::Score, &rows).unwrap();
+        let meta = decode_meta(&bytes).unwrap();
+        assert_eq!(meta.kind, RecordKind::Score);
+        assert_eq!(meta.first_seq, 100);
+        assert_eq!(meta.last_seq, 149);
+        assert_eq!(meta.rows, 50);
+        assert_eq!(meta.min_at, 5_184_000);
+        assert_eq!(meta.max_at, 5_184_000 + 360 * 9);
+        let back = decode_block(&bytes).unwrap();
+        assert_eq!(back.rows, rows);
+    }
+
+    #[test]
+    fn stats_and_event_blocks_roundtrip() {
+        let stats: Vec<(u64, Record)> = (0..4u64)
+            .map(|k| {
+                (
+                    k,
+                    Record::Stats(StatsSample {
+                        at: 100 * k,
+                        payload: format!("{{\"submitted\":{k}}}"),
+                    }),
+                )
+            })
+            .collect();
+        let bytes = encode_block(RecordKind::Stats, &stats).unwrap();
+        assert_eq!(decode_block(&bytes).unwrap().rows, stats);
+
+        let events: Vec<(u64, Record)> = (0..6u64)
+            .map(|k| {
+                (
+                    10 + k,
+                    Record::Event(EventRecord {
+                        at: 7 + k,
+                        at_ns: 1000 * k,
+                        kind: if k % 2 == 0 { "alarm" } else { "checkpoint" }.to_string(),
+                        detail: format!("event {k}"),
+                    }),
+                )
+            })
+            .collect();
+        let bytes = encode_block(RecordKind::Event, &events).unwrap();
+        assert_eq!(decode_block(&bytes).unwrap().rows, events);
+    }
+
+    #[test]
+    fn compression_beats_json_on_regular_scores() {
+        let rows = score_rows();
+        let bytes = encode_block(RecordKind::Score, &rows).unwrap();
+        let json: usize = rows
+            .iter()
+            .map(|(_, r)| {
+                let Record::Score(row) = r else { return 0 };
+                format!(
+                    "{{\"at\":{},\"key\":{:?},\"score\":{}}}",
+                    row.at, row.key, row.score
+                )
+                .len()
+            })
+            .sum();
+        assert!(
+            bytes.len() * 3 < json,
+            "columnar {}B should be well under a third of JSON {}B",
+            bytes.len(),
+            json
+        );
+    }
+
+    #[test]
+    fn truncation_and_bitflips_are_detected() {
+        let bytes = encode_block(RecordKind::Score, &score_rows()).unwrap();
+        // Any truncation kills the footer contract.
+        for cut in [1usize, BLOCK_FOOTER_LEN, bytes.len() / 2] {
+            let cut_bytes = &bytes[..bytes.len() - cut];
+            assert!(decode_block(cut_bytes).is_err(), "cut {cut} not detected");
+        }
+        // A flip anywhere in the body trips the CRC.
+        for hit in [8usize, 20, bytes.len() - BLOCK_FOOTER_LEN - 1] {
+            let mut copy = bytes.clone();
+            copy[hit] ^= 0x01;
+            assert!(decode_block(&copy).is_err(), "flip at {hit} not detected");
+        }
+        // A wrong version magic is refused before anything is parsed.
+        let mut copy = bytes.clone();
+        copy[6] = b'9'; // GWBLKv9
+        let err = decode_block(&copy).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_mixed_blocks_are_refused() {
+        assert!(encode_block(RecordKind::Score, &[]).is_err());
+        let mixed = vec![
+            (
+                0u64,
+                Record::Stats(StatsSample {
+                    at: 0,
+                    payload: "{}".to_string(),
+                }),
+            ),
+            (
+                1u64,
+                Record::Score(ScoreRow {
+                    at: 0,
+                    key: "system".to_string(),
+                    score: 1.0,
+                }),
+            ),
+        ];
+        assert!(encode_block(RecordKind::Stats, &mixed).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Low-level byte encoding shared by the WAL and the columnar blocks:
+//! LEB128 varints, zigzag signed mapping, length-prefixed strings, and
+//! CRC-32 checksums. Everything here is pure and panic-free — a decoder
+//! fed garbage returns an error, never aborts the process.
+
+use std::fmt;
+
+/// Largest accepted varint-encoded length for a string or byte column
+/// element. Corrupt length prefixes must not translate into
+/// multi-gigabyte allocations.
+pub const MAX_ELEMENT_BYTES: u64 = 1 << 24;
+
+/// A malformed byte stream, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    reason: String,
+}
+
+impl CodecError {
+    pub(crate) fn new(reason: impl Into<String>) -> CodecError {
+        CodecError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Maps a signed delta onto an unsigned varint-friendly value.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked forward reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// The current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                CodecError::new(format!(
+                    "need {n} bytes at offset {}, only {} remain",
+                    self.pos,
+                    self.remaining()
+                ))
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .take(1)?
+                .first()
+                .ok_or_else(|| CodecError::new("varint read returned no byte"))?;
+            if shift >= 64 || (shift == 63 && (byte & 0x7e) != 0) {
+                return Err(CodecError::new("varint longer than 64 bits"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.varint()?;
+        if len > MAX_ELEMENT_BYTES {
+            return Err(CodecError::new(format!(
+                "string length {len} exceeds the {MAX_ELEMENT_BYTES}-byte element cap"
+            )));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::new(format!("string is not UTF-8: {e}")))
+    }
+}
+
+/// The IEEE CRC-32 lookup table (polynomial `0xEDB88320`), built at
+/// compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut n = 0usize;
+    while n < 256 {
+        let mut crc = n as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[n] = crc;
+        n += 1;
+    }
+    table
+};
+
+/// The IEEE CRC-32 of `bytes` (the same polynomial zlib and gzip use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Encodes a column of `u64` values as delta + run-length pairs: each
+/// `(run, delta)` pair means "the previous value advances by `delta`,
+/// `run` times" (zigzag-encoded, starting from an implicit 0). Regular
+/// cadences — timestamps on a sampling grid, contiguous sequence
+/// numbers, dictionary ids issued in order — collapse to a handful of
+/// runs.
+pub fn put_delta_rle(out: &mut Vec<u8>, values: &[u64]) {
+    let mut prev = 0u64;
+    let mut i = 0usize;
+    while i < values.len() {
+        let delta = values[i].wrapping_sub(prev) as i64;
+        let mut run = 1usize;
+        let mut cursor = values[i];
+        while i + run < values.len() && values[i + run].wrapping_sub(cursor) as i64 == delta {
+            cursor = values[i + run];
+            run += 1;
+        }
+        put_varint(out, run as u64);
+        put_varint(out, zigzag(delta));
+        prev = cursor;
+        i += run;
+    }
+}
+
+/// Decodes exactly `rows` values written by [`put_delta_rle`].
+pub fn get_delta_rle(r: &mut Reader<'_>, rows: usize) -> Result<Vec<u64>, CodecError> {
+    let mut values = Vec::with_capacity(rows.min(1 << 20));
+    let mut prev = 0u64;
+    while values.len() < rows {
+        let run = r.varint()?;
+        if run == 0 || run > (rows - values.len()) as u64 {
+            return Err(CodecError::new(format!(
+                "delta-RLE run of {run} overflows the remaining {} rows",
+                rows - values.len()
+            )));
+        }
+        let delta = unzigzag(r.varint()?);
+        for _ in 0..run {
+            prev = prev.wrapping_add(delta as u64);
+            values.push(prev);
+        }
+    }
+    Ok(values)
+}
+
+/// Encodes a column of raw `u64` bit patterns (e.g. `f64::to_bits`) as
+/// XOR + run-length pairs: `(run, xor)` means "the previous bits XOR
+/// `xor`, `run` times". Runs of identical values — flat-lining scores,
+/// repeated gauges — collapse to `(run, 0)`.
+pub fn put_xor_rle(out: &mut Vec<u8>, values: &[u64]) {
+    let mut prev = 0u64;
+    let mut i = 0usize;
+    while i < values.len() {
+        let x = values[i] ^ prev;
+        let mut run = 1usize;
+        let mut cursor = values[i];
+        while i + run < values.len() && (values[i + run] ^ cursor) == x {
+            cursor = values[i + run];
+            run += 1;
+        }
+        put_varint(out, run as u64);
+        put_varint(out, x);
+        prev = cursor;
+        i += run;
+    }
+}
+
+/// Decodes exactly `rows` values written by [`put_xor_rle`].
+pub fn get_xor_rle(r: &mut Reader<'_>, rows: usize) -> Result<Vec<u64>, CodecError> {
+    let mut values = Vec::with_capacity(rows.min(1 << 20));
+    let mut prev = 0u64;
+    while values.len() < rows {
+        let run = r.varint()?;
+        if run == 0 || run > (rows - values.len()) as u64 {
+            return Err(CodecError::new(format!(
+                "XOR-RLE run of {run} overflows the remaining {} rows",
+                rows - values.len()
+            )));
+        }
+        let x = r.varint()?;
+        for _ in 0..run {
+            prev ^= x;
+            values.push(prev);
+        }
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0xFFu8; 11];
+        assert!(Reader::new(&buf).varint().is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn strings_roundtrip_and_bad_utf8_is_an_error() {
+        let mut buf = Vec::new();
+        put_string(&mut buf, "machine-003/CpuUtilization");
+        put_string(&mut buf, "héllo ~ wörld");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.string().unwrap(), "machine-003/CpuUtilization");
+        assert_eq!(r.string().unwrap(), "héllo ~ wörld");
+
+        let mut bad = Vec::new();
+        put_varint(&mut bad, 2);
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Reader::new(&bad).string().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn delta_rle_collapses_regular_cadence() {
+        let values: Vec<u64> = (0..1000u64).map(|k| 360 * k).collect();
+        let mut buf = Vec::new();
+        put_delta_rle(&mut buf, &values);
+        assert!(buf.len() < 16, "regular cadence must collapse: {buf:?}");
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_delta_rle(&mut r, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn xor_rle_collapses_repeats_and_roundtrips_nan_bits() {
+        let bits = [
+            1.0f64.to_bits(),
+            1.0f64.to_bits(),
+            1.0f64.to_bits(),
+            f64::NAN.to_bits(),
+            (-0.0f64).to_bits(),
+            f64::INFINITY.to_bits(),
+        ];
+        let mut buf = Vec::new();
+        put_xor_rle(&mut buf, &bits);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_xor_rle(&mut r, bits.len()).unwrap(), bits);
+    }
+
+    #[test]
+    fn rle_run_overflow_is_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 5); // run of 5 ...
+        put_varint(&mut buf, zigzag(1));
+        let mut r = Reader::new(&buf);
+        assert!(get_delta_rle(&mut r, 3).is_err()); // ... into 3 rows
+        let mut r = Reader::new(&buf);
+        assert!(get_xor_rle(&mut r, 3).is_err());
+    }
+}

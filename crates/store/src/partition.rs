@@ -1,0 +1,247 @@
+//! On-disk layout of a store directory: time partitions and the block
+//! files inside them.
+//!
+//! ```text
+//! <store>/STORE.json                      manifest
+//! <store>/wal.log                         active WAL
+//! <store>/p-000000086400/                 partition starting at t=86400s
+//!         b-00000000000000000042-scores.gwb
+//!         b-00000000000000000050-events.gwb
+//! ```
+//!
+//! Partition directories are named by the trace second their window
+//! starts at; block files by the first sequence number they hold and
+//! the record family. Both are zero-padded so lexicographic order is
+//! chronological order.
+
+use std::path::{Path, PathBuf};
+
+use crate::record::RecordKind;
+use crate::{io_err, StoreError};
+
+/// File name of the store manifest.
+pub const MANIFEST_FILE: &str = "STORE.json";
+
+/// File name of the active WAL.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Extension of sealed columnar block files.
+pub const BLOCK_EXT: &str = "gwb";
+
+/// Suffix partition directories are renamed to just before deletion, so
+/// a crash mid-drop leaves an ignorable husk instead of a half-deleted
+/// partition.
+pub const TRASH_SUFFIX: &str = ".trash";
+
+/// The directory name for the partition whose window starts at
+/// `start_secs`.
+pub fn partition_dir_name(start_secs: u64) -> String {
+    format!("p-{start_secs:012}")
+}
+
+/// Inverse of [`partition_dir_name`]; `None` for unrelated entries.
+pub fn parse_partition_dir_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("p-")?;
+    if digits.len() != 12 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The file name for a block holding `kind` records starting at
+/// sequence number `first_seq`.
+pub fn block_file_name(first_seq: u64, kind: RecordKind) -> String {
+    format!("b-{first_seq:020}-{}.{BLOCK_EXT}", kind.name())
+}
+
+/// Inverse of [`block_file_name`]; `None` for unrelated entries.
+pub fn parse_block_file_name(name: &str) -> Option<(u64, RecordKind)> {
+    let stem = name.strip_suffix(&format!(".{BLOCK_EXT}"))?;
+    let rest = stem.strip_prefix("b-")?;
+    let (digits, kind_name) = rest.split_at(rest.find('-')?);
+    let kind_name = kind_name.strip_prefix('-')?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((digits.parse().ok()?, kind_name.parse().ok()?))
+}
+
+/// The window start of the partition that owns a record filed at `at`.
+pub fn partition_start(at: u64, partition_secs: u64) -> u64 {
+    if partition_secs == 0 {
+        return 0;
+    }
+    (at / partition_secs) * partition_secs
+}
+
+/// One partition directory found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEntry {
+    /// Window start, in trace seconds.
+    pub start_secs: u64,
+    /// Absolute path of the directory.
+    pub path: PathBuf,
+}
+
+/// Lists the partitions of a store directory, oldest first. Entries
+/// that do not parse as partitions (the WAL, the manifest, `.trash`
+/// husks) are skipped.
+pub fn list_partitions(dir: &Path) -> Result<Vec<PartitionEntry>, StoreError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(start_secs) = parse_partition_dir_name(name) else {
+            continue;
+        };
+        if entry.path().is_dir() {
+            out.push(PartitionEntry {
+                start_secs,
+                path: entry.path(),
+            });
+        }
+    }
+    out.sort_by_key(|p| p.start_secs);
+    Ok(out)
+}
+
+/// One block file found inside a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// First sequence number in the block (from the file name).
+    pub first_seq: u64,
+    /// Record family (from the file name).
+    pub kind: RecordKind,
+    /// Absolute path of the file.
+    pub path: PathBuf,
+}
+
+/// Lists the block files of a partition, in sequence order. Non-block
+/// entries (temp files) are skipped.
+pub fn list_blocks(partition: &Path) -> Result<Vec<BlockEntry>, StoreError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(partition).map_err(|e| io_err(partition, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(partition, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some((first_seq, kind)) = parse_block_file_name(name) else {
+            continue;
+        };
+        out.push(BlockEntry {
+            first_seq,
+            kind,
+            path: entry.path(),
+        });
+    }
+    out.sort_by_key(|b| b.first_seq);
+    Ok(out)
+}
+
+/// Removes leftover `.trash` partition husks and `.tmp` files from an
+/// interrupted drop or seal. Returns how many entries were cleaned.
+pub fn clean_leftovers(dir: &Path) -> Result<usize, StoreError> {
+    let mut cleaned = 0usize;
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let path = entry.path();
+        if name.ends_with(TRASH_SUFFIX) && path.is_dir() {
+            std::fs::remove_dir_all(&path).map_err(|e| io_err(&path, e))?;
+            cleaned += 1;
+        } else if name.ends_with(".tmp") {
+            std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            cleaned += 1;
+        } else if path.is_dir() {
+            // Seal temp files live inside partition directories.
+            let subentries = std::fs::read_dir(&path).map_err(|e| io_err(&path, e))?;
+            for sub in subentries {
+                let sub = sub.map_err(|e| io_err(&path, e))?;
+                let sub_name = sub.file_name();
+                let Some(sub_name) = sub_name.to_str() else {
+                    continue;
+                };
+                if sub_name.ends_with(".tmp") {
+                    let sub_path = sub.path();
+                    std::fs::remove_file(&sub_path).map_err(|e| io_err(&sub_path, e))?;
+                    cleaned += 1;
+                }
+            }
+        }
+    }
+    Ok(cleaned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_and_sort_chronologically() {
+        assert_eq!(partition_dir_name(86_400), "p-000000086400");
+        assert_eq!(parse_partition_dir_name("p-000000086400"), Some(86_400));
+        assert_eq!(parse_partition_dir_name("p-xyz"), None);
+        assert_eq!(parse_partition_dir_name("wal.log"), None);
+        assert_eq!(parse_partition_dir_name("p-000000086400.trash"), None);
+
+        let name = block_file_name(42, RecordKind::Score);
+        assert_eq!(name, "b-00000000000000000042-scores.gwb");
+        assert_eq!(parse_block_file_name(&name), Some((42, RecordKind::Score)));
+        assert_eq!(parse_block_file_name("b-1-scores.gwb"), None);
+        assert_eq!(parse_block_file_name("STORE.json"), None);
+
+        let a = partition_dir_name(86_400);
+        let b = partition_dir_name(10 * 86_400);
+        assert!(a < b, "zero padding must keep lexicographic = chrono");
+    }
+
+    #[test]
+    fn partition_start_tiles_the_timeline() {
+        assert_eq!(partition_start(0, 86_400), 0);
+        assert_eq!(partition_start(86_399, 86_400), 0);
+        assert_eq!(partition_start(86_400, 86_400), 86_400);
+        assert_eq!(partition_start(200_000, 86_400), 172_800);
+        assert_eq!(partition_start(5, 0), 0);
+    }
+
+    #[test]
+    fn listing_skips_foreign_entries_and_cleans_leftovers() {
+        let dir = std::env::temp_dir().join(format!("gw-part-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("p-000000000000")).unwrap();
+        std::fs::create_dir_all(dir.join("p-000000086400")).unwrap();
+        std::fs::create_dir_all(dir.join("p-000000172800.trash")).unwrap();
+        std::fs::write(dir.join("STORE.json"), "{}").unwrap();
+        std::fs::write(dir.join("wal.log.tmp"), "x").unwrap();
+        std::fs::write(
+            dir.join("p-000000000000")
+                .join("b-00000000000000000000-scores.gwb.tmp"),
+            "x",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("p-000000000000")
+                .join("b-00000000000000000000-scores.gwb"),
+            "x",
+        )
+        .unwrap();
+
+        let parts = list_partitions(&dir).unwrap();
+        assert_eq!(
+            parts.iter().map(|p| p.start_secs).collect::<Vec<_>>(),
+            vec![0, 86_400]
+        );
+        let blocks = list_blocks(&parts[0].path).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].kind, RecordKind::Score);
+
+        assert_eq!(clean_leftovers(&dir).unwrap(), 3);
+        assert!(!dir.join("p-000000172800.trash").exists());
+        assert!(!dir.join("wal.log.tmp").exists());
+        assert_eq!(clean_leftovers(&dir).unwrap(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Query helpers layered over [`crate::store::HistoryStore::scan`]:
+//! canonical measurement keys, key filters, and per-key top-k
+//! summaries for the `gridwatch history` CLI.
+//!
+//! Score rows are keyed by a canonical string so the store stays
+//! decoupled from the detection crate's identifier types:
+//!
+//! * `system` — the system-wide fitness score `Q_t`
+//! * `m:<machine>/<metric>` — a measurement score `Q^a_t`
+//! * `p:<machine>/<metric>~<machine>/<metric>` — a pair score `Q^{a,b}_t`
+
+use crate::record::{Record, ScoreRow};
+
+/// The canonical key of the system-wide score.
+pub const SYSTEM_KEY: &str = "system";
+
+/// Prefix of measurement-score keys.
+pub const MEASUREMENT_PREFIX: &str = "m:";
+
+/// Prefix of pair-score keys.
+pub const PAIR_PREFIX: &str = "p:";
+
+/// The canonical key for a measurement score, from the measurement's
+/// display form (`machine-003/CpuUtilization`).
+pub fn measurement_key(measurement: &str) -> String {
+    format!("{MEASUREMENT_PREFIX}{measurement}")
+}
+
+/// The canonical key for a pair score, from the two measurements'
+/// display forms.
+pub fn pair_key(first: &str, second: &str) -> String {
+    format!("{PAIR_PREFIX}{first}~{second}")
+}
+
+/// Extracts the score rows out of a scan result, dropping other
+/// families (a scan over [`crate::record::RecordKind::Score`] yields
+/// only scores, so normally nothing is dropped).
+pub fn score_rows(records: Vec<(u64, Record)>) -> Vec<ScoreRow> {
+    records
+        .into_iter()
+        .filter_map(|(_, r)| match r {
+            Record::Score(row) => Some(row),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Keeps only rows whose key matches `key` exactly.
+pub fn filter_key(rows: Vec<ScoreRow>, key: &str) -> Vec<ScoreRow> {
+    rows.into_iter().filter(|r| r.key == key).collect()
+}
+
+/// Keeps only rows of one family: `system`, measurement (`m:`), or
+/// pair (`p:`) scores.
+pub fn filter_prefix(rows: Vec<ScoreRow>, prefix: &str) -> Vec<ScoreRow> {
+    rows.into_iter()
+        .filter(|r| r.key.starts_with(prefix))
+        .collect()
+}
+
+/// A per-key aggregate over a scanned window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeySummary {
+    /// The canonical measurement key.
+    pub key: String,
+    /// Rows aggregated.
+    pub count: u64,
+    /// Mean score (NaN rows are excluded from the mean).
+    pub mean: f64,
+    /// Lowest score seen.
+    pub min: f64,
+    /// Highest score seen.
+    pub max: f64,
+}
+
+/// Aggregates rows per key and returns the `k` keys with the lowest
+/// mean score — the paper's problem-determination ranking: persistently
+/// low fitness marks the measurements most correlated with the fault.
+/// Ties break lexicographically by key so output is deterministic.
+pub fn top_k_lowest_mean(rows: &[ScoreRow], k: usize) -> Vec<KeySummary> {
+    let mut summaries = summarize(rows);
+    summaries.sort_by(|a, b| a.mean.total_cmp(&b.mean).then_with(|| a.key.cmp(&b.key)));
+    summaries.truncate(k);
+    summaries
+}
+
+/// Aggregates rows per key, sorted by key. Single pass: pair-score
+/// windows can hold thousands of distinct keys.
+pub fn summarize(rows: &[ScoreRow]) -> Vec<KeySummary> {
+    #[derive(Clone, Copy)]
+    struct Acc {
+        count: u64,
+        finite: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    }
+    let mut accs: std::collections::BTreeMap<&str, Acc> = std::collections::BTreeMap::new();
+    for row in rows {
+        let acc = accs.entry(row.key.as_str()).or_insert(Acc {
+            count: 0,
+            finite: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        });
+        acc.count += 1;
+        if !row.score.is_nan() {
+            acc.finite += 1;
+            acc.sum += row.score;
+        }
+        if row.score.total_cmp(&acc.min).is_lt() {
+            acc.min = row.score;
+        }
+        if row.score.total_cmp(&acc.max).is_gt() {
+            acc.max = row.score;
+        }
+    }
+    accs.into_iter()
+        .map(|(key, acc)| KeySummary {
+            key: key.to_string(),
+            count: acc.count,
+            mean: if acc.finite > 0 {
+                acc.sum / acc.finite as f64
+            } else {
+                f64::NAN
+            },
+            min: acc.min,
+            max: acc.max,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(key: &str, score: f64) -> ScoreRow {
+        ScoreRow {
+            at: 0,
+            key: key.to_string(),
+            score,
+        }
+    }
+
+    #[test]
+    fn keys_compose_canonically() {
+        assert_eq!(
+            measurement_key("machine-003/CpuUtilization"),
+            "m:machine-003/CpuUtilization"
+        );
+        assert_eq!(
+            pair_key("machine-000/CpuUtilization", "machine-001/MemoryUsage"),
+            "p:machine-000/CpuUtilization~machine-001/MemoryUsage"
+        );
+    }
+
+    #[test]
+    fn filters_select_by_key_and_family() {
+        let rows = vec![
+            row(SYSTEM_KEY, 0.9),
+            row("m:a/B", 0.5),
+            row("p:a/B~c/D", 0.4),
+        ];
+        assert_eq!(filter_key(rows.clone(), SYSTEM_KEY).len(), 1);
+        assert_eq!(filter_prefix(rows.clone(), MEASUREMENT_PREFIX).len(), 1);
+        assert_eq!(filter_prefix(rows, PAIR_PREFIX).len(), 1);
+    }
+
+    #[test]
+    fn top_k_ranks_lowest_mean_first_with_stable_ties() {
+        let rows = vec![
+            row("m:a/A", 0.9),
+            row("m:a/A", 0.7),
+            row("m:b/B", 0.125),
+            row("m:b/B", 0.375),
+            row("m:c/C", 0.3),
+            row("m:d/D", 0.3),
+        ];
+        let top = top_k_lowest_mean(&rows, 3);
+        assert_eq!(
+            top.iter().map(|s| s.key.as_str()).collect::<Vec<_>>(),
+            vec!["m:b/B", "m:c/C", "m:d/D"]
+        );
+        assert_eq!(top[0].count, 2);
+        assert!((top[0].mean - 0.25).abs() < 1e-12);
+        assert_eq!(top[0].min.to_bits(), 0.125f64.to_bits());
+        assert_eq!(top[0].max.to_bits(), 0.375f64.to_bits());
+    }
+
+    #[test]
+    fn nan_scores_do_not_poison_the_mean() {
+        let rows = vec![row("m:a/A", f64::NAN), row("m:a/A", 0.5)];
+        let top = top_k_lowest_mean(&rows, 1);
+        assert_eq!(top[0].count, 2);
+        assert!((top[0].mean - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,667 @@
+//! [`HistoryStore`]: the embedded store itself — an active WAL fronting
+//! sealed columnar partitions, with crash recovery, seal idempotence,
+//! time-range scans, and retention.
+//!
+//! # Durability model
+//!
+//! Appends buffer in the WAL and become durable at [`HistoryStore::sync`]
+//! (one write + fdatasync per batch). [`HistoryStore::seal`] rewrites
+//! everything the WAL holds into per-partition columnar blocks (each
+//! written atomically: temp file + fsync + rename + dir fsync) and then
+//! swaps in a fresh WAL. Every record carries a permanent sequence
+//! number; blocks remember the range they hold, so a crash *between*
+//! block writes and the WAL swap only means some records exist in both
+//! places — recovery decodes the overlapping blocks and replays only
+//! the WAL records no block holds. Nothing is lost, nothing duplicated.
+//!
+//! # Retention
+//!
+//! [`HistoryStore::apply_retention`] drops whole expired partitions
+//! atomically (rename to `.trash`, delete, fsync the store directory).
+//! The cutoff is computed from the newest record instant the store has
+//! ever seen — trace time, not wall-clock time — so replaying an old
+//! trace is deterministic and never mass-expires its own history.
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{decode_block, decode_meta, encode_block, BlockMeta};
+use crate::partition::{
+    block_file_name, clean_leftovers, list_blocks, list_partitions, partition_dir_name,
+    partition_start, MANIFEST_FILE, TRASH_SUFFIX, WAL_FILE,
+};
+use crate::record::{Record, RecordKind};
+use crate::wal::Wal;
+use crate::{io_err, sync_parent_dir, write_atomic, StoreError};
+
+/// The manifest format version this crate writes and reads.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Default partition width: one trace day.
+pub const DEFAULT_PARTITION_SECS: u64 = 86_400;
+
+/// Tuning knobs for a store. Persisted in the manifest so later opens
+/// (CLI queries, validators) see the same layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Width of one time partition, in trace seconds.
+    pub partition_secs: u64,
+    /// Drop partitions whose window ended more than this many seconds
+    /// before the newest record. `None` keeps everything.
+    pub retention_secs: Option<u64>,
+    /// Keep at most this many partitions, dropping the oldest. `None`
+    /// keeps everything.
+    pub max_partitions: Option<u64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            partition_secs: DEFAULT_PARTITION_SECS,
+            retention_secs: None,
+            max_partitions: None,
+        }
+    }
+}
+
+/// The persisted store manifest (`STORE.json`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreManifest {
+    /// Manifest format version; this crate writes [`MANIFEST_VERSION`].
+    #[serde(default)]
+    pub version: u32,
+    /// Width of one time partition, in trace seconds.
+    #[serde(default)]
+    pub partition_secs: u64,
+    /// Retention window, if bounded.
+    #[serde(default)]
+    pub retention_secs: Option<u64>,
+    /// Partition-count cap, if bounded.
+    #[serde(default)]
+    pub max_partitions: Option<u64>,
+}
+
+impl StoreManifest {
+    fn from_config(config: &StoreConfig) -> StoreManifest {
+        StoreManifest {
+            version: MANIFEST_VERSION,
+            partition_secs: config.partition_secs,
+            retention_secs: config.retention_secs,
+            max_partitions: config.max_partitions,
+        }
+    }
+
+    fn to_config(&self) -> StoreConfig {
+        StoreConfig {
+            partition_secs: self.partition_secs,
+            retention_secs: self.retention_secs,
+            max_partitions: self.max_partitions,
+        }
+    }
+}
+
+/// What [`HistoryStore::open`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// WAL records replayed into the unsealed set.
+    pub replayed_records: u64,
+    /// WAL records skipped because a sealed block already holds them
+    /// (a crash interrupted a seal; nothing was lost).
+    pub already_sealed_records: u64,
+    /// Bytes of torn/corrupt WAL tail discarded.
+    pub truncated_bytes: u64,
+    /// Why the WAL tail was discarded, when it was.
+    pub truncation_reason: Option<String>,
+    /// Leftover `.trash`/`.tmp` entries cleaned up.
+    pub cleaned_leftovers: usize,
+}
+
+/// An open history store positioned for appending and querying.
+#[derive(Debug)]
+pub struct HistoryStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    wal: Wal,
+    /// Unsealed records (everything the WAL holds that no block does),
+    /// in sequence order.
+    mem: Vec<(u64, Record)>,
+    /// Newest record instant ever observed (sealed or not); drives the
+    /// retention cutoff.
+    max_at: u64,
+}
+
+fn read_manifest(path: &Path) -> Result<StoreManifest, StoreError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let manifest: StoreManifest = serde_json::from_str(&text).map_err(|e| {
+        StoreError::Corrupt(format!("manifest {} does not parse: {e}", path.display()))
+    })?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "manifest {} is version {}, this build reads version {MANIFEST_VERSION}",
+            path.display(),
+            manifest.version
+        )));
+    }
+    Ok(manifest)
+}
+
+fn write_manifest(path: &Path, manifest: &StoreManifest) -> Result<(), StoreError> {
+    let text = serde_json::to_string_pretty(manifest)
+        .map_err(|e| StoreError::Corrupt(format!("manifest does not serialize: {e}")))?;
+    write_atomic(path, text.as_bytes())
+}
+
+impl HistoryStore {
+    /// Opens (creating if needed) the store at `dir` with the given
+    /// config. An existing manifest must agree on `partition_secs`
+    /// (blocks are already filed under that width); retention knobs may
+    /// differ and are rewritten from `config`.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<(HistoryStore, OpenReport), StoreError> {
+        if config.partition_secs == 0 {
+            return Err(StoreError::Corrupt(
+                "partition_secs must be positive".to_string(),
+            ));
+        }
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let mut report = OpenReport {
+            cleaned_leftovers: clean_leftovers(dir)?,
+            ..OpenReport::default()
+        };
+
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = StoreManifest::from_config(&config);
+        if manifest_path.exists() {
+            let existing = read_manifest(&manifest_path)?;
+            if existing.partition_secs != config.partition_secs {
+                return Err(StoreError::Corrupt(format!(
+                    "store {} is partitioned every {}s, refusing to reopen at {}s",
+                    dir.display(),
+                    existing.partition_secs,
+                    config.partition_secs
+                )));
+            }
+            if existing != manifest {
+                write_manifest(&manifest_path, &manifest)?;
+            }
+        } else {
+            write_manifest(&manifest_path, &manifest)?;
+        }
+
+        // Survey the sealed blocks: the next sequence a fresh WAL would
+        // start at, the newest instant seen, and which block ranges
+        // might overlap the WAL (crash-interrupted seal).
+        let mut sealed_next = 0u64;
+        let mut max_at = 0u64;
+        let mut metas: Vec<(PathBuf, BlockMeta)> = Vec::new();
+        for partition in list_partitions(dir)? {
+            for block in list_blocks(&partition.path)? {
+                let bytes = std::fs::read(&block.path).map_err(|e| io_err(&block.path, e))?;
+                let meta = decode_meta(&bytes).map_err(|e| {
+                    StoreError::Corrupt(format!("block {}: {e}", block.path.display()))
+                })?;
+                sealed_next = sealed_next.max(meta.last_seq + 1);
+                max_at = max_at.max(meta.max_at);
+                metas.push((block.path, meta));
+            }
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        let (wal, recovery) = if wal_path.exists() {
+            Wal::open(&wal_path)?
+        } else {
+            (Wal::create(&wal_path, sealed_next)?, Default::default())
+        };
+        report.truncated_bytes = recovery.truncated_bytes;
+        report.truncation_reason = recovery.truncation_reason;
+
+        // Exact-membership dedup against blocks that overlap the WAL's
+        // sequence range. After a clean seal none do and this decodes
+        // nothing.
+        let wal_end = wal.base_seq() + recovery.payloads.len() as u64;
+        let mut sealed_in_range: HashSet<u64> = HashSet::new();
+        if wal_end > wal.base_seq() {
+            for (path, meta) in &metas {
+                if meta.last_seq >= wal.base_seq() && meta.first_seq < wal_end {
+                    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+                    let contents = decode_block(&bytes).map_err(|e| {
+                        StoreError::Corrupt(format!("block {}: {e}", path.display()))
+                    })?;
+                    sealed_in_range.extend(contents.rows.iter().map(|(seq, _)| *seq));
+                }
+            }
+        }
+
+        let mut mem = Vec::with_capacity(recovery.payloads.len());
+        for (idx, payload) in recovery.payloads.iter().enumerate() {
+            let seq = wal.base_seq() + idx as u64;
+            if sealed_in_range.contains(&seq) {
+                report.already_sealed_records += 1;
+                continue;
+            }
+            let record = Record::decode(payload).map_err(|e| {
+                StoreError::Corrupt(format!("WAL record at seq {seq} does not decode: {e}"))
+            })?;
+            max_at = max_at.max(record.at());
+            mem.push((seq, record));
+            report.replayed_records += 1;
+        }
+
+        Ok((
+            HistoryStore {
+                dir: dir.to_path_buf(),
+                config,
+                wal,
+                mem,
+                max_at,
+            },
+            report,
+        ))
+    }
+
+    /// Opens an existing store, taking every knob from its manifest.
+    /// Used by readers (queries, validators) that must not guess.
+    pub fn open_existing(dir: &Path) -> Result<(HistoryStore, OpenReport), StoreError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if !manifest_path.exists() {
+            return Err(StoreError::Corrupt(format!(
+                "{} is not a history store (no {MANIFEST_FILE})",
+                dir.display()
+            )));
+        }
+        let manifest = read_manifest(&manifest_path)?;
+        HistoryStore::open(dir, manifest.to_config())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active config (as persisted in the manifest).
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The sequence number the next appended record will get.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// Records appended or replayed but not yet sealed into blocks.
+    pub fn unsealed_records(&self) -> u64 {
+        self.mem.len() as u64
+    }
+
+    /// Records guaranteed durable by a completed [`HistoryStore::sync`].
+    pub fn synced_records(&self) -> u64 {
+        self.wal.synced_records()
+    }
+
+    /// Newest record instant ever observed.
+    pub fn max_at(&self) -> u64 {
+        self.max_at
+    }
+
+    /// Appends one record to the WAL buffer; returns its permanent
+    /// sequence number. Durable after the next [`HistoryStore::sync`].
+    pub fn append(&mut self, record: Record) -> Result<u64, StoreError> {
+        let payload = record.encode();
+        let seq = self.wal.append(&payload)?;
+        self.max_at = self.max_at.max(record.at());
+        self.mem.push((seq, record));
+        Ok(seq)
+    }
+
+    /// Makes every append so far durable (one write + fdatasync).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()
+    }
+
+    /// Seals every unsealed record into per-partition columnar blocks
+    /// and swaps in a fresh WAL. Returns the number of blocks written.
+    pub fn seal(&mut self) -> Result<usize, StoreError> {
+        self.wal.sync()?;
+        if self.mem.is_empty() {
+            return Ok(0);
+        }
+        // Group by (partition window, family); iteration order of `mem`
+        // is sequence order, so each group stays sequence-sorted. `mem`
+        // itself is only cleared once every block has landed, so a
+        // failed seal leaves the store fully readable.
+        let mut groups: BTreeMap<(u64, u8), Vec<(u64, Record)>> = BTreeMap::new();
+        for (seq, record) in &self.mem {
+            let window = partition_start(record.at(), self.config.partition_secs);
+            groups
+                .entry((window, record.kind().tag()))
+                .or_default()
+                .push((*seq, record.clone()));
+        }
+        let mut blocks_written = 0usize;
+        let mut made_partition = false;
+        for ((window, tag), rows) in &groups {
+            let kind = RecordKind::from_tag(*tag)
+                .ok_or_else(|| StoreError::Corrupt(format!("unreachable kind tag {tag}")))?;
+            let partition = self.dir.join(partition_dir_name(*window));
+            if !partition.exists() {
+                std::fs::create_dir_all(&partition).map_err(|e| io_err(&partition, e))?;
+                made_partition = true;
+            }
+            let first_seq = rows.first().map(|(seq, _)| *seq).unwrap_or(0);
+            let bytes = encode_block(kind, rows)?;
+            write_atomic(&partition.join(block_file_name(first_seq, kind)), &bytes)?;
+            blocks_written += 1;
+        }
+        if made_partition {
+            sync_parent_dir(&self.dir.join(MANIFEST_FILE))?;
+        }
+        // The WAL swap is what retires the old log; if we crash before
+        // it, reopening dedups against the blocks just written.
+        self.wal = Wal::create(&self.dir.join(WAL_FILE), self.wal.next_seq())?;
+        self.mem.clear();
+        Ok(blocks_written)
+    }
+
+    /// Drops expired partitions (atomically: rename to `.trash`, delete,
+    /// fsync the store directory). Returns the window starts dropped.
+    pub fn apply_retention(&mut self) -> Result<Vec<u64>, StoreError> {
+        let partitions = list_partitions(&self.dir)?;
+        let mut drop_set: Vec<usize> = Vec::new();
+        if let Some(retention) = self.config.retention_secs {
+            let cutoff = self.max_at.saturating_sub(retention);
+            for (idx, partition) in partitions.iter().enumerate() {
+                if partition.start_secs + self.config.partition_secs <= cutoff {
+                    drop_set.push(idx);
+                }
+            }
+        }
+        if let Some(cap) = self.config.max_partitions {
+            let keep = cap as usize;
+            let surviving = partitions.len() - drop_set.len();
+            if surviving > keep {
+                let mut extra = surviving - keep;
+                for idx in 0..partitions.len() {
+                    if extra == 0 {
+                        break;
+                    }
+                    if !drop_set.contains(&idx) {
+                        drop_set.push(idx);
+                        extra -= 1;
+                    }
+                }
+                drop_set.sort_unstable();
+            }
+        }
+        let mut dropped = Vec::with_capacity(drop_set.len());
+        for idx in drop_set {
+            let partition = &partitions[idx];
+            let trash = self.dir.join(format!(
+                "{}{TRASH_SUFFIX}",
+                partition_dir_name(partition.start_secs)
+            ));
+            std::fs::rename(&partition.path, &trash).map_err(|e| io_err(&partition.path, e))?;
+            std::fs::remove_dir_all(&trash).map_err(|e| io_err(&trash, e))?;
+            dropped.push(partition.start_secs);
+        }
+        if !dropped.is_empty() {
+            sync_parent_dir(&self.dir.join(MANIFEST_FILE))?;
+        }
+        Ok(dropped)
+    }
+
+    /// Every `kind` record filed at an instant in `[from_at, to_at]`,
+    /// sealed or not, as `(sequence, record)` pairs sorted by instant
+    /// (ties broken by sequence).
+    pub fn scan(
+        &self,
+        kind: RecordKind,
+        from_at: u64,
+        to_at: u64,
+    ) -> Result<Vec<(u64, Record)>, StoreError> {
+        let mut out = Vec::new();
+        for partition in list_partitions(&self.dir)? {
+            let window_end = partition
+                .start_secs
+                .saturating_add(self.config.partition_secs);
+            if partition.start_secs > to_at || window_end <= from_at {
+                continue;
+            }
+            for block in list_blocks(&partition.path)? {
+                if block.kind != kind {
+                    continue;
+                }
+                let bytes = std::fs::read(&block.path).map_err(|e| io_err(&block.path, e))?;
+                let meta = decode_meta(&bytes).map_err(|e| {
+                    StoreError::Corrupt(format!("block {}: {e}", block.path.display()))
+                })?;
+                if meta.min_at > to_at || meta.max_at < from_at {
+                    continue;
+                }
+                let contents = decode_block(&bytes).map_err(|e| {
+                    StoreError::Corrupt(format!("block {}: {e}", block.path.display()))
+                })?;
+                out.extend(
+                    contents
+                        .rows
+                        .into_iter()
+                        .filter(|(_, r)| r.at() >= from_at && r.at() <= to_at),
+                );
+            }
+        }
+        out.extend(
+            self.mem
+                .iter()
+                .filter(|(_, r)| r.kind() == kind && r.at() >= from_at && r.at() <= to_at)
+                .cloned(),
+        );
+        out.sort_by_key(|(seq, r)| (r.at(), *seq));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventRecord, ScoreRow, StatsSample};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gw-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn score(at: u64, key: &str, score: f64) -> Record {
+        Record::Score(ScoreRow {
+            at,
+            key: key.to_string(),
+            score,
+        })
+    }
+
+    fn day_config() -> StoreConfig {
+        StoreConfig {
+            partition_secs: 86_400,
+            retention_secs: None,
+            max_partitions: None,
+        }
+    }
+
+    #[test]
+    fn append_seal_scan_roundtrips_across_partitions() {
+        let dir = scratch("roundtrip");
+        let (mut store, report) = HistoryStore::open(&dir, day_config()).unwrap();
+        assert_eq!(report, OpenReport::default());
+        for day in 0..3u64 {
+            for step in 0..10u64 {
+                let at = day * 86_400 + step * 360;
+                store
+                    .append(score(at, "system", 0.9 - day as f64 * 0.1))
+                    .unwrap();
+                store
+                    .append(Record::Event(EventRecord {
+                        at,
+                        at_ns: step,
+                        kind: "checkpoint".to_string(),
+                        detail: format!("day {day} step {step}"),
+                    }))
+                    .unwrap();
+            }
+        }
+        store.sync().unwrap();
+        // 3 partitions x 2 families.
+        assert_eq!(store.seal().unwrap(), 6);
+        assert_eq!(store.unsealed_records(), 0);
+
+        // Scans hit sealed blocks.
+        let all = store.scan(RecordKind::Score, 0, u64::MAX).unwrap();
+        assert_eq!(all.len(), 30);
+        let day1 = store
+            .scan(RecordKind::Score, 86_400, 2 * 86_400 - 1)
+            .unwrap();
+        assert_eq!(day1.len(), 10);
+        for (_, r) in &day1 {
+            let Record::Score(row) = r else {
+                panic!("family")
+            };
+            assert_eq!(row.score.to_bits(), 0.8f64.to_bits());
+        }
+        // Unsealed records are visible too, interleaved correctly.
+        store.append(score(86_400 + 5, "system", 0.5)).unwrap();
+        let day1 = store
+            .scan(RecordKind::Score, 86_400, 2 * 86_400 - 1)
+            .unwrap();
+        assert_eq!(day1.len(), 11);
+        assert_eq!(day1[1].1.at(), 86_405);
+    }
+
+    #[test]
+    fn reopen_after_sync_without_seal_recovers_records() {
+        let dir = scratch("reopen");
+        let (mut store, _) = HistoryStore::open(&dir, day_config()).unwrap();
+        store.append(score(100, "system", 0.7)).unwrap();
+        store
+            .append(Record::Stats(StatsSample {
+                at: 100,
+                payload: "{\"submitted\":1}".to_string(),
+            }))
+            .unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let (store, report) = HistoryStore::open(&dir, day_config()).unwrap();
+        assert_eq!(report.replayed_records, 2);
+        assert_eq!(report.already_sealed_records, 0);
+        assert_eq!(store.scan(RecordKind::Score, 0, u64::MAX).unwrap().len(), 1);
+        assert_eq!(store.scan(RecordKind::Stats, 0, u64::MAX).unwrap().len(), 1);
+        assert_eq!(store.next_seq(), 2);
+    }
+
+    #[test]
+    fn interrupted_seal_is_deduplicated_not_duplicated() {
+        let dir = scratch("interrupted-seal");
+        let (mut store, _) = HistoryStore::open(&dir, day_config()).unwrap();
+        for k in 0..6u64 {
+            store.append(score(k, "system", k as f64)).unwrap();
+            store
+                .append(Record::Event(EventRecord {
+                    at: k,
+                    at_ns: k,
+                    kind: "alarm".to_string(),
+                    detail: String::new(),
+                }))
+                .unwrap();
+        }
+        store.sync().unwrap();
+        let wal_before = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        store.seal().unwrap();
+        drop(store);
+        // Simulate a crash after the blocks landed but before the WAL
+        // swap: put the old (fully-sealed) WAL back.
+        std::fs::write(dir.join(WAL_FILE), &wal_before).unwrap();
+
+        let (store, report) = HistoryStore::open(&dir, day_config()).unwrap();
+        assert_eq!(report.already_sealed_records, 12);
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(store.unsealed_records(), 0);
+        assert_eq!(store.scan(RecordKind::Score, 0, u64::MAX).unwrap().len(), 6);
+        assert_eq!(store.scan(RecordKind::Event, 0, u64::MAX).unwrap().len(), 6);
+        // Sequence numbering continues past the sealed records.
+        assert_eq!(store.next_seq(), 12);
+    }
+
+    #[test]
+    fn retention_drops_expired_partitions_and_caps_count() {
+        let dir = scratch("retention");
+        let config = StoreConfig {
+            partition_secs: 100,
+            retention_secs: Some(250),
+            max_partitions: None,
+        };
+        let (mut store, _) = HistoryStore::open(&dir, config).unwrap();
+        for window in 0..6u64 {
+            store
+                .append(score(window * 100 + 1, "system", 1.0))
+                .unwrap();
+        }
+        store.seal().unwrap();
+        assert_eq!(list_partitions(&dir).unwrap().len(), 6);
+        // max_at = 501; cutoff = 251; windows ending at <= 251 drop.
+        let dropped = store.apply_retention().unwrap();
+        assert_eq!(dropped, vec![0, 100]);
+        assert_eq!(store.scan(RecordKind::Score, 0, u64::MAX).unwrap().len(), 4);
+
+        // A count cap layers on top.
+        drop(store);
+        let config = StoreConfig {
+            partition_secs: 100,
+            retention_secs: Some(250),
+            max_partitions: Some(2),
+        };
+        let (mut store, _) = HistoryStore::open(&dir, config).unwrap();
+        let dropped = store.apply_retention().unwrap();
+        assert_eq!(dropped, vec![200, 300]);
+        let left: Vec<u64> = list_partitions(&dir)
+            .unwrap()
+            .iter()
+            .map(|p| p.start_secs)
+            .collect();
+        assert_eq!(left, vec![400, 500]);
+    }
+
+    #[test]
+    fn partition_width_mismatch_is_refused_and_manifest_survives() {
+        let dir = scratch("manifest");
+        let (store, _) = HistoryStore::open(&dir, day_config()).unwrap();
+        drop(store);
+        let bad = StoreConfig {
+            partition_secs: 3600,
+            ..day_config()
+        };
+        assert!(matches!(
+            HistoryStore::open(&dir, bad),
+            Err(StoreError::Corrupt(_))
+        ));
+        // open_existing takes everything from the manifest.
+        let (store, _) = HistoryStore::open_existing(&dir).unwrap();
+        assert_eq!(store.config().partition_secs, 86_400);
+        // A non-store directory is refused.
+        let empty = scratch("not-a-store");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(HistoryStore::open_existing(&empty).is_err());
+    }
+
+    #[test]
+    fn unsynced_appends_are_lost_synced_ones_survive() {
+        let dir = scratch("sync-boundary");
+        let (mut store, _) = HistoryStore::open(&dir, day_config()).unwrap();
+        store.append(score(1, "system", 1.0)).unwrap();
+        store.sync().unwrap();
+        store.append(score(2, "system", 2.0)).unwrap();
+        // No sync: the second record never hit the disk.
+        drop(store);
+        let (store, report) = HistoryStore::open(&dir, day_config()).unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(store.scan(RecordKind::Score, 0, u64::MAX).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Fixture corruption corpus for `gridwatch audit --store`: each case
+//! takes a healthy store, applies one concrete kind of damage, and
+//! asserts the offline validator reports it the right way — real
+//! corruption as a *problem* (audit fails), self-healing states as a
+//! *note* (audit passes).
+//!
+//! This is the store-level analogue of the audit crate's good/bad lint
+//! fixture corpora: it proves the rules fire, and that they do not
+//! over-fire on a healthy store.
+
+use std::path::{Path, PathBuf};
+
+use gridwatch_store::codec::crc32;
+use gridwatch_store::record::{Record, ScoreRow};
+use gridwatch_store::{validate_store, HistoryStore, StoreConfig};
+
+const PARTITION_SECS: u64 = 3_600;
+
+fn fixture(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gw-corrupt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StoreConfig {
+        partition_secs: PARTITION_SECS,
+        ..StoreConfig::default()
+    };
+    let (mut store, _) = HistoryStore::open(&dir, config).unwrap();
+    // Two partitions of sealed history plus a synced WAL tail.
+    for k in 0..40u64 {
+        store
+            .append(Record::Score(ScoreRow {
+                at: k * 180,
+                key: format!("k{}", k % 3),
+                score: k as f64 * 0.25,
+            }))
+            .unwrap();
+    }
+    store.seal().unwrap();
+    for k in 0..6u64 {
+        store
+            .append(Record::Score(ScoreRow {
+                at: 7_200 + k,
+                key: "tail".to_string(),
+                score: 0.5,
+            }))
+            .unwrap();
+    }
+    store.sync().unwrap();
+    dir
+}
+
+fn first_block(dir: &Path) -> PathBuf {
+    let mut partitions: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let e = e.unwrap();
+            let name = e.file_name().to_str().unwrap_or("").to_string();
+            (name.starts_with("p-") && e.path().is_dir()).then_some(e.path())
+        })
+        .collect();
+    partitions.sort();
+    let mut blocks: Vec<_> = std::fs::read_dir(&partitions[0])
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    blocks.sort();
+    blocks[0].clone()
+}
+
+#[test]
+fn healthy_fixture_passes() {
+    let dir = fixture("ok");
+    let v = validate_store(&dir).unwrap();
+    assert!(v.is_healthy(), "{:?}", v.problems);
+    assert_eq!(v.partitions, 2);
+    assert_eq!(v.sealed_rows, 40);
+    assert_eq!(v.wal_records, 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_reported_as_recoverable() {
+    let dir = fixture("torn-tail");
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(
+        v.is_healthy(),
+        "a torn tail heals on open: {:?}",
+        v.problems
+    );
+    assert!(
+        v.notes.iter().any(|n| n.contains("torn tail")),
+        "{:?}",
+        v.notes
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_wal_header_is_a_problem() {
+    let dir = fixture("short-wal");
+    let wal = dir.join("wal.log");
+    std::fs::write(&wal, b"GWWAL").unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy());
+    assert!(
+        v.problems.iter().any(|p| p.contains("wal.log")),
+        "{:?}",
+        v.problems
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_wal_magic_is_a_problem() {
+    let dir = fixture("wal-magic");
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes[..8].copy_from_slice(b"GWWALv9\n");
+    std::fs::write(&wal, &bytes).unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy());
+    assert!(
+        v.problems.iter().any(|p| p.contains("magic")),
+        "{:?}",
+        v.problems
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn undecodable_wal_record_is_a_problem() {
+    let dir = fixture("wal-garbage");
+    let wal = dir.join("wal.log");
+    // A frame whose checksum is valid but whose payload is not a
+    // record: the frame layer accepts it, the record layer must not.
+    let payload = [0xFFu8, 0x01, 0x02];
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&frame);
+    std::fs::write(&wal, &bytes).unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy());
+    assert!(
+        v.problems.iter().any(|p| p.contains("does not decode")),
+        "{:?}",
+        v.problems
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn block_checksum_mismatch_is_a_problem() {
+    let dir = fixture("block-flip");
+    let block = first_block(&dir);
+    let mut bytes = std::fs::read(&block).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&block, &bytes).unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy());
+    assert!(
+        v.problems.iter().any(|p| p.contains("checksum")),
+        "{:?}",
+        v.problems
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_block_is_a_problem() {
+    let dir = fixture("block-cut");
+    let block = first_block(&dir);
+    let bytes = std::fs::read(&block).unwrap();
+    std::fs::write(&block, &bytes[..bytes.len() / 2]).unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy(), "{:?}", v.notes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_block_version_is_a_problem() {
+    let dir = fixture("block-v2");
+    let block = first_block(&dir);
+    let mut bytes = std::fs::read(&block).unwrap();
+    // A future format bump: same magic shape, new version digit.
+    bytes[..8].copy_from_slice(b"GWBLKv2\n");
+    std::fs::write(&block, &bytes).unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy());
+    assert!(
+        v.problems.iter().any(|p| p.contains("magic")),
+        "{:?}",
+        v.problems
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overlapping_blocks_are_a_problem() {
+    let dir = fixture("overlap");
+    let block = first_block(&dir);
+    // Re-seal the same sequence range into a different partition: the
+    // same block file under another window claims every seq twice.
+    let other = dir.join(format!("p-{:012}", 10 * PARTITION_SECS));
+    std::fs::create_dir_all(&other).unwrap();
+    std::fs::copy(&block, other.join(block.file_name().unwrap())).unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy());
+    assert!(
+        v.problems.iter().any(|p| p.contains("overlapping")),
+        "{:?}",
+        v.problems
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn misaligned_partition_is_a_problem() {
+    let dir = fixture("misaligned");
+    let mut partitions: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let e = e.unwrap();
+            let name = e.file_name().to_str().unwrap_or("").to_string();
+            (name.starts_with("p-") && e.path().is_dir()).then_some(e.path())
+        })
+        .collect();
+    partitions.sort();
+    // Shift the first partition off the grid by one second.
+    let shifted = dir.join(format!("p-{:012}", 1));
+    std::fs::rename(&partitions[0], &shifted).unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy());
+    assert!(
+        v.problems.iter().any(|p| p.contains("not aligned")),
+        "{:?}",
+        v.problems
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_manifest_is_a_problem() {
+    let dir = fixture("manifest");
+    std::fs::write(dir.join("STORE.json"), "{not json").unwrap();
+    let v = validate_store(&dir).unwrap();
+    assert!(!v.is_healthy());
+    assert!(
+        v.problems.iter().any(|p| p.contains("manifest")),
+        "{:?}",
+        v.problems
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_seal_overlap_is_a_note_not_a_problem() {
+    let dir = fixture("midseal");
+    // Simulate a seal that wrote its blocks but died before swapping
+    // the WAL: restore a pre-seal WAL copy next to the sealed blocks.
+    let wal = dir.join("wal.log");
+    let (mut store, _) = HistoryStore::open_existing(&dir).unwrap();
+    store
+        .append(Record::Score(ScoreRow {
+            at: 7_300,
+            key: "again".to_string(),
+            score: 0.25,
+        }))
+        .unwrap();
+    store.sync().unwrap();
+    let pre_seal = std::fs::read(&wal).unwrap();
+    store.seal().unwrap();
+    drop(store);
+    std::fs::write(&wal, &pre_seal).unwrap();
+
+    let v = validate_store(&dir).unwrap();
+    assert!(v.is_healthy(), "{:?}", v.problems);
+    assert!(
+        v.notes.iter().any(|n| n.contains("already sealed")),
+        "{:?}",
+        v.notes
+    );
+    // And open() deduplicates: the doubly-recorded rows come back once.
+    let (store, report) = HistoryStore::open_existing(&dir).unwrap();
+    assert!(report.already_sealed_records > 0);
+    let rows = store
+        .scan(gridwatch_store::RecordKind::Score, 0, u64::MAX)
+        .unwrap();
+    assert_eq!(rows.len(), 47);
+    let _ = std::fs::remove_dir_all(&dir);
+}

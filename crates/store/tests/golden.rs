@@ -1,0 +1,129 @@
+//! Golden tests pinning the on-disk v1 formats byte-for-byte.
+//!
+//! These bytes are the compatibility contract: stores written today
+//! must open under every future version. If one of these tests fails,
+//! the encoder changed the v1 format — either revert the change, or
+//! introduce a v2 magic alongside v1 decoding and re-pin.
+
+use gridwatch_store::block::{decode_block, encode_block, BLOCK_MAGIC};
+use gridwatch_store::record::{EventRecord, Record, RecordKind, ScoreRow, StatsSample};
+use gridwatch_store::wal::{Wal, WAL_MAGIC};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn score_rows() -> Vec<(u64, Record)> {
+    vec![
+        (
+            10,
+            Record::Score(ScoreRow {
+                at: 100,
+                key: "system".to_string(),
+                score: 0.5,
+            }),
+        ),
+        (
+            11,
+            Record::Score(ScoreRow {
+                at: 160,
+                key: "m:a/B".to_string(),
+                score: 0.25,
+            }),
+        ),
+        (
+            12,
+            Record::Score(ScoreRow {
+                at: 220,
+                key: "system".to_string(),
+                score: -0.0,
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn score_block_v1_bytes_are_pinned() {
+    let bytes = encode_block(RecordKind::Score, &score_rows()).unwrap();
+    assert_eq!(&bytes[..8], BLOCK_MAGIC);
+    assert_eq!(
+        hex(&bytes),
+        GOLDEN_SCORE_BLOCK,
+        "score block v1 layout drifted"
+    );
+    // And the pinned bytes decode back to the same rows.
+    let decoded = decode_block(&bytes).unwrap();
+    assert_eq!(decoded.rows, score_rows());
+}
+
+#[test]
+fn stats_block_v1_bytes_are_pinned() {
+    let rows = vec![(
+        3,
+        Record::Stats(StatsSample {
+            at: 360,
+            payload: "{\"reports\":1}".to_string(),
+        }),
+    )];
+    let bytes = encode_block(RecordKind::Stats, &rows).unwrap();
+    assert_eq!(
+        hex(&bytes),
+        GOLDEN_STATS_BLOCK,
+        "stats block v1 layout drifted"
+    );
+    assert_eq!(decode_block(&bytes).unwrap().rows, rows);
+}
+
+#[test]
+fn event_block_v1_bytes_are_pinned() {
+    let rows = vec![
+        (
+            20,
+            Record::Event(EventRecord {
+                at: 500,
+                at_ns: 1_250,
+                kind: "alarm".to_string(),
+                detail: "Q_t low".to_string(),
+            }),
+        ),
+        (
+            21,
+            Record::Event(EventRecord {
+                at: 560,
+                at_ns: 0,
+                kind: "checkpoint".to_string(),
+                detail: "cut 9".to_string(),
+            }),
+        ),
+    ];
+    let bytes = encode_block(RecordKind::Event, &rows).unwrap();
+    assert_eq!(
+        hex(&bytes),
+        GOLDEN_EVENT_BLOCK,
+        "event block v1 layout drifted"
+    );
+    assert_eq!(decode_block(&bytes).unwrap().rows, rows);
+}
+
+#[test]
+fn wal_v1_bytes_are_pinned() {
+    let dir = std::env::temp_dir().join(format!("gw-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wal.log");
+    let mut wal = Wal::create(&path, 7).unwrap();
+    wal.append(b"alpha").unwrap();
+    wal.append(b"beta").unwrap();
+    wal.sync().unwrap();
+    drop(wal);
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..8], WAL_MAGIC);
+    assert_eq!(hex(&bytes), GOLDEN_WAL, "WAL v1 layout drifted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+const GOLDEN_SCORE_BLOCK: &str = "4757424c4b76310a010a000000000000000c000000000000000364dc01020673797374656d056d3a612f420114020201c80102780100010201010180808080808080f03f0180808080808080180180808080808080e8bf0115ef3b265800000047574531";
+const GOLDEN_STATS_BLOCK: &str = "4757424c4b76310a020300000000000000030000000000000001e802e802010601d0050d7b227265706f727473223a317d07af55ca3100000047574531";
+const GOLDEN_EVENT_BLOCK: &str = "4757424c4b76310a031400000000000000150000000000000002f403b0040205616c61726d0a636865636b706f696e740128010201e807017801c41301c3130100010207515f74206c6f77056375742039d4b6e8cc5100000047574531";
+const GOLDEN_WAL: &str =
+    "475757414c76310a0700000000000000050000006a39e0d0616c706861040000006304918f62657461";
