@@ -60,4 +60,20 @@ cargo test -q -p gridwatch-store --test crash_kill -- --test-threads=1
 echo "==> history sink: retention bound + bit-identical score replay"
 cargo test -q -p gridwatch-serve --test history_store
 
+echo "==> chaos regimes: pinned per-regime goldens + drift pipeline e2e"
+cargo test -q -p gridwatch-cli --test chaos
+
+echo "==> drift detector: zero false rebuilds on stationary traces (proptest)"
+cargo test -q -p gridwatch-detect --test drift_props
+
+echo "==> adaptive sampling: bit-identical below the watermark (proptest)"
+cargo test -q -p gridwatch-serve --test sampling_props
+
+echo "==> scored chaos evaluation smoke (all shape checks must pass)"
+cargo run -q --release -p gridwatch-cli -- eval --chaos \
+    --machines 2 --max-pairs 10 --days 1
+
+echo "==> drift overhead gate (disabled drift path must be free)"
+cargo bench -q -p gridwatch-bench --bench chaos_step
+
 echo "CI OK"

@@ -28,6 +28,9 @@ pub const CHECKPOINTED_STRUCTS: &[&str] = &[
     "AlarmTracker",
     "EngineConfig",
     "AlarmPolicy",
+    // Nested inside EngineConfig: a pre-drift engine snapshot must
+    // still resume after the drift knobs were added (and vice versa).
+    "DriftConfig",
     "ModelConfig",
     "TransitionModel",
     "TransitionMatrix",

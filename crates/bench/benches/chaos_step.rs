@@ -1,0 +1,86 @@
+//! Drift-layer overhead: the disabled drift path must be free.
+//!
+//! Every `step_scores` call crosses the drift gate — when
+//! `EngineConfig::drift` is unset that gate is a single `Option`
+//! discriminant check, and it must stay that cheap: the drift knobs
+//! exist so operators can enable them where they matter, not so every
+//! deployment pays for them. Like `obs_overhead`, this bench opens with
+//! a hard gate — a disabled drift gate costing more than
+//! `DISABLED_DRIFT_GATE_CEILING_NS` per call fails the run outright —
+//! then measures the real per-step cost with the detector off and on,
+//! on clean in-distribution data where the enabled detector only
+//! observes (never rebuilds).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridwatch_bench::{trace, trained_drift_engine};
+use gridwatch_detect::{DriftConfig, Snapshot};
+use gridwatch_timeseries::Timestamp;
+
+/// Generous ceiling for one disabled drift gate (an `Option` check on
+/// a field already in cache). An order of magnitude above the expected
+/// cost so shared CI hosts do not flake, while an accidental fitness
+/// scan or allocation on the disabled path still trips it.
+const DISABLED_DRIFT_GATE_CEILING_NS: f64 = 15.0;
+
+/// Hard-asserts the disabled drift gate's cost before any benchmarks.
+fn assert_disabled_drift_gate_is_free() {
+    let trace = trace(2);
+    let mut engine = trained_drift_engine(&trace, 10, None);
+    for _ in 0..100_000 {
+        black_box(engine.drift_gate_probe());
+    }
+    let iters = 1_000_000u32;
+    let started = Instant::now();
+    for _ in 0..iters {
+        black_box(engine.drift_gate_probe());
+    }
+    let per_iter_ns = started.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
+    assert!(
+        per_iter_ns <= DISABLED_DRIFT_GATE_CEILING_NS,
+        "disabled drift gate costs {per_iter_ns:.1}ns/call (ceiling \
+         {DISABLED_DRIFT_GATE_CEILING_NS}ns): the disabled drift path is no longer free"
+    );
+    println!(
+        "disabled drift gate: {per_iter_ns:.2}ns/call \
+         (ceiling {DISABLED_DRIFT_GATE_CEILING_NS}ns)"
+    );
+}
+
+fn bench_chaos_step(c: &mut Criterion) {
+    assert_disabled_drift_gate_is_free();
+
+    let trace = trace(2);
+    // A representative mid-day snapshot on the test day; clean data,
+    // so the enabled detector observes healthy fitness and never fires.
+    let t = Timestamp::from_secs(15 * 86_400 + 12 * 3600);
+    let mut snapshot = Snapshot::new(t);
+    for id in trace.measurement_ids() {
+        if let Some(v) = trace.series(id).expect("measurement exists").value_at(t) {
+            snapshot.insert(id, v);
+        }
+    }
+
+    let mut group = c.benchmark_group("chaos_step");
+    group.sample_size(20);
+    for (label, drift) in [
+        ("step_scores_drift_off", None),
+        ("step_scores_drift_on", Some(DriftConfig::default())),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || trained_drift_engine(&trace, 10, drift),
+                |mut engine| {
+                    black_box(engine.step_scores(black_box(&snapshot)));
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos_step);
+criterion_main!(benches);

@@ -57,6 +57,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                                 shards,
                                 queue_capacity: 64,
                                 backpressure: BackpressurePolicy::Block,
+                                sampling: None,
                             },
                         )
                     },

@@ -94,6 +94,54 @@ pub fn trained_engine(trace: &Trace, max_pairs: usize, parallel: bool) -> Detect
     .expect("benchmark engine trains")
 }
 
+/// An engine for the chaos benches: frozen model (the drift layer's
+/// target configuration) with an optional drift detector, trained on
+/// the same 8 days and screen as [`trained_engine`].
+pub fn trained_drift_engine(
+    trace: &Trace,
+    max_pairs: usize,
+    drift: Option<gridwatch_detect::DriftConfig>,
+) -> DetectionEngine {
+    let train_end = Timestamp::from_days(8);
+    let mut training = std::collections::BTreeMap::new();
+    for id in trace.measurement_ids() {
+        training.insert(
+            id,
+            trace
+                .series(id)
+                .expect("measurement exists")
+                .slice(Timestamp::EPOCH, train_end),
+        );
+    }
+    let screen = PairScreen {
+        min_cv: 0.05,
+        max_pairs: Some(max_pairs),
+        ..PairScreen::default()
+    };
+    let pairs = screen.select(&training);
+    let histories: Vec<_> = pairs
+        .into_iter()
+        .filter_map(|p| {
+            PairSeries::align(
+                &training[&p.first()],
+                &training[&p.second()],
+                AlignmentPolicy::Intersect,
+            )
+            .ok()
+            .map(|h| (p, h))
+        })
+        .collect();
+    DetectionEngine::train(
+        histories,
+        EngineConfig {
+            model: ModelConfig::default().frozen(),
+            drift,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("benchmark engine trains")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +154,7 @@ mod tests {
         assert!(!test_points(&t).is_empty());
         let engine = trained_engine(&t, 5, false);
         assert!(engine.model_count() > 0);
+        let drifting = trained_drift_engine(&t, 5, Some(gridwatch_detect::DriftConfig::default()));
+        assert!(drifting.model_count() > 0);
     }
 }

@@ -36,6 +36,10 @@ score filters (with --kind scores):
                        lowest mean fitness (the problem-determination
                        ranking) instead of raw rows
 
+event filters (with --kind events):
+  --event-kind K       only events of kind K (e.g. alarm, rebuild,
+                       checkpoint)
+
 output:
   --format F           json | csv                     (default csv)
   --limit N            print at most N rows           (default: all)
@@ -43,7 +47,8 @@ output:
 examples:
   gridwatch history --store hist --system --format csv
   gridwatch history --store hist --from-day 15 --days 1 --top-k 5
-  gridwatch history --store hist --kind events --format json";
+  gridwatch history --store hist --kind events --format json
+  gridwatch history --store hist --kind events --event-kind rebuild";
 
 const SECS_PER_DAY: u64 = 86_400;
 
@@ -55,6 +60,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["system"])?;
     let dir: String = flags.require("store")?;
     let kind: RecordKind = flags.get_or("kind", RecordKind::Score)?;
+    if flags.get::<String>("event-kind")?.is_some() && kind != RecordKind::Event {
+        return Err("--event-kind only applies to --kind events".to_string());
+    }
     let format: OutputFormat = flags.get_or("format", OutputFormat::Csv)?;
     let limit: Option<usize> = flags.get("limit")?;
     let (from_at, to_at) = window(&flags)?;
@@ -89,6 +97,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
             if flags.get::<usize>("top-k")?.is_some() {
                 return Err("--top-k only applies to --kind scores".to_string());
             }
+            let records = match flags.get::<String>("event-kind")? {
+                Some(wanted) => records
+                    .into_iter()
+                    .filter(|(_, r)| matches!(r, Record::Event(e) if e.kind == wanted))
+                    .collect(),
+                None => records,
+            };
             print_records(&mut out, &records, format, limit)
         }
     };

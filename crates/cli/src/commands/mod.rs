@@ -2,6 +2,7 @@
 
 pub mod audit;
 pub mod coordinator;
+pub mod eval;
 pub mod history;
 pub mod inspect;
 pub mod monitor;

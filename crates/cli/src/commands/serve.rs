@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 
 use gridwatch_detect::{EngineSnapshot, Snapshot, StepReport};
 use gridwatch_serve::{
-    BackpressurePolicy, Checkpointer, NetConfig, NetServer, ServeConfig, ShardedEngine,
-    WireProtocol,
+    BackpressurePolicy, Checkpointer, NetConfig, NetServer, SamplingConfig, ServeConfig,
+    ShardedEngine, WireProtocol,
 };
 use gridwatch_timeseries::Timestamp;
 
@@ -35,6 +35,12 @@ engine:
   --shards N                shard worker threads          (default 4)
   --queue-capacity N        per-shard queue capacity      (default 64)
   --backpressure P          block | drop-oldest | reject  (default block)
+  --sample-watermark PCT    shed a stratified subsample of incoming
+                            snapshots while the deepest shard queue is
+                            at or above PCT% full (coverage is reported
+                            in the stats); sampling off when omitted
+  --sample-stride N         keep 1 in N snapshots while shedding
+                            (default 2)
   --system-threshold X      alarm when Q_t < X            (engine default)
   --measurement-threshold X alarm when Q^a_t < X          (engine default)
   --consecutive N           debounce: N consecutive lows  (engine default)
@@ -127,10 +133,18 @@ impl ReportTally {
 
 /// Engine tuning shared by both modes.
 fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
+    let sampling = match flags.get::<u8>("sample-watermark")? {
+        Some(watermark_pct) => Some(SamplingConfig {
+            watermark_pct,
+            stride: flags.get_or("sample-stride", 2)?,
+        }),
+        None => None,
+    };
     let config = ServeConfig {
         shards: flags.get_or("shards", 4)?,
         queue_capacity: flags.get_or("queue-capacity", 64)?,
         backpressure: flags.get_or("backpressure", BackpressurePolicy::Block)?,
+        sampling,
     };
     if config.shards == 0 {
         return Err("--shards must be positive".to_string());

@@ -1,6 +1,8 @@
 //! `gridwatch simulate` — generate monitoring data as CSV.
 
+use gridwatch_sim::chaos::chaos_scenario;
 use gridwatch_sim::scenario::{clean_scenario, group_fault_scenario};
+use gridwatch_sim::ChaosRegime;
 use gridwatch_timeseries::GroupId;
 
 use crate::commands::write_file;
@@ -16,7 +18,11 @@ gridwatch simulate --out FILE [flags]
   --seed N         RNG seed                       (default 20080529)
   --fault          inject the Figure-12 fault scenario (correlation
                    break on the test day + load-spike control); the
-                   ground-truth windows are printed";
+                   ground-truth windows are printed
+  --chaos R        inject a hostile-conditions regime instead: drift |
+                   skew | flapping | overload | cascade (group A; the
+                   ground-truth and expected-rebuild windows are
+                   printed; see `gridwatch eval --chaos`)";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -33,21 +39,34 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Err("--machines and --days must be positive".into());
     }
 
-    let scenario = if flags.has("fault") {
-        group_fault_scenario(group, machines, seed)
+    let chaos_regime: Option<ChaosRegime> = flags.get("chaos")?;
+    if chaos_regime.is_some() && flags.has("fault") {
+        return Err("--fault and --chaos are mutually exclusive".into());
+    }
+    let (full_trace, truth_windows, rebuild_windows) = if let Some(regime) = chaos_regime {
+        let scenario = chaos_scenario(regime, machines, seed);
+        let truth = scenario.truth_windows();
+        let rebuilds = scenario.chaos.rebuild_windows();
+        (scenario.trace, truth, rebuilds)
+    } else if flags.has("fault") {
+        let scenario = group_fault_scenario(group, machines, seed);
+        let truth = scenario.faults.truth_windows();
+        (scenario.trace, truth, Vec::new())
     } else {
-        clean_scenario(group, machines, seed)
+        let scenario = clean_scenario(group, machines, seed);
+        let truth = scenario.faults.truth_windows();
+        (scenario.trace, truth, Vec::new())
     };
     // Truncate to the requested number of days.
     let window = crate::commands::trace_window(
-        &scenario.trace,
+        &full_trace,
         gridwatch_timeseries::Timestamp::EPOCH,
         gridwatch_timeseries::Timestamp::from_days(days),
     );
     let trace = gridwatch_sim::Trace::from_parts(
-        scenario.trace.catalog().clone(),
+        full_trace.catalog().clone(),
         window,
-        scenario.trace.interval(),
+        full_trace.interval(),
     );
     write_file(&out, &trace.to_csv_string())?;
 
@@ -62,8 +81,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
             .unwrap_or(0),
         out
     );
-    for (start, end) in scenario.faults.truth_windows() {
+    for (start, end) in truth_windows {
         println!("ground-truth fault window: [{start}, {end})");
+    }
+    for (start, end) in rebuild_windows {
+        println!("expected-rebuild window: [{start}, {end})");
     }
     Ok(())
 }

@@ -18,14 +18,21 @@ gridwatch train --trace FILE --out FILE [flags]
   --min-cv X       variance screen: keep measurements with
                    coefficient of variation >= X      (default 0.05)
   --delta X        update threshold: transitions with probability
-                   below X are flagged, not learned   (default 0.005)";
+                   below X are flagged, not learned   (default 0.005)
+  --frozen         freeze the pair grids after training: the model
+                   stops learning online, so off-manifold data keeps
+                   scoring low instead of being absorbed (required
+                   for drift to stay observable; pair with --drift)
+  --drift          enable the drift layer: sustained pair-fitness
+                   decay triggers an online rebuild of that pair's
+                   model from recent history";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{HELP}");
         return Ok(());
     }
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["frozen", "drift"])?;
     let trace_path: String = flags.require("trace")?;
     let out: String = flags.require("out")?;
     let train_days: u64 = flags.get_or("train-days", 8)?;
@@ -60,12 +67,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
             .map(|h| (p, h))
         })
         .collect();
-    let model = ModelConfig::builder()
+    let mut model = ModelConfig::builder()
         .update_threshold(delta)
         .build()
         .map_err(|e| e.to_string())?;
+    if flags.has("frozen") {
+        model = model.frozen();
+    }
     let config = EngineConfig {
         model,
+        drift: flags
+            .has("drift")
+            .then(gridwatch_detect::DriftConfig::default),
         ..EngineConfig::default()
     };
     let engine = DetectionEngine::train(histories, config).map_err(|e| e.to_string())?;

@@ -26,10 +26,10 @@ usage: gridwatch <command> [flags]
 commands:
   simulate   generate monitoring data as CSV
              --out FILE [--group A|B|C] [--machines N] [--days N]
-             [--seed N] [--fault]
+             [--seed N] [--fault | --chaos REGIME]
   train      train a detection engine from a CSV trace
              --trace FILE --out FILE [--train-days N] [--max-pairs N]
-             [--min-cv X] [--delta X]
+             [--min-cv X] [--delta X] [--frozen] [--drift]
   monitor    stream a time range through a persisted engine
              --trace FILE --engine FILE [--from-day N] [--days N]
              [--system-threshold X] [--measurement-threshold X]
@@ -39,6 +39,7 @@ commands:
              ingest live snapshot frames over TCP
              (--trace FILE | --listen ADDR) --engine FILE [--shards N]
              [--backpressure P] [--queue-capacity N] [--rate X]
+             [--sample-watermark PCT [--sample-stride N]]
              [--protocol auto|json|csv] [--read-timeout SECS]
              [--max-frame-bytes N] [--max-snapshots N] [--checkpoint DIR]
              [--checkpoint-every N] [--resume] [--stats FILE]
@@ -54,11 +55,16 @@ commands:
              [--checkpoint-every N] [--resume] [--reattach-secs N]
              [--halt-workers] [--stats FILE] [--metrics ADDR]
              [--store DIR [--store-depth D]]
+  eval       run the scored chaos evaluation: hostile regimes vs
+             typed ground truth, with per-regime detection latency,
+             precision/recall, and drift-rebuild counts
+             --chaos [--regime R] [--machines N] [--seed N]
+             [--max-pairs N] [--threshold X] [--days N] [--out DIR]
   history    query the history store written by --store: time-range
              scans, per-key filters, top-k lowest-fitness ranking
              --store DIR [--kind scores|stats|events] [--from-day N]
              [--days N] [--system | --measurement M | --pair A~B]
-             [--top-k N] [--format json|csv] [--limit N]
+             [--event-kind K] [--top-k N] [--format json|csv] [--limit N]
   inspect    summarize a persisted engine
              --engine FILE [--verbose]
   audit      lint the workspace sources, validate a checkpoint
@@ -83,6 +89,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve::run(&args),
         "shard-worker" => commands::shard_worker::run(&args),
         "coordinator" => commands::coordinator::run(&args),
+        "eval" => commands::eval::run(&args),
         "history" => commands::history::run(&args),
         "inspect" => commands::inspect::run(&args),
         "audit" => commands::audit::run(&args),

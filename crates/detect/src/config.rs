@@ -51,6 +51,13 @@ pub struct EngineConfig {
     /// cadence). `None` disables gap detection.
     #[serde(default)]
     pub max_gap_secs: Option<u64>,
+    /// Online drift adaptation: when set, a sustained-fitness-decay
+    /// detector watches every pair and refits its grid from recent
+    /// observations once decay persists (the paper's MAFIA-style
+    /// adaptivity; see [`crate::DriftConfig`]). `None` disables the
+    /// drift layer entirely — the per-step cost is then one branch.
+    #[serde(default)]
+    pub drift: Option<crate::DriftConfig>,
 }
 
 /// Pair-selection criteria mirroring Section 6 of the paper: "1) the

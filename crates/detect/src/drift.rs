@@ -1,0 +1,295 @@
+//! Online drift detection and per-pair model rebuild.
+//!
+//! The paper's grids are fitted once and then assume the learned
+//! correlation structure stays valid; Section 7 points at MAFIA-style
+//! adaptive grid maintenance for when it does not. This module supplies
+//! that adaptivity: a **sustained-fitness-decay** detector watches every
+//! pair's fitness stream and, when decay persists, refits that pair's
+//! grid from a sliding window of recent observations.
+//!
+//! Drift is distinguished from point anomalies by *duration* and
+//! *breadth within the window*: a pair only rebuilds after at least
+//! [`DriftConfig::decay_fraction`] of the last [`DriftConfig::window`]
+//! scored steps fell below [`DriftConfig::fitness_floor`]. A transient
+//! fault (the injected two-hour faults span ~20 samples) cannot fill a
+//! 40-step window at 85% and therefore never triggers a rebuild, while
+//! a permanent correlation rewire does so shortly after its ramp
+//! completes.
+//!
+//! Rebuild bookkeeping (windows, histories, cooldowns) is runtime-only
+//! state: it is **not** persisted with [`crate::EngineSnapshot`] and is
+//! reconstructed empty from the [`DriftConfig`] on restore, so a
+//! restarted engine re-earns its drift evidence before rebuilding.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use gridwatch_core::{ModelConfig, TransitionModel};
+use gridwatch_timeseries::{MeasurementPair, PairSeries, Timestamp};
+
+use crate::snapshot::Snapshot;
+
+/// Configuration of the sustained-fitness-decay drift detector.
+///
+/// Part of [`crate::EngineConfig`]; `None` there disables the drift
+/// layer entirely (the per-step cost is then a single branch).
+///
+/// Schema evolution: the struct is always (de)serialized whole as part
+/// of [`crate::EngineConfig`]; its fields carry `#[serde(default)]` per
+/// the checkpoint-schema policy, and a hand-truncated JSON object
+/// zeroes the missing fields, which makes the detector *inert* (a
+/// zero-length window can never accumulate decay) rather than
+/// trigger-happy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Fitness below this counts as a decayed step.
+    #[serde(default)]
+    pub fitness_floor: f64,
+    /// Length of the per-pair sliding window, in scored steps.
+    #[serde(default)]
+    pub window: u32,
+    /// Fraction of the window that must be decayed to trigger a
+    /// rebuild (breadth-within-window; separates drift from dips).
+    #[serde(default)]
+    pub decay_fraction: f64,
+    /// Minimum retained observations before a rebuild may fire (a grid
+    /// refit on too little data would be degenerate).
+    #[serde(default)]
+    pub min_history: u32,
+    /// How many recent observations each pair retains for refitting.
+    #[serde(default)]
+    pub history_points: u32,
+    /// Steps a pair stays quiet after a rebuild before it may trigger
+    /// again.
+    #[serde(default)]
+    pub cooldown: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            fitness_floor: 0.45,
+            window: 40,
+            decay_fraction: 0.85,
+            min_history: 60,
+            history_points: 480,
+            cooldown: 120,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Decayed steps required in a full window to trigger a rebuild.
+    pub fn decayed_needed(&self) -> u32 {
+        let needed = (f64::from(self.window) * self.decay_fraction).ceil();
+        (needed as u32).clamp(1, self.window.max(1))
+    }
+}
+
+/// One model rebuild decision, surfaced through
+/// [`crate::DetectionEngine::take_rebuild_events`], the flight
+/// recorder (kind `rebuild`), and from there the history store.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebuildEvent {
+    /// The pair whose model was rebuilt.
+    pub pair: MeasurementPair,
+    /// When the rebuild triggered (trace time).
+    pub at: Timestamp,
+    /// Decayed steps in the window at trigger time.
+    pub decayed: u32,
+    /// The window length the decay was measured over.
+    pub window: u32,
+    /// Observations the refit used.
+    pub history_len: u32,
+    /// Whether the refit produced a usable replacement model. A failed
+    /// refit keeps the old model and still starts the cooldown.
+    pub succeeded: bool,
+}
+
+impl std::fmt::Display for RebuildEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rebuild pair={} at={} decayed={}/{} history={} ok={}",
+            self.pair, self.at, self.decayed, self.window, self.history_len, self.succeeded
+        )
+    }
+}
+
+/// Per-pair drift bookkeeping.
+#[derive(Debug, Default)]
+struct PairDrift {
+    /// Decayed-flag ring over the last `window` scored steps.
+    window: VecDeque<bool>,
+    /// Recent observations `(at_secs, x, y)` for refitting.
+    history: VecDeque<(u64, f64, f64)>,
+    /// Steps remaining before this pair may trigger again.
+    cooldown: u32,
+}
+
+/// The engine's drift layer: windows, histories, and pending rebuild
+/// events for every watched pair. Exists only when
+/// [`crate::EngineConfig::drift`] is set.
+#[derive(Debug)]
+pub(crate) struct DriftRuntime {
+    config: DriftConfig,
+    pairs: BTreeMap<MeasurementPair, PairDrift>,
+    pending: Vec<RebuildEvent>,
+    total_rebuilds: u64,
+}
+
+impl DriftRuntime {
+    pub(crate) fn new(config: DriftConfig) -> Self {
+        DriftRuntime {
+            config,
+            pairs: BTreeMap::new(),
+            pending: Vec::new(),
+            total_rebuilds: 0,
+        }
+    }
+
+    /// Feeds one step's scored results and rebuilds any pair whose
+    /// decay evidence is complete. Returns how many rebuilds fired.
+    pub(crate) fn observe(
+        &mut self,
+        models: &mut BTreeMap<MeasurementPair, TransitionModel>,
+        model_config: ModelConfig,
+        snapshot: &Snapshot,
+        results: &[(MeasurementPair, Option<f64>)],
+    ) -> usize {
+        let mut fired = 0usize;
+        for &(pair, fitness) in results {
+            let Some(fitness) = fitness else { continue };
+            let (Some(x), Some(y)) = (snapshot.value(pair.first()), snapshot.value(pair.second()))
+            else {
+                continue;
+            };
+            let state = self.pairs.entry(pair).or_default();
+            state.history.push_back((snapshot.at().as_secs(), x, y));
+            while state.history.len() > self.config.history_points as usize {
+                state.history.pop_front();
+            }
+            state.window.push_back(fitness < self.config.fitness_floor);
+            while state.window.len() > self.config.window as usize {
+                state.window.pop_front();
+            }
+            if state.cooldown > 0 {
+                state.cooldown -= 1;
+                continue;
+            }
+            if state.window.len() < self.config.window as usize
+                || state.history.len() < self.config.min_history as usize
+            {
+                continue;
+            }
+            let decayed = state.window.iter().filter(|&&d| d).count() as u32;
+            if decayed < self.config.decayed_needed() {
+                continue;
+            }
+            // Sustained decay: refit this pair's grid from its recent
+            // observations (which span the drifted regime).
+            let refit = PairSeries::from_samples(state.history.iter().copied())
+                .ok()
+                .and_then(|series| TransitionModel::fit(&series, model_config).ok());
+            let succeeded = refit.is_some();
+            if let Some(model) = refit {
+                models.insert(pair, model);
+            }
+            self.pending.push(RebuildEvent {
+                pair,
+                at: snapshot.at(),
+                decayed,
+                window: self.config.window,
+                history_len: state.history.len() as u32,
+                succeeded,
+            });
+            self.total_rebuilds += 1;
+            fired += 1;
+            state.window.clear();
+            state.cooldown = self.config.cooldown;
+        }
+        fired
+    }
+
+    /// Drains the rebuild events accumulated since the last drain.
+    pub(crate) fn take_events(&mut self) -> Vec<RebuildEvent> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The `n` most recently pushed pending events (those fired by the
+    /// current step), for flight-recorder announcement.
+    pub(crate) fn recent_events(&self, n: usize) -> &[RebuildEvent] {
+        &self.pending[self.pending.len().saturating_sub(n)..]
+    }
+
+    /// Total rebuilds fired over this runtime's lifetime.
+    pub(crate) fn total_rebuilds(&self) -> u64 {
+        self.total_rebuilds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decayed_needed_rounds_up_and_clamps() {
+        let cfg = DriftConfig::default();
+        assert_eq!(cfg.decayed_needed(), 34); // ceil(40 * 0.85)
+        let tiny = DriftConfig {
+            window: 1,
+            decay_fraction: 0.0,
+            ..DriftConfig::default()
+        };
+        assert_eq!(tiny.decayed_needed(), 1);
+    }
+
+    #[test]
+    fn config_round_trips_and_truncated_json_is_inert() {
+        let cfg = DriftConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: DriftConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        // A hand-truncated object zeroes the missing fields; the
+        // resulting zero-length window can never trigger (safe mode).
+        let partial: DriftConfig = serde_json::from_str("{\"fitness_floor\": 0.9}").unwrap();
+        assert_eq!(partial.window, 0);
+        assert_eq!(partial.decayed_needed(), 1);
+    }
+
+    #[test]
+    fn engine_config_without_drift_key_restores_to_none() {
+        // Pre-drift checkpoints lack the `drift` key entirely — the
+        // real schema-evolution path.
+        let legacy = serde_json::to_string(&crate::EngineConfig::default()).unwrap();
+        let stripped = legacy.replace(",\"drift\":null", "");
+        assert_ne!(legacy, stripped, "drift key present in current schema");
+        let cfg: crate::EngineConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(cfg.drift.is_none());
+    }
+
+    #[test]
+    fn rebuild_event_display_is_greppable() {
+        let a = gridwatch_timeseries::MeasurementId::new(
+            gridwatch_timeseries::MachineId::new(0),
+            gridwatch_timeseries::MetricKind::CpuUtilization,
+        );
+        let b = gridwatch_timeseries::MeasurementId::new(
+            gridwatch_timeseries::MachineId::new(1),
+            gridwatch_timeseries::MetricKind::CpuUtilization,
+        );
+        let event = RebuildEvent {
+            pair: MeasurementPair::new(a, b).unwrap(),
+            at: Timestamp::from_secs(360),
+            decayed: 34,
+            window: 40,
+            history_len: 120,
+            succeeded: true,
+        };
+        let text = event.to_string();
+        assert!(text.starts_with("rebuild pair="), "{text}");
+        assert!(text.contains("decayed=34/40"), "{text}");
+        assert!(text.contains("ok=true"), "{text}");
+    }
+}

@@ -7,6 +7,7 @@ use gridwatch_timeseries::{MeasurementPair, PairSeries, Point2};
 
 use crate::alarm::{AlarmEvent, AlarmTracker};
 use crate::config::EngineConfig;
+use crate::drift::{DriftRuntime, RebuildEvent};
 use crate::scores::ScoreBoard;
 use crate::snapshot::Snapshot;
 
@@ -62,6 +63,9 @@ pub struct DetectionEngine {
     training: TrainingOutcome,
     last_snapshot_at: Option<gridwatch_timeseries::Timestamp>,
     recorder: Option<gridwatch_obs::FlightRecorder>,
+    /// Drift bookkeeping; present exactly when `config.drift` is set.
+    /// Runtime-only — not persisted, rebuilt empty on restore.
+    drift: Option<DriftRuntime>,
 }
 
 impl DetectionEngine {
@@ -105,6 +109,7 @@ impl DetectionEngine {
             },
             last_snapshot_at: None,
             recorder: None,
+            drift: config.drift.map(DriftRuntime::new),
         })
     }
 
@@ -197,12 +202,46 @@ impl DetectionEngine {
                 .map(|(&pair, model)| (pair, observe_pair(model, pair, snapshot)))
                 .collect()
         };
+        if let Some(drift) = self.drift.as_mut() {
+            let fired = drift.observe(&mut self.models, self.config.model, snapshot, &results);
+            if fired > 0 {
+                if let Some(recorder) = &self.recorder {
+                    for event in drift.recent_events(fired) {
+                        recorder.record("rebuild", event);
+                    }
+                }
+            }
+        }
         for (pair, fitness) in results {
             if let Some(f) = fitness {
                 board.record(pair, f);
             }
         }
         board
+    }
+
+    /// Drains the drift layer's rebuild events accumulated since the
+    /// last drain (empty when [`EngineConfig::drift`] is unset).
+    pub fn take_rebuild_events(&mut self) -> Vec<RebuildEvent> {
+        self.drift
+            .as_mut()
+            .map(DriftRuntime::take_events)
+            .unwrap_or_default()
+    }
+
+    /// Total model rebuilds the drift layer has fired.
+    pub fn rebuild_count(&self) -> u64 {
+        self.drift
+            .as_ref()
+            .map(DriftRuntime::total_rebuilds)
+            .unwrap_or(0)
+    }
+
+    /// Benchmark probe executing exactly the per-step drift gate (the
+    /// only code the disabled drift path adds to `step_scores`).
+    #[doc(hidden)]
+    pub fn drift_gate_probe(&mut self) -> bool {
+        self.drift.is_some()
     }
 
     /// Parallel variant of the per-pair update using crossbeam scoped
@@ -281,6 +320,7 @@ impl DetectionEngine {
             },
             last_snapshot_at: None,
             recorder: None,
+            drift: config.drift.map(DriftRuntime::new),
         }
     }
 }
@@ -464,6 +504,101 @@ mod tests {
             fired.iter().any(|a| a.level == crate::AlarmLevel::System),
             "sustained break must raise a system alarm; got {fired:?}"
         );
+    }
+
+    fn drift_config() -> crate::DriftConfig {
+        crate::DriftConfig {
+            fitness_floor: 0.45,
+            window: 20,
+            decay_fraction: 0.7,
+            min_history: 30,
+            history_points: 200,
+            cooldown: 50,
+        }
+    }
+
+    #[test]
+    fn sustained_decay_triggers_rebuild_and_recovers_fitness() {
+        // Drift detection pairs with a *frozen* (non-adaptive) model: an
+        // adaptive grid extends itself over the rewired trajectory and
+        // self-heals, so fitness never decays. A frozen grid scores
+        // off-manifold points as outliers, which is exactly the
+        // sustained decay the drift layer watches for.
+        let config = EngineConfig {
+            model: gridwatch_core::ModelConfig::default().frozen(),
+            drift: Some(drift_config()),
+            ..EngineConfig::default()
+        };
+        let mut engine = DetectionEngine::train(training_pairs(), config).unwrap();
+        // Permanent rewire: measurement 2 flips between two branches, a
+        // repetitive (learnable) regime far off the trained manifold.
+        let mut decayed_scores = Vec::new();
+        let mut rebuilt_scores = Vec::new();
+        for k in 0..200u64 {
+            let load = (k % 60) as f64;
+            let rewired = if k % 2 == 0 {
+                3.0 * load
+            } else {
+                200.0 - 3.0 * load
+            };
+            let report = engine.step(&snapshot_at(k, [load + 1.0, 2.0 * load + 10.0, rewired]));
+            let before = engine.rebuild_count() == 0;
+            if let Some(q) = report.scores.system_score() {
+                if before {
+                    decayed_scores.push(q);
+                } else {
+                    rebuilt_scores.push(q);
+                }
+            }
+        }
+        assert!(engine.rebuild_count() >= 1, "drift must trigger a rebuild");
+        let events = engine.take_rebuild_events();
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|e| e.succeeded), "{events:?}");
+        // Second drain is empty (events ship exactly once).
+        assert!(engine.take_rebuild_events().is_empty());
+        // The rebuilt model fits the new regime better than the stale one.
+        let stale_mean: f64 = decayed_scores.iter().rev().take(10).sum::<f64>() / 10.0;
+        let fresh_mean: f64 =
+            rebuilt_scores.iter().rev().take(10).sum::<f64>() / rebuilt_scores.len().min(10) as f64;
+        assert!(
+            fresh_mean > stale_mean,
+            "rebuilt {fresh_mean} vs stale {stale_mean}"
+        );
+    }
+
+    #[test]
+    fn point_dips_do_not_trigger_rebuilds() {
+        let config = EngineConfig {
+            model: gridwatch_core::ModelConfig::default().frozen(),
+            drift: Some(drift_config()),
+            ..EngineConfig::default()
+        };
+        let mut engine = DetectionEngine::train(training_pairs(), config).unwrap();
+        for k in 0..200u64 {
+            let load = (k % 60) as f64;
+            // A short anomaly burst (5 steps ~ a point fault), otherwise
+            // faithful to training.
+            let v2 = if (60..65).contains(&k) {
+                -35.0
+            } else {
+                3.0 * load + 20.0
+            };
+            engine.step(&snapshot_at(k, [load + 0.5, 2.0 * load + 10.0, v2]));
+        }
+        assert_eq!(engine.rebuild_count(), 0);
+        assert!(engine.take_rebuild_events().is_empty());
+    }
+
+    #[test]
+    fn disabled_drift_layer_is_inert() {
+        let mut engine = DetectionEngine::train(training_pairs(), EngineConfig::default()).unwrap();
+        assert!(!engine.drift_gate_probe());
+        for k in 0..50u64 {
+            engine.step(&snapshot_at(k, [0.0, -100.0, 100.0]));
+        }
+        assert_eq!(engine.rebuild_count(), 0);
+        assert!(engine.take_rebuild_events().is_empty());
     }
 
     #[test]

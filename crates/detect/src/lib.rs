@@ -57,6 +57,7 @@
 
 mod alarm;
 mod config;
+mod drift;
 mod engine;
 mod incident;
 pub mod invariants;
@@ -67,6 +68,7 @@ mod snapshot;
 
 pub use alarm::{AlarmEvent, AlarmLevel, AlarmTracker};
 pub use config::{AlarmPolicy, EngineConfig, PairScreen};
+pub use drift::{DriftConfig, RebuildEvent};
 pub use engine::{DetectionEngine, NoModelsTrained, StepReport, TrainingOutcome};
 pub use incident::{IncidentReport, PairFinding};
 pub use localize::{Localizer, SuspectMachine, SuspectMeasurement};

@@ -15,6 +15,12 @@ use crate::engine::DetectionEngine;
 /// the engine exactly, so models keep the correlations learned since the
 /// last offline training, with no retraining pass.
 ///
+/// The drift layer's runtime state (decay windows, refit histories,
+/// cooldowns — see [`crate::DriftConfig`]) is deliberately *not* part of
+/// the snapshot: it is reconstructed empty from the persisted config, so
+/// a restored engine re-earns its drift evidence before rebuilding any
+/// model.
+///
 /// # Example
 ///
 /// ```

@@ -1,0 +1,83 @@
+//! Property coverage for the drift layer's false-positive behavior:
+//! on a *stationary* trace — replay drawn from the same process the
+//! model was trained on — the detector must never fire, for any seed,
+//! noise level, load rhythm, or (sane) detector tuning.
+//!
+//! This is the contract that makes `DriftConfig::default()` safe to
+//! enable everywhere: rebuilds carry real cost (refit + a model swap),
+//! so zero false rebuilds on in-distribution data is a hard floor, not
+//! a statistical hope. The engine here uses a frozen model — the
+//! configuration drift detection is designed for, and the one *most*
+//! prone to false decay, since frozen grids never absorb what they see.
+
+use gridwatch_detect::{DetectionEngine, DriftConfig, EngineConfig, Snapshot};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn id(tag: u16) -> MeasurementId {
+    MeasurementId::new(MachineId::new(0), MetricKind::Custom(tag))
+}
+
+/// One stationary sample of the two coupled measurements at tick `k`:
+/// a diurnal-ish load driving both linearly, plus bounded sensor noise.
+fn stationary(k: u64, period: u64, noise: f64, rng: &mut StdRng) -> (f64, f64) {
+    let phase = (k % period) as f64 / period as f64 * std::f64::consts::TAU;
+    let load = 30.0 + 25.0 * phase.sin();
+    let jitter = |rng: &mut StdRng| 1.0 + noise * (rng.random::<f64>() * 2.0 - 1.0);
+    (load * jitter(rng), (2.0 * load + 10.0) * jitter(rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zero rebuilds on stationary replay: the drift detector stays
+    /// silent when the data keeps looking like training, whatever the
+    /// seed, the noise, the load period, or the detector window.
+    #[test]
+    fn stationary_traces_never_trigger_a_rebuild(
+        seed in 0u64..1_000_000,
+        noise in 0.0f64..0.06,
+        period in 24u64..120,
+        window in 10u32..50,
+        decay_fraction in 0.6f64..0.95,
+        replay in 100usize..400,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pair = MeasurementPair::new(id(0), id(1)).unwrap();
+        let history = PairSeries::from_samples((0..500u64).map(|k| {
+            let (x, y) = stationary(k, period, noise, &mut rng);
+            (k * 360, x, y)
+        }))
+        .unwrap();
+        let config = EngineConfig {
+            model: gridwatch_core::ModelConfig::default().frozen(),
+            drift: Some(DriftConfig {
+                window,
+                decay_fraction,
+                ..DriftConfig::default()
+            }),
+            ..EngineConfig::default()
+        };
+        let mut engine = DetectionEngine::train(vec![(pair, history)], config).unwrap();
+
+        for k in 0..replay as u64 {
+            let (x, y) = stationary(500 + k, period, noise, &mut rng);
+            let mut snap = Snapshot::new(Timestamp::from_secs((500 + k) * 360));
+            snap.insert(id(0), x);
+            snap.insert(id(1), y);
+            engine.step_scores(&snap);
+            prop_assert_eq!(
+                engine.rebuild_count(),
+                0,
+                "false rebuild at stationary step {} (seed {}, noise {}, period {}, \
+                 window {}, fraction {})",
+                k, seed, noise, period, window, decay_fraction
+            );
+        }
+        prop_assert!(engine.take_rebuild_events().is_empty());
+    }
+}

@@ -52,7 +52,7 @@ use gridwatch_detect::{
 use gridwatch_obs::{PipelineObs, Stage};
 
 use crate::checkpoint::{CheckpointError, CheckpointManifest, Checkpointer};
-use crate::ingest::{BackpressurePolicy, IngestReport};
+use crate::ingest::{BackpressurePolicy, IngestReport, SamplingConfig};
 use crate::router::ShardRouter;
 use crate::stats::{ServeStats, StatsAccumulator};
 
@@ -66,6 +66,12 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// What the ingestion front does when a queue is full.
     pub backpressure: BackpressurePolicy,
+    /// Overload-aware adaptive sampling: when set and the deepest
+    /// shard queue crosses the watermark, the ingestion front sheds a
+    /// stratified subsample of incoming snapshots with explicit
+    /// coverage accounting, instead of letting the backpressure policy
+    /// lose arbitrary instants. `None` disables sampling.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +80,7 @@ impl Default for ServeConfig {
             shards: 1,
             queue_capacity: 64,
             backpressure: BackpressurePolicy::Block,
+            sampling: None,
         }
     }
 }
@@ -96,6 +103,9 @@ enum ShardReply {
         seq: u64,
         board: ScoreBoard,
         elapsed_ns: u64,
+        /// Pair-model rebuilds the shard's drift layer fired while
+        /// scoring this snapshot (0 when the drift layer is off).
+        rebuilds: u64,
     },
     /// The ingestion front evicted this sequence number from this
     /// shard's queue; the shard will never score it.
@@ -155,6 +165,10 @@ pub struct ShardedEngine {
     obs: PipelineObs,
     next_seq: u64,
     next_ckpt_id: u64,
+    /// Monotone submit counter driving the sampling stride (counts
+    /// only submits made while sampling is engaged, so coverage is
+    /// exactly 1-in-`stride` during each overload episode).
+    sample_tick: u64,
     workers: Vec<JoinHandle<()>>,
     aggregator: JoinHandle<()>,
 }
@@ -238,11 +252,15 @@ impl ShardedEngine {
             shard_stealers.push(rx.clone());
             shard_senders.push(tx);
             let reply = reply_tx.clone();
-            let engine = DetectionEngine::from_snapshot(EngineSnapshot {
+            let mut engine = DetectionEngine::from_snapshot(EngineSnapshot {
                 config: shard_config,
                 models: part,
                 tracker: AlarmTracker::new(),
             });
+            // Shard engines share the flight recorder so drift-layer
+            // rebuild events land in the same ring as alarms and
+            // checkpoints (and flow to the history store from there).
+            engine.attach_recorder(obs.recorder.clone());
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("gw-shard-{k}"))
@@ -280,6 +298,7 @@ impl ShardedEngine {
             obs,
             next_seq: 0,
             next_ckpt_id: 0,
+            sample_tick: 0,
             workers,
             aggregator,
         }
@@ -309,12 +328,35 @@ impl ShardedEngine {
         // capacity planning, and `Reject` reuses the same reading for
         // its admission check.
         let depths: Vec<usize> = self.shard_senders.iter().map(|tx| tx.len()).collect();
+        // Overload sampling runs before any backpressure policy: a shed
+        // snapshot reaches no queue at all, so every shard sees the
+        // same (stratified) substream and merged boards stay complete.
+        if let Some(sampling) = self.config.sampling {
+            let deepest = depths.iter().copied().max().unwrap_or(0);
+            if sampling.stride >= 2 && deepest >= sampling.watermark(self.config.queue_capacity) {
+                let tick = self.sample_tick;
+                self.sample_tick += 1;
+                if !tick.is_multiple_of(u64::from(sampling.stride)) {
+                    let mut acc = self.stats.lock().expect("stats lock");
+                    for (k, &depth) in depths.iter().enumerate() {
+                        acc.per_shard[k].observe_queue_depth(depth);
+                    }
+                    acc.sampled_out += 1;
+                    return IngestReport {
+                        seq: None,
+                        evicted: 0,
+                        sampled_out: true,
+                    };
+                }
+            }
+        }
         match self.config.backpressure {
             BackpressurePolicy::Block => {
                 let seq = self.broadcast_blocking(snapshot, &depths);
                 IngestReport {
                     seq: Some(seq),
                     evicted: 0,
+                    sampled_out: false,
                 }
             }
             BackpressurePolicy::Reject => {
@@ -330,12 +372,14 @@ impl ShardedEngine {
                     return IngestReport {
                         seq: None,
                         evicted: 0,
+                        sampled_out: false,
                     };
                 }
                 let seq = self.broadcast_blocking(snapshot, &depths);
                 IngestReport {
                     seq: Some(seq),
                     evicted: 0,
+                    sampled_out: false,
                 }
             }
             BackpressurePolicy::DropOldest => {
@@ -375,6 +419,7 @@ impl ShardedEngine {
                 IngestReport {
                     seq: Some(seq),
                     evicted: evicted_total,
+                    sampled_out: false,
                 }
             }
         }
@@ -638,12 +683,17 @@ fn worker_loop(
                 let start = Instant::now();
                 let board = engine.step_scores(&snap);
                 let elapsed_ns = start.elapsed().as_nanos() as u64;
+                // Drain drift-layer rebuilds fired by this step; the
+                // events themselves already reached the flight recorder
+                // inside step_scores, so only the count travels here.
+                let rebuilds = engine.take_rebuild_events().len() as u64;
                 if reply
                     .send(ShardReply::Scores {
                         shard,
                         seq,
                         board,
                         elapsed_ns,
+                        rebuilds,
                     })
                     .is_err()
                 {
@@ -684,12 +734,17 @@ fn aggregator_loop(
                 seq,
                 board,
                 elapsed_ns,
+                rebuilds,
             } => {
                 // The worker measured its `step_scores` wall time; the
                 // aggregator owns the roll-ups, so both the per-shard
                 // histogram and the Score stage are fed here.
                 obs.tracer.record_ns(Stage::Score, elapsed_ns);
-                stats.lock().expect("stats lock").per_shard[shard].observe_latency(elapsed_ns);
+                {
+                    let mut acc = stats.lock().expect("stats lock");
+                    acc.per_shard[shard].observe_latency(elapsed_ns);
+                    acc.rebuilds += rebuilds;
+                }
                 let merge = obs.tracer.span(Stage::Merge);
                 let entry = pending.entry(seq).or_default();
                 entry.replies += 1;
@@ -921,6 +976,7 @@ mod tests {
                     shards,
                     queue_capacity: 4,
                     backpressure: BackpressurePolicy::Block,
+                    sampling: None,
                 },
             );
             for snap in &trace {
@@ -948,6 +1004,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 4,
                 backpressure: BackpressurePolicy::Block,
+                sampling: None,
             },
         );
         let mut streamed = Vec::new();
@@ -980,6 +1037,7 @@ mod tests {
                 shards: 3,
                 queue_capacity: 8,
                 backpressure: BackpressurePolicy::Block,
+                sampling: None,
             },
         );
         for snap in &trace {
@@ -1010,6 +1068,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 4,
                 backpressure: BackpressurePolicy::Block,
+                sampling: None,
             },
         );
         let dir = scratch_dir("ckpt-continue");
@@ -1034,6 +1093,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 1,
                 backpressure: BackpressurePolicy::DropOldest,
+                sampling: None,
             },
         );
         let mut evicted = 0;
@@ -1061,6 +1121,85 @@ mod tests {
     }
 
     #[test]
+    fn overload_sampling_sheds_with_explicit_coverage_accounting() {
+        let snapshot = trained();
+        let pair_count = snapshot.models.len();
+        // A 1-deep queue with a watermark at 100% engages the sampler
+        // whenever the worker has not yet drained the previous
+        // snapshot, which a tight submit loop guarantees plenty of.
+        let mut engine = ShardedEngine::start(
+            snapshot,
+            ServeConfig {
+                shards: 1,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::Block,
+                sampling: Some(SamplingConfig {
+                    watermark_pct: 100,
+                    stride: 2,
+                }),
+            },
+        );
+        let offered = 400u64;
+        let mut shed = 0u64;
+        for k in 0..offered {
+            let snap = trace(1).pop().unwrap();
+            let _ = k;
+            let report = engine.submit(snap);
+            if report.sampled_out {
+                assert!(report.seq.is_none(), "a shed snapshot gets no seq");
+                assert_eq!(report.evicted, 0);
+                shed += 1;
+            }
+        }
+        let (reports, stats) = engine.shutdown();
+        assert_eq!(stats.sampled_out, shed);
+        assert!(stats.sampled_out > 0, "flood must engage the sampler");
+        assert_eq!(stats.submitted + stats.sampled_out, offered);
+        // Quality accounting: coverage is exactly the admitted share.
+        let want = stats.submitted as f64 / offered as f64;
+        assert!(
+            (stats.coverage_fraction - want).abs() < 1e-12,
+            "coverage {} vs {}",
+            stats.coverage_fraction,
+            want
+        );
+        // A shed snapshot reaches no queue: every admitted instant is
+        // scored by every shard, so all boards stay complete.
+        assert_eq!(reports.len() as u64, stats.submitted);
+        assert_eq!(stats.empty_steps, 0);
+        for report in &reports {
+            assert_eq!(report.scores.len(), pair_count);
+        }
+    }
+
+    #[test]
+    fn sampling_below_watermark_never_sheds() {
+        let snapshot = trained();
+        let trace = trace(24);
+        let want = reference_reports(snapshot.clone(), &trace);
+        // Capacity far above the trace length: the watermark is
+        // unreachable, so the report stream is bit-identical to an
+        // unsampled engine's and coverage stays 1.0.
+        let mut engine = ShardedEngine::start(
+            snapshot,
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 1024,
+                backpressure: BackpressurePolicy::Block,
+                sampling: Some(SamplingConfig::default()),
+            },
+        );
+        for snap in &trace {
+            let report = engine.submit(snap.clone());
+            assert!(!report.sampled_out);
+        }
+        let (reports, stats) = engine.shutdown();
+        assert_eq!(reports, want);
+        assert_eq!(stats.sampled_out, 0);
+        assert!((stats.coverage_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn reject_keeps_accepted_stream_consistent() {
         let snapshot = trained();
         let trace = trace(60);
@@ -1070,6 +1209,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 1,
                 backpressure: BackpressurePolicy::Reject,
+                sampling: None,
             },
         );
         let pair_count = snapshot.models.len();
@@ -1101,6 +1241,7 @@ mod tests {
                 shards: 4,
                 queue_capacity: 8,
                 backpressure: BackpressurePolicy::Block,
+                sampling: None,
             },
         );
         for snap in &trace {
@@ -1133,6 +1274,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 4,
                 backpressure: BackpressurePolicy::Block,
+                sampling: None,
             },
             obs.clone(),
         );
@@ -1173,6 +1315,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 4,
                 backpressure: BackpressurePolicy::Block,
+                sampling: None,
             },
         );
         for snap in &trace {
@@ -1200,6 +1343,7 @@ mod tests {
                 shards: 4,
                 queue_capacity: 8,
                 backpressure: BackpressurePolicy::Block,
+                sampling: None,
             },
         );
         for snap in head {
@@ -1218,6 +1362,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 8,
                 backpressure: BackpressurePolicy::Block,
+                sampling: None,
             },
         );
         for snap in tail {

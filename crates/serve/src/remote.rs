@@ -264,6 +264,11 @@ pub fn decode_response(payload: &[u8]) -> Result<FabricResponse, FabricError> {
 }
 
 /// What a downstream (coordinator → worker) payload turned out to be.
+//
+// Same situation as `FabricControl` above: `Control(Hello)` dwarfs the
+// snapshot variant, but controls arrive once per session, not per
+// snapshot, so boxing buys nothing on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Downstream {
     /// A snapshot frame in the standard JSON wire encoding.

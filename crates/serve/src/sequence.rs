@@ -29,12 +29,25 @@ pub enum Admission {
     /// was abandoned: `skipped` sequence numbers are given up as lost
     /// and the oldest buffered run is released.
     GapAbandoned {
-        /// Sequence numbers skipped over (lost frames).
+        /// Sequence numbers skipped over (lost frames), saturated at
+        /// [`MAX_COUNTED_GAP`] so a skewed client jumping to an absurd
+        /// sequence number cannot inflate loss accounting.
         skipped: u64,
         /// The frames released by jumping the gap, in order.
         released: Vec<Snapshot>,
     },
 }
+
+/// Ceiling on the `skipped` count a single abandoned gap reports.
+///
+/// The jump itself is unbounded — `next` always moves to the oldest
+/// buffered frame, whatever its number — but the *counted* loss is
+/// capped. A client with a skewed clock (or a corrupted counter) that
+/// leaps from sequence 10 to 10^15 has lost at most its reorder window
+/// of real frames, not a quadrillion; feeding the raw difference into
+/// loss metrics would swamp them with a number that measures the skew,
+/// not the loss.
+pub const MAX_COUNTED_GAP: u64 = 65_536;
 
 /// Sequencing state for one source.
 #[derive(Debug, Default)]
@@ -124,7 +137,7 @@ impl SourceTable {
             // sequencing hiccup must never take down a listener thread.
             return Admission::Buffered;
         };
-        let skipped = oldest - state.next;
+        let skipped = (oldest - state.next).min(MAX_COUNTED_GAP);
         state.next = oldest;
         let mut released = Vec::new();
         state.drain_ready(&mut released);
@@ -235,6 +248,39 @@ mod tests {
         // The late originals are now duplicates, not regressions.
         assert_eq!(table.admit("a", 0, snap(0)), Admission::Duplicate);
         assert_eq!(ready_times(table.admit("a", 5, snap(5))), vec![5]);
+    }
+
+    #[test]
+    fn absurd_sequence_jump_saturates_the_counted_gap() {
+        let mut table = SourceTable::new(2);
+        table.admit("a", 0, snap(0));
+        // A skewed client leaps forward by ~10^15: the stream recovers
+        // (next follows the jump) but the reported loss saturates.
+        let far = 1 << 50;
+        assert_eq!(table.admit("a", far, snap(1)), Admission::Buffered);
+        assert_eq!(table.admit("a", far + 1, snap(2)), Admission::Buffered);
+        match table.admit("a", far + 2, snap(3)) {
+            Admission::GapAbandoned { skipped, released } => {
+                assert_eq!(skipped, MAX_COUNTED_GAP, "counted loss is capped");
+                assert_eq!(released.len(), 3);
+            }
+            other => panic!("expected GapAbandoned, got {other:?}"),
+        }
+        // Progress really did jump: the stream continues after the leap.
+        assert_eq!(table.progress()["a"], far + 3);
+        assert_eq!(ready_times(table.admit("a", far + 3, snap(4))), vec![4]);
+    }
+
+    #[test]
+    fn modest_gaps_still_report_their_exact_size() {
+        let mut table = SourceTable::new(1);
+        assert_eq!(table.admit("a", 7, snap(7)), Admission::Buffered);
+        match table.admit("a", 9, snap(9)) {
+            Admission::GapAbandoned { skipped, .. } => {
+                assert_eq!(skipped, 7, "real gaps below the cap are exact");
+            }
+            other => panic!("expected GapAbandoned, got {other:?}"),
+        }
     }
 
     #[test]

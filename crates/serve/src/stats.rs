@@ -152,6 +152,19 @@ pub struct ServeStats {
     /// Checkpoints completed.
     #[serde(default)]
     pub checkpoints: u64,
+    /// Snapshots shed by overload sampling before reaching any queue
+    /// (see [`crate::SamplingConfig`]).
+    #[serde(default)]
+    pub sampled_out: u64,
+    /// Fraction of offered snapshots actually admitted past the
+    /// sampler: `submitted / (submitted + sampled_out)`, or `1.0`
+    /// before anything was offered. Pre-sampling dumps parse to `0.0`
+    /// here (field default), which readers should treat as "unknown".
+    #[serde(default)]
+    pub coverage_fraction: f64,
+    /// Pair-model rebuilds fired by the shards' drift layers.
+    #[serde(default)]
+    pub rebuilds: u64,
     /// Wire-path counters (all zero when serving a local replay).
     #[serde(default)]
     pub net: NetStats,
@@ -213,6 +226,18 @@ impl ServeStats {
             "Checkpoints completed.",
         );
         expo.sample("gridwatch_checkpoints_total", &[], self.checkpoints);
+        expo.header(
+            "gridwatch_sampled_out_total",
+            "counter",
+            "Snapshots shed by overload sampling before reaching any queue.",
+        );
+        expo.sample("gridwatch_sampled_out_total", &[], self.sampled_out);
+        expo.header(
+            "gridwatch_rebuilds_total",
+            "counter",
+            "Pair-model rebuilds fired by the shards' drift layers.",
+        );
+        expo.sample("gridwatch_rebuilds_total", &[], self.rebuilds);
 
         expo.header(
             "gridwatch_shard_pairs",
@@ -398,6 +423,8 @@ pub(crate) struct StatsAccumulator {
     pub(crate) empty_steps: u64,
     pub(crate) alarms: u64,
     pub(crate) checkpoints: u64,
+    pub(crate) sampled_out: u64,
+    pub(crate) rebuilds: u64,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -458,6 +485,16 @@ impl StatsAccumulator {
             empty_steps: self.empty_steps,
             alarms: self.alarms,
             checkpoints: self.checkpoints,
+            sampled_out: self.sampled_out,
+            coverage_fraction: {
+                let offered = self.submitted + self.sampled_out;
+                if offered == 0 {
+                    1.0
+                } else {
+                    self.submitted as f64 / offered as f64
+                }
+            },
+            rebuilds: self.rebuilds,
             net: NetStats::default(),
         }
     }
@@ -575,7 +612,9 @@ mod tests {
             "\"queue_depths\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},",
             "\"backpressure_wait_ns\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]}}],",
             "\"submitted\":0,\"rejected\":0,\"reports\":0,\"empty_steps\":0,",
-            "\"alarms\":0,\"checkpoints\":0,\"net\":{\"accepted\":0,\"closed\":0,",
+            "\"alarms\":0,\"checkpoints\":0,\"sampled_out\":0,",
+            "\"coverage_fraction\":1.0,\"rebuilds\":0,",
+            "\"net\":{\"accepted\":0,\"closed\":0,",
             "\"frames\":0,\"decode_errors\":0,\"timeouts\":0,\"deadline_failures\":0,",
             "\"rejected\":0,",
             "\"dropped\":0,\"duplicates\":0,\"out_of_order\":0,\"gap_skips\":0,",
@@ -622,6 +661,12 @@ gridwatch_alarms_total 1
 # HELP gridwatch_checkpoints_total Checkpoints completed.
 # TYPE gridwatch_checkpoints_total counter
 gridwatch_checkpoints_total 0
+# HELP gridwatch_sampled_out_total Snapshots shed by overload sampling before reaching any queue.
+# TYPE gridwatch_sampled_out_total counter
+gridwatch_sampled_out_total 0
+# HELP gridwatch_rebuilds_total Pair-model rebuilds fired by the shards' drift layers.
+# TYPE gridwatch_rebuilds_total counter
+gridwatch_rebuilds_total 0
 # HELP gridwatch_shard_pairs Pair models owned by each shard.
 # TYPE gridwatch_shard_pairs gauge
 gridwatch_shard_pairs{shard=\"0\"} 2

@@ -108,6 +108,7 @@ fn sharded_reports(case: &Case, shards: usize, queue_capacity: usize) -> Vec<Ste
             shards,
             queue_capacity,
             backpressure: BackpressurePolicy::Block,
+            sampling: None,
         },
     );
     for snap in &case.trace {

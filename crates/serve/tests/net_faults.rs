@@ -31,6 +31,7 @@ fn serve_config() -> ServeConfig {
         shards: 2,
         queue_capacity: 8,
         backpressure: BackpressurePolicy::Block,
+        sampling: None,
     }
 }
 
@@ -457,6 +458,7 @@ fn lossy_flood_never_wedges_the_listener() {
             shards: 2,
             queue_capacity: 2,
             backpressure: BackpressurePolicy::DropOldest,
+            sampling: None,
         },
         NetConfig {
             ingest_capacity: 2,

@@ -6,6 +6,13 @@
 //! applied — the table neither double-counts a lost frame nor loses
 //! track of one. And after a resume, progress (which excludes pending
 //! reorder buffers) admits exactly the unapplied suffix again.
+//!
+//! The exact-accounting property below holds only while every gap is
+//! narrower than `MAX_COUNTED_GAP` (65 536): beyond it the reported
+//! `skipped` saturates by design (skew tolerance, see `sequence.rs`).
+//! The generators here keep sequence numbers under 200, far below the
+//! cap, so exactness is the property being tested; the saturating case
+//! has its own unit test.
 
 use std::collections::BTreeSet;
 

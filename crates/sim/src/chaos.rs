@@ -1,0 +1,621 @@
+//! Chaos regimes: hostile-conditions scenario generation with typed
+//! ground truth.
+//!
+//! The base [`fault`](crate::fault) taxonomy covers clean point faults;
+//! production systems also *drift*. Workloads are non-stationary, clocks
+//! skew, sources flap, and load bursts overrun queues — conditions that
+//! stress the detector's assumptions rather than just its thresholds.
+//! This module scripts those conditions as [`ChaosEvent`]s composed on
+//! top of the fault schedule, each carrying the same exact half-open
+//! ground-truth window so the evaluation can score detection latency,
+//! precision/recall, and false-rebuild rate per regime.
+//!
+//! Ground-truth semantics per kind:
+//!
+//! * [`ChaosKind::DriftRewire`] breaks the learned correlation
+//!   *gradually* — it must eventually alarm **and** trigger a model
+//!   rebuild (the paper's adaptive-modeling case);
+//! * [`ChaosKind::ClockSkew`], [`ChaosKind::Flapping`], and
+//!   [`ChaosKind::OverloadBurst`] preserve correlations — they must
+//!   **not** alarm and must **not** trigger rebuilds (robustness
+//!   controls);
+//! * cascades reuse [`FaultKind`](crate::fault::FaultKind) events
+//!   staggered across machines and inherit their alarm semantics.
+
+use serde::{Deserialize, Serialize};
+
+use gridwatch_timeseries::{GroupId, MachineId, MeasurementId, MetricKind, Timestamp};
+
+use crate::fault::{FaultEvent, FaultKind, FaultSchedule};
+use crate::infra::Infrastructure;
+use crate::metrics::MetricModel;
+use crate::scenario::{MONTH_DAYS, TEST_DAY};
+use crate::trace::{Trace, TraceGenerator};
+use crate::workload::WorkloadConfig;
+
+/// The kind of injected chaos condition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ChaosKind {
+    /// Concept drift: the target measurement's response model morphs
+    /// into `to` over `ramp_secs` (0 = sudden), permanently rewiring
+    /// its correlations. The detector should alarm *and* rebuild.
+    DriftRewire {
+        /// The measurement whose response model drifts.
+        target: MeasurementId,
+        /// The response model the measurement drifts toward.
+        to: MetricModel,
+        /// Seconds over which the drift ramps from 0 to 100% (0 for a
+        /// sudden rewire).
+        ramp_secs: u64,
+    },
+    /// The machine's sampling clock lags: its metrics respond to the
+    /// global load from `skew_ticks` sampling intervals ago.
+    /// Correlations within the machine persist; cross-machine pairs
+    /// blur slightly but stay inside the trained grid.
+    ClockSkew {
+        /// The machine whose clock lags.
+        machine: MachineId,
+        /// How many sampling intervals the machine lags behind.
+        skew_ticks: u32,
+    },
+    /// The machine's monitoring agent flaps: it reports for
+    /// `duty_ticks` out of every `period_ticks` sampling intervals and
+    /// goes silent in between, leaving gaps in its series.
+    Flapping {
+        /// The machine whose agent flaps.
+        machine: MachineId,
+        /// Full on/off cycle length, in sampling intervals.
+        period_ticks: u32,
+        /// Intervals per cycle during which the agent reports.
+        duty_ticks: u32,
+    },
+    /// A correlation-preserving overload burst: the global workload
+    /// multiplies by `factor`, stressing ingest queues downstream
+    /// without breaking any pairwise correlation.
+    OverloadBurst {
+        /// Multiplier on the global workload during the window.
+        factor: f64,
+    },
+}
+
+impl ChaosKind {
+    /// Whether this condition should raise an alarm (breaks the learned
+    /// correlation structure). Only drift rewires do; the rest are
+    /// robustness controls that must stay silent.
+    pub fn should_alarm(&self) -> bool {
+        matches!(self, ChaosKind::DriftRewire { .. })
+    }
+
+    /// Whether this condition should trigger a model rebuild (the
+    /// correlation change is permanent, not a transient fault).
+    pub fn expects_rebuild(&self) -> bool {
+        matches!(self, ChaosKind::DriftRewire { .. })
+    }
+
+    /// The machine this condition localizes to, if any.
+    pub fn machine(&self) -> Option<MachineId> {
+        match self {
+            ChaosKind::DriftRewire { target, .. } => Some(target.machine()),
+            ChaosKind::ClockSkew { machine, .. } => Some(*machine),
+            ChaosKind::Flapping { machine, .. } => Some(*machine),
+            ChaosKind::OverloadBurst { .. } => None,
+        }
+    }
+}
+
+/// One chaos condition: a kind plus its half-open active window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosEvent {
+    /// What condition holds.
+    pub kind: ChaosKind,
+    /// Start of the condition (inclusive).
+    pub start: Timestamp,
+    /// End of the condition (exclusive).
+    pub end: Timestamp,
+}
+
+impl ChaosEvent {
+    /// Creates a chaos event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(kind: ChaosKind, start: Timestamp, end: Timestamp) -> Self {
+        assert!(start < end, "chaos window must be non-empty");
+        ChaosEvent { kind, start, end }
+    }
+
+    /// Whether the condition is active at `t`.
+    pub fn is_active_at(&self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A scripted schedule of chaos conditions — ground truth for the
+/// hostile-conditions evaluation, composed with a [`FaultSchedule`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSchedule {
+    events: Vec<ChaosEvent>,
+}
+
+impl ChaosSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        ChaosSchedule::default()
+    }
+
+    /// Adds an event.
+    pub fn push(&mut self, event: ChaosEvent) {
+        self.events.push(event);
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events active at `t`.
+    pub fn active_at(&self, t: Timestamp) -> impl Iterator<Item = &ChaosEvent> + '_ {
+        self.events.iter().filter(move |e| e.is_active_at(t))
+    }
+
+    /// Whether any alarm-worthy condition is active at `t`.
+    pub fn truth_label(&self, t: Timestamp) -> bool {
+        self.active_at(t).any(|e| e.kind.should_alarm())
+    }
+
+    /// The alarm-worthy windows, for scoring.
+    pub fn truth_windows(&self) -> Vec<(Timestamp, Timestamp)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind.should_alarm())
+            .map(|e| (e.start, e.end))
+            .collect()
+    }
+
+    /// The windows during (or after) which a model rebuild is the
+    /// correct response — rebuilds observed wholly outside these count
+    /// as false rebuilds.
+    pub fn rebuild_windows(&self) -> Vec<(Timestamp, Timestamp)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind.expects_rebuild())
+            .map(|e| (e.start, e.end))
+            .collect()
+    }
+}
+
+impl FromIterator<ChaosEvent> for ChaosSchedule {
+    fn from_iter<T: IntoIterator<Item = ChaosEvent>>(iter: T) -> Self {
+        ChaosSchedule {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The named chaos regimes the evaluation matrix runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChaosRegime {
+    /// Gradual concept drift: one measurement's response model rewires
+    /// over a few hours and stays rewired.
+    Drift,
+    /// One machine's clock lags the global load by a couple of ticks.
+    Skew,
+    /// One machine's monitoring agent flaps on and off.
+    Flapping,
+    /// A correlation-preserving global overload burst.
+    Overload,
+    /// A correlated multi-machine fault cascade (staggered point
+    /// faults across three machines).
+    Cascade,
+}
+
+impl ChaosRegime {
+    /// Every regime, in evaluation order.
+    pub const ALL: [ChaosRegime; 5] = [
+        ChaosRegime::Drift,
+        ChaosRegime::Skew,
+        ChaosRegime::Flapping,
+        ChaosRegime::Overload,
+        ChaosRegime::Cascade,
+    ];
+
+    /// The regime's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosRegime::Drift => "drift",
+            ChaosRegime::Skew => "skew",
+            ChaosRegime::Flapping => "flapping",
+            ChaosRegime::Overload => "overload",
+            ChaosRegime::Cascade => "cascade",
+        }
+    }
+}
+
+impl std::fmt::Display for ChaosRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ChaosRegime {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "drift" => Ok(ChaosRegime::Drift),
+            "skew" => Ok(ChaosRegime::Skew),
+            "flapping" => Ok(ChaosRegime::Flapping),
+            "overload" => Ok(ChaosRegime::Overload),
+            "cascade" => Ok(ChaosRegime::Cascade),
+            other => Err(format!(
+                "unknown chaos regime {other:?} \
+                 (expected drift, skew, flapping, overload, or cascade)"
+            )),
+        }
+    }
+}
+
+/// A generated chaos scenario: the trace plus both ground-truth layers.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// The generated monitoring data (chaos applied).
+    pub trace: Trace,
+    /// Point faults injected alongside (cascade regimes use these).
+    pub faults: FaultSchedule,
+    /// The chaos conditions injected.
+    pub chaos: ChaosSchedule,
+    /// Which regime this scenario realizes.
+    pub regime: ChaosRegime,
+    /// The group simulated.
+    pub group: GroupId,
+}
+
+impl ChaosScenario {
+    /// Whether an alarm is expected at `t` under either truth layer.
+    pub fn truth_label(&self, t: Timestamp) -> bool {
+        self.faults.truth_label(t) || self.chaos.truth_label(t)
+    }
+
+    /// All alarm-worthy windows from both truth layers, sorted by
+    /// start.
+    pub fn truth_windows(&self) -> Vec<(Timestamp, Timestamp)> {
+        let mut windows = self.faults.truth_windows();
+        windows.extend(self.chaos.truth_windows());
+        windows.sort();
+        windows
+    }
+
+    /// The combined ground truth as one [`FaultSchedule`]-shaped
+    /// overlay, for scoring with the existing evaluation metrics: each
+    /// alarm-worthy chaos window is represented as a synthetic
+    /// correlation-breaking fault over the same window.
+    pub fn truth_schedule(&self) -> FaultSchedule {
+        let mut schedule = self.faults.clone();
+        for e in self.chaos.events() {
+            if let ChaosKind::DriftRewire { target, .. } = e.kind {
+                schedule.push(FaultEvent::new(
+                    FaultKind::CorrelationBreak { target, level: 0.0 },
+                    e.start,
+                    e.end,
+                ));
+            }
+        }
+        schedule
+    }
+}
+
+/// Seconds in an hour, for window arithmetic below.
+const HOUR: u64 = 3600;
+
+/// Builds the canonical one-month scenario for a regime: clean training
+/// weeks, then the regime's hostile conditions starting on the paper's
+/// test day. Machine indices wrap into `machines`, so small
+/// infrastructures still get every regime.
+pub fn chaos_scenario(regime: ChaosRegime, machines: usize, seed: u64) -> ChaosScenario {
+    let group = GroupId::A;
+    let infra = Infrastructure::standard_group(group, machines, seed);
+    let day = Timestamp::from_days(TEST_DAY).as_secs();
+    let machine = |k: usize| MachineId::new((k % machines.max(1)) as u32);
+
+    let mut faults = FaultSchedule::new();
+    let mut chaos = ChaosSchedule::new();
+    match regime {
+        ChaosRegime::Drift => {
+            // Machine 0's out-traffic rate gradually rewires: the linear
+            // coupling to load flattens and gains a large offset, so the
+            // (in, out) joint trajectory migrates out of the trained
+            // grid and stays there. Two hours of ramp, permanent after.
+            let target = MeasurementId::new(machine(0), MetricKind::IfOutOctetsRate);
+            let base = drifted_model(&infra, target);
+            chaos.push(ChaosEvent::new(
+                ChaosKind::DriftRewire {
+                    target,
+                    to: base,
+                    ramp_secs: 2 * HOUR,
+                },
+                Timestamp::from_secs(day + 2 * HOUR),
+                Timestamp::from_days(MONTH_DAYS),
+            ));
+        }
+        ChaosRegime::Skew => {
+            chaos.push(ChaosEvent::new(
+                ChaosKind::ClockSkew {
+                    machine: machine(1),
+                    skew_ticks: 2,
+                },
+                Timestamp::from_secs(day + 2 * HOUR),
+                Timestamp::from_secs(day + 20 * HOUR),
+            ));
+        }
+        ChaosRegime::Flapping => {
+            chaos.push(ChaosEvent::new(
+                ChaosKind::Flapping {
+                    machine: machine(2),
+                    period_ticks: 10,
+                    duty_ticks: 5,
+                },
+                Timestamp::from_secs(day + 2 * HOUR),
+                Timestamp::from_secs(day + 20 * HOUR),
+            ));
+        }
+        ChaosRegime::Overload => {
+            chaos.push(ChaosEvent::new(
+                ChaosKind::OverloadBurst { factor: 2.5 },
+                Timestamp::from_secs(day + 4 * HOUR),
+                Timestamp::from_secs(day + 8 * HOUR),
+            ));
+        }
+        ChaosRegime::Cascade => {
+            // Staggered correlated failures marching across machines,
+            // overlapping pairwise: break, degradation, stuck sensor.
+            faults.push(FaultEvent::new(
+                FaultKind::CorrelationBreak {
+                    target: MeasurementId::new(machine(0), MetricKind::IfOutOctetsRate),
+                    level: 0.5,
+                },
+                Timestamp::from_secs(day + 8 * HOUR),
+                Timestamp::from_secs(day + 10 * HOUR),
+            ));
+            faults.push(FaultEvent::new(
+                FaultKind::MachineDegradation {
+                    machine: machine(1),
+                    share_factor: 0.25,
+                    extra_noise: 0.20,
+                },
+                Timestamp::from_secs(day + 9 * HOUR),
+                Timestamp::from_secs(day + 11 * HOUR),
+            ));
+            faults.push(FaultEvent::new(
+                FaultKind::SensorStuck {
+                    target: MeasurementId::new(machine(2), MetricKind::CpuUtilization),
+                },
+                Timestamp::from_secs(day + 10 * HOUR),
+                Timestamp::from_secs(day + 12 * HOUR),
+            ));
+        }
+    }
+
+    let generator = TraceGenerator::new(infra, WorkloadConfig::default(), faults.clone(), seed)
+        .with_chaos(chaos.clone());
+    let trace = generator.generate(Timestamp::EPOCH, Timestamp::from_days(MONTH_DAYS));
+    ChaosScenario {
+        trace,
+        faults,
+        chaos,
+        regime,
+        group,
+    }
+}
+
+/// The post-drift response model for `target`: an inverted, *steeper*
+/// version of its trained model. The inversion anti-correlates the
+/// measurement with its in-traffic partner; the amplified slope makes
+/// every tick-to-tick load change move the value several trained grid
+/// cells at once (and beyond the trained range at the extremes), so a
+/// frozen transition grid scores the rewired trajectory as sustained
+/// outliers rather than silently following it — that is what makes the
+/// drift *detectable*. A model refit on post-drift history spans the
+/// new range and scores it smoothly again, which is what makes the
+/// rebuild *recover* fitness.
+fn drifted_model(infra: &Infrastructure, target: MeasurementId) -> MetricModel {
+    let scale = infra
+        .machines()
+        .iter()
+        .find(|m| m.id == target.machine())
+        .and_then(|m| m.metrics.iter().find(|s| s.kind == target.metric()))
+        .map(|s| s.model.output_scale())
+        .unwrap_or(1.0);
+    MetricModel::Linear {
+        scale: -4.0 * scale,
+        offset: 3.5 * scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_timeseries::stats::pearson;
+
+    #[test]
+    fn regime_names_round_trip() {
+        for regime in ChaosRegime::ALL {
+            assert_eq!(regime.name().parse::<ChaosRegime>().unwrap(), regime);
+        }
+        assert!("mayhem".parse::<ChaosRegime>().is_err());
+    }
+
+    #[test]
+    fn truth_semantics_per_kind() {
+        let target = MeasurementId::new(MachineId::new(0), MetricKind::CpuUtilization);
+        let drift = ChaosKind::DriftRewire {
+            target,
+            to: MetricModel::Independent { mean: 1.0 },
+            ramp_secs: 0,
+        };
+        assert!(drift.should_alarm());
+        assert!(drift.expects_rebuild());
+        for silent in [
+            ChaosKind::ClockSkew {
+                machine: MachineId::new(1),
+                skew_ticks: 2,
+            },
+            ChaosKind::Flapping {
+                machine: MachineId::new(1),
+                period_ticks: 10,
+                duty_ticks: 5,
+            },
+            ChaosKind::OverloadBurst { factor: 2.0 },
+        ] {
+            assert!(!silent.should_alarm(), "{silent:?}");
+            assert!(!silent.expects_rebuild(), "{silent:?}");
+        }
+        assert_eq!(drift.machine(), Some(MachineId::new(0)));
+        assert_eq!(ChaosKind::OverloadBurst { factor: 2.0 }.machine(), None);
+    }
+
+    #[test]
+    fn drift_scenario_has_truth_and_rebuild_windows() {
+        let s = chaos_scenario(ChaosRegime::Drift, 3, 11);
+        assert_eq!(s.chaos.truth_windows().len(), 1);
+        assert_eq!(s.chaos.rebuild_windows().len(), 1);
+        assert!(s.truth_label(Timestamp::from_secs(
+            Timestamp::from_days(TEST_DAY).as_secs() + 6 * HOUR
+        )));
+        assert_eq!(s.truth_schedule().truth_windows().len(), 1);
+    }
+
+    #[test]
+    fn control_regimes_have_no_truth() {
+        for regime in [
+            ChaosRegime::Skew,
+            ChaosRegime::Flapping,
+            ChaosRegime::Overload,
+        ] {
+            let s = chaos_scenario(regime, 3, 12);
+            assert!(s.truth_windows().is_empty(), "{regime}");
+            assert!(s.chaos.rebuild_windows().is_empty(), "{regime}");
+        }
+    }
+
+    #[test]
+    fn cascade_marches_across_machines() {
+        let s = chaos_scenario(ChaosRegime::Cascade, 3, 13);
+        let machines: Vec<_> = s
+            .faults
+            .events()
+            .iter()
+            .filter_map(|e| e.kind.machine())
+            .collect();
+        assert_eq!(machines.len(), 3);
+        assert_eq!(s.truth_windows().len(), 3);
+        // Distinct machines, staggered overlapping windows.
+        let mut unique = machines.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn drift_decorrelates_the_target_pair_after_onset() {
+        let s = chaos_scenario(ChaosRegime::Drift, 3, 14);
+        let m = MachineId::new(0);
+        let a = MeasurementId::new(m, MetricKind::IfInOctetsRate);
+        let b = MeasurementId::new(m, MetricKind::IfOutOctetsRate);
+        let pair = s.trace.pair(a, b).unwrap();
+        let corr = |p: &gridwatch_timeseries::PairSeries| {
+            let (xs, ys) = p.columns();
+            pearson(&xs, &ys).unwrap_or(0.0)
+        };
+        let clean = corr(&pair.slice(Timestamp::EPOCH, Timestamp::from_days(TEST_DAY)));
+        let drifted = corr(&pair.slice(
+            Timestamp::from_days(TEST_DAY + 1),
+            Timestamp::from_days(MONTH_DAYS),
+        ));
+        assert!(clean > 0.9, "training window correlated, pearson {clean}");
+        assert!(
+            drifted < 0.0,
+            "post-drift window should anti-correlate: {drifted} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn flapping_machine_has_gaps() {
+        let s = chaos_scenario(ChaosRegime::Flapping, 3, 15);
+        let flapped = MeasurementId::new(MachineId::new(2), MetricKind::CpuUtilization);
+        let steady = MeasurementId::new(MachineId::new(0), MetricKind::CpuUtilization);
+        let flapped_len = s.trace.series(flapped).unwrap().len();
+        let steady_len = s.trace.series(steady).unwrap().len();
+        assert!(
+            flapped_len < steady_len,
+            "flapping machine reports fewer samples: {flapped_len} vs {steady_len}"
+        );
+        // Roughly half the samples in the 18h flap window are dropped.
+        let expected_missing = 18 * 10 / 2;
+        let missing = steady_len - flapped_len;
+        assert!(
+            (expected_missing - 20..=expected_missing + 20).contains(&missing),
+            "missing {missing}, expected about {expected_missing}"
+        );
+    }
+
+    #[test]
+    fn overload_raises_values_but_preserves_correlation() {
+        let s = chaos_scenario(ChaosRegime::Overload, 3, 16);
+        let m = MachineId::new(1);
+        let a = MeasurementId::new(m, MetricKind::IfInOctetsRate);
+        let b = MeasurementId::new(m, MetricKind::IfOutOctetsRate);
+        let day = Timestamp::from_days(TEST_DAY).as_secs();
+        let sa = s.trace.series(a).unwrap();
+        let during = sa
+            .slice(
+                Timestamp::from_secs(day + 5 * HOUR),
+                Timestamp::from_secs(day + 7 * HOUR),
+            )
+            .mean()
+            .unwrap();
+        let before = sa
+            .slice(
+                Timestamp::from_secs(day + HOUR),
+                Timestamp::from_secs(day + 3 * HOUR),
+            )
+            .mean()
+            .unwrap();
+        assert!(during > before * 1.5, "burst {during} vs baseline {before}");
+        let pair = s.trace.pair(a, b).unwrap();
+        let (xs, ys) = pair.columns();
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r > 0.95, "burst keeps the pair correlated, pearson {r}");
+    }
+
+    #[test]
+    fn empty_chaos_schedule_is_bit_identical_to_baseline() {
+        let infra = Infrastructure::standard_group(GroupId::A, 2, 21);
+        let base = TraceGenerator::new(
+            infra.clone(),
+            WorkloadConfig::default(),
+            FaultSchedule::new(),
+            21,
+        );
+        let with_empty = base.clone().with_chaos(ChaosSchedule::new());
+        let a = base.generate(Timestamp::EPOCH, Timestamp::from_days(2));
+        let b = with_empty.generate(Timestamp::EPOCH, Timestamp::from_days(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        ChaosEvent::new(
+            ChaosKind::OverloadBurst { factor: 2.0 },
+            Timestamp::from_hours(1),
+            Timestamp::from_hours(1),
+        );
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod csv;
 pub mod fault;
 pub mod infra;
@@ -48,6 +49,7 @@ pub mod scenario;
 pub mod trace;
 pub mod workload;
 
+pub use chaos::{ChaosEvent, ChaosKind, ChaosRegime, ChaosScenario, ChaosSchedule};
 pub use csv::CsvError;
 pub use fault::{FaultEvent, FaultKind, FaultSchedule};
 pub use infra::{Infrastructure, MachineSpec};

@@ -12,6 +12,7 @@ use gridwatch_timeseries::{
     TimeSeriesError, Timestamp,
 };
 
+use crate::chaos::{ChaosKind, ChaosSchedule};
 use crate::fault::{FaultKind, FaultSchedule};
 use crate::infra::Infrastructure;
 use crate::workload::{WorkloadConfig, WorkloadGenerator};
@@ -101,9 +102,14 @@ pub struct TraceGenerator {
     infra: Infrastructure,
     workload: WorkloadConfig,
     faults: FaultSchedule,
+    chaos: ChaosSchedule,
     interval: SampleInterval,
     seed: u64,
 }
+
+/// Bound on the ClockSkew load-history buffer (ticks). Larger skews
+/// clamp to the oldest retained load.
+const MAX_SKEW_HISTORY: usize = 256;
 
 impl TraceGenerator {
     /// Creates a generator with the paper's default 6-minute sampling.
@@ -117,6 +123,7 @@ impl TraceGenerator {
             infra,
             workload,
             faults,
+            chaos: ChaosSchedule::new(),
             interval: SampleInterval::SIX_MINUTES,
             seed,
         }
@@ -128,9 +135,21 @@ impl TraceGenerator {
         self
     }
 
+    /// Composes a chaos schedule on top of the fault schedule. An empty
+    /// schedule leaves generation bit-identical to the baseline.
+    pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
     /// The fault schedule (the ground truth for evaluation).
     pub fn faults(&self) -> &FaultSchedule {
         &self.faults
+    }
+
+    /// The chaos schedule (the hostile-conditions ground truth).
+    pub fn chaos(&self) -> &ChaosSchedule {
+        &self.chaos
     }
 
     /// The infrastructure.
@@ -159,9 +178,16 @@ impl TraceGenerator {
             .map(|id| (id, TimeSeries::new()))
             .collect();
 
+        // Chaos effects are gated on a non-empty schedule so the default
+        // path stays bit-identical (no extra RNG draws, no history).
+        let chaos_active = !self.chaos.is_empty();
+        // Recent global loads, for ClockSkew lag lookups (newest last).
+        let mut recent_loads: Vec<f64> = Vec::new();
+        let interval_secs = self.interval.as_secs().max(1);
+
         for t in self.interval.ticks(start, end) {
             // Correlation-preserving load spikes multiply the workload.
-            let spike_factor: f64 = self
+            let mut spike_factor: f64 = self
                 .faults
                 .active_at(t)
                 .filter_map(|e| match e.kind {
@@ -169,8 +195,24 @@ impl TraceGenerator {
                     _ => None,
                 })
                 .product();
+            if chaos_active {
+                spike_factor *= self
+                    .chaos
+                    .active_at(t)
+                    .filter_map(|e| match e.kind {
+                        ChaosKind::OverloadBurst { factor } => Some(factor),
+                        _ => None,
+                    })
+                    .product::<f64>();
+            }
             workload.set_external_factor(spike_factor);
             let load = workload.next_load(t);
+            if chaos_active {
+                recent_loads.push(load);
+                if recent_loads.len() > MAX_SKEW_HISTORY {
+                    recent_loads.remove(0);
+                }
+            }
 
             for machine in self.infra.machines() {
                 // Machine-local AR(1) jitter.
@@ -191,7 +233,35 @@ impl TraceGenerator {
                         }
                     }
                 }
-                let effective_load = (load * share * (1.0 + *state)).max(0.0);
+                // Chaos: a skewed machine responds to the load from
+                // `skew_ticks` intervals ago; a flapping machine samples
+                // normally but stops reporting during its off phase.
+                let mut machine_load = load;
+                let mut reporting = true;
+                if chaos_active {
+                    for e in self.chaos.active_at(t) {
+                        match e.kind {
+                            ChaosKind::ClockSkew {
+                                machine: m,
+                                skew_ticks,
+                            } if m == machine.id => {
+                                let idx =
+                                    recent_loads.len().saturating_sub(1 + skew_ticks as usize);
+                                machine_load = recent_loads[idx];
+                            }
+                            ChaosKind::Flapping {
+                                machine: m,
+                                period_ticks,
+                                duty_ticks,
+                            } if m == machine.id && period_ticks > 0 => {
+                                let ticks = (t.as_secs() - e.start.as_secs()) / interval_secs;
+                                reporting = ticks % u64::from(period_ticks) < u64::from(duty_ticks);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                let effective_load = (machine_load * share * (1.0 + *state)).max(0.0);
 
                 for metric in &machine.metrics {
                     let id = MeasurementId::new(machine.id, metric.kind);
@@ -218,10 +288,37 @@ impl TraceGenerator {
                             _ => {}
                         }
                     }
+                    // Chaos: concept drift morphs the response model
+                    // toward `to`, linearly over the ramp.
+                    if chaos_active {
+                        for e in self.chaos.active_at(t) {
+                            if let ChaosKind::DriftRewire {
+                                target,
+                                to,
+                                ramp_secs,
+                            } = e.kind
+                            {
+                                if target == id {
+                                    let elapsed = t.as_secs() - e.start.as_secs();
+                                    let alpha = if ramp_secs == 0 {
+                                        1.0
+                                    } else {
+                                        (elapsed as f64 / ramp_secs as f64).min(1.0)
+                                    };
+                                    value += alpha
+                                        * (to.response(effective_load)
+                                            - metric.model.response(effective_load));
+                                }
+                            }
+                        }
+                    }
                     if !value.is_finite() {
                         value = 0.0;
                     }
                     last_value.insert(id, value);
+                    if !reporting {
+                        continue;
+                    }
                     series
                         .get_mut(&id)
                         .expect("series pre-created for every measurement")
