@@ -11,22 +11,34 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> strict clippy on library crates (float-cmp, unwrap-used)"
 cargo clippy -q -p gridwatch-timeseries -p gridwatch-grid -p gridwatch-core \
-    -p gridwatch-detect -p gridwatch-serve -p gridwatch-obs -p gridwatch-store --lib -- \
+    -p gridwatch-detect -p gridwatch-serve -p gridwatch-obs -p gridwatch-store \
+    -p gridwatch-sync --lib -- \
     -D warnings -D clippy::float_cmp -D clippy::unwrap_used
 
-echo "==> gridwatch-audit: project lint pass + allowlist reconciliation"
-# Prints the burn-down trend line; fails on any new violation or stale
-# allowlist entry.
-cargo run -q -p gridwatch-audit --bin gridwatch-audit -- lint --root .
+echo "==> gridwatch-audit: lint + concurrency pass + allowlist reconciliation"
+# Prints the burn-down and concurrency trend lines; fails on any new
+# violation (per-file rules, lock-order cycles, blocking-under-lock,
+# condvar-no-loop) or stale allowlist entry.
+cargo run -q -p gridwatch-audit --bin gridwatch-audit -- lint --concurrency --root .
 
 echo "==> gridwatch-audit: fixture self-check"
-# The bad corpus must FAIL (proves the rules fire) and the good corpus
-# must pass (proves they don't over-fire).
+# The bad corpus must FAIL (proves the rules fire, including the seeded
+# AB/BA lock inversion) and the good corpus must pass (proves they
+# don't over-fire).
+bad_out=$(cargo run -q -p gridwatch-audit --bin gridwatch-audit -- --paths crates/audit/tests/fixtures/bad || true)
+if ! grep -q "lock-cycle" <<< "$bad_out"; then
+    echo "audit self-check FAILED: seeded lock inversion not flagged" >&2
+    exit 1
+fi
 if cargo run -q -p gridwatch-audit --bin gridwatch-audit -- --paths crates/audit/tests/fixtures/bad > /dev/null; then
     echo "audit self-check FAILED: bad fixture corpus passed the lints" >&2
     exit 1
 fi
 cargo run -q -p gridwatch-audit --bin gridwatch-audit -- --paths crates/audit/tests/fixtures/good > /dev/null
+
+echo "==> runtime lockdep unit tests (rank table + inversion panics)"
+cargo test -q -p gridwatch-sync
+cargo test -q -p gridwatch-sync --features validate
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
@@ -48,6 +60,15 @@ echo "==> multi-process shard fabric (single-threaded, real processes)"
 cargo test -q -p gridwatch-serve --test fabric_equivalence -- --test-threads=1
 cargo test -q -p gridwatch-serve --test fabric_faults -- --test-threads=1
 cargo test -q -p gridwatch-cli --test fabric -- --test-threads=1
+
+echo "==> fault suites under runtime lockdep (validate: rank checks armed)"
+# Any lock-order inversion on the fabric merge, engine stats, TCP
+# ingest, or flight-recorder paths panics with both stacks here.
+cargo test -q -p gridwatch-serve --features validate --test net_faults -- --test-threads=1
+cargo test -q -p gridwatch-serve --features validate --test fabric_faults -- --test-threads=1
+
+echo "==> lockdep overhead gate (validate-off OrderedMutex must be free)"
+cargo bench -q -p gridwatch-bench --bench lockdep_overhead
 
 echo "==> history store: format goldens, corruption corpus, proptests"
 cargo test -q -p gridwatch-store --test golden

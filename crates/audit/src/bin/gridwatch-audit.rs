@@ -1,12 +1,15 @@
 //! The `gridwatch-audit` binary.
 //!
 //! ```text
-//! gridwatch-audit [lint] [--root DIR] [--allowlist FILE]
-//!     Lint the workspace, reconcile against the allowlist.
+//! gridwatch-audit [lint] [--concurrency] [--root DIR] [--allowlist FILE]
+//!     Lint the workspace, reconcile against the allowlist. With
+//!     --concurrency, also run the cross-file lock-order pass and
+//!     reconcile its findings (and print the concurrency trend line).
 //!     Exit 0 when clean, 1 on new violations or stale entries.
 //!
 //! gridwatch-audit --paths DIR
-//!     Lint a directory with every rule, no allowlist (fixture mode).
+//!     Lint a directory with every rule including the concurrency
+//!     pass, no allowlist (fixture mode).
 //!     Exit 0 when no violations, 1 otherwise.
 //!
 //! gridwatch-audit checkpoint DIR   (or: --checkpoint DIR)
@@ -20,11 +23,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use gridwatch_audit::{
-    allowlist, checkpoint, find_workspace_root, render_trend, render_violation, scan_paths,
-    scan_workspace,
+    allowlist, checkpoint, concurrency, find_workspace_root, render_concurrency_trend,
+    render_trend, render_violation, scan_paths, scan_workspace,
 };
 
-const USAGE: &str = "usage: gridwatch-audit [lint] [--root DIR] [--allowlist FILE]
+const USAGE: &str = "usage: gridwatch-audit [lint] [--concurrency] [--root DIR] [--allowlist FILE]
        gridwatch-audit --paths DIR
        gridwatch-audit checkpoint DIR";
 
@@ -50,11 +53,13 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut allowlist_file: Option<PathBuf> = None;
     let mut paths: Option<PathBuf> = None;
     let mut ckpt: Option<PathBuf> = None;
+    let mut with_concurrency = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "lint" => {}
+            "--concurrency" => with_concurrency = true,
             "checkpoint" | "--checkpoint" => {
                 let dir = it
                     .next()
@@ -93,7 +98,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     if let Some(dir) = paths {
         return run_paths(&dir);
     }
-    run_lint(root, allowlist_file)
+    run_lint(root, allowlist_file, with_concurrency)
 }
 
 fn run_checkpoint(dir: &Path) -> bool {
@@ -112,7 +117,11 @@ fn run_checkpoint(dir: &Path) -> bool {
 }
 
 fn run_paths(dir: &Path) -> Result<bool, String> {
-    let violations = scan_paths(dir).map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+    let mut violations = scan_paths(dir).map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+    let conc = concurrency::scan_concurrency_paths(dir)
+        .map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+    violations.extend(conc.violations);
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     for v in &violations {
         println!("{}", render_violation(v));
     }
@@ -120,7 +129,11 @@ fn run_paths(dir: &Path) -> Result<bool, String> {
     Ok(violations.is_empty())
 }
 
-fn run_lint(root: Option<PathBuf>, allowlist_file: Option<PathBuf>) -> Result<bool, String> {
+fn run_lint(
+    root: Option<PathBuf>,
+    allowlist_file: Option<PathBuf>,
+    with_concurrency: bool,
+) -> Result<bool, String> {
     let root = match root {
         Some(r) => r,
         None => {
@@ -131,14 +144,29 @@ fn run_lint(root: Option<PathBuf>, allowlist_file: Option<PathBuf>) -> Result<bo
     };
     let allowlist_path = allowlist_file.unwrap_or_else(|| root.join("audit/allowlist.txt"));
 
-    let violations =
+    let mut violations =
         scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let conc = if with_concurrency {
+        let report = concurrency::scan_concurrency(&root)
+            .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+        violations.extend(report.violations.iter().cloned());
+        violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        Some(report)
+    } else {
+        None
+    };
 
-    let entries = match std::fs::read_to_string(&allowlist_path) {
+    let mut entries = match std::fs::read_to_string(&allowlist_path) {
         Ok(text) => allowlist::parse(&text).map_err(|e| e.to_string())?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(format!("reading {}: {e}", allowlist_path.display())),
     };
+    // Without the concurrency pass, its ledger entries have no
+    // violations to match — keep them out of the two-sided check so
+    // they are not reported stale.
+    if conc.is_none() {
+        entries.retain(|e| !e.rule.is_concurrency());
+    }
 
     let rec = allowlist::reconcile(&violations, &entries);
     for v in &rec.new_violations {
@@ -157,6 +185,9 @@ fn run_lint(root: Option<PathBuf>, allowlist_file: Option<PathBuf>) -> Result<bo
         );
     }
     println!("{}", render_trend(&entries));
+    if let Some(report) = &conc {
+        println!("{}", render_concurrency_trend(report, &entries));
+    }
     if !rec.is_clean() {
         println!(
             "audit FAILED: {} new violation(s), {} stale allowlist entr(ies)",

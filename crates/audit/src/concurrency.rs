@@ -1,0 +1,1141 @@
+//! The cross-file concurrency analysis pass (`gridwatch audit
+//! --concurrency`).
+//!
+//! Built on the same self-contained lexer as the per-file lints, this
+//! pass walks every function in the concurrency-scanned crates and:
+//!
+//! 1. extracts **nested lock-acquisition chains** — which lock classes
+//!    a function acquires while already holding others — and merges
+//!    them into a global [`LockGraph`] keyed by lock identity (the
+//!    receiver's field path plus the declared inner type, e.g.
+//!    `stats<FabricStats>`);
+//! 2. reports every edge that participates in a **cycle** of that graph
+//!    as a potential deadlock ([`Rule::LockCycle`]);
+//! 3. flags **blocking operations under a held guard** — channel
+//!    `send`/`recv`, socket reads/writes, `join()`, `sync_all`/
+//!    `sync_data`, sleeps, and the project's frame I/O helpers
+//!    ([`Rule::BlockingUnderLock`]);
+//! 4. flags **`Condvar` waits outside a predicate loop**
+//!    ([`Rule::CondvarNoLoop`]).
+//!
+//! Being lexical, the pass is deliberately conservative in both
+//! directions (see DESIGN.md §13 for the caveat list):
+//!
+//! * guard lifetimes are inferred syntactically: a `let`-bound guard is
+//!   held until its enclosing block closes or an explicit `drop(g)`;
+//!   any other acquisition is a temporary released at the end of its
+//!   statement;
+//! * calls are not followed across functions, so a lock taken inside a
+//!   callee is invisible at the call site (the runtime lockdep in
+//!   `gridwatch-sync` covers exactly that gap);
+//! * a `match` scrutinee guard (`match m.lock() { … }`) is treated as a
+//!   temporary even though the guard lives for the whole match.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{lex, strip_test_code, Tok, TokKind};
+use crate::lints::{Rule, Violation};
+
+/// Crates scanned by the concurrency pass: everything that owns a lock
+/// or runs on the serving path.
+pub const CONCURRENCY_LINT_CRATES: &[&str] = &["serve", "obs", "detect", "store", "sync"];
+
+/// Method names that block: channels, sockets, files, threads,
+/// condvars. Checked when invoked as `.name(…)` or `Path::name(…)`.
+const BLOCKING_METHODS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "sync_all",
+    "sync_data",
+    "flush",
+    "wait",
+    "wait_timeout",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "accept",
+    "connect",
+    "join",
+];
+
+/// Blocking methods that only count with an *empty* argument list —
+/// their arg-taking namesakes (`Path::join`, `str::join`) don't block.
+const EMPTY_ARGS_ONLY: &[&str] = &["join"];
+
+/// Free functions and project helpers that block in any call form.
+const BLOCKING_FREE_FNS: &[&str] = &["sleep", "write_frame", "read_frame"];
+
+/// Identifiers that declare a mutex-flavored lock type.
+const MUTEX_TYPES: &[&str] = &["Mutex", "OrderedMutex"];
+/// Identifiers that declare an rwlock-flavored lock type.
+const RWLOCK_TYPES: &[&str] = &["RwLock", "OrderedRwLock"];
+
+/// One recorded acquisition site for a lock-order edge.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeSite {
+    /// Repo-relative path of the acquiring file.
+    pub file: String,
+    /// 1-based line of the inner (second) acquisition.
+    pub line: u32,
+    /// Trimmed source line at `line` (the allowlist fingerprint).
+    pub excerpt: String,
+    /// 1-based line where the already-held guard was acquired.
+    pub held_line: u32,
+}
+
+/// The global lock-order graph: a directed edge `A → B` means some
+/// function acquired lock class `B` while holding `A`.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeMap<(String, String), Vec<EdgeSite>>,
+    classes: BTreeSet<String>,
+}
+
+impl LockGraph {
+    /// An empty graph.
+    pub fn new() -> LockGraph {
+        LockGraph::default()
+    }
+
+    /// Registers a lock class (a graph node), with or without edges.
+    pub fn add_class(&mut self, class: &str) {
+        self.classes.insert(class.to_string());
+    }
+
+    /// Records that `to` was acquired while `from` was held, at `site`.
+    pub fn add_edge(&mut self, from: &str, to: &str, site: EdgeSite) {
+        self.add_class(from);
+        self.add_class(to);
+        self.edges
+            .entry((from.to_string(), to.to_string()))
+            .or_default()
+            .push(site);
+    }
+
+    /// Number of distinct lock classes seen.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of distinct order edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `to` is reachable from `from` along edges (true when
+    /// `from == to`).
+    fn reaches(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(node) = queue.pop_front() {
+            for (u, v) in self.edges.keys() {
+                if u == node && seen.insert(v.as_str()) {
+                    if v == to {
+                        return true;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Shortest edge path `from → … → to` (BFS), as the visited class
+    /// sequence including both endpoints. `None` when unreachable.
+    fn path(&self, from: &str, to: &str) -> Option<Vec<String>> {
+        if from == to {
+            return Some(vec![from.to_string()]);
+        }
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(node) = queue.pop_front() {
+            for (u, v) in self.edges.keys() {
+                if u == node && v != from && !parent.contains_key(v.as_str()) {
+                    parent.insert(v, node);
+                    if v == to {
+                        let mut path = vec![v.as_str()];
+                        let mut cur = v.as_str();
+                        while let Some(&p) = parent.get(cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path.into_iter().map(str::to_string).collect());
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Edges that sit on a directed cycle: `(from, to)` where `from` is
+    /// reachable back from `to` (self-edges included), with their sites.
+    pub fn cyclic_edges(&self) -> Vec<(&str, &str, &[EdgeSite])> {
+        self.edges
+            .iter()
+            .filter(|((from, to), _)| self.reaches(to, from))
+            .map(|((from, to), sites)| (from.as_str(), to.as_str(), sites.as_slice()))
+            .collect()
+    }
+
+    /// Renders each cyclic edge as a [`Rule::LockCycle`] violation at
+    /// its acquisition site(s), naming the conflicting return path.
+    pub fn cycle_violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (from, to, sites) in self.cyclic_edges() {
+            let message = if from == to {
+                format!(
+                    "nested acquisition of lock class `{from}`: taking a second \
+                     lock of the same class while one is held can self-deadlock"
+                )
+            } else {
+                let back = self
+                    .path(to, from)
+                    .map(|p| p.join(" → "))
+                    .unwrap_or_else(|| format!("{to} → {from}"));
+                format!(
+                    "acquiring `{to}` while holding `{from}` closes a lock-order \
+                     cycle (reverse path {back} also occurs); one side must \
+                     release first or the order must be made consistent"
+                )
+            };
+            for site in sites {
+                out.push(Violation {
+                    rule: Rule::LockCycle,
+                    file: site.file.clone(),
+                    line: site.line,
+                    excerpt: site.excerpt.clone(),
+                    message: message.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// What the concurrency pass found, plus the graph-size numbers the CI
+/// trend line reports.
+#[derive(Debug)]
+pub struct ConcurrencyReport {
+    /// All violations (cycles, blocking-under-lock, condvar), sorted.
+    pub violations: Vec<Violation>,
+    /// Total lock acquisition sites seen.
+    pub lock_sites: usize,
+    /// Distinct lock classes (graph nodes).
+    pub classes: usize,
+    /// Distinct lock-order edges.
+    pub edges: usize,
+}
+
+/// Per-file lock declarations: receiver name → class identity.
+#[derive(Debug, Default)]
+struct FileDecls {
+    /// Any lock-typed declaration: field, let ascription, fn param,
+    /// or static. Name → `name<InnerType>` class string.
+    locks: BTreeMap<String, String>,
+    /// Names declared with an rwlock type (whose bare `.read()` /
+    /// `.write()` calls are lock acquisitions, not socket I/O).
+    rwlocks: BTreeSet<String>,
+    /// Names declared as `Condvar`.
+    condvars: BTreeSet<String>,
+}
+
+/// Collects `name: … Mutex<Inner> …` style declarations from a token
+/// stream. Walks back from each lock-type identifier through type-ish
+/// tokens to the `:` that names the declaration.
+fn collect_decls(toks: &[Tok]) -> FileDecls {
+    let mut decls = FileDecls::default();
+    for (k, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let is_mutex = MUTEX_TYPES.contains(&tok.text.as_str());
+        let is_rwlock = RWLOCK_TYPES.contains(&tok.text.as_str());
+        let is_condvar = tok.text == "Condvar";
+        if !is_mutex && !is_rwlock && !is_condvar {
+            continue;
+        }
+        // A lock *type* is followed by `<`; `Mutex::new` and friends are
+        // expressions, not declarations. Condvar has no type parameter.
+        if (is_mutex || is_rwlock) && !toks.get(k + 1).is_some_and(|t| t.is_punct("<")) {
+            continue;
+        }
+        if is_condvar && toks.get(k + 1).is_some_and(|t| t.is_punct("::")) {
+            continue;
+        }
+        // Walk back through wrapper-type tokens (`Arc<`, `Vec<`, `&`,
+        // paths) to the `:` of the declaration.
+        let Some(name) = declared_name(toks, k) else {
+            continue;
+        };
+        if is_condvar {
+            decls.condvars.insert(name);
+            continue;
+        }
+        let inner = inner_type(toks, k + 1);
+        let class = match inner {
+            Some(t) => format!("{name}<{t}>"),
+            None => name.clone(),
+        };
+        if is_rwlock {
+            decls.rwlocks.insert(name.clone());
+        }
+        decls.locks.insert(name, class);
+    }
+    decls
+}
+
+/// From the index of a lock-type identifier, walks left through
+/// type-position tokens until the declaration's `:` and returns the
+/// declared name before it.
+fn declared_name(toks: &[Tok], type_ident: usize) -> Option<String> {
+    let mut j = type_ident.checked_sub(1)?;
+    loop {
+        let t = &toks[j];
+        let type_ish = t.kind == TokKind::Ident
+            || t.kind == TokKind::Lifetime
+            || t.is_punct("<")
+            || t.is_punct("::")
+            || t.is_punct("&")
+            || t.is_punct("'");
+        if t.is_punct(":") {
+            let name_tok = toks.get(j.checked_sub(1)?)?;
+            if name_tok.kind == TokKind::Ident {
+                return Some(name_tok.text.clone());
+            }
+            return None;
+        }
+        if !type_ish {
+            return None;
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// The first identifier inside the `<…>` following a lock type: its
+/// inner type's head (e.g. `ShardSlot` for `Mutex<ShardSlot>`, `Option`
+/// for `Mutex<Option<TcpStream>>`).
+fn inner_type(toks: &[Tok], open_angle: usize) -> Option<String> {
+    let mut depth = 0i64;
+    for t in toks.iter().skip(open_angle) {
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+            if depth <= 0 {
+                return None;
+            }
+        } else if t.is_punct(">>") {
+            depth -= 2;
+            if depth <= 0 {
+                return None;
+            }
+        } else if t.kind == TokKind::Ident && depth >= 1 {
+            return Some(t.text.clone());
+        }
+    }
+    None
+}
+
+/// Walks a postfix receiver chain backwards from `end` (the token just
+/// before the `.` of the method call) and returns the chain's last
+/// *field or base* identifier — the lock's name — plus the index where
+/// the chain starts. Method names along the chain (idents owning a
+/// `(...)` group) are skipped; `self` never names a lock.
+fn receiver_base(toks: &[Tok], end: usize) -> Option<(String, usize)> {
+    let mut j = end as i64;
+    let mut name: Option<String> = None;
+    while j >= 0 {
+        let t = &toks[j as usize];
+        if t.is_punct(")") || t.is_punct("]") {
+            let (open, close) = if t.is_punct(")") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let was_args = t.is_punct(")");
+            let mut depth = 1i64;
+            j -= 1;
+            while j >= 0 && depth > 0 {
+                let u = &toks[j as usize];
+                if u.is_punct(close) {
+                    depth += 1;
+                } else if u.is_punct(open) {
+                    depth -= 1;
+                }
+                j -= 1;
+            }
+            if depth > 0 {
+                return None;
+            }
+            if was_args {
+                // `(args)` groups belong to a method or function name:
+                // consume it without taking it as the lock name.
+                if j >= 0 && toks[j as usize].kind == TokKind::Ident {
+                    j -= 1;
+                    if j >= 0 && (toks[j as usize].is_punct(".") || toks[j as usize].is_punct("::"))
+                    {
+                        j -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                // A parenthesized expression receiver: unresolvable.
+                return None;
+            }
+            // `[index]`: the collection ident is next on the left.
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if name.is_none() && t.text != "self" {
+                name = Some(t.text.clone());
+            }
+            if j >= 1
+                && (toks[(j - 1) as usize].is_punct(".") || toks[(j - 1) as usize].is_punct("::"))
+            {
+                j -= 2;
+                continue;
+            }
+            j -= 1;
+            break;
+        }
+        break;
+    }
+    let start = (j + 1) as usize;
+    name.map(|n| (n, start))
+}
+
+/// A guard the walk currently considers held.
+#[derive(Debug)]
+struct HeldGuard {
+    class: String,
+    /// The `let`-bound variable name, for `drop(var)` releases.
+    var: Option<String>,
+    line: u32,
+    /// Brace depth at acquisition; released when the block closes.
+    depth: usize,
+    /// Temporary (not `let`-bound): released at end of statement.
+    temp: bool,
+}
+
+/// Whether the receiver name looks like a condition variable.
+fn condvar_ish(decls: &FileDecls, name: &str) -> bool {
+    if decls.condvars.contains(name) || name == "Condvar" {
+        return true;
+    }
+    let lower = name.to_lowercase();
+    lower.contains("cond") || lower.contains("cvar")
+}
+
+/// Analyzes one file's token stream, adding edges to `graph` and
+/// blocking/condvar violations to `out`. Returns the number of lock
+/// acquisition sites seen.
+fn analyze_source(
+    file: &str,
+    source: &str,
+    graph: &mut LockGraph,
+    out: &mut Vec<Violation>,
+) -> usize {
+    let toks = strip_test_code(&lex(source));
+    let decls = collect_decls(&toks);
+    let lines: Vec<&str> = source.lines().collect();
+    let excerpt_at = |line: u32| -> String {
+        lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut sites = 0usize;
+
+    // Resolve a receiver name to its lock class, via declarations or
+    // the per-function alias map.
+    let resolve = |decls: &FileDecls, aliases: &BTreeMap<String, String>, name: &str| {
+        decls.locks.get(name).or_else(|| aliases.get(name)).cloned()
+    };
+
+    let mut k = 0usize;
+    while k < toks.len() {
+        // Find the next function and the span of its body.
+        if !(toks[k].is_ident("fn") && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Ident)) {
+            k += 1;
+            continue;
+        }
+        // Scan the signature for the body's opening brace; a `;` at
+        // paren depth 0 first means a bodyless trait method.
+        let mut b = k + 2;
+        let mut paren = 0i64;
+        let body_open = loop {
+            match toks.get(b) {
+                None => break None,
+                Some(t) if t.is_punct("(") => paren += 1,
+                Some(t) if t.is_punct(")") => paren -= 1,
+                Some(t) if t.is_punct(";") && paren == 0 => break None,
+                Some(t) if t.is_punct("{") && paren == 0 => break Some(b),
+                _ => {}
+            }
+            b += 1;
+        };
+        let Some(open) = body_open else {
+            k += 2;
+            continue;
+        };
+        // Find the matching close brace.
+        let mut depth = 1usize;
+        let mut close = open + 1;
+        while close < toks.len() && depth > 0 {
+            if toks[close].is_punct("{") {
+                depth += 1;
+            } else if toks[close].is_punct("}") {
+                depth -= 1;
+            }
+            close += 1;
+        }
+        let body = &toks[open..close.saturating_sub(1).max(open)];
+
+        // Alias pre-pass: `if let Some(N) = P.get(…)` and
+        // `P.get(i).map(|N| …)` bind N to P's lock class.
+        let mut aliases: BTreeMap<String, String> = BTreeMap::new();
+        for (i, t) in body.iter().enumerate() {
+            if t.is_ident("get") || t.is_ident("get_mut") {
+                if !(i >= 2 && body[i - 1].is_punct(".")) {
+                    continue;
+                }
+                let Some((base, start)) = receiver_base(body, i - 2) else {
+                    continue;
+                };
+                let Some(class) = resolve(&decls, &aliases, &base) else {
+                    continue;
+                };
+                // `if let Some(N) = P.get(…)` — N aliases P's class.
+                if start >= 5
+                    && body[start - 1].is_punct("=")
+                    && body[start - 2].is_punct(")")
+                    && body[start - 3].kind == TokKind::Ident
+                    && body[start - 4].is_punct("(")
+                    && body[start - 5].is_ident("Some")
+                {
+                    aliases.insert(body[start - 3].text.clone(), class.clone());
+                }
+                // `P.get(i).map(|N| …)` — the closure param aliases P.
+                let mut a = i + 1;
+                if body.get(a).is_some_and(|t| t.is_punct("(")) {
+                    let mut d = 1i64;
+                    a += 1;
+                    while a < body.len() && d > 0 {
+                        if body[a].is_punct("(") {
+                            d += 1;
+                        } else if body[a].is_punct(")") {
+                            d -= 1;
+                        }
+                        a += 1;
+                    }
+                    let closure_param = body.get(a).is_some_and(|t| t.is_punct("."))
+                        && body.get(a + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                        && body.get(a + 2).is_some_and(|t| t.is_punct("("))
+                        && body.get(a + 3).is_some_and(|t| t.is_punct("|"))
+                        && body.get(a + 4).is_some_and(|t| t.kind == TokKind::Ident)
+                        && body.get(a + 5).is_some_and(|t| t.is_punct("|"));
+                    if closure_param {
+                        aliases.insert(body[a + 4].text.clone(), class.clone());
+                    }
+                }
+            }
+        }
+
+        // Main walk: block structure, guard lifetimes, acquisitions.
+        let mut held: Vec<HeldGuard> = Vec::new();
+        // Each entry: is this block a `while`/`loop`/`for` body?
+        let mut blocks: Vec<bool> = Vec::new();
+        let mut i = 0usize;
+        while i < body.len() {
+            let t = &body[i];
+            if t.is_punct("{") {
+                // Look back to the previous statement boundary for a
+                // loop keyword introducing this block.
+                let mut is_loop = false;
+                let mut back = i;
+                while back > 0 {
+                    back -= 1;
+                    let u = &body[back];
+                    if u.is_punct(";") || u.is_punct("{") || u.is_punct("}") || i - back > 64 {
+                        break;
+                    }
+                    if u.is_ident("while") || u.is_ident("loop") || u.is_ident("for") {
+                        is_loop = true;
+                        break;
+                    }
+                }
+                blocks.push(is_loop);
+                i += 1;
+                continue;
+            }
+            if t.is_punct("}") {
+                let d = blocks.len();
+                held.retain(|g| g.depth < d);
+                blocks.pop();
+                i += 1;
+                continue;
+            }
+            // Temporaries die at statement boundaries. `,` and `=>`
+            // count too: a brace-less match arm (`… => expr,`) has no
+            // `;`, and a temporary must not leak into the next arm.
+            if t.is_punct(";") || t.is_punct(",") || t.is_punct("=>") {
+                held.retain(|g| !g.temp);
+                i += 1;
+                continue;
+            }
+            // Explicit `drop(var)` releases that guard.
+            if t.is_ident("drop")
+                && body.get(i + 1).is_some_and(|u| u.is_punct("("))
+                && body.get(i + 2).is_some_and(|u| u.kind == TokKind::Ident)
+                && body.get(i + 3).is_some_and(|u| u.is_punct(")"))
+            {
+                let var = &body[i + 2].text;
+                if let Some(pos) = held
+                    .iter()
+                    .rposition(|g| g.var.as_deref() == Some(var.as_str()))
+                {
+                    held.remove(pos);
+                }
+                i += 4;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let dotted = i >= 1 && (body[i - 1].is_punct(".") || body[i - 1].is_punct("::"));
+            let called = body.get(i + 1).is_some_and(|u| u.is_punct("("));
+            let empty_args = called && body.get(i + 2).is_some_and(|u| u.is_punct(")"));
+
+            // Lock acquisition: `.lock()`, or `.read()`/`.write()` on a
+            // declared rwlock.
+            let is_lock_call = dotted
+                && empty_args
+                && (t.text == "lock"
+                    || ((t.text == "read" || t.text == "write") && i >= 2 && {
+                        receiver_base(body, i - 2)
+                            .is_some_and(|(name, _)| decls.rwlocks.contains(&name))
+                    }));
+            if is_lock_call {
+                sites += 1;
+                let receiver = if i >= 2 {
+                    receiver_base(body, i - 2)
+                } else {
+                    None
+                };
+                if let Some((name, start)) = receiver {
+                    let class = resolve(&decls, &aliases, &name).unwrap_or(name);
+                    graph.add_class(&class);
+                    for g in &held {
+                        graph.add_edge(
+                            &g.class,
+                            &class,
+                            EdgeSite {
+                                file: file.to_string(),
+                                line: t.line,
+                                excerpt: excerpt_at(t.line),
+                                held_line: g.line,
+                            },
+                        );
+                    }
+                    // `let [mut] g = <recv>.lock()` holds to block end;
+                    // anything else is a temporary. The binding only
+                    // counts when the acquisition is the *whole* RHS
+                    // (modulo `.expect(…)`/`.unwrap()`): in
+                    // `let x = m.lock()[i].clone();` the guard is a
+                    // temporary and `x` is plain data.
+                    let mut var = None;
+                    let mut temp = true;
+                    let guard_is_rhs = {
+                        let mut e = i + 3; // past `name ( )`
+                        if body.get(e).is_some_and(|u| u.is_punct("."))
+                            && body
+                                .get(e + 1)
+                                .is_some_and(|u| u.is_ident("expect") || u.is_ident("unwrap"))
+                            && body.get(e + 2).is_some_and(|u| u.is_punct("("))
+                        {
+                            let mut d = 1i64;
+                            e += 3;
+                            while e < body.len() && d > 0 {
+                                if body[e].is_punct("(") {
+                                    d += 1;
+                                } else if body[e].is_punct(")") {
+                                    d -= 1;
+                                }
+                                e += 1;
+                            }
+                        }
+                        body.get(e).is_some_and(|u| u.is_punct(";"))
+                    };
+                    if guard_is_rhs && start >= 1 && body[start - 1].is_punct("=") {
+                        let p = start.wrapping_sub(2);
+                        if let Some(v) = body.get(p) {
+                            if v.kind == TokKind::Ident {
+                                let before = p.checked_sub(1).map(|q| &body[q]);
+                                let let_bound = match before {
+                                    Some(b) if b.is_ident("let") => true,
+                                    Some(b) if b.is_ident("mut") => {
+                                        p.checked_sub(2).is_some_and(|q| body[q].is_ident("let"))
+                                    }
+                                    _ => false,
+                                };
+                                if let_bound {
+                                    var = Some(v.text.clone());
+                                    temp = false;
+                                }
+                            }
+                        }
+                    }
+                    held.push(HeldGuard {
+                        class,
+                        var,
+                        line: t.line,
+                        depth: blocks.len(),
+                        temp,
+                    });
+                }
+                i += 1;
+                continue;
+            }
+
+            // Blocking operations under a held guard.
+            let blocking_method = dotted
+                && called
+                && BLOCKING_METHODS.contains(&t.text.as_str())
+                && (!EMPTY_ARGS_ONLY.contains(&t.text.as_str()) || empty_args);
+            let blocking_free = called && BLOCKING_FREE_FNS.contains(&t.text.as_str());
+            if blocking_method || blocking_free {
+                let receiver_name = if dotted && i >= 2 {
+                    receiver_base(body, i - 2).map(|(n, _)| n)
+                } else {
+                    None
+                };
+                let is_condvar_wait = (t.text == "wait" || t.text == "wait_timeout")
+                    && receiver_name
+                        .as_deref()
+                        .is_some_and(|n| condvar_ish(&decls, n));
+                if is_condvar_wait {
+                    if !blocks.iter().any(|&l| l) {
+                        out.push(Violation {
+                            rule: Rule::CondvarNoLoop,
+                            file: file.to_string(),
+                            line: t.line,
+                            excerpt: excerpt_at(t.line),
+                            message: format!(
+                                "`.{}()` outside a predicate loop: condvar wakeups \
+                                 are spurious, so the wait must re-check its \
+                                 predicate in a `while` (or use `wait_while`)",
+                                t.text
+                            ),
+                        });
+                    }
+                    // The wait releases its own mutex; only flag it as
+                    // blocking when *another* guard is also held.
+                    if held.len() >= 2 {
+                        let outer = &held[0];
+                        out.push(Violation {
+                            rule: Rule::BlockingUnderLock,
+                            file: file.to_string(),
+                            line: t.line,
+                            excerpt: excerpt_at(t.line),
+                            message: format!(
+                                "condvar wait while also holding `{}` (locked at \
+                                 line {}): the wait only releases its own mutex",
+                                outer.class, outer.line
+                            ),
+                        });
+                    }
+                } else if let Some(g) = held.first() {
+                    let held_classes: Vec<&str> = held.iter().map(|h| h.class.as_str()).collect();
+                    out.push(Violation {
+                        rule: Rule::BlockingUnderLock,
+                        file: file.to_string(),
+                        line: t.line,
+                        excerpt: excerpt_at(t.line),
+                        message: format!(
+                            "blocking `{}` while holding `{}` (locked at line {}): \
+                             release the guard before blocking, or the lock stalls \
+                             every other thread for the full wait [held: {}]",
+                            t.text,
+                            g.class,
+                            g.line,
+                            held_classes.join(", ")
+                        ),
+                    });
+                }
+            }
+            i += 1;
+        }
+        k = close;
+    }
+    sites
+}
+
+/// Runs the concurrency pass over in-memory `(name, source)` pairs —
+/// the core of [`scan_concurrency`], exposed for tests.
+pub fn scan_sources<'a>(files: impl IntoIterator<Item = (&'a str, &'a str)>) -> ConcurrencyReport {
+    let mut graph = LockGraph::new();
+    let mut violations = Vec::new();
+    let mut lock_sites = 0usize;
+    for (name, source) in files {
+        lock_sites += analyze_source(name, source, &mut graph, &mut violations);
+    }
+    violations.extend(graph.cycle_violations());
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    ConcurrencyReport {
+        violations,
+        lock_sites,
+        classes: graph.class_count(),
+        edges: graph.edge_count(),
+    }
+}
+
+/// Runs the concurrency pass over [`CONCURRENCY_LINT_CRATES`] in the
+/// workspace rooted at `root`.
+pub fn scan_concurrency(root: &Path) -> io::Result<ConcurrencyReport> {
+    let mut files = Vec::new();
+    for krate in CONCURRENCY_LINT_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if src.is_dir() {
+            crate::rust_sources(&src, &mut files)?;
+        }
+    }
+    scan_file_list(root, &files)
+}
+
+/// Fixture mode: runs the concurrency pass over every `.rs` file under
+/// `dir` (mirrors [`crate::scan_paths`]).
+pub fn scan_concurrency_paths(dir: &Path) -> io::Result<ConcurrencyReport> {
+    let mut files = Vec::new();
+    if dir.is_dir() {
+        crate::rust_sources(dir, &mut files)?;
+    } else {
+        files.push(dir.to_path_buf());
+    }
+    scan_file_list(dir, &files)
+}
+
+fn scan_file_list(root: &Path, files: &[std::path::PathBuf]) -> io::Result<ConcurrencyReport> {
+    let mut sources = Vec::new();
+    for path in files {
+        let text = fs::read_to_string(path)?;
+        sources.push((crate::relative_name(root, path), text));
+    }
+    Ok(scan_sources(
+        sources.iter().map(|(n, s)| (n.as_str(), s.as_str())),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(line: u32) -> EdgeSite {
+        EdgeSite {
+            file: "test.rs".to_string(),
+            line,
+            excerpt: format!("line {line}"),
+            held_line: line.saturating_sub(1),
+        }
+    }
+
+    #[test]
+    fn two_node_cycle_is_detected() {
+        let mut g = LockGraph::new();
+        g.add_edge("a", "b", site(10));
+        g.add_edge("b", "a", site(20));
+        let cyclic = g.cyclic_edges();
+        assert_eq!(cyclic.len(), 2, "{cyclic:?}");
+        let v = g.cycle_violations();
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::LockCycle));
+    }
+
+    #[test]
+    fn chain_without_cycle_is_clean() {
+        let mut g = LockGraph::new();
+        g.add_edge("a", "b", site(1));
+        g.add_edge("b", "c", site(2));
+        g.add_edge("a", "c", site(3));
+        assert!(g.cyclic_edges().is_empty());
+        assert_eq!(g.class_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn three_node_cycle_flags_every_edge_on_it() {
+        let mut g = LockGraph::new();
+        g.add_edge("a", "b", site(1));
+        g.add_edge("b", "c", site(2));
+        g.add_edge("c", "a", site(3));
+        g.add_edge("a", "d", site(4)); // off-cycle spur stays clean
+        let cyclic = g.cyclic_edges();
+        assert_eq!(cyclic.len(), 3, "{cyclic:?}");
+        assert!(cyclic.iter().all(|(_, to, _)| *to != "d"));
+        // The message names the conflicting return path.
+        let v = g.cycle_violations();
+        assert!(v[0].message.contains("→"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let mut g = LockGraph::new();
+        g.add_edge("a", "a", site(5));
+        assert_eq!(g.cyclic_edges().len(), 1);
+        let v = g.cycle_violations();
+        assert!(v[0].message.contains("same class"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn decls_key_classes_by_field_path_and_type() {
+        let toks = strip_test_code(&lex(
+            "struct A { stats: Arc<Mutex<FabricStats>>, slots: Arc<Vec<Mutex<ShardSlot>>>, \
+             table: RwLock<Vec<u32>>, cond: Condvar }",
+        ));
+        let decls = collect_decls(&toks);
+        assert_eq!(
+            decls.locks.get("stats").map(String::as_str),
+            Some("stats<FabricStats>")
+        );
+        assert_eq!(
+            decls.locks.get("slots").map(String::as_str),
+            Some("slots<ShardSlot>")
+        );
+        assert!(decls.rwlocks.contains("table"));
+        assert!(decls.condvars.contains("cond"));
+        // `Mutex::new(...)` is an expression, not a declaration.
+        let toks = strip_test_code(&lex("fn f() { let x = Mutex::new(0); }"));
+        assert!(collect_decls(&toks).locks.is_empty());
+    }
+
+    #[test]
+    fn inversion_across_two_functions_is_flagged() {
+        let src = r"
+            struct P { alpha: Mutex<State>, beta: Mutex<State> }
+            impl P {
+                fn forward(&self) {
+                    let a = self.alpha.lock();
+                    let b = self.beta.lock();
+                }
+                fn backward(&self) {
+                    let b = self.beta.lock();
+                    let a = self.alpha.lock();
+                }
+            }
+        ";
+        let report = scan_sources([("inv.rs", src)]);
+        let cycles: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::LockCycle)
+            .collect();
+        assert_eq!(cycles.len(), 2, "{:#?}", report.violations);
+        assert_eq!(report.lock_sites, 4);
+        assert_eq!(report.classes, 2);
+        assert_eq!(report.edges, 2);
+    }
+
+    #[test]
+    fn consistent_order_across_functions_is_clean() {
+        let src = r"
+            struct P { alpha: Mutex<State>, beta: Mutex<State> }
+            impl P {
+                fn forward(&self) {
+                    let a = self.alpha.lock();
+                    let b = self.beta.lock();
+                }
+                fn also_forward(&self) {
+                    let a = self.alpha.lock();
+                    let b = self.beta.lock();
+                }
+            }
+        ";
+        let report = scan_sources([("ok.rs", src)]);
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+        assert_eq!(report.edges, 1);
+    }
+
+    #[test]
+    fn scoped_guard_releases_at_block_end() {
+        // The alpha guard dies with its block, so beta-then-alpha in
+        // the second function is NOT an inversion.
+        let src = r"
+            struct P { alpha: Mutex<State>, beta: Mutex<State> }
+            impl P {
+                fn forward(&self) {
+                    { let a = self.alpha.lock(); }
+                    let b = self.beta.lock();
+                }
+                fn backward(&self) {
+                    let b = self.beta.lock();
+                    let a = self.alpha.lock();
+                }
+            }
+        ";
+        let report = scan_sources([("scoped.rs", src)]);
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = r"
+            struct P { stats: Mutex<Stats>, tx: Sender<u64> }
+            impl P {
+                fn publish(&self) {
+                    let mut acc = self.stats.lock();
+                    acc.count += 1;
+                    drop(acc);
+                    self.tx.send(1);
+                }
+            }
+        ";
+        let report = scan_sources([("drop.rs", src)]);
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn temporary_guard_does_not_span_statements() {
+        let src = r"
+            struct P { stats: Mutex<Stats>, tx: Sender<u64> }
+            impl P {
+                fn publish(&self) {
+                    self.stats.lock().count += 1;
+                    self.tx.send(1);
+                }
+            }
+        ";
+        let report = scan_sources([("temp.rs", src)]);
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn blocking_send_under_guard_is_flagged() {
+        let src = r"
+            struct P { stats: Mutex<Stats>, tx: Sender<u64> }
+            impl P {
+                fn publish(&self) {
+                    let mut acc = self.stats.lock();
+                    acc.count += 1;
+                    self.tx.send(1);
+                }
+            }
+        ";
+        let report = scan_sources([("send.rs", src)]);
+        assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+        assert_eq!(report.violations[0].rule, Rule::BlockingUnderLock);
+        assert!(report.violations[0].message.contains("stats<Stats>"));
+    }
+
+    #[test]
+    fn join_requires_empty_args_to_count() {
+        let src = r#"
+            struct P { stats: Mutex<Stats> }
+            impl P {
+                fn ok_path_join(&self, root: &Path) {
+                    let g = self.stats.lock();
+                    let p = root.join("file.txt");
+                }
+                fn bad_thread_join(&self, h: JoinHandle<()>) {
+                    let g = self.stats.lock();
+                    let r = h.join();
+                }
+            }
+        "#;
+        let report = scan_sources([("join.rs", src)]);
+        assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+        assert!(report.violations[0].message.contains("join"));
+    }
+
+    #[test]
+    fn condvar_wait_without_loop_is_flagged() {
+        let src = r"
+            struct G { ready: Mutex<bool>, cond: Condvar }
+            impl G {
+                fn bad(&self) {
+                    let mut g = self.ready.lock();
+                    if !*g {
+                        self.cond.wait(&mut g);
+                    }
+                }
+                fn good(&self) {
+                    let mut g = self.ready.lock();
+                    while !*g {
+                        self.cond.wait(&mut g);
+                    }
+                }
+            }
+        ";
+        let report = scan_sources([("cv.rs", src)]);
+        assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+        assert_eq!(report.violations[0].rule, Rule::CondvarNoLoop);
+    }
+
+    #[test]
+    fn alias_through_get_resolves_to_the_collection_class() {
+        // `slots.get(i)` then locking the alias must be the same class
+        // as locking `slots[i]` directly — otherwise the AB edge from
+        // one function and the BA edge from the other would use
+        // different node names and the cycle would go unseen.
+        let src = r"
+            struct C { slots: Vec<Mutex<Slot>>, stats: Mutex<Stats> }
+            impl C {
+                fn direct(&self, i: usize) {
+                    let s = self.slots[i].lock();
+                    let t = self.stats.lock();
+                }
+                fn via_get(&self, i: usize) {
+                    if let Some(slot) = self.slots.get(i) {
+                        let t = self.stats.lock();
+                        let s = slot.lock();
+                    }
+                }
+            }
+        ";
+        let report = scan_sources([("alias.rs", src)]);
+        let cycles: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::LockCycle)
+            .collect();
+        assert_eq!(cycles.len(), 2, "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn rwlock_read_write_are_acquisitions_but_socket_io_is_not() {
+        let src = r"
+            struct S { table: RwLock<Vec<u32>>, stats: Mutex<Stats> }
+            impl S {
+                fn inverted(&self) {
+                    let t = self.table.read();
+                    let s = self.stats.lock();
+                }
+                fn reversed(&self) {
+                    let s = self.stats.lock();
+                    let t = self.table.write();
+                }
+                fn socket(&self, stream: &mut TcpStream, buf: &mut [u8]) {
+                    stream.read(buf);
+                }
+            }
+        ";
+        let report = scan_sources([("rw.rs", src)]);
+        let cycles: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::LockCycle)
+            .collect();
+        assert_eq!(cycles.len(), 2, "{:#?}", report.violations);
+        // stream.read(buf) is not an acquisition: args are non-empty
+        // and `stream` is not a declared rwlock.
+        assert_eq!(report.lock_sites, 4);
+    }
+}

@@ -10,13 +10,18 @@
 //!   violations visible and burn-downable while failing CI on new ones;
 //! * an offline **checkpoint validator** ([`checkpoint`]) that checks a
 //!   checkpoint directory's semantic invariants more deeply than
-//!   `--resume` itself does.
+//!   `--resume` itself does;
+//! * a cross-file **concurrency pass** ([`concurrency`]) that builds a
+//!   global lock-order graph and reports deadlock cycles, blocking
+//!   calls under held guards, and loopless condvar waits
+//!   (`gridwatch audit --concurrency`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod allowlist;
 pub mod checkpoint;
+pub mod concurrency;
 pub mod lexer;
 pub mod lints;
 
@@ -30,7 +35,15 @@ use lints::{Rule, Violation};
 /// Crates whose library sources are linted for panics, float
 /// comparisons, and unbounded channels: the serving path, where a panic
 /// kills client streams and an unbounded queue defeats backpressure.
-pub const RUNTIME_LINT_CRATES: &[&str] = &["serve", "grid", "detect", "timeseries", "obs", "store"];
+pub const RUNTIME_LINT_CRATES: &[&str] = &[
+    "serve",
+    "grid",
+    "detect",
+    "timeseries",
+    "obs",
+    "store",
+    "sync",
+];
 
 /// Crates additionally scanned for the `serde-default` rule — anywhere
 /// a checkpointed struct is defined.
@@ -42,6 +55,7 @@ pub const SERDE_LINT_CRATES: &[&str] = &[
     "core",
     "obs",
     "store",
+    "sync",
 ];
 
 /// Finds the workspace root by walking up from `start` looking for a
@@ -159,8 +173,12 @@ pub fn render_violation(v: &Violation) -> String {
 /// `#[serde(default)]` fail the audit) and are not technical debt to
 /// burn down, unlike the panic/float/channel sites.
 pub fn render_trend(entries: &[allowlist::Entry]) -> String {
-    let (schema, debt): (Vec<_>, Vec<_>) =
-        entries.iter().partition(|e| e.rule == Rule::SerdeDefault);
+    let (schema, debt): (Vec<_>, Vec<_>) = entries
+        .iter()
+        // Concurrency entries have their own trend line
+        // ([`render_concurrency_trend`]); keep them out of this one.
+        .filter(|e| !e.rule.is_concurrency())
+        .partition(|e| e.rule == Rule::SerdeDefault);
     let sites: usize = debt.iter().map(|e| e.count).sum();
     let mut files: Vec<&str> = debt.iter().map(|e| e.file.as_str()).collect();
     files.sort_unstable();
@@ -174,6 +192,25 @@ pub fn render_trend(entries: &[allowlist::Entry]) -> String {
         files.len()
     );
     line
+}
+
+/// Renders the concurrency trend line CI prints alongside the lint
+/// trend: graph size plus how many concurrency findings are currently
+/// justified in the ledger.
+pub fn render_concurrency_trend(
+    report: &concurrency::ConcurrencyReport,
+    entries: &[allowlist::Entry],
+) -> String {
+    let allowlisted: usize = entries
+        .iter()
+        .filter(|e| e.rule.is_concurrency())
+        .map(|e| e.count)
+        .sum();
+    format!(
+        "concurrency: {} lock acquisition sites across {} classes, {} order edges; \
+         {allowlisted} allowlisted concurrency site(s) (goal: 0)",
+        report.lock_sites, report.classes, report.edges
+    )
 }
 
 #[cfg(test)]

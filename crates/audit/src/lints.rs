@@ -68,6 +68,16 @@ pub enum Rule {
     UnboundedChannel,
     /// Checkpointed-struct field without `#[serde(default)]`.
     SerdeDefault,
+    /// Lock acquisition that closes a cycle in the global lock-order
+    /// graph (potential deadlock). Produced by the cross-file
+    /// concurrency pass ([`crate::concurrency`]), not `lint_source`.
+    LockCycle,
+    /// Blocking operation (channel send/recv, socket I/O, `join()`,
+    /// fsync, condvar wait) executed while a lock guard is held.
+    BlockingUnderLock,
+    /// `Condvar::wait` outside a predicate loop: wakeups are spurious,
+    /// so a bare `if`-guarded wait proceeds on a false predicate.
+    CondvarNoLoop,
 }
 
 impl Rule {
@@ -78,6 +88,9 @@ impl Rule {
             Rule::FloatCmp => "float-cmp",
             Rule::UnboundedChannel => "unbounded-channel",
             Rule::SerdeDefault => "serde-default",
+            Rule::LockCycle => "lock-cycle",
+            Rule::BlockingUnderLock => "blocking-under-lock",
+            Rule::CondvarNoLoop => "condvar-no-loop",
         }
     }
 
@@ -88,17 +101,35 @@ impl Rule {
             "float-cmp" => Some(Rule::FloatCmp),
             "unbounded-channel" => Some(Rule::UnboundedChannel),
             "serde-default" => Some(Rule::SerdeDefault),
+            "lock-cycle" => Some(Rule::LockCycle),
+            "blocking-under-lock" => Some(Rule::BlockingUnderLock),
+            "condvar-no-loop" => Some(Rule::CondvarNoLoop),
             _ => None,
         }
     }
 
-    /// Every rule.
+    /// Every per-file rule (the ones `lint_source` can produce). The
+    /// concurrency rules are cross-file — they come from
+    /// [`crate::concurrency::scan_concurrency`] instead.
     pub const ALL: &'static [Rule] = &[
         Rule::NoPanic,
         Rule::FloatCmp,
         Rule::UnboundedChannel,
         Rule::SerdeDefault,
     ];
+
+    /// The rules produced by the concurrency pass.
+    pub const CONCURRENCY: &'static [Rule] = &[
+        Rule::LockCycle,
+        Rule::BlockingUnderLock,
+        Rule::CondvarNoLoop,
+    ];
+
+    /// Whether this rule comes from the concurrency pass (and therefore
+    /// reconciles in `--concurrency` runs, not the per-file lint pass).
+    pub fn is_concurrency(self) -> bool {
+        Rule::CONCURRENCY.contains(&self)
+    }
 }
 
 /// One lint violation.
@@ -135,6 +166,9 @@ pub fn lint_source(file: &str, source: &str, rules: &[Rule]) -> Vec<Violation> {
             Rule::FloatCmp => float_cmp(&toks),
             Rule::UnboundedChannel => unbounded_channel(&toks),
             Rule::SerdeDefault => serde_default(&toks),
+            // Concurrency rules need the cross-file lock-order graph;
+            // see `crate::concurrency`.
+            Rule::LockCycle | Rule::BlockingUnderLock | Rule::CondvarNoLoop => Vec::new(),
         };
         for (line, message) in hits {
             out.push(Violation {

@@ -1,0 +1,28 @@
+//! Guards held across blocking operations: a bounded-channel send, a
+//! channel recv, and an fsync all execute while the `stats` mutex is
+//! held, stalling every other thread for the full wait. The
+//! `blocking-under-lock` rule must flag all three.
+
+pub struct Hub {
+    stats: Mutex<Stats>,
+    tx: Sender<u64>,
+}
+
+impl Hub {
+    pub fn publish(&self, value: u64) {
+        let mut stats = self.stats.lock();
+        stats.sent += 1;
+        self.tx.send(value);
+    }
+
+    pub fn drain(&self, rx: &Receiver<u64>) {
+        let mut stats = self.stats.lock();
+        let value = rx.recv();
+        stats.received += 1;
+    }
+
+    pub fn persist(&self, file: &File) {
+        let stats = self.stats.lock();
+        file.sync_all();
+    }
+}

@@ -1,0 +1,17 @@
+//! A `Condvar` wait guarded by `if` instead of a predicate loop:
+//! condvar wakeups are spurious, so this proceeds with `ready` still
+//! false. The `condvar-no-loop` rule must flag the wait.
+
+pub struct Gate {
+    ready: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Gate {
+    pub fn pass(&self) {
+        let mut guard = self.ready.lock();
+        if !*guard {
+            guard = self.cond.wait(guard);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded lock-order inversion: `forward` nests alpha → beta while
+//! `backward` nests beta → alpha, so the global lock-order graph has a
+//! two-class cycle. Two threads running the two functions deadlock.
+//! The `lock-cycle` rule must flag both inner acquisitions.
+
+pub struct Pair {
+    alpha: Mutex<State>,
+    beta: Mutex<State>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        b.merge(&a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        a.merge(&b);
+    }
+}

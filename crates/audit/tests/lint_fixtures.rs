@@ -6,6 +6,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use gridwatch_audit::concurrency::scan_concurrency_paths;
 use gridwatch_audit::lints::Rule;
 use gridwatch_audit::scan_paths;
 
@@ -15,11 +16,24 @@ fn fixture_dir(which: &str) -> PathBuf {
         .join(which)
 }
 
+/// Per-file rules plus the concurrency pass over a fixture directory —
+/// the same union the binary's `--paths` mode reports.
+fn scan_all(which: &str) -> Vec<gridwatch_audit::lints::Violation> {
+    let dir = fixture_dir(which);
+    let mut violations = scan_paths(&dir).expect("scan fixtures");
+    violations.extend(
+        scan_concurrency_paths(&dir)
+            .expect("concurrency scan fixtures")
+            .violations,
+    );
+    violations
+}
+
 #[test]
 fn bad_corpus_trips_every_rule() {
-    let violations = scan_paths(&fixture_dir("bad")).expect("scan bad fixtures");
+    let violations = scan_all("bad");
     let fired: BTreeSet<Rule> = violations.iter().map(|v| v.rule).collect();
-    for &rule in Rule::ALL {
+    for &rule in Rule::ALL.iter().chain(Rule::CONCURRENCY) {
         assert!(fired.contains(&rule), "rule {} never fired", rule.name());
     }
 
@@ -28,17 +42,44 @@ fn bad_corpus_trips_every_rule() {
     assert_eq!(by_file("float_cmp.rs"), 3, "{violations:#?}");
     assert_eq!(by_file("unbounded.rs"), 3, "{violations:#?}");
     assert_eq!(by_file("serde_missing_default.rs"), 1, "{violations:#?}");
+    assert_eq!(by_file("lock_inversion.rs"), 2, "{violations:#?}");
+    assert_eq!(by_file("blocking_under_lock.rs"), 3, "{violations:#?}");
+    assert_eq!(by_file("condvar_no_loop.rs"), 1, "{violations:#?}");
 }
 
 #[test]
 fn good_corpus_is_clean() {
-    let violations = scan_paths(&fixture_dir("good")).expect("scan good fixtures");
+    let violations = scan_all("good");
     assert!(violations.is_empty(), "{violations:#?}");
 }
 
 #[test]
+fn seeded_inversion_pair_is_flagged_on_both_sides() {
+    // The AB/BA pair across two functions: the cycle must be reported
+    // at both inner acquisitions, naming the conflicting order.
+    let violations = scan_all("bad");
+    let cycles: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::LockCycle && v.file == "lock_inversion.rs")
+        .collect();
+    assert_eq!(cycles.len(), 2, "{cycles:#?}");
+    let excerpts: BTreeSet<&str> = cycles.iter().map(|v| v.excerpt.as_str()).collect();
+    assert!(
+        excerpts.contains("let b = self.beta.lock();"),
+        "{cycles:#?}"
+    );
+    assert!(
+        excerpts.contains("let a = self.alpha.lock();"),
+        "{cycles:#?}"
+    );
+    for v in &cycles {
+        assert!(v.message.contains("cycle"), "{}", v.message);
+    }
+}
+
+#[test]
 fn violations_carry_usable_locations() {
-    let violations = scan_paths(&fixture_dir("bad")).expect("scan bad fixtures");
+    let violations = scan_all("bad");
     for v in &violations {
         assert!(v.line > 0, "{v:?}");
         assert!(!v.excerpt.is_empty(), "{v:?}");

@@ -7,16 +7,21 @@
 use std::path::PathBuf;
 
 use gridwatch_audit::{
-    allowlist, checkpoint, find_workspace_root, render_trend, render_violation, scan_workspace,
+    allowlist, checkpoint, concurrency, find_workspace_root, render_concurrency_trend,
+    render_trend, render_violation, scan_workspace,
 };
 
 use crate::flags::Flags;
 
 const HELP: &str = "\
-gridwatch audit [--root DIR] [--allowlist FILE]
+gridwatch audit [--concurrency] [--root DIR] [--allowlist FILE]
 gridwatch audit --checkpoint DIR
 gridwatch audit --store DIR
 
+  --concurrency     also run the cross-file lock-order pass: build the
+                    global lock-order graph, report cycles (potential
+                    deadlocks), guards held across blocking calls, and
+                    condvar waits without a predicate loop
   --root DIR        workspace root (default: walk up from the cwd)
   --allowlist FILE  allowlist ledger (default: <root>/audit/allowlist.txt)
   --checkpoint DIR  validate a checkpoint directory instead of linting;
@@ -32,7 +37,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("{HELP}");
         return Ok(());
     }
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["concurrency"])?;
 
     if let Some(dir) = flags.get::<String>("store")? {
         let report = gridwatch_store::validate_store(std::path::Path::new(&dir))
@@ -97,13 +102,28 @@ pub fn run(args: &[String]) -> Result<(), String> {
         None => root.join("audit/allowlist.txt"),
     };
 
-    let violations =
+    let mut violations =
         scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
-    let entries = match std::fs::read_to_string(&allowlist_path) {
+    let conc = if flags.has("concurrency") {
+        let report = concurrency::scan_concurrency(&root)
+            .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+        violations.extend(report.violations.iter().cloned());
+        violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        Some(report)
+    } else {
+        None
+    };
+    let mut entries = match std::fs::read_to_string(&allowlist_path) {
         Ok(text) => allowlist::parse(&text).map_err(|e| e.to_string())?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(format!("reading {}: {e}", allowlist_path.display())),
     };
+    // Without the concurrency pass, its ledger entries have no
+    // violations to match — keep them out of the two-sided check so
+    // they are not reported stale.
+    if conc.is_none() {
+        entries.retain(|e| !e.rule.is_concurrency());
+    }
 
     let rec = allowlist::reconcile(&violations, &entries);
     for v in &rec.new_violations {
@@ -121,6 +141,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         );
     }
     println!("{}", render_trend(&entries));
+    if let Some(report) = &conc {
+        println!("{}", render_concurrency_trend(report, &entries));
+    }
     if rec.is_clean() {
         Ok(())
     } else {

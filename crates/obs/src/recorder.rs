@@ -13,7 +13,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use gridwatch_sync::{classes, OrderedMutex};
 use serde::{Deserialize, Serialize};
 
 /// Default ring capacity.
@@ -44,7 +44,7 @@ struct Ring {
 /// A shareable, bounded event recorder. Clones share the same ring.
 #[derive(Clone)]
 pub struct FlightRecorder {
-    ring: Arc<Mutex<Ring>>,
+    ring: Arc<OrderedMutex<Ring>>,
     start: Instant,
 }
 
@@ -72,11 +72,14 @@ impl FlightRecorder {
     /// one).
     pub fn new(capacity: usize) -> FlightRecorder {
         FlightRecorder {
-            ring: Arc::new(Mutex::new(Ring {
-                events: std::collections::VecDeque::with_capacity(capacity.max(1)),
-                capacity: capacity.max(1),
-                dropped: 0,
-            })),
+            ring: Arc::new(OrderedMutex::new(
+                classes::FLIGHT_RING,
+                Ring {
+                    events: std::collections::VecDeque::with_capacity(capacity.max(1)),
+                    capacity: capacity.max(1),
+                    dropped: 0,
+                },
+            )),
             start: Instant::now(),
         }
     }

@@ -42,7 +42,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::Mutex;
+use gridwatch_sync::{classes, OrderedMutex};
 use serde::{Deserialize, Serialize};
 
 use gridwatch_detect::{
@@ -128,7 +128,7 @@ struct ShardSlot {
     addr: String,
 }
 
-type Slots = Arc<Vec<Mutex<ShardSlot>>>;
+type Slots = Arc<Vec<OrderedMutex<ShardSlot>>>;
 
 /// One entry of the per-shard state cache: the shard's engine state as
 /// of snapshot sequence `cut` (exclusive).
@@ -201,8 +201,8 @@ pub struct Coordinator {
     merge_tx: Option<Sender<CoordMsg>>,
     reports_rx: Receiver<StepReport>,
     report_buffer: VecDeque<StepReport>,
-    state_cache: Arc<Mutex<Vec<StateEntry>>>,
-    stats: Arc<Mutex<FabricStats>>,
+    state_cache: Arc<OrderedMutex<Vec<StateEntry>>>,
+    stats: Arc<OrderedMutex<FabricStats>>,
     closing: Arc<std::sync::atomic::AtomicBool>,
     journal: VecDeque<(u64, Snapshot)>,
     next_seq: u64,
@@ -216,7 +216,7 @@ pub struct Coordinator {
 /// scrapes while the front thread drives the fabric.
 #[derive(Debug, Clone)]
 pub struct CoordinatorMetricsProbe {
-    stats: Arc<Mutex<FabricStats>>,
+    stats: Arc<OrderedMutex<FabricStats>>,
     obs: PipelineObs,
 }
 
@@ -328,15 +328,19 @@ impl Coordinator {
         let slots: Slots = Arc::new(
             (0..shards)
                 .map(|_| {
-                    Mutex::new(ShardSlot {
-                        epoch: 0,
-                        live: false,
-                        addr: String::new(),
-                    })
+                    OrderedMutex::new(
+                        classes::FABRIC_SLOT,
+                        ShardSlot {
+                            epoch: 0,
+                            live: false,
+                            addr: String::new(),
+                        },
+                    )
                 })
                 .collect(),
         );
-        let state_cache = Arc::new(Mutex::new(
+        let state_cache = Arc::new(OrderedMutex::new(
+            classes::FABRIC_STATE_CACHE,
             partitions
                 .into_iter()
                 .map(|part| StateEntry {
@@ -349,10 +353,13 @@ impl Coordinator {
                 })
                 .collect::<Vec<_>>(),
         ));
-        let stats = Arc::new(Mutex::new(FabricStats {
-            shards,
-            ..FabricStats::default()
-        }));
+        let stats = Arc::new(OrderedMutex::new(
+            classes::FABRIC_STATS,
+            FabricStats {
+                shards,
+                ..FabricStats::default()
+            },
+        ));
 
         let closing = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let (merge_tx, merge_rx) = channel::bounded(fabric.channel_capacity);
@@ -460,20 +467,27 @@ impl Coordinator {
     }
 
     fn mark_dead(&self, shard: usize) {
-        let mut slot = self.slots[shard].lock();
-        if slot.live {
+        // Flip the slot under its lock, but do the bookkeeping (stats,
+        // recorder, log) after releasing it: none of it needs the slot,
+        // and keeping the critical section to the one store avoids
+        // nesting other lock classes under `fabric.slot`.
+        let epoch = {
+            let mut slot = self.slots[shard].lock();
+            if !slot.live {
+                return;
+            }
             slot.live = false;
-            self.stats.lock().disconnects += 1;
-            self.obs.recorder.record(
-                "disconnect",
-                format_args!("shard {shard} (epoch {}) marked dead", slot.epoch),
-            );
-            gridwatch_obs::warn!(
-                "fabric",
-                "gridwatch coordinator: shard {shard} worker lost (epoch {})",
-                slot.epoch
-            );
-        }
+            slot.epoch
+        };
+        self.stats.lock().disconnects += 1;
+        self.obs.recorder.record(
+            "disconnect",
+            format_args!("shard {shard} (epoch {epoch}) marked dead"),
+        );
+        gridwatch_obs::warn!(
+            "fabric",
+            "gridwatch coordinator: shard {shard} worker lost (epoch {epoch})"
+        );
     }
 
     /// Fans one snapshot out to every live worker and journals it for
@@ -837,8 +851,8 @@ fn merge_loop(
     rx: Receiver<CoordMsg>,
     reports_tx: Sender<StepReport>,
     slots: Slots,
-    state_cache: Arc<Mutex<Vec<StateEntry>>>,
-    stats: Arc<Mutex<FabricStats>>,
+    state_cache: Arc<OrderedMutex<Vec<StateEntry>>>,
+    stats: Arc<OrderedMutex<FabricStats>>,
     closing: Arc<std::sync::atomic::AtomicBool>,
     obs: PipelineObs,
 ) {

@@ -40,7 +40,7 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,6 +50,7 @@ use gridwatch_detect::{
     AlarmTracker, DetectionEngine, EngineConfig, EngineSnapshot, ScoreBoard, Snapshot, StepReport,
 };
 use gridwatch_obs::{PipelineObs, Stage};
+use gridwatch_sync::{classes, OrderedMutex};
 
 use crate::checkpoint::{CheckpointError, CheckpointManifest, Checkpointer};
 use crate::ingest::{BackpressurePolicy, IngestReport, SamplingConfig};
@@ -161,7 +162,7 @@ pub struct ShardedEngine {
     shard_stealers: Vec<Receiver<ShardMsg>>,
     reply_sender: Sender<ShardReply>,
     reports_rx: Receiver<StepReport>,
-    stats: Arc<Mutex<StatsAccumulator>>,
+    stats: Arc<OrderedMutex<StatsAccumulator>>,
     obs: PipelineObs,
     next_seq: u64,
     next_ckpt_id: u64,
@@ -228,9 +229,12 @@ impl ShardedEngine {
         let router = ShardRouter::new(config.shards);
         let partitions = router.partition(snapshot.models);
 
-        let stats = Arc::new(Mutex::new(StatsAccumulator::new(config.shards)));
+        let stats = Arc::new(OrderedMutex::new(
+            classes::ENGINE_STATS,
+            StatsAccumulator::new(config.shards),
+        ));
         {
-            let mut acc = stats.lock().expect("stats lock");
+            let mut acc = stats.lock();
             for (k, part) in partitions.iter().enumerate() {
                 acc.per_shard[k].pairs = part.len();
             }
@@ -337,7 +341,7 @@ impl ShardedEngine {
                 let tick = self.sample_tick;
                 self.sample_tick += 1;
                 if !tick.is_multiple_of(u64::from(sampling.stride)) {
-                    let mut acc = self.stats.lock().expect("stats lock");
+                    let mut acc = self.stats.lock();
                     for (k, &depth) in depths.iter().enumerate() {
                         acc.per_shard[k].observe_queue_depth(depth);
                     }
@@ -364,7 +368,7 @@ impl ShardedEngine {
                 // blocking sends below cannot actually block.
                 let cap = self.config.queue_capacity;
                 if depths.iter().any(|&depth| depth >= cap) {
-                    let mut acc = self.stats.lock().expect("stats lock");
+                    let mut acc = self.stats.lock();
                     for (k, &depth) in depths.iter().enumerate() {
                         acc.per_shard[k].observe_queue_depth(depth);
                     }
@@ -397,7 +401,7 @@ impl ShardedEngine {
                         },
                     );
                     if !evicted.is_empty() {
-                        let mut acc = self.stats.lock().expect("stats lock");
+                        let mut acc = self.stats.lock();
                         acc.per_shard[k].evicted += evicted.len() as u64;
                         drop(acc);
                         evicted_total += evicted.len() as u64;
@@ -411,7 +415,7 @@ impl ShardedEngine {
                         }
                     }
                 }
-                let mut acc = self.stats.lock().expect("stats lock");
+                let mut acc = self.stats.lock();
                 for (k, &depth) in depths.iter().enumerate() {
                     acc.per_shard[k].observe_queue_depth(depth);
                 }
@@ -449,7 +453,7 @@ impl ShardedEngine {
                 Err(TrySendError::Disconnected(_)) => panic!("shard worker disconnected"),
             }
         }
-        let mut acc = self.stats.lock().expect("stats lock");
+        let mut acc = self.stats.lock();
         for (k, &depth) in depths.iter().enumerate() {
             acc.per_shard[k].observe_queue_depth(depth);
         }
@@ -539,7 +543,7 @@ impl ShardedEngine {
     /// Current serving statistics (counters plus live queue depths).
     pub fn stats(&self) -> ServeStats {
         let depths: Vec<usize> = self.shard_senders.iter().map(|tx| tx.len()).collect();
-        self.stats.lock().expect("stats lock").snapshot(&depths)
+        self.stats.lock().snapshot(&depths)
     }
 
     /// A shareable handle that reads [`ServeStats`] while another thread
@@ -592,10 +596,7 @@ impl ShardedEngine {
         while let Ok(report) = reports_rx.try_recv() {
             reports.push(report);
         }
-        let stats = stats
-            .lock()
-            .expect("stats lock")
-            .snapshot(&vec![0; config.shards]);
+        let stats = stats.lock().snapshot(&vec![0; config.shards]);
         (reports, stats)
     }
 }
@@ -604,7 +605,7 @@ impl ShardedEngine {
 /// the engine's owner thread (see [`ShardedEngine::stats_probe`]).
 #[derive(Clone)]
 pub struct StatsProbe {
-    stats: Arc<Mutex<StatsAccumulator>>,
+    stats: Arc<OrderedMutex<StatsAccumulator>>,
     queues: Vec<Receiver<ShardMsg>>,
     obs: PipelineObs,
 }
@@ -613,7 +614,7 @@ impl StatsProbe {
     /// Current serving statistics (counters plus live queue depths).
     pub fn stats(&self) -> ServeStats {
         let depths: Vec<usize> = self.queues.iter().map(|rx| rx.len()).collect();
-        self.stats.lock().expect("stats lock").snapshot(&depths)
+        self.stats.lock().snapshot(&depths)
     }
 
     /// The engine's observability handles (shared, not a copy).
@@ -722,7 +723,7 @@ fn aggregator_loop(
     mut tracker: AlarmTracker,
     reply_rx: Receiver<ShardReply>,
     reports_tx: Sender<StepReport>,
-    stats: Arc<Mutex<StatsAccumulator>>,
+    stats: Arc<OrderedMutex<StatsAccumulator>>,
     obs: PipelineObs,
 ) {
     let mut pending: BTreeMap<u64, PendingStep> = BTreeMap::new();
@@ -741,7 +742,7 @@ fn aggregator_loop(
                 // histogram and the Score stage are fed here.
                 obs.tracer.record_ns(Stage::Score, elapsed_ns);
                 {
-                    let mut acc = stats.lock().expect("stats lock");
+                    let mut acc = stats.lock();
                     acc.per_shard[shard].observe_latency(elapsed_ns);
                     acc.rebuilds += rebuilds;
                 }
@@ -797,7 +798,7 @@ fn aggregator_loop(
         {
             let (seq, entry) = pending.pop_first().expect("checked non-empty");
             let report = obs.tracer.span(Stage::Report);
-            let mut acc = stats.lock().expect("stats lock");
+            let mut acc = stats.lock();
             match entry.board {
                 Some(board) => {
                     let alarms = tracker.evaluate(&board, &engine_config.alarm);
@@ -862,7 +863,7 @@ fn aggregator_loop(
             };
             match &outcome {
                 Ok(manifest) => {
-                    stats.lock().expect("stats lock").checkpoints += 1;
+                    stats.lock().checkpoints += 1;
                     obs.recorder.record(
                         "checkpoint",
                         format_args!("id {} cut_seq {}", op.id, manifest.cut_seq),

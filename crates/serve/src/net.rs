@@ -49,10 +49,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-// `parking_lot::Mutex` does not poison: a panicking stats writer cannot
-// force every other thread to unwrap a poisoned lock, which keeps the
-// accept/ingest paths free of `unwrap()/expect()`.
-use parking_lot::Mutex;
+// `OrderedMutex` wraps `parking_lot::Mutex`, which does not poison: a
+// panicking stats writer cannot force every other thread to unwrap a
+// poisoned lock, which keeps the accept/ingest paths free of
+// `unwrap()/expect()`. Under the `validate` feature it also checks
+// lock-class ranks at runtime (see `gridwatch-sync`).
+use gridwatch_sync::{classes, OrderedMutex};
 
 use gridwatch_detect::{EngineSnapshot, StepReport};
 use gridwatch_obs::{PipelineObs, Stage};
@@ -205,7 +207,7 @@ impl NetAccumulator {
     }
 }
 
-type Shared<T> = Arc<Mutex<T>>;
+type Shared<T> = Arc<OrderedMutex<T>>;
 
 /// Socket clones + join handles of live connection threads, kept so
 /// shutdown can unblock and join every one of them.
@@ -299,8 +301,14 @@ impl NetServer {
         // not keep the channel alive, so this never blocks shutdown.
         let frame_stealer = frame_rx.clone();
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Shared<ConnRegistry> = Arc::default();
-        let net_acc: Shared<NetAccumulator> = Arc::default();
+        let conns: Shared<ConnRegistry> = Arc::new(OrderedMutex::new(
+            classes::NET_CONNS,
+            ConnRegistry::default(),
+        ));
+        let net_acc: Shared<NetAccumulator> = Arc::new(OrderedMutex::new(
+            classes::NET_ACCUMULATOR,
+            NetAccumulator::default(),
+        ));
 
         let ingest = {
             let net_acc = Arc::clone(&net_acc);

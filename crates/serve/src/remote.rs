@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use gridwatch_sync::{classes, OrderedMutex};
 use serde::{Deserialize, Serialize};
 
 use gridwatch_detect::{AlarmTracker, DetectionEngine, EngineConfig, EngineSnapshot, ScoreBoard};
@@ -327,8 +327,8 @@ pub struct ShardWorker {
     listener: TcpListener,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    session: Arc<Mutex<Option<TcpStream>>>,
-    summary: Arc<Mutex<WorkerSummary>>,
+    session: Arc<OrderedMutex<Option<TcpStream>>>,
+    summary: Arc<OrderedMutex<WorkerSummary>>,
     obs: PipelineObs,
 }
 
@@ -337,7 +337,7 @@ pub struct ShardWorker {
 /// while [`ShardWorker::run`] owns the thread.
 #[derive(Debug, Clone)]
 pub struct WorkerMetricsProbe {
-    summary: Arc<Mutex<WorkerSummary>>,
+    summary: Arc<OrderedMutex<WorkerSummary>>,
     obs: PipelineObs,
 }
 
@@ -397,7 +397,7 @@ impl WorkerMetricsProbe {
 pub struct WorkerController {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    session: Arc<Mutex<Option<TcpStream>>>,
+    session: Arc<OrderedMutex<Option<TcpStream>>>,
 }
 
 impl WorkerController {
@@ -429,8 +429,11 @@ impl ShardWorker {
             listener,
             local_addr,
             stop: Arc::new(AtomicBool::new(false)),
-            session: Arc::new(Mutex::new(None)),
-            summary: Arc::new(Mutex::new(WorkerSummary::default())),
+            session: Arc::new(OrderedMutex::new(classes::WORKER_SESSION, None)),
+            summary: Arc::new(OrderedMutex::new(
+                classes::WORKER_SUMMARY,
+                WorkerSummary::default(),
+            )),
             obs,
         })
     }
@@ -538,7 +541,7 @@ impl ShardWorker {
 /// checkpoint markers until EOF or `Shutdown`.
 fn session_loop(
     mut stream: TcpStream,
-    summary: &Mutex<WorkerSummary>,
+    summary: &OrderedMutex<WorkerSummary>,
     obs: &PipelineObs,
 ) -> Result<SessionEnd, FabricError> {
     let tracer = obs.tracer.clone();
