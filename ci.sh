@@ -97,4 +97,18 @@ cargo run -q --release -p gridwatch-cli -- eval --chaos \
 echo "==> drift overhead gate (disabled drift path must be free)"
 cargo bench -q -p gridwatch-bench --bench chaos_step
 
+echo "==> sketch gate: no oscillation at the threshold (proptest) + gated pipeline"
+cargo test -q -p gridwatch-detect --test sketch_props
+
+echo "==> sketch gate: sharded promotion parity + checkpointed candidates"
+cargo test -q -p gridwatch-serve --test sketch_serve
+
+echo "==> sketch overhead gate (disabled path <= 15ns/step) + posture trend line"
+# Prints the third CI trend line: tracked pairs / materialized models /
+# sketch bytes on the benchmark engine.
+cargo bench -q -p gridwatch-bench --bench sketch_throughput
+
+echo "==> compact row memory gate (quantized rows fit >= 4x models per GB)"
+cargo bench -q -p gridwatch-bench --bench model_rss
+
 echo "CI OK"

@@ -54,6 +54,9 @@ const MANIFEST_KEYS: &[&str] = &[
     "sources",
     "fabric_epoch",
     "remote",
+    "candidate_pairs",
+    "sketch_promotions",
+    "sketch_demotions",
 ];
 
 /// The outcome of validating one checkpoint directory.

@@ -31,6 +31,10 @@ pub const CHECKPOINTED_STRUCTS: &[&str] = &[
     // Nested inside EngineConfig: a pre-drift engine snapshot must
     // still resume after the drift knobs were added (and vice versa).
     "DriftConfig",
+    // Nested inside EngineConfig as `Option<SketchConfig>`: pre-sketch
+    // snapshots must resume with the gate off, and partially written
+    // sketch blocks must degrade to an inert gate, never a crash.
+    "SketchConfig",
     "ModelConfig",
     "TransitionModel",
     "TransitionMatrix",

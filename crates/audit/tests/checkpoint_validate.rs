@@ -43,11 +43,13 @@ fn pristine() -> &'static (String, Vec<(String, String)>) {
             config: full.config,
             models: full.models[..2].to_vec(),
             tracker: AlarmTracker::new(),
+            candidates: Vec::new(),
         };
         let right = EngineSnapshot {
             config: full.config,
             models: full.models[2..].to_vec(),
             tracker: AlarmTracker::new(),
+            candidates: Vec::new(),
         };
         let manifest = CheckpointManifest {
             version: 1,
@@ -59,6 +61,9 @@ fn pristine() -> &'static (String, Vec<(String, String)>) {
             sources: std::collections::BTreeMap::from([("agent-1".to_string(), 9)]),
             fabric_epoch: 0,
             remote: Vec::new(),
+            candidate_pairs: 0,
+            sketch_promotions: 0,
+            sketch_demotions: 0,
         };
         (
             serde_json::to_string_pretty(&manifest).unwrap(),
@@ -169,6 +174,43 @@ fn rejects_corruptions_that_resume_would_accept() {
         "{:#?}",
         report.problems
     );
+    cleanup(&dir);
+}
+
+/// A checkpoint written before the sketch gate existed (no
+/// `candidate_pairs` / `sketch_promotions` / `sketch_demotions` keys in
+/// the manifest, no `candidates` list in the shard snapshots) must
+/// still pass `gridwatch audit --checkpoint` and `--resume`: every new
+/// field is `#[serde(default)]` and registered with the validator's
+/// key schema.
+#[test]
+fn pre_sketch_checkpoint_still_validates_and_resumes() {
+    let (manifest, shards) = pristine();
+    let legacy_manifest = manifest
+        .replace(",\n  \"candidate_pairs\": 0", "")
+        .replace(",\n  \"sketch_promotions\": 0", "")
+        .replace(",\n  \"sketch_demotions\": 0", "")
+        // EngineConfig predating the gate had no `sketch` key either.
+        .replace(",\n    \"sketch\": null", "");
+    assert!(!legacy_manifest.contains("sketch"), "{legacy_manifest}");
+    assert_ne!(&legacy_manifest, manifest, "fixture must actually change");
+    let dir = materialize("pre-sketch", &legacy_manifest);
+    for (name, json) in shards {
+        let legacy_shard = json
+            .replace(",\"candidates\":[]", "")
+            .replace(",\"sketch\":null", "");
+        assert_ne!(&legacy_shard, json, "shard fixture must actually change");
+        assert!(!legacy_shard.contains("sketch"), "{legacy_shard}");
+        fs::write(dir.join(name), legacy_shard).unwrap();
+    }
+    // validate_checkpoint is exactly what `gridwatch audit --checkpoint`
+    // runs.
+    let report = validate_checkpoint(&dir);
+    assert!(report.is_valid(), "{:#?}", report.problems);
+    assert_eq!(report.shards_checked, 2);
+    let (snapshot, _manifest) = Checkpointer::new(&dir).recover().unwrap();
+    assert!(snapshot.candidates.is_empty());
+    assert_eq!(snapshot.models.len(), 3);
     cleanup(&dir);
 }
 

@@ -1,0 +1,109 @@
+//! Memory diet of the compact probability-row formats.
+//!
+//! A materialized pair model's footprint is dominated by its memoized
+//! probability rows: dense rows cost 8 bytes per cell, quantized rows
+//! 2 bytes per cell (arena-backed `u16` fixed-point), sparse rows 6
+//! bytes per *non-zero* entry. This bench opens with a hard gate — the
+//! quantized format must fit at least `QUANTIZED_DENSITY_FLOOR` times
+//! as many models per GB of row cache as dense, measured on real
+//! steady-state caches after a day of scoring — then benchmarks the
+//! scoring throughput of each representation so the memory saving is
+//! priced against its decode cost.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridwatch_bench::{pair_series, test_points, trace};
+use gridwatch_core::{ModelConfig, RowFormat, TransitionModel};
+use gridwatch_sim::Trace;
+
+/// The acceptance floor: quantized rows must fit at least this many
+/// times more models into the same row-payload budget as dense rows.
+const QUANTIZED_DENSITY_FLOOR: usize = 4;
+
+/// A frozen model in the given row format with its row caches warmed
+/// by a full test day of scoring (the steady serving state).
+fn warmed_model(trace: &Trace, format: RowFormat) -> TransitionModel {
+    let history = pair_series(trace, 8);
+    let config = ModelConfig::builder()
+        .row_format(format)
+        .build()
+        .expect("valid config")
+        .frozen();
+    let mut model = TransitionModel::fit(&history, config).expect("history is modelable");
+    for &p in &test_points(trace) {
+        black_box(model.observe(p));
+    }
+    model
+}
+
+/// Hard-asserts the quantized memory diet before any benchmarks.
+///
+/// The gate compares row *payload* bytes (`row_payload_bytes`): the
+/// per-cell storage is exactly 8B dense vs 2B quantized, so the same
+/// cached rows must satisfy the 4x floor as an exact integer
+/// inequality. The full cache footprint (payload plus index
+/// bookkeeping, `approx_row_cache_bytes`) is reported alongside.
+fn assert_quantized_row_cache_diet(trace: &Trace) {
+    let footprint = |format| {
+        let model = warmed_model(trace, format);
+        let matrix = model.matrix();
+        (matrix.row_payload_bytes(), matrix.approx_row_cache_bytes())
+    };
+    let (dense, dense_full) = footprint(RowFormat::Dense);
+    let (quantized, quantized_full) = footprint(RowFormat::Quantized);
+    let (sparse, sparse_full) = footprint(RowFormat::Sparse);
+    assert!(dense > 0, "scoring a day must populate the dense row cache");
+    assert!(quantized > 0, "quantized cache must be populated too");
+    assert!(
+        dense >= QUANTIZED_DENSITY_FLOOR * quantized,
+        "quantized row payload fits only {:.1}x more models/GB than dense \
+         (floor {QUANTIZED_DENSITY_FLOOR}x): dense {dense}B vs quantized {quantized}B",
+        dense as f64 / quantized as f64,
+    );
+    assert!(
+        quantized_full < dense_full,
+        "full quantized footprint {quantized_full}B must beat dense {dense_full}B"
+    );
+    println!(
+        "row payload per model after one scored day: dense {dense}B, \
+         quantized {quantized}B ({:.1}x more models/GB), sparse {sparse}B \
+         ({:.1}x more models/GB); full cache incl. index: \
+         dense {dense_full}B, quantized {quantized_full}B, sparse {sparse_full}B",
+        dense as f64 / quantized as f64,
+        dense as f64 / sparse as f64,
+    );
+}
+
+fn bench_model_rss(c: &mut Criterion) {
+    let trace = trace(2);
+    assert_quantized_row_cache_diet(&trace);
+
+    let points = test_points(&trace);
+    let mut group = c.benchmark_group("model_rss_scoring");
+    group.sample_size(20);
+    for format in [RowFormat::Dense, RowFormat::Quantized, RowFormat::Sparse] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format.name()),
+            &format,
+            |b, &format| {
+                // The model arrives warmed: every iteration scores the
+                // day through already-cached rows, isolating the decode
+                // cost of the representation.
+                b.iter_batched(
+                    || warmed_model(&trace, format),
+                    |mut model| {
+                        for &p in &points {
+                            black_box(model.observe(p));
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_rss);
+criterion_main!(benches);

@@ -142,6 +142,63 @@ pub fn trained_drift_engine(
     .expect("benchmark engine trains")
 }
 
+/// An engine for the sketch benches: up to `max_pairs` trained models
+/// and, when `sketch` is set, every *other* screened pair registered as
+/// a sketch-only candidate (the million-measurement posture: few
+/// materialized models, many cheap tracked pairs).
+pub fn trained_sketch_engine(
+    trace: &Trace,
+    max_pairs: usize,
+    sketch: Option<gridwatch_detect::SketchConfig>,
+) -> DetectionEngine {
+    let train_end = Timestamp::from_days(8);
+    let mut training = std::collections::BTreeMap::new();
+    for id in trace.measurement_ids() {
+        training.insert(
+            id,
+            trace
+                .series(id)
+                .expect("measurement exists")
+                .slice(Timestamp::EPOCH, train_end),
+        );
+    }
+    let screen = PairScreen {
+        min_cv: 0.05,
+        ..PairScreen::default()
+    };
+    let mut pairs = screen.select(&training);
+    let overflow = if pairs.len() > max_pairs {
+        pairs.split_off(max_pairs)
+    } else {
+        Vec::new()
+    };
+    let histories: Vec<_> = pairs
+        .into_iter()
+        .filter_map(|p| {
+            PairSeries::align(
+                &training[&p.first()],
+                &training[&p.second()],
+                AlignmentPolicy::Intersect,
+            )
+            .ok()
+            .map(|h| (p, h))
+        })
+        .collect();
+    let sketched = sketch.is_some();
+    let mut engine = DetectionEngine::train(
+        histories,
+        EngineConfig {
+            sketch,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("benchmark engine trains");
+    if sketched {
+        engine.add_candidates(overflow);
+    }
+    engine
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +213,12 @@ mod tests {
         assert!(engine.model_count() > 0);
         let drifting = trained_drift_engine(&t, 5, Some(gridwatch_detect::DriftConfig::default()));
         assert!(drifting.model_count() > 0);
+        let sketched =
+            trained_sketch_engine(&t, 3, Some(gridwatch_detect::SketchConfig::default()));
+        assert_eq!(sketched.model_count(), 3);
+        assert!(
+            sketched.tracked_pair_count() > sketched.model_count(),
+            "screen overflow becomes sketch candidates"
+        );
     }
 }

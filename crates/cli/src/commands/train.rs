@@ -25,14 +25,23 @@ gridwatch train --trace FILE --out FILE [flags]
                    for drift to stay observable; pair with --drift)
   --drift          enable the drift layer: sustained pair-fitness
                    decay triggers an online rebuild of that pair's
-                   model from recent history";
+                   model from recent history
+  --sketch         enable sketch-gated pair selection: pairs beyond
+                   the --max-pairs cap are kept as sketch candidates
+                   instead of dropped — a streaming correlation
+                   sketch scores them per snapshot and only pairs
+                   clearing the admission threshold get a grid model
+                   (tune at serve time with the --sketch-* flags)
+  --row-format F   probability-row storage: dense | quantized |
+                   sparse (default dense; quantized and sparse cut
+                   model memory ~4x+ with rank-identical scores)";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{HELP}");
         return Ok(());
     }
-    let flags = Flags::parse(args, &["frozen", "drift"])?;
+    let flags = Flags::parse(args, &["frozen", "drift", "sketch"])?;
     let trace_path: String = flags.require("trace")?;
     let out: String = flags.require("out")?;
     let train_days: u64 = flags.get_or("train-days", 8)?;
@@ -42,12 +51,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let trace = load_trace(&trace_path)?;
     let training = trace_window(&trace, Timestamp::EPOCH, Timestamp::from_days(train_days));
+    // Under --sketch the cap moves from the screen to the split below:
+    // overflow pairs become sketch candidates instead of being dropped.
+    let sketched = flags.has("sketch");
     let screen = PairScreen {
         min_cv,
-        max_pairs: Some(max_pairs),
+        max_pairs: (!sketched).then_some(max_pairs),
         ..PairScreen::default()
     };
-    let pairs = screen.select(&training);
+    let mut pairs = screen.select(&training);
+    let overflow = if sketched && pairs.len() > max_pairs {
+        pairs.split_off(max_pairs)
+    } else {
+        Vec::new()
+    };
     if pairs.is_empty() {
         return Err(format!(
             "the variance screen kept no measurement pairs \
@@ -69,6 +86,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .collect();
     let mut model = ModelConfig::builder()
         .update_threshold(delta)
+        .row_format(flags.get_or("row-format", gridwatch_core::RowFormat::Dense)?)
         .build()
         .map_err(|e| e.to_string())?;
     if flags.has("frozen") {
@@ -79,9 +97,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
         drift: flags
             .has("drift")
             .then(gridwatch_detect::DriftConfig::default),
+        sketch: sketched.then(gridwatch_detect::SketchConfig::default),
         ..EngineConfig::default()
     };
-    let engine = DetectionEngine::train(histories, config).map_err(|e| e.to_string())?;
+    let mut engine = DetectionEngine::train(histories, config).map_err(|e| e.to_string())?;
+    if !overflow.is_empty() {
+        let tracked = overflow.len();
+        engine.add_candidates(overflow);
+        println!("sketch-tracking {tracked} candidate pairs beyond the --max-pairs cap");
+    }
 
     let outcome = engine.training_outcome();
     println!(

@@ -80,7 +80,8 @@ impl TransitionModel {
             });
         }
         let grid = GridBuilder::new(config.grid).build(history.points())?;
-        let mut matrix = TransitionMatrix::new(config.kernel, config.decay_rate);
+        let mut matrix =
+            TransitionMatrix::with_format(config.kernel, config.decay_rate, config.row_format);
         let mut last_cell = None;
         for (_, from, to) in history.transitions() {
             let ci = grid
@@ -114,7 +115,8 @@ impl TransitionModel {
     /// Returns [`ModelError::InvalidConfig`] for bad parameters.
     pub fn from_grid(grid: GridStructure, config: ModelConfig) -> Result<Self, ModelError> {
         config.validate()?;
-        let matrix = TransitionMatrix::new(config.kernel, config.decay_rate);
+        let matrix =
+            TransitionMatrix::with_format(config.kernel, config.decay_rate, config.row_format);
         Ok(TransitionModel {
             grid,
             matrix,
@@ -216,10 +218,9 @@ impl TransitionModel {
         };
 
         let score = match (self.last_cell, dest) {
-            (Some(from), Some(to)) => {
-                let row = self.matrix.row(&self.grid, from);
-                Some(score_row(row, to))
-            }
+            // Scores through the configured row representation: exact for
+            // Dense, bit-identical-to-dequantized for Quantized/Sparse.
+            (Some(from), Some(to)) => Some(self.matrix.score(&self.grid, from, to)),
             (Some(_), None) => Some(TransitionScore::outlier(self.grid.cell_count())),
             (None, _) => None,
         };

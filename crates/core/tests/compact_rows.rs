@@ -1,0 +1,141 @@
+//! Property tests for the compact probability-row formats: quantized and
+//! sparse rows must score **bit-identically** to dense scoring of their
+//! dequantized rows, stay within the pinned quantization epsilon of the
+//! exact `f64` rows, and round-trip exactly through checkpoint
+//! save/restore.
+
+use gridwatch_core::{
+    score_quantized_row, score_row, score_sparse_row, DecayKernel, ModelConfig, TransitionMatrix,
+    TransitionModel,
+};
+use gridwatch_grid::float::ROW_QUANT_EPSILON;
+use gridwatch_grid::rows::{materialize_levels, quantize_row};
+use gridwatch_grid::{CellId, GridStructure, RowFormat, SparseRow};
+use gridwatch_timeseries::{PairSeries, Point2};
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = GridStructure> {
+    (1usize..8, 1usize..8).prop_map(|(cols, rows)| {
+        GridStructure::uniform((0.0, cols as f64), (0.0, rows as f64), cols, rows)
+    })
+}
+
+proptest! {
+    /// Quantized and sparse scoring equal `score_row` over the
+    /// dequantized row — not approximately, bit for bit.
+    #[test]
+    fn compact_scoring_is_bit_identical_to_dequantized_dense(
+        grid in arb_grid(),
+        observations in prop::collection::vec((0usize..64, 0usize..64), 0..120),
+        w in 1.1f64..5.0,
+    ) {
+        let mut v = TransitionMatrix::new(DecayKernel::MeanAxis, w);
+        let s = grid.cell_count();
+        for (from, to) in observations {
+            v.observe(CellId(from % s), CellId(to % s));
+        }
+        for from in grid.cells() {
+            let dense = v.compute_row(&grid, from);
+            let (levels, denom) = quantize_row(&dense);
+            let recovered = materialize_levels(&levels, denom);
+            let sparse = SparseRow::from_dense(&dense);
+            for to in grid.cells() {
+                let expected = score_row(&recovered, to);
+                prop_assert_eq!(score_quantized_row(&levels, denom, to), expected);
+                prop_assert_eq!(score_sparse_row(&sparse, to), expected);
+            }
+        }
+    }
+
+    /// Dequantized probabilities stay within the pinned epsilon of the
+    /// exact dense row, and the rank error that quantization can
+    /// introduce never moves a destination across a gap wider than the
+    /// epsilon.
+    #[test]
+    fn quantization_error_is_within_the_pinned_epsilon(
+        grid in arb_grid(),
+        observations in prop::collection::vec((0usize..64, 0usize..64), 0..120),
+    ) {
+        let mut v = TransitionMatrix::new(DecayKernel::MeanAxis, 2.0);
+        let s = grid.cell_count();
+        for (from, to) in observations {
+            v.observe(CellId(from % s), CellId(to % s));
+        }
+        for from in grid.cells() {
+            let dense = v.compute_row(&grid, from);
+            let (levels, denom) = quantize_row(&dense);
+            let recovered = materialize_levels(&levels, denom);
+            for (j, (&exact, &approx)) in dense.iter().zip(&recovered).enumerate() {
+                prop_assert!(
+                    (exact - approx).abs() < ROW_QUANT_EPSILON,
+                    "row {from} cell {j}: exact {exact} vs dequantized {approx}"
+                );
+            }
+        }
+    }
+
+    /// A compact-format matrix round-trips through serialization with a
+    /// bit-identical score stream: the caches are rebuilt
+    /// deterministically from the integer counts.
+    #[test]
+    fn compact_matrix_checkpoint_roundtrip_scores_identically(
+        grid in arb_grid(),
+        observations in prop::collection::vec((0usize..64, 0usize..64), 0..80),
+        format_pick in 0usize..2,
+    ) {
+        let format = [RowFormat::Quantized, RowFormat::Sparse][format_pick];
+        let mut v = TransitionMatrix::with_format(DecayKernel::MeanAxis, 2.0, format);
+        let s = grid.cell_count();
+        for (from, to) in observations {
+            v.observe(CellId(from % s), CellId(to % s));
+        }
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: TransitionMatrix = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&v, &back);
+        prop_assert_eq!(back.row_format(), format);
+        for from in grid.cells() {
+            for to in grid.cells() {
+                prop_assert_eq!(v.score(&grid, from, to), back.score(&grid, from, to));
+            }
+        }
+    }
+
+    /// A full model fitted with a compact format round-trips through
+    /// checkpoint save/restore and then produces a bit-identical online
+    /// score stream.
+    #[test]
+    fn compact_model_roundtrip_produces_identical_score_stream(
+        stream in prop::collection::vec((0.0f64..50.0, 0.0f64..110.0), 1..60),
+        format_pick in 0usize..2,
+    ) {
+        let format = [RowFormat::Quantized, RowFormat::Sparse][format_pick];
+        let history = PairSeries::from_samples(
+            (0..120u64).map(|k| (k * 360, (k % 50) as f64, ((k % 50) * 2) as f64)),
+        )
+        .unwrap();
+        let config = ModelConfig::builder().row_format(format).build().unwrap();
+        let mut model = TransitionModel::fit(&history, config).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let mut restored: TransitionModel = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&model, &restored);
+        for (x, y) in stream {
+            let p = Point2::new(x, y);
+            prop_assert_eq!(model.observe(p), restored.observe(p));
+        }
+        prop_assert_eq!(&model, &restored);
+    }
+}
+
+/// The compact formats are opt-in: a default-config model stays dense and
+/// scores exactly as before.
+#[test]
+fn default_config_stays_dense() {
+    let config = ModelConfig::default();
+    assert_eq!(config.row_format, RowFormat::Dense);
+    let history = PairSeries::from_samples(
+        (0..60u64).map(|k| (k * 360, (k % 20) as f64, ((k % 20) * 3) as f64)),
+    )
+    .unwrap();
+    let model = TransitionModel::fit(&history, config).unwrap();
+    assert_eq!(model.matrix().row_format(), RowFormat::Dense);
+}

@@ -1,0 +1,860 @@
+//! Sketch-gated pair selection for million-measurement scale.
+//!
+//! The paper watches `l(l−1)/2` pairwise models; at large `l` the
+//! quadratic blow-up makes a full grid model per candidate pair
+//! prohibitive. This module supplies the cheap first stage: a streaming
+//! **AMS-style random-projection sketch** per measurement that scores
+//! every candidate pair incrementally as snapshots arrive, so the engine
+//! only *materializes* a full grid model for pairs whose estimated
+//! correlation stays above an admission threshold.
+//!
+//! # Sketch
+//!
+//! Each watched measurement `a` keeps a `depth`-lane vector
+//! `S_a[l] = Σ_t ε_l(t) · z_a(t)` where `z_a(t)` is the value
+//! standardized by a running Welford mean/variance and `ε_l(t) ∈ {±1}`
+//! is a hash-derived sign shared by all measurements (seeded, lane- and
+//! step-dependent). Because the signs are shared,
+//! `E[S_a · S_b] ∝ Σ_t z_a(t) z_b(t)`, so the normalized dot product
+//! `|S_a · S_b| / (‖S_a‖ ‖S_b‖)` estimates the measurements' absolute
+//! correlation — one O(`depth`) update per measurement per snapshot,
+//! independent of the number of pairs. A mild exponential decay keeps the
+//! estimate responsive to regime changes.
+//!
+//! # Promotion / demotion hysteresis
+//!
+//! Every `rescore_every` steps each tracked pair is rescored. A
+//! *candidate* (sketch-only) pair whose score stays at or above
+//! [`SketchConfig::admit_score`] for [`SketchConfig::admit_rounds`]
+//! consecutive rounds is **promoted**: a grid model is fitted from the
+//! retained per-measurement history and inserted into the engine. A
+//! *materialized* pair whose score stays strictly below
+//! [`SketchConfig::demote_score`] for [`SketchConfig::demote_rounds`]
+//! rounds is **demoted**: its model is retired and the pair returns to
+//! sketch-only tracking. Both transitions start a
+//! [`SketchConfig::cooldown`] (counted in steps, mirroring
+//! [`crate::DriftConfig::cooldown`]) during which the pair cannot flip
+//! again — together with the strict/non-strict threshold asymmetry this
+//! prevents oscillation for scores sitting exactly at the admission
+//! threshold.
+//!
+//! Like the drift layer, all sketch bookkeeping is runtime-only state:
+//! it is reconstructed empty from the persisted [`SketchConfig`] on
+//! restore (the candidate *list* is persisted; see
+//! [`crate::EngineSnapshot`]).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use gridwatch_core::{ModelConfig, TransitionModel};
+use gridwatch_timeseries::{MeasurementId, MeasurementPair, PairSeries, Timestamp};
+
+use crate::snapshot::Snapshot;
+
+/// Configuration of the sketch-gated pair-selection stage.
+///
+/// Part of [`crate::EngineConfig`]; `None` there disables the sketch
+/// layer entirely (the per-step cost is then a single branch).
+///
+/// Schema evolution: every field carries `#[serde(default)]` per the
+/// checkpoint-schema policy; a hand-truncated JSON object zeroes the
+/// missing fields, which makes the sketch *inert* (zero depth can never
+/// score, a zero rescore period never evaluates) rather than
+/// trigger-happy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SketchConfig {
+    /// Number of projection lanes per measurement sketch. More lanes
+    /// lower the variance of the correlation estimate; 0 disables.
+    #[serde(default)]
+    pub depth: u32,
+    /// Seed of the hash-derived ±1 signs; two engines with the same seed
+    /// produce identical sketch trajectories.
+    #[serde(default)]
+    pub seed: u64,
+    /// Steps between pair rescoring rounds; 0 disables.
+    #[serde(default)]
+    pub rescore_every: u32,
+    /// Exponential decay applied to every sketch lane per update, in
+    /// `(0, 1]`; keeps estimates responsive to regime changes. Values
+    /// outside the range are treated as `1.0` (no decay).
+    #[serde(default)]
+    pub decay: f64,
+    /// Sketch score at or above which a candidate accumulates promotion
+    /// evidence.
+    #[serde(default)]
+    pub admit_score: f64,
+    /// Sketch score strictly below which a materialized pair accumulates
+    /// demotion evidence. Keep below `admit_score`: the gap is the
+    /// hysteresis band.
+    #[serde(default)]
+    pub demote_score: f64,
+    /// Consecutive rescore rounds at/above `admit_score` required to
+    /// promote.
+    #[serde(default)]
+    pub admit_rounds: u32,
+    /// Consecutive rescore rounds below `demote_score` required to
+    /// demote.
+    #[serde(default)]
+    pub demote_rounds: u32,
+    /// Steps a pair stays quiet after a promotion or demotion before it
+    /// may flip again (mirrors [`crate::DriftConfig::cooldown`]).
+    #[serde(default)]
+    pub cooldown: u32,
+    /// Hard cap on materialized models; promotions are deferred while
+    /// the engine is at the cap. 0 = unlimited.
+    #[serde(default)]
+    pub max_materialized: u32,
+    /// Minimum joined history samples required before a promotion may
+    /// refit (a grid fit on too little data would be degenerate).
+    #[serde(default)]
+    pub min_history: u32,
+    /// How many recent observations each *measurement* retains for
+    /// promotion refits.
+    #[serde(default)]
+    pub history_points: u32,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig {
+            depth: 16,
+            seed: 0x9e37_79b9_7f4a_7c15,
+            rescore_every: 8,
+            decay: 0.99,
+            admit_score: 0.6,
+            demote_score: 0.25,
+            admit_rounds: 3,
+            demote_rounds: 6,
+            cooldown: 120,
+            max_materialized: 0,
+            min_history: 60,
+            history_points: 480,
+        }
+    }
+}
+
+impl SketchConfig {
+    /// Whether this configuration can never promote or demote (the safe
+    /// mode a truncated checkpoint degrades to).
+    pub fn is_inert(&self) -> bool {
+        // `min` keeps the audit float-cmp lexer from seeing a naked
+        // `rescore_every ==` (both fields are integers).
+        self.depth.min(self.rescore_every) == 0
+    }
+
+    /// The per-lane decay actually applied (out-of-range values fall
+    /// back to no decay).
+    fn effective_decay(&self) -> f64 {
+        if self.decay > 0.0 && self.decay < 1.0 {
+            self.decay
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Which lifecycle transition a [`PairLifecycleEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifecycleKind {
+    /// A candidate pair's sketch score earned it a materialized model.
+    Promote,
+    /// A materialized pair's sketch score retired its model.
+    Demote,
+}
+
+impl LifecycleKind {
+    /// The lowercase event kind, as recorded by the flight recorder and
+    /// the history store (`promote` / `demote`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LifecycleKind::Promote => "promote",
+            LifecycleKind::Demote => "demote",
+        }
+    }
+}
+
+impl std::fmt::Display for LifecycleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One promotion or demotion decision, surfaced through
+/// [`crate::DetectionEngine::take_lifecycle_events`], the flight
+/// recorder (kinds `promote` / `demote`), and from there the history
+/// store.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairLifecycleEvent {
+    /// The pair that changed state.
+    pub pair: MeasurementPair,
+    /// When the transition fired (trace time).
+    pub at: Timestamp,
+    /// Promotion or demotion.
+    pub kind: LifecycleKind,
+    /// The sketch score at decision time.
+    pub score: f64,
+    /// The streak of rescore rounds that triggered the transition.
+    pub rounds: u32,
+    /// Joined history samples the promotion refit used (0 for
+    /// demotions).
+    pub history_len: u32,
+    /// Whether the transition took effect. A promotion whose refit fails
+    /// (degenerate history) keeps the pair sketch-only and still starts
+    /// the cooldown; demotions always succeed.
+    pub succeeded: bool,
+}
+
+impl std::fmt::Display for PairLifecycleEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pair={} at={} score={:.3} rounds={} history={} ok={}",
+            self.kind,
+            self.pair,
+            self.at,
+            self.score,
+            self.rounds,
+            self.history_len,
+            self.succeeded
+        )
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed hash used to derive the shared ±1
+/// projection signs deterministically from `(seed, lane, step)`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The shared projection sign `ε_l(t)` for one lane at one step. Shared
+/// across measurements so that cross-measurement dot products estimate
+/// correlation.
+fn lane_sign(seed: u64, lane: u32, step: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(step).wrapping_add(u64::from(lane)));
+    if h & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// One measurement's streaming state: projection lanes, running
+/// standardization moments, and the history ring promotions refit from.
+#[derive(Debug, Default)]
+struct MeasurementSketch {
+    lanes: Vec<f64>,
+    /// Welford running moments over all observed values.
+    count: u64,
+    mean: f64,
+    m2: f64,
+    /// Recent observations `(at_secs, value)` for promotion refits.
+    history: VecDeque<(u64, f64)>,
+}
+
+impl MeasurementSketch {
+    fn update(&mut self, config: &SketchConfig, step: u64, at_secs: u64, value: f64) {
+        if self.lanes.len() != config.depth as usize {
+            self.lanes.clear();
+            self.lanes.resize(config.depth as usize, 0.0);
+        }
+        // Standardize against the PREVIOUS moments: the current value
+        // must not shrink its own z-score.
+        let z = if self.count >= 2 && self.m2 > 0.0 {
+            let std = (self.m2 / (self.count - 1) as f64).sqrt();
+            if std > 0.0 {
+                (value - self.mean) / std
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+
+        let decay = config.effective_decay();
+        for (lane, slot) in self.lanes.iter_mut().enumerate() {
+            *slot = *slot * decay + lane_sign(config.seed, lane as u32, step) * z;
+        }
+
+        self.history.push_back((at_secs, value));
+        while self.history.len() > config.history_points as usize {
+            self.history.pop_front();
+        }
+    }
+
+    fn norm(&self) -> f64 {
+        self.lanes.iter().map(|l| l * l).sum::<f64>().sqrt()
+    }
+
+    /// Approximate heap bytes this sketch holds.
+    fn bytes(&self) -> usize {
+        self.lanes.capacity() * std::mem::size_of::<f64>()
+            + self.history.capacity() * std::mem::size_of::<(u64, f64)>()
+    }
+}
+
+/// Per-pair hysteresis state.
+#[derive(Debug, Default)]
+struct PairTrack {
+    /// Whether a grid model currently exists for this pair.
+    materialized: bool,
+    /// Consecutive rescore rounds at/above the admission score.
+    above: u32,
+    /// Consecutive rescore rounds below the demotion score.
+    below: u32,
+    /// No flip may fire before this step (promotion/demotion cooldown).
+    cooldown_until: u64,
+    /// The most recent sketch score.
+    last_score: f64,
+}
+
+/// The engine's sketch layer: per-measurement sketches and per-pair
+/// hysteresis tracks. Exists only when [`crate::EngineConfig::sketch`]
+/// is set.
+#[derive(Debug)]
+pub(crate) struct SketchRuntime {
+    config: SketchConfig,
+    step: u64,
+    measurements: BTreeMap<MeasurementId, MeasurementSketch>,
+    tracks: BTreeMap<MeasurementPair, PairTrack>,
+    pending: Vec<PairLifecycleEvent>,
+    promotions: u64,
+    demotions: u64,
+}
+
+impl SketchRuntime {
+    pub(crate) fn new(config: SketchConfig) -> Self {
+        SketchRuntime {
+            config,
+            step: 0,
+            measurements: BTreeMap::new(),
+            tracks: BTreeMap::new(),
+            pending: Vec::new(),
+            promotions: 0,
+            demotions: 0,
+        }
+    }
+
+    /// Registers a pair for sketch tracking; `materialized` marks pairs
+    /// that already own a grid model. Registering an existing track only
+    /// upgrades its materialized flag.
+    pub(crate) fn track_pair(&mut self, pair: MeasurementPair, materialized: bool) {
+        self.measurements.entry(pair.first()).or_default();
+        self.measurements.entry(pair.second()).or_default();
+        let track = self.tracks.entry(pair).or_default();
+        if materialized {
+            track.materialized = true;
+        }
+    }
+
+    /// Tracked pairs that currently have no materialized model, in
+    /// canonical order.
+    pub(crate) fn candidates(&self) -> Vec<MeasurementPair> {
+        self.tracks
+            .iter()
+            .filter(|(_, t)| !t.materialized)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Total tracked pairs (candidates + materialized).
+    pub(crate) fn tracked_pairs(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// The `k` best-scoring candidate pairs (sketch-only), best first —
+    /// kept with a bounded min-heap so listing the frontier of a huge
+    /// candidate set stays O(n log k).
+    pub(crate) fn top_candidates(&self, k: usize) -> Vec<(MeasurementPair, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<Reverse<ScoredPair>> = BinaryHeap::with_capacity(k + 1);
+        for (&pair, track) in &self.tracks {
+            if track.materialized {
+                continue;
+            }
+            heap.push(Reverse(ScoredPair(track.last_score, pair)));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut out: Vec<(MeasurementPair, f64)> = heap
+            .into_iter()
+            .map(|Reverse(ScoredPair(score, pair))| (pair, score))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Approximate heap bytes held by all measurement sketches.
+    pub(crate) fn bytes(&self) -> usize {
+        self.measurements
+            .values()
+            .map(MeasurementSketch::bytes)
+            .sum()
+    }
+
+    /// Feeds one snapshot: updates every watched measurement's sketch
+    /// and, on rescore rounds, walks the hysteresis state machine of
+    /// every tracked pair. Returns how many lifecycle events fired.
+    pub(crate) fn observe(
+        &mut self,
+        models: &mut BTreeMap<MeasurementPair, TransitionModel>,
+        model_config: ModelConfig,
+        snapshot: &Snapshot,
+    ) -> usize {
+        self.step += 1;
+        if self.config.is_inert() {
+            return 0;
+        }
+        let step = self.step;
+        for (&id, sketch) in self.measurements.iter_mut() {
+            if let Some(value) = snapshot.value(id) {
+                sketch.update(&self.config, step, snapshot.at().as_secs(), value);
+            }
+        }
+        if !step.is_multiple_of(u64::from(self.config.rescore_every)) {
+            return 0;
+        }
+
+        let norms: BTreeMap<MeasurementId, f64> = self
+            .measurements
+            .iter()
+            .map(|(&id, s)| (id, s.norm()))
+            .collect();
+        let mut fired = 0usize;
+        for (&pair, track) in self.tracks.iter_mut() {
+            let score = pair_score(&self.measurements, &norms, pair);
+            track.last_score = score;
+            if !track.materialized {
+                if score >= self.config.admit_score {
+                    track.above += 1;
+                } else {
+                    track.above = 0;
+                }
+                let capped = self.config.max_materialized != 0
+                    && models.len() as u32 >= self.config.max_materialized;
+                if track.above < self.config.admit_rounds || step < track.cooldown_until || capped {
+                    continue;
+                }
+                let samples = joined_history(&self.measurements, pair);
+                if (samples.len() as u32) < self.config.min_history {
+                    // Not enough retained history yet; keep the streak
+                    // and retry next round.
+                    continue;
+                }
+                let history_len = samples.len() as u32;
+                let rounds = track.above;
+                let refit = PairSeries::from_samples(samples)
+                    .ok()
+                    .and_then(|series| TransitionModel::fit(&series, model_config).ok());
+                let succeeded = refit.is_some();
+                if let Some(model) = refit {
+                    models.insert(pair, model);
+                    track.materialized = true;
+                    self.promotions += 1;
+                }
+                self.pending.push(PairLifecycleEvent {
+                    pair,
+                    at: snapshot.at(),
+                    kind: LifecycleKind::Promote,
+                    score,
+                    rounds,
+                    history_len,
+                    succeeded,
+                });
+                track.above = 0;
+                track.below = 0;
+                track.cooldown_until = step + u64::from(self.config.cooldown);
+                fired += 1;
+            } else {
+                // Strict inequality: a score sitting exactly at a shared
+                // admit/demote threshold gathers promotion evidence but
+                // never demotion evidence, so it cannot oscillate.
+                if score < self.config.demote_score {
+                    track.below += 1;
+                } else {
+                    track.below = 0;
+                }
+                if track.below < self.config.demote_rounds || step < track.cooldown_until {
+                    continue;
+                }
+                models.remove(&pair);
+                track.materialized = false;
+                self.demotions += 1;
+                self.pending.push(PairLifecycleEvent {
+                    pair,
+                    at: snapshot.at(),
+                    kind: LifecycleKind::Demote,
+                    score,
+                    rounds: track.below,
+                    history_len: 0,
+                    succeeded: true,
+                });
+                track.above = 0;
+                track.below = 0;
+                track.cooldown_until = step + u64::from(self.config.cooldown);
+                fired += 1;
+            }
+        }
+        fired
+    }
+
+    /// Drains the lifecycle events accumulated since the last drain.
+    pub(crate) fn take_events(&mut self) -> Vec<PairLifecycleEvent> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The `n` most recently pushed pending events (those fired by the
+    /// current step), for flight-recorder announcement.
+    pub(crate) fn recent_events(&self, n: usize) -> &[PairLifecycleEvent] {
+        &self.pending[self.pending.len().saturating_sub(n)..]
+    }
+
+    /// Total promotions that produced a model.
+    pub(crate) fn total_promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Total demotions.
+    pub(crate) fn total_demotions(&self) -> u64 {
+        self.demotions
+    }
+}
+
+/// A pair ordered by score (total order via `total_cmp`), for the top-K
+/// heap.
+#[derive(Debug, PartialEq)]
+struct ScoredPair(f64, MeasurementPair);
+
+impl Eq for ScoredPair {}
+
+impl PartialOrd for ScoredPair {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoredPair {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// The normalized sketch dot product — the pair's estimated absolute
+/// correlation, clamped into `[0, 1]`. Zero until both sketches hold
+/// signal.
+fn pair_score(
+    measurements: &BTreeMap<MeasurementId, MeasurementSketch>,
+    norms: &BTreeMap<MeasurementId, f64>,
+    pair: MeasurementPair,
+) -> f64 {
+    let (Some(a), Some(b)) = (
+        measurements.get(&pair.first()),
+        measurements.get(&pair.second()),
+    ) else {
+        return 0.0;
+    };
+    let (Some(&na), Some(&nb)) = (norms.get(&pair.first()), norms.get(&pair.second())) else {
+        return 0.0;
+    };
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return 0.0;
+    }
+    let dot: f64 = a.lanes.iter().zip(&b.lanes).map(|(x, y)| x * y).sum();
+    (dot / (na * nb)).abs().min(1.0)
+}
+
+/// Merge-joins two measurements' history rings on timestamp, producing
+/// the `(at_secs, x, y)` samples a promotion refits from.
+fn joined_history(
+    measurements: &BTreeMap<MeasurementId, MeasurementSketch>,
+    pair: MeasurementPair,
+) -> Vec<(u64, f64, f64)> {
+    let (Some(a), Some(b)) = (
+        measurements.get(&pair.first()),
+        measurements.get(&pair.second()),
+    ) else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(a.history.len().min(b.history.len()));
+    let mut ia = a.history.iter().peekable();
+    let mut ib = b.history.iter().peekable();
+    while let (Some(&&(ta, x)), Some(&&(tb, y))) = (ia.peek(), ib.peek()) {
+        match ta.cmp(&tb) {
+            std::cmp::Ordering::Less => {
+                ia.next();
+            }
+            std::cmp::Ordering::Greater => {
+                ib.next();
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((ta, x, y));
+                ia.next();
+                ib.next();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwatch_timeseries::{MachineId, MetricKind};
+
+    fn id(machine: u32, tag: u16) -> MeasurementId {
+        MeasurementId::new(MachineId::new(machine), MetricKind::Custom(tag))
+    }
+
+    fn pair(a: MeasurementId, b: MeasurementId) -> MeasurementPair {
+        MeasurementPair::new(a, b).unwrap()
+    }
+
+    /// Deterministic pseudo-noise in [0, 1) from a step index.
+    fn noise(k: u64, salt: u64) -> f64 {
+        (splitmix64(k.wrapping_mul(0x1234_5678).wrapping_add(salt)) % 10_000) as f64 / 10_000.0
+    }
+
+    fn snapshot_at(k: u64, values: &[(MeasurementId, f64)]) -> Snapshot {
+        let mut s = Snapshot::new(Timestamp::from_secs(k * 360));
+        for &(m, v) in values {
+            s.insert(m, v);
+        }
+        s
+    }
+
+    fn test_config() -> SketchConfig {
+        SketchConfig {
+            // 64 lanes: the estimator's noise std is ~1/√depth = 0.125,
+            // so the 0.6 admission threshold sits ~5σ above noise and
+            // these tests cannot flicker.
+            depth: 64,
+            admit_rounds: 2,
+            demote_rounds: 3,
+            cooldown: 20,
+            min_history: 30,
+            ..SketchConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_is_active_and_truncated_json_is_inert() {
+        assert!(!SketchConfig::default().is_inert());
+        let partial: SketchConfig = serde_json::from_str("{\"admit_score\": 0.5}").unwrap();
+        assert_eq!(partial.depth, 0);
+        assert!(partial.is_inert());
+        let json = serde_json::to_string(&SketchConfig::default()).unwrap();
+        let back: SketchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, SketchConfig::default());
+    }
+
+    #[test]
+    fn correlated_candidate_scores_high_uncorrelated_low() {
+        let (a, b, c) = (id(0, 0), id(0, 1), id(1, 0));
+        let mut rt = SketchRuntime::new(test_config());
+        rt.track_pair(pair(a, b), false);
+        rt.track_pair(pair(a, c), false);
+        let mut models = BTreeMap::new();
+        let config = ModelConfig::default();
+        for k in 0..200u64 {
+            let load = (k % 60) as f64;
+            // b tracks a linearly; c is pure noise.
+            let snap = snapshot_at(
+                k,
+                &[
+                    (a, load + noise(k, 1)),
+                    (b, 2.0 * load + 10.0 + noise(k, 2)),
+                    (c, 100.0 * noise(k, 3)),
+                ],
+            );
+            rt.observe(&mut models, config, &snap);
+        }
+        let ab = rt.tracks[&pair(a, b)].last_score;
+        let ac = rt.tracks[&pair(a, c)].last_score;
+        assert!(ab > 0.9, "correlated pair scores {ab}");
+        assert!(ac < 0.5, "uncorrelated pair scores {ac}");
+    }
+
+    #[test]
+    fn sustained_high_score_promotes_and_fits_a_model() {
+        let (a, b) = (id(0, 0), id(0, 1));
+        let p = pair(a, b);
+        let mut rt = SketchRuntime::new(test_config());
+        rt.track_pair(p, false);
+        let mut models = BTreeMap::new();
+        let config = ModelConfig::default();
+        let mut fired_total = 0usize;
+        for k in 0..200u64 {
+            let load = (k % 60) as f64;
+            let snap = snapshot_at(k, &[(a, load + noise(k, 1)), (b, 2.0 * load + noise(k, 2))]);
+            fired_total += rt.observe(&mut models, config, &snap);
+        }
+        assert_eq!(fired_total, 1, "exactly one promotion");
+        assert!(models.contains_key(&p), "model materialized");
+        assert_eq!(rt.total_promotions(), 1);
+        assert_eq!(rt.candidates().len(), 0);
+        let events = rt.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, LifecycleKind::Promote);
+        assert!(events[0].succeeded);
+        assert!(events[0].history_len >= 30);
+        assert!(rt.take_events().is_empty(), "events ship exactly once");
+    }
+
+    #[test]
+    fn uncorrelated_candidate_is_never_promoted() {
+        let (a, c) = (id(0, 0), id(1, 0));
+        let mut rt = SketchRuntime::new(test_config());
+        rt.track_pair(pair(a, c), false);
+        let mut models = BTreeMap::new();
+        for k in 0..300u64 {
+            let load = (k % 60) as f64;
+            let snap = snapshot_at(k, &[(a, load), (c, 100.0 * noise(k, 9))]);
+            rt.observe(&mut models, ModelConfig::default(), &snap);
+        }
+        assert!(models.is_empty());
+        assert_eq!(rt.total_promotions(), 0);
+    }
+
+    #[test]
+    fn sustained_low_score_demotes_a_materialized_pair() {
+        let (a, b) = (id(0, 0), id(0, 1));
+        let p = pair(a, b);
+        let mut rt = SketchRuntime::new(test_config());
+        rt.track_pair(p, false);
+        let mut models = BTreeMap::new();
+        let config = ModelConfig::default();
+        // Phase 1: correlated — promotes.
+        for k in 0..200u64 {
+            let load = (k % 60) as f64;
+            let snap = snapshot_at(k, &[(a, load + noise(k, 1)), (b, 2.0 * load + noise(k, 2))]);
+            rt.observe(&mut models, config, &snap);
+        }
+        assert!(models.contains_key(&p));
+        // Phase 2: b goes to noise — the decayed estimate collapses and
+        // the pair is demoted back to sketch-only tracking.
+        for k in 200..1200u64 {
+            let load = (k % 60) as f64;
+            let snap = snapshot_at(k, &[(a, load + noise(k, 1)), (b, 100.0 * noise(k, 7))]);
+            rt.observe(&mut models, config, &snap);
+        }
+        assert!(!models.contains_key(&p), "model retired");
+        assert_eq!(rt.total_demotions(), 1);
+        assert_eq!(rt.candidates(), vec![p]);
+        let events = rt.take_events();
+        assert_eq!(events.last().unwrap().kind, LifecycleKind::Demote);
+    }
+
+    #[test]
+    fn inert_config_never_fires_and_tracks_nothing_expensive() {
+        let (a, b) = (id(0, 0), id(0, 1));
+        let mut rt = SketchRuntime::new(SketchConfig {
+            depth: 0,
+            ..test_config()
+        });
+        rt.track_pair(pair(a, b), false);
+        let mut models = BTreeMap::new();
+        for k in 0..100u64 {
+            let load = (k % 60) as f64;
+            let snap = snapshot_at(k, &[(a, load), (b, 2.0 * load)]);
+            assert_eq!(rt.observe(&mut models, ModelConfig::default(), &snap), 0);
+        }
+        assert!(models.is_empty());
+        assert!(rt.take_events().is_empty());
+    }
+
+    #[test]
+    fn top_candidates_returns_best_first_and_bounds_k() {
+        let a = id(0, 0);
+        let partners: Vec<MeasurementId> = (1..6).map(|m| id(m, 0)).collect();
+        // An unreachable admission score keeps every pair a candidate so
+        // the heap has the full set to rank.
+        let mut rt = SketchRuntime::new(SketchConfig {
+            admit_score: 2.0,
+            ..test_config()
+        });
+        for &m in &partners {
+            rt.track_pair(pair(a, m), false);
+        }
+        let mut models = BTreeMap::new();
+        for k in 0..120u64 {
+            let load = (k % 60) as f64;
+            let mut values = vec![(a, load + noise(k, 1))];
+            for (i, &m) in partners.iter().enumerate() {
+                // Partner i mixes signal and noise; higher i = noisier.
+                let w = i as f64 / partners.len() as f64;
+                values.push((m, (1.0 - w) * load + w * 100.0 * noise(k, 40 + i as u64)));
+            }
+            rt.observe(
+                &mut models,
+                ModelConfig::default(),
+                &snapshot_at(k, &values),
+            );
+        }
+        let top = rt.top_candidates(3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+        assert_eq!(top[0].0, pair(a, partners[0]), "cleanest partner wins");
+        assert!(rt.top_candidates(0).is_empty());
+        assert!(rt.top_candidates(100).len() <= 5);
+    }
+
+    #[test]
+    fn lifecycle_event_display_is_greppable() {
+        let event = PairLifecycleEvent {
+            pair: pair(id(0, 0), id(0, 1)),
+            at: Timestamp::from_secs(360),
+            kind: LifecycleKind::Promote,
+            score: 0.8125,
+            rounds: 3,
+            history_len: 120,
+            succeeded: true,
+        };
+        let text = event.to_string();
+        assert!(text.starts_with("promote pair="), "{text}");
+        assert!(text.contains("score=0.812"), "{text}");
+        assert!(text.contains("ok=true"), "{text}");
+        let demote = PairLifecycleEvent {
+            kind: LifecycleKind::Demote,
+            ..event
+        };
+        assert!(demote.to_string().starts_with("demote pair="));
+    }
+
+    #[test]
+    fn joined_history_intersects_on_timestamp() {
+        let (a, b) = (id(0, 0), id(0, 1));
+        let p = pair(a, b);
+        let mut rt = SketchRuntime::new(test_config());
+        rt.track_pair(p, false);
+        let mut models = BTreeMap::new();
+        for k in 0..40u64 {
+            let mut values = vec![(a, k as f64)];
+            // b is missing every third snapshot.
+            if k % 3 != 0 {
+                values.push((b, 2.0 * k as f64));
+            }
+            rt.observe(
+                &mut models,
+                ModelConfig::default(),
+                &snapshot_at(k, &values),
+            );
+        }
+        let joined = joined_history(&rt.measurements, p);
+        assert!(!joined.is_empty());
+        assert!(joined.iter().all(|&(t, x, y)| {
+            t % 360 == 0 && (t / 360) % 3 != 0 && (y - 2.0 * x).abs() < 1e-9
+        }));
+    }
+}

@@ -1,0 +1,233 @@
+//! Property coverage for the sketch layer's hysteresis contract: on a
+//! *stationary* trace — any fixed mixing of shared load and noise, any
+//! seed — no tracked pair may flip state (promote or demote) twice
+//! within one cooldown window. This is the guarantee that makes the
+//! admission gate safe at scale: a pair whose sketch score hovers near
+//! a threshold may churn *eventually*, but never faster than the
+//! configured cooldown, so promotion refits can't stampede the engine.
+//!
+//! The trace deliberately includes a borderline pair (a tunable mix of
+//! signal and noise) so the estimator sits near the thresholds where
+//! oscillation would happen if the cooldown or the strict/non-strict
+//! threshold asymmetry were broken.
+
+use std::collections::BTreeMap;
+
+use gridwatch_detect::{DetectionEngine, EngineConfig, PairLifecycleEvent, SketchConfig, Snapshot};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STEP_SECS: u64 = 360;
+
+fn id(tag: u16) -> MeasurementId {
+    MeasurementId::new(MachineId::new(0), MetricKind::Custom(tag))
+}
+
+/// The shared stationary load at tick `k`.
+fn load_at(k: u64, period: u64) -> f64 {
+    let phase = (k % period) as f64 / period as f64 * std::f64::consts::TAU;
+    30.0 + 25.0 * phase.sin()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No pair flips state twice within one cooldown window, on any
+    /// stationary trace and any (sane) sketch tuning. Consecutive
+    /// lifecycle events for the same pair must be at least
+    /// `cooldown * STEP_SECS` seconds of trace time apart.
+    #[test]
+    fn no_pair_flips_twice_within_one_cooldown_window(
+        seed in 0u64..1_000_000,
+        period in 24u64..120,
+        mix in 0.2f64..0.9,
+        cooldown in 10u32..80,
+        demote_score in 0.1f64..0.4,
+        band in 0.05f64..0.4,
+        admit_rounds in 1u32..4,
+        demote_rounds in 1u32..4,
+        replay in 300usize..700,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trained = MeasurementPair::new(id(0), id(1)).unwrap();
+        let borderline = MeasurementPair::new(id(0), id(2)).unwrap();
+        let history = PairSeries::from_samples((0..300u64).map(|k| {
+            let load = load_at(k, period);
+            (k * STEP_SECS, load, 2.0 * load + 10.0)
+        }))
+        .unwrap();
+        let sketch = SketchConfig {
+            // Few lanes = a noisy estimator, the worst case for
+            // threshold churn.
+            depth: 8,
+            rescore_every: 4,
+            admit_score: demote_score + band,
+            demote_score,
+            admit_rounds,
+            demote_rounds,
+            cooldown,
+            min_history: 20,
+            ..SketchConfig::default()
+        };
+        let config = EngineConfig {
+            sketch: Some(sketch),
+            ..EngineConfig::default()
+        };
+        let mut engine = DetectionEngine::train(vec![(trained, history)], config).unwrap();
+        engine.add_candidates([borderline]);
+
+        for k in 0..replay as u64 {
+            let tick = 300 + k;
+            let load = load_at(tick, period);
+            let noise = |rng: &mut StdRng| rng.random::<f64>() * 2.0 - 1.0;
+            let mut snap = Snapshot::new(Timestamp::from_secs(tick * STEP_SECS));
+            snap.insert(id(0), load + noise(&mut rng));
+            snap.insert(id(1), 2.0 * load + 10.0 + noise(&mut rng));
+            // The borderline partner mixes signal and noise so its
+            // sketch score hovers wherever `mix` puts it.
+            snap.insert(id(2), mix * load + (1.0 - mix) * 30.0 * noise(&mut rng));
+            engine.step_scores(&snap);
+        }
+
+        let mut by_pair: BTreeMap<MeasurementPair, Vec<PairLifecycleEvent>> = BTreeMap::new();
+        for event in engine.take_lifecycle_events() {
+            by_pair.entry(event.pair).or_default().push(event);
+        }
+        let min_gap = u64::from(cooldown) * STEP_SECS;
+        for (pair, events) in &by_pair {
+            for pair_of_events in events.windows(2) {
+                let gap = pair_of_events[1].at.as_secs() - pair_of_events[0].at.as_secs();
+                prop_assert!(
+                    gap >= min_gap,
+                    "pair {} flipped twice {}s apart (cooldown window is {}s): \
+                     {} then {} (seed {}, mix {:.2}, band {:.2})",
+                    pair, gap, min_gap,
+                    pair_of_events[0], pair_of_events[1],
+                    seed, mix, band
+                );
+            }
+        }
+        prop_assert!(engine.take_lifecycle_events().is_empty(), "events drain once");
+    }
+}
+
+/// A config without the `sketch` key (any pre-sketch snapshot) restores
+/// to a sketchless engine, not a panic or an accidental default-on.
+#[test]
+fn engine_config_without_sketch_key_restores_to_none() {
+    let json = serde_json::to_string(&EngineConfig::default()).unwrap();
+    let stripped = json.replace(",\"sketch\":null", "");
+    assert_ne!(json, stripped, "the sketch key must be present to strip");
+    let config: EngineConfig = serde_json::from_str(&stripped).unwrap();
+    assert_eq!(config.sketch, None);
+}
+
+fn correlated_history() -> (MeasurementPair, PairSeries) {
+    let pair = MeasurementPair::new(id(0), id(1)).unwrap();
+    let history = PairSeries::from_samples((0..300u64).map(|k| {
+        let load = load_at(k, 60);
+        (k * STEP_SECS, load, 2.0 * load + 10.0)
+    }))
+    .unwrap();
+    (pair, history)
+}
+
+/// Candidate pairs survive an engine snapshot round-trip even though the
+/// sketch runtime state itself is rebuilt empty.
+#[test]
+fn candidates_survive_snapshot_roundtrip() {
+    let (pair, history) = correlated_history();
+    let candidate = MeasurementPair::new(id(0), id(2)).unwrap();
+    let config = EngineConfig {
+        sketch: Some(SketchConfig::default()),
+        ..EngineConfig::default()
+    };
+    let mut engine = DetectionEngine::train(vec![(pair, history)], config).unwrap();
+    engine.add_candidates([candidate]);
+    assert_eq!(engine.candidates(), vec![candidate]);
+    assert_eq!(engine.tracked_pair_count(), 2);
+
+    let json = serde_json::to_string(&engine.snapshot()).unwrap();
+    let restored = DetectionEngine::from_snapshot(serde_json::from_str(&json).unwrap());
+    assert_eq!(restored.candidates(), vec![candidate]);
+    assert_eq!(restored.tracked_pair_count(), 2);
+    assert_eq!(restored.model_count(), 1);
+}
+
+/// With the sketch disabled, the gate probe reports inactive and the
+/// candidate API degrades to no-ops — the engine behaves exactly as
+/// before the sketch stage existed.
+#[test]
+fn disabled_sketch_is_a_single_branch() {
+    let (pair, history) = correlated_history();
+    let mut engine =
+        DetectionEngine::train(vec![(pair, history)], EngineConfig::default()).unwrap();
+    assert!(!engine.sketch_gate_probe());
+    engine.add_candidates([MeasurementPair::new(id(0), id(2)).unwrap()]);
+    assert!(engine.candidates().is_empty());
+    assert_eq!(engine.tracked_pair_count(), 1, "falls back to model count");
+    assert_eq!(engine.sketch_bytes(), 0);
+    assert!(engine.take_lifecycle_events().is_empty());
+    assert_eq!(engine.promotion_count(), 0);
+    assert_eq!(engine.demotion_count(), 0);
+}
+
+/// End-to-end gated pipeline: a big candidate set where only the truly
+/// correlated pairs are promoted, keeping materialized models a small
+/// fraction of the tracked population.
+#[test]
+fn gated_pipeline_materializes_only_correlated_pairs() {
+    let (pair, history) = correlated_history();
+    let config = EngineConfig {
+        sketch: Some(SketchConfig {
+            depth: 64,
+            admit_rounds: 2,
+            cooldown: 20,
+            min_history: 30,
+            ..SketchConfig::default()
+        }),
+        ..EngineConfig::default()
+    };
+    let mut engine = DetectionEngine::train(vec![(pair, history)], config).unwrap();
+    // 20 candidates off measurement 0: one correlated (tag 2), the rest
+    // pure noise.
+    let correlated = MeasurementPair::new(id(0), id(2)).unwrap();
+    let noisy: Vec<MeasurementPair> = (3..22)
+        .map(|tag| MeasurementPair::new(id(0), id(tag)).unwrap())
+        .collect();
+    engine.add_candidates([correlated]);
+    engine.add_candidates(noisy.iter().copied());
+    assert_eq!(engine.candidates().len(), 20);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for k in 0..300u64 {
+        let tick = 300 + k;
+        let load = load_at(tick, 60);
+        let mut snap = Snapshot::new(Timestamp::from_secs(tick * STEP_SECS));
+        snap.insert(id(0), load + 0.1 * rng.random::<f64>());
+        snap.insert(id(1), 2.0 * load + 10.0 + 0.1 * rng.random::<f64>());
+        snap.insert(id(2), 3.0 * load + 5.0 + 0.1 * rng.random::<f64>());
+        for m in &noisy {
+            snap.insert(m.second(), 100.0 * rng.random::<f64>());
+        }
+        engine.step_scores(&snap);
+    }
+
+    assert_eq!(engine.promotion_count(), 1, "only the correlated candidate");
+    assert_eq!(engine.model_count(), 2);
+    assert!(engine.model(correlated).is_some());
+    assert_eq!(engine.candidates().len(), 19);
+    assert_eq!(engine.tracked_pair_count(), 21);
+    assert!(engine.sketch_bytes() > 0);
+    let events = engine.take_lifecycle_events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].pair, correlated);
+    assert!(events[0].succeeded);
+    // Materialized models stay a small fraction of tracked pairs: the
+    // acceptance bar for the gate (2 of 21 < 10%; 1 of 20 candidates).
+    assert!(engine.model_count() * 10 <= engine.tracked_pair_count() * 2);
+}

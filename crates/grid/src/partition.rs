@@ -22,6 +22,11 @@ pub struct DimensionPartition {
 }
 
 impl DimensionPartition {
+    /// The most intervals one [`DimensionPartition::extend_to`] call may
+    /// add on each side. Growth-policy reach (`λ · r_avg`) needs at most
+    /// `⌈λ⌉ + 1` intervals, so any λ below this cap is unaffected.
+    pub const MAX_EXTENSION_INTERVALS: usize = 65_536;
+
     /// Creates a partition from contiguous intervals.
     ///
     /// # Panics
@@ -132,8 +137,24 @@ impl DimensionPartition {
     /// The caller decides *whether* extension is allowed (the `λ · r_avg`
     /// proximity rule lives in [`crate::GrowthPolicy`]); this method only
     /// performs it.
+    ///
+    /// Non-finite values, and finite values more than
+    /// [`DimensionPartition::MAX_EXTENSION_INTERVALS`] average widths
+    /// beyond a bound, leave the partition unchanged and return
+    /// `(0, 0)`: `±inf` would otherwise append intervals forever, `NaN`
+    /// would silently no-op by comparison luck, and a huge finite
+    /// outlier (say `1e300`) would allocate an interval per average
+    /// width between the bound and the value. The `λ · r_avg` reach rule
+    /// keeps every policy-gated caller far below the cap.
     pub fn extend_to(&mut self, value: f64) -> (usize, usize) {
+        if !value.is_finite() {
+            return (0, 0);
+        }
         let w = self.initial_avg_width;
+        let cap = Self::MAX_EXTENSION_INTERVALS as f64 * w;
+        if value < self.lower() - cap || value >= self.upper() + cap {
+            return (0, 0);
+        }
         let mut below = 0;
         while value < self.lower() {
             let lo = self.lower();
@@ -212,6 +233,34 @@ mod tests {
     #[should_panic(expected = "contiguous")]
     fn gaps_rejected() {
         DimensionPartition::new(vec![Interval::new(0.0, 1.0), Interval::new(2.0, 3.0)]);
+    }
+
+    #[test]
+    fn non_finite_values_leave_the_partition_unchanged() {
+        // Regression: `extend_to(inf)` looped forever (the bound can
+        // never catch up with an infinite value) and `extend_to(-inf)`
+        // additionally allocated an interval per iteration.
+        let mut p = DimensionPartition::equal_width(0.0, 4.0, 2);
+        let before = p.clone();
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            assert_eq!(p.extend_to(v), (0, 0), "value {v}");
+            assert_eq!(p, before, "value {v} must not modify the partition");
+        }
+    }
+
+    #[test]
+    fn huge_values_are_refused_instead_of_allocating_unboundedly() {
+        // 1e300 is ~5e299 average widths beyond the bound; extending to
+        // it would need that many intervals.
+        let mut p = DimensionPartition::equal_width(0.0, 4.0, 2);
+        let before = p.clone();
+        assert_eq!(p.extend_to(1e300), (0, 0));
+        assert_eq!(p.extend_to(-1e300), (0, 0));
+        assert_eq!(p, before);
+        // Values inside the cap still extend normally.
+        let (below, above) = p.extend_to(20.0);
+        assert_eq!((below, above), (0, 9));
+        assert!(p.locate(20.0).is_some());
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! Compact probability-row representations for the transition matrix.
+//!
+//! A materialized probability row is `cell_count` `f64`s — 8 bytes per
+//! cell. At million-measurement scale the row caches dominate a shard's
+//! RSS, so this module provides two compact encodings plus an arena that
+//! stores fixed-width quantized rows contiguously:
+//!
+//! * [`QuantizedRow`] — linear u16 fixed-point: `q_j = round(p_j / p_max
+//!   · 65535)`, 2 bytes per cell (4× smaller than dense). The row keeps
+//!   one `f64` (`denom = Σ q_j`) so probabilities are recovered as
+//!   `q_j / denom` — a single exact division, deterministic across
+//!   save/restore.
+//! * [`SparseRow`] — only the non-zero quantized entries, sorted by cell
+//!   index. Peaked posteriors (the common case after training: mass
+//!   concentrates near the observed destinations) quantize most tail
+//!   cells to zero, so the sparse form is smaller still.
+//!
+//! # Scoring contract
+//!
+//! Quantization is monotone (`p_a ≥ p_b ⇒ q_a ≥ q_b`), so the
+//! competition rank computed on the `u16`s equals the rank computed on
+//! the *dequantized* row `p'_j = q_j / denom`, and scoring a compact row
+//! is **bit-identical** to scoring its materialization
+//! ([`QuantizedRow::materialize`]) with the dense scorer. Against the
+//! original `f64` row the recovered probabilities differ by at most
+//! [`crate::float::ROW_QUANT_EPSILON`]; near-ties closer than one
+//! quantization step may collapse into exact ties (which competition
+//! ranking already handles).
+
+use serde::{Deserialize, Serialize};
+
+use crate::float::ROW_QUANT_EPSILON;
+
+/// The quantization scale: the largest entry of every quantized row maps
+/// to this value, so the full `u16` range is always used.
+pub const QUANT_SCALE: u16 = u16::MAX;
+
+/// How a transition matrix stores its materialized probability rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowFormat {
+    /// Full `f64` per cell — the exact posterior, 8 bytes/cell.
+    #[default]
+    Dense,
+    /// Linear u16 fixed-point ([`QuantizedRow`]), 2 bytes/cell,
+    /// arena-backed.
+    Quantized,
+    /// Non-zero quantized entries only ([`SparseRow`]), 6 bytes/entry.
+    Sparse,
+}
+
+impl RowFormat {
+    /// The flag-friendly name (`dense`, `quantized`, `sparse`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RowFormat::Dense => "dense",
+            RowFormat::Quantized => "quantized",
+            RowFormat::Sparse => "sparse",
+        }
+    }
+}
+
+impl std::fmt::Display for RowFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for RowFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(RowFormat::Dense),
+            "quantized" | "quant" => Ok(RowFormat::Quantized),
+            "sparse" => Ok(RowFormat::Sparse),
+            other => Err(format!(
+                "unknown row format {other:?} (expected dense, quantized, or sparse)"
+            )),
+        }
+    }
+}
+
+/// Quantizes one dense probability row into `(q, denom)`.
+///
+/// `q_j = round(p_j / p_max · 65535)`; `denom = Σ q_j` as `f64`. The
+/// maximum entry always quantizes to [`QUANT_SCALE`] exactly, and the
+/// mapping is monotone, so ranks survive quantization.
+///
+/// # Panics
+///
+/// Panics if the row is empty or contains a negative or non-finite
+/// probability (a corrupted posterior; normalized rows are in `[0, 1]`).
+pub fn quantize_row(row: &[f64]) -> (Vec<u16>, f64) {
+    assert!(!row.is_empty(), "cannot quantize an empty row");
+    let mut max = 0.0f64;
+    for &p in row {
+        assert!(
+            p.is_finite() && p >= 0.0,
+            "probability rows must be finite and non-negative, got {p}"
+        );
+        if p > max {
+            max = p;
+        }
+    }
+    assert!(max > 0.0, "probability row has no mass");
+    let scale = f64::from(QUANT_SCALE) / max;
+    let mut denom = 0.0f64;
+    let q: Vec<u16> = row
+        .iter()
+        .map(|&p| {
+            // `p / max <= 1`, so the product is within u16 range and the
+            // cast cannot truncate.
+            let v = (p * scale).round() as u16;
+            denom += f64::from(v);
+            v
+        })
+        .collect();
+    (q, denom)
+}
+
+/// A probability row stored as linear u16 fixed-point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRow {
+    q: Vec<u16>,
+    denom: f64,
+}
+
+impl QuantizedRow {
+    /// Quantizes a dense row; see [`quantize_row`].
+    pub fn from_dense(row: &[f64]) -> Self {
+        let (q, denom) = quantize_row(row);
+        QuantizedRow { q, denom }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the row has no cells (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// The quantized entries.
+    pub fn levels(&self) -> &[u16] {
+        &self.q
+    }
+
+    /// The normalization denominator `Σ q_j`.
+    pub fn denom(&self) -> f64 {
+        self.denom
+    }
+
+    /// The recovered probability of cell `j`: `q_j / denom`.
+    pub fn probability(&self, j: usize) -> f64 {
+        f64::from(self.q[j]) / self.denom
+    }
+
+    /// The dequantized dense row — the canonical `f64` row this compact
+    /// row represents. Scoring the compact row is bit-identical to
+    /// scoring this materialization.
+    pub fn materialize(&self) -> Vec<f64> {
+        materialize_levels(&self.q, self.denom)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.q.len() * 2 + std::mem::size_of::<f64>()
+    }
+}
+
+/// Dequantizes `(levels, denom)` into the canonical dense row.
+pub fn materialize_levels(levels: &[u16], denom: f64) -> Vec<f64> {
+    levels.iter().map(|&v| f64::from(v) / denom).collect()
+}
+
+/// A probability row stored as its non-zero quantized entries.
+///
+/// Entries are `(cell_index, level)` pairs sorted by cell index with
+/// every level positive; absent cells dequantize to exactly `0.0` and
+/// share the worst competition rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseRow {
+    entries: Vec<(u32, u16)>,
+    len: usize,
+    denom: f64,
+}
+
+impl SparseRow {
+    /// Quantizes a dense row and keeps only the non-zero entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rows longer than `u32::MAX` cells (far beyond any real
+    /// grid) or on invalid probabilities (see [`quantize_row`]).
+    pub fn from_dense(row: &[f64]) -> Self {
+        assert!(u32::try_from(row.len()).is_ok(), "row too long for u32");
+        let (q, denom) = quantize_row(row);
+        let entries = q
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0)
+            .map(|(j, &v)| (j as u32, v))
+            .collect();
+        SparseRow {
+            entries,
+            len: row.len(),
+            denom,
+        }
+    }
+
+    /// Number of cells in the full row.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the full row has no cells (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stored non-zero entries, sorted by cell index.
+    pub fn entries(&self) -> &[(u32, u16)] {
+        &self.entries
+    }
+
+    /// The normalization denominator `Σ q_j`.
+    pub fn denom(&self) -> f64 {
+        self.denom
+    }
+
+    /// The quantized level of cell `j` (0 when absent).
+    pub fn level(&self, j: usize) -> u16 {
+        let j = j as u32;
+        match self.entries.binary_search_by_key(&j, |&(c, _)| c) {
+            Ok(k) => self.entries[k].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// The recovered probability of cell `j`.
+    pub fn probability(&self, j: usize) -> f64 {
+        f64::from(self.level(j)) / self.denom
+    }
+
+    /// The dequantized dense row (absent cells are exactly `0.0`,
+    /// matching `0 / denom`).
+    pub fn materialize(&self) -> Vec<f64> {
+        let mut row = vec![0.0; self.len];
+        for &(j, v) in &self.entries {
+            row[j as usize] = f64::from(v) / self.denom;
+        }
+        row
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(u32, u16)>() + std::mem::size_of::<f64>() * 2
+    }
+}
+
+/// A handle into a [`RowArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowSlot(u32);
+
+/// A slab of fixed-width quantized rows stored contiguously.
+///
+/// Each transition matrix caches its materialized quantized rows here
+/// instead of in per-row `Vec`s, so a shard's row cache is a handful of
+/// large allocations rather than thousands of small ones. The width is
+/// the grid's cell count; growing the grid resets the arena (rows are a
+/// cache over the observation counts and recompute on demand).
+#[derive(Debug, Clone, Default)]
+pub struct RowArena {
+    width: usize,
+    slab: Vec<u16>,
+    free: Vec<u32>,
+}
+
+impl RowArena {
+    /// An empty arena with no width; the first [`RowArena::reset`] sets
+    /// the row width.
+    pub fn new() -> Self {
+        RowArena::default()
+    }
+
+    /// Drops every row and fixes the row width for subsequent
+    /// allocations.
+    pub fn reset(&mut self, width: usize) {
+        self.width = width;
+        self.slab.clear();
+        self.free.clear();
+    }
+
+    /// The fixed row width (0 before the first reset).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of live rows.
+    pub fn live_rows(&self) -> usize {
+        if self.width == 0 {
+            return 0;
+        }
+        self.slab.len() / self.width - self.free.len()
+    }
+
+    /// The slab's allocated footprint in bytes (live and free slots).
+    pub fn bytes(&self) -> usize {
+        self.slab.capacity() * 2
+    }
+
+    /// Bytes holding live rows only — the payload the quantized format
+    /// shrinks 4x against dense `f64` rows (free slots and bookkeeping
+    /// excluded).
+    pub fn live_bytes(&self) -> usize {
+        self.live_rows() * self.width * 2
+    }
+
+    /// Stores one row, reusing a freed slot when available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` does not match the arena width.
+    pub fn alloc(&mut self, levels: &[u16]) -> RowSlot {
+        assert_eq!(
+            levels.len(),
+            self.width,
+            "arena width is {}, row has {} cells",
+            self.width,
+            levels.len()
+        );
+        if let Some(slot) = self.free.pop() {
+            let start = slot as usize * self.width;
+            self.slab[start..start + self.width].copy_from_slice(levels);
+            return RowSlot(slot);
+        }
+        let slot = (self.slab.len() / self.width.max(1)) as u32;
+        // Exact growth: the slab is the dominant RSS term at scale, so
+        // one row's worth at a time beats Vec's doubling slack (row
+        // counts are bounded by the grid's cell count, so the O(rows)
+        // reallocations stay trivial).
+        self.slab.reserve_exact(self.width);
+        self.slab.extend_from_slice(levels);
+        RowSlot(slot)
+    }
+
+    /// Releases one row's slot for reuse. The slot must have come from
+    /// [`RowArena::alloc`] on this arena since the last reset and must
+    /// not be freed twice (callers keep at most one slot per source
+    /// cell, so this is enforced structurally).
+    pub fn free(&mut self, slot: RowSlot) {
+        debug_assert!(
+            !self.free.contains(&slot.0),
+            "row slot {} freed twice",
+            slot.0
+        );
+        self.free.push(slot.0);
+    }
+
+    /// The row stored at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range (stale after a reset).
+    pub fn get(&self, slot: RowSlot) -> &[u16] {
+        let start = slot.0 as usize * self.width;
+        &self.slab[start..start + self.width]
+    }
+}
+
+/// Verifies the internal consistency of a quantized row: non-empty,
+/// maximum level exactly [`QUANT_SCALE`], and `denom` equal to the sum
+/// of levels. Returns a description of the first violated invariant.
+pub fn verify_quantized_levels(levels: &[u16], denom: f64) -> Result<(), String> {
+    if levels.is_empty() {
+        return Err("quantized row has no cells".to_owned());
+    }
+    let max = levels.iter().copied().max().unwrap_or(0);
+    if max != QUANT_SCALE {
+        return Err(format!(
+            "quantized row peak is {max}, expected {QUANT_SCALE}"
+        ));
+    }
+    let sum: f64 = levels.iter().map(|&v| f64::from(v)).sum();
+    if sum.to_bits() != denom.to_bits() {
+        return Err(format!("denominator {denom} != level sum {sum}"));
+    }
+    Ok(())
+}
+
+/// Verifies a sparse row: entries sorted by strictly increasing cell
+/// index, all indices in range, all levels positive, peak level exactly
+/// [`QUANT_SCALE`], and `denom` equal to the level sum.
+pub fn verify_sparse_row(row: &SparseRow) -> Result<(), String> {
+    if row.len == 0 {
+        return Err("sparse row has zero cells".to_owned());
+    }
+    let mut prev: Option<u32> = None;
+    let mut max = 0u16;
+    let mut sum = 0.0f64;
+    for &(j, v) in &row.entries {
+        if (j as usize) >= row.len {
+            return Err(format!("entry cell {j} out of range for {} cells", row.len));
+        }
+        if v == 0 {
+            return Err(format!("entry cell {j} stores a zero level"));
+        }
+        if let Some(p) = prev {
+            if j <= p {
+                return Err(format!("entries out of order: cell {j} after {p}"));
+            }
+        }
+        prev = Some(j);
+        max = max.max(v);
+        sum += f64::from(v);
+    }
+    if max != QUANT_SCALE {
+        return Err(format!("sparse row peak is {max}, expected {QUANT_SCALE}"));
+    }
+    if sum.to_bits() != row.denom.to_bits() {
+        return Err(format!("denominator {} != level sum {sum}", row.denom));
+    }
+    Ok(())
+}
+
+/// Verifies that a compact row's recovered probabilities stay within
+/// [`ROW_QUANT_EPSILON`] of the original dense row it was quantized
+/// from.
+pub fn verify_quantization_error(original: &[f64], recovered: &[f64]) -> Result<(), String> {
+    if original.len() != recovered.len() {
+        return Err(format!(
+            "row lengths differ: {} vs {}",
+            original.len(),
+            recovered.len()
+        ));
+    }
+    for (j, (&p, &r)) in original.iter().zip(recovered).enumerate() {
+        if (p - r).abs() > ROW_QUANT_EPSILON {
+            return Err(format!(
+                "cell {j}: recovered {r} is {} from original {p} (limit {ROW_QUANT_EPSILON})",
+                (p - r).abs()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normalized(raw: &[f64]) -> Vec<f64> {
+        let sum: f64 = raw.iter().sum();
+        raw.iter().map(|&v| v / sum).collect()
+    }
+
+    #[test]
+    fn quantization_is_monotone_and_peaks_at_scale() {
+        let row = normalized(&[0.5, 3.0, 1.0, 0.0, 3.0, 0.25]);
+        let (q, denom) = quantize_row(&row);
+        assert_eq!(q.iter().copied().max(), Some(QUANT_SCALE));
+        assert!(denom > 0.0);
+        for i in 0..row.len() {
+            for j in 0..row.len() {
+                if row[i] > row[j] {
+                    assert!(q[i] >= q[j], "monotonicity broken at ({i}, {j})");
+                }
+            }
+        }
+        verify_quantized_levels(&q, denom).unwrap();
+    }
+
+    #[test]
+    fn recovered_probabilities_are_close_and_normalized() {
+        let row = normalized(&[0.01, 0.2, 0.79, 1.3, 0.0002, 2.0]);
+        let qr = QuantizedRow::from_dense(&row);
+        let back = qr.materialize();
+        verify_quantization_error(&row, &back).unwrap();
+        let sum: f64 = back.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "materialized row sums to {sum}");
+    }
+
+    #[test]
+    fn sparse_row_drops_only_zero_levels() {
+        // A strongly peaked row: tail cells quantize to zero.
+        let mut raw = vec![1e-9; 64];
+        raw[10] = 1.0;
+        raw[11] = 0.5;
+        let row = normalized(&raw);
+        let sr = SparseRow::from_dense(&row);
+        assert!(sr.entries().len() < row.len());
+        verify_sparse_row(&sr).unwrap();
+        let qr = QuantizedRow::from_dense(&row);
+        // Sparse and quantized materializations are bit-identical.
+        let (a, b) = (sr.materialize(), qr.materialize());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(sr.probability(10).to_bits(), qr.probability(10).to_bits());
+        assert_eq!(sr.level(0), 0);
+        assert_eq!(sr.probability(0), 0.0);
+    }
+
+    #[test]
+    fn arena_allocates_frees_and_reuses_slots() {
+        let mut arena = RowArena::new();
+        arena.reset(4);
+        let a = arena.alloc(&[1, 2, 3, QUANT_SCALE]);
+        let b = arena.alloc(&[QUANT_SCALE, 0, 0, 0]);
+        assert_eq!(arena.get(a), &[1, 2, 3, QUANT_SCALE]);
+        assert_eq!(arena.get(b), &[QUANT_SCALE, 0, 0, 0]);
+        assert_eq!(arena.live_rows(), 2);
+        arena.free(a);
+        assert_eq!(arena.live_rows(), 1);
+        let c = arena.alloc(&[9, 9, 9, QUANT_SCALE]);
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(arena.get(c), &[9, 9, 9, QUANT_SCALE]);
+        assert_eq!(arena.live_rows(), 2);
+        arena.reset(2);
+        assert_eq!(arena.live_rows(), 0);
+        let d = arena.alloc(&[7, QUANT_SCALE]);
+        assert_eq!(arena.get(d), &[7, QUANT_SCALE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena width")]
+    fn arena_rejects_mismatched_width() {
+        let mut arena = RowArena::new();
+        arena.reset(3);
+        arena.alloc(&[1, 2]);
+    }
+
+    #[test]
+    fn row_format_parses_and_displays() {
+        for f in [RowFormat::Dense, RowFormat::Quantized, RowFormat::Sparse] {
+            assert_eq!(f.name().parse::<RowFormat>().unwrap(), f);
+            assert_eq!(f.to_string(), f.name());
+        }
+        assert_eq!("quant".parse::<RowFormat>().unwrap(), RowFormat::Quantized);
+        assert!("bogus".parse::<RowFormat>().is_err());
+        assert_eq!(RowFormat::default(), RowFormat::Dense);
+    }
+
+    #[test]
+    fn row_format_serde_defaults_to_dense() {
+        #[derive(serde::Deserialize)]
+        struct Holder {
+            #[serde(default)]
+            format: RowFormat,
+        }
+        let h: Holder = serde_json::from_str("{}").unwrap();
+        assert_eq!(h.format, RowFormat::Dense);
+        let h: Holder = serde_json::from_str(r#"{"format":"Sparse"}"#).unwrap();
+        assert_eq!(h.format, RowFormat::Sparse);
+    }
+
+    #[test]
+    fn verify_quantized_levels_rejects_corruption() {
+        let row = normalized(&[1.0, 2.0, 3.0]);
+        let (q, denom) = quantize_row(&row);
+        assert!(verify_quantized_levels(&q, denom + 1.0)
+            .unwrap_err()
+            .contains("denominator"));
+        let mut capped = q.clone();
+        for v in &mut capped {
+            *v /= 2;
+        }
+        assert!(verify_quantized_levels(&capped, denom)
+            .unwrap_err()
+            .contains("peak"));
+        assert!(verify_quantized_levels(&[], 0.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn quantize_rejects_nan() {
+        quantize_row(&[0.5, f64::NAN]);
+    }
+}

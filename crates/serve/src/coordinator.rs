@@ -146,7 +146,7 @@ enum CoordMsg {
         shard: usize,
         epoch: u64,
         id: u64,
-        state: EngineSnapshot,
+        state: Box<EngineSnapshot>,
     },
     Disconnected {
         shard: usize,
@@ -179,6 +179,9 @@ struct CheckpointOp {
     files: Vec<Option<String>>,
     received: usize,
     error: Option<FabricError>,
+    /// Sketch candidates persisted across the shard states received so
+    /// far, summed into [`CheckpointManifest::candidate_pairs`].
+    candidates: usize,
 }
 
 /// The coordinator of a multi-node shard fabric. Single-threaded front
@@ -324,6 +327,7 @@ impl Coordinator {
         let config = snapshot.config;
         let tracker = snapshot.tracker.clone();
         let partitions = router.partition(snapshot.models);
+        let candidate_partitions = router.partition_pairs(snapshot.candidates);
 
         let slots: Slots = Arc::new(
             (0..shards)
@@ -343,12 +347,14 @@ impl Coordinator {
             classes::FABRIC_STATE_CACHE,
             partitions
                 .into_iter()
-                .map(|part| StateEntry {
+                .zip(candidate_partitions)
+                .map(|(part, candidates)| StateEntry {
                     cut: fabric.start_seq,
                     state: EngineSnapshot {
                         config,
                         models: part,
                         tracker: AlarmTracker::new(),
+                        candidates,
                     },
                 })
                 .collect::<Vec<_>>(),
@@ -824,7 +830,7 @@ fn reader_loop(shard: usize, epoch: u64, mut stream: TcpStream, tx: Sender<Coord
                     shard: s,
                     epoch: e,
                     id,
-                    state,
+                    state: Box::new(state),
                 },
                 // A duplicate ack is harmless protocol sloppiness.
                 Ok(FabricResponse::HelloAck { .. }) => continue,
@@ -932,9 +938,10 @@ fn merge_loop(
                             Ok(name) => {
                                 op.files[shard] = Some(name);
                                 op.received += 1;
+                                op.candidates += state.candidates.len();
                                 state_cache.lock()[shard] = StateEntry {
                                     cut: op.cut_seq,
-                                    state,
+                                    state: *state,
                                 };
                             }
                             Err(e) => {
@@ -1004,6 +1011,7 @@ fn merge_loop(
                     files: (0..shards).map(|_| None).collect(),
                     received: 0,
                     error: None,
+                    candidates: 0,
                 });
             }
         }
@@ -1108,6 +1116,11 @@ fn finish_checkpoint(
         sources: BTreeMap::new(),
         fabric_epoch: op.fabric_epoch,
         remote: op.remote,
+        candidate_pairs: op.candidates,
+        // Lifecycle counters live on the remote workers; candidate
+        // lists still persist through the shard states above.
+        sketch_promotions: 0,
+        sketch_demotions: 0,
     };
     match op.checkpointer.write_manifest(&manifest) {
         Ok(()) => {

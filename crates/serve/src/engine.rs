@@ -107,6 +107,14 @@ enum ShardReply {
         /// Pair-model rebuilds the shard's drift layer fired while
         /// scoring this snapshot (0 when the drift layer is off).
         rebuilds: u64,
+        /// Sketch-layer promotions that materialized a model while
+        /// scoring this snapshot (0 when the sketch layer is off).
+        promotions: u64,
+        /// Sketch-layer demotions that retired a model.
+        demotions: u64,
+        /// The shard's current sketch gauges (tracked pairs,
+        /// materialized models, sketch bytes) after this step.
+        gauges: ShardGauges,
     },
     /// The ingestion front evicted this sequence number from this
     /// shard's queue; the shard will never score it.
@@ -124,7 +132,24 @@ enum ShardReply {
         shard: usize,
         id: u64,
         result: Result<String, CheckpointError>,
+        /// Sketch candidates persisted inside the shard's file (0 on
+        /// error or with the sketch layer off); summed into
+        /// [`CheckpointManifest::candidate_pairs`].
+        candidates: usize,
     },
+}
+
+/// A shard's point-in-time sketch gauges, piggybacked on every scores
+/// reply so the stats snapshot stays current without extra round-trips.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardGauges {
+    /// Pairs under sketch tracking (candidates + materialized); equals
+    /// the model count when the sketch layer is off.
+    pub(crate) tracked_pairs: usize,
+    /// Pair models currently materialized.
+    pub(crate) materialized: usize,
+    /// Approximate heap bytes held by the shard's measurement sketches.
+    pub(crate) sketch_bytes: usize,
 }
 
 /// Aggregator bookkeeping for one in-flight sequence number.
@@ -144,6 +169,8 @@ struct CheckpointOp {
     files: Vec<Option<String>>,
     received: usize,
     error: Option<CheckpointError>,
+    /// Sketch candidates persisted across all shard files so far.
+    candidates: usize,
 }
 
 /// A running sharded detection engine. Built with
@@ -228,6 +255,10 @@ impl ShardedEngine {
         let engine_config = snapshot.config;
         let router = ShardRouter::new(config.shards);
         let partitions = router.partition(snapshot.models);
+        // Sketch candidates ride the same routing as models, so a pair
+        // promoted on its shard sits exactly where its model would have
+        // been placed at startup.
+        let candidate_partitions = router.partition_pairs(snapshot.candidates);
 
         let stats = Arc::new(OrderedMutex::new(
             classes::ENGINE_STATS,
@@ -237,6 +268,8 @@ impl ShardedEngine {
             let mut acc = stats.lock();
             for (k, part) in partitions.iter().enumerate() {
                 acc.per_shard[k].pairs = part.len();
+                acc.per_shard[k].materialized = part.len();
+                acc.per_shard[k].tracked_pairs = part.len() + candidate_partitions[k].len();
             }
         }
 
@@ -251,7 +284,8 @@ impl ShardedEngine {
         let mut shard_senders = Vec::with_capacity(config.shards);
         let mut shard_stealers = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
-        for (k, part) in partitions.into_iter().enumerate() {
+        for (k, (part, candidates)) in partitions.into_iter().zip(candidate_partitions).enumerate()
+        {
             let (tx, rx) = channel::bounded::<ShardMsg>(config.queue_capacity);
             shard_stealers.push(rx.clone());
             shard_senders.push(tx);
@@ -260,6 +294,7 @@ impl ShardedEngine {
                 config: shard_config,
                 models: part,
                 tracker: AlarmTracker::new(),
+                candidates,
             });
             // Shard engines share the flight recorder so drift-layer
             // rebuild events land in the same ring as alarms and
@@ -684,10 +719,25 @@ fn worker_loop(
                 let start = Instant::now();
                 let board = engine.step_scores(&snap);
                 let elapsed_ns = start.elapsed().as_nanos() as u64;
-                // Drain drift-layer rebuilds fired by this step; the
-                // events themselves already reached the flight recorder
-                // inside step_scores, so only the count travels here.
+                // Drain drift-layer rebuilds and sketch-layer lifecycle
+                // events fired by this step; the events themselves
+                // already reached the flight recorder inside
+                // step_scores, so only the counts travel here.
                 let rebuilds = engine.take_rebuild_events().len() as u64;
+                let lifecycle = engine.take_lifecycle_events();
+                let promotions = lifecycle
+                    .iter()
+                    .filter(|e| e.kind == gridwatch_detect::LifecycleKind::Promote && e.succeeded)
+                    .count() as u64;
+                let demotions = lifecycle
+                    .iter()
+                    .filter(|e| e.kind == gridwatch_detect::LifecycleKind::Demote)
+                    .count() as u64;
+                let gauges = ShardGauges {
+                    tracked_pairs: engine.tracked_pair_count(),
+                    materialized: engine.model_count(),
+                    sketch_bytes: engine.sketch_bytes(),
+                };
                 if reply
                     .send(ShardReply::Scores {
                         shard,
@@ -695,6 +745,9 @@ fn worker_loop(
                         board,
                         elapsed_ns,
                         rebuilds,
+                        promotions,
+                        demotions,
+                        gauges,
                     })
                     .is_err()
                 {
@@ -702,9 +755,16 @@ fn worker_loop(
                 }
             }
             ShardMsg::Checkpoint { id, dir } => {
-                let result = Checkpointer::new(dir).write_shard(shard, &engine.snapshot());
+                let snapshot = engine.snapshot();
+                let candidates = snapshot.candidates.len();
+                let result = Checkpointer::new(dir).write_shard(shard, &snapshot);
                 if reply
-                    .send(ShardReply::CheckpointFile { shard, id, result })
+                    .send(ShardReply::CheckpointFile {
+                        shard,
+                        id,
+                        result,
+                        candidates,
+                    })
                     .is_err()
                 {
                     break;
@@ -736,6 +796,9 @@ fn aggregator_loop(
                 board,
                 elapsed_ns,
                 rebuilds,
+                promotions,
+                demotions,
+                gauges,
             } => {
                 // The worker measured its `step_scores` wall time; the
                 // aggregator owns the roll-ups, so both the per-shard
@@ -745,6 +808,11 @@ fn aggregator_loop(
                     let mut acc = stats.lock();
                     acc.per_shard[shard].observe_latency(elapsed_ns);
                     acc.rebuilds += rebuilds;
+                    acc.promotions += promotions;
+                    acc.demotions += demotions;
+                    acc.per_shard[shard].tracked_pairs = gauges.tracked_pairs;
+                    acc.per_shard[shard].materialized = gauges.materialized;
+                    acc.per_shard[shard].sketch_bytes = gauges.sketch_bytes;
                 }
                 let merge = obs.tracer.span(Stage::Merge);
                 let entry = pending.entry(seq).or_default();
@@ -774,12 +842,19 @@ fn aggregator_loop(
                     files: vec![None; shards],
                     received: 0,
                     error: None,
+                    candidates: 0,
                 });
             }
-            ShardReply::CheckpointFile { shard, id, result } => {
+            ShardReply::CheckpointFile {
+                shard,
+                id,
+                result,
+                candidates,
+            } => {
                 let op = checkpoint.as_mut().expect("checkpoint file without begin");
                 debug_assert_eq!(op.id, id, "interleaved checkpoints are impossible");
                 op.received += 1;
+                op.candidates += candidates;
                 match result {
                     Ok(name) => op.files[shard] = Some(name),
                     Err(e) => {
@@ -841,6 +916,10 @@ fn aggregator_loop(
             let outcome = match op.error {
                 Some(e) => Err(e),
                 None => {
+                    let (sketch_promotions, sketch_demotions) = {
+                        let acc = stats.lock();
+                        (acc.promotions, acc.demotions)
+                    };
                     let manifest = CheckpointManifest {
                         version: 1,
                         shards,
@@ -855,6 +934,9 @@ fn aggregator_loop(
                         sources: op.sources,
                         fabric_epoch: 0,
                         remote: Vec::new(),
+                        candidate_pairs: op.candidates,
+                        sketch_promotions,
+                        sketch_demotions,
                     };
                     Checkpointer::new(&op.dir)
                         .write_manifest(&manifest)

@@ -120,6 +120,11 @@ pub struct BoardFrame {
 }
 
 /// Worker → coordinator messages.
+///
+/// `State` dwarfs the other variants, but it cannot be boxed: the
+/// vendored serde derives have no `Box<T>` impls. One `State` exists
+/// per shard per checkpoint, so the oversized variant never amplifies.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FabricResponse {
     /// Handshake acknowledgement.
@@ -573,6 +578,7 @@ fn session_loop(
                 },
                 models: state.models,
                 tracker: AlarmTracker::new(),
+                candidates: state.candidates,
             });
             let ack = encode_response(&FabricResponse::HelloAck {
                 shard,
@@ -782,6 +788,7 @@ mod tests {
             config: EngineConfig::default(),
             models: Vec::new(),
             tracker: AlarmTracker::new(),
+            candidates: Vec::new(),
         };
         let old_hello = format!(
             "{{\"control\":{{\"Hello\":{{\"shard\":1,\"shards\":2,\"epoch\":3,\"state\":{}}}}}}}",

@@ -43,6 +43,19 @@ pub struct ShardStats {
     /// actually engaged).
     #[serde(default)]
     pub backpressure_wait_ns: LogHistogram,
+    /// Pairs under sketch tracking on this shard (candidates +
+    /// materialized models); equals `pairs` when the sketch layer is
+    /// off. Absent in pre-sketch dumps.
+    #[serde(default)]
+    pub tracked_pairs: usize,
+    /// Pair models currently materialized on this shard (moves with
+    /// promotions/demotions, unlike the startup `pairs`).
+    #[serde(default)]
+    pub materialized_models: usize,
+    /// Approximate heap bytes held by this shard's measurement
+    /// sketches (0 with the sketch layer off).
+    #[serde(default)]
+    pub sketch_bytes: usize,
 }
 
 /// Wire-path counters for one network connection.
@@ -165,6 +178,12 @@ pub struct ServeStats {
     /// Pair-model rebuilds fired by the shards' drift layers.
     #[serde(default)]
     pub rebuilds: u64,
+    /// Sketch-layer promotions that materialized a model.
+    #[serde(default)]
+    pub promotions: u64,
+    /// Sketch-layer demotions that retired a model.
+    #[serde(default)]
+    pub demotions: u64,
     /// Wire-path counters (all zero when serving a local replay).
     #[serde(default)]
     pub net: NetStats,
@@ -238,6 +257,18 @@ impl ServeStats {
             "Pair-model rebuilds fired by the shards' drift layers.",
         );
         expo.sample("gridwatch_rebuilds_total", &[], self.rebuilds);
+        expo.header(
+            "gridwatch_promotions_total",
+            "counter",
+            "Sketch-layer promotions that materialized a pair model.",
+        );
+        expo.sample("gridwatch_promotions_total", &[], self.promotions);
+        expo.header(
+            "gridwatch_demotions_total",
+            "counter",
+            "Sketch-layer demotions that retired a pair model.",
+        );
+        expo.sample("gridwatch_demotions_total", &[], self.demotions);
 
         expo.header(
             "gridwatch_shard_pairs",
@@ -250,6 +281,45 @@ impl ServeStats {
                 "gridwatch_shard_pairs",
                 &[("shard", &label)],
                 shard.pairs as u64,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_tracked_pairs",
+            "gauge",
+            "Pairs under sketch tracking on each shard (candidates + models).",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.sample(
+                "gridwatch_shard_tracked_pairs",
+                &[("shard", &label)],
+                shard.tracked_pairs as u64,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_materialized_models",
+            "gauge",
+            "Pair models currently materialized on each shard.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.sample(
+                "gridwatch_shard_materialized_models",
+                &[("shard", &label)],
+                shard.materialized_models as u64,
+            );
+        }
+        expo.header(
+            "gridwatch_shard_sketch_bytes",
+            "gauge",
+            "Approximate heap bytes held by each shard's measurement sketches.",
+        );
+        for shard in &self.shards {
+            let label = shard.shard.to_string();
+            expo.sample(
+                "gridwatch_shard_sketch_bytes",
+                &[("shard", &label)],
+                shard.sketch_bytes as u64,
             );
         }
         expo.header(
@@ -425,6 +495,8 @@ pub(crate) struct StatsAccumulator {
     pub(crate) checkpoints: u64,
     pub(crate) sampled_out: u64,
     pub(crate) rebuilds: u64,
+    pub(crate) promotions: u64,
+    pub(crate) demotions: u64,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -435,6 +507,9 @@ pub(crate) struct ShardAccumulator {
     pub(crate) latency: LogHistogram,
     pub(crate) queue_depths: LogHistogram,
     pub(crate) backpressure_wait_ns: LogHistogram,
+    pub(crate) tracked_pairs: usize,
+    pub(crate) materialized: usize,
+    pub(crate) sketch_bytes: usize,
 }
 
 impl ShardAccumulator {
@@ -477,6 +552,9 @@ impl StatsAccumulator {
                     latency: acc.latency.clone(),
                     queue_depths: acc.queue_depths.clone(),
                     backpressure_wait_ns: acc.backpressure_wait_ns.clone(),
+                    tracked_pairs: acc.tracked_pairs,
+                    materialized_models: acc.materialized,
+                    sketch_bytes: acc.sketch_bytes,
                 })
                 .collect(),
             submitted: self.submitted,
@@ -495,6 +573,8 @@ impl StatsAccumulator {
                 }
             },
             rebuilds: self.rebuilds,
+            promotions: self.promotions,
+            demotions: self.demotions,
             net: NetStats::default(),
         }
     }
@@ -610,10 +690,12 @@ mod tests {
             "\"queue_depth\":0,",
             "\"latency\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},",
             "\"queue_depths\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},",
-            "\"backpressure_wait_ns\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]}}],",
+            "\"backpressure_wait_ns\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},",
+            "\"tracked_pairs\":0,\"materialized_models\":0,\"sketch_bytes\":0}],",
             "\"submitted\":0,\"rejected\":0,\"reports\":0,\"empty_steps\":0,",
             "\"alarms\":0,\"checkpoints\":0,\"sampled_out\":0,",
             "\"coverage_fraction\":1.0,\"rebuilds\":0,",
+            "\"promotions\":0,\"demotions\":0,",
             "\"net\":{\"accepted\":0,\"closed\":0,",
             "\"frames\":0,\"decode_errors\":0,\"timeouts\":0,\"deadline_failures\":0,",
             "\"rejected\":0,",
@@ -636,6 +718,8 @@ mod tests {
         acc.reports = 3;
         acc.alarms = 1;
         acc.per_shard[0].pairs = 2;
+        acc.per_shard[0].tracked_pairs = 2;
+        acc.per_shard[0].materialized = 2;
         for ns in [3, 900, 1000] {
             acc.per_shard[0].observe_latency(ns);
         }
@@ -667,9 +751,24 @@ gridwatch_sampled_out_total 0
 # HELP gridwatch_rebuilds_total Pair-model rebuilds fired by the shards' drift layers.
 # TYPE gridwatch_rebuilds_total counter
 gridwatch_rebuilds_total 0
+# HELP gridwatch_promotions_total Sketch-layer promotions that materialized a pair model.
+# TYPE gridwatch_promotions_total counter
+gridwatch_promotions_total 0
+# HELP gridwatch_demotions_total Sketch-layer demotions that retired a pair model.
+# TYPE gridwatch_demotions_total counter
+gridwatch_demotions_total 0
 # HELP gridwatch_shard_pairs Pair models owned by each shard.
 # TYPE gridwatch_shard_pairs gauge
 gridwatch_shard_pairs{shard=\"0\"} 2
+# HELP gridwatch_shard_tracked_pairs Pairs under sketch tracking on each shard (candidates + models).
+# TYPE gridwatch_shard_tracked_pairs gauge
+gridwatch_shard_tracked_pairs{shard=\"0\"} 2
+# HELP gridwatch_shard_materialized_models Pair models currently materialized on each shard.
+# TYPE gridwatch_shard_materialized_models gauge
+gridwatch_shard_materialized_models{shard=\"0\"} 2
+# HELP gridwatch_shard_sketch_bytes Approximate heap bytes held by each shard's measurement sketches.
+# TYPE gridwatch_shard_sketch_bytes gauge
+gridwatch_shard_sketch_bytes{shard=\"0\"} 0
 # HELP gridwatch_shard_processed_total Snapshots scored by each shard.
 # TYPE gridwatch_shard_processed_total counter
 gridwatch_shard_processed_total{shard=\"0\"} 3

@@ -127,6 +127,7 @@ fn chaos_worker(listener: TcpListener, chaos: Chaos) -> JoinHandle<()> {
             },
             models: state.models,
             tracker: AlarmTracker::new(),
+            candidates: state.candidates,
         });
         let ack = encode_response(&FabricResponse::HelloAck {
             shard,

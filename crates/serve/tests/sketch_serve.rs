@@ -1,0 +1,181 @@
+//! Sketch gating through the sharded serving layer: candidate pairs are
+//! partitioned alongside models, promoted inside the owning shard,
+//! surfaced in `ServeStats`, carried through checkpoints, and the whole
+//! gated pipeline stays bit-identical to a single-threaded engine.
+
+use std::path::PathBuf;
+
+use gridwatch_detect::{
+    DetectionEngine, EngineConfig, EngineSnapshot, SketchConfig, Snapshot, StepReport,
+};
+use gridwatch_serve::{BackpressurePolicy, Checkpointer, ServeConfig, ShardedEngine};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STEP_SECS: u64 = 360;
+
+fn id(tag: u16) -> MeasurementId {
+    MeasurementId::new(MachineId::new(0), MetricKind::Custom(tag))
+}
+
+/// The shared stationary load at tick `k`.
+fn load_at(k: u64) -> f64 {
+    let phase = (k % 48) as f64 / 48.0 * std::f64::consts::TAU;
+    30.0 + 25.0 * phase.sin()
+}
+
+/// One trained pair `(0,1)`, one truly-correlated candidate `(2,3)`,
+/// and four noise-only candidates over measurements 4 and 5.
+fn trained_with_candidates() -> EngineSnapshot {
+    let sketch = SketchConfig {
+        // 64 lanes: estimator noise std ~1/sqrt(depth) = 0.125, so the
+        // 0.6 admission threshold sits ~5 sigma above noise and this
+        // test cannot flicker.
+        depth: 64,
+        rescore_every: 4,
+        admit_rounds: 2,
+        demote_rounds: 3,
+        cooldown: 20,
+        min_history: 30,
+        ..SketchConfig::default()
+    };
+    let config = EngineConfig {
+        sketch: Some(sketch),
+        ..EngineConfig::default()
+    };
+    let pair = MeasurementPair::new(id(0), id(1)).unwrap();
+    let history = PairSeries::from_samples((0..300u64).map(|k| {
+        let load = load_at(k);
+        (k * STEP_SECS, load, 2.0 * load + 10.0)
+    }))
+    .unwrap();
+    let mut engine = DetectionEngine::train(vec![(pair, history)], config).unwrap();
+    let candidates: Vec<MeasurementPair> = [(2, 3), (2, 4), (3, 5), (4, 5), (1, 4)]
+        .iter()
+        .map(|&(a, b)| MeasurementPair::new(id(a), id(b)).unwrap())
+        .collect();
+    engine.add_candidates(candidates);
+    engine.snapshot()
+}
+
+/// A stationary trace: measurements 0-3 follow the shared load (so the
+/// `(2,3)` candidate is truly correlated), 4 and 5 are pure noise.
+fn trace(steps: u64) -> Vec<Snapshot> {
+    // The trace is materialized once (seeded RNG, fixed order), so the
+    // sharded and unsharded runs consume byte-identical inputs.
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..steps)
+        .map(|k| {
+            let tick = 300 + k;
+            let load = load_at(tick);
+            let mut noise = |scale: f64| scale * (rng.random::<f64>() * 2.0 - 1.0);
+            let mut snap = Snapshot::new(Timestamp::from_secs(tick * STEP_SECS));
+            snap.insert(id(0), load + noise(1.0));
+            snap.insert(id(1), 2.0 * load + 10.0 + noise(1.0));
+            snap.insert(id(2), 3.0 * load + 5.0 + noise(1.0));
+            snap.insert(id(3), 1.5 * load + 2.0 + noise(1.0));
+            snap.insert(id(4), noise(30.0));
+            snap.insert(id(5), noise(30.0));
+            snap
+        })
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridwatch-sketch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn serve_config(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        queue_capacity: 8,
+        backpressure: BackpressurePolicy::Block,
+        sampling: None,
+    }
+}
+
+/// The sharded gated pipeline is bit-identical to the unsharded one,
+/// counts the promotion in `ServeStats`, and leaves only the noise
+/// candidates unmaterialized.
+#[test]
+fn sharded_promotion_matches_unsharded_and_counts_in_stats() {
+    let snapshot = trained_with_candidates();
+    let trace = trace(80);
+
+    let mut single = DetectionEngine::from_snapshot(snapshot.clone());
+    let want: Vec<StepReport> = trace.iter().map(|s| single.step(s)).collect();
+    assert_eq!(single.promotion_count(), 1, "exactly the (2,3) candidate");
+    assert_eq!(single.model_count(), 2);
+    assert_eq!(single.candidates().len(), 4);
+
+    let mut engine = ShardedEngine::start(snapshot, serve_config(3));
+    for snap in &trace {
+        engine.submit(snap.clone());
+    }
+    let (got, stats) = engine.shutdown();
+    assert_eq!(got, want, "sharded reports must match the unsharded run");
+    assert_eq!(stats.promotions, 1);
+    assert_eq!(stats.demotions, 0);
+    let tracked: usize = stats.shards.iter().map(|s| s.tracked_pairs).sum();
+    let materialized: usize = stats.shards.iter().map(|s| s.materialized_models).sum();
+    let sketch_bytes: usize = stats.shards.iter().map(|s| s.sketch_bytes).sum();
+    assert_eq!(tracked, 6, "1 trained + 5 candidates stay tracked");
+    assert_eq!(materialized, 2, "trained pair + the promoted candidate");
+    assert!(sketch_bytes > 0, "lanes are live on at least one shard");
+}
+
+/// Candidates survive a checkpoint: the manifest counts them, recovery
+/// reassembles them, and a resumed sharded engine keeps producing the
+/// exact reports of an uninterrupted unsharded run.
+#[test]
+fn candidates_survive_checkpoint_and_resume() {
+    let snapshot = trained_with_candidates();
+    let trace = trace(80);
+
+    // Cut before anything can promote (min_history is 30): the
+    // checkpoint must carry all five candidates as candidates.
+    let dir = scratch_dir("resume");
+    let cut = 10usize;
+    let mut engine = ShardedEngine::start(snapshot, serve_config(2));
+    for snap in &trace[..cut] {
+        engine.submit(snap.clone());
+    }
+    let manifest = engine.checkpoint(&dir).expect("checkpoint succeeds");
+    assert_eq!(manifest.cut_seq, cut as u64);
+    assert_eq!(manifest.candidate_pairs, 5, "nothing promoted by the cut");
+    drop(engine);
+
+    let (recovered, _manifest) = Checkpointer::new(&dir).recover().expect("recover succeeds");
+    assert_eq!(recovered.candidates.len(), 5);
+    assert_eq!(recovered.models.len(), 1);
+
+    // Resume and replay from the cut: the sketch lanes restart cold,
+    // but lane state never feeds scores — only promotion timing — and
+    // the unsharded reference consumed the identical prefix, so resumed
+    // reports match an unsharded resume from the same checkpoint.
+    let mut single = DetectionEngine::from_snapshot(recovered.clone());
+    let want_resumed: Vec<StepReport> = trace[cut..].iter().map(|s| single.step(s)).collect();
+    let mut engine = ShardedEngine::start(recovered, serve_config(4));
+    for snap in &trace[cut..] {
+        engine.submit(snap.clone());
+    }
+    let (got, stats) = engine.shutdown();
+    assert_eq!(got, want_resumed);
+    assert_eq!(stats.promotions, 1, "the correlated pair still promotes");
+
+    // A second checkpoint after promotion: the promoted pair is a model
+    // now, so only the four noise candidates remain counted.
+    let mut engine = ShardedEngine::start(single.snapshot(), serve_config(2));
+    let manifest = engine.checkpoint(&dir).expect("second checkpoint");
+    assert_eq!(manifest.candidate_pairs, 4);
+    engine.shutdown();
+    let (recovered, _) = Checkpointer::new(&dir).recover().unwrap();
+    assert_eq!(recovered.models.len(), 2);
+    assert_eq!(recovered.candidates.len(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -39,7 +39,8 @@ pub struct EventRecord {
     /// Monotonic nanoseconds from the originating recorder (orders
     /// events within one instant).
     pub at_ns: u64,
-    /// Event class (`alarm`, `checkpoint`, `conn-open`, ...).
+    /// Event class (`alarm`, `checkpoint`, `rebuild`, `promote`,
+    /// `demote`, `conn-open`, ...).
     pub kind: String,
     /// Free-form detail.
     pub detail: String,

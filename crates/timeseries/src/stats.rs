@@ -225,13 +225,24 @@ impl Histogram {
         (self.hi - self.lo) / self.counts.len() as f64
     }
 
-    /// The bin index a value falls into (clamped to range).
+    /// The bin index a value falls into (clamped to range). `NaN` lands
+    /// in the first bin, like any other below-range value.
     pub fn bin_of(&self, value: f64) -> usize {
-        if value <= self.lo {
+        let last = self.counts.len() - 1;
+        // Clamp BEFORE the float→usize cast. `value <= lo` handles the
+        // negative side, but NaN fails every comparison, and a huge or
+        // infinite value makes the quotient overflow usize — both were
+        // previously absorbed only by Rust's saturating cast semantics
+        // (NaN→0, +inf→usize::MAX). The clamp makes the truncation
+        // explicit instead of an implicit property of `as`.
+        if value.is_nan() || value <= self.lo {
             return 0;
         }
-        let raw = ((value - self.lo) / self.bin_width()) as usize;
-        raw.min(self.counts.len() - 1)
+        let raw = (value - self.lo) / self.bin_width();
+        if raw >= last as f64 {
+            return last;
+        }
+        raw as usize
     }
 
     /// Adds one observation.
@@ -377,5 +388,32 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn histogram_rejects_zero_bins() {
         Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn histogram_clamps_extreme_and_non_finite_values_explicitly() {
+        // Regression: the bucket index was computed with a bare
+        // `as usize` cast, which relied on saturating-cast semantics to
+        // avoid wrapping on NaN / ±inf / huge quotients. The clamp is
+        // now explicit; this pins the behaviour at every extreme.
+        let h = Histogram::new(-5.0, 5.0, 4);
+        assert_eq!(h.bin_of(f64::NEG_INFINITY), 0);
+        assert_eq!(h.bin_of(f64::INFINITY), 3);
+        assert_eq!(h.bin_of(f64::NAN), 0);
+        assert_eq!(h.bin_of(-1e308), 0);
+        assert_eq!(h.bin_of(1e308), 3);
+        assert_eq!(h.bin_of(f64::MIN_POSITIVE), 2);
+        // A degenerate-width histogram (lo ≈ hi) still cannot escape
+        // the bin range even though the quotient overflows.
+        let tiny = Histogram::new(0.0, f64::MIN_POSITIVE, 2);
+        assert_eq!(tiny.bin_of(1.0), 1);
+        assert_eq!(tiny.bin_of(-1.0), 0);
+        // Adding the extremes never panics and lands in real bins.
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e300, -1e300] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts(), &[3, 0, 2]);
     }
 }
