@@ -48,7 +48,9 @@ echo "==> observability goldens (exposition format + stats schema)"
 cargo test -q -p gridwatch-serve --lib -- \
     prometheus_exposition_is_pinned stats_dump_schema_is_pinned
 
-echo "==> observability overhead gate (disabled tracing must be free)"
+echo "==> observability overhead gate (disabled tracing + exemplars must be free)"
+# Hard-gates both disabled hot paths at <= 15ns/step and prints the
+# fourth CI trend line: exemplar posture (retained / dropped / bytes).
 cargo bench -q -p gridwatch-bench --bench obs_overhead
 
 echo "==> network fault injection (single-threaded, deterministic)"
@@ -110,5 +112,11 @@ cargo bench -q -p gridwatch-bench --bench sketch_throughput
 
 echo "==> compact row memory gate (quantized rows fit >= 4x models per GB)"
 cargo bench -q -p gridwatch-bench --bench model_rss
+
+echo "==> causal trace exemplars: fabric 7-stage coverage + report bit-identity"
+cargo test -q -p gridwatch-serve --test trace_exemplars -- --test-threads=1
+
+echo "==> trace query + health plane e2e (gridwatch trace, /healthz flip)"
+cargo test -q -p gridwatch-cli --test trace -- --test-threads=1
 
 echo "CI OK"

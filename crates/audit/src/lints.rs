@@ -54,6 +54,15 @@ pub const CHECKPOINTED_STRUCTS: &[&str] = &[
     // The history store's manifest is its only serde-persisted file
     // (everything else is hand-framed binary with its own versioning).
     "StoreManifest",
+    // Trace exemplars persist as JSON payloads inside the history
+    // store's trace records, and ride the fabric wire inside board
+    // frames; old stores and old workers must both keep decoding after
+    // a span field is added. The health report is a pinned operator
+    // API (`/healthz`) with the same additive-only contract.
+    "SpanSlice",
+    "TraceExemplar",
+    "HealthReport",
+    "ShardHealth",
 ];
 
 /// Identifier fragments that mark a value as a score or probability for

@@ -4,6 +4,7 @@
 //! produces, checkpoint the fabric, and migrate shards when a worker
 //! dies.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gridwatch_detect::{EngineSnapshot, Snapshot};
@@ -13,8 +14,9 @@ use gridwatch_timeseries::Timestamp;
 
 use crate::commands::serve::ReportTally;
 use crate::commands::{
-    dump_flight, install_flight_panic_hook, load_trace, open_history_sink, start_metrics,
-    store_checkpoint, write_stats_atomic,
+    dump_flight, exemplar_config, health_closure, install_flight_panic_hook, load_trace,
+    open_history_sink, start_metrics_with_health, store_checkpoint, with_burn_gauges,
+    write_stats_atomic, HealthState,
 };
 use crate::flags::Flags;
 
@@ -63,15 +65,21 @@ history store:
   --store-max-partitions N  keep at most N partitions
 
 observability:
-  --metrics ADDR            serve Prometheus metrics over HTTP on ADDR
-                            (e.g. 127.0.0.1:0; port 0 picks a free port)
-                            and enable span tracing across the fabric
-                            (workers are told to trace in the handshake);
-                            flight recorder dumps land in --checkpoint DIR";
+  --metrics ADDR            serve Prometheus metrics (plus burn-rate
+                            gauges, GET /healthz, and GET /readyz) over
+                            HTTP on ADDR (e.g. 127.0.0.1:0; port 0
+                            picks a free port) and enable span tracing
+                            across the fabric (workers are told to
+                            trace in the handshake); flight recorder
+                            dumps land in --checkpoint DIR
+
+Causal tracing flags (--trace-exemplars, --trace-budget-ns,
+--trace-head-every) also ride the handshake: workers ship their
+ingest/decode/score span slices inside each board frame.";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("{HELP}");
+        println!("{HELP}\n\n{}", crate::commands::TRACE_HELP);
         return Ok(());
     }
     let flags = Flags::parse(args, &["resume", "halt-workers"])?;
@@ -151,6 +159,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
         // worker, so one flag lights up the whole fabric.
         obs.tracer.enable();
     }
+    if let Some(config) = exemplar_config(&flags)? {
+        // Also handshake-propagated: workers ship span slices inside
+        // their board frames when exemplars are on.
+        obs.exemplar.enable(config);
+    }
     if let Some(dir) = checkpoint_dir.clone() {
         install_flight_panic_hook(obs.recorder.clone(), dir);
     }
@@ -162,8 +175,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
         pairs,
         addrs
     );
+    let health_state = Arc::new(HealthState::default());
     let probe = coordinator.metrics_probe();
-    let _metrics = start_metrics(metrics_addr.as_deref(), move || probe.to_prometheus())?;
+    let sample_probe = coordinator.metrics_probe();
+    let health_probe = coordinator.metrics_probe();
+    let _metrics = start_metrics_with_health(
+        metrics_addr.as_deref(),
+        with_burn_gauges(
+            move || probe.to_prometheus(),
+            move || sample_probe.burn_sample(),
+        ),
+        health_closure(
+            move || health_probe.health_report(),
+            Arc::clone(&health_state),
+        ),
+    )?;
 
     let start = Timestamp::from_days(from_day);
     let end = Timestamp::from_days(from_day + days);
@@ -207,14 +233,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 checkpoint(&mut coordinator, &addrs, reattach_secs, dir)?;
             }
             let probe = coordinator.metrics_probe();
-            store_checkpoint(&mut sink, &obs.recorder, last_at, || {
+            store_checkpoint(&mut sink, &obs.recorder, &obs.exemplar, last_at, || {
                 serde_json::to_string_pretty(&probe.stats()).unwrap_or_default()
             })?;
+            health_state.note_checkpoint(sink.as_ref().map_or(0, |s| s.store().unsealed_records()));
         }
         while let Some(report) = coordinator.try_recv_report() {
             if !report.alarms.is_empty() {
                 dump_flight(
                     &obs.recorder,
+                    &obs.exemplar,
                     &mut sink,
                     checkpoint_dir.as_deref(),
                     report.scores.at().as_secs(),
@@ -251,12 +279,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     dump_flight(
         &obs.recorder,
+        &obs.exemplar,
         &mut sink,
         checkpoint_dir.as_deref(),
         last_at,
         "shutdown",
     );
-    store_checkpoint(&mut sink, &obs.recorder, last_at, || {
+    store_checkpoint(&mut sink, &obs.recorder, &obs.exemplar, last_at, || {
         serde_json::to_string_pretty(&stats).unwrap_or_default()
     })?;
     let elapsed = began.elapsed();

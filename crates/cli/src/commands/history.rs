@@ -15,10 +15,12 @@ use gridwatch_store::{
 use crate::flags::Flags;
 
 const HELP: &str = "\
-gridwatch history --store DIR [--kind scores|stats|events] [flags]
+gridwatch history --store DIR [--kind scores|stats|events|traces] [flags]
 
   --store DIR          the store directory to query (required)
-  --kind K             scores | stats | events        (default scores)
+  --kind K             scores | stats | events | traces (default scores;
+                       traces prints raw exemplar records — `gridwatch
+                       trace` renders them as waterfalls)
 
 time range (trace time; default: everything):
   --from-day N         window start in days           (86400 s/day)
@@ -93,7 +95,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 print_scores(&mut out, &rows, format, limit)
             }
         }
-        RecordKind::Stats | RecordKind::Event => {
+        RecordKind::Stats | RecordKind::Event | RecordKind::Trace => {
             if flags.get::<usize>("top-k")?.is_some() {
                 return Err("--top-k only applies to --kind scores".to_string());
             }
@@ -114,8 +116,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// The scan window from the time-range flags.
-fn window(flags: &Flags) -> Result<(u64, u64), String> {
+/// The scan window from the time-range flags (shared with `gridwatch
+/// trace`, which takes the same range).
+pub(crate) fn window(flags: &Flags) -> Result<(u64, u64), String> {
     let mut from_at = 0u64;
     let mut to_at = u64::MAX;
     if let Some(day) = flags.get::<u64>("from-day")? {
@@ -341,6 +344,17 @@ fn print_records(
                     Record::Score(row) => {
                         writeln!(out, "{},{seq},score,{}", row.at, csv_field(&row.key))?;
                     }
+                    Record::Trace(t) => {
+                        writeln!(
+                            out,
+                            "{},{seq},trace,{}",
+                            t.at,
+                            csv_field(&format!(
+                                "seq {} source {} alarmed {} total {}ns",
+                                t.seq, t.source, t.alarmed, t.total_ns
+                            ))
+                        )?;
+                    }
                 }
             }
         }
@@ -365,6 +379,12 @@ fn print_records(
                         row.at,
                         json_string(&row.key),
                         json_f64(row.score)
+                    ),
+                    // The payload is already the exemplar's JSON
+                    // document; embed it unescaped.
+                    Record::Trace(t) => format!(
+                        "{{\"at\":{},\"seq\":{seq},\"kind\":\"trace\",\"exemplar\":{}}}",
+                        t.at, t.payload
                     ),
                 })
                 .collect();

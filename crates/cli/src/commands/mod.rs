@@ -9,10 +9,13 @@ pub mod monitor;
 pub mod serve;
 pub mod shard_worker;
 pub mod simulate;
+pub mod trace;
 pub mod train;
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use gridwatch_serve::{HistoryDepth, HistorySink};
 use gridwatch_sim::Trace;
@@ -35,6 +38,122 @@ history store:
   --store-retention-secs N  drop partitions older than N seconds of
                             trace time                     (default: keep all)
   --store-max-partitions N  keep at most N partitions      (default: keep all)";
+
+/// The causal-tracing flag block shared by `serve` and `coordinator`
+/// help texts.
+pub const TRACE_HELP: &str = "\
+causal tracing (tail-based exemplars; off — and free — unless a
+--trace-* flag is given; alarmed snapshots are always retained while
+tracing is on, and with --store the retained exemplars persist as
+trace records, queryable with `gridwatch trace`):
+  --trace-exemplars N       retain up to N exemplar traces (default 64)
+  --trace-budget-ns N       also retain any snapshot whose slowest
+                            stage span exceeds N nanoseconds
+  --trace-head-every N      also retain every N-th snapshot regardless
+                            of outcome (1-in-N head sample)";
+
+/// The exemplar tail-sampling config from the `--trace-*` flags;
+/// `None` (tracing stays disabled and zero-cost) when no flag was
+/// given.
+pub fn exemplar_config(flags: &Flags) -> Result<Option<gridwatch_obs::ExemplarConfig>, String> {
+    let ring: Option<usize> = flags.get("trace-exemplars")?;
+    let budget: Option<u64> = flags.get("trace-budget-ns")?;
+    let head: Option<u64> = flags.get("trace-head-every")?;
+    if ring.is_none() && budget.is_none() && head.is_none() {
+        return Ok(None);
+    }
+    let base = gridwatch_obs::ExemplarConfig::default();
+    let config = gridwatch_obs::ExemplarConfig {
+        ring_capacity: ring.unwrap_or(base.ring_capacity),
+        stage_budget_ns: budget.unwrap_or(base.stage_budget_ns),
+        head_sample_every: head.unwrap_or(base.head_sample_every),
+        ..base
+    };
+    if config.ring_capacity == 0 {
+        return Err("--trace-exemplars must be positive".to_string());
+    }
+    Ok(Some(config))
+}
+
+/// Wall-clock Unix seconds (0 if the clock is before the epoch).
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Shared wall-clock health inputs: the serving loop stamps these at
+/// checkpoint cadence, the metrics thread folds them into `/healthz`.
+#[derive(Debug, Default)]
+pub struct HealthState {
+    /// Unix seconds of the last completed checkpoint; 0 = never.
+    checkpoint_unix: AtomicU64,
+    /// History-store WAL records not yet sealed at the last stamp.
+    wal_lag: AtomicU64,
+    /// Alarm total at the previous `/healthz` poll, for the
+    /// alarms-since-last-poll degrade.
+    polled_alarms: AtomicU64,
+}
+
+impl HealthState {
+    /// Stamps a completed checkpoint and the store's residual WAL lag.
+    pub fn note_checkpoint(&self, wal_lag: u64) {
+        self.checkpoint_unix.store(unix_now(), Ordering::Relaxed);
+        self.wal_lag.store(wal_lag, Ordering::Relaxed);
+    }
+}
+
+/// Builds the `/healthz` closure: structural shard health from the
+/// probe, layered with checkpoint age, WAL lag, and an
+/// alarms-since-last-poll degrade. The delta form matters: a
+/// cumulative alarm count would pin the node degraded forever, while
+/// the delta clears — and `/healthz` flips back to ok — once the
+/// pipeline goes quiet after a fault window.
+pub fn health_closure<P>(
+    probe: P,
+    state: Arc<HealthState>,
+) -> impl Fn() -> (bool, String) + Send + 'static
+where
+    P: Fn() -> gridwatch_obs::HealthReport + Send + 'static,
+{
+    move || {
+        let mut report = probe();
+        let checkpoint_unix = state.checkpoint_unix.load(Ordering::Relaxed);
+        if checkpoint_unix > 0 {
+            report.checkpoint_age_secs = Some(unix_now().saturating_sub(checkpoint_unix) as i64);
+        }
+        report.store_wal_lag = state.wal_lag.load(Ordering::Relaxed);
+        let before = state.polled_alarms.swap(report.alarms, Ordering::Relaxed);
+        if report.alarms > before {
+            report.degrade(format!(
+                "{} new alarm(s) since last poll",
+                report.alarms - before
+            ));
+        }
+        (report.is_ok(), report.to_json())
+    }
+}
+
+/// Wraps a Prometheus render closure so every scrape also files a
+/// burn sample and appends the rolling multi-window burn-rate gauges
+/// to the exposition.
+pub fn with_burn_gauges<R, S>(render: R, sample: S) -> impl Fn() -> String + Send + 'static
+where
+    R: Fn() -> String + Send + 'static,
+    S: Fn() -> gridwatch_obs::BurnSample + Send + 'static,
+{
+    let gauges = gridwatch_obs::BurnGauges::new();
+    move || {
+        let now = unix_now();
+        gauges.observe(now, sample());
+        let mut text = render();
+        let mut expo = gridwatch_obs::Exposition::new();
+        gauges.render_into(now, &mut expo);
+        text.push_str(&expo.finish());
+        text
+    }
+}
 
 /// Opens the history sink when `--store DIR` was given, printing what
 /// recovery found if it found anything.
@@ -119,12 +238,35 @@ where
     Ok(Some(server))
 }
 
-/// Checkpoint-cadence store maintenance: drain the flight recorder,
-/// sample the stats document, then seal and apply retention. A no-op
-/// without `--store`.
+/// `start_metrics` plus the health plane: the same endpoint also
+/// answers `GET /healthz` (always 200) and `GET /readyz` (503 when
+/// degraded) with the pinned-schema JSON the closure renders.
+pub fn start_metrics_with_health<F, H>(
+    addr: Option<&str>,
+    render: F,
+    health: H,
+) -> Result<Option<gridwatch_obs::MetricsServer>, String>
+where
+    F: Fn() -> String + Send + 'static,
+    H: Fn() -> (bool, String) + Send + 'static,
+{
+    let Some(addr) = addr else {
+        return Ok(None);
+    };
+    let server = gridwatch_obs::MetricsServer::bind_with_health(addr, render, health)
+        .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+    println!("metrics on http://{}/metrics", server.local_addr());
+    std::io::Write::flush(&mut std::io::stdout()).map_err(|e| format!("stdout: {e}"))?;
+    Ok(Some(server))
+}
+
+/// Checkpoint-cadence store maintenance: drain the flight recorder
+/// and any retained exemplar traces, sample the stats document, then
+/// seal and apply retention. A no-op without `--store`.
 pub fn store_checkpoint<F: FnOnce() -> String>(
     sink: &mut Option<HistorySink>,
     recorder: &gridwatch_obs::FlightRecorder,
+    exemplars: &gridwatch_obs::ExemplarTracer,
     at: u64,
     stats_json: F,
 ) -> Result<(), String> {
@@ -133,6 +275,10 @@ pub fn store_checkpoint<F: FnOnce() -> String>(
     };
     sink.drain_recorder(recorder, at)
         .map_err(|e| format!("history store event drain failed: {e}"))?;
+    if exemplars.is_enabled() {
+        sink.drain_exemplars(exemplars)
+            .map_err(|e| format!("history store exemplar drain failed: {e}"))?;
+    }
     sink.append_stats(at, stats_json())
         .map_err(|e| format!("history store stats sample failed: {e}"))?;
     let dropped = sink
@@ -156,14 +302,25 @@ pub fn store_checkpoint<F: FnOnce() -> String>(
 /// runs without `--store`.
 pub fn dump_flight(
     recorder: &gridwatch_obs::FlightRecorder,
+    exemplars: &gridwatch_obs::ExemplarTracer,
     sink: &mut Option<HistorySink>,
     dir: Option<&str>,
     at: u64,
     why: &str,
 ) {
     if let Some(sink) = sink.as_mut() {
+        // Alarm-time dumps also flush the retained exemplar traces,
+        // so the causal record of the alarmed snapshot is durable the
+        // moment the operator goes looking for it.
         let drained = sink
             .drain_recorder(recorder, at)
+            .and_then(|n| {
+                if exemplars.is_enabled() {
+                    sink.drain_exemplars(exemplars).map(|_| n)
+                } else {
+                    Ok(n)
+                }
+            })
             .and_then(|n| sink.sync().map(|()| n));
         match drained {
             Ok(n) => {

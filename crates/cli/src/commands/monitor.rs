@@ -107,9 +107,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
             println!("{incident}");
         }
     }
-    store_checkpoint(&mut sink, &recorder, last_at, || {
-        format!("{{\"monitored\":{ticks},\"alarms\":{alarms}}}")
-    })?;
+    store_checkpoint(
+        &mut sink,
+        &recorder,
+        &gridwatch_obs::ExemplarTracer::disabled(),
+        last_at,
+        || format!("{{\"monitored\":{ticks},\"alarms\":{alarms}}}"),
+    )?;
     println!(
         "monitored {ticks} snapshots over day {from_day}..{}; {alarms} alarms",
         from_day + days

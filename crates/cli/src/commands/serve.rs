@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gridwatch_detect::{EngineSnapshot, SketchConfig, Snapshot, StepReport};
@@ -17,8 +18,9 @@ use gridwatch_timeseries::Timestamp;
 use gridwatch_obs::PipelineObs;
 
 use crate::commands::{
-    dump_flight, install_flight_panic_hook, load_trace, open_history_sink, start_metrics,
-    store_checkpoint, write_stats_atomic,
+    dump_flight, exemplar_config, health_closure, install_flight_panic_hook, load_trace,
+    open_history_sink, start_metrics_with_health, store_checkpoint, with_burn_gauges,
+    write_stats_atomic, HealthState,
 };
 use crate::flags::Flags;
 
@@ -82,10 +84,12 @@ history store:
   --store-max-partitions N  keep at most N partitions
 
 observability:
-  --metrics ADDR            serve Prometheus metrics over HTTP on ADDR
-                            (e.g. 127.0.0.1:0; port 0 picks a free port)
-                            and enable pipeline span tracing; flight
-                            recorder dumps land in --checkpoint DIR
+  --metrics ADDR            serve Prometheus metrics (plus burn-rate
+                            gauges, GET /healthz, and GET /readyz) over
+                            HTTP on ADDR (e.g. 127.0.0.1:0; port 0
+                            picks a free port) and enable pipeline span
+                            tracing; flight recorder dumps land in
+                            --checkpoint DIR
 
 replay mode:
   --from-day N              first day to stream (default 15 = June 13)
@@ -104,7 +108,7 @@ listen mode:
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("{HELP}");
+        println!("{HELP}\n\n{}", crate::commands::TRACE_HELP);
         return Ok(());
     }
     let flags = Flags::parse(args, &["resume"])?;
@@ -277,12 +281,29 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
         // is its only consumer, so the flag doubles as the switch.
         obs.tracer.enable();
     }
+    if let Some(config) = exemplar_config(flags)? {
+        obs.exemplar.enable(config);
+    }
     if let Some(dir) = checkpoint_dir.clone() {
         install_flight_panic_hook(obs.recorder.clone(), dir);
     }
     let mut engine = ShardedEngine::start_with_obs(snapshot, serve_config, obs.clone());
+    let health_state = Arc::new(HealthState::default());
     let probe = engine.stats_probe();
-    let _metrics = start_metrics(metrics_addr.as_deref(), move || probe.to_prometheus())?;
+    let sample_probe = engine.stats_probe();
+    let sample_obs = obs.clone();
+    let health_probe = engine.stats_probe();
+    let _metrics = start_metrics_with_health(
+        metrics_addr.as_deref(),
+        with_burn_gauges(
+            move || probe.to_prometheus(),
+            move || gridwatch_serve::burn_sample_from(&sample_probe.stats(), &sample_obs.tracer),
+        ),
+        health_closure(
+            move || health_probe.health_report(),
+            Arc::clone(&health_state),
+        ),
+    )?;
     let start = Timestamp::from_days(from_day);
     let end = Timestamp::from_days(from_day + days);
     let tick_budget = if rate > 0.0 {
@@ -323,14 +344,16 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
                     write_stats_atomic(path, &engine.stats().to_json())?;
                 }
             }
-            store_checkpoint(&mut sink, &obs.recorder, last_at, || {
+            store_checkpoint(&mut sink, &obs.recorder, &obs.exemplar, last_at, || {
                 engine.stats().to_json()
             })?;
+            health_state.note_checkpoint(sink.as_ref().map_or(0, |s| s.store().unsealed_records()));
         }
         while let Some(report) = engine.try_recv_report() {
             if !report.alarms.is_empty() {
                 dump_flight(
                     &obs.recorder,
+                    &obs.exemplar,
                     &mut sink,
                     checkpoint_dir.as_deref(),
                     report.scores.at().as_secs(),
@@ -370,12 +393,15 @@ fn run_replay(flags: &Flags) -> Result<(), String> {
     }
     dump_flight(
         &obs.recorder,
+        &obs.exemplar,
         &mut sink,
         checkpoint_dir.as_deref(),
         last_at,
         "shutdown",
     );
-    store_checkpoint(&mut sink, &obs.recorder, last_at, || stats.to_json())?;
+    store_checkpoint(&mut sink, &obs.recorder, &obs.exemplar, last_at, || {
+        stats.to_json()
+    })?;
     if let Some(sink) = sink.as_ref() {
         println!(
             "history store {}: sealed through seq {}",
@@ -445,6 +471,9 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     if metrics_addr.is_some() {
         obs.tracer.enable();
     }
+    if let Some(config) = exemplar_config(flags)? {
+        obs.exemplar.enable(config);
+    }
     if let Some(dir) = checkpoint_dir.clone() {
         install_flight_panic_hook(obs.recorder.clone(), dir);
     }
@@ -467,8 +496,22 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     std::io::stdout()
         .flush()
         .map_err(|e| format!("stdout: {e}"))?;
+    let health_state = Arc::new(HealthState::default());
     let probe = server.metrics_probe();
-    let _metrics = start_metrics(metrics_addr.as_deref(), move || probe.to_prometheus())?;
+    let sample_probe = server.metrics_probe();
+    let sample_obs = obs.clone();
+    let health_probe = server.metrics_probe();
+    let _metrics = start_metrics_with_health(
+        metrics_addr.as_deref(),
+        with_burn_gauges(
+            move || probe.to_prometheus(),
+            move || gridwatch_serve::burn_sample_from(&sample_probe.stats(), &sample_obs.tracer),
+        ),
+        health_closure(
+            move || health_probe.health_report(),
+            Arc::clone(&health_state),
+        ),
+    )?;
 
     let began = Instant::now();
     let mut tally = ReportTally::default();
@@ -481,6 +524,7 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
             if !report.alarms.is_empty() {
                 dump_flight(
                     &obs.recorder,
+                    &obs.exemplar,
                     &mut sink,
                     checkpoint_dir.as_deref(),
                     last_at,
@@ -492,9 +536,11 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
                     .map_err(|e| format!("history store append failed: {e}"))?;
             }
             if checkpoint_every > 0 && seen.is_multiple_of(checkpoint_every) {
-                store_checkpoint(&mut sink, &obs.recorder, last_at, || {
+                store_checkpoint(&mut sink, &obs.recorder, &obs.exemplar, last_at, || {
                     server.metrics_probe().stats().to_json()
                 })?;
+                health_state
+                    .note_checkpoint(sink.as_ref().map_or(0, |s| s.store().unsealed_records()));
             }
             tally.note(&report);
         }
@@ -509,12 +555,15 @@ fn run_listen(flags: &Flags, addr: &str) -> Result<(), String> {
     }
     dump_flight(
         &obs.recorder,
+        &obs.exemplar,
         &mut sink,
         checkpoint_dir.as_deref(),
         last_at,
         "shutdown",
     );
-    store_checkpoint(&mut sink, &obs.recorder, last_at, || stats.to_json())?;
+    store_checkpoint(&mut sink, &obs.recorder, &obs.exemplar, last_at, || {
+        stats.to_json()
+    })?;
     let elapsed = began.elapsed();
 
     println!(

@@ -26,7 +26,12 @@ pair models all arrive in the coordinator's handshake, so the same
 process can serve any shard — including as the migration successor for
 a worker that died. It serves one coordinator session at a time, keeps
 listening when a session ends (coordinator crash-resume), and exits
-when a coordinator sends a shutdown control.";
+when a coordinator sends a shutdown control.
+
+A coordinator running with --trace-* exemplar flags also tells the
+worker, in the same handshake, to ship ingest/decode/score span slices
+inside each board frame; the coordinator's tail sampler decides which
+traces to keep, so the worker needs no tracing flags of its own.";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {

@@ -62,9 +62,14 @@ commands:
              [--max-pairs N] [--threshold X] [--days N] [--out DIR]
   history    query the history store written by --store: time-range
              scans, per-key filters, top-k lowest-fitness ranking
-             --store DIR [--kind scores|stats|events] [--from-day N]
+             --store DIR [--kind scores|stats|events|traces] [--from-day N]
              [--days N] [--system | --measurement M | --pair A~B]
              [--event-kind K] [--top-k N] [--format json|csv] [--limit N]
+  trace      query the exemplar traces captured by serving runs with
+             --trace-* flags: per-snapshot stage waterfalls with
+             shard/worker attribution
+             --store DIR [--from-day N] [--days N] [--source S]
+             [--alarmed] [--slowest K] [--format text|json] [--limit N]
   inspect    summarize a persisted engine
              --engine FILE [--verbose]
   audit      lint the workspace sources, validate a checkpoint
@@ -91,6 +96,7 @@ fn main() -> ExitCode {
         "coordinator" => commands::coordinator::run(&args),
         "eval" => commands::eval::run(&args),
         "history" => commands::history::run(&args),
+        "trace" => commands::trace::run(&args),
         "inspect" => commands::inspect::run(&args),
         "audit" => commands::audit::run(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),

@@ -1,0 +1,365 @@
+//! End-to-end tests of the causal-trace plane: a faulty stream served
+//! through `serve --listen` with `--trace-*` flags leaves queryable
+//! exemplar traces behind in the history store (`gridwatch trace`),
+//! and the `/healthz` endpoint flips to degraded during the fault
+//! window and recovers to ok afterwards.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gridwatch_detect::{AlarmPolicy, DetectionEngine, EngineConfig, Snapshot};
+use gridwatch_obs::{scrape, Stage, TraceExemplar};
+use gridwatch_serve::{encode_json, WireFrame};
+use gridwatch_timeseries::{
+    MachineId, MeasurementId, MeasurementPair, MetricKind, PairSeries, Timestamp,
+};
+
+const STEP_SECS: u64 = 360;
+const MEASUREMENTS: usize = 4;
+const SOURCE: &str = "agent-1";
+/// Steps whose frames carry the injected fault.
+const FAULT: std::ops::Range<u64> = 8..16;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gridwatch"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridwatch_trace_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ids() -> Vec<MeasurementId> {
+    (0..MEASUREMENTS as u32)
+        .map(|m| MeasurementId::new(MachineId::new(m / 2), MetricKind::Custom((m % 2) as u16)))
+        .collect()
+}
+
+fn value(m: usize, k: u64) -> f64 {
+    let load = (k % 48) as f64;
+    (m as f64 + 1.0) * load + 5.0 * m as f64
+}
+
+/// Writes a small trained engine to `dir/engine.json`.
+fn engine_file(dir: &std::path::Path) -> String {
+    let ids = ids();
+    let config = EngineConfig {
+        alarm: AlarmPolicy {
+            system_threshold: 0.7,
+            measurement_threshold: 0.4,
+            min_consecutive: 2,
+        },
+        ..EngineConfig::default()
+    };
+    let mut pairs = Vec::new();
+    for i in 0..MEASUREMENTS {
+        for j in (i + 1)..MEASUREMENTS {
+            let pair = MeasurementPair::new(ids[i], ids[j]).unwrap();
+            let history = PairSeries::from_samples(
+                (0..200u64).map(|k| (k * STEP_SECS, value(i, k), value(j, k))),
+            )
+            .unwrap();
+            pairs.push((pair, history));
+        }
+    }
+    let snapshot = DetectionEngine::train(pairs, config).unwrap().snapshot();
+    let path = dir.join("engine.json");
+    std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+    path.to_string_lossy().to_string()
+}
+
+/// Wire frames for steps `0..steps`; steps inside [`FAULT`] break one
+/// measurement's learned correlations hard enough to trip alarms.
+fn frames(steps: u64) -> Vec<WireFrame> {
+    let ids = ids();
+    (0..steps)
+        .map(|k| {
+            let mut snap = Snapshot::new(Timestamp::from_secs((200 + k) * STEP_SECS));
+            for (m, &mid) in ids.iter().enumerate() {
+                let mut v = value(m, k);
+                if m == MEASUREMENTS - 1 && FAULT.contains(&k) {
+                    v -= 200.0;
+                }
+                snap.insert(mid, v);
+            }
+            WireFrame {
+                source: SOURCE.to_string(),
+                seq: k,
+                snapshot: snap,
+            }
+        })
+        .collect()
+}
+
+struct Server {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: SocketAddr,
+    metrics: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Spawns `serve --listen 127.0.0.1:0` plus `extra` flags, parsing
+    /// the listen address (and, when `--metrics` is among the flags,
+    /// the metrics address) from the announcement lines.
+    fn spawn(engine: &str, extra: &[&str]) -> Server {
+        let wants_metrics = extra.contains(&"--metrics");
+        let mut child = bin()
+            .args(["serve", "--listen", "127.0.0.1:0", "--engine", engine])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        let mut addr: Option<SocketAddr> = None;
+        let mut metrics: Option<SocketAddr> = None;
+        loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).expect("read child stdout");
+            assert!(n > 0, "child exited before announcing its addresses");
+            if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                let token = rest.split_whitespace().next().expect("address token");
+                addr = Some(token.parse().expect("parsable listen address"));
+            }
+            if let Some(rest) = line.trim().strip_prefix("metrics on http://") {
+                let token = rest.trim_end_matches("/metrics");
+                metrics = Some(token.parse().expect("parsable metrics address"));
+            }
+            if addr.is_some() && (!wants_metrics || metrics.is_some()) {
+                break;
+            }
+        }
+        Server {
+            child,
+            stdout,
+            addr: addr.expect("listen address"),
+            metrics,
+        }
+    }
+
+    fn wait(mut self) -> String {
+        let mut rest = String::new();
+        self.stdout
+            .read_to_string(&mut rest)
+            .expect("drain child stdout");
+        let status = self.child.wait().expect("child waits");
+        assert!(status.success(), "server failed; stdout:\n{rest}");
+        rest
+    }
+}
+
+fn send_frames(addr: SocketAddr, frames: &[WireFrame]) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect to listener");
+    stream.set_nodelay(true).expect("nodelay");
+    for frame in frames {
+        stream
+            .write_all(&encode_json(frame).expect("encodable frame"))
+            .expect("write frame");
+    }
+    stream.flush().expect("flush");
+    stream
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "expected success for {args:?}; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+/// Serve a faulty stream with exemplar tracing into a history store,
+/// then prove the acceptance property offline: every alarmed snapshot
+/// has a queryable exemplar whose spans cover all seven stages.
+#[test]
+fn alarmed_snapshots_leave_queryable_seven_stage_exemplars() {
+    let dir = tmp_dir("exemplars");
+    let engine = engine_file(&dir);
+    let store = dir.join("hist");
+    let steps = 24u64;
+    let server = Server::spawn(
+        &engine,
+        &[
+            "--protocol",
+            "json",
+            "--max-snapshots",
+            &steps.to_string(),
+            "--store",
+            store.to_str().unwrap(),
+            "--trace-exemplars",
+            "256",
+        ],
+    );
+    let _stream = send_frames(server.addr, &frames(steps));
+    let out = server.wait();
+    assert!(
+        out.contains("ALARM"),
+        "fault never tripped an alarm:\n{out}"
+    );
+
+    // The alarmed exemplars, as JSON documents.
+    let json = run_ok(&[
+        "trace",
+        "--store",
+        store.to_str().unwrap(),
+        "--alarmed",
+        "--format",
+        "json",
+    ]);
+    let traces: Vec<TraceExemplar> = serde_json::from_str(&json).expect("trace --format json");
+    assert!(!traces.is_empty(), "no alarmed exemplars were persisted");
+    for trace in &traces {
+        assert!(trace.alarmed);
+        assert_eq!(trace.source, SOURCE);
+        for stage in Stage::ALL {
+            assert!(
+                trace.spans.iter().any(|s| s.stage == stage.name()),
+                "alarmed seq {} missing stage {} in {:?}",
+                trace.seq,
+                stage.name(),
+                trace.spans
+            );
+        }
+    }
+
+    // The text waterfall marks the alarm and attributes the spans.
+    let text = run_ok(&["trace", "--store", store.to_str().unwrap(), "--alarmed"]);
+    assert!(text.contains("alarmed"), "{text}");
+    assert!(text.contains("score"), "{text}");
+    assert!(text.contains("ingest"), "{text}");
+
+    // --slowest K caps and ranks.
+    let slowest = run_ok(&[
+        "trace",
+        "--store",
+        store.to_str().unwrap(),
+        "--slowest",
+        "2",
+        "--format",
+        "json",
+    ]);
+    let ranked: Vec<TraceExemplar> = serde_json::from_str(&slowest).expect("ranked json");
+    assert!(ranked.len() <= 2);
+    if ranked.len() == 2 {
+        assert!(ranked[0].total_ns >= ranked[1].total_ns);
+    }
+
+    // A source filter that matches nothing is empty, not an error.
+    let none = run_ok(&[
+        "trace",
+        "--store",
+        store.to_str().unwrap(),
+        "--source",
+        "nobody",
+    ]);
+    assert!(none.contains("(no matching traces)"), "{none}");
+
+    // The raw records are also visible to the generic history query.
+    let history = run_ok(&[
+        "history",
+        "--store",
+        store.to_str().unwrap(),
+        "--kind",
+        "traces",
+    ]);
+    assert!(history.contains("trace"), "{history}");
+}
+
+/// `/healthz` flips to degraded while the fault window is raising
+/// alarms and recovers to ok once the stream is healthy again;
+/// `/readyz` mirrors it with a 503. The burn-rate gauges ride the
+/// same endpoint.
+#[test]
+fn healthz_degrades_during_faults_and_recovers() {
+    let dir = tmp_dir("healthz");
+    let engine = engine_file(&dir);
+    let steps = 24u64;
+    // One more than we send up front: the server stays alive (and
+    // scrapable) until the closing frame arrives.
+    let server = Server::spawn(
+        &engine,
+        &[
+            "--protocol",
+            "json",
+            "--max-snapshots",
+            &(steps + 1).to_string(),
+            "--metrics",
+            "127.0.0.1:0",
+        ],
+    );
+    let metrics = server.metrics.expect("metrics address");
+
+    // Healthy before any traffic.
+    let (status, body) = scrape(metrics, "/healthz").unwrap();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    let (status, _) = scrape(metrics, "/readyz").unwrap();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    // The full stream, fault window included.
+    let _stream = send_frames(server.addr, &frames(steps));
+
+    // Degraded while alarms fire: a poll sees new alarms since the
+    // previous poll and /readyz answers 503.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = scrape(metrics, "/healthz").unwrap();
+        if body.contains("\"status\":\"degraded\"") {
+            assert!(body.contains("alarm"), "{body}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "healthz never degraded; last body: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Recovered once the pipeline is quiet: the alarm delta clears
+    // and both endpoints are green again.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (healthz_status, body) = scrape(metrics, "/healthz").unwrap();
+        assert_eq!(healthz_status, "HTTP/1.1 200 OK");
+        if body.contains("\"status\":\"ok\"") {
+            let (ready_status, _) = scrape(metrics, "/readyz").unwrap();
+            assert_eq!(ready_status, "HTTP/1.1 200 OK");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "healthz never recovered; last body: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The exposition carries the burn-rate gauges and the flight
+    // recorder drop counter alongside the base counters.
+    let (_, expo) = scrape(metrics, "/metrics").unwrap();
+    assert!(expo.contains("gridwatch_burn_decode_error_ppm"), "{expo}");
+    assert!(expo.contains("gridwatch_burn_stage_p99_ns"), "{expo}");
+    assert!(expo.contains("gridwatch_flight_dropped_total"), "{expo}");
+
+    // The closing frame lets the server reach --max-snapshots and
+    // exit cleanly.
+    let closing = WireFrame {
+        source: "closer".to_string(),
+        seq: 0,
+        snapshot: frames(steps + 1).pop().unwrap().snapshot,
+    };
+    let _tail = send_frames(server.addr, &[closing]);
+    let out = server.wait();
+    assert!(
+        out.contains(&format!("served {} snapshots", steps + 1)),
+        "{out}"
+    );
+}

@@ -14,31 +14,44 @@
 //!   over a minimal `GET /metrics` responder;
 //! * [`recorder`] — a flight recorder ring of recent pipeline events,
 //!   dumped on alarm, panic, or shutdown;
+//! * [`exemplar`] — tail-based trace exemplars: full per-snapshot span
+//!   trees retained only for alarmed/slow/head-sampled snapshots;
+//! * [`health`] — the pinned `/healthz` report schema and rolling
+//!   burn-rate gauges;
 //! * [`log`] — the leveled, rate-limited structured logger behind the
 //!   [`error!`], [`warn!`], [`info!`], and [`debug!`] macros
 //!   (filtered by `GRIDWATCH_LOG`).
 
+pub mod exemplar;
 pub mod expo;
+pub mod health;
 pub mod hist;
 pub mod http;
 pub mod log;
 pub mod recorder;
 pub mod trace;
 
+pub use exemplar::{
+    ExemplarConfig, ExemplarPosture, ExemplarTracer, SpanSlice, TraceExemplar, MAX_SPANS_PER_TRACE,
+};
 pub use expo::{parse as parse_exposition, Exposition, ParsedSample};
+pub use health::{BurnGauges, BurnSample, HealthReport, ShardHealth, BURN_WINDOWS_SECS};
 pub use hist::{bucket_index, bucket_upper_bound, LogHistogram, MAX_BUCKETS};
-pub use http::{scrape, MetricsServer};
+pub use http::{scrape, scrape_method, MetricsServer};
 pub use log::Level;
 pub use recorder::{FlightEvent, FlightRecorder};
 pub use trace::{Span, Stage, Tracer};
 
 /// The observability handles one pipeline component carries: a tracer
-/// (disabled by default) and a flight recorder (always on — events
-/// are rare and the ring is bounded). Cloning shares both.
+/// (disabled by default), a tail-sampling exemplar collector (also
+/// disabled by default), and a flight recorder (always on — events
+/// are rare and the ring is bounded). Cloning shares all three.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineObs {
     /// Span tracing over the pipeline stages.
     pub tracer: Tracer,
+    /// Tail-based per-snapshot trace exemplars.
+    pub exemplar: ExemplarTracer,
     /// The recent-event ring.
     pub recorder: FlightRecorder,
 }
@@ -49,10 +62,12 @@ impl PipelineObs {
         PipelineObs::default()
     }
 
-    /// Tracing enabled from the start.
+    /// Tracing enabled from the start (exemplar capture stays off
+    /// until explicitly enabled with a config).
     pub fn enabled() -> PipelineObs {
         PipelineObs {
             tracer: Tracer::enabled(),
+            exemplar: ExemplarTracer::disabled(),
             recorder: FlightRecorder::default(),
         }
     }

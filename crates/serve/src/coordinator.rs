@@ -48,7 +48,7 @@ use serde::{Deserialize, Serialize};
 use gridwatch_detect::{
     AlarmTracker, EngineConfig, EngineSnapshot, ScoreBoard, Snapshot, StepReport,
 };
-use gridwatch_obs::{Exposition, PipelineObs, Stage};
+use gridwatch_obs::{Exposition, PipelineObs, SpanSlice, Stage};
 
 use crate::checkpoint::{CheckpointManifest, Checkpointer, RemoteShard};
 use crate::remote::{
@@ -220,6 +220,7 @@ pub struct Coordinator {
 #[derive(Debug, Clone)]
 pub struct CoordinatorMetricsProbe {
     stats: Arc<OrderedMutex<FabricStats>>,
+    slots: Slots,
     obs: PipelineObs,
 }
 
@@ -227,6 +228,51 @@ impl CoordinatorMetricsProbe {
     /// A copy of the fabric's lifetime counters.
     pub fn stats(&self) -> FabricStats {
         *self.stats.lock()
+    }
+
+    /// The structural half of the `/healthz` document: per-shard
+    /// fabric-session liveness and the alarm total. Time-dependent
+    /// fields (checkpoint age, WAL lag, alarm deltas) are layered on
+    /// by the caller, which owns the clocks.
+    pub fn health_report(&self) -> gridwatch_obs::HealthReport {
+        let stats = self.stats();
+        let mut report = gridwatch_obs::HealthReport {
+            alarms: stats.alarms,
+            ..Default::default()
+        };
+        for (shard, slot) in self.slots.iter().enumerate() {
+            let live = slot.lock().live;
+            report.shards.push(gridwatch_obs::ShardHealth {
+                shard: shard as u64,
+                live,
+                queue_depth: 0,
+                queue_capacity: 0,
+            });
+            if !live {
+                report.degrade(format!("shard {shard} has no live worker"));
+            }
+        }
+        report
+    }
+
+    /// The scrape-time burn sample: malformed boards map onto the
+    /// decode-error budget, fenced boards (stale epoch, duplicate
+    /// slot, migration replay) onto the sequence-error budget.
+    pub fn burn_sample(&self) -> gridwatch_obs::BurnSample {
+        let s = self.stats();
+        gridwatch_obs::BurnSample {
+            decode_errors: s.bad_boards,
+            sequence_errors: s.stale_boards + s.duplicate_boards + s.replayed_boards,
+            submitted: s.submitted,
+            sampled_out: 0,
+            stages: self
+                .obs
+                .tracer
+                .snapshot()
+                .into_iter()
+                .map(|(_, h)| h)
+                .collect(),
+        }
     }
 
     /// Renders the fabric counters and any recorded stage timings.
@@ -451,6 +497,7 @@ impl Coordinator {
     pub fn metrics_probe(&self) -> CoordinatorMetricsProbe {
         CoordinatorMetricsProbe {
             stats: Arc::clone(&self.stats),
+            slots: Arc::clone(&self.slots),
             obs: self.obs.clone(),
         }
     }
@@ -501,8 +548,12 @@ impl Coordinator {
     /// marked dead (its boards for this and later steps will come from
     /// a successor after [`Coordinator::attach_worker`]).
     pub fn submit(&mut self, snapshot: Snapshot) -> Result<u64, FabricError> {
-        // Clone the handle so the span's borrow does not pin `self`.
+        // Clone the handles so the span's borrow does not pin `self`.
         let tracer = self.obs.tracer.clone();
+        let exemplar = self.obs.exemplar.clone();
+        let traced = exemplar.is_enabled();
+        let route_start = if traced { exemplar.now_ns() } else { 0 };
+        let at_secs = snapshot.at().as_secs();
         let _route = tracer.span(Stage::Route);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -525,6 +576,26 @@ impl Coordinator {
             if std::io::Write::write_all(stream, &framed).is_err() {
                 self.mark_dead(shard);
             }
+        }
+        if traced {
+            exemplar.open(seq, COORDINATOR_SOURCE, at_secs);
+            // The coordinator sequences at the merge barrier, not at a
+            // socket table; a zero-width Sequence slice keeps every
+            // trace covering the same seven stages. Ingest/decode come
+            // back with the workers' board spans.
+            exemplar.record(
+                seq,
+                SpanSlice::new(Stage::Sequence, route_start, 0, COORDINATOR_SOURCE),
+            );
+            exemplar.record(
+                seq,
+                SpanSlice::new(
+                    Stage::Route,
+                    route_start,
+                    exemplar.now_ns().saturating_sub(route_start),
+                    COORDINATOR_SOURCE,
+                ),
+            );
         }
         Ok(seq)
     }
@@ -582,6 +653,7 @@ impl Coordinator {
             shards: self.shards,
             epoch,
             trace: self.obs.tracer.is_enabled(),
+            exemplar: self.obs.exemplar.is_enabled(),
             state: entry.state,
         })?;
         write_frame(&mut stream, &hello).map_err(io_ctx(&format!("hello to {addr}")))?;
@@ -888,6 +960,8 @@ fn merge_loop(
                     } else if frame.seq < next_emit {
                         stats.lock().replayed_boards += 1;
                     } else {
+                        let traced = obs.exemplar.is_enabled();
+                        let merge_start = if traced { obs.exemplar.now_ns() } else { 0 };
                         let _merge = obs.tracer.span(Stage::Merge);
                         let entry = pending.entry(frame.seq).or_insert_with(|| PendingStep {
                             board: None,
@@ -902,6 +976,11 @@ fn merge_loop(
                             // boards count — fenced and duplicate boards
                             // scored nothing new.
                             obs.tracer.record_ns(Stage::Score, frame.score_ns);
+                            if traced {
+                                // Worker-side slices (ingest/decode/
+                                // score) ride the accepted board.
+                                obs.exemplar.record_slices(frame.seq, &frame.spans);
+                            }
                             match entry.board.as_mut() {
                                 None => {
                                     entry.board = Some(frame.board);
@@ -914,6 +993,17 @@ fn merge_loop(
                                         stats.lock().bad_boards += 1;
                                     }
                                 }
+                            }
+                            if traced {
+                                obs.exemplar.record(
+                                    frame.seq,
+                                    SpanSlice::new(
+                                        Stage::Merge,
+                                        merge_start,
+                                        obs.exemplar.now_ns().saturating_sub(merge_start),
+                                        "merge",
+                                    ),
+                                );
                             }
                         }
                     }
@@ -1027,14 +1117,17 @@ fn merge_loop(
             if let Some((seq, entry)) = pending.pop_first() {
                 next_emit = seq + 1;
                 if let Some(board) = entry.board {
+                    let traced = obs.exemplar.is_enabled();
+                    let report_start = if traced { obs.exemplar.now_ns() } else { 0 };
                     let _report_span = obs.tracer.span(Stage::Report);
                     let alarms = tracker.evaluate(&board, &config.alarm);
+                    let alarmed = !alarms.is_empty();
                     {
                         let mut stats = stats.lock();
                         stats.reports += 1;
                         stats.alarms += alarms.len() as u64;
                     }
-                    if !alarms.is_empty() {
+                    if alarmed {
                         obs.recorder.record(
                             "alarm",
                             format_args!(
@@ -1051,6 +1144,18 @@ fn merge_loop(
                     if reports_tx.send(report).is_err() {
                         // Receiver gone (shutdown under way); keep
                         // merging so checkpoints still complete.
+                    }
+                    if traced {
+                        obs.exemplar.record(
+                            seq,
+                            SpanSlice::new(
+                                Stage::Report,
+                                report_start,
+                                obs.exemplar.now_ns().saturating_sub(report_start),
+                                "merge",
+                            ),
+                        );
+                        obs.exemplar.finalize(seq, alarmed);
                     }
                 }
             }

@@ -49,7 +49,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use gridwatch_detect::{
     AlarmTracker, DetectionEngine, EngineConfig, EngineSnapshot, ScoreBoard, Snapshot, StepReport,
 };
-use gridwatch_obs::{PipelineObs, Stage};
+use gridwatch_obs::{PipelineObs, SpanSlice, Stage};
 use gridwatch_sync::{classes, OrderedMutex};
 
 use crate::checkpoint::{CheckpointError, CheckpointManifest, Checkpointer};
@@ -360,8 +360,50 @@ impl ShardedEngine {
     /// is what makes sequence numbering, the `Reject` pre-check, and the
     /// `DropOldest` steal loop race-free.
     pub fn submit(&mut self, snapshot: Snapshot) -> IngestReport {
-        // Clone the handle so the span's borrow does not pin `self`.
+        self.submit_traced(snapshot, "local", &[])
+    }
+
+    /// [`ShardedEngine::submit`] with trace-context attribution: the
+    /// snapshot's exemplar trace (when capture is enabled) is opened
+    /// under `source`, seeded with `wire_spans` collected upstream
+    /// (ingest/decode/sequence slices from a network listener or a
+    /// fabric worker), and completed by the aggregator as the snapshot
+    /// crosses score → merge → report. Front stages missing from
+    /// `wire_spans` are synthesized as zero-duration slices so every
+    /// retained trace covers all seven stages.
+    pub fn submit_traced(
+        &mut self,
+        snapshot: Snapshot,
+        source: &str,
+        wire_spans: &[SpanSlice],
+    ) -> IngestReport {
+        // Clone the handles so the span's borrow does not pin `self`.
         let tracer = self.obs.tracer.clone();
+        let exemplar = self.obs.exemplar.clone();
+        let traced = exemplar.is_enabled();
+        let at_secs = snapshot.at().as_secs();
+        let route_start = if traced { exemplar.now_ns() } else { 0 };
+        let report = self.submit_inner(snapshot, &tracer);
+        if traced {
+            if let Some(seq) = report.seq {
+                exemplar.open(seq, source, at_secs);
+                for stage in [Stage::Ingest, Stage::Decode, Stage::Sequence] {
+                    if !wire_spans.iter().any(|s| s.stage == stage.name()) {
+                        exemplar.record(seq, SpanSlice::new(stage, route_start, 0, source));
+                    }
+                }
+                exemplar.record_slices(seq, wire_spans);
+                let dur = exemplar.now_ns().saturating_sub(route_start);
+                exemplar.record(
+                    seq,
+                    SpanSlice::new(Stage::Route, route_start, dur, "ingest"),
+                );
+            }
+        }
+        report
+    }
+
+    fn submit_inner(&mut self, snapshot: Snapshot, tracer: &gridwatch_obs::Tracer) -> IngestReport {
         let _route = tracer.span(Stage::Route);
         // Sample every queue's depth up front: the distribution feeds
         // capacity planning, and `Reject` reuses the same reading for
@@ -593,6 +635,7 @@ impl ShardedEngine {
             stats: Arc::clone(&self.stats),
             queues: self.shard_stealers.clone(),
             obs: self.obs.clone(),
+            queue_capacity: self.config.queue_capacity,
         }
     }
 
@@ -643,13 +686,42 @@ pub struct StatsProbe {
     stats: Arc<OrderedMutex<StatsAccumulator>>,
     queues: Vec<Receiver<ShardMsg>>,
     obs: PipelineObs,
+    queue_capacity: usize,
 }
 
 impl StatsProbe {
     /// Current serving statistics (counters plus live queue depths).
     pub fn stats(&self) -> ServeStats {
         let depths: Vec<usize> = self.queues.iter().map(|rx| rx.len()).collect();
-        self.stats.lock().snapshot(&depths)
+        let mut stats = self.stats.lock().snapshot(&depths);
+        stats.flight_dropped = self.obs.recorder.dropped();
+        stats
+    }
+
+    /// The structural half of the health document: per-shard queue
+    /// occupancy and liveness, sampler coverage, and the alarm total.
+    /// Callers layer on deployment state (checkpoint age, WAL lag,
+    /// alarm/shed deltas) before serving it from `/healthz`.
+    pub fn health_report(&self) -> gridwatch_obs::HealthReport {
+        let stats = self.stats();
+        let mut report = gridwatch_obs::HealthReport {
+            coverage_ppm: (stats.coverage_fraction * 1_000_000.0) as u64,
+            alarms: stats.alarms,
+            ..Default::default()
+        };
+        for shard in &stats.shards {
+            let live = self.queue_capacity == 0 || shard.queue_depth < self.queue_capacity;
+            report.shards.push(gridwatch_obs::ShardHealth {
+                shard: shard.shard as u64,
+                live,
+                queue_depth: shard.queue_depth as u64,
+                queue_capacity: self.queue_capacity as u64,
+            });
+            if !live {
+                report.degrade(format!("shard {} queue at capacity", shard.shard));
+            }
+        }
+        report
     }
 
     /// The engine's observability handles (shared, not a copy).
@@ -804,6 +876,22 @@ fn aggregator_loop(
                 // aggregator owns the roll-ups, so both the per-shard
                 // histogram and the Score stage are fed here.
                 obs.tracer.record_ns(Stage::Score, elapsed_ns);
+                if obs.exemplar.is_enabled() {
+                    // The worker has no exemplar handle; attribute its
+                    // measured wall time here, anchored to the receive
+                    // instant (start ≈ now − elapsed on this timeline).
+                    let end = obs.exemplar.now_ns();
+                    obs.exemplar.record(
+                        seq,
+                        SpanSlice::sharded(
+                            Stage::Score,
+                            end.saturating_sub(elapsed_ns),
+                            elapsed_ns,
+                            shard as u64,
+                            &format!("shard-{shard}"),
+                        ),
+                    );
+                }
                 {
                     let mut acc = stats.lock();
                     acc.per_shard[shard].observe_latency(elapsed_ns);
@@ -815,6 +903,11 @@ fn aggregator_loop(
                     acc.per_shard[shard].sketch_bytes = gauges.sketch_bytes;
                 }
                 let merge = obs.tracer.span(Stage::Merge);
+                let merge_start = if obs.exemplar.is_enabled() {
+                    obs.exemplar.now_ns()
+                } else {
+                    0
+                };
                 let entry = pending.entry(seq).or_default();
                 entry.replies += 1;
                 match &mut entry.board {
@@ -822,6 +915,13 @@ fn aggregator_loop(
                     slot @ None => *slot = Some(board),
                 }
                 drop(merge);
+                if obs.exemplar.is_enabled() {
+                    let dur = obs.exemplar.now_ns().saturating_sub(merge_start);
+                    obs.exemplar.record(
+                        seq,
+                        SpanSlice::new(Stage::Merge, merge_start, dur, "aggregator"),
+                    );
+                }
             }
             ShardReply::Dropped { seq, .. } => {
                 pending.entry(seq).or_default().replies += 1;
@@ -873,6 +973,9 @@ fn aggregator_loop(
         {
             let (seq, entry) = pending.pop_first().expect("checked non-empty");
             let report = obs.tracer.span(Stage::Report);
+            let traced = obs.exemplar.is_enabled();
+            let report_start = if traced { obs.exemplar.now_ns() } else { 0 };
+            let mut alarmed = false;
             let mut acc = stats.lock();
             match entry.board {
                 Some(board) => {
@@ -880,7 +983,8 @@ fn aggregator_loop(
                     acc.reports += 1;
                     acc.alarms += alarms.len() as u64;
                     drop(acc);
-                    if !alarms.is_empty() {
+                    alarmed = !alarms.is_empty();
+                    if alarmed {
                         obs.recorder.record(
                             "alarm",
                             format_args!(
@@ -904,6 +1008,14 @@ fn aggregator_loop(
                 }
             }
             drop(report);
+            if traced {
+                let dur = obs.exemplar.now_ns().saturating_sub(report_start);
+                obs.exemplar.record(
+                    seq,
+                    SpanSlice::new(Stage::Report, report_start, dur, "aggregator"),
+                );
+                obs.exemplar.finalize(seq, alarmed);
+            }
         }
 
         // Complete the checkpoint once every shard has written its file.
@@ -1386,6 +1498,70 @@ mod tests {
             "{text}"
         );
         assert!(gridwatch_obs::parse_exposition(&text).is_some());
+    }
+
+    #[test]
+    fn exemplar_capture_retains_alarmed_traces_with_all_seven_stages() {
+        let snapshot = trained();
+        let trace = trace(24);
+        let obs = gridwatch_obs::PipelineObs {
+            exemplar: gridwatch_obs::ExemplarTracer::enabled(gridwatch_obs::ExemplarConfig {
+                ring_capacity: 64,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let want = reference_reports(snapshot.clone(), &trace);
+        let alarmed_seqs: Vec<u64> = want
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.alarms.is_empty())
+            .map(|(k, _)| k as u64)
+            .collect();
+        assert!(!alarmed_seqs.is_empty(), "trace must trip alarms");
+
+        let mut engine = ShardedEngine::start_with_obs(
+            snapshot,
+            ServeConfig {
+                shards: 2,
+                queue_capacity: 4,
+                backpressure: BackpressurePolicy::Block,
+                sampling: None,
+            },
+            obs.clone(),
+        );
+        for snap in &trace {
+            engine.submit(snap.clone());
+        }
+        let (reports, _) = engine.shutdown();
+        assert_eq!(reports, want, "exemplar capture must not perturb reports");
+
+        // Tail sampling: exactly the alarmed snapshots are retained.
+        let (_, exemplars) = obs.exemplar.snapshot_indexed();
+        let got_seqs: Vec<u64> = exemplars.iter().map(|t| t.seq).collect();
+        assert_eq!(got_seqs, alarmed_seqs);
+        for trace in &exemplars {
+            assert!(trace.alarmed);
+            assert_eq!(trace.source, "local");
+            // Every retained trace covers all seven pipeline stages.
+            for stage in Stage::ALL {
+                assert!(
+                    trace.spans.iter().any(|s| s.stage == stage.name()),
+                    "seq {} missing {} in {:?}",
+                    trace.seq,
+                    stage.name(),
+                    trace.spans
+                );
+            }
+            // Score slices carry shard attribution (one per shard).
+            let scored: Vec<_> = trace.spans.iter().filter(|s| s.stage == "score").collect();
+            assert_eq!(scored.len(), 2);
+            assert!(scored.iter().all(|s| s.shard.is_some()));
+        }
+        // The exemplar layer never touches the aggregate tracer.
+        for (_, hist) in obs.tracer.snapshot() {
+            assert_eq!(hist.count, 0);
+        }
     }
 
     #[test]

@@ -14,10 +14,10 @@
 use std::path::Path;
 
 use gridwatch_detect::{AlarmEvent, ScoreBoard, StepReport};
-use gridwatch_obs::FlightRecorder;
+use gridwatch_obs::{ExemplarTracer, FlightRecorder};
 use gridwatch_store::{
     measurement_key, pair_key, EventRecord, HistoryStore, OpenReport, Record, ScoreRow,
-    StatsSample, StoreConfig, StoreError, SYSTEM_KEY,
+    StatsSample, StoreConfig, StoreError, TraceRecord, SYSTEM_KEY,
 };
 
 /// How much of each score board to persist per step. Pair scores grow
@@ -101,6 +101,9 @@ pub struct HistorySink {
     /// Global index (see `FlightRecorder::snapshot_indexed`) of the
     /// next recorder event not yet appended.
     shipped_events: u64,
+    /// Global ring index (see `ExemplarTracer::snapshot_indexed`) of
+    /// the next trace exemplar not yet appended.
+    shipped_exemplars: u64,
 }
 
 impl HistorySink {
@@ -116,6 +119,7 @@ impl HistorySink {
                 store,
                 depth,
                 shipped_events: 0,
+                shipped_exemplars: 0,
             },
             report,
         ))
@@ -172,6 +176,36 @@ impl HistorySink {
             appended += 1;
         }
         self.shipped_events = self.shipped_events.max(base + events.len() as u64);
+        Ok(appended)
+    }
+
+    /// Appends every retained trace exemplar not shipped by an earlier
+    /// drain, same watermark discipline as [`HistorySink::drain_recorder`]:
+    /// repeated drains ship each exemplar exactly once, and exemplars
+    /// evicted from the ring between drains are lost to the store too.
+    /// The full span tree travels as the exemplar's pinned JSON in
+    /// [`TraceRecord::payload`].
+    pub fn drain_exemplars(&mut self, exemplars: &ExemplarTracer) -> Result<u64, StoreError> {
+        let (base, traces) = exemplars.snapshot_indexed();
+        let mut appended = 0u64;
+        for (offset, trace) in traces.iter().enumerate() {
+            let index = base + offset as u64;
+            if index < self.shipped_exemplars {
+                continue;
+            }
+            let payload = serde_json::to_string(trace)
+                .map_err(|e| StoreError::Corrupt(format!("exemplar serialize: {e}")))?;
+            self.store.append(Record::Trace(TraceRecord {
+                at: trace.at,
+                seq: trace.seq,
+                alarmed: trace.alarmed,
+                total_ns: trace.total_ns,
+                source: trace.source.clone(),
+                payload,
+            }))?;
+            appended += 1;
+        }
+        self.shipped_exemplars = self.shipped_exemplars.max(base + traces.len() as u64);
         Ok(appended)
     }
 
@@ -251,6 +285,47 @@ mod tests {
         assert_eq!(store.scan(RecordKind::Stats, 0, u64::MAX).unwrap().len(), 1);
         let events = store.scan(RecordKind::Event, 0, u64::MAX).unwrap();
         assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn trace_exemplars_drain_exactly_once() {
+        use gridwatch_obs::{ExemplarConfig, SpanSlice, Stage};
+        let dir = std::env::temp_dir().join(format!("gw-exdrain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut sink, _) =
+            HistorySink::open(&dir, StoreConfig::default(), HistoryDepth::System).unwrap();
+        let tracer = ExemplarTracer::enabled(ExemplarConfig::default());
+        for seq in 0..3u64 {
+            tracer.open(seq, "local", 360 * (seq + 1));
+            tracer.record(seq, SpanSlice::new(Stage::Score, 0, 100, "shard-0"));
+            tracer.finalize(seq, true);
+        }
+        assert_eq!(sink.drain_exemplars(&tracer).unwrap(), 3);
+        // Watermark: a second drain ships nothing.
+        assert_eq!(sink.drain_exemplars(&tracer).unwrap(), 0);
+        tracer.open(3, "local", 1440);
+        tracer.record(3, SpanSlice::new(Stage::Report, 5, 10, "aggregator"));
+        tracer.finalize(3, true);
+        assert_eq!(sink.drain_exemplars(&tracer).unwrap(), 1);
+        sink.checkpoint().unwrap();
+
+        let rows = sink.store().scan(RecordKind::Trace, 0, u64::MAX).unwrap();
+        assert_eq!(rows.len(), 4);
+        match &rows[0].1 {
+            Record::Trace(t) => {
+                assert_eq!(t.seq, 0);
+                assert_eq!(t.at, 360);
+                assert!(t.alarmed);
+                assert_eq!(t.total_ns, 100);
+                assert_eq!(t.source, "local");
+                // The payload is the exemplar's pinned JSON and parses
+                // back to the same trace.
+                let back: gridwatch_obs::TraceExemplar = serde_json::from_str(&t.payload).unwrap();
+                assert_eq!(back.spans.len(), 1);
+                assert_eq!(back.spans[0].stage, "score");
+            }
+            other => panic!("expected a trace record, got {other:?}"),
+        }
     }
 
     /// A drift storm fires rebuild events far faster than the drain

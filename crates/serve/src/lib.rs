@@ -47,7 +47,7 @@ pub use remote::{
 };
 pub use router::ShardRouter;
 pub use sequence::{Admission, SourceTable, MAX_COUNTED_GAP};
-pub use stats::{ConnStats, NetStats, ServeStats, ShardStats};
+pub use stats::{burn_sample_from, ConnStats, NetStats, ServeStats, ShardStats};
 pub use wire::{
     encode_csv, encode_json, DecodeError, EncodeError, FrameDecoder, WireFrame, WireProtocol,
 };

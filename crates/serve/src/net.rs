@@ -492,6 +492,17 @@ impl NetMetricsProbe {
     pub fn to_prometheus(&self) -> String {
         self.stats().to_prometheus(&self.probe.obs().tracer)
     }
+
+    /// The listener's observability handles (shared, not a copy).
+    pub fn obs(&self) -> &PipelineObs {
+        self.probe.obs()
+    }
+
+    /// The structural half of the `/healthz` document (see
+    /// [`StatsProbe::health_report`]).
+    pub fn health_report(&self) -> gridwatch_obs::HealthReport {
+        self.probe.health_report()
+    }
 }
 
 /// Accepts connections until the stop flag is raised, spawning one
@@ -727,9 +738,16 @@ fn ingest_loop(
     let mut since_checkpoint = 0u64;
     while let Ok(frame) = frame_rx.recv() {
         let source = frame.source.clone();
+        let traced = obs.exemplar.is_enabled();
+        let seq_start = if traced { obs.exemplar.now_ns() } else { 0 };
         let sequence = obs.tracer.span(Stage::Sequence);
         let admission = table.admit(&frame.source, frame.seq, frame.snapshot);
         drop(sequence);
+        let seq_ns = if traced {
+            obs.exemplar.now_ns().saturating_sub(seq_start)
+        } else {
+            0
+        };
         let ready = match admission {
             Admission::Ready(snaps) => snaps,
             Admission::Buffered => {
@@ -755,7 +773,16 @@ fn ingest_loop(
         };
         table.check_window_bound();
         for snap in ready {
-            engine.submit(snap);
+            if traced {
+                // The Sequence slice is shared by every snapshot this
+                // admission released (one reorder resolution can free a
+                // whole buffered run).
+                let slice =
+                    gridwatch_obs::SpanSlice::new(Stage::Sequence, seq_start, seq_ns, "ingest");
+                engine.submit_traced(snap, &source, std::slice::from_ref(&slice));
+            } else {
+                engine.submit(snap);
+            }
             since_checkpoint += 1;
         }
         if cfg.checkpoint_every > 0 && since_checkpoint >= cfg.checkpoint_every {

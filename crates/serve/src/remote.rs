@@ -41,7 +41,7 @@ use gridwatch_sync::{classes, OrderedMutex};
 use serde::{Deserialize, Serialize};
 
 use gridwatch_detect::{AlarmTracker, DetectionEngine, EngineConfig, EngineSnapshot, ScoreBoard};
-use gridwatch_obs::{Exposition, PipelineObs, Stage};
+use gridwatch_obs::{Exposition, PipelineObs, SpanSlice, Stage};
 
 use crate::checkpoint::CheckpointError;
 use crate::wire::{self, WireFrame};
@@ -79,6 +79,12 @@ pub enum FabricControl {
         /// coordinator (no such field) still parses.
         #[serde(default)]
         trace: bool,
+        /// Exemplar-trace propagation: when true the worker times each
+        /// snapshot's ingest/decode/score slices and ships them in
+        /// [`BoardFrame::spans`], extending the coordinator's causal
+        /// traces across the wire. Defaulted like `trace`.
+        #[serde(default)]
+        exemplar: bool,
         /// The shard's engine state to resume from.
         state: EngineSnapshot,
     },
@@ -115,6 +121,13 @@ pub struct BoardFrame {
     /// Defaulted so boards from older workers (no such field) parse.
     #[serde(default)]
     pub score_ns: u64,
+    /// Worker-side span slices for this snapshot (ingest/decode/score),
+    /// present only when the session's `Hello` asked for exemplars.
+    /// Start offsets are relative to the worker's own clock epoch —
+    /// slice durations and ordering are meaningful across the wire,
+    /// absolute starts are not. Defaulted so old boards parse.
+    #[serde(default)]
+    pub spans: Vec<SpanSlice>,
     /// The partial board (one score per pair owned by the shard).
     pub board: ScoreBoard,
 }
@@ -555,12 +568,13 @@ fn session_loop(
     let Some(payload) = read_frame(&mut stream).map_err(io_ctx("handshake read"))? else {
         return Ok(SessionEnd::Eof);
     };
-    let (shard, epoch, mut engine) = match decode_downstream(&payload)? {
+    let (shard, epoch, ship_spans, mut engine) = match decode_downstream(&payload)? {
         Downstream::Control(FabricControl::Hello {
             shard,
             shards: _,
             epoch,
             trace,
+            exemplar,
             state,
         }) => {
             // Span context propagates across the wire as a Hello
@@ -586,7 +600,7 @@ fn session_loop(
                 pairs: engine.model_count(),
             })?;
             write_frame(&mut stream, &ack).map_err(io_ctx("handshake ack"))?;
-            (shard, epoch, engine)
+            (shard, epoch, exemplar, engine)
         }
         Downstream::Control(FabricControl::Shutdown) => return Ok(SessionEnd::Shutdown),
         Downstream::Control(_) => {
@@ -601,17 +615,33 @@ fn session_loop(
         }
     };
 
+    let worker_name = format!("worker-{shard}");
     loop {
+        // Slice timings use the exemplar clock even when this worker
+        // retains nothing itself: the slices ship upstream where the
+        // coordinator's exemplar layer decides what to keep.
+        let read_start = if ship_spans { obs.exemplar.now_ns() } else { 0 };
         let read = {
             let _ingest = tracer.span(Stage::Ingest);
             read_frame(&mut stream).map_err(io_ctx("session read"))?
         };
+        let read_ns = if ship_spans {
+            obs.exemplar.now_ns().saturating_sub(read_start)
+        } else {
+            0
+        };
         let Some(payload) = read else {
             return Ok(SessionEnd::Eof);
         };
+        let decode_start = if ship_spans { obs.exemplar.now_ns() } else { 0 };
         let decoded = {
             let _decode = tracer.span(Stage::Decode);
             decode_downstream(&payload)?
+        };
+        let decode_ns = if ship_spans {
+            obs.exemplar.now_ns().saturating_sub(decode_start)
+        } else {
+            0
         };
         match decoded {
             Downstream::Snapshot(frame) => {
@@ -624,11 +654,28 @@ fn session_loop(
                 let board = engine.step_scores(&frame.snapshot);
                 let score_ns = scored.elapsed().as_nanos() as u64;
                 tracer.record_ns(Stage::Score, score_ns);
+                let spans = if ship_spans {
+                    let score_end = obs.exemplar.now_ns();
+                    vec![
+                        SpanSlice::new(Stage::Ingest, read_start, read_ns, &worker_name),
+                        SpanSlice::new(Stage::Decode, decode_start, decode_ns, &worker_name),
+                        SpanSlice::sharded(
+                            Stage::Score,
+                            score_end.saturating_sub(score_ns),
+                            score_ns,
+                            shard as u64,
+                            &worker_name,
+                        ),
+                    ]
+                } else {
+                    Vec::new()
+                };
                 let response = encode_response(&FabricResponse::Board(BoardFrame {
                     shard,
                     epoch,
                     seq: frame.seq,
                     score_ns,
+                    spans,
                     board,
                 }))?;
                 write_frame(&mut stream, &response).map_err(io_ctx("board write"))?;
@@ -752,6 +799,7 @@ mod tests {
             epoch: 7,
             seq: 41,
             score_ns: 1_250,
+            spans: vec![SpanSlice::sharded(Stage::Score, 10, 1_250, 2, "worker-2")],
             board: ScoreBoard::new(Timestamp::from_secs(360)),
         };
         for response in [
@@ -779,6 +827,7 @@ mod tests {
             FabricResponse::Board(frame) => {
                 assert_eq!(frame.seq, 41);
                 assert_eq!(frame.score_ns, 0);
+                assert!(frame.spans.is_empty(), "missing spans default to none");
             }
             other => panic!("expected Board, got {other:?}"),
         }
@@ -795,9 +844,15 @@ mod tests {
             serde_json::to_string(&state).unwrap()
         );
         match decode_downstream(old_hello.as_bytes()).unwrap() {
-            Downstream::Control(FabricControl::Hello { shard, trace, .. }) => {
+            Downstream::Control(FabricControl::Hello {
+                shard,
+                trace,
+                exemplar,
+                ..
+            }) => {
                 assert_eq!(shard, 1);
                 assert!(!trace, "missing trace field must default to false");
+                assert!(!exemplar, "missing exemplar field must default to false");
             }
             other => panic!("expected Hello, got {other:?}"),
         }

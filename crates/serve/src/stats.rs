@@ -184,6 +184,10 @@ pub struct ServeStats {
     /// Sketch-layer demotions that retired a model.
     #[serde(default)]
     pub demotions: u64,
+    /// Flight-recorder events overwritten before any drain could ship
+    /// them (ring overflow). Absent in pre-trace dumps.
+    #[serde(default)]
+    pub flight_dropped: u64,
     /// Wire-path counters (all zero when serving a local replay).
     #[serde(default)]
     pub net: NetStats,
@@ -269,6 +273,12 @@ impl ServeStats {
             "Sketch-layer demotions that retired a pair model.",
         );
         expo.sample("gridwatch_demotions_total", &[], self.demotions);
+        expo.header(
+            "gridwatch_flight_dropped_total",
+            "counter",
+            "Flight-recorder events overwritten before they could be drained.",
+        );
+        expo.sample("gridwatch_flight_dropped_total", &[], self.flight_dropped);
 
         expo.header(
             "gridwatch_shard_pairs",
@@ -482,6 +492,20 @@ pub(crate) fn render_stage_spans(expo: &mut Exposition, tracer: &Tracer) {
     }
 }
 
+/// Builds one cumulative burn-rate sample from a stats snapshot plus
+/// the tracer's per-stage histograms. Fed to
+/// [`gridwatch_obs::BurnGauges::observe`] at scrape cadence; the gauge
+/// layer differences consecutive samples per window.
+pub fn burn_sample_from(stats: &ServeStats, tracer: &Tracer) -> gridwatch_obs::BurnSample {
+    gridwatch_obs::BurnSample {
+        decode_errors: stats.net.decode_errors,
+        sequence_errors: stats.net.gap_skips,
+        submitted: stats.submitted,
+        sampled_out: stats.sampled_out,
+        stages: tracer.snapshot().into_iter().map(|(_, h)| h).collect(),
+    }
+}
+
 /// Mutable accumulator shared between the ingestion front and the
 /// aggregator thread.
 #[derive(Debug, Default)]
@@ -575,6 +599,7 @@ impl StatsAccumulator {
             rebuilds: self.rebuilds,
             promotions: self.promotions,
             demotions: self.demotions,
+            flight_dropped: 0,
             net: NetStats::default(),
         }
     }
@@ -695,7 +720,7 @@ mod tests {
             "\"submitted\":0,\"rejected\":0,\"reports\":0,\"empty_steps\":0,",
             "\"alarms\":0,\"checkpoints\":0,\"sampled_out\":0,",
             "\"coverage_fraction\":1.0,\"rebuilds\":0,",
-            "\"promotions\":0,\"demotions\":0,",
+            "\"promotions\":0,\"demotions\":0,\"flight_dropped\":0,",
             "\"net\":{\"accepted\":0,\"closed\":0,",
             "\"frames\":0,\"decode_errors\":0,\"timeouts\":0,\"deadline_failures\":0,",
             "\"rejected\":0,",
@@ -757,6 +782,9 @@ gridwatch_promotions_total 0
 # HELP gridwatch_demotions_total Sketch-layer demotions that retired a pair model.
 # TYPE gridwatch_demotions_total counter
 gridwatch_demotions_total 0
+# HELP gridwatch_flight_dropped_total Flight-recorder events overwritten before they could be drained.
+# TYPE gridwatch_flight_dropped_total counter
+gridwatch_flight_dropped_total 0
 # HELP gridwatch_shard_pairs Pair models owned by each shard.
 # TYPE gridwatch_shard_pairs gauge
 gridwatch_shard_pairs{shard=\"0\"} 2

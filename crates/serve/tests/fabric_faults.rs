@@ -116,6 +116,7 @@ fn chaos_worker(listener: TcpListener, chaos: Chaos) -> JoinHandle<()> {
             epoch,
             state,
             trace: _,
+            exemplar: _,
         }) = decode_downstream(&payload).expect("chaos handshake decode")
         else {
             panic!("chaos worker expected Hello first");
@@ -177,6 +178,7 @@ fn chaos_worker(listener: TcpListener, chaos: Chaos) -> JoinHandle<()> {
                         seq: frame.seq,
                         board,
                         score_ns: 0,
+                        spans: Vec::new(),
                     };
                     match &chaos {
                         Chaos::Quadruplicate => {

@@ -21,6 +21,9 @@
 //! * **stats**: seq column, at column, payload strings.
 //! * **events**: kind dictionary, seq column, at column, at_ns column,
 //!   kind-index column, detail strings.
+//! * **traces**: source dictionary, seq column, at column,
+//!   snapshot-seq column, alarmed column, total_ns column,
+//!   source-index column, payload strings.
 //!
 //! The footer makes truncation self-evident (length mismatch) and the
 //! CRC catches bit rot anywhere in the body; both are checked before a
@@ -30,7 +33,7 @@ use crate::codec::{
     crc32, get_delta_rle, get_xor_rle, put_delta_rle, put_string, put_varint, put_xor_rle,
     CodecError, Reader,
 };
-use crate::record::{EventRecord, Record, RecordKind, ScoreRow, StatsSample};
+use crate::record::{EventRecord, Record, RecordKind, ScoreRow, StatsSample, TraceRecord};
 use crate::StoreError;
 
 /// The block file's magic + version prefix (pinned as part of the v1
@@ -166,6 +169,43 @@ pub fn encode_block(kind: RecordKind, rows: &[(u64, Record)]) -> Result<Vec<u8>,
             for (_, record) in rows {
                 if let Record::Event(event) = record {
                     put_string(&mut out, &event.detail);
+                }
+            }
+        }
+        RecordKind::Trace => {
+            let mut dict: Vec<&str> = Vec::new();
+            let mut source_idx = Vec::with_capacity(rows.len());
+            let mut snap_seq = Vec::with_capacity(rows.len());
+            let mut alarmed = Vec::with_capacity(rows.len());
+            let mut total_ns = Vec::with_capacity(rows.len());
+            for (_, record) in rows {
+                if let Record::Trace(trace) = record {
+                    let idx = match dict.iter().position(|k| *k == trace.source) {
+                        Some(i) => i,
+                        None => {
+                            dict.push(&trace.source);
+                            dict.len() - 1
+                        }
+                    };
+                    source_idx.push(idx as u64);
+                    snap_seq.push(trace.seq);
+                    alarmed.push(u64::from(trace.alarmed));
+                    total_ns.push(trace.total_ns);
+                }
+            }
+            put_varint(&mut out, dict.len() as u64);
+            for key in &dict {
+                put_string(&mut out, key);
+            }
+            put_delta_rle(&mut out, &seqs);
+            put_delta_rle(&mut out, &ats);
+            put_delta_rle(&mut out, &snap_seq);
+            put_delta_rle(&mut out, &alarmed);
+            put_delta_rle(&mut out, &total_ns);
+            put_delta_rle(&mut out, &source_idx);
+            for (_, record) in rows {
+                if let Record::Trace(trace) = record {
+                    put_string(&mut out, &trace.payload);
                 }
             }
         }
@@ -358,6 +398,30 @@ pub fn decode_block(bytes: &[u8]) -> Result<BlockContents, StoreError> {
             }
             out
         }
+        RecordKind::Trace => {
+            let dict = read_dict(&mut r)?;
+            let seqs = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let ats = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let snap_seq = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let alarmed = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let total_ns = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let source_idx = get_delta_rle(&mut r, rows).map_err(corrupt)?;
+            let mut out = Vec::with_capacity(rows);
+            for i in 0..rows {
+                out.push((
+                    seqs[i],
+                    Record::Trace(TraceRecord {
+                        at: ats[i],
+                        seq: snap_seq[i],
+                        alarmed: alarmed[i] != 0,
+                        total_ns: total_ns[i],
+                        source: dict_lookup(&dict, source_idx[i])?,
+                        payload: r.string().map_err(corrupt)?,
+                    }),
+                ));
+            }
+            out
+        }
     };
     if !r.is_empty() {
         return Err(StoreError::Corrupt(format!(
@@ -436,6 +500,30 @@ mod tests {
             .collect();
         let bytes = encode_block(RecordKind::Event, &events).unwrap();
         assert_eq!(decode_block(&bytes).unwrap().rows, events);
+    }
+
+    #[test]
+    fn trace_blocks_roundtrip() {
+        let traces: Vec<(u64, Record)> = (0..8u64)
+            .map(|k| {
+                (
+                    20 + k,
+                    Record::Trace(TraceRecord {
+                        at: 360 * k,
+                        seq: 100 + k,
+                        alarmed: k % 3 == 0,
+                        total_ns: 10_000 + 777 * k,
+                        source: if k % 2 == 0 { "local" } else { "coordinator" }.to_string(),
+                        payload: format!("{{\"seq\":{},\"spans\":[]}}", 100 + k),
+                    }),
+                )
+            })
+            .collect();
+        let bytes = encode_block(RecordKind::Trace, &traces).unwrap();
+        let meta = decode_meta(&bytes).unwrap();
+        assert_eq!(meta.kind, RecordKind::Trace);
+        assert_eq!(meta.rows, 8);
+        assert_eq!(decode_block(&bytes).unwrap().rows, traces);
     }
 
     #[test]

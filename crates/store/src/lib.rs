@@ -47,7 +47,7 @@ pub mod validate;
 pub mod wal;
 
 pub use query::{measurement_key, pair_key, top_k_lowest_mean, KeySummary, SYSTEM_KEY};
-pub use record::{EventRecord, Record, RecordKind, ScoreRow, StatsSample};
+pub use record::{EventRecord, Record, RecordKind, ScoreRow, StatsSample, TraceRecord};
 pub use store::{HistoryStore, OpenReport, StoreConfig, StoreManifest, DEFAULT_PARTITION_SECS};
 pub use validate::{validate_store, StoreValidation};
 

@@ -46,6 +46,27 @@ pub struct EventRecord {
     pub detail: String,
 }
 
+/// One retained trace exemplar: the tail-sampled causal record of a
+/// snapshot's trip through the pipeline. The frequently-filtered
+/// columns (`source`, `seq`, `alarmed`, `total_ns`) are first-class so
+/// `gridwatch trace` can select without parsing; the full span tree
+/// rides in `payload` as the exemplar's pinned JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Filing instant, in trace seconds.
+    pub at: u64,
+    /// The snapshot's sequence number.
+    pub seq: u64,
+    /// Whether the snapshot raised an alarm.
+    pub alarmed: bool,
+    /// Sum of all span durations, in nanoseconds.
+    pub total_ns: u64,
+    /// The snapshot's origin (`local`, `coordinator`, a wire source).
+    pub source: String,
+    /// The `TraceExemplar` document, verbatim JSON.
+    pub payload: String,
+}
+
 /// Any record the store can hold.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
@@ -55,6 +76,8 @@ pub enum Record {
     Stats(StatsSample),
     /// An alarm/incident/pipeline event.
     Event(EventRecord),
+    /// A tail-sampled trace exemplar.
+    Trace(TraceRecord),
 }
 
 /// The record family, used to segregate columnar blocks.
@@ -66,6 +89,8 @@ pub enum RecordKind {
     Stats,
     /// [`EventRecord`] records.
     Event,
+    /// [`TraceRecord`] records.
+    Trace,
 }
 
 impl RecordKind {
@@ -75,6 +100,7 @@ impl RecordKind {
             RecordKind::Score => 1,
             RecordKind::Stats => 2,
             RecordKind::Event => 3,
+            RecordKind::Trace => 4,
         }
     }
 
@@ -84,16 +110,18 @@ impl RecordKind {
             1 => Some(RecordKind::Score),
             2 => Some(RecordKind::Stats),
             3 => Some(RecordKind::Event),
+            4 => Some(RecordKind::Trace),
             _ => None,
         }
     }
 
-    /// The flag-friendly name (`scores`, `stats`, `events`).
+    /// The flag-friendly name (`scores`, `stats`, `events`, `traces`).
     pub fn name(self) -> &'static str {
         match self {
             RecordKind::Score => "scores",
             RecordKind::Stats => "stats",
             RecordKind::Event => "events",
+            RecordKind::Trace => "traces",
         }
     }
 }
@@ -106,8 +134,9 @@ impl std::str::FromStr for RecordKind {
             "scores" | "score" => Ok(RecordKind::Score),
             "stats" => Ok(RecordKind::Stats),
             "events" | "event" => Ok(RecordKind::Event),
+            "traces" | "trace" => Ok(RecordKind::Trace),
             other => Err(format!(
-                "unknown record kind {other:?} (expected scores, stats, or events)"
+                "unknown record kind {other:?} (expected scores, stats, events, or traces)"
             )),
         }
     }
@@ -120,6 +149,7 @@ impl Record {
             Record::Score(_) => RecordKind::Score,
             Record::Stats(_) => RecordKind::Stats,
             Record::Event(_) => RecordKind::Event,
+            Record::Trace(_) => RecordKind::Trace,
         }
     }
 
@@ -129,6 +159,7 @@ impl Record {
             Record::Score(r) => r.at,
             Record::Stats(r) => r.at,
             Record::Event(r) => r.at,
+            Record::Trace(r) => r.at,
         }
     }
 
@@ -152,6 +183,14 @@ impl Record {
                 put_varint(&mut out, r.at_ns);
                 put_string(&mut out, &r.kind);
                 put_string(&mut out, &r.detail);
+            }
+            Record::Trace(r) => {
+                put_varint(&mut out, r.at);
+                put_varint(&mut out, r.seq);
+                put_varint(&mut out, u64::from(r.alarmed));
+                put_varint(&mut out, r.total_ns);
+                put_string(&mut out, &r.source);
+                put_string(&mut out, &r.payload);
             }
         }
         out
@@ -182,6 +221,14 @@ impl Record {
                 at_ns: r.varint()?,
                 kind: r.string()?,
                 detail: r.string()?,
+            }),
+            RecordKind::Trace => Record::Trace(TraceRecord {
+                at: r.varint()?,
+                seq: r.varint()?,
+                alarmed: r.varint()? != 0,
+                total_ns: r.varint()?,
+                source: r.string()?,
+                payload: r.string()?,
             }),
         };
         if !r.is_empty() {
@@ -216,6 +263,14 @@ mod tests {
                 at_ns: 123_456_789,
                 kind: "alarm".to_string(),
                 detail: "system alarm at t=12".to_string(),
+            }),
+            Record::Trace(TraceRecord {
+                at: 5_185_080,
+                seq: 14,
+                alarmed: true,
+                total_ns: 42_000,
+                source: "coordinator".to_string(),
+                payload: "{\"seq\":14,\"spans\":[]}".to_string(),
             }),
         ];
         for record in records {
@@ -260,7 +315,12 @@ mod tests {
 
     #[test]
     fn kind_names_parse_back() {
-        for kind in [RecordKind::Score, RecordKind::Stats, RecordKind::Event] {
+        for kind in [
+            RecordKind::Score,
+            RecordKind::Stats,
+            RecordKind::Event,
+            RecordKind::Trace,
+        ] {
             assert_eq!(kind.name().parse::<RecordKind>().unwrap(), kind);
             assert_eq!(RecordKind::from_tag(kind.tag()), Some(kind));
         }

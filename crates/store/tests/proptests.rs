@@ -12,7 +12,9 @@
 use std::path::PathBuf;
 
 use gridwatch_store::block::{decode_block, encode_block};
-use gridwatch_store::record::{EventRecord, Record, RecordKind, ScoreRow, StatsSample};
+use gridwatch_store::record::{
+    EventRecord, Record, RecordKind, ScoreRow, StatsSample, TraceRecord,
+};
 use gridwatch_store::wal::{Wal, WAL_HEADER_LEN};
 use gridwatch_store::{HistoryStore, StoreConfig};
 use proptest::prelude::*;
@@ -49,7 +51,8 @@ fn kind_from(sel: u8) -> RecordKind {
     match sel {
         0 => RecordKind::Score,
         1 => RecordKind::Stats,
-        _ => RecordKind::Event,
+        2 => RecordKind::Event,
+        _ => RecordKind::Trace,
     }
 }
 
@@ -83,18 +86,26 @@ fn record_from(kind: RecordKind, parts: RecordParts) -> Record {
             kind: key,
             detail: text,
         }),
+        RecordKind::Trace => Record::Trace(TraceRecord {
+            at,
+            seq: at_ns,
+            alarmed: fsel % 2 == 0,
+            total_ns: bits,
+            source: key,
+            payload: text,
+        }),
     }
 }
 
 fn arb_record() -> impl Strategy<Value = Record> {
-    (0u8..3, arb_parts()).prop_map(|(sel, parts)| record_from(kind_from(sel), parts))
+    (0u8..4, arb_parts()).prop_map(|(sel, parts)| record_from(kind_from(sel), parts))
 }
 
 /// Single-family `(seq, record)` rows with strictly increasing but
 /// gappy sequence numbers, as a partial seal would produce.
 fn arb_rows() -> impl Strategy<Value = Vec<(u64, Record)>> {
     (
-        0u8..3,
+        0u8..4,
         any::<u32>(),
         prop::collection::vec((1u64..50, arb_parts()), 1..40),
     )

@@ -81,6 +81,17 @@ pub mod classes {
     pub const WORKER_SESSION: LockClass = LockClass::new("worker.session", 40);
     /// Shard-worker lifetime counters (`ShardWorker::summary`).
     pub const WORKER_SUMMARY: LockClass = LockClass::new("worker.summary", 42);
+    /// Exemplar tracer's in-flight trace table (`ExemplarTracer`
+    /// pending map): spans accumulate here between open and finalize.
+    /// Acquired from submit/merge/report paths that may hold stats
+    /// locks, so it ranks above every counter class.
+    pub const EXEMPLAR_PENDING: LockClass = LockClass::new("obs.exemplar_pending", 44);
+    /// Exemplar tracer's retained ring. Ranks above the pending map:
+    /// `finalize` moves a trace from pending into the ring.
+    pub const EXEMPLAR_RING: LockClass = LockClass::new("obs.exemplar_ring", 46);
+    /// Burn-rate gauge sample window (`BurnGauges`): appended to and
+    /// read at scrape time only.
+    pub const HEALTH_WINDOW: LockClass = LockClass::new("obs.health_window", 48);
     /// Flight-recorder event ring. Highest rank on purpose: `record()`
     /// is called from code that may hold any other lock, so the ring
     /// must be acquirable last from anywhere.
@@ -455,6 +466,9 @@ mod tests {
             classes::NET_CONNS,
             classes::WORKER_SESSION,
             classes::WORKER_SUMMARY,
+            classes::EXEMPLAR_PENDING,
+            classes::EXEMPLAR_RING,
+            classes::HEALTH_WINDOW,
             classes::FLIGHT_RING,
         ];
         for pair in table.windows(2) {
